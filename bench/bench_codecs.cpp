@@ -1,0 +1,99 @@
+// Codec throughput: the cost inside the compression-filter sentinel
+// (paper Section 3's per-file compression example).  Three content
+// profiles: runs (RLE's best case), English-like repetitive text (LZ77's
+// case), and incompressible random bytes (worst case for both).
+#include <benchmark/benchmark.h>
+
+#include "codec/codec.hpp"
+#include "util/prng.hpp"
+
+namespace afs {
+namespace {
+
+Buffer MakeContent(const std::string& profile, std::size_t size) {
+  Buffer out;
+  out.reserve(size);
+  if (profile == "runs") {
+    while (out.size() < size) {
+      out.insert(out.end(), 64, static_cast<std::uint8_t>('a' + out.size() % 7));
+    }
+  } else if (profile == "text") {
+    const std::string phrase = "the quick brown fox jumps over the lazy dog. ";
+    while (out.size() < size) {
+      out.insert(out.end(), phrase.begin(), phrase.end());
+    }
+  } else {  // random
+    Prng prng(99);
+    out.resize(size);
+    prng.Fill(MutableByteSpan(out));
+  }
+  out.resize(size);
+  return out;
+}
+
+void BM_Encode(benchmark::State& state, const std::string& codec_name,
+               const std::string& profile) {
+  auto codec = codec::MakeCodec(codec_name);
+  if (!codec.ok()) {
+    state.SkipWithError("codec missing");
+    return;
+  }
+  const Buffer input = MakeContent(profile, 64 * 1024);
+  std::size_t encoded_size = 0;
+  for (auto _ : state) {
+    Buffer encoded = (*codec)->Encode(ByteSpan(input));
+    encoded_size = encoded.size();
+    benchmark::DoNotOptimize(encoded.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(input.size()));
+  state.counters["ratio"] =
+      static_cast<double>(encoded_size) / static_cast<double>(input.size());
+}
+
+void BM_Decode(benchmark::State& state, const std::string& codec_name,
+               const std::string& profile) {
+  auto codec = codec::MakeCodec(codec_name);
+  if (!codec.ok()) {
+    state.SkipWithError("codec missing");
+    return;
+  }
+  const Buffer input = MakeContent(profile, 64 * 1024);
+  const Buffer encoded = (*codec)->Encode(ByteSpan(input));
+  for (auto _ : state) {
+    auto decoded = (*codec)->Decode(ByteSpan(encoded));
+    if (!decoded.ok()) {
+      state.SkipWithError("decode failed");
+      return;
+    }
+    benchmark::DoNotOptimize(decoded->data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(input.size()));
+}
+
+void RegisterAll() {
+  for (const char* codec_name : {"identity", "rle", "lz77"}) {
+    for (const char* profile : {"runs", "text", "random"}) {
+      benchmark::RegisterBenchmark(
+          (std::string("Codec/Encode/") + codec_name + "/" + profile).c_str(),
+          [=](benchmark::State& st) { BM_Encode(st, codec_name, profile); })
+          ->Unit(benchmark::kMicrosecond);
+      benchmark::RegisterBenchmark(
+          (std::string("Codec/Decode/") + codec_name + "/" + profile).c_str(),
+          [=](benchmark::State& st) { BM_Decode(st, codec_name, profile); })
+          ->Unit(benchmark::kMicrosecond);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace afs
+
+int main(int argc, char** argv) {
+  afs::RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

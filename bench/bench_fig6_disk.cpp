@@ -1,0 +1,129 @@
+// Figure 6(b): ReadFile/WriteFile overhead when the sentinel serves every
+// operation from a LOCAL ON-DISK CACHE (the bundle's data region) —
+// Figure 5 path 2.  The sentinel is the null filter over cache=disk, so
+// every block costs one pread/pwrite at the sentinel plus the strategy's
+// transfer overhead.  Baseline = the same block I/O on a passive file.
+#include "bench_util.hpp"
+
+namespace afs::bench {
+namespace {
+
+constexpr std::uint64_t kFileSize = 64 * 1024;
+
+BenchEnv& Env() {
+  static BenchEnv env("fig6-disk");
+  return env;
+}
+
+sentinel::SentinelSpec DiskSpec() {
+  sentinel::SentinelSpec spec;
+  spec.name = "null";
+  spec.config["cache"] = "disk";
+  return spec;
+}
+
+void BM_Read(benchmark::State& state, core::Strategy strategy) {
+  BenchEnv& env = Env();
+  const std::size_t block = static_cast<std::size_t>(state.range(0));
+  const std::string path =
+      std::string("r-") + std::string(core::StrategyName(strategy)) + ".af";
+  Buffer content(kFileSize, 0x5A);
+  const vfs::HandleId handle =
+      OpenActive(env, path, DiskSpec(), strategy, ByteSpan(content));
+  ReadLoop(state, env.api(), handle, block, kFileSize);
+  (void)env.api().CloseHandle(handle);
+}
+
+void BM_Write(benchmark::State& state, core::Strategy strategy) {
+  BenchEnv& env = Env();
+  const std::size_t block = static_cast<std::size_t>(state.range(0));
+  const std::string path =
+      std::string("w-") + std::string(core::StrategyName(strategy)) + ".af";
+  Buffer content(kFileSize, 0x5A);
+  const vfs::HandleId handle =
+      OpenActive(env, path, DiskSpec(), strategy, ByteSpan(content));
+  WriteLoop(state, env.api(), handle, block, kFileSize);
+  (void)env.api().CloseHandle(handle);
+}
+
+void BM_BaselineRead(benchmark::State& state) {
+  BenchEnv& env = Env();
+  const std::size_t block = static_cast<std::size_t>(state.range(0));
+  Buffer content(kFileSize, 0x5A);
+  (void)env.api().WriteWholeFile("baseline-r.bin", ByteSpan(content));
+  auto handle = env.api().OpenFile("baseline-r.bin", vfs::OpenMode::kRead);
+  if (!handle.ok()) {
+    state.SkipWithError("open failed");
+    return;
+  }
+  ReadLoop(state, env.api(), *handle, block, kFileSize);
+  (void)env.api().CloseHandle(*handle);
+}
+
+void BM_BaselineWrite(benchmark::State& state) {
+  BenchEnv& env = Env();
+  const std::size_t block = static_cast<std::size_t>(state.range(0));
+  Buffer content(kFileSize, 0x5A);
+  (void)env.api().WriteWholeFile("baseline-w.bin", ByteSpan(content));
+  auto handle =
+      env.api().OpenFile("baseline-w.bin", vfs::OpenMode::kReadWrite);
+  if (!handle.ok()) {
+    state.SkipWithError("open failed");
+    return;
+  }
+  WriteLoop(state, env.api(), *handle, block, kFileSize);
+  (void)env.api().CloseHandle(*handle);
+}
+
+void RegisterAll() {
+  struct Series {
+    const char* label;
+    core::Strategy strategy;
+  };
+  const Series series[] = {
+      {"Process", core::Strategy::kProcessControl},
+      {"Thread", core::Strategy::kThread},
+      {"DLL", core::Strategy::kDirect},
+  };
+  for (const auto& s : series) {
+    for (int block : kBlockSizes) {
+      benchmark::RegisterBenchmark(
+          (std::string("Fig6b/Read/") + s.label).c_str(),
+          [strategy = s.strategy](benchmark::State& st) {
+            BM_Read(st, strategy);
+          })
+          ->Arg(block)
+          ->Iterations(kCallsPerConfig)
+          ->Unit(benchmark::kMicrosecond);
+      benchmark::RegisterBenchmark(
+          (std::string("Fig6b/Write/") + s.label).c_str(),
+          [strategy = s.strategy](benchmark::State& st) {
+            BM_Write(st, strategy);
+          })
+          ->Arg(block)
+          ->Iterations(kCallsPerConfig)
+          ->Unit(benchmark::kMicrosecond);
+    }
+  }
+  for (int block : kBlockSizes) {
+    benchmark::RegisterBenchmark("Fig6b/Read/Baseline", BM_BaselineRead)
+        ->Arg(block)
+        ->Iterations(kCallsPerConfig)
+        ->Unit(benchmark::kMicrosecond);
+    benchmark::RegisterBenchmark("Fig6b/Write/Baseline", BM_BaselineWrite)
+        ->Arg(block)
+        ->Iterations(kCallsPerConfig)
+        ->Unit(benchmark::kMicrosecond);
+  }
+}
+
+}  // namespace
+}  // namespace afs::bench
+
+int main(int argc, char** argv) {
+  afs::bench::RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

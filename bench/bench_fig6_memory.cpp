@@ -1,0 +1,147 @@
+// Figure 6(c): ReadFile/WriteFile overhead when the sentinel serves every
+// operation from an IN-MEMORY CACHE — Figure 5 path 3.  The null sentinel
+// over cache=memory: each block is a user-level memcpy at the sentinel,
+// so what remains visible is almost purely the per-strategy transfer cost.
+// This panel exhibits the paper's footnote 2: the DLL series turns a read
+// "normally a system call" into a user-mode memcpy and can beat the
+// passive-file baseline.
+#include <cstring>
+
+#include "bench_util.hpp"
+
+namespace afs::bench {
+namespace {
+
+constexpr std::uint64_t kFileSize = 64 * 1024;
+
+BenchEnv& Env() {
+  static BenchEnv env("fig6-memory");
+  return env;
+}
+
+sentinel::SentinelSpec MemorySpec() {
+  sentinel::SentinelSpec spec;
+  spec.name = "null";
+  spec.config["cache"] = "memory";
+  spec.config["writeback"] = "0";  // steady-state op cost, not close cost
+  return spec;
+}
+
+void BM_Read(benchmark::State& state, core::Strategy strategy) {
+  BenchEnv& env = Env();
+  const std::size_t block = static_cast<std::size_t>(state.range(0));
+  const std::string path =
+      std::string("r-") + std::string(core::StrategyName(strategy)) + ".af";
+  Buffer content(kFileSize, 0x5A);
+  const vfs::HandleId handle =
+      OpenActive(env, path, MemorySpec(), strategy, ByteSpan(content));
+  ReadLoop(state, env.api(), handle, block, kFileSize);
+  (void)env.api().CloseHandle(handle);
+}
+
+void BM_Write(benchmark::State& state, core::Strategy strategy) {
+  BenchEnv& env = Env();
+  const std::size_t block = static_cast<std::size_t>(state.range(0));
+  const std::string path =
+      std::string("w-") + std::string(core::StrategyName(strategy)) + ".af";
+  Buffer content(kFileSize, 0x5A);
+  const vfs::HandleId handle =
+      OpenActive(env, path, MemorySpec(), strategy, ByteSpan(content));
+  WriteLoop(state, env.api(), handle, block, kFileSize);
+  (void)env.api().CloseHandle(handle);
+}
+
+// Baselines for the memory path:
+//   Baseline     — passive file served by the OS (what the application
+//                  would pay without active files), and
+//   Memcpy       — a pure user-level copy, the floor.
+void BM_BaselinePassive(benchmark::State& state, bool write) {
+  BenchEnv& env = Env();
+  const std::size_t block = static_cast<std::size_t>(state.range(0));
+  Buffer content(kFileSize, 0x5A);
+  (void)env.api().WriteWholeFile("baseline.bin", ByteSpan(content));
+  auto handle = env.api().OpenFile("baseline.bin", vfs::OpenMode::kReadWrite);
+  if (!handle.ok()) {
+    state.SkipWithError("open failed");
+    return;
+  }
+  if (write) {
+    WriteLoop(state, env.api(), *handle, block, kFileSize);
+  } else {
+    ReadLoop(state, env.api(), *handle, block, kFileSize);
+  }
+  (void)env.api().CloseHandle(*handle);
+}
+
+void BM_Memcpy(benchmark::State& state) {
+  const std::size_t block = static_cast<std::size_t>(state.range(0));
+  Buffer source(kFileSize, 0x5A);
+  Buffer dest(block);
+  std::uint64_t pos = 0;
+  for (auto _ : state) {
+    std::memcpy(dest.data(), source.data() + pos, block);
+    benchmark::DoNotOptimize(dest.data());
+    pos = (pos + 2 * block > kFileSize) ? 0 : pos + block;
+  }
+}
+
+void RegisterAll() {
+  struct Series {
+    const char* label;
+    core::Strategy strategy;
+  };
+  const Series series[] = {
+      {"Process", core::Strategy::kProcessControl},
+      {"Thread", core::Strategy::kThread},
+      {"DLL", core::Strategy::kDirect},
+  };
+  for (const auto& s : series) {
+    for (int block : kBlockSizes) {
+      benchmark::RegisterBenchmark(
+          (std::string("Fig6c/Read/") + s.label).c_str(),
+          [strategy = s.strategy](benchmark::State& st) {
+            BM_Read(st, strategy);
+          })
+          ->Arg(block)
+          ->Iterations(kCallsPerConfig)
+          ->Unit(benchmark::kMicrosecond);
+      benchmark::RegisterBenchmark(
+          (std::string("Fig6c/Write/") + s.label).c_str(),
+          [strategy = s.strategy](benchmark::State& st) {
+            BM_Write(st, strategy);
+          })
+          ->Arg(block)
+          ->Iterations(kCallsPerConfig)
+          ->Unit(benchmark::kMicrosecond);
+    }
+  }
+  for (int block : kBlockSizes) {
+    benchmark::RegisterBenchmark(
+        "Fig6c/Read/Baseline",
+        [](benchmark::State& st) { BM_BaselinePassive(st, false); })
+        ->Arg(block)
+        ->Iterations(kCallsPerConfig)
+        ->Unit(benchmark::kMicrosecond);
+    benchmark::RegisterBenchmark(
+        "Fig6c/Write/Baseline",
+        [](benchmark::State& st) { BM_BaselinePassive(st, true); })
+        ->Arg(block)
+        ->Iterations(kCallsPerConfig)
+        ->Unit(benchmark::kMicrosecond);
+    benchmark::RegisterBenchmark("Fig6c/Read/Memcpy", BM_Memcpy)
+        ->Arg(block)
+        ->Iterations(kCallsPerConfig)
+        ->Unit(benchmark::kMicrosecond);
+  }
+}
+
+}  // namespace
+}  // namespace afs::bench
+
+int main(int argc, char** argv) {
+  afs::bench::RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,117 @@
+// The concurrent-logging scenario (paper Section 3): N writers share one
+// log active file; the sentinel serializes appends with a cross-process
+// named mutex.  This measures per-record cost as contention grows, and
+// compares against the do-it-yourself alternative the paper argues
+// against (every client embedding its own locking protocol).
+#include <thread>
+
+#include "bench_util.hpp"
+#include "ipc/named_mutex.hpp"
+
+namespace afs::bench {
+namespace {
+
+BenchEnv& Env() {
+  static BenchEnv env("log-contention");
+  return env;
+}
+
+// N-1 background writers hammer the log while the timed thread appends.
+void BM_LogAppend(benchmark::State& state) {
+  BenchEnv& env = Env();
+  const int writers = static_cast<int>(state.range(0));
+  const std::string path = "contend.af";
+  auto exists = env.api().FileExists(path);
+  if (!exists.ok() || !*exists) {
+    sentinel::SentinelSpec spec;
+    spec.name = "log";
+    spec.config["mutex"] = "bench-log";
+    if (!env.manager().CreateActiveFile(path, spec).ok()) {
+      state.SkipWithError("create failed");
+      return;
+    }
+  }
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> background;
+  for (int w = 0; w < writers - 1; ++w) {
+    background.emplace_back([&] {
+      auto handle = env.api().OpenFile(path, vfs::OpenMode::kWrite);
+      if (!handle.ok()) return;
+      const std::string record = "background-record";
+      while (!stop.load(std::memory_order_relaxed)) {
+        (void)env.api().WriteFile(*handle, AsBytes(record));
+      }
+      (void)env.api().CloseHandle(*handle);
+    });
+  }
+
+  auto handle = env.api().OpenFile(path, vfs::OpenMode::kWrite);
+  if (!handle.ok()) {
+    stop.store(true);
+    for (auto& t : background) t.join();
+    state.SkipWithError("open failed");
+    return;
+  }
+  const std::string record = "timed-record-payload";
+  for (auto _ : state) {
+    auto n = env.api().WriteFile(*handle, AsBytes(record));
+    if (!n.ok()) {
+      state.SkipWithError(n.status().ToString().c_str());
+      break;
+    }
+  }
+  stop.store(true);
+  for (auto& t : background) t.join();
+  (void)env.api().CloseHandle(*handle);
+  // Reset the log so the file does not grow without bound across configs.
+  (void)env.manager().WriteDataPart(path, {});
+}
+
+// The DIY alternative: the application takes the lock and appends to a
+// passive file itself — the code every client would have to embed.
+void BM_DiyLockedAppend(benchmark::State& state) {
+  BenchEnv& env = Env();
+  (void)env.api().WriteWholeFile("diy.log", {});
+  ipc::NamedMutex mutex(env.api().root_dir() + "/.afs-locks", "diy");
+  vfs::OpenOptions options;
+  options.mode = vfs::OpenMode::kWrite;
+  options.disposition = vfs::Disposition::kOpenAlways;
+  options.append = true;
+  auto handle = env.api().CreateFile("diy.log", options);
+  if (!handle.ok()) {
+    state.SkipWithError("open failed");
+    return;
+  }
+  const std::string record = "timed-record-payload\n";
+  for (auto _ : state) {
+    if (!mutex.Lock().ok()) break;
+    (void)env.api().WriteFile(*handle, AsBytes(record));
+    (void)mutex.Unlock();
+  }
+  (void)env.api().CloseHandle(*handle);
+}
+
+void RegisterAll() {
+  for (int writers : {1, 2, 4, 8}) {
+    benchmark::RegisterBenchmark("LogContention/ActiveFile", BM_LogAppend)
+        ->Arg(writers)
+        ->Unit(benchmark::kMicrosecond)
+        ->Iterations(2000);
+  }
+  benchmark::RegisterBenchmark("LogContention/DiyLockedAppend",
+                               BM_DiyLockedAppend)
+      ->Unit(benchmark::kMicrosecond)
+      ->Iterations(2000);
+}
+
+}  // namespace
+}  // namespace afs::bench
+
+int main(int argc, char** argv) {
+  afs::bench::RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

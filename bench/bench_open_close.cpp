@@ -1,0 +1,91 @@
+// Open/close cost per strategy (paper Section 2.2: the sentinel "is
+// started and terminated when a user process opens and closes the active
+// file").  Launching a process per open is the expensive end; injecting a
+// thread is cheaper; direct dispatch is nearly free.  A passive-file
+// open/close is the baseline.
+#include "bench_util.hpp"
+
+namespace afs::bench {
+namespace {
+
+BenchEnv& Env() {
+  static BenchEnv env("open-close");
+  return env;
+}
+
+void BM_OpenClose(benchmark::State& state, core::Strategy strategy) {
+  BenchEnv& env = Env();
+  sentinel::SentinelSpec spec;
+  spec.name = "null";
+  spec.config["cache"] = "disk";
+  spec.config["strategy"] = std::string(core::StrategyName(strategy));
+  const std::string path =
+      std::string("oc-") + std::string(core::StrategyName(strategy)) + ".af";
+  auto exists = env.api().FileExists(path);
+  if (!exists.ok() || !*exists) {
+    if (!env.manager().CreateActiveFile(path, spec, AsBytes("x")).ok()) {
+      state.SkipWithError("create failed");
+      return;
+    }
+  }
+  for (auto _ : state) {
+    auto handle = env.api().OpenFile(path, vfs::OpenMode::kReadWrite);
+    if (!handle.ok()) {
+      state.SkipWithError(handle.status().ToString().c_str());
+      return;
+    }
+    if (!env.api().CloseHandle(*handle).ok()) {
+      state.SkipWithError("close failed");
+      return;
+    }
+  }
+}
+
+void BM_PassiveOpenClose(benchmark::State& state) {
+  BenchEnv& env = Env();
+  (void)env.api().WriteWholeFile("oc-passive.bin", AsBytes("x"));
+  for (auto _ : state) {
+    auto handle = env.api().OpenFile("oc-passive.bin", vfs::OpenMode::kRead);
+    if (!handle.ok()) {
+      state.SkipWithError("open failed");
+      return;
+    }
+    (void)env.api().CloseHandle(*handle);
+  }
+}
+
+void RegisterAll() {
+  struct Series {
+    const char* label;
+    core::Strategy strategy;
+  };
+  const Series series[] = {
+      {"Process", core::Strategy::kProcess},
+      {"ProcessControl", core::Strategy::kProcessControl},
+      {"Thread", core::Strategy::kThread},
+      {"DLL", core::Strategy::kDirect},
+  };
+  for (const auto& s : series) {
+    benchmark::RegisterBenchmark(
+        (std::string("OpenClose/") + s.label).c_str(),
+        [strategy = s.strategy](benchmark::State& st) {
+          BM_OpenClose(st, strategy);
+        })
+        ->Unit(benchmark::kMicrosecond)
+        ->Iterations(200);
+  }
+  benchmark::RegisterBenchmark("OpenClose/Passive", BM_PassiveOpenClose)
+      ->Unit(benchmark::kMicrosecond)
+      ->Iterations(200);
+}
+
+}  // namespace
+}  // namespace afs::bench
+
+int main(int argc, char** argv) {
+  afs::bench::RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Pipeline composition ablation: per-stage overhead of the composed
+// sentinel (DESIGN.md §5 extension).  Measures reads through 0, 1, 2, and
+// 3 pass-through stages under the direct strategy, isolating the pure
+// cost of the stage indirection (context save + virtual dispatch per
+// stage).
+#include "bench_util.hpp"
+
+namespace afs::bench {
+namespace {
+
+constexpr std::uint64_t kFileSize = 16 * 1024;
+
+BenchEnv& Env() {
+  static BenchEnv env("pipeline");
+  return env;
+}
+
+void BM_PipelineRead(benchmark::State& state) {
+  BenchEnv& env = Env();
+  const int depth = static_cast<int>(state.range(0));
+  sentinel::SentinelSpec spec;
+  if (depth == 0) {
+    spec.name = "null";
+  } else {
+    spec.name = "pipeline";
+    std::string chain = "null";
+    for (int i = 1; i < depth; ++i) chain += ",null";
+    spec.config["chain"] = chain;
+  }
+  spec.config["cache"] = "memory";
+  spec.config["writeback"] = "0";
+  Buffer content(kFileSize, 0x33);
+  const std::string path = "p" + std::to_string(depth) + ".af";
+  const vfs::HandleId handle = OpenActive(
+      env, path, spec, core::Strategy::kDirect, ByteSpan(content));
+  ReadLoop(state, env.api(), handle, 128, kFileSize);
+  (void)env.api().CloseHandle(handle);
+}
+
+void RegisterAll() {
+  for (int depth : {0, 1, 2, 3}) {
+    benchmark::RegisterBenchmark("Pipeline/Read128/depth", BM_PipelineRead)
+        ->Arg(depth)
+        ->Unit(benchmark::kMicrosecond)
+        ->Iterations(kCallsPerConfig);
+  }
+}
+
+}  // namespace
+}  // namespace afs::bench
+
+int main(int argc, char** argv) {
+  afs::bench::RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

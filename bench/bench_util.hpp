@@ -1,0 +1,149 @@
+// Shared scaffolding for the Figure 6 benchmarks: a sandboxed FileApi +
+// manager + (optionally) a socket-served remote file server, and helpers
+// that open an active file under a given strategy.
+//
+// The remote source is served over a real Unix socket for *all* strategies
+// so the comparison is apples-to-apples: forked sentinel processes (the
+// Process series) cannot reach in-process SimNet state, but every strategy
+// can dial the same socket.  A configurable service delay models the
+// network service time of the paper's 100 Mbps testbed.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <filesystem>
+#include <memory>
+#include <string>
+
+#include "afs.hpp"
+
+namespace afs::bench {
+
+inline constexpr int kBlockSizes[] = {8, 32, 128, 512, 2048};
+
+// The paper times 1000 calls per configuration.
+inline constexpr int kCallsPerConfig = 1000;
+
+class BenchEnv {
+ public:
+  explicit BenchEnv(const std::string& name, Micros remote_service_delay =
+                                                 Micros(0))
+      : root_("/tmp/afs-bench-" + name) {
+    std::error_code ec;
+    std::filesystem::remove_all(root_, ec);
+    api_ = std::make_unique<vfs::FileApi>(root_ + "/root");
+    sentinels::RegisterBuiltinSentinels();
+
+    net::SocketServer::Options options;
+    options.service_delay = remote_service_delay;
+    server_ = std::make_unique<net::SocketServer>(root_ + "/files.sock",
+                                                  files_, options);
+    (void)server_->Start();
+
+    core::ManagerOptions manager_options;
+    manager_options.resolver = &resolver_;
+    manager_ = std::make_unique<core::ActiveFileManager>(
+        *api_, sentinel::SentinelRegistry::Global(), manager_options);
+    manager_->Install();
+  }
+
+  ~BenchEnv() {
+    manager_.reset();
+    server_->Stop();
+  }
+
+  vfs::FileApi& api() { return *api_; }
+  core::ActiveFileManager& manager() { return *manager_; }
+  net::FileServer& files() { return files_; }
+  std::string remote_url() const { return "sock:" + root_ + "/files.sock"; }
+
+ private:
+  std::string root_;
+  std::unique_ptr<vfs::FileApi> api_;
+  net::FileServer files_;
+  std::unique_ptr<net::SocketServer> server_;
+  core::SocketResolver resolver_;
+  std::unique_ptr<core::ActiveFileManager> manager_;
+};
+
+// Creates (if needed) and opens an active file with the given sentinel and
+// per-open strategy; returns the handle.
+inline vfs::HandleId OpenActive(BenchEnv& env, const std::string& path,
+                                sentinel::SentinelSpec spec,
+                                core::Strategy strategy, ByteSpan data = {}) {
+  spec.config["strategy"] = std::string(core::StrategyName(strategy));
+  auto exists = env.api().FileExists(path);
+  if (!exists.ok() || !*exists) {
+    auto created = env.manager().CreateActiveFile(path, spec, data);
+    if (!created.ok()) {
+      std::fprintf(stderr, "bench: create %s: %s\n", path.c_str(),
+                   created.ToString().c_str());
+      std::abort();
+    }
+  } else {
+    // Strategy differs per benchmark: rewrite the bundle spec, keeping data.
+    auto old = env.manager().ReadDataPart(path);
+    (void)env.api().DeleteFile(path);
+    auto created = env.manager().CreateActiveFile(
+        path, spec, old.ok() ? ByteSpan(*old) : data);
+    if (!created.ok()) std::abort();
+  }
+  auto handle = env.api().OpenFile(path, vfs::OpenMode::kReadWrite);
+  if (!handle.ok()) {
+    std::fprintf(stderr, "bench: open %s: %s\n", path.c_str(),
+                 handle.status().ToString().c_str());
+    std::abort();
+  }
+  return *handle;
+}
+
+// Sequential block reads with wraparound via seek (the paper's fixed-size
+// block read workload).
+inline void ReadLoop(benchmark::State& state, vfs::FileApi& api,
+                     vfs::HandleId handle, std::size_t block,
+                     std::uint64_t file_size) {
+  Buffer buf(block);
+  std::uint64_t pos = 0;
+  for (auto _ : state) {
+    auto n = api.ReadFile(handle, MutableByteSpan(buf));
+    if (!n.ok()) {
+      state.SkipWithError(n.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(buf.data());
+    pos += block;
+    if (pos + block > file_size) {
+      state.PauseTiming();
+      (void)api.SetFilePointer(handle, 0, vfs::SeekOrigin::kBegin);
+      pos = 0;
+      state.ResumeTiming();
+    }
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(block));
+}
+
+inline void WriteLoop(benchmark::State& state, vfs::FileApi& api,
+                      vfs::HandleId handle, std::size_t block,
+                      std::uint64_t file_size) {
+  Buffer buf(block, 0xAB);
+  std::uint64_t pos = 0;
+  for (auto _ : state) {
+    auto n = api.WriteFile(handle, ByteSpan(buf));
+    if (!n.ok()) {
+      state.SkipWithError(n.status().ToString().c_str());
+      return;
+    }
+    pos += block;
+    if (pos + block > file_size) {
+      state.PauseTiming();
+      (void)api.SetFilePointer(handle, 0, vfs::SeekOrigin::kBegin);
+      pos = 0;
+      state.ResumeTiming();
+    }
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(block));
+}
+
+}  // namespace afs::bench

@@ -1,0 +1,13 @@
+// The stock sentinel executable: the "active part" of exec-mode active
+// files.  The strategies launch this binary per open (paper Section 2:
+// "when an active file is opened, the associated executable is run as a
+// sentinel process"); it serves the wire protocol over the inherited pipe
+// file descriptors.  It carries all built-in sentinels; a deployment with
+// custom sentinels would register them here before delegating.
+#include "core/sentineld.hpp"
+#include "sentinels/builtin.hpp"
+
+int main(int argc, char** argv) {
+  afs::sentinels::RegisterBuiltinSentinels();
+  return afs::core::SentineldMain(argc, argv);
+}

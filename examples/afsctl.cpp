@@ -1,0 +1,131 @@
+// afsctl: command-line tool for authoring and inspecting active files.
+//
+//   afsctl <root> create <path> <sentinel> [key=value ...]   author a bundle
+//   afsctl <root> spec <path>        show the active part (sentinel+config)
+//   afsctl <root> cat <path>         read through the sentinel
+//   afsctl <root> write <path> <text>  write through the sentinel
+//   afsctl <root> data <path>        dump the raw data part (no sentinel)
+//   afsctl <root> ls [dir]           list a directory in the sandbox
+//   afsctl <root> sentinels          list registered sentinels
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "afs.hpp"
+#include "util/strings.hpp"
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: afsctl <root> <create|spec|cat|write|data|ls|"
+               "sentinels> [args...]\n");
+  return 2;
+}
+
+void PrintStatus(const afs::Status& status) {
+  std::fprintf(stderr, "afsctl: %s\n", status.ToString().c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace afs;
+  if (argc < 3) return Usage();
+  const std::string root = argv[1];
+  const std::string command = argv[2];
+  std::vector<std::string> args(argv + 3, argv + argc);
+
+  vfs::FileApi api(root);
+  sentinels::RegisterBuiltinSentinels();
+  core::SocketResolver resolver;  // sock: urls work out of the box
+  core::ManagerOptions options;
+  options.resolver = &resolver;
+  core::ActiveFileManager manager(api, sentinel::SentinelRegistry::Global(),
+                                  options);
+  manager.Install();
+
+  if (command == "sentinels") {
+    for (const auto& name : sentinel::SentinelRegistry::Global().Names()) {
+      std::printf("%s\n", name.c_str());
+    }
+    return 0;
+  }
+  if (command == "ls") {
+    auto names = api.ListDirectory(args.empty() ? "" : args[0]);
+    if (!names.ok()) {
+      PrintStatus(names.status());
+      return 1;
+    }
+    for (const auto& name : *names) std::printf("%s\n", name.c_str());
+    return 0;
+  }
+  if (args.empty()) return Usage();
+  const std::string path = args[0];
+
+  if (command == "create") {
+    if (args.size() < 2) return Usage();
+    sentinel::SentinelSpec spec;
+    spec.name = args[1];
+    for (std::size_t i = 2; i < args.size(); ++i) {
+      auto [key, value] = SplitOnce(args[i], '=');
+      if (key.empty()) return Usage();
+      spec.config[key] = value;
+    }
+    const Status status = manager.CreateActiveFile(path, spec);
+    if (!status.ok()) {
+      PrintStatus(status);
+      return 1;
+    }
+    std::printf("created %s (sentinel '%s', %zu config keys)\n", path.c_str(),
+                spec.name.c_str(), spec.config.size());
+    return 0;
+  }
+  if (command == "spec") {
+    auto spec = manager.ReadSpec(path);
+    if (!spec.ok()) {
+      PrintStatus(spec.status());
+      return 1;
+    }
+    std::printf("sentinel: %s\n", spec->name.c_str());
+    for (const auto& [key, value] : spec->config) {
+      std::printf("  %s = %s\n", key.c_str(), value.c_str());
+    }
+    return 0;
+  }
+  if (command == "cat") {
+    auto content = api.ReadWholeFile(path);
+    if (!content.ok()) {
+      PrintStatus(content.status());
+      return 1;
+    }
+    std::fwrite(content->data(), 1, content->size(), stdout);
+    return 0;
+  }
+  if (command == "write") {
+    if (args.size() < 2) return Usage();
+    auto handle = api.OpenFile(path, vfs::OpenMode::kWrite);
+    if (!handle.ok()) {
+      PrintStatus(handle.status());
+      return 1;
+    }
+    auto written = api.WriteFile(*handle, AsBytes(args[1]));
+    const Status closed = api.CloseHandle(*handle);
+    if (!written.ok() || !closed.ok()) {
+      PrintStatus(written.ok() ? closed : written.status());
+      return 1;
+    }
+    std::printf("wrote %zu bytes through the sentinel\n", *written);
+    return 0;
+  }
+  if (command == "data") {
+    auto data = manager.ReadDataPart(path);
+    if (!data.ok()) {
+      PrintStatus(data.status());
+      return 1;
+    }
+    std::fwrite(data->data(), 1, data->size(), stdout);
+    return 0;
+  }
+  return Usage();
+}

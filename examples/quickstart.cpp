@@ -1,0 +1,70 @@
+// Quickstart: the smallest useful active file — a transparently compressed
+// notes file.  A "legacy application" (plain file API calls, no knowledge
+// of active files) writes and reads plaintext; on disk the data part holds
+// an LZ77 image.
+#include <cstdio>
+
+#include "afs.hpp"
+
+namespace {
+
+// The legacy side: this function knows nothing about sentinels.  It only
+// speaks CreateFile/ReadFile/WriteFile/CloseHandle.
+int LegacyNoteTaker(afs::vfs::FileApi& api, const char* path) {
+  auto handle = api.OpenFile(path, afs::vfs::OpenMode::kReadWrite);
+  if (!handle.ok()) {
+    std::fprintf(stderr, "open failed: %s\n",
+                 handle.status().ToString().c_str());
+    return 1;
+  }
+  std::string note;
+  for (int i = 0; i < 200; ++i) {
+    note += "2026-07-04 meeting notes: active files are just files\n";
+  }
+  if (!api.WriteFile(*handle, afs::AsBytes(note)).ok()) return 1;
+  auto size = api.GetFileSize(*handle);
+  std::printf("application sees a %llu-byte plain text file\n",
+              static_cast<unsigned long long>(size.value_or(0)));
+  (void)api.CloseHandle(*handle);
+
+  // Read it back through a fresh open.
+  auto again = api.OpenFile(path, afs::vfs::OpenMode::kRead);
+  if (!again.ok()) return 1;
+  afs::Buffer out(64);
+  auto n = api.ReadFile(*again, afs::MutableByteSpan(out));
+  std::printf("first line read back: %.*s",
+              static_cast<int>(n.value_or(0)), out.data());
+  (void)api.CloseHandle(*again);
+  return 0;
+}
+
+}  // namespace
+
+int main() {
+  afs::vfs::FileApi api("/tmp/afs-quickstart");
+  afs::sentinels::RegisterBuiltinSentinels();
+  afs::core::ActiveFileManager manager(
+      api, afs::sentinel::SentinelRegistry::Global());
+  manager.Install();  // from here on, .af opens run sentinels
+
+  // Author the active file: sentinel name + per-file configuration.
+  afs::sentinel::SentinelSpec spec;
+  spec.name = "compress";
+  spec.config["codec"] = "lz77";
+  if (!manager.CreateActiveFile("notes.af", spec).ok()) return 1;
+
+  if (LegacyNoteTaker(api, "notes.af") != 0) return 1;
+
+  auto stored = manager.ReadDataPart("notes.af");
+  if (stored.ok()) {
+    std::printf("on disk, the data part is %zu bytes of compressed image\n",
+                stored->size());
+  }
+
+  // Single-file packaging: a plain copy clones data part AND sentinel.
+  (void)api.CopyFile("notes.af", "notes-backup.af");
+  auto copy = api.ReadWholeFile("notes-backup.af");
+  std::printf("copied active file reads back %zu plaintext bytes\n",
+              copy.ok() ? copy->size() : 0);
+  return 0;
+}

@@ -1,0 +1,55 @@
+// The paper's registry example: "filtering can also be used to provide a
+// file-based interface to the Windows system registry, considerably
+// simplifying system configuration."  A legacy text editor (simulated
+// here as read/modify/write of a plain file) reconfigures the system
+// registry without knowing it exists.
+#include <cstdio>
+
+#include "afs.hpp"
+#include "sentinels/regsent.hpp"
+
+int main() {
+  using namespace afs;
+
+  // Populate the "system registry".
+  auto& registry = sentinels::DefaultRegistry();
+  (void)registry.CreateKey("Software/MediaPlayer");
+  (void)registry.SetValue("Software/MediaPlayer", "volume",
+                          reg::Value(std::uint32_t{40}));
+  (void)registry.SetValue("Software/MediaPlayer", "skin",
+                          reg::Value(std::string("dark")));
+
+  vfs::FileApi api("/tmp/afs-registry");
+  sentinels::RegisterBuiltinSentinels();
+  core::ActiveFileManager manager(api, sentinel::SentinelRegistry::Global());
+  manager.Install();
+
+  sentinel::SentinelSpec spec;
+  spec.name = "registry";
+  spec.config["key"] = "Software/MediaPlayer";
+  spec.config["cache"] = "none";
+  if (!manager.CreateActiveFile("player-config.af", spec).ok()) return 1;
+
+  // "Open the config file in an editor": read the rendered text.
+  auto text = api.ReadWholeFile("player-config.af");
+  if (!text.ok()) return 1;
+  std::printf("config as seen by the editor:\n%s\n",
+              ToString(ByteSpan(*text)).c_str());
+
+  // "Edit and save": write modified text back; close parses it into
+  // registry mutations.
+  const std::string edited =
+      "[]\nvolume = dw:85\nskin = str:light\nmuted = dw:0\n";
+  auto handle = api.OpenFile("player-config.af", vfs::OpenMode::kReadWrite);
+  if (!handle.ok()) return 1;
+  (void)api.WriteFile(*handle, AsBytes(edited));
+  (void)api.SetEndOfFile(*handle);
+  (void)api.CloseHandle(*handle);
+
+  auto volume = registry.GetValue("Software/MediaPlayer", "volume");
+  auto muted = registry.GetValue("Software/MediaPlayer", "muted");
+  std::printf("registry after save: volume=%u muted=%u\n",
+              std::get<std::uint32_t>(*volume),
+              std::get<std::uint32_t>(*muted));
+  return 0;
+}

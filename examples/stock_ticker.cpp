@@ -1,0 +1,59 @@
+// The paper's stock-quote example: "an active file that reflects the
+// latest stock quotes (downloaded by the sentinel from a server) every
+// time the file is opened".  A legacy `cat`-style tool rereads ticker.af
+// while the market moves.
+#include <cstdio>
+
+#include "afs.hpp"
+
+int main() {
+  using namespace afs;
+
+  SteadyClock& clock = SteadyClock::Instance();
+  net::SimNet net(clock);
+  (void)net.AddLink("desk", "exchange", {Micros(300), 0});
+
+  net::QuoteServer exchange(/*seed=*/2026);
+  exchange.AddSymbol("AAPL", 21034);
+  exchange.AddSymbol("MSFT", 45990);
+  exchange.AddSymbol("NTFS", 1999);
+  (void)net.Mount("exchange", "quotes", exchange);
+
+  vfs::FileApi api("/tmp/afs-ticker");
+  sentinels::RegisterBuiltinSentinels();
+  core::EnvironmentResolver resolver(&net, "desk");
+  core::ManagerOptions options;
+  options.resolver = &resolver;
+  core::ActiveFileManager manager(api, sentinel::SentinelRegistry::Global(),
+                                  options);
+  manager.Install();
+
+  sentinel::SentinelSpec spec;
+  spec.name = "quotes";
+  spec.config["cache"] = "none";
+  spec.config["url"] = "sim:exchange:quotes";
+  spec.config["symbols"] = "AAPL,MSFT,NTFS";
+  if (!manager.CreateActiveFile("ticker.af", spec).ok()) return 1;
+
+  for (int session = 0; session < 3; ++session) {
+    // The legacy tool: open, read, print, close.  Each open re-downloads.
+    auto content = api.ReadWholeFile("ticker.af");
+    if (!content.ok()) return 1;
+    std::printf("[open %d]\n%s\n", session + 1,
+                ToString(ByteSpan(*content)).c_str());
+    exchange.Tick(7);  // the market moves between opens
+  }
+
+  // A long-lived reader can refresh mid-open through the control channel.
+  auto handle = api.OpenFile("ticker.af", vfs::OpenMode::kRead);
+  if (!handle.ok()) return 1;
+  exchange.Tick(3);
+  auto refreshed = manager.Control(*handle, AsBytes("refresh"));
+  if (refreshed.ok()) {
+    auto size = api.GetFileSize(*handle);
+    std::printf("refreshed without reopening: %llu bytes of fresh quotes\n",
+                static_cast<unsigned long long>(size.value_or(0)));
+  }
+  (void)api.CloseHandle(*handle);
+  return 0;
+}

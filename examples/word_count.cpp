@@ -1,0 +1,117 @@
+// The docs/TUTORIAL.md walkthrough, compiled and run: a custom sentinel
+// presenting live word-count statistics of another file.
+#include <cctype>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+#include "afs.hpp"
+
+namespace {
+
+class WordCountSentinel final : public afs::sentinel::Sentinel {
+ public:
+  afs::Status OnOpen(afs::sentinel::SentinelContext& ctx) override {
+    target_ = ctx.config_or("target", "");
+    if (target_.empty()) {
+      return afs::InvalidArgumentError("wordcount: needs 'target'");
+    }
+    return Refresh(ctx);
+  }
+
+  afs::Result<std::size_t> OnRead(afs::sentinel::SentinelContext& ctx,
+                                  afs::MutableByteSpan out) override {
+    if (ctx.position >= text_.size()) return std::size_t{0};
+    const std::size_t n = std::min<std::size_t>(
+        out.size(), text_.size() - static_cast<std::size_t>(ctx.position));
+    std::memcpy(out.data(), text_.data() + ctx.position, n);
+    return n;
+  }
+
+  afs::Result<std::uint64_t> OnGetSize(
+      afs::sentinel::SentinelContext& ctx) override {
+    (void)ctx;
+    return std::uint64_t{text_.size()};
+  }
+
+  afs::Result<std::size_t> OnWrite(afs::sentinel::SentinelContext&,
+                                   afs::ByteSpan) override {
+    return afs::PermissionDeniedError("wordcount: statistics are read-only");
+  }
+
+  afs::Result<afs::Buffer> OnControl(afs::sentinel::SentinelContext& ctx,
+                                     afs::ByteSpan request) override {
+    if (afs::ToString(request) == "refresh") {
+      AFS_RETURN_IF_ERROR(Refresh(ctx));
+      return afs::ToBuffer("ok");
+    }
+    return afs::UnsupportedError("wordcount: unknown control");
+  }
+
+ private:
+  afs::Status Refresh(afs::sentinel::SentinelContext& ctx) {
+    (void)ctx;
+    std::ifstream in(target_);
+    if (!in.good()) return afs::NotFoundError("wordcount: no " + target_);
+    std::size_t lines = 0;
+    std::size_t words = 0;
+    std::size_t bytes = 0;
+    bool in_word = false;
+    for (int c = in.get(); c != EOF; c = in.get()) {
+      ++bytes;
+      if (c == '\n') ++lines;
+      const bool space = std::isspace(c) != 0;
+      if (!space && !in_word) ++words;
+      in_word = !space;
+    }
+    text_ = std::to_string(lines) + " " + std::to_string(words) + " " +
+            std::to_string(bytes) + "\n";
+    return afs::Status::Ok();
+  }
+
+  std::string target_;
+  std::string text_;
+};
+
+}  // namespace
+
+int main() {
+  using namespace afs;
+  const std::string root = "/tmp/afs-wordcount";
+  vfs::FileApi api(root);
+  sentinels::RegisterBuiltinSentinels();
+  (void)sentinel::SentinelRegistry::Global().Register(
+      "wordcount", [](const sentinel::SentinelSpec&) {
+        return std::make_unique<WordCountSentinel>();
+      });
+  core::ActiveFileManager manager(api, sentinel::SentinelRegistry::Global());
+  manager.Install();
+
+  // The file being watched (a plain host file).
+  (void)api.WriteWholeFile("report.txt",
+                           AsBytes("one two three\nfour five\n"));
+
+  sentinel::SentinelSpec spec;
+  spec.name = "wordcount";
+  spec.config["target"] = root + "/report.txt";
+  spec.config["cache"] = "none";
+  spec.config["strategy"] = "thread";
+  if (!manager.CreateActiveFile("stats.af", spec).ok()) return 1;
+
+  auto stats = api.ReadWholeFile("stats.af");
+  if (!stats.ok()) return 1;
+  std::printf("lines words bytes: %s", ToString(ByteSpan(*stats)).c_str());
+
+  // The target grows; a control refresh shows the new counts mid-open.
+  (void)api.WriteWholeFile("report.txt",
+                           AsBytes("one two three\nfour five\nsix\n"));
+  auto handle = api.OpenFile("stats.af", vfs::OpenMode::kRead);
+  if (!handle.ok()) return 1;
+  (void)manager.Control(*handle, AsBytes("refresh"));
+  Buffer out(64);
+  auto n = api.ReadFile(*handle, MutableByteSpan(out));
+  std::printf("after refresh:     %.*s", static_cast<int>(n.value_or(0)),
+              out.data());
+  (void)api.CloseHandle(*handle);
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Umbrella header: the public API of the active-files library.
+//
+// Quickstart:
+//
+//   afs::vfs::FileApi api("/tmp/sandbox");
+//   afs::sentinels::RegisterBuiltinSentinels();
+//   afs::core::ActiveFileManager manager(
+//       api, afs::sentinel::SentinelRegistry::Global());
+//   manager.Install();   // the "IAT rewrite": .af opens now spawn sentinels
+//
+//   afs::sentinel::SentinelSpec spec;
+//   spec.name = "compress";
+//   spec.config["codec"] = "lz77";
+//   manager.CreateActiveFile("notes.af", spec).ok();
+//
+//   // Legacy code path — indistinguishable from a passive file:
+//   auto handle = api.OpenFile("notes.af", afs::vfs::OpenMode::kReadWrite);
+//   api.WriteFile(*handle, afs::AsBytes("hello"));
+//   api.CloseHandle(*handle);
+#pragma once
+
+#include "common/bytes.hpp"      // IWYU pragma: export
+#include "common/clock.hpp"      // IWYU pragma: export
+#include "common/status.hpp"     // IWYU pragma: export
+#include "core/bundle.hpp"       // IWYU pragma: export
+#include "core/manager.hpp"      // IWYU pragma: export
+#include "core/resolvers.hpp"    // IWYU pragma: export
+#include "core/strategies.hpp"   // IWYU pragma: export
+#include "net/file_server.hpp"   // IWYU pragma: export
+#include "net/mail_server.hpp"   // IWYU pragma: export
+#include "net/quote_server.hpp"  // IWYU pragma: export
+#include "net/simnet.hpp"        // IWYU pragma: export
+#include "net/socket_transport.hpp"  // IWYU pragma: export
+#include "sentinel/registry.hpp"     // IWYU pragma: export
+#include "sentinel/sentinel.hpp"     // IWYU pragma: export
+#include "sentinels/builtin.hpp"     // IWYU pragma: export
+#include "vfs/file_api.hpp"          // IWYU pragma: export
+#include "vfs/paths.hpp"             // IWYU pragma: export

@@ -1,0 +1,238 @@
+#include "codec/codec.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstring>
+
+namespace afs::codec {
+namespace {
+
+class IdentityCodec final : public Codec {
+ public:
+  std::string_view name() const noexcept override { return "identity"; }
+
+  Buffer Encode(ByteSpan input) const override {
+    return Buffer(input.begin(), input.end());
+  }
+
+  Result<Buffer> Decode(ByteSpan input) const override {
+    return Buffer(input.begin(), input.end());
+  }
+};
+
+// RLE wire format: a sequence of (control, payload) units.
+//   control < 0x80: literal run of (control+1) bytes follows.
+//   control >= 0x80: repeat next byte (control-0x80+2) times  [2..129].
+class RleCodec final : public Codec {
+ public:
+  std::string_view name() const noexcept override { return "rle"; }
+
+  Buffer Encode(ByteSpan input) const override {
+    Buffer out;
+    out.reserve(input.size() / 2 + 8);
+    std::size_t i = 0;
+    while (i < input.size()) {
+      // Measure the run starting at i.
+      std::size_t run = 1;
+      while (i + run < input.size() && input[i + run] == input[i] &&
+             run < 129) {
+        ++run;
+      }
+      if (run >= 2) {
+        out.push_back(static_cast<std::uint8_t>(0x80 + run - 2));
+        out.push_back(input[i]);
+        i += run;
+        continue;
+      }
+      // Collect literals until the next run of >= 3 (a 2-run inside
+      // literals is cheaper left literal) or the 128-literal cap.
+      std::size_t lit_start = i;
+      while (i < input.size() && i - lit_start < 128) {
+        std::size_t ahead = 1;
+        while (i + ahead < input.size() && input[i + ahead] == input[i] &&
+               ahead < 3) {
+          ++ahead;
+        }
+        if (ahead >= 3) break;
+        ++i;
+      }
+      if (i == lit_start) {  // at a run boundary with zero literals
+        continue;
+      }
+      out.push_back(static_cast<std::uint8_t>(i - lit_start - 1));
+      out.insert(out.end(), input.begin() + lit_start, input.begin() + i);
+    }
+    return out;
+  }
+
+  Result<Buffer> Decode(ByteSpan input) const override {
+    Buffer out;
+    std::size_t i = 0;
+    while (i < input.size()) {
+      const std::uint8_t control = input[i++];
+      if (control < 0x80) {
+        const std::size_t count = control + 1u;
+        if (i + count > input.size()) {
+          return CorruptError("rle literal run truncated");
+        }
+        out.insert(out.end(), input.begin() + i, input.begin() + i + count);
+        i += count;
+      } else {
+        if (i >= input.size()) return CorruptError("rle repeat truncated");
+        const std::size_t count = static_cast<std::size_t>(control - 0x80) + 2;
+        out.insert(out.end(), count, input[i++]);
+      }
+    }
+    return out;
+  }
+};
+
+// LZ77 wire format: token stream.
+//   0x00 len u8, bytes...        : literal block (len in [1,255])
+//   0x01 dist u16 len u16        : copy `len` bytes from `dist` back.
+constexpr std::size_t kWindow = 4096;
+constexpr std::size_t kMinMatch = 4;
+constexpr std::size_t kMaxMatch = 65535;
+
+class Lz77Codec final : public Codec {
+ public:
+  std::string_view name() const noexcept override { return "lz77"; }
+
+  Buffer Encode(ByteSpan input) const override {
+    Buffer out;
+    out.reserve(input.size() / 2 + 16);
+    // Chained hash table over 4-byte prefixes.
+    std::array<std::int32_t, 1 << 13> head;
+    head.fill(-1);
+    std::vector<std::int32_t> prev(input.size(), -1);
+
+    Buffer literals;
+    auto flush_literals = [&] {
+      std::size_t off = 0;
+      while (off < literals.size()) {
+        const std::size_t chunk = std::min<std::size_t>(255, literals.size() - off);
+        out.push_back(0x00);
+        out.push_back(static_cast<std::uint8_t>(chunk));
+        out.insert(out.end(), literals.begin() + off,
+                   literals.begin() + off + chunk);
+        off += chunk;
+      }
+      literals.clear();
+    };
+
+    auto hash4 = [&](std::size_t pos) {
+      std::uint32_t v;
+      std::memcpy(&v, input.data() + pos, 4);
+      return (v * 2654435761u) >> (32 - 13);
+    };
+
+    std::size_t i = 0;
+    while (i < input.size()) {
+      std::size_t best_len = 0;
+      std::size_t best_dist = 0;
+      if (i + kMinMatch <= input.size()) {
+        const std::uint32_t h = hash4(i);
+        std::int32_t cand = head[h];
+        int probes = 32;
+        while (cand >= 0 && probes-- > 0 &&
+               i - static_cast<std::size_t>(cand) <= kWindow) {
+          const std::size_t c = static_cast<std::size_t>(cand);
+          std::size_t len = 0;
+          const std::size_t limit =
+              std::min(input.size() - i, kMaxMatch);
+          while (len < limit && input[c + len] == input[i + len]) ++len;
+          if (len > best_len) {
+            best_len = len;
+            best_dist = i - c;
+          }
+          cand = prev[c];
+        }
+      }
+      if (best_len >= kMinMatch) {
+        flush_literals();
+        out.push_back(0x01);
+        AppendU16(out, static_cast<std::uint16_t>(best_dist));
+        AppendU16(out, static_cast<std::uint16_t>(best_len));
+        // Index every position inside the match.
+        const std::size_t end = i + best_len;
+        while (i < end) {
+          if (i + kMinMatch <= input.size()) {
+            const std::uint32_t h = hash4(i);
+            prev[i] = head[h];
+            head[h] = static_cast<std::int32_t>(i);
+          }
+          ++i;
+        }
+      } else {
+        if (i + kMinMatch <= input.size()) {
+          const std::uint32_t h = hash4(i);
+          prev[i] = head[h];
+          head[h] = static_cast<std::int32_t>(i);
+        }
+        literals.push_back(input[i]);
+        ++i;
+      }
+    }
+    flush_literals();
+    return out;
+  }
+
+  Result<Buffer> Decode(ByteSpan input) const override {
+    Buffer out;
+    ByteReader reader(input);
+    while (!reader.empty()) {
+      std::uint8_t tag = 0;
+      if (!reader.ReadU8(tag)) return CorruptError("lz77 tag truncated");
+      if (tag == 0x00) {
+        std::uint8_t len = 0;
+        ByteSpan bytes;
+        if (!reader.ReadU8(len) || !reader.ReadBytes(len, bytes)) {
+          return CorruptError("lz77 literal truncated");
+        }
+        out.insert(out.end(), bytes.begin(), bytes.end());
+      } else if (tag == 0x01) {
+        std::uint16_t dist = 0;
+        std::uint16_t len = 0;
+        if (!reader.ReadU16(dist) || !reader.ReadU16(len)) {
+          return CorruptError("lz77 match truncated");
+        }
+        if (dist == 0 || dist > out.size()) {
+          return CorruptError("lz77 match distance out of range");
+        }
+        // Byte-by-byte: matches may overlap their own output.
+        std::size_t src = out.size() - dist;
+        for (std::size_t k = 0; k < len; ++k) {
+          out.push_back(out[src + k]);
+        }
+      } else {
+        return CorruptError("lz77 unknown tag");
+      }
+    }
+    return out;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Codec> MakeIdentityCodec() {
+  return std::make_unique<IdentityCodec>();
+}
+
+std::unique_ptr<Codec> MakeRleCodec() { return std::make_unique<RleCodec>(); }
+
+std::unique_ptr<Codec> MakeLz77Codec() {
+  return std::make_unique<Lz77Codec>();
+}
+
+Result<std::unique_ptr<Codec>> MakeCodec(std::string_view name) {
+  if (name == "identity") return MakeIdentityCodec();
+  if (name == "rle") return MakeRleCodec();
+  if (name == "lz77") return MakeLz77Codec();
+  return NotFoundError("no codec named '" + std::string(name) + "'");
+}
+
+std::vector<std::string> BuiltinCodecNames() {
+  return {"identity", "rle", "lz77"};
+}
+
+}  // namespace afs::codec

@@ -1,0 +1,44 @@
+// Compression codecs.  The paper's per-file compression example (Section 3,
+// "Input and output filtering") needs real codecs so that the filtering
+// sentinel demonstrably transforms data; different active files can pick
+// different algorithms — exactly the per-file flexibility the paper
+// contrasts against whole-filesystem compression.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/status.hpp"
+
+namespace afs::codec {
+
+class Codec {
+ public:
+  virtual ~Codec() = default;
+
+  virtual std::string_view name() const noexcept = 0;
+
+  // Pure transforms; Decode(Encode(x)) == x for every byte string x.
+  virtual Buffer Encode(ByteSpan input) const = 0;
+  virtual Result<Buffer> Decode(ByteSpan input) const = 0;
+};
+
+// Pass-through codec (the "null filter" degenerate case).
+std::unique_ptr<Codec> MakeIdentityCodec();
+
+// Byte-oriented run-length codec; effective on repetitive data.
+std::unique_ptr<Codec> MakeRleCodec();
+
+// LZ77 with a 4 KiB sliding window and greedy longest-match parsing.
+std::unique_ptr<Codec> MakeLz77Codec();
+
+// Looks up a codec by name ("identity", "rle", "lz77"); kNotFound otherwise.
+Result<std::unique_ptr<Codec>> MakeCodec(std::string_view name);
+
+// Names of all built-in codecs, for parameterized tests and benches.
+std::vector<std::string> BuiltinCodecNames();
+
+}  // namespace afs::codec

@@ -1,0 +1,142 @@
+// Byte-buffer vocabulary types shared by every layer: IPC frames, codec
+// payloads, network messages, VFS read/write buffers.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace afs {
+
+using Buffer = std::vector<std::uint8_t>;
+using ByteSpan = std::span<const std::uint8_t>;
+using MutableByteSpan = std::span<std::uint8_t>;
+
+// String <-> bytes bridges (the file API traffics in bytes; tests and
+// protocol code traffic in strings).
+inline Buffer ToBuffer(std::string_view s) {
+  return Buffer(s.begin(), s.end());
+}
+
+inline std::string ToString(ByteSpan bytes) {
+  return std::string(reinterpret_cast<const char*>(bytes.data()),
+                     bytes.size());
+}
+
+inline ByteSpan AsBytes(std::string_view s) {
+  return ByteSpan(reinterpret_cast<const std::uint8_t*>(s.data()), s.size());
+}
+
+// Little-endian integer encode/append and decode used by all wire formats
+// (control protocol, bundle TOC, RPC framing).  One definition so the wire
+// layout cannot drift between layers.
+inline void AppendU16(Buffer& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v & 0xff));
+  out.push_back(static_cast<std::uint8_t>((v >> 8) & 0xff));
+}
+
+inline void AppendU32(Buffer& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>((v >> (8 * i)) & 0xff));
+  }
+}
+
+inline void AppendU64(Buffer& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::uint8_t>((v >> (8 * i)) & 0xff));
+  }
+}
+
+inline void AppendBytes(Buffer& out, ByteSpan bytes) {
+  out.insert(out.end(), bytes.begin(), bytes.end());
+}
+
+// Length-prefixed string/blob (u32 length + raw bytes).
+inline void AppendLenPrefixed(Buffer& out, ByteSpan bytes) {
+  AppendU32(out, static_cast<std::uint32_t>(bytes.size()));
+  AppendBytes(out, bytes);
+}
+
+inline void AppendLenPrefixed(Buffer& out, std::string_view s) {
+  AppendLenPrefixed(out, AsBytes(s));
+}
+
+// Cursor-style decoder.  All Read* methods return false on underflow and
+// leave the cursor unchanged, so callers can translate to kProtocolError.
+class ByteReader {
+ public:
+  explicit ByteReader(ByteSpan data) noexcept : data_(data) {}
+
+  std::size_t remaining() const noexcept { return data_.size() - pos_; }
+  bool empty() const noexcept { return remaining() == 0; }
+  std::size_t position() const noexcept { return pos_; }
+
+  bool ReadU8(std::uint8_t& out) noexcept {
+    if (remaining() < 1) return false;
+    out = data_[pos_++];
+    return true;
+  }
+
+  bool ReadU16(std::uint16_t& out) noexcept {
+    if (remaining() < 2) return false;
+    out = static_cast<std::uint16_t>(data_[pos_]) |
+          static_cast<std::uint16_t>(data_[pos_ + 1]) << 8;
+    pos_ += 2;
+    return true;
+  }
+
+  bool ReadU32(std::uint32_t& out) noexcept {
+    if (remaining() < 4) return false;
+    out = 0;
+    for (int i = 0; i < 4; ++i) {
+      out |= static_cast<std::uint32_t>(data_[pos_ + i]) << (8 * i);
+    }
+    pos_ += 4;
+    return true;
+  }
+
+  bool ReadU64(std::uint64_t& out) noexcept {
+    if (remaining() < 8) return false;
+    out = 0;
+    for (int i = 0; i < 8; ++i) {
+      out |= static_cast<std::uint64_t>(data_[pos_ + i]) << (8 * i);
+    }
+    pos_ += 8;
+    return true;
+  }
+
+  bool ReadBytes(std::size_t n, ByteSpan& out) noexcept {
+    if (remaining() < n) return false;
+    out = data_.subspan(pos_, n);
+    pos_ += n;
+    return true;
+  }
+
+  bool ReadLenPrefixed(ByteSpan& out) noexcept {
+    std::size_t saved = pos_;
+    std::uint32_t len = 0;
+    if (!ReadU32(len) || remaining() < len) {
+      pos_ = saved;
+      return false;
+    }
+    out = data_.subspan(pos_, len);
+    pos_ += len;
+    return true;
+  }
+
+  bool ReadLenPrefixedString(std::string& out) {
+    ByteSpan bytes;
+    if (!ReadLenPrefixed(bytes)) return false;
+    out = ToString(bytes);
+    return true;
+  }
+
+ private:
+  ByteSpan data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace afs

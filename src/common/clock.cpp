@@ -1,0 +1,34 @@
+#include "common/clock.hpp"
+
+#include <thread>
+
+namespace afs {
+
+void SteadyClock::SleepFor(Micros duration) {
+  if (duration.count() > 0) std::this_thread::sleep_for(duration);
+}
+
+SteadyClock& SteadyClock::Instance() {
+  static SteadyClock clock;
+  return clock;
+}
+
+void ManualClock::SleepFor(Micros duration) {
+  if (duration.count() <= 0) return;
+  const std::int64_t deadline =
+      now_us_.load(std::memory_order_acquire) + duration.count();
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] {
+    return now_us_.load(std::memory_order_acquire) >= deadline;
+  });
+}
+
+void ManualClock::Advance(Micros delta) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    now_us_.fetch_add(delta.count(), std::memory_order_acq_rel);
+  }
+  cv_.notify_all();
+}
+
+}  // namespace afs

@@ -1,0 +1,61 @@
+// Clock abstraction.  The simulated network (net::SimNet) models latency and
+// bandwidth against a clock; tests use ManualClock for determinism while the
+// benchmarks use the real steady clock.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+namespace afs {
+
+using Micros = std::chrono::microseconds;
+
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  // Monotonic time since an arbitrary epoch.
+  virtual Micros Now() const = 0;
+
+  // Blocks the calling thread for the given duration (real or simulated).
+  virtual void SleepFor(Micros duration) = 0;
+};
+
+// Wall-clock-backed implementation used by benchmarks and examples.
+class SteadyClock final : public Clock {
+ public:
+  Micros Now() const override {
+    return std::chrono::duration_cast<Micros>(
+        std::chrono::steady_clock::now().time_since_epoch());
+  }
+
+  void SleepFor(Micros duration) override;
+
+  // Process-wide instance; the clock is stateless so sharing is safe.
+  static SteadyClock& Instance();
+};
+
+// Manually-advanced clock for deterministic tests.  SleepFor blocks until
+// another thread Advance()s past the deadline, which lets tests single-step
+// latency-sensitive code without real waiting.
+class ManualClock final : public Clock {
+ public:
+  Micros Now() const override {
+    return Micros(now_us_.load(std::memory_order_acquire));
+  }
+
+  void SleepFor(Micros duration) override;
+
+  // Moves time forward and wakes sleepers whose deadlines passed.
+  void Advance(Micros delta);
+
+ private:
+  std::atomic<std::int64_t> now_us_{0};
+  std::mutex mu_;
+  std::condition_variable cv_;
+};
+
+}  // namespace afs

@@ -1,0 +1,33 @@
+#include "common/log.hpp"
+
+#include <cstdio>
+
+namespace afs {
+
+Logger& Logger::Instance() {
+  static Logger logger;
+  return logger;
+}
+
+namespace {
+const char* LevelTag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "D";
+    case LogLevel::kInfo: return "I";
+    case LogLevel::kWarn: return "W";
+    case LogLevel::kError: return "E";
+  }
+  return "?";
+}
+}  // namespace
+
+void Logger::Write(LogLevel level, std::string_view component,
+                   std::string_view message) {
+  if (static_cast<int>(level) < static_cast<int>(level_)) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  std::fprintf(stderr, "[%s %.*s] %.*s\n", LevelTag(level),
+               static_cast<int>(component.size()), component.data(),
+               static_cast<int>(message.size()), message.data());
+}
+
+}  // namespace afs

@@ -1,0 +1,62 @@
+// Minimal leveled logger.  Sentinels run in forked children and in injected
+// threads; the logger is async-signal-tolerant in the sense that it performs
+// a single formatted write(2)-style emission per call under one mutex.
+#pragma once
+
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace afs {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+class Logger {
+ public:
+  static Logger& Instance();
+
+  void SetLevel(LogLevel level) { level_ = level; }
+  LogLevel level() const { return level_; }
+
+  void Write(LogLevel level, std::string_view component,
+             std::string_view message);
+
+ private:
+  Logger() = default;
+  LogLevel level_ = LogLevel::kWarn;
+  std::mutex mu_;
+};
+
+namespace log_internal {
+
+class LineBuilder {
+ public:
+  LineBuilder(LogLevel level, std::string_view component)
+      : level_(level), component_(component) {}
+
+  ~LineBuilder() { Logger::Instance().Write(level_, component_, out_.str()); }
+
+  template <typename T>
+  LineBuilder& operator<<(const T& v) {
+    out_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string_view component_;
+  std::ostringstream out_;
+};
+
+}  // namespace log_internal
+
+// Usage: AFS_LOG(kInfo, "afs.core") << "opened " << path;
+// Suppressed severities skip the stream expressions entirely.
+#define AFS_LOG(severity, component)                                     \
+  if (static_cast<int>(::afs::LogLevel::severity) <                      \
+      static_cast<int>(::afs::Logger::Instance().level())) {             \
+  } else                                                                 \
+    ::afs::log_internal::LineBuilder(::afs::LogLevel::severity, (component))
+
+}  // namespace afs

@@ -1,0 +1,79 @@
+#include "common/status.hpp"
+
+namespace afs {
+
+std::string_view ErrorCodeName(ErrorCode code) noexcept {
+  switch (code) {
+    case ErrorCode::kOk: return "OK";
+    case ErrorCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case ErrorCode::kNotFound: return "NOT_FOUND";
+    case ErrorCode::kAlreadyExists: return "ALREADY_EXISTS";
+    case ErrorCode::kPermissionDenied: return "PERMISSION_DENIED";
+    case ErrorCode::kUnsupported: return "UNSUPPORTED";
+    case ErrorCode::kIoError: return "IO_ERROR";
+    case ErrorCode::kClosed: return "CLOSED";
+    case ErrorCode::kTimeout: return "TIMEOUT";
+    case ErrorCode::kProtocolError: return "PROTOCOL_ERROR";
+    case ErrorCode::kRemoteError: return "REMOTE_ERROR";
+    case ErrorCode::kBusy: return "BUSY";
+    case ErrorCode::kOutOfRange: return "OUT_OF_RANGE";
+    case ErrorCode::kCorrupt: return "CORRUPT";
+    case ErrorCode::kInternal: return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out(ErrorCodeName(code_));
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+Status InvalidArgumentError(std::string message) {
+  return Status(ErrorCode::kInvalidArgument, std::move(message));
+}
+Status NotFoundError(std::string message) {
+  return Status(ErrorCode::kNotFound, std::move(message));
+}
+Status AlreadyExistsError(std::string message) {
+  return Status(ErrorCode::kAlreadyExists, std::move(message));
+}
+Status PermissionDeniedError(std::string message) {
+  return Status(ErrorCode::kPermissionDenied, std::move(message));
+}
+Status UnsupportedError(std::string message) {
+  return Status(ErrorCode::kUnsupported, std::move(message));
+}
+Status IoError(std::string message) {
+  return Status(ErrorCode::kIoError, std::move(message));
+}
+Status ClosedError(std::string message) {
+  return Status(ErrorCode::kClosed, std::move(message));
+}
+Status TimeoutError(std::string message) {
+  return Status(ErrorCode::kTimeout, std::move(message));
+}
+Status ProtocolError(std::string message) {
+  return Status(ErrorCode::kProtocolError, std::move(message));
+}
+Status RemoteError(std::string message) {
+  return Status(ErrorCode::kRemoteError, std::move(message));
+}
+Status BusyError(std::string message) {
+  return Status(ErrorCode::kBusy, std::move(message));
+}
+Status OutOfRangeError(std::string message) {
+  return Status(ErrorCode::kOutOfRange, std::move(message));
+}
+Status CorruptError(std::string message) {
+  return Status(ErrorCode::kCorrupt, std::move(message));
+}
+Status InternalError(std::string message) {
+  return Status(ErrorCode::kInternal, std::move(message));
+}
+
+}  // namespace afs

@@ -1,0 +1,207 @@
+#include "core/bundle.hpp"
+
+#include <cerrno>
+#include <cstring>
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "util/crc32.hpp"
+
+namespace afs::core {
+namespace {
+
+Status Errno(const std::string& what) {
+  if (errno == ENOENT) return NotFoundError(what + ": no such file");
+  return IoError(what + ": " + std::strerror(errno));
+}
+
+// Longest header we are willing to parse (name + config).
+constexpr std::size_t kMaxHeaderBytes = 1 << 20;
+
+}  // namespace
+
+Buffer EncodeBundleHeader(const sentinel::SentinelSpec& spec) {
+  Buffer body;  // everything after the magic, before the crc
+  AppendU16(body, kBundleVersion);
+  AppendLenPrefixed(body, spec.name);
+  AppendU32(body, static_cast<std::uint32_t>(spec.config.size()));
+  for (const auto& [key, value] : spec.config) {
+    AppendLenPrefixed(body, key);
+    AppendLenPrefixed(body, value);
+  }
+  Buffer out;
+  out.reserve(4 + body.size() + 4);
+  out.insert(out.end(), kBundleMagic, kBundleMagic + 4);
+  AppendBytes(out, ByteSpan(body));
+  AppendU32(out, Crc32(ByteSpan(body)));
+  return out;
+}
+
+Result<sentinel::SentinelSpec> DecodeBundleHeader(ByteSpan bytes,
+                                                  std::size_t* header_size) {
+  if (bytes.size() < 4 || std::memcmp(bytes.data(), kBundleMagic, 4) != 0) {
+    return CorruptError("not an active-file bundle (bad magic)");
+  }
+  ByteReader reader(bytes.subspan(4));
+  sentinel::SentinelSpec spec;
+  std::uint16_t version = 0;
+  std::uint32_t nconfig = 0;
+  if (!reader.ReadU16(version) || !reader.ReadLenPrefixedString(spec.name) ||
+      !reader.ReadU32(nconfig)) {
+    return CorruptError("truncated bundle header");
+  }
+  if (version != kBundleVersion) {
+    return CorruptError("unsupported bundle version " +
+                        std::to_string(version));
+  }
+  for (std::uint32_t i = 0; i < nconfig; ++i) {
+    std::string key;
+    std::string value;
+    if (!reader.ReadLenPrefixedString(key) ||
+        !reader.ReadLenPrefixedString(value)) {
+      return CorruptError("truncated bundle config");
+    }
+    spec.config[key] = value;
+  }
+  const std::size_t body_len = reader.position();
+  std::uint32_t stored_crc = 0;
+  if (!reader.ReadU32(stored_crc)) {
+    return CorruptError("truncated bundle crc");
+  }
+  const std::uint32_t actual_crc = Crc32(bytes.subspan(4, body_len));
+  if (stored_crc != actual_crc) {
+    return CorruptError("bundle header crc mismatch");
+  }
+  if (header_size != nullptr) *header_size = 4 + body_len + 4;
+  return spec;
+}
+
+Status WriteBundle(const std::string& host_path,
+                   const sentinel::SentinelSpec& spec, ByteSpan data) {
+  Buffer content = EncodeBundleHeader(spec);
+  AppendBytes(content, data);
+  const int fd =
+      ::open(host_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return Errno("open " + host_path);
+  std::size_t done = 0;
+  while (done < content.size()) {
+    const ssize_t n = ::write(fd, content.data() + done, content.size() - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const Status status = Errno("write " + host_path);
+      ::close(fd);
+      return status;
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  if (::close(fd) != 0) return Errno("close " + host_path);
+  return Status::Ok();
+}
+
+bool SniffBundle(const std::string& host_path) {
+  const int fd = ::open(host_path.c_str(), O_RDONLY);
+  if (fd < 0) return false;
+  char magic[4];
+  const ssize_t n = ::read(fd, magic, 4);
+  ::close(fd);
+  return n == 4 && std::memcmp(magic, kBundleMagic, 4) == 0;
+}
+
+Result<std::unique_ptr<BundleFile>> BundleFile::Open(
+    const std::string& host_path) {
+  const int fd = ::open(host_path.c_str(), O_RDWR);
+  if (fd < 0) return Errno("open " + host_path);
+
+  Buffer head(kMaxHeaderBytes);
+  ssize_t n = ::pread(fd, head.data(), head.size(), 0);
+  if (n < 0) {
+    const Status status = Errno("read " + host_path);
+    ::close(fd);
+    return status;
+  }
+  head.resize(static_cast<std::size_t>(n));
+  std::size_t header_size = 0;
+  Result<sentinel::SentinelSpec> spec =
+      DecodeBundleHeader(ByteSpan(head), &header_size);
+  if (!spec.ok()) {
+    ::close(fd);
+    return spec.status();
+  }
+  return std::unique_ptr<BundleFile>(
+      new BundleFile(fd, std::move(*spec), header_size));
+}
+
+BundleFile::~BundleFile() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Result<std::size_t> BundleFile::ReadDataAt(std::uint64_t offset,
+                                           MutableByteSpan out) {
+  const ssize_t n = ::pread(fd_, out.data(), out.size(),
+                            static_cast<off_t>(data_offset_ + offset));
+  if (n < 0) return Errno("pread");
+  return static_cast<std::size_t>(n);
+}
+
+Result<std::size_t> BundleFile::WriteDataAt(std::uint64_t offset,
+                                            ByteSpan data) {
+  std::size_t done = 0;
+  while (done < data.size()) {
+    const ssize_t n =
+        ::pwrite(fd_, data.data() + done, data.size() - done,
+                 static_cast<off_t>(data_offset_ + offset + done));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("pwrite");
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  return done;
+}
+
+Result<std::uint64_t> BundleFile::DataSize() {
+  struct stat st;
+  if (::fstat(fd_, &st) != 0) return Errno("fstat");
+  const std::uint64_t total = static_cast<std::uint64_t>(st.st_size);
+  return total > data_offset_ ? total - data_offset_ : 0;
+}
+
+Status BundleFile::TruncateData(std::uint64_t size) {
+  if (::ftruncate(fd_, static_cast<off_t>(data_offset_ + size)) != 0) {
+    return Errno("ftruncate");
+  }
+  return Status::Ok();
+}
+
+Status BundleFile::Flush() {
+  if (::fsync(fd_) != 0) return Errno("fsync");
+  return Status::Ok();
+}
+
+Result<Buffer> BundleFile::ReadAllData() {
+  AFS_ASSIGN_OR_RETURN(std::uint64_t size, DataSize());
+  Buffer out(static_cast<std::size_t>(size));
+  std::size_t done = 0;
+  while (done < out.size()) {
+    AFS_ASSIGN_OR_RETURN(
+        std::size_t n,
+        ReadDataAt(done, MutableByteSpan(out.data() + done, out.size() - done)));
+    if (n == 0) break;  // concurrent truncation
+    done += n;
+  }
+  out.resize(done);
+  return out;
+}
+
+Status BundleFile::ReplaceData(ByteSpan data) {
+  AFS_RETURN_IF_ERROR(TruncateData(data.size()));
+  if (!data.empty()) {
+    AFS_ASSIGN_OR_RETURN(std::size_t n, WriteDataAt(0, data));
+    (void)n;
+  }
+  return Status::Ok();
+}
+
+}  // namespace afs::core

@@ -1,0 +1,105 @@
+// The active-file container ("bundle").
+//
+// The paper packages an active file's two passive components — the data
+// part and the active part — into a single NTFS file using alternate data
+// streams, so that copy/rename/delete carry both (Appendix A).  NTFS
+// streams don't exist here, so the bundle is a self-describing container:
+//
+//   magic "AFB1" | u16 version | lp sentinel-name | u32 nconfig |
+//   (lp key | lp value)* | u32 header-crc | <data part ... to EOF>
+//
+// The active part is the sentinel name + config (resolved against a
+// SentinelRegistry at open); the data part is everything after the header
+// and is read/written in place by sentinels through BundleDataStore.
+// Because the container is one host file, plain host-level directory
+// operations give exactly the paper's Section 2.1 semantics.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "common/bytes.hpp"
+#include "common/status.hpp"
+#include "sentinel/context.hpp"
+#include "sentinel/registry.hpp"
+
+namespace afs::core {
+
+inline constexpr char kBundleMagic[4] = {'A', 'F', 'B', '1'};
+inline constexpr std::uint16_t kBundleVersion = 1;
+
+// Serializes the active part.  The returned bytes are the container prefix
+// up to (and including) the header CRC.
+Buffer EncodeBundleHeader(const sentinel::SentinelSpec& spec);
+
+// Parses a container prefix.  On success, *header_size is the data-part
+// offset.  kCorrupt on bad magic/CRC/truncation.
+Result<sentinel::SentinelSpec> DecodeBundleHeader(ByteSpan bytes,
+                                                  std::size_t* header_size);
+
+// Writes a complete container (header + data part) at host_path,
+// replacing any existing file.
+Status WriteBundle(const std::string& host_path,
+                   const sentinel::SentinelSpec& spec, ByteSpan data);
+
+// True when the file exists and begins with the bundle magic.
+bool SniffBundle(const std::string& host_path);
+
+// An open container.  Thread-compatible: data-region operations use
+// positional I/O and an internal mutex for the size bookkeeping.
+class BundleFile {
+ public:
+  static Result<std::unique_ptr<BundleFile>> Open(
+      const std::string& host_path);
+  ~BundleFile();
+
+  BundleFile(const BundleFile&) = delete;
+  BundleFile& operator=(const BundleFile&) = delete;
+
+  const sentinel::SentinelSpec& spec() const noexcept { return spec_; }
+  std::uint64_t data_offset() const noexcept { return data_offset_; }
+
+  // Data-region I/O (offsets are data-relative).
+  Result<std::size_t> ReadDataAt(std::uint64_t offset, MutableByteSpan out);
+  Result<std::size_t> WriteDataAt(std::uint64_t offset, ByteSpan data);
+  Result<std::uint64_t> DataSize();
+  Status TruncateData(std::uint64_t size);
+  Status Flush();
+
+  Result<Buffer> ReadAllData();
+  Status ReplaceData(ByteSpan data);
+
+ private:
+  BundleFile(int fd, sentinel::SentinelSpec spec, std::uint64_t data_offset)
+      : fd_(fd), spec_(std::move(spec)), data_offset_(data_offset) {}
+
+  int fd_ = -1;
+  sentinel::SentinelSpec spec_;
+  std::uint64_t data_offset_ = 0;
+};
+
+// DataStore adapter exposing a bundle's data region as the sentinel's
+// cache — the on-disk caching path (Figure 5, path 2).
+class BundleDataStore final : public sentinel::DataStore {
+ public:
+  explicit BundleDataStore(std::shared_ptr<BundleFile> bundle)
+      : bundle_(std::move(bundle)) {}
+
+  Result<std::size_t> ReadAt(std::uint64_t offset,
+                             MutableByteSpan out) override {
+    return bundle_->ReadDataAt(offset, out);
+  }
+  Result<std::size_t> WriteAt(std::uint64_t offset, ByteSpan data) override {
+    return bundle_->WriteDataAt(offset, data);
+  }
+  Result<std::uint64_t> Size() override { return bundle_->DataSize(); }
+  Status Truncate(std::uint64_t size) override {
+    return bundle_->TruncateData(size);
+  }
+  Status Flush() override { return bundle_->Flush(); }
+
+ private:
+  std::shared_ptr<BundleFile> bundle_;
+};
+
+}  // namespace afs::core

@@ -1,0 +1,136 @@
+#include "core/links.hpp"
+
+#include "ipc/framing.hpp"
+
+namespace afs::core {
+
+using sentinel::ControlMessage;
+using sentinel::ControlOp;
+using sentinel::ControlResponse;
+using sentinel::DecodeControlMessage;
+using sentinel::DecodeControlResponse;
+using sentinel::EncodeControlMessage;
+using sentinel::EncodeControlResponse;
+
+Result<std::pair<PipeLinkFds, PipeEndpointFds>> CreatePipePair() {
+  AFS_ASSIGN_OR_RETURN(ipc::Pipe control, ipc::Pipe::Create());
+  AFS_ASSIGN_OR_RETURN(ipc::Pipe response, ipc::Pipe::Create());
+  AFS_ASSIGN_OR_RETURN(ipc::Pipe data, ipc::Pipe::Create());
+  PipeLinkFds link;
+  link.control_write = std::move(control.write_end);
+  link.response_read = std::move(response.read_end);
+  link.data_write = std::move(data.write_end);
+  PipeEndpointFds endpoint;
+  endpoint.control_read = std::move(control.read_end);
+  endpoint.response_write = std::move(response.write_end);
+  endpoint.data_read = std::move(data.read_end);
+  return std::make_pair(std::move(link), std::move(endpoint));
+}
+
+Status PipeLink::AF_SendControl(const ControlMessage& message) {
+  AFS_RETURN_IF_ERROR(ipc::WriteFrame(fds_.control_write,
+                                      EncodeControlMessage(message)));
+  if (message.op == ControlOp::kWrite && !message.inline_in.empty()) {
+    // The paper's write path: command on the control channel, then the
+    // payload bytes on the write pipe.
+    AFS_RETURN_IF_ERROR(fds_.data_write.WriteAll(message.inline_in));
+  }
+  return Status::Ok();
+}
+
+Result<ControlResponse> PipeLink::AF_GetResponse() {
+  AFS_ASSIGN_OR_RETURN(Buffer frame, ipc::ReadFrame(fds_.response_read));
+  return DecodeControlResponse(ByteSpan(frame));
+}
+
+void PipeLink::Shutdown() {
+  fds_.control_write.Close();
+  fds_.response_read.Close();
+  fds_.data_write.Close();
+}
+
+Status PipeLink::SetCloexec() {
+  AFS_RETURN_IF_ERROR(fds_.control_write.SetCloexec());
+  AFS_RETURN_IF_ERROR(fds_.response_read.SetCloexec());
+  return fds_.data_write.SetCloexec();
+}
+
+Result<ControlMessage> PipeEndpoint::AF_GetControl() {
+  AFS_ASSIGN_OR_RETURN(Buffer frame, ipc::ReadFrame(fds_.control_read));
+  return DecodeControlMessage(ByteSpan(frame));
+}
+
+Result<Buffer> PipeEndpoint::AF_GetDataFromAppl(std::size_t length) {
+  Buffer data(length);
+  AFS_RETURN_IF_ERROR(fds_.data_read.ReadExact(MutableByteSpan(data)));
+  return data;
+}
+
+Status PipeEndpoint::AF_SendResponse(const ControlResponse& response) {
+  return ipc::WriteFrame(fds_.response_write,
+                         EncodeControlResponse(response));
+}
+
+Status ThreadRendezvous::AF_SendControl(const ControlMessage& message) {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] {
+    return state_ == SlotState::kIdle || state_ == SlotState::kShutdown;
+  });
+  if (state_ == SlotState::kShutdown) return ClosedError("rendezvous closed");
+  message_ = message;  // inline lanes pass by reference (spans)
+  state_ = SlotState::kCommand;
+  lock.unlock();
+  cv_.notify_all();
+  return Status::Ok();
+}
+
+Result<ControlResponse> ThreadRendezvous::AF_GetResponse() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] {
+    return state_ == SlotState::kResponse || state_ == SlotState::kShutdown;
+  });
+  if (state_ == SlotState::kShutdown) return ClosedError("rendezvous closed");
+  ControlResponse response = std::move(response_);
+  state_ = SlotState::kIdle;
+  lock.unlock();
+  cv_.notify_all();
+  return response;
+}
+
+Result<ControlMessage> ThreadRendezvous::AF_GetControl() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] {
+    return state_ == SlotState::kCommand || state_ == SlotState::kShutdown;
+  });
+  if (state_ == SlotState::kShutdown) return ClosedError("rendezvous closed");
+  // The slot stays occupied (kCommand) while the sentinel works; the
+  // response transition frees it.
+  return message_;
+}
+
+Result<Buffer> ThreadRendezvous::AF_GetDataFromAppl(std::size_t length) {
+  // In-process writes always travel the inline lane; only a zero-length
+  // write could get here, and that needs no bytes.
+  if (length == 0) return Buffer{};
+  return InternalError("thread rendezvous has no out-of-line data lane");
+}
+
+Status ThreadRendezvous::AF_SendResponse(const ControlResponse& response) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (state_ == SlotState::kShutdown) return ClosedError("rendezvous closed");
+  response_ = response;
+  state_ = SlotState::kResponse;
+  lock.unlock();
+  cv_.notify_all();
+  return Status::Ok();
+}
+
+void ThreadRendezvous::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    state_ = SlotState::kShutdown;
+  }
+  cv_.notify_all();
+}
+
+}  // namespace afs::core

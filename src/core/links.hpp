@@ -1,0 +1,99 @@
+// Concrete SentinelLink / SentinelEndpoint transports.
+//
+//   PipeLink / PipeEndpoint  — three anonymous pipes (control, response,
+//     write-data), the paper's process-plus-control strategy (Section 4.2).
+//     Every operation costs kernel copies and two protection-domain
+//     crossings; that cost is the point of the Figure 6 comparison.
+//
+//   ThreadRendezvous — one in-process rendezvous slot guarded by a mutex
+//     and condition variables ("events and shared memory", Appendix A.3),
+//     the DLL-with-thread strategy.  Data moves through the inline lanes of
+//     ControlMessage, giving one user-level copy per transfer.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#include "ipc/pipe.hpp"
+#include "sentinel/endpoint.hpp"
+
+namespace afs::core {
+
+struct PipeLinkFds {
+  // Application side.
+  ipc::PipeEnd control_write;   // command frames ->
+  ipc::PipeEnd response_read;   // <- response frames (the "read pipe")
+  ipc::PipeEnd data_write;      // raw write payloads -> (the "write pipe")
+};
+
+struct PipeEndpointFds {
+  // Sentinel side.
+  ipc::PipeEnd control_read;
+  ipc::PipeEnd response_write;
+  ipc::PipeEnd data_read;
+};
+
+// Creates the three pipes and deals the ends to each side.
+Result<std::pair<PipeLinkFds, PipeEndpointFds>> CreatePipePair();
+
+class PipeLink final : public sentinel::SentinelLink {
+ public:
+  explicit PipeLink(PipeLinkFds fds) : fds_(std::move(fds)) {}
+
+  Status AF_SendControl(const sentinel::ControlMessage& message) override;
+  Result<sentinel::ControlResponse> AF_GetResponse() override;
+
+  // Closes all application-side ends; the sentinel sees EOF.
+  void Shutdown();
+
+  // Marks all application-side ends close-on-exec (exec-mode sentinels).
+  Status SetCloexec();
+
+ private:
+  PipeLinkFds fds_;
+};
+
+class PipeEndpoint final : public sentinel::SentinelEndpoint {
+ public:
+  explicit PipeEndpoint(PipeEndpointFds fds) : fds_(std::move(fds)) {}
+
+  Result<sentinel::ControlMessage> AF_GetControl() override;
+  Result<Buffer> AF_GetDataFromAppl(std::size_t length) override;
+  Status AF_SendResponse(const sentinel::ControlResponse& response) override;
+
+ private:
+  PipeEndpointFds fds_;
+};
+
+// Both halves of the thread strategy's connection in one object.  The
+// application stub and the sentinel thread rendezvous on a single
+// in-flight command; ControlMessage's inline lanes pass application
+// buffers to the sentinel by reference.
+class ThreadRendezvous final : public sentinel::SentinelLink,
+                               public sentinel::SentinelEndpoint {
+ public:
+  ThreadRendezvous() = default;
+
+  // SentinelLink (application side).
+  Status AF_SendControl(const sentinel::ControlMessage& message) override;
+  Result<sentinel::ControlResponse> AF_GetResponse() override;
+
+  // SentinelEndpoint (sentinel side).
+  Result<sentinel::ControlMessage> AF_GetControl() override;
+  Result<Buffer> AF_GetDataFromAppl(std::size_t length) override;
+  Status AF_SendResponse(const sentinel::ControlResponse& response) override;
+
+  // Wakes both sides with kClosed; further traffic fails.
+  void Shutdown();
+
+ private:
+  enum class SlotState { kIdle, kCommand, kResponse, kShutdown };
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  SlotState state_ = SlotState::kIdle;
+  sentinel::ControlMessage message_;
+  sentinel::ControlResponse response_;
+};
+
+}  // namespace afs::core

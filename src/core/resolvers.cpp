@@ -1,0 +1,40 @@
+#include "core/resolvers.hpp"
+
+#include "util/strings.hpp"
+
+namespace afs::core {
+
+Result<std::unique_ptr<net::Transport>> SocketResolver::Connect(
+    const std::string& url) {
+  if (!StartsWith(url, "sock:")) {
+    return InvalidArgumentError("not a sock: url: " + url);
+  }
+  return std::unique_ptr<net::Transport>(
+      std::make_unique<net::SocketClient>(url.substr(5)));
+}
+
+Result<std::unique_ptr<net::Transport>> SimNetResolver::Connect(
+    const std::string& url) {
+  if (!StartsWith(url, "sim:")) {
+    return InvalidArgumentError("not a sim: url: " + url);
+  }
+  const auto [node, service] = SplitOnce(url.substr(4), ':');
+  if (node.empty() || service.empty()) {
+    return InvalidArgumentError("sim: url needs node:service: " + url);
+  }
+  return net_.Connect(client_node_, node, service);
+}
+
+Result<std::unique_ptr<net::Transport>> EnvironmentResolver::Connect(
+    const std::string& url) {
+  if (StartsWith(url, "sock:")) return socket_.Connect(url);
+  if (StartsWith(url, "sim:")) {
+    if (simnet_ == nullptr) {
+      return UnsupportedError("no SimNet configured for " + url);
+    }
+    return simnet_->Connect(url);
+  }
+  return InvalidArgumentError("unknown remote url scheme: " + url);
+}
+
+}  // namespace afs::core

@@ -1,0 +1,60 @@
+// RemoteResolver implementations: how sentinels reach remote information
+// sources named in their spec config.
+//
+//   "sock:<path>"          — Unix-domain socket (net::SocketClient).  Safe
+//                            across fork, so this is the resolver the
+//                            process-based strategies need for remote work.
+//   "sim:<node>:<service>" — a SimNet service, reached from a fixed client
+//                            node.  In-process strategies only.
+//
+// EnvironmentResolver combines both and picks by URL scheme.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "net/simnet.hpp"
+#include "net/socket_transport.hpp"
+#include "sentinel/context.hpp"
+
+namespace afs::core {
+
+class SocketResolver final : public sentinel::RemoteResolver {
+ public:
+  Result<std::unique_ptr<net::Transport>> Connect(
+      const std::string& url) override;
+};
+
+class SimNetResolver final : public sentinel::RemoteResolver {
+ public:
+  // All connections originate at `client_node`.
+  SimNetResolver(net::SimNet& net, std::string client_node)
+      : net_(net), client_node_(std::move(client_node)) {}
+
+  Result<std::unique_ptr<net::Transport>> Connect(
+      const std::string& url) override;
+
+ private:
+  net::SimNet& net_;
+  std::string client_node_;
+};
+
+// Scheme-dispatching resolver.  The SimNet half is optional.
+class EnvironmentResolver final : public sentinel::RemoteResolver {
+ public:
+  EnvironmentResolver() = default;
+  EnvironmentResolver(net::SimNet* net, std::string client_node)
+      : simnet_(net == nullptr
+                    ? nullptr
+                    : std::make_unique<SimNetResolver>(*net,
+                                                       std::move(client_node))) {}
+
+  Result<std::unique_ptr<net::Transport>> Connect(
+      const std::string& url) override;
+
+ private:
+  SocketResolver socket_;
+  std::unique_ptr<SimNetResolver> simnet_;
+};
+
+}  // namespace afs::core

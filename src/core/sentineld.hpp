@@ -1,0 +1,30 @@
+// Exec-mode sentinels: the paper's literal model, where "when an active
+// file is opened, the associated executable is run as a sentinel process"
+// (Section 2).  When a bundle's config carries an "exec" key, the process
+// strategies fork+exec that binary instead of running sentinel code in a
+// forked copy of the application.  The child receives its pipe file
+// descriptors and the bundle location on the command line and serves the
+// same wire protocol, so the application-side stubs cannot tell the
+// difference.
+//
+// A sentinel executable is any program whose main() calls SentineldMain
+// after registering the sentinels it provides (see
+// examples/afs_sentineld.cpp for the stock binary with the built-ins).
+#pragma once
+
+#include "common/status.hpp"
+
+namespace afs::core {
+
+// Command-line contract (produced by the strategies, parsed here):
+//   --mode=control | stream
+//   --control-fd=N --response-fd=N --data-fd=N      (mode=control)
+//   --in-fd=N --out-fd=N                            (mode=stream)
+//   --bundle=<host path of the container>
+//   --path=<vfs path, for the sentinel's context>
+//   --lockdir=<named-mutex directory>
+// Returns the process exit code.  Errors before the protocol starts are
+// reported on stderr and via a nonzero exit code.
+int SentineldMain(int argc, char** argv);
+
+}  // namespace afs::core

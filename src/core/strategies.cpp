@@ -1,0 +1,637 @@
+#include "core/strategies.hpp"
+
+#include <cstring>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "core/links.hpp"
+#include "ipc/process.hpp"
+#include "sentinel/dispatch.hpp"
+#include "sentinel/stream.hpp"
+
+namespace afs::core {
+
+using sentinel::ControlMessage;
+using sentinel::ControlOp;
+using sentinel::ControlResponse;
+using sentinel::SentinelContext;
+
+std::string_view StrategyName(Strategy strategy) noexcept {
+  switch (strategy) {
+    case Strategy::kProcess: return "process";
+    case Strategy::kProcessControl: return "process_control";
+    case Strategy::kThread: return "thread";
+    case Strategy::kDirect: return "direct";
+  }
+  return "?";
+}
+
+Result<Strategy> ParseStrategy(std::string_view name) {
+  if (name == "process") return Strategy::kProcess;
+  if (name == "process_control") return Strategy::kProcessControl;
+  if (name == "thread") return Strategy::kThread;
+  if (name == "direct") return Strategy::kDirect;
+  return InvalidArgumentError("unknown strategy: " + std::string(name));
+}
+
+std::string_view CacheModeName(CacheMode mode) noexcept {
+  switch (mode) {
+    case CacheMode::kNone: return "none";
+    case CacheMode::kDisk: return "disk";
+    case CacheMode::kMemory: return "memory";
+  }
+  return "?";
+}
+
+Result<CacheMode> ParseCacheMode(std::string_view name) {
+  if (name == "none") return CacheMode::kNone;
+  if (name == "disk") return CacheMode::kDisk;
+  if (name == "memory") return CacheMode::kMemory;
+  return InvalidArgumentError("unknown cache mode: " + std::string(name));
+}
+
+Status CacheAssembly::Finalize() {
+  if (mode != CacheMode::kMemory || !writeback || store == nullptr ||
+      bundle == nullptr) {
+    return Status::Ok();
+  }
+  auto* memory = static_cast<sentinel::MemoryDataStore*>(store.get());
+  return bundle->ReplaceData(ByteSpan(memory->contents()));
+}
+
+Result<CacheAssembly> AssembleCache(const std::string& host_path,
+                                    const sentinel::SentinelSpec& spec) {
+  CacheAssembly assembly;
+  auto cache_it = spec.config.find("cache");
+  if (cache_it != spec.config.end()) {
+    AFS_ASSIGN_OR_RETURN(assembly.mode, ParseCacheMode(cache_it->second));
+  }
+  auto wb_it = spec.config.find("writeback");
+  if (wb_it != spec.config.end()) assembly.writeback = wb_it->second != "0";
+
+  if (assembly.mode == CacheMode::kNone) return assembly;
+
+  AFS_ASSIGN_OR_RETURN(std::unique_ptr<BundleFile> opened,
+                       BundleFile::Open(host_path));
+  assembly.bundle = std::shared_ptr<BundleFile>(std::move(opened));
+  if (assembly.mode == CacheMode::kDisk) {
+    assembly.store = std::make_unique<BundleDataStore>(assembly.bundle);
+  } else {
+    AFS_ASSIGN_OR_RETURN(Buffer data, assembly.bundle->ReadAllData());
+    assembly.store =
+        std::make_unique<sentinel::MemoryDataStore>(std::move(data));
+  }
+  return assembly;
+}
+
+namespace {
+
+SentinelContext BuildContext(const OpenRequest& request,
+                             const CacheAssembly& cache) {
+  SentinelContext ctx;
+  ctx.cache = cache.store.get();
+  ctx.config = request.spec.config;
+  ctx.resolver = request.resolver;
+  ctx.lock_dir = request.lock_dir;
+  ctx.path = request.vfs_path;
+  return ctx;
+}
+
+// ---------------------------------------------------------------------
+// Stub for the command strategies (process-plus-control and thread): a
+// FileHandle whose every operation becomes a control message.
+class LinkHandle final : public vfs::FileHandle, public ActiveHandle {
+ public:
+  LinkHandle(sentinel::SentinelLink* link, std::shared_ptr<void> keepalive,
+             std::function<void()> cleanup)
+      : link_(link),
+        keepalive_(std::move(keepalive)),
+        cleanup_(std::move(cleanup)) {}
+
+  ~LinkHandle() override {
+    if (!closed_) RunCleanup();
+  }
+
+  Result<std::size_t> Read(MutableByteSpan out) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    ControlMessage msg;
+    msg.op = ControlOp::kRead;
+    msg.length = static_cast<std::uint32_t>(out.size());
+    msg.inline_out = out;
+    AFS_ASSIGN_OR_RETURN(ControlResponse resp, RoundTrip(msg));
+    if (!resp.payload.empty()) {
+      // Pipe lane: the data arrived in the response frame.
+      const std::size_t n = std::min(resp.payload.size(), out.size());
+      std::memcpy(out.data(), resp.payload.data(), n);
+      return n;
+    }
+    return static_cast<std::size_t>(resp.number);
+  }
+
+  Result<std::size_t> Write(ByteSpan data) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    ControlMessage msg;
+    msg.op = ControlOp::kWrite;
+    msg.length = static_cast<std::uint32_t>(data.size());
+    msg.inline_in = data;
+    AFS_ASSIGN_OR_RETURN(ControlResponse resp, RoundTrip(msg));
+    return static_cast<std::size_t>(resp.number);
+  }
+
+  Result<std::uint64_t> Seek(std::int64_t offset,
+                             vfs::SeekOrigin origin) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    ControlMessage msg;
+    msg.op = ControlOp::kSeek;
+    msg.offset = offset;
+    msg.origin = static_cast<std::uint8_t>(origin);
+    AFS_ASSIGN_OR_RETURN(ControlResponse resp, RoundTrip(msg));
+    return resp.number;
+  }
+
+  Result<std::uint64_t> Size() override {
+    std::lock_guard<std::mutex> lock(mu_);
+    ControlMessage msg;
+    msg.op = ControlOp::kGetSize;
+    AFS_ASSIGN_OR_RETURN(ControlResponse resp, RoundTrip(msg));
+    return resp.number;
+  }
+
+  Status SetEndOfFile() override { return SimpleOp(ControlOp::kSetEof); }
+  Status Flush() override { return SimpleOp(ControlOp::kFlush); }
+
+  Result<std::size_t> ReadScatter(
+      std::span<MutableByteSpan> segments) override {
+    // The control channel makes vectored reads expressible (paper §4.2) —
+    // they decompose into sequential reads at the sentinel's position.
+    std::size_t total = 0;
+    for (auto& segment : segments) {
+      AFS_ASSIGN_OR_RETURN(std::size_t n, Read(segment));
+      total += n;
+      if (n < segment.size()) break;
+    }
+    return total;
+  }
+
+  Status LockRange(std::uint64_t offset, std::uint64_t length) override {
+    return RangeOp(ControlOp::kLock, offset, length);
+  }
+  Status UnlockRange(std::uint64_t offset, std::uint64_t length) override {
+    return RangeOp(ControlOp::kUnlock, offset, length);
+  }
+
+  // Application-specific command (exposed via ActiveFileManager::Control).
+  Result<Buffer> Control(ByteSpan request) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    ControlMessage msg;
+    msg.op = ControlOp::kCustom;
+    msg.payload.assign(request.begin(), request.end());
+    AFS_ASSIGN_OR_RETURN(ControlResponse resp, RoundTrip(msg));
+    return std::move(resp.payload);
+  }
+
+  // Tears the connection down without the close protocol; used when the
+  // open banner reports failure (the sentinel loop has already exited).
+  void Abort() {
+    std::lock_guard<std::mutex> lock(mu_);
+    RunCleanup();
+  }
+
+  Status Close() override {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_) return Status::Ok();
+    ControlMessage msg;
+    msg.op = ControlOp::kClose;
+    Status status = Status::Ok();
+    Result<ControlResponse> resp = RoundTrip(msg);
+    if (resp.ok()) {
+      status = resp->status;
+    } else if (resp.status().code() != ErrorCode::kClosed) {
+      status = resp.status();
+    }
+    RunCleanup();
+    return status;
+  }
+
+ private:
+  Result<ControlResponse> RoundTrip(const ControlMessage& msg) {
+    if (closed_) return ClosedError("handle closed");
+    AFS_RETURN_IF_ERROR(link_->AF_SendControl(msg));
+    AFS_ASSIGN_OR_RETURN(ControlResponse resp, link_->AF_GetResponse());
+    if (msg.op != ControlOp::kClose && !resp.status.ok()) {
+      return resp.status;  // sentinel-side failure becomes the op's status
+    }
+    return resp;
+  }
+
+  Status SimpleOp(ControlOp op) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ControlMessage msg;
+    msg.op = op;
+    AFS_ASSIGN_OR_RETURN(ControlResponse resp, RoundTrip(msg));
+    (void)resp;
+    return Status::Ok();
+  }
+
+  Status RangeOp(ControlOp op, std::uint64_t offset, std::uint64_t length) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ControlMessage msg;
+    msg.op = op;
+    msg.offset = static_cast<std::int64_t>(offset);
+    msg.range_len = length;
+    AFS_ASSIGN_OR_RETURN(ControlResponse resp, RoundTrip(msg));
+    (void)resp;
+    return Status::Ok();
+  }
+
+  void RunCleanup() {
+    closed_ = true;
+    if (cleanup_) {
+      cleanup_();
+      cleanup_ = nullptr;
+    }
+  }
+
+  std::mutex mu_;
+  sentinel::SentinelLink* link_;
+  std::shared_ptr<void> keepalive_;
+  std::function<void()> cleanup_;
+  bool closed_ = false;
+};
+
+// ---------------------------------------------------------------------
+// DLL-only strategy: operations call the sentinel directly.
+class DirectHandle final : public vfs::FileHandle, public ActiveHandle {
+ public:
+  DirectHandle(std::unique_ptr<sentinel::Sentinel> sent, SentinelContext ctx,
+               CacheAssembly cache)
+      : sentinel_(std::move(sent)),
+        ctx_(std::move(ctx)),
+        cache_(std::move(cache)) {
+    ctx_.cache = cache_.store.get();
+  }
+
+  ~DirectHandle() override {
+    if (!closed_) (void)DoClose();
+  }
+
+  Result<std::size_t> Read(MutableByteSpan out) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_) return ClosedError("handle closed");
+    AFS_ASSIGN_OR_RETURN(std::size_t n, sentinel_->OnRead(ctx_, out));
+    ctx_.position += n;
+    return n;
+  }
+
+  Result<std::size_t> Write(ByteSpan data) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_) return ClosedError("handle closed");
+    AFS_ASSIGN_OR_RETURN(std::size_t n, sentinel_->OnWrite(ctx_, data));
+    ctx_.position += n;
+    return n;
+  }
+
+  Result<std::uint64_t> Seek(std::int64_t offset,
+                             vfs::SeekOrigin origin) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_) return ClosedError("handle closed");
+    return sentinel_->OnSeek(ctx_, offset, origin);
+  }
+
+  Result<std::uint64_t> Size() override {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_) return ClosedError("handle closed");
+    return sentinel_->OnGetSize(ctx_);
+  }
+
+  Status SetEndOfFile() override {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_) return ClosedError("handle closed");
+    return sentinel_->OnSetEof(ctx_);
+  }
+
+  Status Flush() override {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_) return ClosedError("handle closed");
+    return sentinel_->OnFlush(ctx_);
+  }
+
+  Result<std::size_t> ReadScatter(
+      std::span<MutableByteSpan> segments) override {
+    std::size_t total = 0;
+    for (auto& segment : segments) {
+      AFS_ASSIGN_OR_RETURN(std::size_t n, Read(segment));
+      total += n;
+      if (n < segment.size()) break;
+    }
+    return total;
+  }
+
+  Status LockRange(std::uint64_t offset, std::uint64_t length) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    return sentinel_->OnLock(ctx_, offset, length);
+  }
+  Status UnlockRange(std::uint64_t offset, std::uint64_t length) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    return sentinel_->OnUnlock(ctx_, offset, length);
+  }
+
+  Result<Buffer> Control(ByteSpan request) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_) return ClosedError("handle closed");
+    return sentinel_->OnControl(ctx_, request);
+  }
+
+  Status Close() override {
+    std::lock_guard<std::mutex> lock(mu_);
+    return DoClose();
+  }
+
+  Status Open() {
+    const Status status = sentinel_->OnOpen(ctx_);
+    // Mirror the dispatch loop's lifecycle: a failed OnOpen means no
+    // session — OnClose must not run and nothing is written back.
+    opened_ = status.ok();
+    if (!opened_) closed_ = true;
+    return status;
+  }
+
+ private:
+  Status DoClose() {
+    if (closed_) return Status::Ok();
+    closed_ = true;
+    const Status status = sentinel_->OnClose(ctx_);
+    const Status flushed = cache_.Finalize();
+    return status.ok() ? flushed : status;
+  }
+
+  std::mutex mu_;
+  std::unique_ptr<sentinel::Sentinel> sentinel_;
+  SentinelContext ctx_;
+  CacheAssembly cache_;
+  bool opened_ = false;
+  bool closed_ = false;
+};
+
+// ---------------------------------------------------------------------
+// Plain process strategy stub: raw pipe ends, no control channel.
+class ProcessHandle final : public vfs::FileHandle {
+ public:
+  ProcessHandle(ipc::PipeEnd to_sentinel, ipc::PipeEnd from_sentinel,
+                ipc::ChildProcess child)
+      : to_sentinel_(std::move(to_sentinel)),
+        from_sentinel_(std::move(from_sentinel)),
+        child_(std::move(child)) {}
+
+  Result<std::size_t> Read(MutableByteSpan out) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_) return ClosedError("handle closed");
+    return from_sentinel_.ReadSome(out);
+  }
+
+  Result<std::size_t> Write(ByteSpan data) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_) return ClosedError("handle closed");
+    AFS_RETURN_IF_ERROR(to_sentinel_.WriteAll(data));
+    return data.size();
+  }
+
+  // No control channel: these cannot travel to the sentinel (paper §4.1 —
+  // "operations such as ReadFileScatter (or seek in Unix) and GetFileSize
+  // cannot be implemented").
+  Result<std::uint64_t> Seek(std::int64_t, vfs::SeekOrigin) override {
+    return UnsupportedError("seek not supported by process strategy");
+  }
+  Result<std::uint64_t> Size() override {
+    return UnsupportedError("GetFileSize not supported by process strategy");
+  }
+
+  Status Close() override {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_) return Status::Ok();
+    closed_ = true;
+    to_sentinel_.Close();    // sentinel's writer loop sees EOF
+    from_sentinel_.Close();  // unblocks an eagerly-pushing sentinel (EPIPE)
+    AFS_ASSIGN_OR_RETURN(int code, child_.Wait());
+    if (code != 0) {
+      return InternalError("sentinel exited with code " +
+                           std::to_string(code));
+    }
+    return Status::Ok();
+  }
+
+ private:
+  std::mutex mu_;
+  ipc::PipeEnd to_sentinel_;
+  ipc::PipeEnd from_sentinel_;
+  ipc::ChildProcess child_;
+  bool closed_ = false;
+};
+
+// ---------------------------------------------------------------------
+
+Result<std::unique_ptr<vfs::FileHandle>> OpenDirect(
+    const sentinel::SentinelRegistry& registry, const OpenRequest& request) {
+  AFS_ASSIGN_OR_RETURN(CacheAssembly cache,
+                       AssembleCache(request.host_path, request.spec));
+  AFS_ASSIGN_OR_RETURN(std::unique_ptr<sentinel::Sentinel> sent,
+                       registry.Create(request.spec));
+  SentinelContext ctx = BuildContext(request, cache);
+  auto handle = std::make_unique<DirectHandle>(std::move(sent),
+                                               std::move(ctx),
+                                               std::move(cache));
+  AFS_RETURN_IF_ERROR(handle->Open());
+  return std::unique_ptr<vfs::FileHandle>(std::move(handle));
+}
+
+Result<std::unique_ptr<vfs::FileHandle>> OpenThread(
+    const sentinel::SentinelRegistry& registry, const OpenRequest& request) {
+  struct Resources {
+    ThreadRendezvous rendezvous;
+    std::unique_ptr<sentinel::Sentinel> sent;
+    SentinelContext ctx;
+    CacheAssembly cache;
+    std::thread worker;
+  };
+  auto res = std::make_shared<Resources>();
+  AFS_ASSIGN_OR_RETURN(res->cache,
+                       AssembleCache(request.host_path, request.spec));
+  AFS_ASSIGN_OR_RETURN(res->sent, registry.Create(request.spec));
+  res->ctx = BuildContext(request, res->cache);
+
+  // "Inject" the sentinel: a thread inside the application's process.
+  Resources* raw = res.get();
+  res->worker = std::thread([raw] {
+    (void)sentinel::RunSentinelLoop(*raw->sent, raw->rendezvous, raw->ctx);
+    (void)raw->cache.Finalize();
+  });
+
+  auto cleanup = [res]() {
+    res->rendezvous.Shutdown();
+    if (res->worker.joinable()) res->worker.join();
+  };
+  auto handle = std::make_unique<LinkHandle>(&res->rendezvous, res, cleanup);
+
+  // Open banner: OnOpen's status decides whether the open succeeds.
+  Result<ControlResponse> banner = res->rendezvous.AF_GetResponse();
+  if (!banner.ok() || !banner->status.ok()) {
+    handle->Abort();
+    return banner.ok() ? banner->status : banner.status();
+  }
+  return std::unique_ptr<vfs::FileHandle>(std::move(handle));
+}
+
+// The "exec" config key switches the process strategies to the paper's
+// literal model: the active part is an external sentinel executable,
+// launched fresh rather than forked from the application.
+std::string ExecPath(const OpenRequest& request) {
+  auto it = request.spec.config.find("exec");
+  return it == request.spec.config.end() ? std::string() : it->second;
+}
+
+Result<std::unique_ptr<vfs::FileHandle>> OpenProcessControl(
+    const sentinel::SentinelRegistry& registry, const OpenRequest& request) {
+  struct Resources {
+    std::unique_ptr<PipeLink> link;
+    ipc::ChildProcess child;
+  };
+  ipc::IgnoreSigpipe();
+
+  AFS_ASSIGN_OR_RETURN(auto pipes, CreatePipePair());
+  auto res = std::make_shared<Resources>();
+  res->link = std::make_unique<PipeLink>(std::move(pipes.first));
+
+  const std::string exec_path = ExecPath(request);
+  if (!exec_path.empty()) {
+    // fork+exec of the sentinel executable; it reopens the bundle itself.
+    // The app-side ends must not leak into the exec'd image, or the
+    // sentinel never observes EOF when the application closes.
+    AFS_RETURN_IF_ERROR(res->link->SetCloexec());
+    PipeEndpointFds fds = std::move(pipes.second);
+    Result<ipc::ChildProcess> spawned = ipc::SpawnExec(
+        {exec_path, "--mode=control",
+         "--control-fd=" + std::to_string(fds.control_read.fd()),
+         "--response-fd=" + std::to_string(fds.response_write.fd()),
+         "--data-fd=" + std::to_string(fds.data_read.fd()),
+         "--bundle=" + request.host_path, "--path=" + request.vfs_path,
+         "--lockdir=" + request.lock_dir});
+    AFS_RETURN_IF_ERROR(spawned.status());
+    res->child = std::move(*spawned);
+    // fds destruct here: the parent's copies close, the child's survive
+    // the exec.
+  } else {
+    AFS_ASSIGN_OR_RETURN(CacheAssembly cache,
+                         AssembleCache(request.host_path, request.spec));
+    AFS_ASSIGN_OR_RETURN(std::unique_ptr<sentinel::Sentinel> sent,
+                         registry.Create(request.spec));
+    SentinelContext ctx = BuildContext(request, cache);
+
+    PipeEndpoint endpoint(std::move(pipes.second));
+    // The child's copy of the stack keeps every referenced object alive:
+    // it runs the loop inside this call frame and _exit()s.
+    Result<ipc::ChildProcess> spawned = ipc::SpawnFunction([&]() -> int {
+      res->link->Shutdown();  // child's copies of the app-side ends
+      const int code = sentinel::RunSentinelLoop(*sent, endpoint, ctx);
+      (void)cache.Finalize();
+      return code;
+    });
+    AFS_RETURN_IF_ERROR(spawned.status());
+    res->child = std::move(*spawned);
+    // Parent's copies of the sentinel-side ends close here (scope exit),
+    // so EOF propagates if either side dies.
+  }
+
+  auto cleanup = [res]() {
+    res->link->Shutdown();
+    (void)res->child.Wait();
+  };
+  auto handle = std::make_unique<LinkHandle>(res->link.get(), res, cleanup);
+
+  Result<ControlResponse> banner = res->link->AF_GetResponse();
+  if (!banner.ok() || !banner->status.ok()) {
+    handle->Abort();
+    return banner.ok() ? banner->status : banner.status();
+  }
+  return std::unique_ptr<vfs::FileHandle>(std::move(handle));
+}
+
+Result<std::unique_ptr<vfs::FileHandle>> OpenProcess(
+    const sentinel::SentinelRegistry& registry, const OpenRequest& request) {
+  ipc::IgnoreSigpipe();
+  // app -> sentinel (the sentinel's standard input in the paper's model).
+  AFS_ASSIGN_OR_RETURN(ipc::Pipe inbound, ipc::Pipe::Create());
+  // sentinel -> app (its standard output).
+  AFS_ASSIGN_OR_RETURN(ipc::Pipe outbound, ipc::Pipe::Create());
+
+  const std::string exec_path = ExecPath(request);
+  if (!exec_path.empty()) {
+    AFS_RETURN_IF_ERROR(inbound.write_end.SetCloexec());
+    AFS_RETURN_IF_ERROR(outbound.read_end.SetCloexec());
+    Result<ipc::ChildProcess> spawned = ipc::SpawnExec(
+        {exec_path, "--mode=stream",
+         "--in-fd=" + std::to_string(inbound.read_end.fd()),
+         "--out-fd=" + std::to_string(outbound.write_end.fd()),
+         "--bundle=" + request.host_path, "--path=" + request.vfs_path,
+         "--lockdir=" + request.lock_dir});
+    AFS_RETURN_IF_ERROR(spawned.status());
+    inbound.read_end.Close();
+    outbound.write_end.Close();
+    return std::unique_ptr<vfs::FileHandle>(std::make_unique<ProcessHandle>(
+        std::move(inbound.write_end), std::move(outbound.read_end),
+        std::move(*spawned)));
+  }
+
+  AFS_ASSIGN_OR_RETURN(CacheAssembly cache,
+                       AssembleCache(request.host_path, request.spec));
+  AFS_ASSIGN_OR_RETURN(std::unique_ptr<sentinel::Sentinel> sent,
+                       registry.Create(request.spec));
+  SentinelContext ctx = BuildContext(request, cache);
+
+  Result<ipc::ChildProcess> spawned = ipc::SpawnFunction([&]() -> int {
+    // Child's copies of the application-side ends must close for EOF.
+    inbound.write_end.Close();
+    outbound.read_end.Close();
+    sentinel::StreamIo io;
+    io.read_from_app = [&](MutableByteSpan out) {
+      return inbound.read_end.ReadSome(out);
+    };
+    io.write_to_app = [&](ByteSpan data) {
+      return outbound.write_end.WriteAll(data);
+    };
+    io.finish_output = [&]() { outbound.write_end.Close(); };
+    const int code = sentinel::RunStreamPump(*sent, io, ctx);
+    (void)cache.Finalize();
+    return code;
+  });
+  AFS_RETURN_IF_ERROR(spawned.status());
+
+  // Parent's copies of the sentinel-side ends.
+  inbound.read_end.Close();
+  outbound.write_end.Close();
+
+  return std::unique_ptr<vfs::FileHandle>(std::make_unique<ProcessHandle>(
+      std::move(inbound.write_end), std::move(outbound.read_end),
+      std::move(*spawned)));
+}
+
+}  // namespace
+
+Result<std::unique_ptr<vfs::FileHandle>> OpenWithStrategy(
+    Strategy strategy, const sentinel::SentinelRegistry& registry,
+    const OpenRequest& request) {
+  switch (strategy) {
+    case Strategy::kProcess:
+      return OpenProcess(registry, request);
+    case Strategy::kProcessControl:
+      return OpenProcessControl(registry, request);
+    case Strategy::kThread:
+      return OpenThread(registry, request);
+    case Strategy::kDirect:
+      return OpenDirect(registry, request);
+  }
+  return InvalidArgumentError("bad strategy");
+}
+
+}  // namespace afs::core

@@ -1,0 +1,86 @@
+// The four implementation strategies of paper Section 4 / Figure 4.
+//
+//   kProcess         — sentinel in a forked child, two anonymous pipes on
+//                      its standard streams; only read/write/close can
+//                      travel (Section 4.1's stated limitation).
+//   kProcessControl  — child plus a control channel carrying typed
+//                      commands, supporting the full file API (Section 4.2).
+//   kThread          — sentinel as an in-process thread over a shared-
+//                      memory rendezvous ("DLL-with-thread", Section 4.3).
+//   kDirect          — file operations call sentinel routines directly
+//                      ("DLL-only", Section 4.4); no extra thread, no
+//                      context switch.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "common/status.hpp"
+#include "core/bundle.hpp"
+#include "sentinel/context.hpp"
+#include "sentinel/registry.hpp"
+#include "vfs/file_handle.hpp"
+
+namespace afs::core {
+
+// Optional capability of active-file handles: application-specific
+// commands tunneled to the sentinel's OnControl (the control channel's
+// extensibility, paper Section 4.2).  Obtained by dynamic_cast from the
+// vfs::FileHandle, or via ActiveFileManager::Control.  The plain process
+// strategy has no control channel and does not implement it.
+class ActiveHandle {
+ public:
+  virtual ~ActiveHandle() = default;
+  virtual Result<Buffer> Control(ByteSpan request) = 0;
+};
+
+enum class Strategy : std::uint8_t {
+  kProcess = 1,
+  kProcessControl = 2,
+  kThread = 3,
+  kDirect = 4,
+};
+
+std::string_view StrategyName(Strategy strategy) noexcept;
+Result<Strategy> ParseStrategy(std::string_view name);
+
+enum class CacheMode : std::uint8_t { kNone = 0, kDisk = 1, kMemory = 2 };
+
+std::string_view CacheModeName(CacheMode mode) noexcept;
+Result<CacheMode> ParseCacheMode(std::string_view name);
+
+// The sentinel's view of the data part for one open, assembled per cache
+// mode.  kMemory loads the bundle's data region at open and (by default)
+// writes it back at close; kDisk operates on the region in place; kNone
+// exposes no data part.
+struct CacheAssembly {
+  std::unique_ptr<sentinel::DataStore> store;  // null for kNone
+  std::shared_ptr<BundleFile> bundle;          // null for kNone
+  CacheMode mode = CacheMode::kDisk;
+  bool writeback = true;
+
+  // Persists a memory cache back into the bundle.  Called after the
+  // sentinel's OnClose, in whichever process the sentinel ran in.
+  Status Finalize();
+};
+
+Result<CacheAssembly> AssembleCache(const std::string& host_path,
+                                    const sentinel::SentinelSpec& spec);
+
+// Everything a strategy needs to stand up one sentinel for one open.
+struct OpenRequest {
+  std::string vfs_path;   // what the application opened
+  std::string host_path;  // the bundle on the host filesystem
+  sentinel::SentinelSpec spec;
+  sentinel::RemoteResolver* resolver = nullptr;  // may be null
+  std::string lock_dir;
+};
+
+// Builds the application-side FileHandle (the "stub") for the given
+// strategy, spawning/injecting the sentinel as a side effect.  On error
+// nothing is left running.
+Result<std::unique_ptr<vfs::FileHandle>> OpenWithStrategy(
+    Strategy strategy, const sentinel::SentinelRegistry& registry,
+    const OpenRequest& request);
+
+}  // namespace afs::core

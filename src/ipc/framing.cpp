@@ -1,0 +1,40 @@
+#include "ipc/framing.hpp"
+
+namespace afs::ipc {
+
+Status WriteFrame(PipeEnd& pipe, ByteSpan payload) {
+  Buffer header;
+  header.reserve(4);
+  AppendU32(header, static_cast<std::uint32_t>(payload.size()));
+  AFS_RETURN_IF_ERROR(pipe.WriteAll(header));
+  if (!payload.empty()) {
+    AFS_RETURN_IF_ERROR(pipe.WriteAll(payload));
+  }
+  return Status::Ok();
+}
+
+Result<Buffer> ReadFrame(PipeEnd& pipe) {
+  std::uint8_t header[4];
+  // Distinguish clean EOF (peer done) from truncation: read the first byte
+  // separately.
+  AFS_ASSIGN_OR_RETURN(std::size_t first,
+                       pipe.ReadSome(MutableByteSpan(header, 1)));
+  if (first == 0) return ClosedError("frame stream ended");
+  AFS_RETURN_IF_ERROR(pipe.ReadExact(MutableByteSpan(header + 1, 3)));
+
+  std::uint32_t len = 0;
+  for (int i = 0; i < 4; ++i) {
+    len |= static_cast<std::uint32_t>(header[i]) << (8 * i);
+  }
+  if (len > kMaxFrameBytes) {
+    return ProtocolError("frame length " + std::to_string(len) +
+                         " exceeds limit");
+  }
+  Buffer payload(len);
+  if (len > 0) {
+    AFS_RETURN_IF_ERROR(pipe.ReadExact(MutableByteSpan(payload)));
+  }
+  return payload;
+}
+
+}  // namespace afs::ipc

@@ -1,0 +1,23 @@
+// Length-prefixed message framing over pipe ends.  The process-plus-control
+// strategy sends typed commands ("read 50", "write 30", …) over the control
+// pipe; frames give those commands boundaries on a byte-stream transport.
+#pragma once
+
+#include "common/bytes.hpp"
+#include "common/status.hpp"
+#include "ipc/pipe.hpp"
+
+namespace afs::ipc {
+
+// Maximum accepted frame payload.  Large enough for any control message or
+// data block the strategies move; bounds memory on a corrupt length prefix.
+inline constexpr std::size_t kMaxFrameBytes = 16 * 1024 * 1024;
+
+// Writes a u32 little-endian length followed by the payload.
+Status WriteFrame(PipeEnd& pipe, ByteSpan payload);
+
+// Reads one frame; kClosed at clean EOF (no partial frame read), kProtocol
+// on oversized length, kClosed on truncation mid-frame.
+Result<Buffer> ReadFrame(PipeEnd& pipe);
+
+}  // namespace afs::ipc

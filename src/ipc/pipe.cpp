@@ -1,0 +1,74 @@
+#include "ipc/pipe.hpp"
+
+#include <cerrno>
+#include <cstring>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+namespace afs::ipc {
+
+void PipeEnd::Close() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status PipeEnd::SetCloexec() {
+  if (!valid()) return ClosedError("cloexec on closed pipe end");
+  const int flags = ::fcntl(fd_, F_GETFD);
+  if (flags < 0 || ::fcntl(fd_, F_SETFD, flags | FD_CLOEXEC) != 0) {
+    return IoError(std::string("fcntl FD_CLOEXEC: ") + std::strerror(errno));
+  }
+  return Status::Ok();
+}
+
+Result<std::size_t> PipeEnd::ReadSome(MutableByteSpan out) {
+  if (!valid()) return ClosedError("read on closed pipe end");
+  while (true) {
+    const ssize_t n = ::read(fd_, out.data(), out.size());
+    if (n >= 0) return static_cast<std::size_t>(n);
+    if (errno == EINTR) continue;
+    return IoError(std::string("pipe read: ") + std::strerror(errno));
+  }
+}
+
+Status PipeEnd::ReadExact(MutableByteSpan out) {
+  std::size_t done = 0;
+  while (done < out.size()) {
+    AFS_ASSIGN_OR_RETURN(std::size_t n,
+                         ReadSome(out.subspan(done, out.size() - done)));
+    if (n == 0) return ClosedError("pipe peer closed mid-message");
+    done += n;
+  }
+  return Status::Ok();
+}
+
+Status PipeEnd::WriteAll(ByteSpan bytes) {
+  if (!valid()) return ClosedError("write on closed pipe end");
+  std::size_t done = 0;
+  while (done < bytes.size()) {
+    const ssize_t n = ::write(fd_, bytes.data() + done, bytes.size() - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EPIPE) return ClosedError("pipe peer closed");
+      return IoError(std::string("pipe write: ") + std::strerror(errno));
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  return Status::Ok();
+}
+
+Result<Pipe> Pipe::Create() {
+  int fds[2];
+  if (::pipe(fds) != 0) {
+    return IoError(std::string("pipe: ") + std::strerror(errno));
+  }
+  Pipe p;
+  p.read_end = PipeEnd(fds[0]);
+  p.write_end = PipeEnd(fds[1]);
+  return p;
+}
+
+}  // namespace afs::ipc

@@ -1,0 +1,66 @@
+// RAII POSIX pipe endpoints.  The paper's process-based strategies attach
+// anonymous pipes to the sentinel's standard input/output (Section 4.1);
+// Pipe/PipeEnd are the equivalent, with the blocking read/write-exact
+// helpers every strategy needs.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+
+#include "common/bytes.hpp"
+#include "common/status.hpp"
+
+namespace afs::ipc {
+
+// One end (read or write) of a pipe; owns the file descriptor.
+class PipeEnd {
+ public:
+  PipeEnd() noexcept = default;
+  explicit PipeEnd(int fd) noexcept : fd_(fd) {}
+  ~PipeEnd() { Close(); }
+
+  PipeEnd(PipeEnd&& other) noexcept : fd_(std::exchange(other.fd_, -1)) {}
+  PipeEnd& operator=(PipeEnd&& other) noexcept {
+    if (this != &other) {
+      Close();
+      fd_ = std::exchange(other.fd_, -1);
+    }
+    return *this;
+  }
+  PipeEnd(const PipeEnd&) = delete;
+  PipeEnd& operator=(const PipeEnd&) = delete;
+
+  bool valid() const noexcept { return fd_ >= 0; }
+  int fd() const noexcept { return fd_; }
+
+  // Releases ownership of the descriptor to the caller.
+  int Release() noexcept { return std::exchange(fd_, -1); }
+
+  void Close() noexcept;
+
+  // Marks the descriptor close-on-exec.  Application-side ends must not
+  // leak into exec'd sentinel children, or EOF never propagates.
+  Status SetCloexec();
+
+  // Single read(2); returns 0 at EOF (peer closed).
+  Result<std::size_t> ReadSome(MutableByteSpan out);
+
+  // Reads exactly out.size() bytes or fails (kClosed on premature EOF).
+  Status ReadExact(MutableByteSpan out);
+
+  // Writes all bytes, retrying on short writes and EINTR.
+  Status WriteAll(ByteSpan bytes);
+
+ private:
+  int fd_ = -1;
+};
+
+// An anonymous pipe pair.
+struct Pipe {
+  PipeEnd read_end;
+  PipeEnd write_end;
+
+  static Result<Pipe> Create();
+};
+
+}  // namespace afs::ipc

@@ -1,0 +1,108 @@
+#include "ipc/process.hpp"
+
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+#include <utility>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+namespace afs::ipc {
+
+ChildProcess::~ChildProcess() { Kill(); }
+
+ChildProcess::ChildProcess(ChildProcess&& other) noexcept
+    : pid_(std::exchange(other.pid_, -1)),
+      reaped_(std::exchange(other.reaped_, false)),
+      exit_code_(other.exit_code_) {}
+
+ChildProcess& ChildProcess::operator=(ChildProcess&& other) noexcept {
+  if (this != &other) {
+    Kill();
+    pid_ = std::exchange(other.pid_, -1);
+    reaped_ = std::exchange(other.reaped_, false);
+    exit_code_ = other.exit_code_;
+  }
+  return *this;
+}
+
+Result<int> ChildProcess::Wait() {
+  if (!valid()) return InvalidArgumentError("wait on invalid child");
+  if (reaped_) return exit_code_;
+  int status = 0;
+  while (true) {
+    const pid_t r = ::waitpid(pid_, &status, 0);
+    if (r == pid_) break;
+    if (r < 0 && errno == EINTR) continue;
+    return IoError(std::string("waitpid: ") + std::strerror(errno));
+  }
+  reaped_ = true;
+  exit_code_ = WIFEXITED(status) ? WEXITSTATUS(status)
+                                 : 128 + (WIFSIGNALED(status)
+                                              ? WTERMSIG(status)
+                                              : 0);
+  return exit_code_;
+}
+
+void ChildProcess::Kill() noexcept {
+  if (!valid() || reaped_) {
+    pid_ = reaped_ ? pid_ : -1;
+    return;
+  }
+  // Offer a clean exit first (sentinels exit on pipe EOF), then force.
+  int status = 0;
+  pid_t r = ::waitpid(pid_, &status, WNOHANG);
+  if (r != pid_) {
+    ::kill(pid_, SIGKILL);
+    while (::waitpid(pid_, &status, 0) < 0 && errno == EINTR) {
+    }
+  }
+  reaped_ = true;
+}
+
+Result<ChildProcess> SpawnFunction(std::function<int()> body) {
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    return IoError(std::string("fork: ") + std::strerror(errno));
+  }
+  if (pid == 0) {
+    int code = 0;
+    // The child must never unwind into the parent's test/benchmark harness.
+    try {
+      code = body();
+    } catch (...) {
+      code = 113;
+    }
+    ::_exit(code);
+  }
+  return ChildProcess(pid);
+}
+
+Result<ChildProcess> SpawnExec(const std::vector<std::string>& argv) {
+  if (argv.empty()) return InvalidArgumentError("empty argv");
+  std::vector<char*> cargv;
+  cargv.reserve(argv.size() + 1);
+  for (const auto& a : argv) cargv.push_back(const_cast<char*>(a.c_str()));
+  cargv.push_back(nullptr);
+
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    return IoError(std::string("fork: ") + std::strerror(errno));
+  }
+  if (pid == 0) {
+    ::execv(cargv[0], cargv.data());
+    ::_exit(127);
+  }
+  return ChildProcess(pid);
+}
+
+void IgnoreSigpipe() {
+  static const int once = [] {
+    std::signal(SIGPIPE, SIG_IGN);
+    return 0;
+  }();
+  (void)once;
+}
+
+}  // namespace afs::ipc

@@ -1,0 +1,60 @@
+// Child-process management.  The process-based strategies launch the active
+// part as a real OS process (paper Section 4.1); ChildProcess owns its
+// lifetime.  Two launch modes:
+//   - SpawnFunction: fork() and run a callable in the child — used by the
+//     strategies, whose sentinel logic is registered in-process.
+//   - SpawnExec: fork()+execv() of an external sentinel executable — used by
+//     the sentineld example, matching the paper's literal model.
+#pragma once
+
+#include <sys/types.h>
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace afs::ipc {
+
+class ChildProcess {
+ public:
+  ChildProcess() noexcept = default;
+  explicit ChildProcess(pid_t pid) noexcept : pid_(pid) {}
+  ~ChildProcess();
+
+  ChildProcess(ChildProcess&& other) noexcept;
+  ChildProcess& operator=(ChildProcess&& other) noexcept;
+  ChildProcess(const ChildProcess&) = delete;
+  ChildProcess& operator=(const ChildProcess&) = delete;
+
+  bool valid() const noexcept { return pid_ > 0; }
+  pid_t pid() const noexcept { return pid_; }
+
+  // Blocks until the child exits; returns its exit code.  Idempotent —
+  // subsequent calls return the first result.
+  Result<int> Wait();
+
+  // SIGKILLs the child if still running, then reaps it.
+  void Kill() noexcept;
+
+ private:
+  pid_t pid_ = -1;
+  bool reaped_ = false;
+  int exit_code_ = 0;
+};
+
+// Forks and runs `body` in the child; the child exits with body's return
+// value via _exit (no atexit handlers, no stack unwinding into the parent's
+// state).  `body` must not touch parent-owned threads, which do not survive
+// the fork.
+Result<ChildProcess> SpawnFunction(std::function<int()> body);
+
+// Forks and execs argv[0] with the given arguments.
+Result<ChildProcess> SpawnExec(const std::vector<std::string>& argv);
+
+// Installs SIG_IGN for SIGPIPE once per process.  Pipe-based strategies
+// must see EPIPE as an error return, not a fatal signal.
+void IgnoreSigpipe();
+
+}  // namespace afs::ipc

@@ -1,0 +1,71 @@
+#include "ipc/shm_channel.hpp"
+
+namespace afs::ipc {
+
+Status ShmChannel::Write(ByteSpan bytes) {
+  std::size_t done = 0;
+  std::unique_lock<std::mutex> lock(mu_);
+  while (done < bytes.size()) {
+    writable_.wait(lock, [&] { return closed_ || !ring_.full(); });
+    if (closed_) return ClosedError("shm channel closed");
+    done += ring_.Write(bytes.subspan(done));
+    readable_.notify_one();
+  }
+  return Status::Ok();
+}
+
+Result<std::size_t> ShmChannel::ReadSome(MutableByteSpan out) {
+  if (out.empty()) return std::size_t{0};
+  std::unique_lock<std::mutex> lock(mu_);
+  readable_.wait(lock, [&] { return closed_ || !ring_.empty(); });
+  if (ring_.empty()) return std::size_t{0};  // closed and drained
+  const std::size_t n = ring_.Read(out);
+  writable_.notify_one();
+  return n;
+}
+
+Status ShmChannel::ReadExact(MutableByteSpan out) {
+  std::size_t done = 0;
+  while (done < out.size()) {
+    AFS_ASSIGN_OR_RETURN(std::size_t n,
+                         ReadSome(out.subspan(done, out.size() - done)));
+    if (n == 0) return ClosedError("shm channel ended mid-message");
+    done += n;
+  }
+  return Status::Ok();
+}
+
+void ShmChannel::Close() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+  }
+  readable_.notify_all();
+  writable_.notify_all();
+}
+
+void Event::Signal() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++pending_;
+  }
+  cv_.notify_one();
+}
+
+bool Event::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] { return pending_ > 0 || shutdown_; });
+  if (pending_ == 0) return false;
+  --pending_;
+  return true;
+}
+
+void Event::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+}
+
+}  // namespace afs::ipc

@@ -1,0 +1,76 @@
+// In-process shared-memory byte channel.  Appendix A.3 of the paper
+// implements the AF_* data-transfer calls of the DLL-with-thread strategy
+// "using events and shared memory"; ShmChannel is that transport: a bounded
+// ring shared between the application thread and the injected sentinel
+// thread, with exactly one user-level copy per side and no kernel
+// involvement beyond futex waits.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#include "common/bytes.hpp"
+#include "common/status.hpp"
+#include "util/ring_buffer.hpp"
+
+namespace afs::ipc {
+
+class ShmChannel {
+ public:
+  explicit ShmChannel(std::size_t capacity = 64 * 1024) : ring_(capacity) {}
+
+  ShmChannel(const ShmChannel&) = delete;
+  ShmChannel& operator=(const ShmChannel&) = delete;
+
+  // Writes all bytes, blocking while the ring is full.  Fails with kClosed
+  // if the channel is closed before everything is accepted.
+  Status Write(ByteSpan bytes);
+
+  // Blocks until at least one byte is available or the write side closed;
+  // returns 0 only at end-of-stream (closed and drained).
+  Result<std::size_t> ReadSome(MutableByteSpan out);
+
+  // Reads exactly out.size() bytes; kClosed on premature end-of-stream.
+  Status ReadExact(MutableByteSpan out);
+
+  // Signals end-of-stream: readers drain buffered bytes then see EOF;
+  // writers fail immediately.
+  void Close();
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+  std::size_t buffered() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return ring_.size();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable readable_;
+  std::condition_variable writable_;
+  RingBuffer ring_;
+  bool closed_ = false;
+};
+
+// Binary event ("manual-reset" false): Signal wakes exactly one waiter.
+// Mirrors the Win32 events the paper's implementation pairs with shared
+// memory.
+class Event {
+ public:
+  void Signal();
+  // Blocks until signalled; consumes the signal.  Returns false if the
+  // event was shut down.
+  bool Wait();
+  void Shutdown();
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  unsigned pending_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace afs::ipc

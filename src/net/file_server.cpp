@@ -1,0 +1,340 @@
+#include "net/file_server.hpp"
+
+#include <algorithm>
+
+#include "util/strings.hpp"
+
+namespace afs::net {
+
+Status FileServer::Put(const std::string& path, ByteSpan data) {
+  if (path.empty()) return InvalidArgumentError("empty path");
+  std::uint64_t rev;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    Entry& entry = files_[path];
+    entry.data.assign(data.begin(), data.end());
+    entry.revision = rev = next_revision_++;
+  }
+  NotifyChanged(path, rev);
+  return Status::Ok();
+}
+
+Status FileServer::Append(const std::string& path, ByteSpan data) {
+  if (path.empty()) return InvalidArgumentError("empty path");
+  std::uint64_t rev;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    Entry& entry = files_[path];
+    entry.data.insert(entry.data.end(), data.begin(), data.end());
+    entry.revision = rev = next_revision_++;
+  }
+  NotifyChanged(path, rev);
+  return Status::Ok();
+}
+
+Status FileServer::PutRange(const std::string& path, std::uint64_t offset,
+                            ByteSpan data) {
+  if (path.empty()) return InvalidArgumentError("empty path");
+  std::uint64_t rev;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    Entry& entry = files_[path];
+    const std::uint64_t end = offset + data.size();
+    if (end > entry.data.size()) {
+      entry.data.resize(static_cast<std::size_t>(end), 0);
+    }
+    std::copy(data.begin(), data.end(), entry.data.begin() + offset);
+    entry.revision = rev = next_revision_++;
+  }
+  NotifyChanged(path, rev);
+  return Status::Ok();
+}
+
+Result<Buffer> FileServer::Get(const std::string& path) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = files_.find(path);
+  if (it == files_.end()) return NotFoundError("no remote file: " + path);
+  return it->second.data;
+}
+
+FileStat FileServer::Stat(const std::string& path) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = files_.find(path);
+  if (it == files_.end()) return FileStat{};
+  return FileStat{true, it->second.data.size(), it->second.revision};
+}
+
+Status FileServer::Delete(const std::string& path) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (files_.erase(path) == 0) {
+      return NotFoundError("no remote file: " + path);
+    }
+  }
+  NotifyChanged(path, 0);
+  return Status::Ok();
+}
+
+std::vector<std::string> FileServer::List(const std::string& prefix) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  for (const auto& [path, entry] : files_) {
+    if (StartsWith(path, prefix)) names.push_back(path);
+  }
+  return names;
+}
+
+std::uint64_t FileServer::Subscribe(ChangeCallback callback) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::uint64_t id = next_subscriber_++;
+  subscribers_[id] = std::move(callback);
+  return id;
+}
+
+void FileServer::Unsubscribe(std::uint64_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  subscribers_.erase(id);
+}
+
+void FileServer::NotifyChanged(const std::string& path,
+                               std::uint64_t revision) {
+  std::vector<ChangeCallback> callbacks;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    callbacks.reserve(subscribers_.size());
+    for (const auto& [id, cb] : subscribers_) callbacks.push_back(cb);
+  }
+  for (const auto& cb : callbacks) cb(path, revision);
+}
+
+Result<Buffer> FileServer::Handle(ByteSpan request) {
+  ByteReader reader(request);
+  std::uint8_t op = 0;
+  std::string path;
+  if (!reader.ReadU8(op) || !reader.ReadLenPrefixedString(path)) {
+    return ProtocolError("malformed file request");
+  }
+  Buffer out;
+  switch (static_cast<FileOp>(op)) {
+    case FileOp::kGet: {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = files_.find(path);
+      if (it == files_.end()) return NotFoundError("no remote file: " + path);
+      AppendU64(out, it->second.revision);
+      AppendLenPrefixed(out, ByteSpan(it->second.data));
+      return out;
+    }
+    case FileOp::kGetRange: {
+      std::uint64_t offset = 0;
+      std::uint32_t length = 0;
+      if (!reader.ReadU64(offset) || !reader.ReadU32(length)) {
+        return ProtocolError("malformed GETRANGE");
+      }
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = files_.find(path);
+      if (it == files_.end()) return NotFoundError("no remote file: " + path);
+      const Buffer& data = it->second.data;
+      const std::uint64_t begin = std::min<std::uint64_t>(offset, data.size());
+      const std::uint64_t end =
+          std::min<std::uint64_t>(begin + length, data.size());
+      AppendU64(out, it->second.revision);
+      AppendLenPrefixed(
+          out, ByteSpan(data.data() + begin, static_cast<std::size_t>(end - begin)));
+      return out;
+    }
+    case FileOp::kGetIf: {
+      std::uint64_t known = 0;
+      if (!reader.ReadU64(known)) return ProtocolError("malformed GETIF");
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = files_.find(path);
+      if (it == files_.end()) return NotFoundError("no remote file: " + path);
+      if (it->second.revision == known) {
+        out.push_back(0);  // not modified
+        return out;
+      }
+      out.push_back(1);
+      AppendU64(out, it->second.revision);
+      AppendLenPrefixed(out, ByteSpan(it->second.data));
+      return out;
+    }
+    case FileOp::kPut:
+    case FileOp::kAppend: {
+      ByteSpan data;
+      if (!reader.ReadLenPrefixed(data)) {
+        return ProtocolError("malformed PUT/APPEND");
+      }
+      const Status status = static_cast<FileOp>(op) == FileOp::kPut
+                                ? Put(path, data)
+                                : Append(path, data);
+      AFS_RETURN_IF_ERROR(status);
+      AppendU64(out, Stat(path).revision);
+      return out;
+    }
+    case FileOp::kPutRange: {
+      std::uint64_t offset = 0;
+      ByteSpan data;
+      if (!reader.ReadU64(offset) || !reader.ReadLenPrefixed(data)) {
+        return ProtocolError("malformed PUTRANGE");
+      }
+      AFS_RETURN_IF_ERROR(PutRange(path, offset, data));
+      AppendU64(out, Stat(path).revision);
+      return out;
+    }
+    case FileOp::kStat: {
+      const FileStat stat = Stat(path);
+      out.push_back(stat.exists ? 1 : 0);
+      AppendU64(out, stat.size);
+      AppendU64(out, stat.revision);
+      return out;
+    }
+    case FileOp::kDelete: {
+      AFS_RETURN_IF_ERROR(Delete(path));
+      return out;
+    }
+    case FileOp::kList: {
+      const std::vector<std::string> names = List(path);
+      AppendU32(out, static_cast<std::uint32_t>(names.size()));
+      for (const auto& name : names) AppendLenPrefixed(out, name);
+      return out;
+    }
+  }
+  return ProtocolError("unknown file opcode " + std::to_string(op));
+}
+
+namespace {
+
+Buffer MakeRequest(FileOp op, const std::string& path) {
+  Buffer req;
+  req.push_back(static_cast<std::uint8_t>(op));
+  AppendLenPrefixed(req, path);
+  return req;
+}
+
+}  // namespace
+
+Result<FileClient::GetResult> FileClient::Get(const std::string& path) {
+  AFS_ASSIGN_OR_RETURN(Buffer resp,
+                       transport_.Call(MakeRequest(FileOp::kGet, path)));
+  ByteReader reader(resp);
+  GetResult result;
+  ByteSpan data;
+  if (!reader.ReadU64(result.revision) || !reader.ReadLenPrefixed(data)) {
+    return ProtocolError("malformed GET response");
+  }
+  result.data.assign(data.begin(), data.end());
+  return result;
+}
+
+Result<FileClient::GetResult> FileClient::GetRange(const std::string& path,
+                                                   std::uint64_t offset,
+                                                   std::uint32_t length) {
+  Buffer req = MakeRequest(FileOp::kGetRange, path);
+  AppendU64(req, offset);
+  AppendU32(req, length);
+  AFS_ASSIGN_OR_RETURN(Buffer resp, transport_.Call(req));
+  ByteReader reader(resp);
+  GetResult result;
+  ByteSpan data;
+  if (!reader.ReadU64(result.revision) || !reader.ReadLenPrefixed(data)) {
+    return ProtocolError("malformed GETRANGE response");
+  }
+  result.data.assign(data.begin(), data.end());
+  return result;
+}
+
+Result<std::optional<FileClient::GetResult>> FileClient::GetIfModified(
+    const std::string& path, std::uint64_t known_revision) {
+  Buffer req = MakeRequest(FileOp::kGetIf, path);
+  AppendU64(req, known_revision);
+  AFS_ASSIGN_OR_RETURN(Buffer resp, transport_.Call(req));
+  ByteReader reader(resp);
+  std::uint8_t modified = 0;
+  if (!reader.ReadU8(modified)) return ProtocolError("malformed GETIF response");
+  if (modified == 0) return std::optional<GetResult>();
+  GetResult result;
+  ByteSpan data;
+  if (!reader.ReadU64(result.revision) || !reader.ReadLenPrefixed(data)) {
+    return ProtocolError("malformed GETIF response");
+  }
+  result.data.assign(data.begin(), data.end());
+  return std::optional<GetResult>(std::move(result));
+}
+
+Result<std::uint64_t> FileClient::Put(const std::string& path, ByteSpan data) {
+  Buffer req = MakeRequest(FileOp::kPut, path);
+  AppendLenPrefixed(req, data);
+  AFS_ASSIGN_OR_RETURN(Buffer resp, transport_.Call(req));
+  ByteReader reader(resp);
+  std::uint64_t revision = 0;
+  if (!reader.ReadU64(revision)) return ProtocolError("malformed PUT response");
+  return revision;
+}
+
+Result<std::uint64_t> FileClient::Append(const std::string& path,
+                                         ByteSpan data) {
+  Buffer req = MakeRequest(FileOp::kAppend, path);
+  AppendLenPrefixed(req, data);
+  AFS_ASSIGN_OR_RETURN(Buffer resp, transport_.Call(req));
+  ByteReader reader(resp);
+  std::uint64_t revision = 0;
+  if (!reader.ReadU64(revision)) {
+    return ProtocolError("malformed APPEND response");
+  }
+  return revision;
+}
+
+Result<std::uint64_t> FileClient::PutRange(const std::string& path,
+                                           std::uint64_t offset,
+                                           ByteSpan data) {
+  Buffer req = MakeRequest(FileOp::kPutRange, path);
+  AppendU64(req, offset);
+  AppendLenPrefixed(req, data);
+  AFS_ASSIGN_OR_RETURN(Buffer resp, transport_.Call(req));
+  ByteReader reader(resp);
+  std::uint64_t revision = 0;
+  if (!reader.ReadU64(revision)) {
+    return ProtocolError("malformed PUTRANGE response");
+  }
+  return revision;
+}
+
+Result<FileStat> FileClient::Stat(const std::string& path) {
+  AFS_ASSIGN_OR_RETURN(Buffer resp,
+                       transport_.Call(MakeRequest(FileOp::kStat, path)));
+  ByteReader reader(resp);
+  std::uint8_t exists = 0;
+  FileStat stat;
+  if (!reader.ReadU8(exists) || !reader.ReadU64(stat.size) ||
+      !reader.ReadU64(stat.revision)) {
+    return ProtocolError("malformed STAT response");
+  }
+  stat.exists = exists != 0;
+  return stat;
+}
+
+Status FileClient::Delete(const std::string& path) {
+  AFS_ASSIGN_OR_RETURN(Buffer resp,
+                       transport_.Call(MakeRequest(FileOp::kDelete, path)));
+  (void)resp;
+  return Status::Ok();
+}
+
+Result<std::vector<std::string>> FileClient::List(const std::string& prefix) {
+  AFS_ASSIGN_OR_RETURN(Buffer resp,
+                       transport_.Call(MakeRequest(FileOp::kList, prefix)));
+  ByteReader reader(resp);
+  std::uint32_t count = 0;
+  if (!reader.ReadU32(count)) return ProtocolError("malformed LIST response");
+  std::vector<std::string> names;
+  names.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    std::string name;
+    if (!reader.ReadLenPrefixedString(name)) {
+      return ProtocolError("malformed LIST entry");
+    }
+    names.push_back(std::move(name));
+  }
+  return names;
+}
+
+}  // namespace afs::net

@@ -1,0 +1,114 @@
+// Remote file service ("AFP").  Stands in for the paper's FTP/HTTP-reachable
+// remote files (Section 3, "Aggregation"): sentinels GET whole files or
+// ranges, PUT/APPEND updates, and revalidate caches with conditional GETs
+// against per-file revisions — the mechanism that keeps a sentinel's local
+// cache "consistent with any updates performed … at any of the remote
+// sources" (Section 1).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/status.hpp"
+#include "net/rpc.hpp"
+
+namespace afs::net {
+
+// Wire opcodes (request: u8 op | lp path | op-specific fields).
+enum class FileOp : std::uint8_t {
+  kGet = 1,       // -> u64 rev | lp data
+  kPut = 2,       // lp data -> u64 rev
+  kAppend = 3,    // lp data -> u64 rev
+  kStat = 4,      // -> u8 exists | u64 size | u64 rev
+  kDelete = 5,    // -> (empty)
+  kList = 6,      // path is a prefix -> u32 count | lp name...
+  kGetRange = 7,  // u64 offset | u32 length -> u64 rev | lp data
+  kGetIf = 8,     // u64 known_rev -> u8 modified | [u64 rev | lp data]
+  kPutRange = 9,  // u64 offset | lp data -> u64 rev  (extends as needed)
+};
+
+struct FileStat {
+  bool exists = false;
+  std::uint64_t size = 0;
+  std::uint64_t revision = 0;
+};
+
+// In-memory versioned file store + RPC handler.
+class FileServer final : public RpcHandler {
+ public:
+  // Change callback: (path, new revision).  Fired synchronously under no
+  // internal lock after each successful mutation.  In-process subscribers
+  // only (SimNet-side caches); socket clients poll with kGetIf instead.
+  using ChangeCallback = std::function<void(const std::string&, std::uint64_t)>;
+
+  FileServer() = default;
+
+  // --- direct (non-RPC) API, used by tests/examples to stage content ----
+  Status Put(const std::string& path, ByteSpan data);
+  Status Append(const std::string& path, ByteSpan data);
+  // Writes at an offset inside the file, zero-extending any gap; creates
+  // the file when absent.
+  Status PutRange(const std::string& path, std::uint64_t offset,
+                  ByteSpan data);
+  Result<Buffer> Get(const std::string& path) const;
+  FileStat Stat(const std::string& path) const;
+  Status Delete(const std::string& path);
+  std::vector<std::string> List(const std::string& prefix) const;
+
+  // Returns a subscription id; Unsubscribe with it.
+  std::uint64_t Subscribe(ChangeCallback callback);
+  void Unsubscribe(std::uint64_t id);
+
+  // --- RpcHandler ------------------------------------------------------
+  Result<Buffer> Handle(ByteSpan request) override;
+
+ private:
+  struct Entry {
+    Buffer data;
+    std::uint64_t revision = 0;
+  };
+
+  void NotifyChanged(const std::string& path, std::uint64_t revision);
+
+  mutable std::mutex mu_;
+  std::map<std::string, Entry> files_;
+  std::uint64_t next_revision_ = 1;
+  std::map<std::uint64_t, ChangeCallback> subscribers_;
+  std::uint64_t next_subscriber_ = 1;
+};
+
+// Typed client over any Transport.
+class FileClient {
+ public:
+  explicit FileClient(Transport& transport) : transport_(transport) {}
+
+  struct GetResult {
+    Buffer data;
+    std::uint64_t revision = 0;
+  };
+
+  Result<GetResult> Get(const std::string& path);
+  Result<GetResult> GetRange(const std::string& path, std::uint64_t offset,
+                             std::uint32_t length);
+  // nullopt when not modified since known_revision.
+  Result<std::optional<GetResult>> GetIfModified(const std::string& path,
+                                                 std::uint64_t known_revision);
+  Result<std::uint64_t> Put(const std::string& path, ByteSpan data);
+  Result<std::uint64_t> Append(const std::string& path, ByteSpan data);
+  Result<std::uint64_t> PutRange(const std::string& path,
+                                 std::uint64_t offset, ByteSpan data);
+  Result<FileStat> Stat(const std::string& path);
+  Status Delete(const std::string& path);
+  Result<std::vector<std::string>> List(const std::string& prefix);
+
+ private:
+  Transport& transport_;
+};
+
+}  // namespace afs::net

@@ -1,0 +1,99 @@
+// FTP-like file transfer service.  Paper Section 3: "The sentinel accesses
+// the remote file using a standard protocol (e.g., FTP or HTTP), creates a
+// local copy, and makes the copy available to the client application."
+//
+// Unlike the framed RPC services, this speaks a classic line-oriented
+// protocol over a raw Unix-socket byte stream (single connection, no
+// separate data channel):
+//
+//   client:  RETR <path>\n
+//   server:  150 <size>\n<size raw bytes>          (or "550 <reason>\n")
+//   client:  STOR <path> <size>\n<size raw bytes>
+//   server:  226 stored\n
+//   client:  SIZE <path>\n        -> 213 <size>\n
+//   client:  DELE <path>\n        -> 250 deleted\n
+//   client:  LIST <prefix>\n      -> 150 <count>\n then one name per line
+//   client:  QUIT\n               -> 221 bye\n, connection closes
+//
+// Replies: 1xx/2xx success, 5xx failure.  The backing store is a
+// net::FileServer, so content staged for RPC tests is equally visible
+// over FTP.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/status.hpp"
+#include "net/file_server.hpp"
+
+namespace afs::net {
+
+class FtpServer {
+ public:
+  // Does not own the store; it must outlive the server.
+  FtpServer(std::string socket_path, FileServer& store);
+  ~FtpServer();
+
+  FtpServer(const FtpServer&) = delete;
+  FtpServer& operator=(const FtpServer&) = delete;
+
+  Status Start();
+  void Stop();
+
+  const std::string& socket_path() const noexcept { return path_; }
+  std::uint64_t commands_served() const noexcept {
+    return commands_served_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void AcceptLoop();
+  void ServeConnection(int fd);
+
+  std::string path_;
+  FileServer& store_;
+  int listen_fd_ = -1;
+  std::atomic<bool> running_{false};
+  std::atomic<std::uint64_t> commands_served_{0};
+  std::thread accept_thread_;
+  std::mutex conn_mu_;
+  std::vector<std::thread> conn_threads_;
+  std::vector<int> conn_fds_;
+};
+
+// Blocking single-connection client.
+class FtpClient {
+ public:
+  explicit FtpClient(std::string socket_path);
+  ~FtpClient();
+
+  FtpClient(const FtpClient&) = delete;
+  FtpClient& operator=(const FtpClient&) = delete;
+
+  Result<Buffer> Retr(const std::string& path);
+  Status Stor(const std::string& path, ByteSpan data);
+  Result<std::uint64_t> Size(const std::string& path);
+  Status Dele(const std::string& path);
+  Result<std::vector<std::string>> List(const std::string& prefix);
+  Status Quit();
+
+ private:
+  Status EnsureConnected();
+  void Disconnect() noexcept;
+  Status SendLine(const std::string& line);
+  // Reads up to '\n' (exclusive); buffers excess bytes.
+  Result<std::string> ReadLine();
+  Status ReadExact(MutableByteSpan out);
+  // Parses "NNN rest"; 5xx codes become kRemoteError.
+  Result<std::pair<int, std::string>> ReadReply();
+
+  std::string path_;
+  int fd_ = -1;
+  Buffer pending_;  // bytes read past the last line boundary
+};
+
+}  // namespace afs::net

@@ -1,0 +1,87 @@
+// Minimal HTTP/1.0-style file service — the second "standard protocol"
+// the paper names for remote access ("e.g., FTP or HTTP").  Implements
+// exactly the subset a fetch-a-copy sentinel needs:
+//
+//   GET /path HTTP/1.0                      -> 200 + body | 404
+//   HEAD /path HTTP/1.0                     -> 200 headers only | 404
+//   PUT /path HTTP/1.0 + Content-Length     -> 200 | 400
+//   GET with "Range: bytes=a-b"             -> 206 + partial body
+//
+// Responses carry Content-Length (and X-Revision with the store's
+// revision, enabling cheap revalidation).  One request per connection
+// (HTTP/1.0 semantics, Connection: close).
+#pragma once
+
+#include <atomic>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/status.hpp"
+#include "net/file_server.hpp"
+
+namespace afs::net {
+
+struct HttpResponse {
+  int status_code = 0;
+  std::map<std::string, std::string> headers;  // lower-cased names
+  Buffer body;
+};
+
+class HttpServer {
+ public:
+  HttpServer(std::string socket_path, FileServer& store);
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  Status Start();
+  void Stop();
+
+  const std::string& socket_path() const noexcept { return path_; }
+  std::uint64_t requests_served() const noexcept {
+    return requests_served_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void AcceptLoop();
+  void ServeConnection(int fd);
+
+  std::string path_;
+  FileServer& store_;
+  int listen_fd_ = -1;
+  std::atomic<bool> running_{false};
+  std::atomic<std::uint64_t> requests_served_{0};
+  std::thread accept_thread_;
+  std::mutex conn_mu_;
+  std::vector<std::thread> conn_threads_;
+  std::vector<int> conn_fds_;
+};
+
+// One-request-per-connection client.
+class HttpClient {
+ public:
+  explicit HttpClient(std::string socket_path) : path_(std::move(socket_path)) {}
+
+  // method: "GET", "HEAD", "PUT".  extra_headers are sent verbatim.
+  Result<HttpResponse> Request(
+      const std::string& method, const std::string& target, ByteSpan body = {},
+      const std::vector<std::string>& extra_headers = {});
+
+  // Conveniences mapping HTTP status to Status codes (404 -> kNotFound,
+  // other non-2xx -> kRemoteError).
+  Result<Buffer> Get(const std::string& target);
+  Result<Buffer> GetRange(const std::string& target, std::uint64_t first,
+                          std::uint64_t last);
+  Result<std::uint64_t> Head(const std::string& target);  // -> size
+  Status Put(const std::string& target, ByteSpan body);
+
+ private:
+  std::string path_;
+};
+
+}  // namespace afs::net

@@ -1,0 +1,215 @@
+#include "net/mail_server.hpp"
+
+#include "util/strings.hpp"
+
+namespace afs::net {
+
+std::string RenderMessage(const MailMessage& message) {
+  return "From: " + message.from + "\nTo: " + message.to +
+         "\nSubject: " + message.subject + "\n\n" + message.body;
+}
+
+Result<std::vector<std::string>> ParseRecipients(std::string_view to_header) {
+  std::vector<std::string> recipients;
+  for (const auto& part : Split(to_header, ',')) {
+    std::string name = TrimWhitespace(part);
+    if (!name.empty()) recipients.push_back(std::move(name));
+  }
+  if (recipients.empty()) {
+    return ProtocolError("no recipients in To: header");
+  }
+  return recipients;
+}
+
+Result<MailMessage> ParseMessage(std::string_view text,
+                                 std::vector<std::string>* recipients) {
+  MailMessage message;
+  std::size_t pos = 0;
+  bool saw_to = false;
+  while (pos <= text.size()) {
+    const std::size_t eol = text.find('\n', pos);
+    const std::string_view line =
+        eol == std::string_view::npos ? text.substr(pos)
+                                      : text.substr(pos, eol - pos);
+    if (line.empty()) {  // blank line: body follows
+      if (eol == std::string_view::npos) break;
+      message.body = std::string(text.substr(eol + 1));
+      break;
+    }
+    const auto [name, value] = SplitOnce(line, ':');
+    const std::string header = ToLowerAscii(TrimWhitespace(name));
+    const std::string content = TrimWhitespace(value);
+    if (header == "from") {
+      message.from = content;
+    } else if (header == "to") {
+      message.to = content;
+      saw_to = true;
+    } else if (header == "subject") {
+      message.subject = content;
+    } else {
+      return ProtocolError("unknown mail header: " + header);
+    }
+    if (eol == std::string_view::npos) break;
+    pos = eol + 1;
+  }
+  if (!saw_to) return ProtocolError("missing To: header");
+  if (recipients != nullptr) {
+    AFS_ASSIGN_OR_RETURN(*recipients, ParseRecipients(message.to));
+  }
+  return message;
+}
+
+Result<std::uint32_t> MailServer::Send(
+    const MailMessage& message, const std::vector<std::string>& recipients) {
+  if (recipients.empty()) return InvalidArgumentError("no recipients");
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& recipient : recipients) {
+    MailMessage copy = message;
+    copy.to = recipient;
+    mailboxes_[recipient].push_back(std::move(copy));
+  }
+  return static_cast<std::uint32_t>(recipients.size());
+}
+
+Result<std::vector<MailMessage>> MailServer::Mailbox(
+    const std::string& user) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = mailboxes_.find(user);
+  if (it == mailboxes_.end()) return std::vector<MailMessage>{};
+  return it->second;
+}
+
+Status MailServer::DeleteMessage(const std::string& user,
+                                 std::uint32_t index) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = mailboxes_.find(user);
+  if (it == mailboxes_.end() || index >= it->second.size()) {
+    return NotFoundError("no message " + std::to_string(index) + " for " +
+                         user);
+  }
+  it->second.erase(it->second.begin() + index);
+  return Status::Ok();
+}
+
+std::size_t MailServer::MailboxSize(const std::string& user) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = mailboxes_.find(user);
+  return it == mailboxes_.end() ? 0 : it->second.size();
+}
+
+Result<Buffer> MailServer::Handle(ByteSpan request) {
+  ByteReader reader(request);
+  std::uint8_t op = 0;
+  std::string user;
+  if (!reader.ReadU8(op) || !reader.ReadLenPrefixedString(user)) {
+    return ProtocolError("malformed mail request");
+  }
+  Buffer out;
+  switch (static_cast<MailOp>(op)) {
+    case MailOp::kList: {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = mailboxes_.find(user);
+      const std::size_t count =
+          it == mailboxes_.end() ? 0 : it->second.size();
+      AppendU32(out, static_cast<std::uint32_t>(count));
+      for (std::size_t i = 0; i < count; ++i) {
+        AppendU32(out, static_cast<std::uint32_t>(
+                           RenderMessage(it->second[i]).size()));
+      }
+      return out;
+    }
+    case MailOp::kRetrieve: {
+      std::uint32_t index = 0;
+      if (!reader.ReadU32(index)) return ProtocolError("malformed RETR");
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = mailboxes_.find(user);
+      if (it == mailboxes_.end() || index >= it->second.size()) {
+        return NotFoundError("no message " + std::to_string(index));
+      }
+      AppendLenPrefixed(out, RenderMessage(it->second[index]));
+      return out;
+    }
+    case MailOp::kDelete: {
+      std::uint32_t index = 0;
+      if (!reader.ReadU32(index)) return ProtocolError("malformed DELE");
+      AFS_RETURN_IF_ERROR(DeleteMessage(user, index));
+      return out;
+    }
+    case MailOp::kSend: {
+      ByteSpan rendered;
+      if (!reader.ReadLenPrefixed(rendered)) {
+        return ProtocolError("malformed SEND");
+      }
+      std::vector<std::string> recipients;
+      AFS_ASSIGN_OR_RETURN(MailMessage message,
+                           ParseMessage(ToString(rendered), &recipients));
+      AFS_ASSIGN_OR_RETURN(std::uint32_t delivered,
+                           Send(message, recipients));
+      AppendU32(out, delivered);
+      return out;
+    }
+  }
+  return ProtocolError("unknown mail opcode " + std::to_string(op));
+}
+
+Result<std::vector<std::uint32_t>> MailClient::List(const std::string& user) {
+  Buffer req;
+  req.push_back(static_cast<std::uint8_t>(MailOp::kList));
+  AppendLenPrefixed(req, user);
+  AFS_ASSIGN_OR_RETURN(Buffer resp, transport_.Call(req));
+  ByteReader reader(resp);
+  std::uint32_t count = 0;
+  if (!reader.ReadU32(count)) return ProtocolError("malformed LIST response");
+  std::vector<std::uint32_t> sizes;
+  sizes.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    std::uint32_t size = 0;
+    if (!reader.ReadU32(size)) return ProtocolError("malformed LIST size");
+    sizes.push_back(size);
+  }
+  return sizes;
+}
+
+Result<MailMessage> MailClient::Retrieve(const std::string& user,
+                                         std::uint32_t index) {
+  Buffer req;
+  req.push_back(static_cast<std::uint8_t>(MailOp::kRetrieve));
+  AppendLenPrefixed(req, user);
+  AppendU32(req, index);
+  AFS_ASSIGN_OR_RETURN(Buffer resp, transport_.Call(req));
+  ByteReader reader(resp);
+  ByteSpan rendered;
+  if (!reader.ReadLenPrefixed(rendered)) {
+    return ProtocolError("malformed RETR response");
+  }
+  return ParseMessage(ToString(rendered), nullptr);
+}
+
+Status MailClient::Delete(const std::string& user, std::uint32_t index) {
+  Buffer req;
+  req.push_back(static_cast<std::uint8_t>(MailOp::kDelete));
+  AppendLenPrefixed(req, user);
+  AppendU32(req, index);
+  AFS_ASSIGN_OR_RETURN(Buffer resp, transport_.Call(req));
+  (void)resp;
+  return Status::Ok();
+}
+
+Result<std::uint32_t> MailClient::Send(
+    const MailMessage& message, const std::vector<std::string>& recipients) {
+  MailMessage outgoing = message;
+  outgoing.to = JoinStrings(recipients, ", ");
+  Buffer req;
+  req.push_back(static_cast<std::uint8_t>(MailOp::kSend));
+  AppendLenPrefixed(req, std::string_view(""));  // user field unused
+  AppendLenPrefixed(req, RenderMessage(outgoing));
+  AFS_ASSIGN_OR_RETURN(Buffer resp, transport_.Call(req));
+  ByteReader reader(resp);
+  std::uint32_t delivered = 0;
+  if (!reader.ReadU32(delivered)) {
+    return ProtocolError("malformed SEND response");
+  }
+  return delivered;
+}
+
+}  // namespace afs::net

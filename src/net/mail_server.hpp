@@ -1,0 +1,79 @@
+// Mail service (POP-flavoured retrieval + submission).  Backs the paper's
+// inbox example ("reading it causes new messages to be retrieved possibly
+// from multiple remote POP servers") and the outbox example ("the sentinel
+// parses the data written to the file to extract the 'To' addresses and
+// send the data to each recipient") — Section 3, Aggregation/Distribution.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "net/rpc.hpp"
+
+namespace afs::net {
+
+struct MailMessage {
+  std::string from;
+  std::string to;       // the recipient this copy was delivered to
+  std::string subject;
+  std::string body;
+};
+
+// RFC-822-ish flattening used on the wire, in mailbox files, and by the
+// outbox sentinel's parser:
+//   From: a@x\nTo: b@y, c@z\nSubject: s\n\nbody
+std::string RenderMessage(const MailMessage& message);
+
+// Parses the flattened form; `to` receives the full recipient list
+// (comma-separated names are split and trimmed).
+Result<std::vector<std::string>> ParseRecipients(std::string_view to_header);
+Result<MailMessage> ParseMessage(std::string_view text,
+                                 std::vector<std::string>* recipients);
+
+// Wire ops (request: u8 op | lp user | op-specific).
+enum class MailOp : std::uint8_t {
+  kList = 1,   // -> u32 count | u32 size...
+  kRetrieve = 2,  // u32 index -> lp rendered-message
+  kDelete = 3,    // u32 index -> (empty)
+  kSend = 4,      // lp rendered-message (user field unused) -> u32 delivered
+};
+
+class MailServer final : public RpcHandler {
+ public:
+  MailServer() = default;
+
+  // Direct API (tests/examples).  Send fans out one copy per recipient.
+  Result<std::uint32_t> Send(const MailMessage& message,
+                             const std::vector<std::string>& recipients);
+  Result<std::vector<MailMessage>> Mailbox(const std::string& user) const;
+  Status DeleteMessage(const std::string& user, std::uint32_t index);
+  std::size_t MailboxSize(const std::string& user) const;
+
+  Result<Buffer> Handle(ByteSpan request) override;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::vector<MailMessage>> mailboxes_;
+};
+
+class MailClient {
+ public:
+  explicit MailClient(Transport& transport) : transport_(transport) {}
+
+  // Sizes (in rendered bytes) of the messages waiting for `user`.
+  Result<std::vector<std::uint32_t>> List(const std::string& user);
+  Result<MailMessage> Retrieve(const std::string& user, std::uint32_t index);
+  Status Delete(const std::string& user, std::uint32_t index);
+  // Returns how many mailboxes the message was delivered to.
+  Result<std::uint32_t> Send(const MailMessage& message,
+                             const std::vector<std::string>& recipients);
+
+ private:
+  Transport& transport_;
+};
+
+}  // namespace afs::net

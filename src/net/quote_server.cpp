@@ -1,0 +1,139 @@
+#include "net/quote_server.hpp"
+
+namespace afs::net {
+
+void QuoteServer::AddSymbol(const std::string& symbol,
+                            std::int64_t price_cents) {
+  std::lock_guard<std::mutex> lock(mu_);
+  quotes_[symbol] = Quote{symbol, price_cents, now_tick_};
+}
+
+void QuoteServer::Tick(std::uint64_t ticks) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (std::uint64_t t = 0; t < ticks; ++t) {
+    ++now_tick_;
+    for (auto& [symbol, quote] : quotes_) {
+      // Random walk: ±(0..1%) of the current price, minimum 1 cent move.
+      const std::int64_t magnitude =
+          std::max<std::int64_t>(1, quote.price_cents / 100);
+      const std::int64_t step =
+          static_cast<std::int64_t>(prng_.NextBelow(
+              static_cast<std::uint64_t>(2 * magnitude + 1))) -
+          magnitude;
+      quote.price_cents = std::max<std::int64_t>(1, quote.price_cents + step);
+      quote.tick = now_tick_;
+    }
+  }
+}
+
+Result<Quote> QuoteServer::GetQuote(const std::string& symbol) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = quotes_.find(symbol);
+  if (it == quotes_.end()) return NotFoundError("no symbol: " + symbol);
+  return it->second;
+}
+
+std::vector<std::string> QuoteServer::Symbols() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(quotes_.size());
+  for (const auto& [symbol, quote] : quotes_) out.push_back(symbol);
+  return out;
+}
+
+Result<Buffer> QuoteServer::Handle(ByteSpan request) {
+  ByteReader reader(request);
+  std::uint8_t op = 0;
+  if (!reader.ReadU8(op)) return ProtocolError("malformed quote request");
+  Buffer out;
+  switch (static_cast<QuoteOp>(op)) {
+    case QuoteOp::kQuote: {
+      std::uint32_t count = 0;
+      if (!reader.ReadU32(count)) return ProtocolError("malformed QUOTE");
+      std::vector<std::string> symbols;
+      symbols.reserve(count);
+      for (std::uint32_t i = 0; i < count; ++i) {
+        std::string symbol;
+        if (!reader.ReadLenPrefixedString(symbol)) {
+          return ProtocolError("malformed QUOTE symbol");
+        }
+        symbols.push_back(std::move(symbol));
+      }
+      std::lock_guard<std::mutex> lock(mu_);
+      AppendU32(out, static_cast<std::uint32_t>(symbols.size()));
+      for (const auto& symbol : symbols) {
+        auto it = quotes_.find(symbol);
+        if (it == quotes_.end()) return NotFoundError("no symbol: " + symbol);
+        AppendLenPrefixed(out, symbol);
+        AppendU64(out, static_cast<std::uint64_t>(it->second.price_cents));
+        AppendU64(out, it->second.tick);
+      }
+      return out;
+    }
+    case QuoteOp::kListSymbols: {
+      const std::vector<std::string> symbols = Symbols();
+      AppendU32(out, static_cast<std::uint32_t>(symbols.size()));
+      for (const auto& symbol : symbols) AppendLenPrefixed(out, symbol);
+      return out;
+    }
+  }
+  return ProtocolError("unknown quote opcode " + std::to_string(op));
+}
+
+Result<std::vector<Quote>> QuoteClient::GetQuotes(
+    const std::vector<std::string>& symbols) {
+  Buffer req;
+  req.push_back(static_cast<std::uint8_t>(QuoteOp::kQuote));
+  AppendU32(req, static_cast<std::uint32_t>(symbols.size()));
+  for (const auto& symbol : symbols) AppendLenPrefixed(req, symbol);
+  AFS_ASSIGN_OR_RETURN(Buffer resp, transport_.Call(req));
+  ByteReader reader(resp);
+  std::uint32_t count = 0;
+  if (!reader.ReadU32(count)) return ProtocolError("malformed QUOTE response");
+  std::vector<Quote> quotes;
+  quotes.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    Quote quote;
+    std::uint64_t price = 0;
+    if (!reader.ReadLenPrefixedString(quote.symbol) ||
+        !reader.ReadU64(price) || !reader.ReadU64(quote.tick)) {
+      return ProtocolError("malformed QUOTE entry");
+    }
+    quote.price_cents = static_cast<std::int64_t>(price);
+    quotes.push_back(std::move(quote));
+  }
+  return quotes;
+}
+
+Result<std::vector<std::string>> QuoteClient::ListSymbols() {
+  Buffer req;
+  req.push_back(static_cast<std::uint8_t>(QuoteOp::kListSymbols));
+  AFS_ASSIGN_OR_RETURN(Buffer resp, transport_.Call(req));
+  ByteReader reader(resp);
+  std::uint32_t count = 0;
+  if (!reader.ReadU32(count)) return ProtocolError("malformed LIST response");
+  std::vector<std::string> symbols;
+  symbols.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    std::string symbol;
+    if (!reader.ReadLenPrefixedString(symbol)) {
+      return ProtocolError("malformed LIST entry");
+    }
+    symbols.push_back(std::move(symbol));
+  }
+  return symbols;
+}
+
+std::string RenderQuotesText(const std::vector<Quote>& quotes) {
+  std::string out;
+  for (const auto& quote : quotes) {
+    const std::int64_t dollars = quote.price_cents / 100;
+    const std::int64_t cents = quote.price_cents % 100;
+    out += quote.symbol + "\t" + std::to_string(dollars) + "." +
+           (cents < 10 ? "0" : "") + std::to_string(cents) + "\t" +
+           std::to_string(quote.tick) + "\n";
+  }
+  return out;
+}
+
+}  // namespace afs::net

@@ -1,0 +1,72 @@
+// Stock-quote service.  Backs the paper's aggregation example of "an active
+// file that reflects the latest stock quotes (downloaded by the sentinel
+// from a server) every time the file is opened" (Section 3).  Prices follow
+// a deterministic seeded random walk so tests and examples are reproducible.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "net/rpc.hpp"
+#include "util/prng.hpp"
+
+namespace afs::net {
+
+// Prices are fixed-point cents to keep the wire format exact.
+struct Quote {
+  std::string symbol;
+  std::int64_t price_cents = 0;
+  std::uint64_t tick = 0;  // market time when last updated
+};
+
+// Wire ops (request: u8 op | fields).
+enum class QuoteOp : std::uint8_t {
+  kQuote = 1,  // u32 count | lp symbol...  -> u32 count | per quote:
+               //   lp symbol | u64 price_cents | u64 tick
+  kListSymbols = 2,  // -> u32 count | lp symbol...
+};
+
+class QuoteServer final : public RpcHandler {
+ public:
+  explicit QuoteServer(std::uint64_t seed = 42) : prng_(seed) {}
+
+  // Introduces a symbol at a base price.
+  void AddSymbol(const std::string& symbol, std::int64_t price_cents);
+
+  // Advances market time: every symbol takes `ticks` random-walk steps of
+  // at most ±1% each.
+  void Tick(std::uint64_t ticks = 1);
+
+  Result<Quote> GetQuote(const std::string& symbol) const;
+  std::vector<std::string> Symbols() const;
+
+  Result<Buffer> Handle(ByteSpan request) override;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, Quote> quotes_;
+  std::uint64_t now_tick_ = 0;
+  Prng prng_;
+};
+
+class QuoteClient {
+ public:
+  explicit QuoteClient(Transport& transport) : transport_(transport) {}
+
+  Result<std::vector<Quote>> GetQuotes(
+      const std::vector<std::string>& symbols);
+  Result<std::vector<std::string>> ListSymbols();
+
+ private:
+  Transport& transport_;
+};
+
+// Renders quotes as the text the quote sentinel serves to applications:
+//   "SYM<TAB>price<TAB>tick\n", price formatted as dollars.cents.
+std::string RenderQuotesText(const std::vector<Quote>& quotes);
+
+}  // namespace afs::net

@@ -1,0 +1,37 @@
+#include "net/rpc.hpp"
+
+namespace afs::net {
+
+Buffer EncodeResponseEnvelope(const Status& status, ByteSpan payload) {
+  Buffer out;
+  out.reserve(2 + 4 + status.message().size() + 4 + payload.size());
+  AppendU16(out, static_cast<std::uint16_t>(status.code()));
+  AppendLenPrefixed(out, status.message());
+  AppendLenPrefixed(out, payload);
+  return out;
+}
+
+Result<Buffer> DecodeResponseEnvelope(ByteSpan envelope) {
+  ByteReader reader(envelope);
+  std::uint16_t code = 0;
+  std::string message;
+  ByteSpan payload;
+  if (!reader.ReadU16(code) || !reader.ReadLenPrefixedString(message) ||
+      !reader.ReadLenPrefixed(payload)) {
+    return ProtocolError("malformed response envelope");
+  }
+  if (code != 0) {
+    return Status(static_cast<ErrorCode>(code), std::move(message));
+  }
+  return Buffer(payload.begin(), payload.end());
+}
+
+Buffer RunHandlerToEnvelope(RpcHandler& handler, ByteSpan request) {
+  Result<Buffer> result = handler.Handle(request);
+  if (!result.ok()) {
+    return EncodeResponseEnvelope(result.status(), {});
+  }
+  return EncodeResponseEnvelope(Status::Ok(), result.value());
+}
+
+}  // namespace afs::net

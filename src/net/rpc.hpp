@@ -1,0 +1,48 @@
+// Transport-agnostic request/response plumbing.
+//
+// Every remote source in this reproduction (file server, quote server, mail
+// server) is an RpcHandler.  Handlers can be mounted on either transport:
+//   - net::SimNet        — in-process simulated network with latency and
+//                          bandwidth modelling (deterministic, laptop-scale
+//                          stand-in for the paper's 100 Mbps testbed), or
+//   - net::SocketServer  — a real Unix-domain-socket server, reachable from
+//                          forked sentinel processes (the process-based
+//                          strategies), where in-process delivery threads
+//                          do not survive the fork.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "common/bytes.hpp"
+#include "common/status.hpp"
+
+namespace afs::net {
+
+// Server-side: decode a request, do the work, produce a response payload.
+class RpcHandler {
+ public:
+  virtual ~RpcHandler() = default;
+  virtual Result<Buffer> Handle(ByteSpan request) = 0;
+};
+
+// Client-side: send a request, block for the response payload.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+  virtual Result<Buffer> Call(ByteSpan request) = 0;
+};
+
+// Response envelope carried over every transport:
+//   u16 error-code | lp-string message | lp-bytes payload
+// A handler failure travels as a first-class Status instead of a broken
+// connection, so clients can distinguish remote errors from transport
+// errors.
+Buffer EncodeResponseEnvelope(const Status& status, ByteSpan payload);
+Result<Buffer> DecodeResponseEnvelope(ByteSpan envelope);
+
+// Wraps a handler so its Result<Buffer> travels inside the envelope.
+// Always returns an encodable buffer (never a transport-level error).
+Buffer RunHandlerToEnvelope(RpcHandler& handler, ByteSpan request);
+
+}  // namespace afs::net

@@ -1,0 +1,126 @@
+#include "net/simnet.hpp"
+
+namespace afs::net {
+
+std::string SimNet::LinkKey(const std::string& a, const std::string& b) {
+  return a < b ? a + "|" + b : b + "|" + a;
+}
+
+Status SimNet::AddLink(const std::string& a, const std::string& b,
+                       LinkConfig config) {
+  if (a == b) return InvalidArgumentError("self link: " + a);
+  std::lock_guard<std::mutex> lock(mu_);
+  Link& link = links_[LinkKey(a, b)];
+  link.config = config;
+  if (config.bandwidth_bps > 0) {
+    link.forward = std::make_unique<RateLimiter>(clock_, config.bandwidth_bps);
+    link.backward =
+        std::make_unique<RateLimiter>(clock_, config.bandwidth_bps);
+  } else {
+    link.forward.reset();
+    link.backward.reset();
+  }
+  return Status::Ok();
+}
+
+Status SimNet::Mount(const std::string& node, const std::string& service,
+                     RpcHandler& handler) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::string key = node + ":" + service;
+  if (services_.count(key) != 0) {
+    return AlreadyExistsError("service already mounted: " + key);
+  }
+  services_[key] = &handler;
+  return Status::Ok();
+}
+
+Status SimNet::Unmount(const std::string& node, const std::string& service) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (services_.erase(node + ":" + service) == 0) {
+    return NotFoundError("no service: " + node + ":" + service);
+  }
+  return Status::Ok();
+}
+
+Result<SimNet::Route> SimNet::ResolveRoute(const std::string& from,
+                                           const std::string& to) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = links_.find(LinkKey(from, to));
+  if (it == links_.end()) {
+    return NotFoundError("no link between " + from + " and " + to);
+  }
+  Link& link = it->second;
+  // The canonical key orders endpoints; forward is lesser->greater.
+  const bool forward_dir = from < to;
+  RateLimiter* limiter =
+      forward_dir ? link.forward.get() : link.backward.get();
+  return Route{link.config.latency, limiter};
+}
+
+Result<RpcHandler*> SimNet::ResolveService(const std::string& node,
+                                           const std::string& service) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = services_.find(node + ":" + service);
+  if (it == services_.end()) {
+    return NotFoundError("no service: " + node + ":" + service);
+  }
+  return it->second;
+}
+
+std::uint64_t SimNet::bytes_carried() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bytes_carried_;
+}
+
+class SimNet::SimTransport final : public Transport {
+ public:
+  SimTransport(SimNet& net, std::string client_node, std::string server_node,
+               std::string service)
+      : net_(net),
+        client_node_(std::move(client_node)),
+        server_node_(std::move(server_node)),
+        service_(std::move(service)) {}
+
+  Result<Buffer> Call(ByteSpan request) override {
+    AFS_ASSIGN_OR_RETURN(Route out_route,
+                         net_.ResolveRoute(client_node_, server_node_));
+    AFS_ASSIGN_OR_RETURN(RpcHandler * handler,
+                         net_.ResolveService(server_node_, service_));
+
+    Delay(out_route, request.size());
+    Buffer envelope = RunHandlerToEnvelope(*handler, request);
+
+    AFS_ASSIGN_OR_RETURN(Route back_route,
+                         net_.ResolveRoute(server_node_, client_node_));
+    Delay(back_route, envelope.size());
+
+    {
+      std::lock_guard<std::mutex> lock(net_.mu_);
+      net_.bytes_carried_ += request.size() + envelope.size();
+    }
+    return DecodeResponseEnvelope(envelope);
+  }
+
+ private:
+  void Delay(const Route& route, std::size_t bytes) {
+    Micros wait = route.latency;
+    if (route.limiter != nullptr) {
+      wait += route.limiter->ReserveDelay(bytes);
+    }
+    if (wait.count() > 0) net_.clock_.SleepFor(wait);
+  }
+
+  SimNet& net_;
+  const std::string client_node_;
+  const std::string server_node_;
+  const std::string service_;
+};
+
+std::unique_ptr<Transport> SimNet::Connect(const std::string& client_node,
+                                           const std::string& server_node,
+                                           const std::string& service) {
+  return std::make_unique<SimTransport>(*this, client_node, server_node,
+                                        service);
+}
+
+}  // namespace afs::net

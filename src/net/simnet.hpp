@@ -1,0 +1,89 @@
+// SimNet: an in-process simulated network.
+//
+// The paper's evaluation ran against a 2-node PC cluster on 100 Mbps Fast
+// Ethernet.  SimNet substitutes a deterministic model: named nodes joined by
+// links with one-way latency and byte bandwidth (token bucket).  A client
+// call pays latency + serialization delay for the request, executes the
+// service handler, then pays the same for the response — giving the remote
+// path of Figure 6(a) a stable, configurable cost without real hardware.
+//
+// Delay accounting runs against an injected Clock, so tests can use
+// ManualClock for instant "sleeps" and benches use the steady clock for
+// real elapsed time.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/clock.hpp"
+#include "common/status.hpp"
+#include "net/rpc.hpp"
+#include "util/rate_limiter.hpp"
+
+namespace afs::net {
+
+struct LinkConfig {
+  Micros latency{0};                   // one-way propagation delay
+  std::uint64_t bandwidth_bps = 0;     // bytes/second; 0 = unlimited
+};
+
+class SimNet {
+ public:
+  explicit SimNet(Clock& clock) : clock_(clock) {}
+  SimNet(const SimNet&) = delete;
+  SimNet& operator=(const SimNet&) = delete;
+
+  // Nodes spring into existence on first use; AddLink defines the a<->b
+  // path (symmetric: one shared bandwidth bucket per direction).
+  Status AddLink(const std::string& a, const std::string& b,
+                 LinkConfig config);
+
+  // Mounts a service (non-owning; caller keeps the handler alive) at
+  // node:service.
+  Status Mount(const std::string& node, const std::string& service,
+               RpcHandler& handler);
+
+  Status Unmount(const std::string& node, const std::string& service);
+
+  // A Transport whose Call() crosses the simulated network from
+  // `client_node` to `server_node`:`service`.  Fails at call time with
+  // kNotFound if the service or link is missing.
+  std::unique_ptr<Transport> Connect(const std::string& client_node,
+                                     const std::string& server_node,
+                                     const std::string& service);
+
+  // Total simulated payload bytes carried (both directions), for tests.
+  std::uint64_t bytes_carried() const;
+
+ private:
+  struct Link {
+    LinkConfig config;
+    std::unique_ptr<RateLimiter> forward;   // a -> b
+    std::unique_ptr<RateLimiter> backward;  // b -> a
+  };
+
+  struct Route {
+    Micros latency;
+    RateLimiter* limiter;  // may be null (unlimited)
+  };
+
+  class SimTransport;
+
+  static std::string LinkKey(const std::string& a, const std::string& b);
+
+  // Resolves the a->b direction of the link; kNotFound if absent.
+  Result<Route> ResolveRoute(const std::string& from, const std::string& to);
+
+  Result<RpcHandler*> ResolveService(const std::string& node,
+                                     const std::string& service);
+
+  Clock& clock_;
+  mutable std::mutex mu_;
+  std::map<std::string, Link> links_;
+  std::map<std::string, RpcHandler*> services_;  // "node:service"
+  std::uint64_t bytes_carried_ = 0;
+};
+
+}  // namespace afs::net

@@ -1,0 +1,174 @@
+#include "net/socket_transport.hpp"
+
+#include <cerrno>
+#include <cstring>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "ipc/framing.hpp"
+#include "ipc/pipe.hpp"
+#include "ipc/process.hpp"
+
+namespace afs::net {
+namespace {
+
+Status FillSockaddr(const std::string& path, sockaddr_un& addr) {
+  if (path.size() + 1 > sizeof(addr.sun_path)) {
+    return InvalidArgumentError("socket path too long: " + path);
+  }
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return Status::Ok();
+}
+
+}  // namespace
+
+SocketServer::SocketServer(std::string socket_path, RpcHandler& handler)
+    : SocketServer(std::move(socket_path), handler, Options{}) {}
+
+SocketServer::SocketServer(std::string socket_path, RpcHandler& handler,
+                           Options options)
+    : path_(std::move(socket_path)), handler_(handler), options_(options) {}
+
+SocketServer::~SocketServer() { Stop(); }
+
+Status SocketServer::Start() {
+  if (running_.load()) return Status::Ok();
+  // A peer vanishing mid-write must surface as EPIPE, not kill the process.
+  ipc::IgnoreSigpipe();
+  sockaddr_un addr;
+  AFS_RETURN_IF_ERROR(FillSockaddr(path_, addr));
+
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return IoError(std::string("socket: ") + std::strerror(errno));
+  }
+  ::unlink(path_.c_str());  // stale socket from a previous run
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const int err = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return IoError("bind " + path_ + ": " + std::strerror(err));
+  }
+  if (::listen(listen_fd_, 64) != 0) {
+    const int err = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return IoError(std::string("listen: ") + std::strerror(err));
+  }
+  running_.store(true);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::Ok();
+}
+
+void SocketServer::Stop() {
+  if (!running_.exchange(false)) {
+    if (accept_thread_.joinable()) accept_thread_.join();
+    return;
+  }
+  // Breaking accept(): shutdown then close the listening socket.
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    threads.swap(conn_threads_);
+    // Connection threads block in ReadFrame on idle-but-open connections;
+    // shutdown makes those reads return so the joins below complete.
+    for (int fd : conn_fds_) ::shutdown(fd, SHUT_RDWR);
+  }
+  for (auto& t : threads) {
+    if (t.joinable()) t.join();
+  }
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    conn_fds_.clear();
+  }
+  ::unlink(path_.c_str());
+}
+
+void SocketServer::AcceptLoop() {
+  while (running_.load()) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // listening socket closed by Stop()
+    }
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    conn_fds_.push_back(fd);
+    conn_threads_.emplace_back([this, fd] { ServeConnection(fd); });
+  }
+}
+
+void SocketServer::ServeConnection(int fd) {
+  ipc::PipeEnd stream(fd);
+  while (true) {
+    Result<Buffer> request = ipc::ReadFrame(stream);
+    if (!request.ok()) return;  // client went away
+    if (options_.service_delay.count() > 0) {
+      SteadyClock::Instance().SleepFor(options_.service_delay);
+    }
+    Buffer envelope = RunHandlerToEnvelope(handler_, *request);
+    // Count before the reply ships: a client that has its response must
+    // observe the incremented counter.
+    requests_served_.fetch_add(1, std::memory_order_relaxed);
+    if (!ipc::WriteFrame(stream, envelope).ok()) return;
+  }
+}
+
+SocketClient::SocketClient(std::string socket_path)
+    : path_(std::move(socket_path)) {
+  ipc::IgnoreSigpipe();
+}
+
+SocketClient::~SocketClient() { Disconnect(); }
+
+Status SocketClient::EnsureConnected() {
+  if (fd_ >= 0) return Status::Ok();
+  sockaddr_un addr;
+  AFS_RETURN_IF_ERROR(FillSockaddr(path_, addr));
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    return IoError(std::string("socket: ") + std::strerror(errno));
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const int err = errno;
+    Disconnect();
+    return IoError("connect " + path_ + ": " + std::strerror(err));
+  }
+  return Status::Ok();
+}
+
+void SocketClient::Disconnect() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<Buffer> SocketClient::Call(ByteSpan request) {
+  AFS_RETURN_IF_ERROR(EnsureConnected());
+  // Borrow the fd for framing without transferring ownership.
+  ipc::PipeEnd stream(fd_);
+  Status sent = ipc::WriteFrame(stream, request);
+  if (!sent.ok()) {
+    (void)stream.Release();
+    Disconnect();
+    return sent;
+  }
+  Result<Buffer> envelope = ipc::ReadFrame(stream);
+  (void)stream.Release();
+  if (!envelope.ok()) {
+    Disconnect();
+    return envelope.status();
+  }
+  return DecodeResponseEnvelope(*envelope);
+}
+
+}  // namespace afs::net

@@ -1,0 +1,89 @@
+// Unix-domain-socket transport.
+//
+// The process-based strategies fork the sentinel into its own address
+// space, where SimNet (whose state lives in the parent) is unreachable.
+// SocketServer exposes the same RpcHandler over a real socket so a forked
+// sentinel can talk to remote sources exactly like the in-process ones do.
+// An optional per-request service delay models network service time, so the
+// remote-path benchmark can present all strategies with the same remote
+// cost.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "common/status.hpp"
+#include "net/rpc.hpp"
+
+namespace afs::net {
+
+class SocketServer {
+ public:
+  struct Options {
+    // Artificial delay added to every request before the handler runs;
+    // models propagation + service time of a remote source.
+    Micros service_delay{0};
+  };
+
+  // Does not take ownership of the handler; it must outlive the server.
+  SocketServer(std::string socket_path, RpcHandler& handler);
+  SocketServer(std::string socket_path, RpcHandler& handler, Options options);
+  ~SocketServer();
+
+  SocketServer(const SocketServer&) = delete;
+  SocketServer& operator=(const SocketServer&) = delete;
+
+  // Binds, listens, and starts the accept loop.
+  Status Start();
+
+  // Stops accepting, closes active connections, joins threads, unlinks the
+  // socket path.  Idempotent.
+  void Stop();
+
+  const std::string& socket_path() const noexcept { return path_; }
+  std::uint64_t requests_served() const noexcept {
+    return requests_served_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void AcceptLoop();
+  void ServeConnection(int fd);
+
+  std::string path_;
+  RpcHandler& handler_;
+  Options options_;
+  int listen_fd_ = -1;
+  std::atomic<bool> running_{false};
+  std::atomic<std::uint64_t> requests_served_{0};
+  std::thread accept_thread_;
+  std::mutex conn_mu_;
+  std::vector<std::thread> conn_threads_;
+  std::vector<int> conn_fds_;  // live connections, for Stop() to shut down
+};
+
+// Client transport: one connection, frames one request and blocks for one
+// response per Call.  Connects lazily on first Call and reconnects after
+// transport errors, so a handle is usable immediately after fork.
+class SocketClient final : public Transport {
+ public:
+  explicit SocketClient(std::string socket_path);
+  ~SocketClient() override;
+
+  SocketClient(const SocketClient&) = delete;
+  SocketClient& operator=(const SocketClient&) = delete;
+
+  Result<Buffer> Call(ByteSpan request) override;
+
+ private:
+  Status EnsureConnected();
+  void Disconnect() noexcept;
+
+  std::string path_;
+  int fd_ = -1;
+};
+
+}  // namespace afs::net

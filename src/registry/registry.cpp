@@ -1,0 +1,293 @@
+#include "registry/registry.hpp"
+
+#include <algorithm>
+
+#include "util/strings.hpp"
+
+namespace afs::reg {
+
+ValueType TypeOf(const Value& v) noexcept {
+  if (std::holds_alternative<std::string>(v)) return ValueType::kString;
+  if (std::holds_alternative<std::uint32_t>(v)) return ValueType::kDword;
+  return ValueType::kBinary;
+}
+
+std::string_view TypeName(ValueType t) noexcept {
+  switch (t) {
+    case ValueType::kString: return "str";
+    case ValueType::kDword: return "dw";
+    case ValueType::kBinary: return "bin";
+  }
+  return "?";
+}
+
+namespace {
+
+std::vector<std::string> PathComponents(std::string_view path) {
+  std::vector<std::string> parts;
+  for (auto& part : Split(path, '/')) {
+    if (!part.empty()) parts.push_back(std::move(part));
+  }
+  return parts;
+}
+
+constexpr char kHexDigits[] = "0123456789abcdef";
+
+std::string HexEncode(ByteSpan bytes) {
+  std::string out;
+  out.reserve(bytes.size() * 2);
+  for (std::uint8_t b : bytes) {
+    out.push_back(kHexDigits[b >> 4]);
+    out.push_back(kHexDigits[b & 0xf]);
+  }
+  return out;
+}
+
+bool HexDecode(std::string_view hex, Buffer& out) {
+  if (hex.size() % 2 != 0) return false;
+  out.clear();
+  out.reserve(hex.size() / 2);
+  auto nibble = [](char c) -> int {
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+    return -1;
+  };
+  for (std::size_t i = 0; i < hex.size(); i += 2) {
+    const int hi = nibble(hex[i]);
+    const int lo = nibble(hex[i + 1]);
+    if (hi < 0 || lo < 0) return false;
+    out.push_back(static_cast<std::uint8_t>((hi << 4) | lo));
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string RenderValue(const Value& v) {
+  switch (TypeOf(v)) {
+    case ValueType::kString:
+      return "str:" + std::get<std::string>(v);
+    case ValueType::kDword:
+      return "dw:" + std::to_string(std::get<std::uint32_t>(v));
+    case ValueType::kBinary:
+      return "bin:" + HexEncode(std::get<Buffer>(v));
+  }
+  return {};
+}
+
+Result<Value> ParseValue(std::string_view text) {
+  auto [tag, body] = SplitOnce(text, ':');
+  if (tag == "str") return Value(std::string(body));
+  if (tag == "dw") {
+    std::uint64_t n = 0;
+    if (!ParseU64(body, n) || n > 0xFFFFFFFFull) {
+      return ProtocolError("bad dword value: " + std::string(text));
+    }
+    return Value(static_cast<std::uint32_t>(n));
+  }
+  if (tag == "bin") {
+    Buffer bytes;
+    if (!HexDecode(body, bytes)) {
+      return ProtocolError("bad binary value: " + std::string(text));
+    }
+    return Value(std::move(bytes));
+  }
+  return ProtocolError("unknown value tag: " + std::string(text));
+}
+
+Registry::Key* Registry::FindKey(std::string_view path) {
+  Key* node = &root_;
+  for (const auto& part : PathComponents(path)) {
+    auto it = node->children.find(part);
+    if (it == node->children.end()) return nullptr;
+    node = &it->second;
+  }
+  return node;
+}
+
+const Registry::Key* Registry::FindKey(std::string_view path) const {
+  return const_cast<Registry*>(this)->FindKey(path);
+}
+
+Registry::Key* Registry::EnsureKey(std::string_view path) {
+  Key* node = &root_;
+  for (const auto& part : PathComponents(path)) {
+    node = &node->children[part];
+  }
+  return node;
+}
+
+Status Registry::CreateKey(std::string_view path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  EnsureKey(path);
+  ++revision_;
+  return Status::Ok();
+}
+
+Status Registry::DeleteKey(std::string_view path) {
+  const auto parts = PathComponents(path);
+  if (parts.empty()) return InvalidArgumentError("cannot delete root key");
+  std::lock_guard<std::mutex> lock(mu_);
+  Key* node = &root_;
+  for (std::size_t i = 0; i + 1 < parts.size(); ++i) {
+    auto it = node->children.find(parts[i]);
+    if (it == node->children.end()) {
+      return NotFoundError("no key: " + std::string(path));
+    }
+    node = &it->second;
+  }
+  if (node->children.erase(parts.back()) == 0) {
+    return NotFoundError("no key: " + std::string(path));
+  }
+  ++revision_;
+  return Status::Ok();
+}
+
+bool Registry::KeyExists(std::string_view path) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return FindKey(path) != nullptr;
+}
+
+Status Registry::SetValue(std::string_view key_path, std::string_view name,
+                          Value value) {
+  if (name.empty()) return InvalidArgumentError("empty value name");
+  std::lock_guard<std::mutex> lock(mu_);
+  Key* key = FindKey(key_path);
+  if (key == nullptr) return NotFoundError("no key: " + std::string(key_path));
+  key->values[std::string(name)] = std::move(value);
+  ++revision_;
+  return Status::Ok();
+}
+
+Result<Value> Registry::GetValue(std::string_view key_path,
+                                 std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const Key* key = FindKey(key_path);
+  if (key == nullptr) return NotFoundError("no key: " + std::string(key_path));
+  auto it = key->values.find(std::string(name));
+  if (it == key->values.end()) {
+    return NotFoundError("no value '" + std::string(name) + "' under '" +
+                         std::string(key_path) + "'");
+  }
+  return it->second;
+}
+
+Status Registry::DeleteValue(std::string_view key_path,
+                             std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Key* key = FindKey(key_path);
+  if (key == nullptr) return NotFoundError("no key: " + std::string(key_path));
+  if (key->values.erase(std::string(name)) == 0) {
+    return NotFoundError("no value '" + std::string(name) + "'");
+  }
+  ++revision_;
+  return Status::Ok();
+}
+
+Result<std::vector<std::string>> Registry::ListKeys(
+    std::string_view path) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const Key* key = FindKey(path);
+  if (key == nullptr) return NotFoundError("no key: " + std::string(path));
+  std::vector<std::string> names;
+  names.reserve(key->children.size());
+  for (const auto& [name, child] : key->children) names.push_back(name);
+  return names;
+}
+
+Result<std::vector<std::string>> Registry::ListValues(
+    std::string_view path) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const Key* key = FindKey(path);
+  if (key == nullptr) return NotFoundError("no key: " + std::string(path));
+  std::vector<std::string> names;
+  names.reserve(key->values.size());
+  for (const auto& [name, value] : key->values) names.push_back(name);
+  return names;
+}
+
+void Registry::RenderKey(const Key& key, const std::string& rel_path,
+                         std::string& out) {
+  out += "[" + rel_path + "]\n";
+  for (const auto& [name, value] : key.values) {
+    out += name + " = " + RenderValue(value) + "\n";
+  }
+  for (const auto& [name, child] : key.children) {
+    RenderKey(child, rel_path.empty() ? name : rel_path + "/" + name, out);
+  }
+}
+
+Result<std::string> Registry::RenderText(std::string_view path) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const Key* key = FindKey(path);
+  if (key == nullptr) return NotFoundError("no key: " + std::string(path));
+  std::string out;
+  RenderKey(*key, "", out);
+  return out;
+}
+
+Status Registry::ApplyText(std::string_view path, std::string_view text) {
+  // Parse into a staging tree first so a mid-text error mutates nothing.
+  Key staged;
+  Key* current = &staged;
+  for (const auto& raw_line : SplitLines(text)) {
+    const std::string line = TrimWhitespace(raw_line);
+    if (line.empty() || line[0] == '#' || line[0] == ';') continue;
+    if (line.front() == '[') {
+      if (line.back() != ']') {
+        return ProtocolError("unterminated key header: " + line);
+      }
+      const std::string rel(line.substr(1, line.size() - 2));
+      current = &staged;
+      for (const auto& part : PathComponents(rel)) {
+        current = &current->children[part];
+      }
+      continue;
+    }
+    const auto [raw_name, raw_value] = SplitOnce(line, '=');
+    const std::string name = TrimWhitespace(raw_name);
+    if (name.empty() || raw_value.empty()) {
+      return ProtocolError("bad value line: " + line);
+    }
+    AFS_ASSIGN_OR_RETURN(Value value, ParseValue(TrimWhitespace(raw_value)));
+    current->values[name] = std::move(value);
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  *EnsureKey(path) = std::move(staged);
+  ++revision_;
+  return Status::Ok();
+}
+
+std::uint64_t Registry::revision() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return revision_;
+}
+
+Status Registry::SaveToFile(const std::string& host_path) const {
+  AFS_ASSIGN_OR_RETURN(std::string text, RenderText(""));
+  FILE* f = std::fopen(host_path.c_str(), "w");
+  if (f == nullptr) return IoError("registry: cannot write " + host_path);
+  const std::size_t written = std::fwrite(text.data(), 1, text.size(), f);
+  const int closed = std::fclose(f);
+  if (written != text.size() || closed != 0) {
+    return IoError("registry: short write to " + host_path);
+  }
+  return Status::Ok();
+}
+
+Status Registry::LoadFromFile(const std::string& host_path) {
+  FILE* f = std::fopen(host_path.c_str(), "r");
+  if (f == nullptr) return NotFoundError("registry: no file " + host_path);
+  std::string text;
+  char buf[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    text.append(buf, n);
+  }
+  std::fclose(f);
+  return ApplyText("", text);
+}
+
+}  // namespace afs::reg

@@ -1,0 +1,106 @@
+// Hierarchical typed key/value store modelled on the Windows registry.
+// Substrate for the paper's configuration example (Section 3): a sentinel
+// renders a registry subtree as a plain-text file, and parses edits written
+// back by the application into registry mutations.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/status.hpp"
+
+namespace afs::reg {
+
+// Value types mirror the common REG_SZ / REG_DWORD / REG_BINARY trio.
+using Value = std::variant<std::string, std::uint32_t, Buffer>;
+
+enum class ValueType { kString, kDword, kBinary };
+
+ValueType TypeOf(const Value& v) noexcept;
+std::string_view TypeName(ValueType t) noexcept;
+
+// Thread-safe registry.  Paths are '/'-separated, e.g.
+// "Software/ActiveFiles/Cache"; the empty path names the root key.
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  // Creates the key and any missing ancestors.  Ok if it already exists.
+  Status CreateKey(std::string_view path);
+
+  // Deletes the key and its entire subtree; kNotFound if absent; the root
+  // key cannot be deleted.
+  Status DeleteKey(std::string_view path);
+
+  bool KeyExists(std::string_view path) const;
+
+  // Sets a value under an existing key (kNotFound if the key is absent).
+  Status SetValue(std::string_view key_path, std::string_view name,
+                  Value value);
+
+  Result<Value> GetValue(std::string_view key_path,
+                         std::string_view name) const;
+
+  Status DeleteValue(std::string_view key_path, std::string_view name);
+
+  // Immediate child key names, sorted.
+  Result<std::vector<std::string>> ListKeys(std::string_view path) const;
+
+  // Value names under a key, sorted.
+  Result<std::vector<std::string>> ListValues(std::string_view path) const;
+
+  // Renders the subtree at `path` in the text format below; parseable back
+  // by ApplyText.  Format (one key header per line, then its values):
+  //   [Software/ActiveFiles]
+  //   mode = str:eager
+  //   limit = dw:4096
+  //   blob = bin:0a0b0c
+  Result<std::string> RenderText(std::string_view path = "") const;
+
+  // Replaces the subtree at `path` with the parsed content.  The text uses
+  // paths relative to `path`.  On a parse error nothing is modified.
+  Status ApplyText(std::string_view path, std::string_view text);
+
+  // Monotone counter bumped by every successful mutation; the registry
+  // sentinel uses it to cheaply detect staleness of its rendered view.
+  std::uint64_t revision() const;
+
+  // Persistence: the text format round-trips, so hives save and load as
+  // ordinary files.  Load replaces the whole tree atomically (nothing
+  // changes on a parse error).
+  Status SaveToFile(const std::string& host_path) const;
+  Status LoadFromFile(const std::string& host_path);
+
+ private:
+  struct Key {
+    std::map<std::string, Key> children;
+    std::map<std::string, Value> values;
+  };
+
+  // Lock must be held.  nullptr when absent.
+  Key* FindKey(std::string_view path);
+  const Key* FindKey(std::string_view path) const;
+  Key* EnsureKey(std::string_view path);
+
+  static void RenderKey(const Key& key, const std::string& rel_path,
+                        std::string& out);
+
+  mutable std::mutex mu_;
+  Key root_;
+  std::uint64_t revision_ = 0;
+};
+
+// Parses / renders a single value in the text encoding ("str:x", "dw:42",
+// "bin:0a0b").  Exposed for tests and for the registry sentinel.
+std::string RenderValue(const Value& v);
+Result<Value> ParseValue(std::string_view text);
+
+}  // namespace afs::reg

@@ -1,0 +1,32 @@
+#include "sentinel/context.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace afs::sentinel {
+
+Result<std::size_t> MemoryDataStore::ReadAt(std::uint64_t offset,
+                                            MutableByteSpan out) {
+  if (offset >= data_.size()) return std::size_t{0};
+  const std::size_t n = std::min<std::size_t>(
+      out.size(), data_.size() - static_cast<std::size_t>(offset));
+  std::memcpy(out.data(), data_.data() + offset, n);
+  return n;
+}
+
+Result<std::size_t> MemoryDataStore::WriteAt(std::uint64_t offset,
+                                             ByteSpan data) {
+  const std::uint64_t end = offset + data.size();
+  if (end > data_.size()) data_.resize(static_cast<std::size_t>(end), 0);
+  std::memcpy(data_.data() + offset, data.data(), data.size());
+  return data.size();
+}
+
+Result<std::uint64_t> MemoryDataStore::Size() { return data_.size(); }
+
+Status MemoryDataStore::Truncate(std::uint64_t size) {
+  data_.resize(static_cast<std::size_t>(size), 0);
+  return Status::Ok();
+}
+
+}  // namespace afs::sentinel

@@ -1,0 +1,64 @@
+#include "sentinel/control.hpp"
+
+namespace afs::sentinel {
+
+Buffer EncodeControlMessage(const ControlMessage& message) {
+  Buffer out;
+  out.reserve(1 + 4 + 8 + 1 + 8 + 4 + message.payload.size());
+  out.push_back(static_cast<std::uint8_t>(message.op));
+  AppendU32(out, message.length);
+  AppendU64(out, static_cast<std::uint64_t>(message.offset));
+  out.push_back(message.origin);
+  AppendU64(out, message.range_len);
+  AppendLenPrefixed(out, ByteSpan(message.payload));
+  return out;
+}
+
+Result<ControlMessage> DecodeControlMessage(ByteSpan bytes) {
+  ByteReader reader(bytes);
+  ControlMessage message;
+  std::uint8_t op = 0;
+  std::uint64_t offset = 0;
+  ByteSpan payload;
+  if (!reader.ReadU8(op) || !reader.ReadU32(message.length) ||
+      !reader.ReadU64(offset) || !reader.ReadU8(message.origin) ||
+      !reader.ReadU64(message.range_len) || !reader.ReadLenPrefixed(payload)) {
+    return ProtocolError("malformed control message");
+  }
+  if (op < static_cast<std::uint8_t>(ControlOp::kRead) ||
+      op > static_cast<std::uint8_t>(ControlOp::kClose)) {
+    return ProtocolError("unknown control op " + std::to_string(op));
+  }
+  message.op = static_cast<ControlOp>(op);
+  message.offset = static_cast<std::int64_t>(offset);
+  message.payload.assign(payload.begin(), payload.end());
+  return message;
+}
+
+Buffer EncodeControlResponse(const ControlResponse& response) {
+  Buffer out;
+  out.reserve(2 + 4 + response.status.message().size() + 8 + 4 +
+              response.payload.size());
+  AppendU16(out, static_cast<std::uint16_t>(response.status.code()));
+  AppendLenPrefixed(out, response.status.message());
+  AppendU64(out, response.number);
+  AppendLenPrefixed(out, ByteSpan(response.payload));
+  return out;
+}
+
+Result<ControlResponse> DecodeControlResponse(ByteSpan bytes) {
+  ByteReader reader(bytes);
+  std::uint16_t code = 0;
+  std::string message;
+  ControlResponse response;
+  ByteSpan payload;
+  if (!reader.ReadU16(code) || !reader.ReadLenPrefixedString(message) ||
+      !reader.ReadU64(response.number) || !reader.ReadLenPrefixed(payload)) {
+    return ProtocolError("malformed control response");
+  }
+  response.status = Status(static_cast<ErrorCode>(code), std::move(message));
+  response.payload.assign(payload.begin(), payload.end());
+  return response;
+}
+
+}  // namespace afs::sentinel

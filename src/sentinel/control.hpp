@@ -1,0 +1,58 @@
+// The control protocol: typed commands flowing from application stubs to
+// the sentinel, and their responses.  This is what rides the control
+// channel of the process-plus-control strategy (paper Section 4.2 — "all
+// other file operations are now passed to the sentinel process as commands
+// with arguments") and the rendezvous slot of the DLL-with-thread strategy.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.hpp"
+#include "common/status.hpp"
+
+namespace afs::sentinel {
+
+enum class ControlOp : std::uint8_t {
+  kRead = 1,     // length
+  kWrite = 2,    // length (+ data on the write lane)
+  kSeek = 3,     // offset, origin
+  kGetSize = 4,
+  kSetEof = 5,
+  kFlush = 6,
+  kLock = 7,     // offset, range_len
+  kUnlock = 8,   // offset, range_len
+  kCustom = 9,   // payload in/out
+  kClose = 10,
+};
+
+struct ControlMessage {
+  ControlOp op = ControlOp::kClose;
+  std::uint32_t length = 0;      // read/write byte count
+  std::int64_t offset = 0;       // seek / lock offset
+  std::uint8_t origin = 0;       // vfs::SeekOrigin for kSeek
+  std::uint64_t range_len = 0;   // lock length
+  Buffer payload;                // kCustom request body
+
+  // Zero-copy lanes used only by in-process endpoints (thread/direct):
+  // the application's own buffers, never serialized.  When inline_out is
+  // non-empty, read data is placed directly in it and the response payload
+  // stays empty — the "user-mode memcpy" fast path of the paper's
+  // footnote 2.
+  ByteSpan inline_in{};
+  MutableByteSpan inline_out{};
+};
+
+struct ControlResponse {
+  Status status;            // the sentinel-side outcome of the operation
+  std::uint64_t number = 0;  // count / position / size, op-dependent
+  Buffer payload;            // read data (pipe lane) or kCustom reply
+};
+
+// Wire codecs (inline lanes are intentionally not carried).
+Buffer EncodeControlMessage(const ControlMessage& message);
+Result<ControlMessage> DecodeControlMessage(ByteSpan bytes);
+
+Buffer EncodeControlResponse(const ControlResponse& response);
+Result<ControlResponse> DecodeControlResponse(ByteSpan bytes);
+
+}  // namespace afs::sentinel

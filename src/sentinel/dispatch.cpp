@@ -1,0 +1,130 @@
+#include "sentinel/dispatch.hpp"
+
+#include <algorithm>
+
+namespace afs::sentinel {
+namespace {
+
+ControlResponse MakeResponse(Status status, std::uint64_t number = 0,
+                             Buffer payload = {}) {
+  ControlResponse response;
+  response.status = std::move(status);
+  response.number = number;
+  response.payload = std::move(payload);
+  return response;
+}
+
+}  // namespace
+
+int RunSentinelLoop(Sentinel& sentinel, SentinelEndpoint& endpoint,
+                    SentinelContext& ctx) {
+  // Open banner: the application's CreateFile blocks on this response, so
+  // a failing OnOpen fails the open itself.
+  const Status open_status = sentinel.OnOpen(ctx);
+  if (!endpoint.AF_SendResponse(MakeResponse(open_status)).ok()) return 1;
+  if (!open_status.ok()) return 0;
+
+  while (true) {
+    Result<ControlMessage> next = endpoint.AF_GetControl();
+    if (!next.ok()) {
+      // Application vanished (closed pipes / dropped the link): implicit
+      // close so aggregation/distribution side effects still complete.
+      (void)sentinel.OnClose(ctx);
+      return next.status().code() == ErrorCode::kClosed ? 0 : 1;
+    }
+    ControlMessage& msg = *next;
+
+    switch (msg.op) {
+      case ControlOp::kRead: {
+        Buffer tmp;
+        MutableByteSpan out = msg.inline_out;
+        if (out.size() > msg.length) out = out.first(msg.length);
+        if (out.empty() && msg.length > 0) {
+          tmp.resize(msg.length);
+          out = MutableByteSpan(tmp);
+        }
+        Result<std::size_t> got = sentinel.OnRead(ctx, out);
+        if (!got.ok()) {
+          (void)endpoint.AF_SendResponse(MakeResponse(got.status()));
+          break;
+        }
+        ctx.position += *got;
+        Buffer payload;
+        if (!tmp.empty()) {
+          tmp.resize(*got);
+          payload = std::move(tmp);
+        }
+        (void)endpoint.AF_SendResponse(
+            MakeResponse(Status::Ok(), *got, std::move(payload)));
+        break;
+      }
+      case ControlOp::kWrite: {
+        ByteSpan in = msg.inline_in;
+        Buffer tmp;
+        if (in.empty() && msg.length > 0) {
+          Result<Buffer> fetched = endpoint.AF_GetDataFromAppl(msg.length);
+          if (!fetched.ok()) {
+            (void)sentinel.OnClose(ctx);
+            return 1;  // data lane broken mid-write; channel unusable
+          }
+          tmp = std::move(*fetched);
+          in = ByteSpan(tmp);
+        }
+        Result<std::size_t> wrote = sentinel.OnWrite(ctx, in);
+        if (!wrote.ok()) {
+          (void)endpoint.AF_SendResponse(MakeResponse(wrote.status()));
+          break;
+        }
+        ctx.position += *wrote;
+        (void)endpoint.AF_SendResponse(MakeResponse(Status::Ok(), *wrote));
+        break;
+      }
+      case ControlOp::kSeek: {
+        Result<std::uint64_t> pos = sentinel.OnSeek(
+            ctx, msg.offset, static_cast<SeekOrigin>(msg.origin));
+        (void)endpoint.AF_SendResponse(
+            pos.ok() ? MakeResponse(Status::Ok(), *pos)
+                     : MakeResponse(pos.status()));
+        break;
+      }
+      case ControlOp::kGetSize: {
+        Result<std::uint64_t> size = sentinel.OnGetSize(ctx);
+        (void)endpoint.AF_SendResponse(
+            size.ok() ? MakeResponse(Status::Ok(), *size)
+                      : MakeResponse(size.status()));
+        break;
+      }
+      case ControlOp::kSetEof:
+        (void)endpoint.AF_SendResponse(MakeResponse(sentinel.OnSetEof(ctx)));
+        break;
+      case ControlOp::kFlush:
+        (void)endpoint.AF_SendResponse(MakeResponse(sentinel.OnFlush(ctx)));
+        break;
+      case ControlOp::kLock:
+        (void)endpoint.AF_SendResponse(MakeResponse(sentinel.OnLock(
+            ctx, static_cast<std::uint64_t>(msg.offset), msg.range_len)));
+        break;
+      case ControlOp::kUnlock:
+        (void)endpoint.AF_SendResponse(MakeResponse(sentinel.OnUnlock(
+            ctx, static_cast<std::uint64_t>(msg.offset), msg.range_len)));
+        break;
+      case ControlOp::kCustom: {
+        Result<Buffer> reply = sentinel.OnControl(ctx, ByteSpan(msg.payload));
+        if (!reply.ok()) {
+          (void)endpoint.AF_SendResponse(MakeResponse(reply.status()));
+          break;
+        }
+        (void)endpoint.AF_SendResponse(
+            MakeResponse(Status::Ok(), reply->size(), std::move(*reply)));
+        break;
+      }
+      case ControlOp::kClose: {
+        const Status status = sentinel.OnClose(ctx);
+        (void)endpoint.AF_SendResponse(MakeResponse(status));
+        return 0;
+      }
+    }
+  }
+}
+
+}  // namespace afs::sentinel

@@ -1,0 +1,19 @@
+// The sentinel dispatch loop (paper Sections 5.2/5.3): block on
+// AF_GetControl, perform the operation against the Sentinel, respond,
+// repeat until close.  Shared verbatim by the process-plus-control strategy
+// (running in a forked child over pipes) and the DLL-with-thread strategy
+// (running in an injected thread over shared memory) — the strategies differ
+// only in the SentinelEndpoint they plug in.
+#pragma once
+
+#include "sentinel/endpoint.hpp"
+#include "sentinel/sentinel.hpp"
+
+namespace afs::sentinel {
+
+// Runs OnOpen, the command loop, and OnClose.  Returns the process exit
+// code (0 on clean shutdown) so forked children can return it directly.
+int RunSentinelLoop(Sentinel& sentinel, SentinelEndpoint& endpoint,
+                    SentinelContext& ctx);
+
+}  // namespace afs::sentinel

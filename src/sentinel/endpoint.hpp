@@ -1,0 +1,49 @@
+// The two halves of an active-file connection, named after the library
+// calls of paper Appendix A.3.
+//
+//   application stub  --AF_SendControl-->   sentinel  (AF_GetControl)
+//   application stub  <--AF_GetResponse--   sentinel  (AF_SendResponse)
+//   write data        --(write lane)---->             (AF_GetDataFromAppl)
+//   read data         <--(response payload or inline_out)--
+//
+// Implementations: core::PipeLink/PipeEndpoint (three real pipes, the
+// process-plus-control strategy) and core::ThreadRendezvous (events +
+// shared memory, the DLL-with-thread strategy).
+#pragma once
+
+#include "common/bytes.hpp"
+#include "common/status.hpp"
+#include "sentinel/control.hpp"
+
+namespace afs::sentinel {
+
+// Application side.
+class SentinelLink {
+ public:
+  virtual ~SentinelLink() = default;
+
+  // Ships a command (and, for kWrite, its data) to the sentinel.
+  virtual Status AF_SendControl(const ControlMessage& message) = 0;
+
+  // Blocks for the sentinel's response to the last command.
+  virtual Result<ControlResponse> AF_GetResponse() = 0;
+};
+
+// Sentinel side.
+class SentinelEndpoint {
+ public:
+  virtual ~SentinelEndpoint() = default;
+
+  // Blocks until the application issues a command; kClosed when the
+  // application side has gone away (treated as an implicit close).
+  virtual Result<ControlMessage> AF_GetControl() = 0;
+
+  // Retrieves the data bytes accompanying a kWrite whose inline lane is
+  // empty (pipe transport).  Must be called exactly once per such write.
+  virtual Result<Buffer> AF_GetDataFromAppl(std::size_t length) = 0;
+
+  // Completes the current command.
+  virtual Status AF_SendResponse(const ControlResponse& response) = 0;
+};
+
+}  // namespace afs::sentinel

@@ -1,0 +1,52 @@
+#include "sentinel/registry.hpp"
+
+namespace afs::sentinel {
+
+Status SentinelRegistry::Register(const std::string& name, Factory factory) {
+  if (name.empty()) return InvalidArgumentError("empty sentinel name");
+  if (factory == nullptr) return InvalidArgumentError("null factory");
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = factories_.emplace(name, std::move(factory));
+  if (!inserted) {
+    return AlreadyExistsError("sentinel already registered: " + name);
+  }
+  return Status::Ok();
+}
+
+bool SentinelRegistry::Has(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return factories_.count(name) != 0;
+}
+
+Result<std::unique_ptr<Sentinel>> SentinelRegistry::Create(
+    const SentinelSpec& spec) const {
+  Factory factory;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = factories_.find(spec.name);
+    if (it == factories_.end()) {
+      return NotFoundError("no sentinel registered as '" + spec.name + "'");
+    }
+    factory = it->second;
+  }
+  std::unique_ptr<Sentinel> sentinel = factory(spec);
+  if (sentinel == nullptr) {
+    return InternalError("factory for '" + spec.name + "' returned null");
+  }
+  return sentinel;
+}
+
+std::vector<std::string> SentinelRegistry::Names() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(factories_.size());
+  for (const auto& [name, factory] : factories_) names.push_back(name);
+  return names;
+}
+
+SentinelRegistry& SentinelRegistry::Global() {
+  static SentinelRegistry registry;
+  return registry;
+}
+
+}  // namespace afs::sentinel

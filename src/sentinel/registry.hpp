@@ -1,0 +1,57 @@
+// SentinelRegistry: maps the "active part" of an active file to code.
+//
+// The paper's NT prototype stores an executable (or DLL) as the active
+// part and launches/injects it.  Here the active part names a sentinel
+// registered in this table plus its configuration; strategies instantiate
+// a fresh Sentinel per open (paper Section 2.2: one sentinel per opening
+// process).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "sentinel/sentinel.hpp"
+
+namespace afs::sentinel {
+
+// The deserialized active part: which sentinel, and its settings.
+// Reserved config keys interpreted by the runtime (not the sentinel):
+//   "cache"    : none | disk | memory        (default disk)
+//   "strategy" : process | process_control | thread | direct
+//                                            (default: manager setting)
+struct SentinelSpec {
+  std::string name;
+  std::map<std::string, std::string> config;
+};
+
+class SentinelRegistry {
+ public:
+  using Factory =
+      std::function<std::unique_ptr<Sentinel>(const SentinelSpec& spec)>;
+
+  SentinelRegistry() = default;
+  SentinelRegistry(const SentinelRegistry&) = delete;
+  SentinelRegistry& operator=(const SentinelRegistry&) = delete;
+
+  Status Register(const std::string& name, Factory factory);
+
+  bool Has(const std::string& name) const;
+
+  Result<std::unique_ptr<Sentinel>> Create(const SentinelSpec& spec) const;
+
+  std::vector<std::string> Names() const;
+
+  // Process-wide registry used by ActiveFileManager by default.
+  static SentinelRegistry& Global();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, Factory> factories_;
+};
+
+}  // namespace afs::sentinel

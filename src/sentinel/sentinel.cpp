@@ -1,0 +1,84 @@
+#include "sentinel/sentinel.hpp"
+
+namespace afs::sentinel {
+
+namespace {
+Status NoDataPart() {
+  return UnsupportedError(
+      "active file has no data part and its sentinel does not override this "
+      "operation");
+}
+}  // namespace
+
+Result<std::size_t> Sentinel::OnRead(SentinelContext& ctx,
+                                     MutableByteSpan out) {
+  if (ctx.cache == nullptr) return NoDataPart();
+  return ctx.cache->ReadAt(ctx.position, out);
+}
+
+Result<std::size_t> Sentinel::OnWrite(SentinelContext& ctx, ByteSpan data) {
+  if (ctx.cache == nullptr) return NoDataPart();
+  return ctx.cache->WriteAt(ctx.position, data);
+}
+
+Result<std::uint64_t> Sentinel::OnGetSize(SentinelContext& ctx) {
+  if (ctx.cache == nullptr) return NoDataPart();
+  return ctx.cache->Size();
+}
+
+Result<std::uint64_t> Sentinel::OnSeek(SentinelContext& ctx,
+                                       std::int64_t offset,
+                                       SeekOrigin origin) {
+  std::int64_t base = 0;
+  switch (origin) {
+    case SeekOrigin::kBegin:
+      base = 0;
+      break;
+    case SeekOrigin::kCurrent:
+      base = static_cast<std::int64_t>(ctx.position);
+      break;
+    case SeekOrigin::kEnd: {
+      AFS_ASSIGN_OR_RETURN(std::uint64_t size, OnGetSize(ctx));
+      base = static_cast<std::int64_t>(size);
+      break;
+    }
+  }
+  const std::int64_t target = base + offset;
+  if (target < 0) return OutOfRangeError("seek before start of file");
+  ctx.position = static_cast<std::uint64_t>(target);
+  return ctx.position;
+}
+
+Status Sentinel::OnSetEof(SentinelContext& ctx) {
+  if (ctx.cache == nullptr) return NoDataPart();
+  return ctx.cache->Truncate(ctx.position);
+}
+
+Status Sentinel::OnFlush(SentinelContext& ctx) {
+  if (ctx.cache == nullptr) return Status::Ok();
+  return ctx.cache->Flush();
+}
+
+Status Sentinel::OnLock(SentinelContext& ctx, std::uint64_t offset,
+                        std::uint64_t length) {
+  (void)ctx;
+  (void)offset;
+  (void)length;
+  return Status::Ok();
+}
+
+Status Sentinel::OnUnlock(SentinelContext& ctx, std::uint64_t offset,
+                          std::uint64_t length) {
+  (void)ctx;
+  (void)offset;
+  (void)length;
+  return Status::Ok();
+}
+
+Result<Buffer> Sentinel::OnControl(SentinelContext& ctx, ByteSpan request) {
+  (void)ctx;
+  (void)request;
+  return UnsupportedError("sentinel does not implement custom controls");
+}
+
+}  // namespace afs::sentinel

@@ -1,0 +1,74 @@
+// The sentinel programming model (paper Sections 2.2, 3 and 5).
+//
+// A Sentinel receives every file operation an application performs on its
+// active file.  The default implementations pass each operation straight
+// through to the data part — i.e. an un-overridden Sentinel is the paper's
+// "null filter", giving the active file passive-file semantics.  Concrete
+// sentinels override a subset to implement the four fundamental actions:
+// data generation, input/output filtering, aggregation, and distribution
+// (Figure 3).
+#pragma once
+
+#include <memory>
+
+#include "common/bytes.hpp"
+#include "common/status.hpp"
+#include "sentinel/context.hpp"
+#include "vfs/file_handle.hpp"
+
+namespace afs::sentinel {
+
+using vfs::SeekOrigin;
+
+class Sentinel {
+ public:
+  virtual ~Sentinel() = default;
+
+  // Called once when the user process opens the active file, before any
+  // other operation.  Aggregating sentinels typically fetch/refresh remote
+  // content here ("reflects the latest stock quotes every time the file is
+  // opened").
+  virtual Status OnOpen(SentinelContext& ctx) {
+    (void)ctx;
+    return Status::Ok();
+  }
+
+  // Serves a ReadFile at ctx.position.  Return value is the byte count
+  // produced (0 = EOF); the dispatch glue advances ctx.position by it.
+  virtual Result<std::size_t> OnRead(SentinelContext& ctx,
+                                     MutableByteSpan out);
+
+  // Serves a WriteFile at ctx.position; glue advances ctx.position.
+  virtual Result<std::size_t> OnWrite(SentinelContext& ctx, ByteSpan data);
+
+  // Serves GetFileSize.
+  virtual Result<std::uint64_t> OnGetSize(SentinelContext& ctx);
+
+  // Serves SetFilePointer; must update and return ctx.position.  The
+  // default does standard begin/current/end arithmetic against OnGetSize.
+  virtual Result<std::uint64_t> OnSeek(SentinelContext& ctx,
+                                       std::int64_t offset, SeekOrigin origin);
+
+  // Serves SetEndOfFile (truncate at ctx.position).
+  virtual Status OnSetEof(SentinelContext& ctx);
+
+  virtual Status OnFlush(SentinelContext& ctx);
+
+  // Advisory locks; default acquires nothing and succeeds.
+  virtual Status OnLock(SentinelContext& ctx, std::uint64_t offset,
+                        std::uint64_t length);
+  virtual Status OnUnlock(SentinelContext& ctx, std::uint64_t offset,
+                          std::uint64_t length);
+
+  // Application-specific commands tunneled through the control channel.
+  virtual Result<Buffer> OnControl(SentinelContext& ctx, ByteSpan request);
+
+  // Called exactly once when the user process closes the file (or the
+  // channel to it breaks).  Distribution sentinels flush side effects here.
+  virtual Status OnClose(SentinelContext& ctx) {
+    (void)ctx;
+    return Status::Ok();
+  }
+};
+
+}  // namespace afs::sentinel

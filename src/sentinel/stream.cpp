@@ -1,0 +1,58 @@
+#include "sentinel/stream.hpp"
+
+#include <mutex>
+#include <thread>
+
+namespace afs::sentinel {
+
+int RunStreamPump(Sentinel& sentinel, StreamIo& io, SentinelContext& ctx) {
+  std::mutex mu;  // serializes sentinel calls between the two pump threads
+
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    if (!sentinel.OnOpen(ctx).ok()) {
+      io.finish_output();
+      return 1;
+    }
+  }
+
+  // Reader side of Figure 2: pull from the sentinel, push to the app.
+  std::thread reader([&] {
+    Buffer chunk(4096);
+    std::uint64_t read_pos = 0;
+    while (true) {
+      Result<std::size_t> got(std::size_t{0});
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        ctx.position = read_pos;
+        got = sentinel.OnRead(ctx, MutableByteSpan(chunk));
+      }
+      if (!got.ok() || *got == 0) break;
+      read_pos += *got;
+      if (!io.write_to_app(ByteSpan(chunk.data(), *got)).ok()) {
+        break;  // application closed its side
+      }
+    }
+    io.finish_output();
+  });
+
+  // Writer side: drain application writes into the sentinel sequentially.
+  Buffer chunk(4096);
+  std::uint64_t write_pos = 0;
+  while (true) {
+    Result<std::size_t> got = io.read_from_app(MutableByteSpan(chunk));
+    if (!got.ok() || *got == 0) break;  // EOF: application closed the file
+    std::lock_guard<std::mutex> lock(mu);
+    ctx.position = write_pos;
+    Result<std::size_t> wrote =
+        sentinel.OnWrite(ctx, ByteSpan(chunk.data(), *got));
+    if (!wrote.ok()) break;
+    write_pos += *wrote;
+  }
+
+  reader.join();
+  std::lock_guard<std::mutex> lock(mu);
+  return sentinel.OnClose(ctx).ok() ? 0 : 1;
+}
+
+}  // namespace afs::sentinel

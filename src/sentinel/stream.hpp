@@ -1,0 +1,46 @@
+// Stream-mode sentinel support for the plain process-based strategy
+// (paper Section 4.1 and Figure 2).
+//
+// In that strategy there is no control channel: the sentinel sees only two
+// byte streams — what the application writes, and what it will read.  The
+// library runs any command-model Sentinel in this mode through StreamPump,
+// which mirrors Figure 2's two threads: one drains application writes into
+// OnWrite, the other pumps OnRead output toward the application, eagerly
+// (the paper's "eagerly inject data into the read pipe").
+//
+// The inherent limitations the paper states for this strategy fall out
+// naturally: operations like seek and GetFileSize have no way to travel,
+// and reads observe a sequential, eagerly-produced stream.
+#pragma once
+
+#include <functional>
+
+#include "common/bytes.hpp"
+#include "common/status.hpp"
+#include "sentinel/sentinel.hpp"
+
+namespace afs::sentinel {
+
+// The sentinel's two byte streams.  read_from_app returns 0 at EOF (the
+// application closed the file); write_to_app fails with kClosed when the
+// application is gone.
+struct StreamIo {
+  std::function<Result<std::size_t>(MutableByteSpan)> read_from_app;
+  std::function<Status(ByteSpan)> write_to_app;
+  // Signals end-of-data to the application (close of the read pipe's write
+  // end) so its ReadFile sees EOF.
+  std::function<void()> finish_output;
+};
+
+// Runs `sentinel` in stream mode until the application closes its side:
+//   1. OnOpen
+//   2. reader thread: OnRead from position 0 onward -> write_to_app,
+//      then finish_output()
+//   3. writer loop:   read_from_app -> OnWrite appended sequentially
+//   4. OnClose
+// Sentinel calls are serialized with an internal mutex (the two pump
+// threads never run sentinel code concurrently).  Returns a process exit
+// code.
+int RunStreamPump(Sentinel& sentinel, StreamIo& io, SentinelContext& ctx);
+
+}  // namespace afs::sentinel

@@ -1,0 +1,48 @@
+#include "sentinels/builtin.hpp"
+
+#include "sentinels/feeds.hpp"
+#include "sentinels/filter.hpp"
+#include "sentinels/ftp.hpp"
+#include "sentinels/generate.hpp"
+#include "sentinels/logsent.hpp"
+#include "sentinels/notify.hpp"
+#include "sentinels/pipeline.hpp"
+#include "sentinels/policy.hpp"
+#include "sentinels/regsent.hpp"
+#include "sentinels/tee.hpp"
+#include "sentinels/remote.hpp"
+
+namespace afs::sentinels {
+
+void RegisterBuiltinSentinels(sentinel::SentinelRegistry& registry) {
+  auto add = [&](const char* name, sentinel::SentinelRegistry::Factory f) {
+    if (!registry.Has(name)) (void)registry.Register(name, std::move(f));
+  };
+  add("null", [](const sentinel::SentinelSpec&) {
+    // The base Sentinel *is* the null filter: every operation passes
+    // through to the data part unchanged.
+    return std::make_unique<sentinel::Sentinel>();
+  });
+  add("random", MakeRandomGenSentinel);
+  add("compress", MakeCompressSentinel);
+  add("audit", MakeAuditSentinel);
+  add("log", MakeLoggingSentinel);
+  add("notify", MakeNotifySentinel);
+  add("pipeline", MakePipelineSentinel);
+  add("policy", MakePolicySentinel);
+  add("registry", MakeRegistrySentinel);
+  add("remote", MakeRemoteFileSentinel);
+  add("ftp", MakeFtpFileSentinel);
+  add("http", MakeHttpFileSentinel);
+  add("tee", MakeTeeSentinel);
+  add("merge", MakeMergeSentinel);
+  add("quotes", MakeQuoteSentinel);
+  add("inbox", MakeInboxSentinel);
+  add("outbox", MakeOutboxSentinel);
+}
+
+void RegisterBuiltinSentinels() {
+  RegisterBuiltinSentinels(sentinel::SentinelRegistry::Global());
+}
+
+}  // namespace afs::sentinels

@@ -1,0 +1,32 @@
+// Registration of the built-in sentinel library.
+#pragma once
+
+#include "sentinel/registry.hpp"
+
+namespace afs::sentinels {
+
+// Registers every built-in sentinel:
+//   null      — pass-through (paper Figure 2's null filter)
+//   random    — unbounded generated stream
+//   compress  — per-file compression filter
+//   audit     — access-logging pass-through
+//   log       — cross-process locking log
+//   notify    — pass-through publishing an AccessEvent per operation
+//   pipeline  — composes other sentinels into a chain (paper §3)
+//   policy    — resource-centric access control (paper §7)
+//   registry  — registry subtree as an editable text file
+//   remote    — one remote file as a local one (3 caching paths)
+//   ftp       — fetch-a-copy access over the FTP-like line protocol
+//   http      — remote file over the HTTP-like protocol (ranges, HEAD)
+//   tee       — writes mirror synchronously to a remote file
+//   merge     — several remote files merged into one view
+//   quotes    — live stock-quote snapshot
+//   inbox     — multi-server mail retrieval
+//   outbox    — write-to-send mail distribution
+// Idempotent: re-registering is a no-op.
+void RegisterBuiltinSentinels(sentinel::SentinelRegistry& registry);
+
+// Convenience for the common case.
+void RegisterBuiltinSentinels();
+
+}  // namespace afs::sentinels

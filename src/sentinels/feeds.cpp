@@ -1,0 +1,210 @@
+#include "sentinels/feeds.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/strings.hpp"
+
+namespace afs::sentinels {
+namespace {
+
+Result<std::size_t> ReadFromBuffer(const Buffer& source,
+                                   std::uint64_t position,
+                                   MutableByteSpan out) {
+  if (position >= source.size()) return std::size_t{0};
+  const std::size_t n = std::min<std::size_t>(
+      out.size(), source.size() - static_cast<std::size_t>(position));
+  std::memcpy(out.data(), source.data() + position, n);
+  return n;
+}
+
+}  // namespace
+
+Status QuoteSentinel::Fetch(sentinel::SentinelContext& ctx) {
+  net::QuoteClient client(*transport_);
+  AFS_ASSIGN_OR_RETURN(std::vector<net::Quote> quotes,
+                       client.GetQuotes(symbols_));
+  text_ = ToBuffer(net::RenderQuotesText(quotes));
+  // Mirror into the data part so a later passive inspection of the bundle
+  // shows the last snapshot.
+  if (ctx.cache != nullptr) {
+    AFS_RETURN_IF_ERROR(ctx.cache->Truncate(text_.size()));
+    if (!text_.empty()) {
+      AFS_ASSIGN_OR_RETURN(std::size_t n,
+                           ctx.cache->WriteAt(0, ByteSpan(text_)));
+      (void)n;
+    }
+  }
+  return Status::Ok();
+}
+
+Status QuoteSentinel::OnOpen(sentinel::SentinelContext& ctx) {
+  const std::string url = ctx.config_or("url", "");
+  const std::string symbols = ctx.config_or("symbols", "");
+  if (url.empty() || symbols.empty()) {
+    return InvalidArgumentError("quotes: needs 'url' and 'symbols' config");
+  }
+  symbols_.clear();
+  for (const auto& part : Split(symbols, ',')) {
+    const std::string symbol = TrimWhitespace(part);
+    if (!symbol.empty()) symbols_.push_back(symbol);
+  }
+  AFS_ASSIGN_OR_RETURN(transport_, ctx.ConnectRemote(url));
+  return Fetch(ctx);
+}
+
+Result<std::size_t> QuoteSentinel::OnRead(sentinel::SentinelContext& ctx,
+                                          MutableByteSpan out) {
+  return ReadFromBuffer(text_, ctx.position, out);
+}
+
+Result<std::size_t> QuoteSentinel::OnWrite(sentinel::SentinelContext& ctx,
+                                           ByteSpan data) {
+  (void)ctx;
+  (void)data;
+  return PermissionDeniedError("quotes: feed is read-only");
+}
+
+Result<std::uint64_t> QuoteSentinel::OnGetSize(sentinel::SentinelContext& ctx) {
+  (void)ctx;
+  return text_.size();
+}
+
+Result<Buffer> QuoteSentinel::OnControl(sentinel::SentinelContext& ctx,
+                                        ByteSpan request) {
+  if (ToString(request) == "refresh") {
+    AFS_RETURN_IF_ERROR(Fetch(ctx));
+    return ToBuffer(std::to_string(text_.size()));
+  }
+  return UnsupportedError("quotes: unknown control");
+}
+
+Status InboxSentinel::OnOpen(sentinel::SentinelContext& ctx) {
+  const std::string urls = ctx.config_or("urls", ctx.config_or("url", ""));
+  const std::string user = ctx.config_or("user", "");
+  if (urls.empty() || user.empty()) {
+    return InvalidArgumentError("inbox: needs 'urls' and 'user' config");
+  }
+  const bool purge = ctx.config_or("delete", "0") == "1";
+
+  std::string rendered;
+  for (const auto& part : Split(urls, ';')) {
+    const std::string url = TrimWhitespace(part);
+    if (url.empty()) continue;
+    AFS_ASSIGN_OR_RETURN(auto transport, ctx.ConnectRemote(url));
+    net::MailClient client(*transport);
+    AFS_ASSIGN_OR_RETURN(std::vector<std::uint32_t> sizes, client.List(user));
+    for (std::uint32_t i = 0; i < sizes.size(); ++i) {
+      AFS_ASSIGN_OR_RETURN(net::MailMessage message, client.Retrieve(user, i));
+      rendered += net::RenderMessage(message);
+      rendered += "\n.\n";
+    }
+    if (purge) {
+      // Delete from the back so indices stay valid.
+      for (std::uint32_t i = static_cast<std::uint32_t>(sizes.size()); i > 0;
+           --i) {
+        AFS_RETURN_IF_ERROR(client.Delete(user, i - 1));
+      }
+    }
+  }
+  text_ = ToBuffer(rendered);
+  if (ctx.cache != nullptr) {
+    AFS_RETURN_IF_ERROR(ctx.cache->Truncate(text_.size()));
+    if (!text_.empty()) {
+      AFS_ASSIGN_OR_RETURN(std::size_t n,
+                           ctx.cache->WriteAt(0, ByteSpan(text_)));
+      (void)n;
+    }
+  }
+  return Status::Ok();
+}
+
+Result<std::size_t> InboxSentinel::OnRead(sentinel::SentinelContext& ctx,
+                                          MutableByteSpan out) {
+  return ReadFromBuffer(text_, ctx.position, out);
+}
+
+Result<std::size_t> InboxSentinel::OnWrite(sentinel::SentinelContext& ctx,
+                                           ByteSpan data) {
+  (void)ctx;
+  (void)data;
+  return PermissionDeniedError("inbox: retrieved mail is read-only");
+}
+
+Result<std::uint64_t> InboxSentinel::OnGetSize(sentinel::SentinelContext& ctx) {
+  (void)ctx;
+  return text_.size();
+}
+
+Status OutboxSentinel::OnOpen(sentinel::SentinelContext& ctx) {
+  const std::string url = ctx.config_or("url", "");
+  if (url.empty()) return InvalidArgumentError("outbox: needs 'url' config");
+  AFS_ASSIGN_OR_RETURN(transport_, ctx.ConnectRemote(url));
+  pending_.clear();
+  delivered_ = 0;
+  return Status::Ok();
+}
+
+Result<std::size_t> OutboxSentinel::OnWrite(sentinel::SentinelContext& ctx,
+                                            ByteSpan data) {
+  (void)ctx;
+  pending_.insert(pending_.end(), data.begin(), data.end());
+  return data.size();
+}
+
+Result<std::size_t> OutboxSentinel::OnRead(sentinel::SentinelContext& ctx,
+                                           MutableByteSpan out) {
+  // Reading the outbox shows what is queued but unsent.
+  return ReadFromBuffer(pending_, ctx.position, out);
+}
+
+Status OutboxSentinel::Send(sentinel::SentinelContext& ctx) {
+  (void)ctx;
+  if (pending_.empty()) return Status::Ok();
+  std::vector<std::string> recipients;
+  AFS_ASSIGN_OR_RETURN(
+      net::MailMessage message,
+      net::ParseMessage(ToString(ByteSpan(pending_)), &recipients));
+  net::MailClient client(*transport_);
+  AFS_ASSIGN_OR_RETURN(std::uint32_t count, client.Send(message, recipients));
+  delivered_ += count;
+  pending_.clear();
+  return Status::Ok();
+}
+
+Status OutboxSentinel::OnFlush(sentinel::SentinelContext& ctx) {
+  return Send(ctx);
+}
+
+Status OutboxSentinel::OnClose(sentinel::SentinelContext& ctx) {
+  return Send(ctx);
+}
+
+Result<Buffer> OutboxSentinel::OnControl(sentinel::SentinelContext& ctx,
+                                         ByteSpan request) {
+  (void)ctx;
+  if (ToString(request) == "delivered") {
+    return ToBuffer(std::to_string(delivered_));
+  }
+  return UnsupportedError("outbox: unknown control");
+}
+
+std::unique_ptr<sentinel::Sentinel> MakeQuoteSentinel(
+    const sentinel::SentinelSpec& spec) {
+  (void)spec;
+  return std::make_unique<QuoteSentinel>();
+}
+
+std::unique_ptr<sentinel::Sentinel> MakeInboxSentinel(
+    const sentinel::SentinelSpec& spec) {
+  (void)spec;
+  return std::make_unique<InboxSentinel>();
+}
+
+std::unique_ptr<sentinel::Sentinel> MakeOutboxSentinel(
+    const sentinel::SentinelSpec& spec) {
+  (void)spec;
+  return std::make_unique<OutboxSentinel>();
+}
+
+}  // namespace afs::sentinels

@@ -1,0 +1,92 @@
+// Feed sentinels: live aggregation and distribution examples from paper
+// Section 3 — the stock-quote file, the POP inbox file, and the outbox
+// mail distributor.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/mail_server.hpp"
+#include "net/quote_server.hpp"
+#include "sentinel/registry.hpp"
+#include "sentinel/sentinel.hpp"
+
+namespace afs::sentinels {
+
+// "quotes": the file contents are the latest quotes for the configured
+// symbols, refreshed on every open.  Config:
+//   url     : quote service
+//   symbols : comma-separated tickers
+class QuoteSentinel final : public sentinel::Sentinel {
+ public:
+  Status OnOpen(sentinel::SentinelContext& ctx) override;
+  Result<std::size_t> OnRead(sentinel::SentinelContext& ctx,
+                             MutableByteSpan out) override;
+  Result<std::size_t> OnWrite(sentinel::SentinelContext& ctx,
+                              ByteSpan data) override;
+  Result<std::uint64_t> OnGetSize(sentinel::SentinelContext& ctx) override;
+  // Control "refresh" re-fetches without reopening.
+  Result<Buffer> OnControl(sentinel::SentinelContext& ctx,
+                           ByteSpan request) override;
+
+ private:
+  Status Fetch(sentinel::SentinelContext& ctx);
+
+  std::unique_ptr<net::Transport> transport_;
+  std::vector<std::string> symbols_;
+  Buffer text_;
+};
+
+// "inbox": reading the file retrieves waiting mail from one or more
+// remote servers ("possibly from multiple remote POP servers").  Config:
+//   urls   : semicolon-separated mail services
+//   user   : mailbox owner
+//   delete : "1" to delete retrieved messages from the servers
+// Messages are rendered back-to-back, each terminated by "\n.\n".
+class InboxSentinel final : public sentinel::Sentinel {
+ public:
+  Status OnOpen(sentinel::SentinelContext& ctx) override;
+  Result<std::size_t> OnRead(sentinel::SentinelContext& ctx,
+                             MutableByteSpan out) override;
+  Result<std::size_t> OnWrite(sentinel::SentinelContext& ctx,
+                              ByteSpan data) override;
+  Result<std::uint64_t> OnGetSize(sentinel::SentinelContext& ctx) override;
+
+ private:
+  Buffer text_;
+};
+
+// "outbox": data written to the file is parsed as a mail message; at close
+// (or flush) the sentinel extracts the To: recipients and sends a copy to
+// each.  Config:
+//   url : mail service
+// Control "delivered" reports how many deliveries this open performed.
+class OutboxSentinel final : public sentinel::Sentinel {
+ public:
+  Status OnOpen(sentinel::SentinelContext& ctx) override;
+  Result<std::size_t> OnWrite(sentinel::SentinelContext& ctx,
+                              ByteSpan data) override;
+  Result<std::size_t> OnRead(sentinel::SentinelContext& ctx,
+                             MutableByteSpan out) override;
+  Status OnFlush(sentinel::SentinelContext& ctx) override;
+  Status OnClose(sentinel::SentinelContext& ctx) override;
+  Result<Buffer> OnControl(sentinel::SentinelContext& ctx,
+                           ByteSpan request) override;
+
+ private:
+  Status Send(sentinel::SentinelContext& ctx);
+
+  std::unique_ptr<net::Transport> transport_;
+  Buffer pending_;
+  std::uint32_t delivered_ = 0;
+};
+
+std::unique_ptr<sentinel::Sentinel> MakeQuoteSentinel(
+    const sentinel::SentinelSpec& spec);
+std::unique_ptr<sentinel::Sentinel> MakeInboxSentinel(
+    const sentinel::SentinelSpec& spec);
+std::unique_ptr<sentinel::Sentinel> MakeOutboxSentinel(
+    const sentinel::SentinelSpec& spec);
+
+}  // namespace afs::sentinels

@@ -1,0 +1,168 @@
+#include "sentinels/filter.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "util/crc32.hpp"
+
+namespace afs::sentinels {
+
+namespace {
+constexpr char kCompressMagic[4] = {'A', 'F', 'C', '1'};
+}  // namespace
+
+Status CompressSentinel::OnOpen(sentinel::SentinelContext& ctx) {
+  if (ctx.cache == nullptr) {
+    return InvalidArgumentError("compress: requires a data part (cache!=none)");
+  }
+  const std::string codec_name = ctx.config_or("codec", "lz77");
+  AFS_ASSIGN_OR_RETURN(codec_, codec::MakeCodec(codec_name));
+
+  AFS_ASSIGN_OR_RETURN(std::uint64_t stored_size, ctx.cache->Size());
+  encoded_size_at_open_ = stored_size;
+  if (stored_size == 0) {
+    plaintext_.clear();
+    return Status::Ok();
+  }
+  Buffer image(static_cast<std::size_t>(stored_size));
+  AFS_ASSIGN_OR_RETURN(std::size_t n,
+                       ctx.cache->ReadAt(0, MutableByteSpan(image)));
+  image.resize(n);
+
+  ByteReader reader{ByteSpan(image)};
+  ByteSpan magic;
+  std::string stored_codec;
+  std::uint32_t crc = 0;
+  ByteSpan compressed;
+  if (!reader.ReadBytes(4, magic) ||
+      std::memcmp(magic.data(), kCompressMagic, 4) != 0 ||
+      !reader.ReadLenPrefixedString(stored_codec) || !reader.ReadU32(crc) ||
+      !reader.ReadLenPrefixed(compressed)) {
+    return CorruptError("compress: data part is not a compressed image");
+  }
+  // The image names its own codec (a file compressed with rle stays
+  // readable even if the spec later says lz77).
+  AFS_ASSIGN_OR_RETURN(auto image_codec, codec::MakeCodec(stored_codec));
+  AFS_ASSIGN_OR_RETURN(plaintext_, image_codec->Decode(compressed));
+  if (Crc32(ByteSpan(plaintext_)) != crc) {
+    return CorruptError("compress: plaintext crc mismatch");
+  }
+  return Status::Ok();
+}
+
+Result<std::size_t> CompressSentinel::OnRead(sentinel::SentinelContext& ctx,
+                                             MutableByteSpan out) {
+  if (ctx.position >= plaintext_.size()) return std::size_t{0};
+  const std::size_t n = std::min<std::size_t>(
+      out.size(), plaintext_.size() - static_cast<std::size_t>(ctx.position));
+  std::memcpy(out.data(), plaintext_.data() + ctx.position, n);
+  return n;
+}
+
+Result<std::size_t> CompressSentinel::OnWrite(sentinel::SentinelContext& ctx,
+                                              ByteSpan data) {
+  const std::uint64_t end = ctx.position + data.size();
+  if (end > plaintext_.size()) {
+    plaintext_.resize(static_cast<std::size_t>(end), 0);
+  }
+  std::memcpy(plaintext_.data() + ctx.position, data.data(), data.size());
+  dirty_ = true;
+  return data.size();
+}
+
+Result<std::uint64_t> CompressSentinel::OnGetSize(
+    sentinel::SentinelContext& ctx) {
+  (void)ctx;
+  // The application's view is the plaintext, so size reports plaintext
+  // bytes — not the stored (compressed) size.
+  return plaintext_.size();
+}
+
+Status CompressSentinel::OnSetEof(sentinel::SentinelContext& ctx) {
+  plaintext_.resize(static_cast<std::size_t>(ctx.position), 0);
+  dirty_ = true;
+  return Status::Ok();
+}
+
+Status CompressSentinel::Persist(sentinel::SentinelContext& ctx) {
+  if (!dirty_) return Status::Ok();
+  Buffer image;
+  image.insert(image.end(), kCompressMagic, kCompressMagic + 4);
+  AppendLenPrefixed(image, std::string_view(codec_->name()));
+  AppendU32(image, Crc32(ByteSpan(plaintext_)));
+  const Buffer compressed = codec_->Encode(ByteSpan(plaintext_));
+  AppendLenPrefixed(image, ByteSpan(compressed));
+
+  AFS_RETURN_IF_ERROR(ctx.cache->Truncate(image.size()));
+  AFS_ASSIGN_OR_RETURN(std::size_t n, ctx.cache->WriteAt(0, ByteSpan(image)));
+  (void)n;
+  dirty_ = false;
+  return Status::Ok();
+}
+
+Status CompressSentinel::OnFlush(sentinel::SentinelContext& ctx) {
+  AFS_RETURN_IF_ERROR(Persist(ctx));
+  return ctx.cache->Flush();
+}
+
+Status CompressSentinel::OnClose(sentinel::SentinelContext& ctx) {
+  return Persist(ctx);
+}
+
+Status AuditSentinel::OnOpen(sentinel::SentinelContext& ctx) {
+  const std::string name = ctx.config_or("audit_file", "audit.log");
+  log_path_ = ctx.lock_dir + "/" + name;
+  return Record(ctx, "open", ctx.position, 0);
+}
+
+Result<std::size_t> AuditSentinel::OnRead(sentinel::SentinelContext& ctx,
+                                          MutableByteSpan out) {
+  AFS_ASSIGN_OR_RETURN(std::size_t n, Sentinel::OnRead(ctx, out));
+  AFS_RETURN_IF_ERROR(Record(ctx, "read", ctx.position, n));
+  return n;
+}
+
+Result<std::size_t> AuditSentinel::OnWrite(sentinel::SentinelContext& ctx,
+                                           ByteSpan data) {
+  AFS_ASSIGN_OR_RETURN(std::size_t n, Sentinel::OnWrite(ctx, data));
+  AFS_RETURN_IF_ERROR(Record(ctx, "write", ctx.position, n));
+  return n;
+}
+
+Status AuditSentinel::OnClose(sentinel::SentinelContext& ctx) {
+  return Record(ctx, "close", ctx.position, 0);
+}
+
+Status AuditSentinel::Record(const sentinel::SentinelContext& ctx,
+                             const char* op, std::uint64_t position,
+                             std::size_t bytes) {
+  const std::string line = ctx.path + " " + op + " pos=" +
+                           std::to_string(position) + " bytes=" +
+                           std::to_string(bytes) + "\n";
+  // O_APPEND keeps concurrent sentinels' records whole.
+  const int fd = ::open(log_path_.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd < 0) return IoError("audit: cannot open " + log_path_);
+  const ssize_t n = ::write(fd, line.data(), line.size());
+  ::close(fd);
+  if (n != static_cast<ssize_t>(line.size())) {
+    return IoError("audit: short write to " + log_path_);
+  }
+  return Status::Ok();
+}
+
+std::unique_ptr<sentinel::Sentinel> MakeCompressSentinel(
+    const sentinel::SentinelSpec& spec) {
+  (void)spec;
+  return std::make_unique<CompressSentinel>();
+}
+
+std::unique_ptr<sentinel::Sentinel> MakeAuditSentinel(
+    const sentinel::SentinelSpec& spec) {
+  (void)spec;
+  return std::make_unique<AuditSentinel>();
+}
+
+}  // namespace afs::sentinels

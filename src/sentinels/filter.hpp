@@ -1,0 +1,74 @@
+// Input/output filtering sentinels (paper Section 3): the application sees
+// transformed data; the data part stores the other representation.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "codec/codec.hpp"
+#include "sentinel/registry.hpp"
+#include "sentinel/sentinel.hpp"
+
+namespace afs::sentinels {
+
+// "compress": the application reads/writes plaintext; the data part holds
+// a compressed image.  Per-file algorithm selection — the advantage the
+// paper claims over whole-filesystem compression.  Config:
+//   codec : identity | rle | lz77   (default lz77)
+//
+// Data-part image:  "AFC1" | lp codec-name | u32 crc32(plaintext) | lp
+// compressed.  An empty data part decodes as empty plaintext.
+class CompressSentinel final : public sentinel::Sentinel {
+ public:
+  Status OnOpen(sentinel::SentinelContext& ctx) override;
+  Result<std::size_t> OnRead(sentinel::SentinelContext& ctx,
+                             MutableByteSpan out) override;
+  Result<std::size_t> OnWrite(sentinel::SentinelContext& ctx,
+                              ByteSpan data) override;
+  Result<std::uint64_t> OnGetSize(sentinel::SentinelContext& ctx) override;
+  Status OnSetEof(sentinel::SentinelContext& ctx) override;
+  Status OnFlush(sentinel::SentinelContext& ctx) override;
+  Status OnClose(sentinel::SentinelContext& ctx) override;
+
+  // Bytes the encoded image occupied at open (tests assert compression
+  // actually happened).
+  std::uint64_t encoded_size_at_open() const noexcept {
+    return encoded_size_at_open_;
+  }
+
+ private:
+  Status Persist(sentinel::SentinelContext& ctx);
+
+  std::unique_ptr<codec::Codec> codec_;
+  Buffer plaintext_;
+  bool dirty_ = false;
+  std::uint64_t encoded_size_at_open_ = 0;
+};
+
+// "audit": a transparent pass-through to the data part that appends one
+// record per operation to an audit log — the paper's "a file containing
+// sensitive data would like to log every access from users" example.
+// Config:
+//   audit_file : name of the log (created under the lock dir)
+class AuditSentinel final : public sentinel::Sentinel {
+ public:
+  Status OnOpen(sentinel::SentinelContext& ctx) override;
+  Result<std::size_t> OnRead(sentinel::SentinelContext& ctx,
+                             MutableByteSpan out) override;
+  Result<std::size_t> OnWrite(sentinel::SentinelContext& ctx,
+                              ByteSpan data) override;
+  Status OnClose(sentinel::SentinelContext& ctx) override;
+
+ private:
+  Status Record(const sentinel::SentinelContext& ctx, const char* op,
+                std::uint64_t position, std::size_t bytes);
+
+  std::string log_path_;
+};
+
+std::unique_ptr<sentinel::Sentinel> MakeCompressSentinel(
+    const sentinel::SentinelSpec& spec);
+std::unique_ptr<sentinel::Sentinel> MakeAuditSentinel(
+    const sentinel::SentinelSpec& spec);
+
+}  // namespace afs::sentinels

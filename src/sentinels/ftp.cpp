@@ -1,0 +1,165 @@
+#include "sentinels/ftp.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/strings.hpp"
+
+namespace afs::sentinels {
+
+Status FtpFileSentinel::OnOpen(sentinel::SentinelContext& ctx) {
+  if (ctx.cache == nullptr) {
+    return InvalidArgumentError(
+        "ftp: requires a data part (cache=disk or memory)");
+  }
+  const std::string url = ctx.config_or("url", "");
+  remote_path_ = ctx.config_or("file", "");
+  if (!StartsWith(url, "ftp:") || remote_path_.empty()) {
+    return InvalidArgumentError("ftp: needs url=ftp:<socket> and file=...");
+  }
+  client_ = std::make_unique<net::FtpClient>(url.substr(4));
+
+  // Fetch-a-copy: the local cache is a full snapshot taken at open.
+  AFS_ASSIGN_OR_RETURN(Buffer data, client_->Retr(remote_path_));
+  AFS_RETURN_IF_ERROR(ctx.cache->Truncate(data.size()));
+  if (!data.empty()) {
+    AFS_ASSIGN_OR_RETURN(std::size_t n, ctx.cache->WriteAt(0, ByteSpan(data)));
+    (void)n;
+  }
+  dirty_ = false;
+  return Status::Ok();
+}
+
+Result<std::size_t> FtpFileSentinel::OnWrite(sentinel::SentinelContext& ctx,
+                                             ByteSpan data) {
+  AFS_ASSIGN_OR_RETURN(std::size_t n, Sentinel::OnWrite(ctx, data));
+  dirty_ = true;
+  return n;
+}
+
+Status FtpFileSentinel::OnSetEof(sentinel::SentinelContext& ctx) {
+  AFS_RETURN_IF_ERROR(Sentinel::OnSetEof(ctx));
+  dirty_ = true;
+  return Status::Ok();
+}
+
+Status FtpFileSentinel::WriteBack(sentinel::SentinelContext& ctx) {
+  if (!dirty_) return Status::Ok();
+  AFS_ASSIGN_OR_RETURN(std::uint64_t size, ctx.cache->Size());
+  Buffer content(static_cast<std::size_t>(size));
+  AFS_ASSIGN_OR_RETURN(std::size_t n,
+                       ctx.cache->ReadAt(0, MutableByteSpan(content)));
+  content.resize(n);
+  AFS_RETURN_IF_ERROR(client_->Stor(remote_path_, ByteSpan(content)));
+  dirty_ = false;
+  return Status::Ok();
+}
+
+Status FtpFileSentinel::OnFlush(sentinel::SentinelContext& ctx) {
+  AFS_RETURN_IF_ERROR(WriteBack(ctx));
+  return ctx.cache->Flush();
+}
+
+Status FtpFileSentinel::OnClose(sentinel::SentinelContext& ctx) {
+  const Status written = WriteBack(ctx);
+  if (client_ != nullptr) (void)client_->Quit();
+  return written;
+}
+
+std::unique_ptr<sentinel::Sentinel> MakeFtpFileSentinel(
+    const sentinel::SentinelSpec& spec) {
+  (void)spec;
+  return std::make_unique<FtpFileSentinel>();
+}
+
+Status HttpFileSentinel::OnOpen(sentinel::SentinelContext& ctx) {
+  const std::string url = ctx.config_or("url", "");
+  remote_path_ = ctx.config_or("file", "");
+  if (!StartsWith(url, "http:") || remote_path_.empty()) {
+    return InvalidArgumentError("http: needs url=http:<socket> and file=...");
+  }
+  client_ = std::make_unique<net::HttpClient>(url.substr(5));
+  cached_ = ctx.cache != nullptr;
+  dirty_ = false;
+  if (!cached_) {
+    // Demand paging: just verify the target exists.
+    return client_->Head(remote_path_).status();
+  }
+  AFS_ASSIGN_OR_RETURN(Buffer data, client_->Get(remote_path_));
+  AFS_RETURN_IF_ERROR(ctx.cache->Truncate(data.size()));
+  if (!data.empty()) {
+    AFS_ASSIGN_OR_RETURN(std::size_t n, ctx.cache->WriteAt(0, ByteSpan(data)));
+    (void)n;
+  }
+  return Status::Ok();
+}
+
+Result<std::size_t> HttpFileSentinel::OnRead(sentinel::SentinelContext& ctx,
+                                             MutableByteSpan out) {
+  if (cached_) return Sentinel::OnRead(ctx, out);
+  if (out.empty()) return std::size_t{0};
+  // Range request for exactly the block the application asked for.
+  AFS_ASSIGN_OR_RETURN(std::uint64_t size, client_->Head(remote_path_));
+  if (ctx.position >= size) return std::size_t{0};
+  const std::uint64_t last =
+      std::min<std::uint64_t>(ctx.position + out.size(), size) - 1;
+  AFS_ASSIGN_OR_RETURN(Buffer part,
+                       client_->GetRange(remote_path_, ctx.position, last));
+  const std::size_t n = std::min(out.size(), part.size());
+  std::memcpy(out.data(), part.data(), n);
+  return n;
+}
+
+Result<std::size_t> HttpFileSentinel::OnWrite(sentinel::SentinelContext& ctx,
+                                              ByteSpan data) {
+  if (!cached_) {
+    return UnsupportedError("http: writes need a data part (cache!=none)");
+  }
+  AFS_ASSIGN_OR_RETURN(std::size_t n, Sentinel::OnWrite(ctx, data));
+  dirty_ = true;
+  return n;
+}
+
+Result<std::uint64_t> HttpFileSentinel::OnGetSize(
+    sentinel::SentinelContext& ctx) {
+  if (cached_) return Sentinel::OnGetSize(ctx);
+  return client_->Head(remote_path_);
+}
+
+Status HttpFileSentinel::OnSetEof(sentinel::SentinelContext& ctx) {
+  if (!cached_) {
+    return UnsupportedError("http: truncate needs a data part");
+  }
+  AFS_RETURN_IF_ERROR(Sentinel::OnSetEof(ctx));
+  dirty_ = true;
+  return Status::Ok();
+}
+
+Status HttpFileSentinel::WriteBack(sentinel::SentinelContext& ctx) {
+  if (!cached_ || !dirty_) return Status::Ok();
+  AFS_ASSIGN_OR_RETURN(std::uint64_t size, ctx.cache->Size());
+  Buffer content(static_cast<std::size_t>(size));
+  AFS_ASSIGN_OR_RETURN(std::size_t n,
+                       ctx.cache->ReadAt(0, MutableByteSpan(content)));
+  content.resize(n);
+  AFS_RETURN_IF_ERROR(client_->Put(remote_path_, ByteSpan(content)));
+  dirty_ = false;
+  return Status::Ok();
+}
+
+Status HttpFileSentinel::OnFlush(sentinel::SentinelContext& ctx) {
+  AFS_RETURN_IF_ERROR(WriteBack(ctx));
+  return cached_ ? ctx.cache->Flush() : Status::Ok();
+}
+
+Status HttpFileSentinel::OnClose(sentinel::SentinelContext& ctx) {
+  return WriteBack(ctx);
+}
+
+std::unique_ptr<sentinel::Sentinel> MakeHttpFileSentinel(
+    const sentinel::SentinelSpec& spec) {
+  (void)spec;
+  return std::make_unique<HttpFileSentinel>();
+}
+
+}  // namespace afs::sentinels

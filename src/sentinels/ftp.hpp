@@ -1,0 +1,74 @@
+// "ftp": seamless access to a file behind the FTP-like protocol (paper
+// Section 3's "standard protocol (e.g., FTP or HTTP)" aggregation
+// example).  The whole file is fetched into the local cache at open and,
+// if dirtied, STORed back at close/flush — the classic fetch-a-copy model
+// the paper describes, as opposed to the range-capable "remote" sentinel.
+//
+// Config:
+//   url  : "ftp:<unix-socket-path>"
+//   file : remote path
+// Requires a data part (cache=disk or memory).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "net/ftp_server.hpp"
+#include "net/http_server.hpp"
+#include "sentinel/registry.hpp"
+#include "sentinel/sentinel.hpp"
+
+namespace afs::sentinels {
+
+class FtpFileSentinel final : public sentinel::Sentinel {
+ public:
+  Status OnOpen(sentinel::SentinelContext& ctx) override;
+  Result<std::size_t> OnWrite(sentinel::SentinelContext& ctx,
+                              ByteSpan data) override;
+  Status OnSetEof(sentinel::SentinelContext& ctx) override;
+  Status OnFlush(sentinel::SentinelContext& ctx) override;
+  Status OnClose(sentinel::SentinelContext& ctx) override;
+
+ private:
+  Status WriteBack(sentinel::SentinelContext& ctx);
+
+  std::unique_ptr<net::FtpClient> client_;
+  std::string remote_path_;
+  bool dirty_ = false;
+};
+
+std::unique_ptr<sentinel::Sentinel> MakeFtpFileSentinel(
+    const sentinel::SentinelSpec& spec);
+
+// "http": the same scenario over the HTTP-like protocol.  Config:
+//   url  : "http:<unix-socket-path>"
+//   file : remote target
+// With a data part: fetch-a-copy at open, PUT back at close/flush.
+// With cache=none: reads become Range requests and size becomes HEAD —
+// demand paging without any local copy (writes then require a data part
+// and are refused).
+class HttpFileSentinel final : public sentinel::Sentinel {
+ public:
+  Status OnOpen(sentinel::SentinelContext& ctx) override;
+  Result<std::size_t> OnRead(sentinel::SentinelContext& ctx,
+                             MutableByteSpan out) override;
+  Result<std::size_t> OnWrite(sentinel::SentinelContext& ctx,
+                              ByteSpan data) override;
+  Result<std::uint64_t> OnGetSize(sentinel::SentinelContext& ctx) override;
+  Status OnSetEof(sentinel::SentinelContext& ctx) override;
+  Status OnFlush(sentinel::SentinelContext& ctx) override;
+  Status OnClose(sentinel::SentinelContext& ctx) override;
+
+ private:
+  Status WriteBack(sentinel::SentinelContext& ctx);
+
+  std::unique_ptr<net::HttpClient> client_;
+  std::string remote_path_;
+  bool cached_ = false;
+  bool dirty_ = false;
+};
+
+std::unique_ptr<sentinel::Sentinel> MakeHttpFileSentinel(
+    const sentinel::SentinelSpec& spec);
+
+}  // namespace afs::sentinels

@@ -1,0 +1,104 @@
+#include "sentinels/generate.hpp"
+
+#include "util/strings.hpp"
+
+namespace afs::sentinels {
+namespace {
+
+// SplitMix64 finalizer: a high-quality stateless mix of (seed, block).
+std::uint64_t MixBlock(std::uint64_t seed, std::uint64_t block) {
+  std::uint64_t z = seed + block * 0x9E3779B97F4A7C15ull;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+Status RandomGenSentinel::OnOpen(sentinel::SentinelContext& ctx) {
+  std::uint64_t seed = 1;
+  if (!ParseU64(ctx.config_or("seed", "1"), seed)) {
+    return InvalidArgumentError("random: bad seed");
+  }
+  seed_ = seed;
+  const std::string format = ctx.config_or("format", "binary");
+  if (format == "text") {
+    text_ = true;
+  } else if (format != "binary") {
+    return InvalidArgumentError("random: bad format '" + format + "'");
+  }
+  return Status::Ok();
+}
+
+Result<std::size_t> RandomGenSentinel::OnRead(sentinel::SentinelContext& ctx,
+                                              MutableByteSpan out) {
+  if (!text_) {
+    // Byte i of the stream is byte (i % 8) of MixBlock(seed, i / 8).
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      const std::uint64_t pos = ctx.position + i;
+      const std::uint64_t word = MixBlock(seed_, pos / 8);
+      out[i] = static_cast<std::uint8_t>(word >> (8 * (pos % 8)));
+    }
+    return out.size();
+  }
+  // Text mode: an infinite sequence of lines "<u64>\n", each derived from
+  // its line number.  Lines are fixed-width (20 digits) so any byte offset
+  // maps directly to (line, column).
+  constexpr std::size_t kLineWidth = 21;  // 20 digits + '\n'
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const std::uint64_t pos = ctx.position + i;
+    const std::uint64_t line = pos / kLineWidth;
+    const std::size_t col = static_cast<std::size_t>(pos % kLineWidth);
+    if (col == kLineWidth - 1) {
+      out[i] = '\n';
+      continue;
+    }
+    const std::uint64_t value = MixBlock(seed_, line);
+    // Column c is the c-th most significant of 20 zero-padded digits.
+    std::uint64_t digits = value;
+    char text[21];
+    for (int d = 19; d >= 0; --d) {
+      text[d] = static_cast<char>('0' + digits % 10);
+      digits /= 10;
+    }
+    out[i] = static_cast<std::uint8_t>(text[col]);
+  }
+  return out.size();
+}
+
+Result<std::size_t> RandomGenSentinel::OnWrite(sentinel::SentinelContext& ctx,
+                                               ByteSpan data) {
+  (void)ctx;
+  (void)data;
+  return PermissionDeniedError("random: generated stream is read-only");
+}
+
+Result<std::uint64_t> RandomGenSentinel::OnGetSize(
+    sentinel::SentinelContext& ctx) {
+  (void)ctx;
+  return UnsupportedError("random: stream is unbounded");
+}
+
+Result<std::uint64_t> RandomGenSentinel::OnSeek(sentinel::SentinelContext& ctx,
+                                                std::int64_t offset,
+                                                sentinel::SeekOrigin origin) {
+  // kEnd is meaningless on an unbounded stream.
+  if (origin == sentinel::SeekOrigin::kEnd) {
+    return UnsupportedError("random: cannot seek from end of unbounded file");
+  }
+  const std::int64_t base = origin == sentinel::SeekOrigin::kCurrent
+                                ? static_cast<std::int64_t>(ctx.position)
+                                : 0;
+  const std::int64_t target = base + offset;
+  if (target < 0) return OutOfRangeError("seek before start of file");
+  ctx.position = static_cast<std::uint64_t>(target);
+  return ctx.position;
+}
+
+std::unique_ptr<sentinel::Sentinel> MakeRandomGenSentinel(
+    const sentinel::SentinelSpec& spec) {
+  (void)spec;
+  return std::make_unique<RandomGenSentinel>();
+}
+
+}  // namespace afs::sentinels

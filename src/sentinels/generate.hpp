@@ -1,0 +1,38 @@
+// Data-generation sentinels (paper Section 3, "Data generation"): the
+// active file appears to contain data no passive file holds.
+#pragma once
+
+#include <memory>
+
+#include "sentinel/registry.hpp"
+#include "sentinel/sentinel.hpp"
+
+namespace afs::sentinels {
+
+// "random": an infinite stream of random bytes (config "format=binary",
+// default) or newline-separated decimal numbers ("format=text").  The
+// stream is a pure function of (seed, offset): re-reading any range yields
+// identical bytes, so seeks behave sanely.  Config:
+//   seed   : u64 decimal (default 1)
+//   format : binary | text
+class RandomGenSentinel final : public sentinel::Sentinel {
+ public:
+  Status OnOpen(sentinel::SentinelContext& ctx) override;
+  Result<std::size_t> OnRead(sentinel::SentinelContext& ctx,
+                             MutableByteSpan out) override;
+  Result<std::size_t> OnWrite(sentinel::SentinelContext& ctx,
+                              ByteSpan data) override;
+  Result<std::uint64_t> OnGetSize(sentinel::SentinelContext& ctx) override;
+  Result<std::uint64_t> OnSeek(sentinel::SentinelContext& ctx,
+                               std::int64_t offset,
+                               sentinel::SeekOrigin origin) override;
+
+ private:
+  std::uint64_t seed_ = 1;
+  bool text_ = false;
+};
+
+std::unique_ptr<sentinel::Sentinel> MakeRandomGenSentinel(
+    const sentinel::SentinelSpec& spec);
+
+}  // namespace afs::sentinels

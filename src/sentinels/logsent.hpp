@@ -1,0 +1,43 @@
+// "log": concurrent, intelligent logging (paper Section 3).  Many processes
+// write records to the same log active file; the sentinel serializes
+// appends with a cross-process named mutex, stamps each record, and
+// guarantees record atomicity — the client applications "do not need to
+// know about log file locking".
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "ipc/named_mutex.hpp"
+#include "sentinel/registry.hpp"
+#include "sentinel/sentinel.hpp"
+
+namespace afs::sentinels {
+
+// Config:
+//   mutex      : lock name shared by all sentinels of this log
+//                (default: derived from the file path)
+//   stamp      : "1" to prefix each record with its append offset
+//   sync       : "1" to fsync after every record
+//   terminator : appended to records lacking one (default "\n")
+//
+// Writes append atomically regardless of ctx.position; reads serve the
+// log contents normally.
+class LoggingSentinel final : public sentinel::Sentinel {
+ public:
+  Status OnOpen(sentinel::SentinelContext& ctx) override;
+  Result<std::size_t> OnWrite(sentinel::SentinelContext& ctx,
+                              ByteSpan data) override;
+
+ private:
+  std::optional<ipc::NamedMutex> mutex_;
+  bool stamp_ = false;
+  bool sync_ = false;
+  std::string terminator_ = "\n";
+};
+
+std::unique_ptr<sentinel::Sentinel> MakeLoggingSentinel(
+    const sentinel::SentinelSpec& spec);
+
+}  // namespace afs::sentinels

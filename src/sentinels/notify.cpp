@@ -1,0 +1,95 @@
+#include "sentinels/notify.hpp"
+
+#include <algorithm>
+
+#include "util/strings.hpp"
+
+namespace afs::sentinels {
+
+std::uint64_t NotificationHub::Subscribe(const std::string& topic,
+                                         Callback callback) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::uint64_t id = next_id_++;
+  subscriptions_[id] = Subscription{topic, std::move(callback)};
+  return id;
+}
+
+void NotificationHub::Unsubscribe(std::uint64_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  subscriptions_.erase(id);
+}
+
+void NotificationHub::Publish(const std::string& topic,
+                              const AccessEvent& event) {
+  std::vector<Callback> callbacks;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++published_[topic];
+    for (const auto& [id, sub] : subscriptions_) {
+      if (sub.topic == topic) callbacks.push_back(sub.callback);
+    }
+  }
+  for (const auto& callback : callbacks) callback(event);
+}
+
+std::uint64_t NotificationHub::PublishedCount(const std::string& topic) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = published_.find(topic);
+  return it == published_.end() ? 0 : it->second;
+}
+
+NotificationHub& NotificationHub::Global() {
+  static NotificationHub hub;
+  return hub;
+}
+
+Status NotifySentinel::OnOpen(sentinel::SentinelContext& ctx) {
+  topic_ = ctx.config_or("topic", ctx.path);
+  events_.clear();
+  for (const auto& part :
+       Split(ctx.config_or("events", "open,read,write,close"), ',')) {
+    const std::string name = TrimWhitespace(part);
+    if (!name.empty()) events_.push_back(name);
+  }
+  Publish(ctx, "open", 0);
+  return Status::Ok();
+}
+
+bool NotifySentinel::Wants(const std::string& operation) const {
+  return std::find(events_.begin(), events_.end(), operation) !=
+         events_.end();
+}
+
+void NotifySentinel::Publish(const sentinel::SentinelContext& ctx,
+                             const std::string& operation,
+                             std::uint64_t bytes) {
+  if (!Wants(operation)) return;
+  hub_.Publish(topic_, AccessEvent{ctx.path, operation, ctx.position, bytes});
+}
+
+Result<std::size_t> NotifySentinel::OnRead(sentinel::SentinelContext& ctx,
+                                           MutableByteSpan out) {
+  AFS_ASSIGN_OR_RETURN(std::size_t n, Sentinel::OnRead(ctx, out));
+  Publish(ctx, "read", n);
+  return n;
+}
+
+Result<std::size_t> NotifySentinel::OnWrite(sentinel::SentinelContext& ctx,
+                                            ByteSpan data) {
+  AFS_ASSIGN_OR_RETURN(std::size_t n, Sentinel::OnWrite(ctx, data));
+  Publish(ctx, "write", n);
+  return n;
+}
+
+Status NotifySentinel::OnClose(sentinel::SentinelContext& ctx) {
+  Publish(ctx, "close", 0);
+  return Status::Ok();
+}
+
+std::unique_ptr<sentinel::Sentinel> MakeNotifySentinel(
+    const sentinel::SentinelSpec& spec) {
+  (void)spec;
+  return std::make_unique<NotifySentinel>();
+}
+
+}  // namespace afs::sentinels

@@ -1,0 +1,90 @@
+// Access notification (paper Section 1: "the owner/creator of a file may
+// wish to … just want some side effect (such as notification) to be
+// triggered as a result of the access", and Section 7's comparison with
+// Watchdogs).  The NotificationHub is a process-wide topic bus; the
+// "notify" sentinel publishes one event per file operation while passing
+// the operation through to the data part.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "sentinel/registry.hpp"
+#include "sentinel/sentinel.hpp"
+
+namespace afs::sentinels {
+
+struct AccessEvent {
+  std::string path;      // vfs path of the active file
+  std::string operation; // "open", "read", "write", "close", …
+  std::uint64_t position = 0;
+  std::uint64_t bytes = 0;
+};
+
+// Topic-keyed publish/subscribe bus.  Callbacks run synchronously on the
+// publisher's thread (the sentinel), mirroring Watchdogs' in-line
+// notification semantics; subscribers must be quick and must not call
+// back into the same active file.
+class NotificationHub {
+ public:
+  using Callback = std::function<void(const AccessEvent&)>;
+
+  // Returns a subscription id for Unsubscribe.
+  std::uint64_t Subscribe(const std::string& topic, Callback callback);
+  void Unsubscribe(std::uint64_t id);
+
+  void Publish(const std::string& topic, const AccessEvent& event);
+
+  // Number of events ever published to the topic (tests/metrics).
+  std::uint64_t PublishedCount(const std::string& topic) const;
+
+  static NotificationHub& Global();
+
+ private:
+  struct Subscription {
+    std::string topic;
+    Callback callback;
+  };
+
+  mutable std::mutex mu_;
+  std::map<std::uint64_t, Subscription> subscriptions_;
+  std::map<std::string, std::uint64_t> published_;
+  std::uint64_t next_id_ = 1;
+};
+
+// "notify": pass-through to the data part, publishing an AccessEvent per
+// operation.  Config:
+//   topic  : hub topic (default: the file's path)
+//   events : comma-separated subset to publish
+//            (default "open,read,write,close")
+class NotifySentinel final : public sentinel::Sentinel {
+ public:
+  NotifySentinel() : hub_(NotificationHub::Global()) {}
+  explicit NotifySentinel(NotificationHub& hub) : hub_(hub) {}
+
+  Status OnOpen(sentinel::SentinelContext& ctx) override;
+  Result<std::size_t> OnRead(sentinel::SentinelContext& ctx,
+                             MutableByteSpan out) override;
+  Result<std::size_t> OnWrite(sentinel::SentinelContext& ctx,
+                              ByteSpan data) override;
+  Status OnClose(sentinel::SentinelContext& ctx) override;
+
+ private:
+  bool Wants(const std::string& operation) const;
+  void Publish(const sentinel::SentinelContext& ctx,
+               const std::string& operation, std::uint64_t bytes);
+
+  NotificationHub& hub_;
+  std::string topic_;
+  std::vector<std::string> events_;
+};
+
+std::unique_ptr<sentinel::Sentinel> MakeNotifySentinel(
+    const sentinel::SentinelSpec& spec);
+
+}  // namespace afs::sentinels

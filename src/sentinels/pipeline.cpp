@@ -1,0 +1,172 @@
+#include "sentinels/pipeline.hpp"
+
+#include "util/strings.hpp"
+
+namespace afs::sentinels {
+
+Result<std::size_t> SentinelDataStore::ReadAt(std::uint64_t offset,
+                                              MutableByteSpan out) {
+  ctx_.position = offset;
+  return inner_.OnRead(ctx_, out);
+}
+
+Result<std::size_t> SentinelDataStore::WriteAt(std::uint64_t offset,
+                                               ByteSpan data) {
+  ctx_.position = offset;
+  return inner_.OnWrite(ctx_, data);
+}
+
+Result<std::uint64_t> SentinelDataStore::Size() {
+  return inner_.OnGetSize(ctx_);
+}
+
+Status SentinelDataStore::Truncate(std::uint64_t size) {
+  ctx_.position = size;
+  return inner_.OnSetEof(ctx_);
+}
+
+Status SentinelDataStore::Flush() { return inner_.OnFlush(ctx_); }
+
+Status PipelineSentinel::OnOpen(sentinel::SentinelContext& ctx) {
+  const std::string chain = ctx.config_or("chain", "");
+  if (chain.empty()) {
+    return InvalidArgumentError("pipeline: needs 'chain' config");
+  }
+  std::vector<std::string> names;
+  for (const auto& part : Split(chain, ',')) {
+    const std::string name = TrimWhitespace(part);
+    if (name.empty()) continue;
+    if (name == "pipeline") {
+      return InvalidArgumentError("pipeline: stages cannot nest pipelines");
+    }
+    names.push_back(name);
+  }
+  if (names.empty()) {
+    return InvalidArgumentError("pipeline: empty chain");
+  }
+
+  // Instantiate stages, outermost first.
+  stages_.clear();
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    auto stage = std::make_unique<Stage>();
+    sentinel::SentinelSpec stage_spec;
+    stage_spec.name = names[i];
+    // Shared keys first, then "i."-prefixed overrides for this stage.
+    const std::string prefix = std::to_string(i) + ".";
+    for (const auto& [key, value] : ctx.config) {
+      if (key.find('.') == std::string::npos && key != "chain") {
+        stage_spec.config[key] = value;
+      }
+    }
+    for (const auto& [key, value] : ctx.config) {
+      if (StartsWith(key, prefix)) {
+        stage_spec.config[key.substr(prefix.size())] = value;
+      }
+    }
+    AFS_ASSIGN_OR_RETURN(stage->sentinel, registry_.Create(stage_spec));
+    stage->ctx.config = stage_spec.config;
+    stage->ctx.resolver = ctx.resolver;
+    stage->ctx.lock_dir = ctx.lock_dir;
+    stage->ctx.path = ctx.path;
+    stages_.push_back(std::move(stage));
+  }
+
+  // Wire caches: innermost uses the real data part; each other stage reads
+  // and writes *through* the stage below it.
+  stages_.back()->ctx.cache = ctx.cache;
+  for (std::size_t i = stages_.size() - 1; i > 0; --i) {
+    stages_[i - 1]->below = std::make_unique<SentinelDataStore>(
+        *stages_[i]->sentinel, stages_[i]->ctx);
+    stages_[i - 1]->ctx.cache = stages_[i - 1]->below.get();
+  }
+
+  // Open innermost-first so outer stages can already read through their
+  // data part during their own OnOpen.
+  for (std::size_t i = stages_.size(); i > 0; --i) {
+    AFS_RETURN_IF_ERROR(stages_[i - 1]->sentinel->OnOpen(stages_[i - 1]->ctx));
+  }
+  return Status::Ok();
+}
+
+Result<std::size_t> PipelineSentinel::OnRead(sentinel::SentinelContext& ctx,
+                                             MutableByteSpan out) {
+  Stage& head = *stages_.front();
+  head.ctx.position = ctx.position;
+  return head.sentinel->OnRead(head.ctx, out);
+}
+
+Result<std::size_t> PipelineSentinel::OnWrite(sentinel::SentinelContext& ctx,
+                                              ByteSpan data) {
+  Stage& head = *stages_.front();
+  head.ctx.position = ctx.position;
+  return head.sentinel->OnWrite(head.ctx, data);
+}
+
+Result<std::uint64_t> PipelineSentinel::OnGetSize(
+    sentinel::SentinelContext& ctx) {
+  (void)ctx;
+  Stage& head = *stages_.front();
+  return head.sentinel->OnGetSize(head.ctx);
+}
+
+Result<std::uint64_t> PipelineSentinel::OnSeek(sentinel::SentinelContext& ctx,
+                                               std::int64_t offset,
+                                               sentinel::SeekOrigin origin) {
+  Stage& head = *stages_.front();
+  head.ctx.position = ctx.position;
+  AFS_ASSIGN_OR_RETURN(std::uint64_t pos,
+                       head.sentinel->OnSeek(head.ctx, offset, origin));
+  ctx.position = pos;
+  return pos;
+}
+
+Status PipelineSentinel::OnSetEof(sentinel::SentinelContext& ctx) {
+  Stage& head = *stages_.front();
+  head.ctx.position = ctx.position;
+  return head.sentinel->OnSetEof(head.ctx);
+}
+
+Status PipelineSentinel::OnFlush(sentinel::SentinelContext& ctx) {
+  (void)ctx;
+  // Outermost first: each stage pushes its state down before the stage
+  // below flushes.
+  for (auto& stage : stages_) {
+    AFS_RETURN_IF_ERROR(stage->sentinel->OnFlush(stage->ctx));
+  }
+  return Status::Ok();
+}
+
+Result<Buffer> PipelineSentinel::OnControl(sentinel::SentinelContext& ctx,
+                                           ByteSpan request) {
+  (void)ctx;
+  // Controls address the outermost stage that accepts them.
+  for (auto& stage : stages_) {
+    Result<Buffer> reply = stage->sentinel->OnControl(stage->ctx, request);
+    if (reply.ok() ||
+        reply.status().code() != ErrorCode::kUnsupported) {
+      return reply;
+    }
+  }
+  return UnsupportedError("pipeline: no stage accepted the control");
+}
+
+Status PipelineSentinel::OnClose(sentinel::SentinelContext& ctx) {
+  (void)ctx;
+  // Outermost first: compress persists through notify before the real
+  // data part is final.
+  Status first_error;
+  for (auto& stage : stages_) {
+    const Status status = stage->sentinel->OnClose(stage->ctx);
+    if (!status.ok() && first_error.ok()) first_error = status;
+  }
+  return first_error;
+}
+
+std::unique_ptr<sentinel::Sentinel> MakePipelineSentinel(
+    const sentinel::SentinelSpec& spec) {
+  (void)spec;
+  return std::make_unique<PipelineSentinel>(
+      sentinel::SentinelRegistry::Global());
+}
+
+}  // namespace afs::sentinels

@@ -1,0 +1,89 @@
+// Sentinel composition (paper Section 3: "larger applications are
+// constructed by composing these actions in different ways").
+//
+// A pipeline chains sentinels so that each stage's *data part* is the next
+// stage down: operations enter at the outermost sentinel; whatever it does
+// with its "cache" is served by the stage below, and only the innermost
+// stage touches the active file's real data part.  E.g.
+//
+//   chain = "notify,compress"     (outermost first)
+//
+// gives a file whose accesses are published to the notification hub, whose
+// contents are transparently compressed, and whose compressed image lives
+// in the bundle.  Stage-specific configuration is namespaced by position:
+// "0.topic=t" configures stage 0, "1.codec=rle" stage 1; un-prefixed keys
+// are visible to every stage.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "sentinel/registry.hpp"
+#include "sentinel/sentinel.hpp"
+
+namespace afs::sentinels {
+
+// Adapts a (Sentinel, context) pair to the DataStore interface, so a
+// sentinel can serve as another sentinel's data part.  Positional reads
+// and writes are translated by saving/restoring the inner context's file
+// pointer around each call.
+class SentinelDataStore final : public sentinel::DataStore {
+ public:
+  SentinelDataStore(sentinel::Sentinel& inner, sentinel::SentinelContext& ctx)
+      : inner_(inner), ctx_(ctx) {}
+
+  Result<std::size_t> ReadAt(std::uint64_t offset,
+                             MutableByteSpan out) override;
+  Result<std::size_t> WriteAt(std::uint64_t offset, ByteSpan data) override;
+  Result<std::uint64_t> Size() override;
+  Status Truncate(std::uint64_t size) override;
+  Status Flush() override;
+
+ private:
+  sentinel::Sentinel& inner_;
+  sentinel::SentinelContext& ctx_;
+};
+
+// "pipeline": config
+//   chain : comma-separated sentinel names, outermost first (required;
+//           stages may not themselves be pipelines)
+//   <i>.<key> : config key for stage i only
+class PipelineSentinel final : public sentinel::Sentinel {
+ public:
+  explicit PipelineSentinel(const sentinel::SentinelRegistry& registry)
+      : registry_(registry) {}
+
+  Status OnOpen(sentinel::SentinelContext& ctx) override;
+  Result<std::size_t> OnRead(sentinel::SentinelContext& ctx,
+                             MutableByteSpan out) override;
+  Result<std::size_t> OnWrite(sentinel::SentinelContext& ctx,
+                              ByteSpan data) override;
+  Result<std::uint64_t> OnGetSize(sentinel::SentinelContext& ctx) override;
+  Result<std::uint64_t> OnSeek(sentinel::SentinelContext& ctx,
+                               std::int64_t offset,
+                               sentinel::SeekOrigin origin) override;
+  Status OnSetEof(sentinel::SentinelContext& ctx) override;
+  Status OnFlush(sentinel::SentinelContext& ctx) override;
+  Result<Buffer> OnControl(sentinel::SentinelContext& ctx,
+                           ByteSpan request) override;
+  Status OnClose(sentinel::SentinelContext& ctx) override;
+
+ private:
+  struct Stage {
+    std::unique_ptr<sentinel::Sentinel> sentinel;
+    sentinel::SentinelContext ctx;
+    std::unique_ptr<SentinelDataStore> below;  // null for the innermost
+  };
+
+  // The outermost stage, through which all operations enter.  Its ctx
+  // mirrors the real ctx except for the cache indirection.
+  Stage& Head() { return *stages_.front(); }
+
+  const sentinel::SentinelRegistry& registry_;
+  std::vector<std::unique_ptr<Stage>> stages_;  // outermost first
+};
+
+std::unique_ptr<sentinel::Sentinel> MakePipelineSentinel(
+    const sentinel::SentinelSpec& spec);
+
+}  // namespace afs::sentinels

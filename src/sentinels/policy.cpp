@@ -1,0 +1,78 @@
+#include "sentinels/policy.hpp"
+
+#include "util/strings.hpp"
+
+namespace afs::sentinels {
+
+Status PolicySentinel::OnOpen(sentinel::SentinelContext& ctx) {
+  if (ctx.cache == nullptr) {
+    return InvalidArgumentError("policy: requires a data part (cache!=none)");
+  }
+  allow_read_ = ctx.config_or("read", "1") != "0";
+  allow_write_ = ctx.config_or("write", "1") != "0";
+  append_only_ = ctx.config_or("append_only", "0") == "1";
+  if (!ParseU64(ctx.config_or("max_size", "0"), max_size_)) {
+    return InvalidArgumentError("policy: bad max_size");
+  }
+  if (!ParseU64(ctx.config_or("max_reads", "0"), max_reads_)) {
+    return InvalidArgumentError("policy: bad max_reads");
+  }
+  reads_done_ = 0;
+  return Status::Ok();
+}
+
+Result<std::size_t> PolicySentinel::OnRead(sentinel::SentinelContext& ctx,
+                                           MutableByteSpan out) {
+  if (!allow_read_) {
+    return PermissionDeniedError("policy: reads forbidden on " + ctx.path);
+  }
+  if (max_reads_ != 0 && reads_done_ >= max_reads_) {
+    return PermissionDeniedError("policy: read budget exhausted on " +
+                                 ctx.path);
+  }
+  ++reads_done_;
+  return Sentinel::OnRead(ctx, out);
+}
+
+Result<std::size_t> PolicySentinel::OnWrite(sentinel::SentinelContext& ctx,
+                                            ByteSpan data) {
+  if (!allow_write_) {
+    return PermissionDeniedError("policy: writes forbidden on " + ctx.path);
+  }
+  AFS_ASSIGN_OR_RETURN(std::uint64_t size, ctx.cache->Size());
+  if (append_only_) {
+    if (ctx.position < size) {
+      return PermissionDeniedError(
+          "policy: append-only file; cannot overwrite " + ctx.path);
+    }
+    // Appends land at the end regardless of a sparse seek.
+    ctx.position = size;
+  }
+  const std::uint64_t end = ctx.position + data.size();
+  if (max_size_ != 0 && end > max_size_) {
+    return PermissionDeniedError("policy: write would exceed max_size=" +
+                                 std::to_string(max_size_));
+  }
+  return Sentinel::OnWrite(ctx, data);
+}
+
+Status PolicySentinel::OnSetEof(sentinel::SentinelContext& ctx) {
+  if (!allow_write_) {
+    return PermissionDeniedError("policy: writes forbidden on " + ctx.path);
+  }
+  if (append_only_) {
+    AFS_ASSIGN_OR_RETURN(std::uint64_t size, ctx.cache->Size());
+    if (ctx.position < size) {
+      return PermissionDeniedError("policy: append-only file; cannot truncate");
+    }
+  }
+  return Sentinel::OnSetEof(ctx);
+}
+
+std::unique_ptr<sentinel::Sentinel> MakePolicySentinel(
+    const sentinel::SentinelSpec& spec) {
+  (void)spec;
+  return std::make_unique<PolicySentinel>();
+}
+
+}  // namespace afs::sentinels

@@ -1,0 +1,45 @@
+// Resource-centric access control (paper Section 7: unlike Janus/Ufo's
+// process-centric control, "the file itself can specify the kind of access
+// control policies that need be implemented").  The policy lives in the
+// active part, so it travels with the file through copies and renames.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "sentinel/registry.hpp"
+#include "sentinel/sentinel.hpp"
+
+namespace afs::sentinels {
+
+// "policy": enforcing pass-through.  Config:
+//   read       : "1" (default) / "0"  — whether reads are allowed
+//   write      : "1" (default) / "0"  — whether writes are allowed
+//   append_only: "1" — writes may only extend the file (no overwrite,
+//                no truncate); implies positioning writes at EOF
+//   max_size   : byte cap; writes that would exceed it are refused
+//   max_reads  : per-open read-operation budget (0 = unlimited) — e.g. a
+//                "read once" file
+// Violations return kPermissionDenied without touching the data part.
+class PolicySentinel final : public sentinel::Sentinel {
+ public:
+  Status OnOpen(sentinel::SentinelContext& ctx) override;
+  Result<std::size_t> OnRead(sentinel::SentinelContext& ctx,
+                             MutableByteSpan out) override;
+  Result<std::size_t> OnWrite(sentinel::SentinelContext& ctx,
+                              ByteSpan data) override;
+  Status OnSetEof(sentinel::SentinelContext& ctx) override;
+
+ private:
+  bool allow_read_ = true;
+  bool allow_write_ = true;
+  bool append_only_ = false;
+  std::uint64_t max_size_ = 0;   // 0 = unlimited
+  std::uint64_t max_reads_ = 0;  // 0 = unlimited
+  std::uint64_t reads_done_ = 0;
+};
+
+std::unique_ptr<sentinel::Sentinel> MakePolicySentinel(
+    const sentinel::SentinelSpec& spec);
+
+}  // namespace afs::sentinels

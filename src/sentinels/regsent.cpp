@@ -1,0 +1,89 @@
+#include "sentinels/regsent.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace afs::sentinels {
+
+reg::Registry& DefaultRegistry() {
+  static reg::Registry registry;
+  return registry;
+}
+
+Status RegistrySentinel::OnOpen(sentinel::SentinelContext& ctx) {
+  key_ = ctx.config_or("key", "");
+  if (!key_.empty() && !registry_.KeyExists(key_)) {
+    AFS_RETURN_IF_ERROR(registry_.CreateKey(key_));
+  }
+  AFS_ASSIGN_OR_RETURN(std::string text, registry_.RenderText(key_));
+  text_ = ToBuffer(text);
+  dirty_ = false;
+  return Status::Ok();
+}
+
+Result<std::size_t> RegistrySentinel::OnRead(sentinel::SentinelContext& ctx,
+                                             MutableByteSpan out) {
+  if (ctx.position >= text_.size()) return std::size_t{0};
+  const std::size_t n = std::min<std::size_t>(
+      out.size(), text_.size() - static_cast<std::size_t>(ctx.position));
+  std::memcpy(out.data(), text_.data() + ctx.position, n);
+  return n;
+}
+
+Result<std::size_t> RegistrySentinel::OnWrite(sentinel::SentinelContext& ctx,
+                                              ByteSpan data) {
+  const std::uint64_t end = ctx.position + data.size();
+  if (end > text_.size()) text_.resize(static_cast<std::size_t>(end), 0);
+  std::memcpy(text_.data() + ctx.position, data.data(), data.size());
+  dirty_ = true;
+  return data.size();
+}
+
+Result<std::uint64_t> RegistrySentinel::OnGetSize(
+    sentinel::SentinelContext& ctx) {
+  (void)ctx;
+  return text_.size();
+}
+
+Status RegistrySentinel::OnSetEof(sentinel::SentinelContext& ctx) {
+  text_.resize(static_cast<std::size_t>(ctx.position), 0);
+  dirty_ = true;
+  return Status::Ok();
+}
+
+Status RegistrySentinel::Apply() {
+  if (!dirty_) return Status::Ok();
+  AFS_RETURN_IF_ERROR(registry_.ApplyText(key_, ToString(ByteSpan(text_))));
+  dirty_ = false;
+  return Status::Ok();
+}
+
+Status RegistrySentinel::OnFlush(sentinel::SentinelContext& ctx) {
+  (void)ctx;
+  return Apply();
+}
+
+Status RegistrySentinel::OnClose(sentinel::SentinelContext& ctx) {
+  (void)ctx;
+  return Apply();
+}
+
+Result<Buffer> RegistrySentinel::OnControl(sentinel::SentinelContext& ctx,
+                                           ByteSpan request) {
+  (void)ctx;
+  if (ToString(request) == "reload") {
+    AFS_ASSIGN_OR_RETURN(std::string text, registry_.RenderText(key_));
+    text_ = ToBuffer(text);
+    dirty_ = false;
+    return ToBuffer(std::to_string(text_.size()));
+  }
+  return UnsupportedError("registry: unknown control");
+}
+
+std::unique_ptr<sentinel::Sentinel> MakeRegistrySentinel(
+    const sentinel::SentinelSpec& spec) {
+  (void)spec;
+  return std::make_unique<RegistrySentinel>();
+}
+
+}  // namespace afs::sentinels

@@ -1,0 +1,59 @@
+// "registry": a file-based interface to the system registry (paper
+// Section 3).  The sentinel renders a registry subtree as plain text at
+// open; the application reads, edits, and writes it back like any config
+// file, and the sentinel parses the edits into registry mutations at close
+// (or on flush) — "considerably simplifying system configuration".
+//
+// The registry instance is process-global (reg::DefaultRegistry), so this
+// sentinel is meaningful with the in-process strategies (thread/direct);
+// under a forked strategy its mutations die with the child.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "registry/registry.hpp"
+#include "sentinel/registry.hpp"
+#include "sentinel/sentinel.hpp"
+
+namespace afs::sentinels {
+
+// The process-wide registry the sentinel mediates.
+reg::Registry& DefaultRegistry();
+
+// Config:
+//   key : subtree to expose (default "" = whole registry)
+class RegistrySentinel final : public sentinel::Sentinel {
+ public:
+  // Uses DefaultRegistry() when none is injected.
+  RegistrySentinel() : registry_(DefaultRegistry()) {}
+  explicit RegistrySentinel(reg::Registry& registry) : registry_(registry) {}
+
+  Status OnOpen(sentinel::SentinelContext& ctx) override;
+  Result<std::size_t> OnRead(sentinel::SentinelContext& ctx,
+                             MutableByteSpan out) override;
+  Result<std::size_t> OnWrite(sentinel::SentinelContext& ctx,
+                              ByteSpan data) override;
+  Result<std::uint64_t> OnGetSize(sentinel::SentinelContext& ctx) override;
+  Status OnSetEof(sentinel::SentinelContext& ctx) override;
+  Status OnFlush(sentinel::SentinelContext& ctx) override;
+  Status OnClose(sentinel::SentinelContext& ctx) override;
+
+  // Custom control "reload": re-renders the subtree, discarding pending
+  // edits; replies with the fresh text size.
+  Result<Buffer> OnControl(sentinel::SentinelContext& ctx,
+                           ByteSpan request) override;
+
+ private:
+  Status Apply();
+
+  reg::Registry& registry_;
+  std::string key_;
+  Buffer text_;
+  bool dirty_ = false;
+};
+
+std::unique_ptr<sentinel::Sentinel> MakeRegistrySentinel(
+    const sentinel::SentinelSpec& spec);
+
+}  // namespace afs::sentinels

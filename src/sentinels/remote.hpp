@@ -1,0 +1,79 @@
+// Aggregation sentinels over remote file services (paper Section 3):
+// seamless access to remote files and multi-source merging.  These are the
+// sentinels behind the Figure 5 caching paths and the Figure 6(a)
+// evaluation.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/file_server.hpp"
+#include "sentinel/registry.hpp"
+#include "sentinel/sentinel.hpp"
+
+namespace afs::sentinels {
+
+// "remote": one remote file presented as a local one.  Config:
+//   url          : remote service ("sock:..." or "sim:node:service")
+//   file         : path at the remote service
+//   consistency  : open | always | never   (default open)
+//       open   — revalidate the cache once per open (conditional GET)
+//       always — revalidate before every read
+//       never  — first fetch wins for this open
+//   write_through: "1" to push each write immediately (PUTRANGE);
+//                  otherwise dirty content is PUT back at close/flush
+//
+// With cache=none the sentinel holds no copy at all: every read is a
+// GETRANGE and every write a PUTRANGE against the service — Figure 5
+// path 1.  With cache=disk/memory the data part is the local cache —
+// paths 2 and 3.
+class RemoteFileSentinel final : public sentinel::Sentinel {
+ public:
+  Status OnOpen(sentinel::SentinelContext& ctx) override;
+  Result<std::size_t> OnRead(sentinel::SentinelContext& ctx,
+                             MutableByteSpan out) override;
+  Result<std::size_t> OnWrite(sentinel::SentinelContext& ctx,
+                              ByteSpan data) override;
+  Result<std::uint64_t> OnGetSize(sentinel::SentinelContext& ctx) override;
+  Status OnFlush(sentinel::SentinelContext& ctx) override;
+  Status OnClose(sentinel::SentinelContext& ctx) override;
+
+ private:
+  enum class Consistency { kOpen, kAlways, kNever };
+
+  Status Revalidate(sentinel::SentinelContext& ctx);
+  Status WriteBack(sentinel::SentinelContext& ctx);
+
+  std::unique_ptr<net::Transport> transport_;
+  std::unique_ptr<net::FileClient> client_;
+  std::string remote_path_;
+  Consistency consistency_ = Consistency::kOpen;
+  bool write_through_ = false;
+  bool cached_ = false;          // cache mode != none
+  std::uint64_t revision_ = 0;   // revision of the cached copy
+  bool dirty_ = false;
+};
+
+// "merge": several remote files concatenated into one local view (config
+// "files" = comma-separated remote paths, "url" as above, "sep" = optional
+// separator inserted between sources).  Fetched at open; read-only.
+class MergeSentinel final : public sentinel::Sentinel {
+ public:
+  Status OnOpen(sentinel::SentinelContext& ctx) override;
+  Result<std::size_t> OnRead(sentinel::SentinelContext& ctx,
+                             MutableByteSpan out) override;
+  Result<std::size_t> OnWrite(sentinel::SentinelContext& ctx,
+                              ByteSpan data) override;
+  Result<std::uint64_t> OnGetSize(sentinel::SentinelContext& ctx) override;
+
+ private:
+  Buffer merged_;
+};
+
+std::unique_ptr<sentinel::Sentinel> MakeRemoteFileSentinel(
+    const sentinel::SentinelSpec& spec);
+std::unique_ptr<sentinel::Sentinel> MakeMergeSentinel(
+    const sentinel::SentinelSpec& spec);
+
+}  // namespace afs::sentinels

@@ -1,0 +1,54 @@
+#include "sentinels/tee.hpp"
+
+namespace afs::sentinels {
+
+Status TeeSentinel::OnOpen(sentinel::SentinelContext& ctx) {
+  if (ctx.cache == nullptr) {
+    return InvalidArgumentError("tee: requires a data part (cache!=none)");
+  }
+  const std::string url = ctx.config_or("url", "");
+  remote_path_ = ctx.config_or("file", "");
+  if (url.empty() || remote_path_.empty()) {
+    return InvalidArgumentError("tee: needs 'url' and 'file' config");
+  }
+  AFS_ASSIGN_OR_RETURN(transport_, ctx.ConnectRemote(url));
+  client_ = std::make_unique<net::FileClient>(*transport_);
+
+  // Seed the mirror with the current local content so both sides agree
+  // from the first write.
+  AFS_ASSIGN_OR_RETURN(std::uint64_t size, ctx.cache->Size());
+  Buffer content(static_cast<std::size_t>(size));
+  AFS_ASSIGN_OR_RETURN(std::size_t n,
+                       ctx.cache->ReadAt(0, MutableByteSpan(content)));
+  content.resize(n);
+  AFS_RETURN_IF_ERROR(client_->Put(remote_path_, ByteSpan(content)).status());
+  return Status::Ok();
+}
+
+Result<std::size_t> TeeSentinel::OnWrite(sentinel::SentinelContext& ctx,
+                                         ByteSpan data) {
+  // Local first (the application's view), then mirror the same range.
+  AFS_ASSIGN_OR_RETURN(std::size_t n, Sentinel::OnWrite(ctx, data));
+  AFS_RETURN_IF_ERROR(
+      client_->PutRange(remote_path_, ctx.position, data.first(n)).status());
+  return n;
+}
+
+Status TeeSentinel::OnSetEof(sentinel::SentinelContext& ctx) {
+  AFS_RETURN_IF_ERROR(Sentinel::OnSetEof(ctx));
+  // The remote service has no truncate op; replace with the local content.
+  AFS_ASSIGN_OR_RETURN(std::uint64_t size, ctx.cache->Size());
+  Buffer content(static_cast<std::size_t>(size));
+  AFS_ASSIGN_OR_RETURN(std::size_t n,
+                       ctx.cache->ReadAt(0, MutableByteSpan(content)));
+  content.resize(n);
+  return client_->Put(remote_path_, ByteSpan(content)).status();
+}
+
+std::unique_ptr<sentinel::Sentinel> MakeTeeSentinel(
+    const sentinel::SentinelSpec& spec) {
+  (void)spec;
+  return std::make_unique<TeeSentinel>();
+}
+
+}  // namespace afs::sentinels

@@ -1,0 +1,39 @@
+// "tee": distribution by mirroring (paper Section 3, "Distribution" —
+// side effects "triggered by file operations against the active file").
+// Every write lands in the local data part AND is pushed, synchronously,
+// to a remote file; the active file behaves like a local file whose
+// changes replicate as they happen (contrast with "remote", which either
+// holds no copy or writes back lazily).
+//
+// Config:
+//   url   : remote service ("sock:..." or "sim:node:service")
+//   file  : remote path to mirror into
+// Requires a data part.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "net/file_server.hpp"
+#include "sentinel/registry.hpp"
+#include "sentinel/sentinel.hpp"
+
+namespace afs::sentinels {
+
+class TeeSentinel final : public sentinel::Sentinel {
+ public:
+  Status OnOpen(sentinel::SentinelContext& ctx) override;
+  Result<std::size_t> OnWrite(sentinel::SentinelContext& ctx,
+                              ByteSpan data) override;
+  Status OnSetEof(sentinel::SentinelContext& ctx) override;
+
+ private:
+  std::unique_ptr<net::Transport> transport_;
+  std::unique_ptr<net::FileClient> client_;
+  std::string remote_path_;
+};
+
+std::unique_ptr<sentinel::Sentinel> MakeTeeSentinel(
+    const sentinel::SentinelSpec& spec);
+
+}  // namespace afs::sentinels

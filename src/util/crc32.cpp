@@ -1,0 +1,38 @@
+#include "util/crc32.hpp"
+
+#include <array>
+
+namespace afs {
+namespace {
+
+std::array<std::uint32_t, 256> BuildTable() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+const std::array<std::uint32_t, 256>& Table() {
+  static const auto table = BuildTable();
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t Crc32Update(std::uint32_t seed, ByteSpan bytes) noexcept {
+  std::uint32_t c = seed ^ 0xFFFFFFFFu;
+  const auto& table = Table();
+  for (std::uint8_t b : bytes) {
+    c = table[(c ^ b) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+std::uint32_t Crc32(ByteSpan bytes) noexcept { return Crc32Update(0, bytes); }
+
+}  // namespace afs

@@ -1,0 +1,17 @@
+// CRC-32 (IEEE 802.3 polynomial, reflected).  Guards bundle TOCs and codec
+// frames against corruption.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.hpp"
+
+namespace afs {
+
+// One-shot CRC of a byte span (initial value 0).
+std::uint32_t Crc32(ByteSpan bytes) noexcept;
+
+// Incremental form: feed the previous return value back in as `seed`.
+std::uint32_t Crc32Update(std::uint32_t seed, ByteSpan bytes) noexcept;
+
+}  // namespace afs

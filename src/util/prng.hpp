@@ -1,0 +1,82 @@
+// Deterministic PRNG (xoshiro256**).  Sentinel examples (random-file data
+// generation) and workload generators need reproducible streams; std::mt19937
+// state is bulky for per-sentinel embedding and unspecified across platforms
+// for distributions, so we own both the generator and the mapping.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.hpp"
+
+namespace afs {
+
+class Prng {
+ public:
+  explicit Prng(std::uint64_t seed = 0x9E3779B97F4A7C15ull) { Seed(seed); }
+
+  void Seed(std::uint64_t seed) {
+    // SplitMix64 expansion of the seed into four lanes.
+    std::uint64_t x = seed;
+    for (auto& lane : state_) {
+      x += 0x9E3779B97F4A7C15ull;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+      lane = z ^ (z >> 31);
+    }
+  }
+
+  std::uint64_t NextU64() noexcept {
+    const std::uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  std::uint32_t NextU32() noexcept {
+    return static_cast<std::uint32_t>(NextU64() >> 32);
+  }
+
+  // Uniform in [0, bound) without modulo bias (Lemire's method).
+  std::uint64_t NextBelow(std::uint64_t bound) noexcept {
+    if (bound == 0) return 0;
+    unsigned __int128 m =
+        static_cast<unsigned __int128>(NextU64()) * bound;
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  double NextDouble() noexcept {  // [0, 1)
+    return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+  }
+
+  void Fill(MutableByteSpan out) noexcept {
+    std::size_t i = 0;
+    while (i + 8 <= out.size()) {
+      std::uint64_t v = NextU64();
+      for (int k = 0; k < 8; ++k) {
+        out[i++] = static_cast<std::uint8_t>(v >> (8 * k));
+      }
+    }
+    if (i < out.size()) {
+      std::uint64_t v = NextU64();
+      for (; i < out.size(); ++i) {
+        out[i] = static_cast<std::uint8_t>(v & 0xff);
+        v >>= 8;
+      }
+    }
+  }
+
+ private:
+  static std::uint64_t Rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4];
+};
+
+}  // namespace afs

@@ -1,0 +1,60 @@
+// Token-bucket rate limiter.  SimNet uses one per link to model bandwidth
+// (e.g. 100 Mbps Fast Ethernet from the paper's testbed): each message must
+// acquire its size in byte-tokens before delivery.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <mutex>
+
+#include "common/clock.hpp"
+
+namespace afs {
+
+class RateLimiter {
+ public:
+  // bytes_per_second == 0 means unlimited.
+  RateLimiter(Clock& clock, std::uint64_t bytes_per_second,
+              std::uint64_t burst_bytes = 64 * 1024)
+      : clock_(clock),
+        rate_(bytes_per_second),
+        burst_(std::max<std::uint64_t>(burst_bytes, 1)),
+        tokens_(static_cast<double>(burst_)),
+        last_(clock.Now()) {}
+
+  // Returns the delay the caller must observe before the transfer of
+  // `bytes` may complete.  Tokens are debited immediately (a message in
+  // flight occupies the link), so callers can queue delivery without
+  // sleeping on the limiter's own thread.
+  Micros ReserveDelay(std::uint64_t bytes) {
+    if (rate_ == 0) return Micros(0);
+    std::lock_guard<std::mutex> lock(mu_);
+    Refill();
+    tokens_ -= static_cast<double>(bytes);
+    if (tokens_ >= 0) return Micros(0);
+    const double deficit = -tokens_;
+    const double seconds = deficit / static_cast<double>(rate_);
+    return Micros(static_cast<std::int64_t>(seconds * 1e6) + 1);
+  }
+
+  std::uint64_t rate_bytes_per_second() const noexcept { return rate_; }
+
+ private:
+  void Refill() {
+    const Micros now = clock_.Now();
+    const double elapsed_s =
+        static_cast<double>((now - last_).count()) / 1e6;
+    last_ = now;
+    tokens_ = std::min(static_cast<double>(burst_),
+                       tokens_ + elapsed_s * static_cast<double>(rate_));
+  }
+
+  Clock& clock_;
+  const std::uint64_t rate_;
+  const std::uint64_t burst_;
+  std::mutex mu_;
+  double tokens_;
+  Micros last_;
+};
+
+}  // namespace afs

@@ -1,0 +1,89 @@
+// Fixed-capacity byte ring buffer.  This is the data plane of the
+// shared-memory channel used by the DLL-with-thread strategy: application
+// stubs produce into it and the sentinel thread consumes from it (and vice
+// versa) with exactly one user-level copy per side — the property the paper
+// credits for the thread strategy's advantage over pipes (Section 4.3).
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "common/bytes.hpp"
+
+namespace afs {
+
+class RingBuffer {
+ public:
+  explicit RingBuffer(std::size_t capacity)
+      : data_(capacity == 0 ? 1 : capacity) {}
+
+  std::size_t capacity() const noexcept { return data_.size(); }
+  std::size_t size() const noexcept { return size_; }
+  std::size_t free_space() const noexcept { return capacity() - size_; }
+  bool empty() const noexcept { return size_ == 0; }
+  bool full() const noexcept { return size_ == capacity(); }
+
+  // Copies up to bytes.size() in; returns how many were accepted.
+  std::size_t Write(ByteSpan bytes) noexcept {
+    const std::size_t n = std::min(bytes.size(), free_space());
+    for (std::size_t copied = 0; copied < n;) {
+      const std::size_t chunk =
+          std::min(n - copied, capacity() - write_pos_);
+      std::memcpy(&data_[write_pos_], bytes.data() + copied, chunk);
+      write_pos_ = (write_pos_ + chunk) % capacity();
+      copied += chunk;
+    }
+    size_ += n;
+    return n;
+  }
+
+  // Copies up to out.size() bytes out; returns how many were produced.
+  std::size_t Read(MutableByteSpan out) noexcept {
+    const std::size_t n = std::min(out.size(), size_);
+    for (std::size_t copied = 0; copied < n;) {
+      const std::size_t chunk = std::min(n - copied, capacity() - read_pos_);
+      std::memcpy(out.data() + copied, &data_[read_pos_], chunk);
+      read_pos_ = (read_pos_ + chunk) % capacity();
+      copied += chunk;
+    }
+    size_ -= n;
+    return n;
+  }
+
+  // Non-consuming read of up to out.size() bytes from the front.
+  std::size_t Peek(MutableByteSpan out) const noexcept {
+    const std::size_t n = std::min(out.size(), size_);
+    std::size_t pos = read_pos_;
+    for (std::size_t copied = 0; copied < n;) {
+      const std::size_t chunk = std::min(n - copied, capacity() - pos);
+      std::memcpy(out.data() + copied, &data_[pos], chunk);
+      pos = (pos + chunk) % capacity();
+      copied += chunk;
+    }
+    return n;
+  }
+
+  // Drops up to n bytes from the front; returns how many were dropped.
+  std::size_t Discard(std::size_t n) noexcept {
+    n = std::min(n, size_);
+    read_pos_ = (read_pos_ + n) % capacity();
+    size_ -= n;
+    return n;
+  }
+
+  void Clear() noexcept {
+    read_pos_ = write_pos_ = 0;
+    size_ = 0;
+  }
+
+ private:
+  std::vector<std::uint8_t> data_;
+  std::size_t read_pos_ = 0;
+  std::size_t write_pos_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace afs

@@ -1,0 +1,92 @@
+#include "util/strings.hpp"
+
+#include <cctype>
+#include <cstdint>
+
+namespace afs {
+
+std::vector<std::string> Split(std::string_view s, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t pos = s.find(sep, start);
+    if (pos == std::string_view::npos) {
+      out.emplace_back(s.substr(start));
+      return out;
+    }
+    out.emplace_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+std::pair<std::string, std::string> SplitOnce(std::string_view s, char sep) {
+  const std::size_t pos = s.find(sep);
+  if (pos == std::string_view::npos) {
+    return {std::string(s), std::string()};
+  }
+  return {std::string(s.substr(0, pos)), std::string(s.substr(pos + 1))};
+}
+
+std::vector<std::string> SplitLines(std::string_view s) {
+  std::vector<std::string> lines = Split(s, '\n');
+  for (auto& line : lines) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+  }
+  // A trailing newline yields one spurious empty tail element.
+  if (!lines.empty() && lines.back().empty()) lines.pop_back();
+  return lines;
+}
+
+std::string TrimWhitespace(std::string_view s) {
+  std::size_t begin = 0;
+  std::size_t end = s.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(s[begin]))) {
+    ++begin;
+  }
+  while (end > begin && std::isspace(static_cast<unsigned char>(s[end - 1]))) {
+    --end;
+  }
+  return std::string(s.substr(begin, end - begin));
+}
+
+std::string ToLowerAscii(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return out;
+}
+
+bool StartsWith(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+bool EndsWith(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.substr(s.size() - suffix.size()) == suffix;
+}
+
+std::string JoinStrings(const std::vector<std::string>& parts,
+                        std::string_view sep) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+bool ParseU64(std::string_view s, std::uint64_t& out) {
+  if (s.empty()) return false;
+  std::uint64_t value = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') return false;
+    const std::uint64_t digit = static_cast<std::uint64_t>(c - '0');
+    if (value > (UINT64_MAX - digit) / 10) return false;
+    value = value * 10 + digit;
+  }
+  out = value;
+  return true;
+}
+
+}  // namespace afs

@@ -1,0 +1,34 @@
+// Small string utilities used by protocol parsers (mail headers, registry
+// text rendering, sentinel spec key=value configs).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace afs {
+
+// Splits on a single character; keeps empty fields.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+// Splits into at most two pieces at the first occurrence of sep; returns
+// {s, ""} when sep is absent.
+std::pair<std::string, std::string> SplitOnce(std::string_view s, char sep);
+
+// Splits on '\n', dropping a trailing '\r' on each line.
+std::vector<std::string> SplitLines(std::string_view s);
+
+std::string TrimWhitespace(std::string_view s);
+std::string ToLowerAscii(std::string_view s);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+std::string JoinStrings(const std::vector<std::string>& parts,
+                        std::string_view sep);
+
+// Parses a non-negative decimal integer; returns false on any non-digit or
+// overflow.
+bool ParseU64(std::string_view s, std::uint64_t& out);
+
+}  // namespace afs

@@ -1,0 +1,258 @@
+#include "vfs/file_api.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+
+#include "vfs/paths.hpp"
+
+namespace afs::vfs {
+
+namespace stdfs = std::filesystem;
+
+FileApi::FileApi(std::string root_dir) : root_(std::move(root_dir)) {
+  std::error_code ec;
+  stdfs::create_directories(root_, ec);
+}
+
+Result<std::string> FileApi::HostPath(const std::string& path) const {
+  AFS_ASSIGN_OR_RETURN(std::string normalized, NormalizePath(path));
+  if (normalized.empty()) {
+    return InvalidArgumentError("empty path");
+  }
+  return root_ + "/" + normalized;
+}
+
+Result<HandleId> FileApi::CreateFile(const std::string& path,
+                                     const OpenOptions& options) {
+  // Interceptors see the normalized VFS path, newest installation first —
+  // exactly the stub-before-original ordering of IAT interception.
+  AFS_ASSIGN_OR_RETURN(std::string normalized, NormalizePath(path));
+  std::vector<OpenInterceptor*> interceptors;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    interceptors.assign(interceptors_.rbegin(), interceptors_.rend());
+  }
+  std::unique_ptr<FileHandle> handle;
+  for (OpenInterceptor* interceptor : interceptors) {
+    AFS_ASSIGN_OR_RETURN(handle,
+                         interceptor->TryOpen(*this, normalized, options));
+    if (handle != nullptr) break;
+  }
+  if (handle == nullptr) {
+    AFS_ASSIGN_OR_RETURN(std::string host, HostPath(normalized));
+    AFS_ASSIGN_OR_RETURN(handle, HostFileHandle::Open(host, options));
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  const HandleId id = next_handle_++;
+  handles_[id] = std::move(handle);
+  return id;
+}
+
+Result<HandleId> FileApi::OpenFile(const std::string& path, OpenMode mode) {
+  OpenOptions options;
+  options.mode = mode;
+  options.disposition = Disposition::kOpenExisting;
+  return CreateFile(path, options);
+}
+
+Result<FileHandle*> FileApi::Lookup(HandleId handle) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = handles_.find(handle);
+  if (it == handles_.end()) {
+    return InvalidArgumentError("bad handle " + std::to_string(handle));
+  }
+  return it->second.get();
+}
+
+Result<std::size_t> FileApi::ReadFile(HandleId handle, MutableByteSpan out) {
+  AFS_ASSIGN_OR_RETURN(FileHandle * file, Lookup(handle));
+  return file->Read(out);
+}
+
+Result<std::size_t> FileApi::WriteFile(HandleId handle, ByteSpan data) {
+  AFS_ASSIGN_OR_RETURN(FileHandle * file, Lookup(handle));
+  return file->Write(data);
+}
+
+Result<std::uint64_t> FileApi::SetFilePointer(HandleId handle,
+                                              std::int64_t offset,
+                                              SeekOrigin origin) {
+  AFS_ASSIGN_OR_RETURN(FileHandle * file, Lookup(handle));
+  return file->Seek(offset, origin);
+}
+
+Result<std::uint64_t> FileApi::GetFileSize(HandleId handle) {
+  AFS_ASSIGN_OR_RETURN(FileHandle * file, Lookup(handle));
+  return file->Size();
+}
+
+Status FileApi::SetEndOfFile(HandleId handle) {
+  AFS_ASSIGN_OR_RETURN(FileHandle * file, Lookup(handle));
+  return file->SetEndOfFile();
+}
+
+Status FileApi::FlushFileBuffers(HandleId handle) {
+  AFS_ASSIGN_OR_RETURN(FileHandle * file, Lookup(handle));
+  return file->Flush();
+}
+
+Result<std::size_t> FileApi::ReadFileScatter(
+    HandleId handle, std::span<MutableByteSpan> segments) {
+  AFS_ASSIGN_OR_RETURN(FileHandle * file, Lookup(handle));
+  return file->ReadScatter(segments);
+}
+
+Status FileApi::LockFileRange(HandleId handle, std::uint64_t offset,
+                              std::uint64_t length) {
+  AFS_ASSIGN_OR_RETURN(FileHandle * file, Lookup(handle));
+  return file->LockRange(offset, length);
+}
+
+Status FileApi::UnlockFileRange(HandleId handle, std::uint64_t offset,
+                                std::uint64_t length) {
+  AFS_ASSIGN_OR_RETURN(FileHandle * file, Lookup(handle));
+  return file->UnlockRange(offset, length);
+}
+
+Status FileApi::CloseHandle(HandleId handle) {
+  std::unique_ptr<FileHandle> file;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = handles_.find(handle);
+    if (it == handles_.end()) {
+      return InvalidArgumentError("bad handle " + std::to_string(handle));
+    }
+    file = std::move(it->second);
+    handles_.erase(it);
+  }
+  return file->Close();
+}
+
+Status FileApi::DeleteFile(const std::string& path) {
+  AFS_ASSIGN_OR_RETURN(std::string host, HostPath(path));
+  if (::unlink(host.c_str()) != 0) {
+    if (errno == ENOENT) return NotFoundError("no file: " + path);
+    return IoError("unlink " + path + ": " + std::strerror(errno));
+  }
+  return Status::Ok();
+}
+
+Status FileApi::CopyFile(const std::string& from, const std::string& to) {
+  AFS_ASSIGN_OR_RETURN(std::string host_from, HostPath(from));
+  AFS_ASSIGN_OR_RETURN(std::string host_to, HostPath(to));
+  std::error_code ec;
+  stdfs::copy_file(host_from, host_to, stdfs::copy_options::overwrite_existing,
+                   ec);
+  if (ec) {
+    if (ec == std::errc::no_such_file_or_directory) {
+      return NotFoundError("no file: " + from);
+    }
+    return IoError("copy " + from + " -> " + to + ": " + ec.message());
+  }
+  return Status::Ok();
+}
+
+Status FileApi::MoveFile(const std::string& from, const std::string& to) {
+  AFS_ASSIGN_OR_RETURN(std::string host_from, HostPath(from));
+  AFS_ASSIGN_OR_RETURN(std::string host_to, HostPath(to));
+  if (::rename(host_from.c_str(), host_to.c_str()) != 0) {
+    if (errno == ENOENT) return NotFoundError("no file: " + from);
+    return IoError("rename " + from + ": " + std::strerror(errno));
+  }
+  return Status::Ok();
+}
+
+Result<bool> FileApi::FileExists(const std::string& path) {
+  AFS_ASSIGN_OR_RETURN(std::string host, HostPath(path));
+  std::error_code ec;
+  const bool exists = stdfs::exists(host, ec);
+  if (ec) return IoError("stat " + path + ": " + ec.message());
+  return exists;
+}
+
+Result<std::vector<std::string>> FileApi::ListDirectory(
+    const std::string& path) {
+  std::string host = root_;
+  if (!path.empty()) {
+    AFS_ASSIGN_OR_RETURN(host, HostPath(path));
+  }
+  std::error_code ec;
+  std::vector<std::string> names;
+  for (auto it = stdfs::directory_iterator(host, ec);
+       !ec && it != stdfs::directory_iterator(); it.increment(ec)) {
+    names.push_back(it->path().filename().string());
+  }
+  if (ec) return IoError("listdir " + path + ": " + ec.message());
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+Status FileApi::CreateDirectory(const std::string& path) {
+  AFS_ASSIGN_OR_RETURN(std::string host, HostPath(path));
+  std::error_code ec;
+  stdfs::create_directories(host, ec);
+  if (ec) return IoError("mkdir " + path + ": " + ec.message());
+  return Status::Ok();
+}
+
+Result<Buffer> FileApi::ReadWholeFile(const std::string& path) {
+  AFS_ASSIGN_OR_RETURN(HandleId handle, OpenFile(path, OpenMode::kRead));
+  Buffer out;
+  Buffer chunk(64 * 1024);
+  while (true) {
+    Result<std::size_t> n = ReadFile(handle, MutableByteSpan(chunk));
+    if (!n.ok()) {
+      (void)CloseHandle(handle);
+      return n.status();
+    }
+    if (*n == 0) break;
+    out.insert(out.end(), chunk.begin(), chunk.begin() + *n);
+  }
+  AFS_RETURN_IF_ERROR(CloseHandle(handle));
+  return out;
+}
+
+Status FileApi::WriteWholeFile(const std::string& path, ByteSpan data) {
+  OpenOptions options;
+  options.mode = OpenMode::kWrite;
+  options.disposition = Disposition::kCreateAlways;
+  AFS_ASSIGN_OR_RETURN(HandleId handle, CreateFile(path, options));
+  Result<std::size_t> written = WriteFile(handle, data);
+  if (!written.ok()) {
+    (void)CloseHandle(handle);
+    return written.status();
+  }
+  return CloseHandle(handle);
+}
+
+void FileApi::InstallInterceptor(OpenInterceptor* interceptor) {
+  std::lock_guard<std::mutex> lock(mu_);
+  interceptors_.push_back(interceptor);
+}
+
+void FileApi::RemoveInterceptor(OpenInterceptor* interceptor) {
+  std::lock_guard<std::mutex> lock(mu_);
+  interceptors_.erase(
+      std::remove(interceptors_.begin(), interceptors_.end(), interceptor),
+      interceptors_.end());
+}
+
+std::size_t FileApi::interceptor_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return interceptors_.size();
+}
+
+FileHandle* FileApi::RawHandle(HandleId handle) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = handles_.find(handle);
+  return it == handles_.end() ? nullptr : it->second.get();
+}
+
+std::size_t FileApi::open_handle_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return handles_.size();
+}
+
+}  // namespace afs::vfs

@@ -1,0 +1,117 @@
+// FileApi: the Win32-flavoured file interface legacy applications program
+// against, plus the interposition point.
+//
+// In the paper, Mediating Connectors rewrites a process' import address
+// table so that kernel32 file calls land in active-file stubs (Appendix A).
+// Here the same diversion is explicit: FileApi keeps a chain of
+// OpenInterceptors; CreateFile offers the path to each interceptor in turn
+// (the installed "stub"), and only falls through to the passive host-file
+// routine when none claims it.  Application code — the "legacy" side — calls
+// only CreateFile/ReadFile/WriteFile/… and cannot tell which driver served
+// its handle.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/status.hpp"
+#include "vfs/file_handle.hpp"
+#include "vfs/host_file.hpp"
+
+namespace afs::vfs {
+
+using HandleId = std::uint64_t;
+inline constexpr HandleId kInvalidHandle = 0;
+
+class FileApi;
+
+// An installed stub.  TryOpen returns:
+//   - a FileHandle  -> the interceptor claimed the open,
+//   - nullptr       -> not claimed; FileApi falls through to the next
+//                      interceptor / the passive routine,
+//   - an error      -> claimed but failed (propagated to the caller).
+class OpenInterceptor {
+ public:
+  virtual ~OpenInterceptor() = default;
+  virtual Result<std::unique_ptr<FileHandle>> TryOpen(
+      FileApi& api, const std::string& path, const OpenOptions& options) = 0;
+};
+
+class FileApi {
+ public:
+  // All VFS paths resolve under root_dir on the host filesystem.
+  explicit FileApi(std::string root_dir);
+  FileApi(const FileApi&) = delete;
+  FileApi& operator=(const FileApi&) = delete;
+
+  // ---- the legacy application surface --------------------------------
+  Result<HandleId> CreateFile(const std::string& path,
+                              const OpenOptions& options);
+  Result<HandleId> OpenFile(const std::string& path, OpenMode mode);
+
+  Result<std::size_t> ReadFile(HandleId handle, MutableByteSpan out);
+  Result<std::size_t> WriteFile(HandleId handle, ByteSpan data);
+  Result<std::uint64_t> SetFilePointer(HandleId handle, std::int64_t offset,
+                                       SeekOrigin origin);
+  Result<std::uint64_t> GetFileSize(HandleId handle);
+  Status SetEndOfFile(HandleId handle);
+  Status FlushFileBuffers(HandleId handle);
+  Result<std::size_t> ReadFileScatter(HandleId handle,
+                                      std::span<MutableByteSpan> segments);
+  Status LockFileRange(HandleId handle, std::uint64_t offset,
+                       std::uint64_t length);
+  Status UnlockFileRange(HandleId handle, std::uint64_t offset,
+                         std::uint64_t length);
+  Status CloseHandle(HandleId handle);
+
+  // Directory operations.  Because an active file is packaged as a single
+  // container (bundle), host-level copy/move/delete already carry both its
+  // passive components, matching paper Section 2.1.
+  Status DeleteFile(const std::string& path);
+  Status CopyFile(const std::string& from, const std::string& to);
+  Status MoveFile(const std::string& from, const std::string& to);
+  Result<bool> FileExists(const std::string& path);
+  Result<std::vector<std::string>> ListDirectory(const std::string& path);
+  Status CreateDirectory(const std::string& path);
+
+  // Whole-file conveniences built on the handle API (they go through the
+  // same interception, so they work on active files too).
+  Result<Buffer> ReadWholeFile(const std::string& path);
+  Status WriteWholeFile(const std::string& path, ByteSpan data);
+
+  // ---- interposition (the IAT-rewrite analog) -------------------------
+  // Non-owning; interceptors are consulted newest-first and must outlive
+  // their registration.
+  void InstallInterceptor(OpenInterceptor* interceptor);
+  void RemoveInterceptor(OpenInterceptor* interceptor);
+  std::size_t interceptor_count() const;
+
+  // Resolves a VFS path to the host path (normalizing and sandboxing).
+  Result<std::string> HostPath(const std::string& path) const;
+
+  const std::string& root_dir() const noexcept { return root_; }
+
+  // Number of currently open handles (leak checks in tests).
+  std::size_t open_handle_count() const;
+
+  // Escape hatch for layered features (e.g. active-file custom controls):
+  // the driver object behind a handle, or null.  The pointer is owned by
+  // the FileApi and dies at CloseHandle; do not retain it.
+  FileHandle* RawHandle(HandleId handle);
+
+ private:
+  Result<FileHandle*> Lookup(HandleId handle);
+
+  std::string root_;
+  mutable std::mutex mu_;
+  std::map<HandleId, std::unique_ptr<FileHandle>> handles_;
+  HandleId next_handle_ = 1;
+  std::vector<OpenInterceptor*> interceptors_;
+};
+
+}  // namespace afs::vfs

@@ -1,0 +1,54 @@
+// Passive file driver: a FileHandle over a real host file descriptor.
+// This is the "standard Win32 routine" the active-file stub falls through
+// to when a path is not an active file.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "vfs/file_handle.hpp"
+
+namespace afs::vfs {
+
+enum class OpenMode : std::uint8_t { kRead = 1, kWrite = 2, kReadWrite = 3 };
+
+// Win32 CreateFile dispositions, minus the exotic ones.
+enum class Disposition : std::uint8_t {
+  kOpenExisting = 1,   // fail if absent
+  kCreateNew = 2,      // fail if present
+  kCreateAlways = 3,   // create or truncate
+  kOpenAlways = 4,     // create if absent, keep contents
+  kTruncateExisting = 5,
+};
+
+struct OpenOptions {
+  OpenMode mode = OpenMode::kReadWrite;
+  Disposition disposition = Disposition::kOpenAlways;
+  bool append = false;  // writes always go to the end
+};
+
+class HostFileHandle final : public FileHandle {
+ public:
+  // host_path is an absolute or cwd-relative path on the real filesystem.
+  static Result<std::unique_ptr<FileHandle>> Open(const std::string& host_path,
+                                                  const OpenOptions& options);
+
+  ~HostFileHandle() override;
+
+  Result<std::size_t> Read(MutableByteSpan out) override;
+  Result<std::size_t> Write(ByteSpan data) override;
+  Result<std::uint64_t> Seek(std::int64_t offset, SeekOrigin origin) override;
+  Result<std::uint64_t> Size() override;
+  Status SetEndOfFile() override;
+  Status Flush() override;
+  Result<std::size_t> ReadScatter(std::span<MutableByteSpan> segments) override;
+  Status LockRange(std::uint64_t offset, std::uint64_t length) override;
+  Status UnlockRange(std::uint64_t offset, std::uint64_t length) override;
+  Status Close() override;
+
+ private:
+  explicit HostFileHandle(int fd) : fd_(fd) {}
+  int fd_ = -1;
+};
+
+}  // namespace afs::vfs

@@ -1,0 +1,60 @@
+#include "vfs/paths.hpp"
+
+#include <vector>
+
+#include "util/strings.hpp"
+
+namespace afs::vfs {
+
+Result<std::string> NormalizePath(std::string_view path) {
+  if (!path.empty() && path.front() == '/') {
+    return InvalidArgumentError("absolute paths not allowed: " +
+                                std::string(path));
+  }
+  std::vector<std::string> stack;
+  for (auto& part : Split(path, '/')) {
+    if (part.empty() || part == ".") continue;
+    if (part == "..") {
+      if (stack.empty()) {
+        return InvalidArgumentError("path escapes root: " + std::string(path));
+      }
+      stack.pop_back();
+      continue;
+    }
+    stack.push_back(std::move(part));
+  }
+  return JoinStrings(stack, "/");
+}
+
+std::string JoinPath(std::string_view base, std::string_view rel) {
+  if (base.empty()) return std::string(rel);
+  if (rel.empty()) return std::string(base);
+  std::string out(base);
+  if (out.back() != '/') out += '/';
+  out += rel;
+  return out;
+}
+
+std::string_view PathExtension(std::string_view path) {
+  const std::string_view base = PathBasename(path);
+  const std::size_t dot = base.rfind('.');
+  if (dot == std::string_view::npos || dot == 0) return {};
+  return base.substr(dot);
+}
+
+std::string_view PathBasename(std::string_view path) {
+  const std::size_t slash = path.rfind('/');
+  return slash == std::string_view::npos ? path : path.substr(slash + 1);
+}
+
+std::string_view PathDirname(std::string_view path) {
+  const std::size_t slash = path.rfind('/');
+  return slash == std::string_view::npos ? std::string_view{}
+                                         : path.substr(0, slash);
+}
+
+bool IsActiveFilePath(std::string_view path) {
+  return PathExtension(path) == kActiveFileExtension;
+}
+
+}  // namespace afs::vfs

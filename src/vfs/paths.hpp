@@ -1,0 +1,36 @@
+// Path handling for the virtual file system.  All VFS paths are relative,
+// '/'-separated, and normalized inside a sandbox root; ".." may not escape
+// it.  Active files are recognized by extension (paper Appendix A.2: "the
+// stub … checks to see if the file name corresponds to an active file or
+// not (by checking the extension)").
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "common/status.hpp"
+
+namespace afs::vfs {
+
+// Extension that marks a file as active.
+inline constexpr std::string_view kActiveFileExtension = ".af";
+
+// Collapses "." and ".." components and duplicate separators.  Fails if the
+// path would escape the root or is absolute.
+Result<std::string> NormalizePath(std::string_view path);
+
+// Joins with a single separator; rhs must be relative.
+std::string JoinPath(std::string_view base, std::string_view rel);
+
+// "dir/file.af" -> ".af"; "" when there is no dot in the last component.
+std::string_view PathExtension(std::string_view path);
+
+// Last path component.
+std::string_view PathBasename(std::string_view path);
+
+// Everything before the last component ("" for a bare name).
+std::string_view PathDirname(std::string_view path);
+
+bool IsActiveFilePath(std::string_view path);
+
+}  // namespace afs::vfs

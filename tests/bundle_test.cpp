@@ -1,0 +1,252 @@
+// Bundle container tests: header codec, integrity, data-region I/O, and
+// the single-file directory-operation property the packaging exists for.
+#include <gtest/gtest.h>
+
+#include "core/bundle.hpp"
+#include "core/manager.hpp"
+#include "sentinels/builtin.hpp"
+#include "test_util.hpp"
+#include "vfs/file_api.hpp"
+
+namespace afs::core {
+namespace {
+
+using sentinel::SentinelSpec;
+using test::TempDir;
+
+SentinelSpec SampleSpec() {
+  SentinelSpec spec;
+  spec.name = "compress";
+  spec.config["codec"] = "rle";
+  spec.config["cache"] = "disk";
+  return spec;
+}
+
+TEST(BundleHeaderTest, RoundTrip) {
+  const Buffer header = EncodeBundleHeader(SampleSpec());
+  std::size_t header_size = 0;
+  auto spec = DecodeBundleHeader(ByteSpan(header), &header_size);
+  ASSERT_OK(spec.status());
+  EXPECT_EQ(spec->name, "compress");
+  EXPECT_EQ(spec->config.at("codec"), "rle");
+  EXPECT_EQ(header_size, header.size());
+}
+
+TEST(BundleHeaderTest, EmptyConfig) {
+  SentinelSpec spec;
+  spec.name = "null";
+  const Buffer header = EncodeBundleHeader(spec);
+  auto decoded = DecodeBundleHeader(ByteSpan(header), nullptr);
+  ASSERT_OK(decoded.status());
+  EXPECT_TRUE(decoded->config.empty());
+}
+
+TEST(BundleHeaderTest, BadMagicRejected) {
+  Buffer junk = ToBuffer("not a bundle at all");
+  EXPECT_EQ(DecodeBundleHeader(ByteSpan(junk), nullptr).status().code(),
+            ErrorCode::kCorrupt);
+}
+
+TEST(BundleHeaderTest, CorruptedCrcRejected) {
+  Buffer header = EncodeBundleHeader(SampleSpec());
+  header[6] ^= 0xFF;  // flip a bit inside the body
+  EXPECT_EQ(DecodeBundleHeader(ByteSpan(header), nullptr).status().code(),
+            ErrorCode::kCorrupt);
+}
+
+TEST(BundleHeaderTest, TruncationRejected) {
+  const Buffer header = EncodeBundleHeader(SampleSpec());
+  for (std::size_t cut : {std::size_t{4}, std::size_t{8}, header.size() - 1}) {
+    EXPECT_EQ(
+        DecodeBundleHeader(ByteSpan(header.data(), cut), nullptr)
+            .status()
+            .code(),
+        ErrorCode::kCorrupt)
+        << "cut=" << cut;
+  }
+}
+
+class BundleFileTest : public ::testing::Test {
+ protected:
+  std::string Path(const std::string& name) { return tmp_.path() + "/" + name; }
+  TempDir tmp_;
+};
+
+TEST_F(BundleFileTest, WriteOpenReadData) {
+  ASSERT_OK(WriteBundle(Path("a.af"), SampleSpec(), AsBytes("data-part")));
+  EXPECT_TRUE(SniffBundle(Path("a.af")));
+  auto bundle = BundleFile::Open(Path("a.af"));
+  ASSERT_OK(bundle.status());
+  EXPECT_EQ((*bundle)->spec().name, "compress");
+  auto data = (*bundle)->ReadAllData();
+  ASSERT_OK(data.status());
+  EXPECT_EQ(ToString(ByteSpan(*data)), "data-part");
+}
+
+TEST_F(BundleFileTest, DataRegionIo) {
+  ASSERT_OK(WriteBundle(Path("b.af"), SampleSpec(), AsBytes("0123456789")));
+  auto bundle = BundleFile::Open(Path("b.af"));
+  ASSERT_OK(bundle.status());
+  BundleFile& b = **bundle;
+
+  Buffer out(4);
+  auto n = b.ReadDataAt(3, MutableByteSpan(out));
+  ASSERT_OK(n.status());
+  EXPECT_EQ(ToString(ByteSpan(out)), "3456");
+
+  ASSERT_OK(b.WriteDataAt(3, AsBytes("XY")).status());
+  auto all = b.ReadAllData();
+  ASSERT_OK(all.status());
+  EXPECT_EQ(ToString(ByteSpan(*all)), "012XY56789");
+
+  ASSERT_OK(b.TruncateData(5));
+  EXPECT_EQ(*b.DataSize(), 5u);
+
+  // Writes past the end extend with the gap preserved.
+  ASSERT_OK(b.WriteDataAt(7, AsBytes("zz")).status());
+  EXPECT_EQ(*b.DataSize(), 9u);
+}
+
+TEST_F(BundleFileTest, ReplaceData) {
+  ASSERT_OK(WriteBundle(Path("c.af"), SampleSpec(), AsBytes("long original")));
+  auto bundle = BundleFile::Open(Path("c.af"));
+  ASSERT_OK(bundle.status());
+  ASSERT_OK((*bundle)->ReplaceData(AsBytes("tiny")));
+  auto data = (*bundle)->ReadAllData();
+  ASSERT_OK(data.status());
+  EXPECT_EQ(ToString(ByteSpan(*data)), "tiny");
+  // The header (and thus the spec) is untouched by data replacement.
+  auto reopened = BundleFile::Open(Path("c.af"));
+  ASSERT_OK(reopened.status());
+  EXPECT_EQ((*reopened)->spec().name, "compress");
+}
+
+TEST_F(BundleFileTest, SniffRejectsNonBundles) {
+  EXPECT_FALSE(SniffBundle(Path("missing.af")));
+  FILE* f = std::fopen(Path("junk.af").c_str(), "w");
+  std::fputs("passive bytes", f);
+  std::fclose(f);
+  EXPECT_FALSE(SniffBundle(Path("junk.af")));
+}
+
+TEST_F(BundleFileTest, OpenRejectsCorruptBundle) {
+  FILE* f = std::fopen(Path("bad.af").c_str(), "w");
+  std::fputs("AFB1 then garbage", f);
+  std::fclose(f);
+  EXPECT_EQ(BundleFile::Open(Path("bad.af")).status().code(),
+            ErrorCode::kCorrupt);
+}
+
+// Paper Section 2.1: "a copy operation produces a second active file with
+// the same data and executable components as the first one."  With the
+// single-file container this falls out of ordinary directory operations.
+TEST(BundleDirectoryOpsTest, CopyCarriesBothParts) {
+  TempDir tmp;
+  vfs::FileApi api(tmp.path() + "/root");
+  sentinels::RegisterBuiltinSentinels();
+  ActiveFileManager manager(api, sentinel::SentinelRegistry::Global());
+  manager.Install();
+
+  SentinelSpec spec;
+  spec.name = "null";
+  ASSERT_OK(manager.CreateActiveFile("orig.af", spec, AsBytes("payload")));
+  ASSERT_OK(api.CopyFile("orig.af", "copy.af"));
+
+  // The copy opens as an active file with identical spec and data.
+  auto copied_spec = manager.ReadSpec("copy.af");
+  ASSERT_OK(copied_spec.status());
+  EXPECT_EQ(copied_spec->name, "null");
+  auto handle = api.OpenFile("copy.af", vfs::OpenMode::kRead);
+  ASSERT_OK(handle.status());
+  Buffer out(7);
+  ASSERT_OK(api.ReadFile(*handle, MutableByteSpan(out)).status());
+  EXPECT_EQ(ToString(ByteSpan(out)), "payload");
+  ASSERT_OK(api.CloseHandle(*handle));
+
+  // Writes to the copy do not touch the original (they are distinct files).
+  auto h2 = api.OpenFile("copy.af", vfs::OpenMode::kReadWrite);
+  ASSERT_OK(h2.status());
+  ASSERT_OK(api.WriteFile(*h2, AsBytes("CHANGED")).status());
+  ASSERT_OK(api.CloseHandle(*h2));
+  auto orig_data = manager.ReadDataPart("orig.af");
+  ASSERT_OK(orig_data.status());
+  EXPECT_EQ(ToString(ByteSpan(*orig_data)), "payload");
+}
+
+TEST(BundleDirectoryOpsTest, MoveAndDelete) {
+  TempDir tmp;
+  vfs::FileApi api(tmp.path() + "/root");
+  sentinels::RegisterBuiltinSentinels();
+  ActiveFileManager manager(api, sentinel::SentinelRegistry::Global());
+  manager.Install();
+
+  SentinelSpec spec;
+  spec.name = "null";
+  ASSERT_OK(manager.CreateActiveFile("a.af", spec, AsBytes("x")));
+  ASSERT_OK(api.MoveFile("a.af", "b.af"));
+  EXPECT_EQ(*api.FileExists("a.af"), false);
+  auto moved = manager.ReadDataPart("b.af");
+  ASSERT_OK(moved.status());
+  EXPECT_EQ(ToString(ByteSpan(*moved)), "x");
+
+  ASSERT_OK(api.DeleteFile("b.af"));
+  EXPECT_EQ(*api.FileExists("b.af"), false);
+}
+
+TEST(ManagerAuthoringTest, ValidatesSpec) {
+  TempDir tmp;
+  vfs::FileApi api(tmp.path() + "/root");
+  sentinels::RegisterBuiltinSentinels();
+  ActiveFileManager manager(api, sentinel::SentinelRegistry::Global());
+
+  SentinelSpec spec;
+  spec.name = "null";
+  EXPECT_EQ(manager.CreateActiveFile("wrong.txt", spec).code(),
+            ErrorCode::kInvalidArgument);
+
+  spec.name = "unregistered";
+  EXPECT_EQ(manager.CreateActiveFile("x.af", spec).code(),
+            ErrorCode::kNotFound);
+
+  spec.name = "null";
+  spec.config["cache"] = "bogus";
+  EXPECT_EQ(manager.CreateActiveFile("x.af", spec).code(),
+            ErrorCode::kInvalidArgument);
+  spec.config.erase("cache");
+  spec.config["strategy"] = "bogus";
+  EXPECT_EQ(manager.CreateActiveFile("x.af", spec).code(),
+            ErrorCode::kInvalidArgument);
+}
+
+TEST(ManagerTest, PassiveAfFileFallsThrough) {
+  TempDir tmp;
+  vfs::FileApi api(tmp.path() + "/root");
+  sentinels::RegisterBuiltinSentinels();
+  ActiveFileManager manager(api, sentinel::SentinelRegistry::Global());
+  manager.Install();
+
+  // A .af file that is NOT a bundle opens as a passive file.
+  ASSERT_OK(api.WriteWholeFile("fake.af", AsBytes("just bytes")));
+  auto content = api.ReadWholeFile("fake.af");
+  ASSERT_OK(content.status());
+  EXPECT_EQ(ToString(ByteSpan(*content)), "just bytes");
+}
+
+TEST(ManagerTest, UninstalledManagerDoesNotIntercept) {
+  TempDir tmp;
+  vfs::FileApi api(tmp.path() + "/root");
+  sentinels::RegisterBuiltinSentinels();
+  ActiveFileManager manager(api, sentinel::SentinelRegistry::Global());
+  // NOT installed.
+  sentinel::SentinelSpec spec;
+  spec.name = "null";
+  ASSERT_OK(manager.CreateActiveFile("raw.af", spec, AsBytes("d")));
+  // Passive open sees the raw container (header + data), not the data part.
+  auto raw = api.ReadWholeFile("raw.af");
+  ASSERT_OK(raw.status());
+  EXPECT_GT(raw->size(), 1u);
+  EXPECT_EQ(ToString(ByteSpan(raw->data(), 4)), "AFB1");
+}
+
+}  // namespace
+}  // namespace afs::core

@@ -1,0 +1,179 @@
+// Control-protocol codec tests plus link/endpoint transports in isolation.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "core/links.hpp"
+#include "sentinel/control.hpp"
+#include "test_util.hpp"
+
+namespace afs::sentinel {
+namespace {
+
+TEST(ControlCodecTest, MessageRoundTrip) {
+  ControlMessage msg;
+  msg.op = ControlOp::kSeek;
+  msg.length = 123;
+  msg.offset = -45;
+  msg.origin = 2;
+  msg.range_len = 999;
+  msg.payload = ToBuffer("custom");
+
+  auto decoded = DecodeControlMessage(ByteSpan(EncodeControlMessage(msg)));
+  ASSERT_OK(decoded.status());
+  EXPECT_EQ(decoded->op, ControlOp::kSeek);
+  EXPECT_EQ(decoded->length, 123u);
+  EXPECT_EQ(decoded->offset, -45);
+  EXPECT_EQ(decoded->origin, 2);
+  EXPECT_EQ(decoded->range_len, 999u);
+  EXPECT_EQ(ToString(ByteSpan(decoded->payload)), "custom");
+  // Inline lanes never cross the wire.
+  EXPECT_TRUE(decoded->inline_in.empty());
+  EXPECT_TRUE(decoded->inline_out.empty());
+}
+
+TEST(ControlCodecTest, AllOpsSurvive) {
+  for (auto op : {ControlOp::kRead, ControlOp::kWrite, ControlOp::kSeek,
+                  ControlOp::kGetSize, ControlOp::kSetEof, ControlOp::kFlush,
+                  ControlOp::kLock, ControlOp::kUnlock, ControlOp::kCustom,
+                  ControlOp::kClose}) {
+    ControlMessage msg;
+    msg.op = op;
+    auto decoded = DecodeControlMessage(ByteSpan(EncodeControlMessage(msg)));
+    ASSERT_OK(decoded.status());
+    EXPECT_EQ(decoded->op, op);
+  }
+}
+
+TEST(ControlCodecTest, GarbageRejected) {
+  Buffer junk = {0x00};
+  EXPECT_EQ(DecodeControlMessage(ByteSpan(junk)).status().code(),
+            ErrorCode::kProtocolError);
+  Buffer bad_op = EncodeControlMessage(ControlMessage{});
+  bad_op[0] = 0xEE;
+  EXPECT_EQ(DecodeControlMessage(ByteSpan(bad_op)).status().code(),
+            ErrorCode::kProtocolError);
+}
+
+TEST(ControlCodecTest, ResponseRoundTrip) {
+  ControlResponse resp;
+  resp.status = OutOfRangeError("past eof");
+  resp.number = 777;
+  resp.payload = ToBuffer("tail");
+  auto decoded = DecodeControlResponse(ByteSpan(EncodeControlResponse(resp)));
+  ASSERT_OK(decoded.status());
+  EXPECT_EQ(decoded->status.code(), ErrorCode::kOutOfRange);
+  EXPECT_EQ(decoded->status.message(), "past eof");
+  EXPECT_EQ(decoded->number, 777u);
+  EXPECT_EQ(ToString(ByteSpan(decoded->payload)), "tail");
+}
+
+// ---- transports -------------------------------------------------------
+
+TEST(PipeLinkTest, CommandAndResponseCrossPipes) {
+  auto pair = core::CreatePipePair();
+  ASSERT_OK(pair.status());
+  core::PipeLink link(std::move(pair->first));
+  core::PipeEndpoint endpoint(std::move(pair->second));
+
+  std::thread sentinel_side([&] {
+    auto msg = endpoint.AF_GetControl();
+    ASSERT_OK(msg.status());
+    EXPECT_EQ(msg->op, ControlOp::kWrite);
+    EXPECT_EQ(msg->length, 5u);
+    // Write payload travels out-of-line on the write pipe.
+    auto data = endpoint.AF_GetDataFromAppl(5);
+    ASSERT_OK(data.status());
+    EXPECT_EQ(ToString(ByteSpan(*data)), "hello");
+    ControlResponse resp;
+    resp.number = 5;
+    ASSERT_OK(endpoint.AF_SendResponse(resp));
+  });
+
+  ControlMessage msg;
+  msg.op = ControlOp::kWrite;
+  msg.length = 5;
+  const std::string payload = "hello";
+  msg.inline_in = AsBytes(payload);
+  ASSERT_OK(link.AF_SendControl(msg));
+  auto resp = link.AF_GetResponse();
+  ASSERT_OK(resp.status());
+  EXPECT_EQ(resp->number, 5u);
+  sentinel_side.join();
+}
+
+TEST(PipeLinkTest, ShutdownGivesEofToEndpoint) {
+  auto pair = core::CreatePipePair();
+  ASSERT_OK(pair.status());
+  core::PipeLink link(std::move(pair->first));
+  core::PipeEndpoint endpoint(std::move(pair->second));
+  link.Shutdown();
+  EXPECT_EQ(endpoint.AF_GetControl().status().code(), ErrorCode::kClosed);
+}
+
+TEST(ThreadRendezvousTest, InlineLanesPassUserBuffers) {
+  core::ThreadRendezvous rendezvous;
+
+  std::thread sentinel_side([&] {
+    auto msg = rendezvous.AF_GetControl();
+    ASSERT_OK(msg.status());
+    EXPECT_EQ(msg->op, ControlOp::kRead);
+    // Fill the application's buffer directly — the one-copy path.
+    ASSERT_FALSE(msg->inline_out.empty());
+    std::memcpy(msg->inline_out.data(), "direct", 6);
+    ControlResponse resp;
+    resp.number = 6;
+    ASSERT_OK(rendezvous.AF_SendResponse(resp));
+  });
+
+  Buffer user_buffer(6);
+  ControlMessage msg;
+  msg.op = ControlOp::kRead;
+  msg.length = 6;
+  msg.inline_out = MutableByteSpan(user_buffer);
+  ASSERT_OK(rendezvous.AF_SendControl(msg));
+  auto resp = rendezvous.AF_GetResponse();
+  ASSERT_OK(resp.status());
+  EXPECT_EQ(resp->number, 6u);
+  EXPECT_EQ(ToString(ByteSpan(user_buffer)), "direct");
+  sentinel_side.join();
+}
+
+TEST(ThreadRendezvousTest, ShutdownUnblocksBothSides) {
+  core::ThreadRendezvous rendezvous;
+  std::thread waiter([&] {
+    EXPECT_EQ(rendezvous.AF_GetControl().status().code(), ErrorCode::kClosed);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  rendezvous.Shutdown();
+  waiter.join();
+  ControlMessage msg;
+  EXPECT_EQ(rendezvous.AF_SendControl(msg).code(), ErrorCode::kClosed);
+  EXPECT_EQ(rendezvous.AF_GetResponse().status().code(), ErrorCode::kClosed);
+}
+
+TEST(ThreadRendezvousTest, SequentialCommands) {
+  core::ThreadRendezvous rendezvous;
+  std::thread sentinel_side([&] {
+    for (int i = 0; i < 100; ++i) {
+      auto msg = rendezvous.AF_GetControl();
+      ASSERT_OK(msg.status());
+      ControlResponse resp;
+      resp.number = msg->length * 2;
+      ASSERT_OK(rendezvous.AF_SendResponse(resp));
+    }
+  });
+  for (int i = 0; i < 100; ++i) {
+    ControlMessage msg;
+    msg.op = ControlOp::kGetSize;
+    msg.length = static_cast<std::uint32_t>(i);
+    ASSERT_OK(rendezvous.AF_SendControl(msg));
+    auto resp = rendezvous.AF_GetResponse();
+    ASSERT_OK(resp.status());
+    EXPECT_EQ(resp->number, static_cast<std::uint64_t>(i) * 2);
+  }
+  sentinel_side.join();
+}
+
+}  // namespace
+}  // namespace afs::sentinel

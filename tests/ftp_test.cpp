@@ -1,0 +1,183 @@
+// FTP-like protocol tests: server/client conformance, error replies,
+// protocol robustness, and the ftp sentinel end-to-end.
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "afs.hpp"
+#include "net/ftp_server.hpp"
+#include "test_util.hpp"
+
+namespace afs {
+namespace {
+
+using net::FtpClient;
+using net::FtpServer;
+using test::TempDir;
+
+class FtpTest : public ::testing::Test {
+ protected:
+  FtpTest() : server_(tmp_.path() + "/ftp.sock", store_) {
+    EXPECT_TRUE(server_.Start().ok());
+  }
+  ~FtpTest() override { server_.Stop(); }
+
+  TempDir tmp_;
+  net::FileServer store_;
+  FtpServer server_;
+};
+
+TEST_F(FtpTest, RetrStorSizeDeleList) {
+  ASSERT_OK(store_.Put("a.txt", AsBytes("alpha")));
+  FtpClient client(server_.socket_path());
+
+  auto data = client.Retr("a.txt");
+  ASSERT_OK(data.status());
+  EXPECT_EQ(ToString(ByteSpan(*data)), "alpha");
+
+  ASSERT_OK(client.Stor("b.txt", AsBytes("bravo-bytes")));
+  auto size = client.Size("b.txt");
+  ASSERT_OK(size.status());
+  EXPECT_EQ(*size, 11u);
+
+  auto names = client.List("");
+  ASSERT_OK(names.status());
+  EXPECT_EQ(names->size(), 2u);
+
+  ASSERT_OK(client.Dele("a.txt"));
+  EXPECT_EQ(client.Retr("a.txt").status().code(), ErrorCode::kRemoteError);
+  ASSERT_OK(client.Quit());
+}
+
+TEST_F(FtpTest, BinaryPayloadsSurvive) {
+  FtpClient client(server_.socket_path());
+  Buffer binary(1000);
+  for (std::size_t i = 0; i < binary.size(); ++i) {
+    binary[i] = static_cast<std::uint8_t>(i & 0xff);  // includes \n and \0
+  }
+  ASSERT_OK(client.Stor("bin", ByteSpan(binary)));
+  auto back = client.Retr("bin");
+  ASSERT_OK(back.status());
+  EXPECT_EQ(*back, binary);
+}
+
+TEST_F(FtpTest, EmptyFileTransfers) {
+  FtpClient client(server_.socket_path());
+  ASSERT_OK(client.Stor("empty", {}));
+  auto back = client.Retr("empty");
+  ASSERT_OK(back.status());
+  EXPECT_TRUE(back->empty());
+}
+
+TEST_F(FtpTest, ErrorsAreRemoteErrors) {
+  FtpClient client(server_.socket_path());
+  EXPECT_EQ(client.Retr("nope").status().code(), ErrorCode::kRemoteError);
+  EXPECT_EQ(client.Size("nope").status().code(), ErrorCode::kRemoteError);
+  EXPECT_EQ(client.Dele("nope").code(), ErrorCode::kRemoteError);
+}
+
+TEST_F(FtpTest, ServerSurvivesMalformedCommands) {
+  // Speak raw garbage at the server, then verify it still works.
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, server_.socket_path().c_str(),
+               sizeof(addr.sun_path) - 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  const char junk[] = "FROB x\nSTOR\nSTOR a notanumber\nRETR\n";
+  ASSERT_EQ(::write(fd, junk, sizeof(junk) - 1),
+            static_cast<ssize_t>(sizeof(junk) - 1));
+  ::close(fd);
+
+  ASSERT_OK(store_.Put("still-alive", AsBytes("yes")));
+  FtpClient client(server_.socket_path());
+  auto data = client.Retr("still-alive");
+  ASSERT_OK(data.status());
+  EXPECT_EQ(ToString(ByteSpan(*data)), "yes");
+}
+
+TEST_F(FtpTest, ConcurrentClients) {
+  ASSERT_OK(store_.Put("shared", AsBytes("content")));
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 3; ++t) {
+    threads.emplace_back([&] {
+      FtpClient client(server_.socket_path());
+      for (int i = 0; i < 20; ++i) {
+        if (!client.Retr("shared").ok()) failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+// ---- the ftp sentinel end-to-end -----------------------------------------
+
+class FtpSentinelTest : public FtpTest,
+                        public ::testing::WithParamInterface<std::string> {
+ protected:
+  FtpSentinelTest()
+      : api_(tmp_.path() + "/root"),
+        manager_(api_, sentinel::SentinelRegistry::Global()) {
+    sentinels::RegisterBuiltinSentinels();
+    manager_.Install();
+  }
+
+  vfs::FileApi api_;
+  core::ActiveFileManager manager_;
+};
+
+TEST_P(FtpSentinelTest, FetchEditStoreRoundTrip) {
+  ASSERT_OK(store_.Put("doc.txt", AsBytes("original remote content")));
+
+  sentinel::SentinelSpec spec;
+  spec.name = "ftp";
+  spec.config["url"] = "ftp:" + server_.socket_path();
+  spec.config["file"] = "doc.txt";
+  spec.config["cache"] = "disk";
+  spec.config["strategy"] = GetParam();
+  ASSERT_OK(manager_.CreateActiveFile("doc.af", spec));
+
+  // Read: the sentinel fetched a local copy.
+  auto content = api_.ReadWholeFile("doc.af");
+  ASSERT_OK(content.status());
+  EXPECT_EQ(ToString(ByteSpan(*content)), "original remote content");
+
+  // Edit: changes are STORed back at close.
+  auto handle = api_.OpenFile("doc.af", vfs::OpenMode::kReadWrite);
+  ASSERT_OK(handle.status());
+  ASSERT_OK(api_.WriteFile(*handle, AsBytes("REWRITTEN")).status());
+  ASSERT_OK(api_.CloseHandle(*handle));
+
+  auto server_side = store_.Get("doc.txt");
+  ASSERT_OK(server_side.status());
+  EXPECT_EQ(ToString(ByteSpan(*server_side)), "REWRITTENremote content");
+}
+
+INSTANTIATE_TEST_SUITE_P(Strategies, FtpSentinelTest,
+                         ::testing::Values("thread", "direct",
+                                           "process_control"),
+                         [](const auto& info) { return info.param; });
+
+TEST_F(FtpTest, SentinelRequiresCache) {
+  vfs::FileApi api(tmp_.path() + "/root2");
+  sentinels::RegisterBuiltinSentinels();
+  core::ActiveFileManager manager(api, sentinel::SentinelRegistry::Global());
+  manager.Install();
+  sentinel::SentinelSpec spec;
+  spec.name = "ftp";
+  spec.config["url"] = "ftp:" + server_.socket_path();
+  spec.config["file"] = "x";
+  spec.config["cache"] = "none";
+  ASSERT_OK(manager.CreateActiveFile("x.af", spec));
+  EXPECT_EQ(api.OpenFile("x.af", vfs::OpenMode::kRead).status().code(),
+            ErrorCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace afs

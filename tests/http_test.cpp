@@ -1,0 +1,203 @@
+// HTTP-like protocol tests: conformance, ranges, revalidation headers,
+// robustness against malformed requests.
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "afs.hpp"
+#include "net/http_server.hpp"
+#include "test_util.hpp"
+
+namespace afs::net {
+namespace {
+
+using test::TempDir;
+
+class HttpTest : public ::testing::Test {
+ protected:
+  HttpTest() : server_(tmp_.path() + "/http.sock", store_) {
+    EXPECT_TRUE(server_.Start().ok());
+  }
+  ~HttpTest() override { server_.Stop(); }
+
+  TempDir tmp_;
+  FileServer store_;
+  HttpServer server_;
+};
+
+TEST_F(HttpTest, GetPutHeadRoundTrip) {
+  HttpClient client(server_.socket_path());
+  ASSERT_OK(client.Put("doc.txt", AsBytes("http body")));
+  auto body = client.Get("doc.txt");
+  ASSERT_OK(body.status());
+  EXPECT_EQ(ToString(ByteSpan(*body)), "http body");
+  auto size = client.Head("doc.txt");
+  ASSERT_OK(size.status());
+  EXPECT_EQ(*size, 9u);
+}
+
+TEST_F(HttpTest, NotFoundIs404) {
+  HttpClient client(server_.socket_path());
+  EXPECT_EQ(client.Get("missing").status().code(), ErrorCode::kNotFound);
+  EXPECT_EQ(client.Head("missing").status().code(), ErrorCode::kNotFound);
+}
+
+TEST_F(HttpTest, RangeRequests) {
+  ASSERT_OK(store_.Put("r", AsBytes("0123456789")));
+  HttpClient client(server_.socket_path());
+  auto part = client.GetRange("r", 2, 5);
+  ASSERT_OK(part.status());
+  EXPECT_EQ(ToString(ByteSpan(*part)), "2345");
+  // Range clamped at EOF.
+  part = client.GetRange("r", 8, 100);
+  ASSERT_OK(part.status());
+  EXPECT_EQ(ToString(ByteSpan(*part)), "89");
+}
+
+TEST_F(HttpTest, RevisionHeaderAdvances) {
+  HttpClient client(server_.socket_path());
+  ASSERT_OK(client.Put("v", AsBytes("one")));
+  auto r1 = client.Request("GET", "v");
+  ASSERT_OK(r1.status());
+  ASSERT_OK(client.Put("v", AsBytes("two")));
+  auto r2 = client.Request("GET", "v");
+  ASSERT_OK(r2.status());
+  EXPECT_LT(r1->headers.at("x-revision"), r2->headers.at("x-revision"));
+}
+
+TEST_F(HttpTest, BinaryBodiesSurvive) {
+  HttpClient client(server_.socket_path());
+  Buffer binary(777);
+  for (std::size_t i = 0; i < binary.size(); ++i) {
+    binary[i] = static_cast<std::uint8_t>((i * 7) & 0xff);
+  }
+  ASSERT_OK(client.Put("bin", ByteSpan(binary)));
+  auto back = client.Get("bin");
+  ASSERT_OK(back.status());
+  EXPECT_EQ(*back, binary);
+}
+
+TEST_F(HttpTest, UnknownMethodIs405AndBadRequestIs400) {
+  HttpClient client(server_.socket_path());
+  auto response = client.Request("BREW", "coffee");
+  ASSERT_OK(response.status());
+  EXPECT_EQ(response->status_code, 405);
+
+  // Raw garbage request line.
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, server_.socket_path().c_str(),
+               sizeof(addr.sun_path) - 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  const char junk[] = "NONSENSE\r\n\r\n";
+  ASSERT_EQ(::write(fd, junk, sizeof(junk) - 1),
+            static_cast<ssize_t>(sizeof(junk) - 1));
+  char reply[64] = {};
+  ASSERT_GT(::read(fd, reply, sizeof(reply) - 1), 0);
+  EXPECT_NE(std::strstr(reply, "400"), nullptr);
+  ::close(fd);
+
+  // The server keeps serving afterwards.
+  ASSERT_OK(client.Put("alive", AsBytes("yes")));
+}
+
+TEST_F(HttpTest, PutWithoutContentLengthIs400) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, server_.socket_path().c_str(),
+               sizeof(addr.sun_path) - 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  const char req[] = "PUT /x HTTP/1.0\r\nHost: afs\r\n\r\n";
+  ASSERT_EQ(::write(fd, req, sizeof(req) - 1),
+            static_cast<ssize_t>(sizeof(req) - 1));
+  char reply[64] = {};
+  ASSERT_GT(::read(fd, reply, sizeof(reply) - 1), 0);
+  EXPECT_NE(std::strstr(reply, "400"), nullptr);
+  ::close(fd);
+}
+
+TEST_F(HttpTest, ConcurrentClients) {
+  ASSERT_OK(store_.Put("c", AsBytes("shared")));
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 3; ++t) {
+    threads.emplace_back([&] {
+      HttpClient client(server_.socket_path());
+      for (int i = 0; i < 15; ++i) {
+        if (!client.Get("c").ok()) failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+// ---- the http sentinel end-to-end ----------------------------------------
+
+TEST_F(HttpTest, SentinelFetchEditStore) {
+  ASSERT_OK(store_.Put("page", AsBytes("hypertext body")));
+  test::TempDir ws;
+  vfs::FileApi api(ws.path() + "/root");
+  sentinels::RegisterBuiltinSentinels();
+  core::ActiveFileManager manager(api,
+                                  afs::sentinel::SentinelRegistry::Global());
+  manager.Install();
+
+  afs::sentinel::SentinelSpec spec;
+  spec.name = "http";
+  spec.config["url"] = "http:" + server_.socket_path();
+  spec.config["file"] = "page";
+  ASSERT_OK(manager.CreateActiveFile("page.af", spec));
+
+  auto content = api.ReadWholeFile("page.af");
+  ASSERT_OK(content.status());
+  EXPECT_EQ(ToString(ByteSpan(*content)), "hypertext body");
+
+  auto handle = api.OpenFile("page.af", vfs::OpenMode::kReadWrite);
+  ASSERT_OK(handle.status());
+  ASSERT_OK(api.WriteFile(*handle, AsBytes("HYPERTEXT")).status());
+  ASSERT_OK(api.CloseHandle(*handle));
+  auto server_side = store_.Get("page");
+  ASSERT_OK(server_side.status());
+  EXPECT_EQ(ToString(ByteSpan(*server_side)), "HYPERTEXT body");
+}
+
+TEST_F(HttpTest, SentinelDemandPagingWithoutCache) {
+  ASSERT_OK(store_.Put("big", AsBytes("0123456789abcdef")));
+  test::TempDir ws;
+  vfs::FileApi api(ws.path() + "/root");
+  sentinels::RegisterBuiltinSentinels();
+  core::ActiveFileManager manager(api,
+                                  afs::sentinel::SentinelRegistry::Global());
+  manager.Install();
+
+  afs::sentinel::SentinelSpec spec;
+  spec.name = "http";
+  spec.config["url"] = "http:" + server_.socket_path();
+  spec.config["file"] = "big";
+  spec.config["cache"] = "none";
+  ASSERT_OK(manager.CreateActiveFile("big.af", spec));
+
+  auto handle = api.OpenFile("big.af", vfs::OpenMode::kRead);
+  ASSERT_OK(handle.status());
+  EXPECT_EQ(*api.GetFileSize(*handle), 16u);  // HEAD
+  ASSERT_OK(api.SetFilePointer(*handle, 10, vfs::SeekOrigin::kBegin).status());
+  Buffer out(4);
+  ASSERT_OK(api.ReadFile(*handle, MutableByteSpan(out)).status());  // Range
+  EXPECT_EQ(ToString(ByteSpan(out)), "abcd");
+  // Writes without a local copy are refused.
+  EXPECT_EQ(api.WriteFile(*handle, AsBytes("x")).status().code(),
+            ErrorCode::kUnsupported);
+  ASSERT_OK(api.CloseHandle(*handle));
+}
+
+}  // namespace
+}  // namespace afs::net

@@ -1,0 +1,169 @@
+// Multi-open semantics (paper Section 2.2): "If multiple user processes
+// open the same active file, multiple sentinels are created, which
+// synchronize amongst themselves" — here via the NamedMutex the logging
+// sentinel uses.  Exercises concurrent sentinels both as injected threads
+// and as real forked processes.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+
+#include "afs.hpp"
+#include "ipc/process.hpp"
+#include "test_util.hpp"
+#include "util/strings.hpp"
+
+namespace afs {
+namespace {
+
+using core::ActiveFileManager;
+using core::Strategy;
+using sentinel::SentinelSpec;
+using test::TempDir;
+
+class MultiOpenTest : public ::testing::TestWithParam<Strategy> {
+ protected:
+  MultiOpenTest()
+      : api_(tmp_.path() + "/root"),
+        manager_(api_, sentinel::SentinelRegistry::Global()) {
+    sentinels::RegisterBuiltinSentinels();
+    manager_.Install();
+  }
+
+  TempDir tmp_;
+  vfs::FileApi api_;
+  ActiveFileManager manager_;
+};
+
+TEST_P(MultiOpenTest, ConcurrentLogWritersFromManyOpens) {
+  SentinelSpec spec;
+  spec.name = "log";
+  spec.config["mutex"] = "contended";
+  spec.config["strategy"] = std::string(StrategyName(GetParam()));
+  ASSERT_OK(manager_.CreateActiveFile("contended.log.af", spec));
+
+  constexpr int kOpeners = 4;
+  constexpr int kRecords = 20;
+  std::vector<std::thread> openers;
+  for (int w = 0; w < kOpeners; ++w) {
+    openers.emplace_back([&, w] {
+      // Each opener has its OWN handle -> its own sentinel instance
+      // (a separate process under process_control).
+      auto handle = api_.OpenFile("contended.log.af", vfs::OpenMode::kWrite);
+      ASSERT_TRUE(handle.ok()) << handle.status().ToString();
+      for (int i = 0; i < kRecords; ++i) {
+        const std::string record =
+            "opener" + std::to_string(w) + "-" + std::to_string(i);
+        ASSERT_TRUE(api_.WriteFile(*handle, AsBytes(record)).ok());
+      }
+      ASSERT_TRUE(api_.CloseHandle(*handle).ok());
+    });
+  }
+  for (auto& t : openers) t.join();
+
+  auto data = manager_.ReadDataPart("contended.log.af");
+  ASSERT_OK(data.status());
+  const auto lines = SplitLines(ToString(ByteSpan(*data)));
+  ASSERT_EQ(lines.size(), kOpeners * kRecords);
+  std::multiset<std::string> seen(lines.begin(), lines.end());
+  for (int w = 0; w < kOpeners; ++w) {
+    for (int i = 0; i < kRecords; ++i) {
+      EXPECT_EQ(
+          seen.count("opener" + std::to_string(w) + "-" + std::to_string(i)),
+          1u);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Strategies, MultiOpenTest,
+    ::testing::Values(Strategy::kProcessControl, Strategy::kThread,
+                      Strategy::kDirect),
+    [](const ::testing::TestParamInfo<Strategy>& info) {
+      return std::string(StrategyName(info.param));
+    });
+
+TEST(MultiOpenProcessesTest, DistinctUserProcessesShareOneLog) {
+  TempDir tmp;
+  vfs::FileApi api(tmp.path() + "/root");
+  sentinels::RegisterBuiltinSentinels();
+  ActiveFileManager manager(api, sentinel::SentinelRegistry::Global());
+  manager.Install();
+
+  SentinelSpec spec;
+  spec.name = "log";
+  spec.config["mutex"] = "xproc";
+  ASSERT_OK(manager.CreateActiveFile("x.log.af", spec));
+
+  // Whole *user processes* (not just sentinels) contend for the log.
+  auto writer = [&](int id) {
+    return [&, id]() -> int {
+      vfs::FileApi child_api(tmp.path() + "/root");
+      ActiveFileManager child_manager(child_api,
+                                      sentinel::SentinelRegistry::Global());
+      child_manager.Install();
+      auto handle = child_api.OpenFile("x.log.af", vfs::OpenMode::kWrite);
+      if (!handle.ok()) return 1;
+      for (int i = 0; i < 30; ++i) {
+        const std::string record =
+            "proc" + std::to_string(id) + "-" + std::to_string(i);
+        if (!child_api.WriteFile(*handle, AsBytes(record)).ok()) return 2;
+      }
+      return child_api.CloseHandle(*handle).ok() ? 0 : 3;
+    };
+  };
+  auto a = ipc::SpawnFunction(writer(1));
+  auto b = ipc::SpawnFunction(writer(2));
+  auto c = ipc::SpawnFunction(writer(3));
+  ASSERT_OK(a.status());
+  ASSERT_OK(b.status());
+  ASSERT_OK(c.status());
+  EXPECT_EQ(*a->Wait(), 0);
+  EXPECT_EQ(*b->Wait(), 0);
+  EXPECT_EQ(*c->Wait(), 0);
+
+  auto data = manager.ReadDataPart("x.log.af");
+  ASSERT_OK(data.status());
+  const auto lines = SplitLines(ToString(ByteSpan(*data)));
+  EXPECT_EQ(lines.size(), 90u);
+  std::multiset<std::string> seen(lines.begin(), lines.end());
+  for (int id = 1; id <= 3; ++id) {
+    for (int i = 0; i < 30; ++i) {
+      EXPECT_EQ(seen.count("proc" + std::to_string(id) + "-" +
+                           std::to_string(i)),
+                1u);
+    }
+  }
+}
+
+TEST(MultiOpenIsolationTest, EachOpenGetsItsOwnFilePointer) {
+  TempDir tmp;
+  vfs::FileApi api(tmp.path() + "/root");
+  sentinels::RegisterBuiltinSentinels();
+  ActiveFileManager manager(api, sentinel::SentinelRegistry::Global());
+  manager.Install();
+
+  SentinelSpec spec;
+  spec.name = "null";
+  ASSERT_OK(manager.CreateActiveFile("shared.af", spec,
+                                     AsBytes("0123456789")));
+  auto h1 = api.OpenFile("shared.af", vfs::OpenMode::kRead);
+  auto h2 = api.OpenFile("shared.af", vfs::OpenMode::kRead);
+  ASSERT_OK(h1.status());
+  ASSERT_OK(h2.status());
+
+  Buffer out(3);
+  ASSERT_OK(api.ReadFile(*h1, MutableByteSpan(out)).status());
+  EXPECT_EQ(ToString(ByteSpan(out)), "012");
+  // The second handle's sentinel has its own position: still at 0.
+  ASSERT_OK(api.ReadFile(*h2, MutableByteSpan(out)).status());
+  EXPECT_EQ(ToString(ByteSpan(out)), "012");
+  ASSERT_OK(api.ReadFile(*h1, MutableByteSpan(out)).status());
+  EXPECT_EQ(ToString(ByteSpan(out)), "345");
+
+  ASSERT_OK(api.CloseHandle(*h1));
+  ASSERT_OK(api.CloseHandle(*h2));
+}
+
+}  // namespace
+}  // namespace afs

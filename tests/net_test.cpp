@@ -1,0 +1,446 @@
+// Network substrate tests: RPC envelope, SimNet routing/latency/bandwidth,
+// socket transport (including across fork), and the three protocol servers.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "common/clock.hpp"
+#include "ipc/process.hpp"
+#include "net/file_server.hpp"
+#include "net/mail_server.hpp"
+#include "net/quote_server.hpp"
+#include "net/rpc.hpp"
+#include "net/simnet.hpp"
+#include "net/socket_transport.hpp"
+#include "test_util.hpp"
+
+namespace afs::net {
+namespace {
+
+using test::TempDir;
+
+// Handler that echoes the request back.
+class EchoHandler final : public RpcHandler {
+ public:
+  Result<Buffer> Handle(ByteSpan request) override {
+    return Buffer(request.begin(), request.end());
+  }
+};
+
+// Handler that always fails.
+class FailingHandler final : public RpcHandler {
+ public:
+  Result<Buffer> Handle(ByteSpan) override {
+    return RemoteError("server says no");
+  }
+};
+
+TEST(RpcEnvelopeTest, OkRoundTrip) {
+  const Buffer env = EncodeResponseEnvelope(Status::Ok(), AsBytes("payload"));
+  auto decoded = DecodeResponseEnvelope(ByteSpan(env));
+  ASSERT_OK(decoded.status());
+  EXPECT_EQ(ToString(ByteSpan(*decoded)), "payload");
+}
+
+TEST(RpcEnvelopeTest, ErrorRoundTrip) {
+  const Buffer env =
+      EncodeResponseEnvelope(NotFoundError("gone"), {});
+  auto decoded = DecodeResponseEnvelope(ByteSpan(env));
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), ErrorCode::kNotFound);
+  EXPECT_EQ(decoded.status().message(), "gone");
+}
+
+TEST(RpcEnvelopeTest, GarbageIsProtocolError) {
+  Buffer junk = {1};
+  EXPECT_EQ(DecodeResponseEnvelope(ByteSpan(junk)).status().code(),
+            ErrorCode::kProtocolError);
+}
+
+TEST(SimNetTest, CallReachesMountedService) {
+  ManualClock clock;
+  SimNet net(clock);
+  EchoHandler echo;
+  ASSERT_OK(net.AddLink("client", "server", {}));
+  ASSERT_OK(net.Mount("server", "echo", echo));
+  auto transport = net.Connect("client", "server", "echo");
+  auto reply = transport->Call(AsBytes("ping"));
+  ASSERT_OK(reply.status());
+  EXPECT_EQ(ToString(ByteSpan(*reply)), "ping");
+  EXPECT_GT(net.bytes_carried(), 0u);
+}
+
+TEST(SimNetTest, MissingLinkOrServiceFails) {
+  ManualClock clock;
+  SimNet net(clock);
+  EchoHandler echo;
+  ASSERT_OK(net.Mount("server", "echo", echo));
+  // no link
+  auto t1 = net.Connect("client", "server", "echo");
+  EXPECT_EQ(t1->Call(AsBytes("x")).status().code(), ErrorCode::kNotFound);
+  // link but wrong service
+  ASSERT_OK(net.AddLink("client", "server", {}));
+  auto t2 = net.Connect("client", "server", "nope");
+  EXPECT_EQ(t2->Call(AsBytes("x")).status().code(), ErrorCode::kNotFound);
+}
+
+TEST(SimNetTest, RemoteErrorsTravelInsideEnvelope) {
+  ManualClock clock;
+  SimNet net(clock);
+  FailingHandler failing;
+  ASSERT_OK(net.AddLink("a", "b", {}));
+  ASSERT_OK(net.Mount("b", "svc", failing));
+  auto transport = net.Connect("a", "b", "svc");
+  auto reply = transport->Call(AsBytes("x"));
+  EXPECT_EQ(reply.status().code(), ErrorCode::kRemoteError);
+}
+
+TEST(SimNetTest, LatencyIsChargedBothWays) {
+  SimNet net(SteadyClock::Instance());
+  EchoHandler echo;
+  LinkConfig config;
+  config.latency = Micros(3000);  // 3ms each way
+  ASSERT_OK(net.AddLink("a", "b", config));
+  ASSERT_OK(net.Mount("b", "echo", echo));
+  auto transport = net.Connect("a", "b", "echo");
+  const auto t0 = SteadyClock::Instance().Now();
+  ASSERT_OK(transport->Call(AsBytes("x")).status());
+  const auto elapsed = SteadyClock::Instance().Now() - t0;
+  EXPECT_GE(elapsed.count(), 6000);
+}
+
+TEST(SimNetTest, BandwidthDelaysLargeTransfers) {
+  SimNet net(SteadyClock::Instance());
+  EchoHandler echo;
+  LinkConfig config;
+  config.bandwidth_bps = 1000 * 1000;  // 1 MB/s
+  ASSERT_OK(net.AddLink("a", "b", config));
+  ASSERT_OK(net.Mount("b", "echo", echo));
+  auto transport = net.Connect("a", "b", "echo");
+  // Burn the 64KB burst allowance, then measure a 50KB echo: >= ~100ms
+  // total for request+response at 1 MB/s.
+  Buffer big(64 * 1024, 7);
+  ASSERT_OK(transport->Call(ByteSpan(big)).status());
+  const auto t0 = SteadyClock::Instance().Now();
+  Buffer body(50 * 1024, 9);
+  ASSERT_OK(transport->Call(ByteSpan(body)).status());
+  const auto elapsed = SteadyClock::Instance().Now() - t0;
+  EXPECT_GE(elapsed.count(), 50000);  // at least the request leg
+}
+
+TEST(FileServerTest, PutGetStatDeleteList) {
+  FileServer server;
+  ASSERT_OK(server.Put("dir/a.txt", AsBytes("alpha")));
+  ASSERT_OK(server.Put("dir/b.txt", AsBytes("beta")));
+  auto got = server.Get("dir/a.txt");
+  ASSERT_OK(got.status());
+  EXPECT_EQ(ToString(ByteSpan(*got)), "alpha");
+
+  FileStat stat = server.Stat("dir/b.txt");
+  EXPECT_TRUE(stat.exists);
+  EXPECT_EQ(stat.size, 4u);
+  EXPECT_GT(stat.revision, 0u);
+  EXPECT_FALSE(server.Stat("nope").exists);
+
+  EXPECT_EQ(server.List("dir/").size(), 2u);
+  ASSERT_OK(server.Delete("dir/a.txt"));
+  EXPECT_EQ(server.List("dir/").size(), 1u);
+  EXPECT_EQ(server.Get("dir/a.txt").status().code(), ErrorCode::kNotFound);
+}
+
+TEST(FileServerTest, RevisionsIncreaseAndAppendExtends) {
+  FileServer server;
+  ASSERT_OK(server.Put("f", AsBytes("one")));
+  const auto r1 = server.Stat("f").revision;
+  ASSERT_OK(server.Append("f", AsBytes("+two")));
+  const auto r2 = server.Stat("f").revision;
+  EXPECT_GT(r2, r1);
+  EXPECT_EQ(ToString(ByteSpan(*server.Get("f"))), "one+two");
+}
+
+TEST(FileServerTest, SubscriberSeesChanges) {
+  FileServer server;
+  std::vector<std::string> changed;
+  const auto id = server.Subscribe(
+      [&](const std::string& path, std::uint64_t) { changed.push_back(path); });
+  ASSERT_OK(server.Put("watched", AsBytes("v1")));
+  ASSERT_OK(server.Put("watched", AsBytes("v2")));
+  server.Unsubscribe(id);
+  ASSERT_OK(server.Put("watched", AsBytes("v3")));
+  EXPECT_EQ(changed.size(), 2u);
+}
+
+class FileRpcTest : public ::testing::Test {
+ protected:
+  FileRpcTest() : net_(clock_) {
+    EXPECT_TRUE(net_.AddLink("c", "s", {}).ok());
+    EXPECT_TRUE(net_.Mount("s", "files", server_).ok());
+    transport_ = net_.Connect("c", "s", "files");
+  }
+
+  ManualClock clock_;
+  FileServer server_;
+  SimNet net_;
+  std::unique_ptr<Transport> transport_;
+};
+
+TEST_F(FileRpcTest, GetOverRpc) {
+  ASSERT_OK(server_.Put("x", AsBytes("remote-data")));
+  FileClient client(*transport_);
+  auto got = client.Get("x");
+  ASSERT_OK(got.status());
+  EXPECT_EQ(ToString(ByteSpan(got->data)), "remote-data");
+  EXPECT_GT(got->revision, 0u);
+}
+
+TEST_F(FileRpcTest, GetRangeClampsAtEof) {
+  ASSERT_OK(server_.Put("x", AsBytes("0123456789")));
+  FileClient client(*transport_);
+  auto got = client.GetRange("x", 6, 100);
+  ASSERT_OK(got.status());
+  EXPECT_EQ(ToString(ByteSpan(got->data)), "6789");
+  got = client.GetRange("x", 100, 10);
+  ASSERT_OK(got.status());
+  EXPECT_TRUE(got->data.empty());
+}
+
+TEST_F(FileRpcTest, ConditionalGet) {
+  ASSERT_OK(server_.Put("x", AsBytes("v1")));
+  FileClient client(*transport_);
+  auto first = client.Get("x");
+  ASSERT_OK(first.status());
+  auto unchanged = client.GetIfModified("x", first->revision);
+  ASSERT_OK(unchanged.status());
+  EXPECT_FALSE(unchanged->has_value());
+
+  ASSERT_OK(server_.Put("x", AsBytes("v2")));
+  auto changed = client.GetIfModified("x", first->revision);
+  ASSERT_OK(changed.status());
+  ASSERT_TRUE(changed->has_value());
+  EXPECT_EQ(ToString(ByteSpan((*changed)->data)), "v2");
+}
+
+TEST_F(FileRpcTest, PutRangeZeroExtends) {
+  FileClient client(*transport_);
+  ASSERT_OK(client.PutRange("fresh", 4, AsBytes("tail")).status());
+  auto got = client.Get("fresh");
+  ASSERT_OK(got.status());
+  ASSERT_EQ(got->data.size(), 8u);
+  EXPECT_EQ(got->data[0], 0);
+  EXPECT_EQ(ToString(ByteSpan(got->data.data() + 4, 4)), "tail");
+}
+
+TEST_F(FileRpcTest, PutAppendDeleteListOverRpc) {
+  FileClient client(*transport_);
+  ASSERT_OK(client.Put("p/one", AsBytes("1")).status());
+  ASSERT_OK(client.Append("p/one", AsBytes("1")).status());
+  ASSERT_OK(client.Put("p/two", AsBytes("2")).status());
+  auto names = client.List("p/");
+  ASSERT_OK(names.status());
+  EXPECT_EQ(names->size(), 2u);
+  auto stat = client.Stat("p/one");
+  ASSERT_OK(stat.status());
+  EXPECT_EQ(stat->size, 2u);
+  ASSERT_OK(client.Delete("p/two"));
+  EXPECT_EQ(client.Get("p/two").status().code(), ErrorCode::kNotFound);
+}
+
+TEST(QuoteServerTest, WalkIsDeterministicPerSeed) {
+  QuoteServer a(7);
+  QuoteServer b(7);
+  a.AddSymbol("ACME", 10000);
+  b.AddSymbol("ACME", 10000);
+  a.Tick(10);
+  b.Tick(10);
+  EXPECT_EQ(a.GetQuote("ACME")->price_cents, b.GetQuote("ACME")->price_cents);
+}
+
+TEST(QuoteServerTest, PricesStayPositive) {
+  QuoteServer server(3);
+  server.AddSymbol("PENNY", 1);
+  server.Tick(500);
+  EXPECT_GE(server.GetQuote("PENNY")->price_cents, 1);
+}
+
+TEST(QuoteServerTest, RpcQuoteAndRender) {
+  ManualClock clock;
+  SimNet net(clock);
+  QuoteServer server(11);
+  server.AddSymbol("AAA", 12345);
+  server.AddSymbol("BBB", 500);
+  ASSERT_OK(net.AddLink("c", "s", {}));
+  ASSERT_OK(net.Mount("s", "quotes", server));
+  auto transport = net.Connect("c", "s", "quotes");
+  QuoteClient client(*transport);
+  auto quotes = client.GetQuotes({"AAA", "BBB"});
+  ASSERT_OK(quotes.status());
+  ASSERT_EQ(quotes->size(), 2u);
+  EXPECT_EQ((*quotes)[0].price_cents, 12345);
+
+  const std::string text = RenderQuotesText(*quotes);
+  EXPECT_NE(text.find("AAA\t123.45\t"), std::string::npos);
+  EXPECT_NE(text.find("BBB\t5.00\t"), std::string::npos);
+
+  auto symbols = client.ListSymbols();
+  ASSERT_OK(symbols.status());
+  EXPECT_EQ(*symbols, (std::vector<std::string>{"AAA", "BBB"}));
+  EXPECT_EQ(client.GetQuotes({"NOPE"}).status().code(), ErrorCode::kNotFound);
+}
+
+TEST(MailMessageTest, RenderParseRoundTrip) {
+  MailMessage m{"alice@x", "bob@y, carol@z", "Greetings",
+                "line one\nline two\n"};
+  std::vector<std::string> recipients;
+  auto parsed = ParseMessage(RenderMessage(m), &recipients);
+  ASSERT_OK(parsed.status());
+  EXPECT_EQ(parsed->from, "alice@x");
+  EXPECT_EQ(parsed->subject, "Greetings");
+  EXPECT_EQ(parsed->body, "line one\nline two\n");
+  EXPECT_EQ(recipients, (std::vector<std::string>{"bob@y", "carol@z"}));
+}
+
+TEST(MailMessageTest, MissingToFails) {
+  EXPECT_EQ(ParseMessage("From: a\nSubject: s\n\nbody", nullptr)
+                .status()
+                .code(),
+            ErrorCode::kProtocolError);
+}
+
+TEST(MailMessageTest, UnknownHeaderFails) {
+  EXPECT_FALSE(ParseMessage("To: b\nX-Evil: 1\n\nbody", nullptr).ok());
+}
+
+TEST(MailServerTest, SendFansOutPerRecipient) {
+  MailServer server;
+  MailMessage m{"a@x", "", "hi", "body"};
+  auto delivered = server.Send(m, {"b@y", "c@z"});
+  ASSERT_OK(delivered.status());
+  EXPECT_EQ(*delivered, 2u);
+  EXPECT_EQ(server.MailboxSize("b@y"), 1u);
+  EXPECT_EQ(server.MailboxSize("c@z"), 1u);
+  EXPECT_EQ((*server.Mailbox("b@y"))[0].to, "b@y");
+}
+
+TEST(MailServerTest, RpcListRetrieveDeleteSend) {
+  ManualClock clock;
+  SimNet net(clock);
+  MailServer server;
+  ASSERT_OK(net.AddLink("c", "s", {}));
+  ASSERT_OK(net.Mount("s", "mail", server));
+  auto transport = net.Connect("c", "s", "mail");
+  MailClient client(*transport);
+
+  MailMessage m{"sender@x", "", "subj", "the body"};
+  auto delivered = client.Send(m, {"user@here"});
+  ASSERT_OK(delivered.status());
+  EXPECT_EQ(*delivered, 1u);
+
+  auto sizes = client.List("user@here");
+  ASSERT_OK(sizes.status());
+  ASSERT_EQ(sizes->size(), 1u);
+  auto msg = client.Retrieve("user@here", 0);
+  ASSERT_OK(msg.status());
+  EXPECT_EQ(msg->subject, "subj");
+  EXPECT_EQ(msg->body, "the body");
+  ASSERT_OK(client.Delete("user@here", 0));
+  EXPECT_EQ(client.Retrieve("user@here", 0).status().code(),
+            ErrorCode::kNotFound);
+}
+
+TEST(SocketTransportTest, EndToEnd) {
+  TempDir tmp;
+  EchoHandler echo;
+  SocketServer server(tmp.path() + "/srv.sock", echo);
+  ASSERT_OK(server.Start());
+  SocketClient client(server.socket_path());
+  auto reply = client.Call(AsBytes("over-unix-socket"));
+  ASSERT_OK(reply.status());
+  EXPECT_EQ(ToString(ByteSpan(*reply)), "over-unix-socket");
+  EXPECT_EQ(server.requests_served(), 1u);
+  server.Stop();
+}
+
+TEST(SocketTransportTest, MultipleSequentialCallsReuseConnection) {
+  TempDir tmp;
+  EchoHandler echo;
+  SocketServer server(tmp.path() + "/srv.sock", echo);
+  ASSERT_OK(server.Start());
+  SocketClient client(server.socket_path());
+  for (int i = 0; i < 50; ++i) {
+    auto reply = client.Call(AsBytes(std::to_string(i)));
+    ASSERT_OK(reply.status());
+    EXPECT_EQ(ToString(ByteSpan(*reply)), std::to_string(i));
+  }
+  EXPECT_EQ(server.requests_served(), 50u);
+}
+
+TEST(SocketTransportTest, ConcurrentClients) {
+  TempDir tmp;
+  EchoHandler echo;
+  SocketServer server(tmp.path() + "/srv.sock", echo);
+  ASSERT_OK(server.Start());
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      SocketClient client(server.socket_path());
+      for (int i = 0; i < 20; ++i) {
+        const std::string msg = std::to_string(t * 100 + i);
+        auto reply = client.Call(AsBytes(msg));
+        if (!reply.ok() || ToString(ByteSpan(*reply)) != msg) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(server.requests_served(), 80u);
+}
+
+TEST(SocketTransportTest, WorksAcrossFork) {
+  TempDir tmp;
+  FileServer files;
+  ASSERT_OK(files.Put("shared", AsBytes("for-the-child")));
+  SocketServer server(tmp.path() + "/srv.sock", files);
+  ASSERT_OK(server.Start());
+
+  // The child connects fresh after fork — the scenario the process-based
+  // strategies depend on.
+  auto child = ipc::SpawnFunction([&]() -> int {
+    SocketClient client(server.socket_path());
+    FileClient fc(client);
+    auto got = fc.Get("shared");
+    if (!got.ok()) return 1;
+    if (ToString(ByteSpan(got->data)) != "for-the-child") return 2;
+    if (!fc.Put("from-child", AsBytes("hello")).ok()) return 3;
+    return 0;
+  });
+  ASSERT_OK(child.status());
+  EXPECT_EQ(*child->Wait(), 0);
+  // The child's PUT is visible in the parent's server state.
+  auto got = files.Get("from-child");
+  ASSERT_OK(got.status());
+  EXPECT_EQ(ToString(ByteSpan(*got)), "hello");
+}
+
+TEST(SocketTransportTest, ConnectToMissingServerFails) {
+  SocketClient client("/tmp/definitely-not-a-socket-afs");
+  EXPECT_EQ(client.Call(AsBytes("x")).status().code(), ErrorCode::kIoError);
+}
+
+TEST(SocketTransportTest, ServiceDelayIsApplied) {
+  TempDir tmp;
+  EchoHandler echo;
+  SocketServer::Options options;
+  options.service_delay = Micros(5000);
+  SocketServer server(tmp.path() + "/srv.sock", echo, options);
+  ASSERT_OK(server.Start());
+  SocketClient client(server.socket_path());
+  const auto t0 = SteadyClock::Instance().Now();
+  ASSERT_OK(client.Call(AsBytes("x")).status());
+  EXPECT_GE((SteadyClock::Instance().Now() - t0).count(), 5000);
+}
+
+}  // namespace
+}  // namespace afs::net

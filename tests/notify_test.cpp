@@ -1,0 +1,144 @@
+// NotificationHub + notify sentinel tests (the Watchdogs-style
+// access-notification side effect, paper Sections 1 and 7).
+#include <gtest/gtest.h>
+
+#include "afs.hpp"
+#include "sentinels/notify.hpp"
+#include "test_util.hpp"
+
+namespace afs {
+namespace {
+
+using core::ActiveFileManager;
+using sentinel::SentinelSpec;
+using sentinels::AccessEvent;
+using sentinels::NotificationHub;
+using test::TempDir;
+
+TEST(NotificationHubTest, PublishReachesMatchingSubscribersOnly) {
+  NotificationHub hub;
+  std::vector<std::string> a_events;
+  std::vector<std::string> b_events;
+  hub.Subscribe("a", [&](const AccessEvent& e) {
+    a_events.push_back(e.operation);
+  });
+  hub.Subscribe("b", [&](const AccessEvent& e) {
+    b_events.push_back(e.operation);
+  });
+  hub.Publish("a", AccessEvent{"p", "read", 0, 1});
+  hub.Publish("a", AccessEvent{"p", "write", 0, 1});
+  hub.Publish("b", AccessEvent{"p", "close", 0, 0});
+  EXPECT_EQ(a_events, (std::vector<std::string>{"read", "write"}));
+  EXPECT_EQ(b_events, (std::vector<std::string>{"close"}));
+  EXPECT_EQ(hub.PublishedCount("a"), 2u);
+  EXPECT_EQ(hub.PublishedCount("b"), 1u);
+  EXPECT_EQ(hub.PublishedCount("nope"), 0u);
+}
+
+TEST(NotificationHubTest, UnsubscribeStopsDelivery) {
+  NotificationHub hub;
+  int count = 0;
+  const auto id = hub.Subscribe("t", [&](const AccessEvent&) { ++count; });
+  hub.Publish("t", AccessEvent{});
+  hub.Unsubscribe(id);
+  hub.Publish("t", AccessEvent{});
+  EXPECT_EQ(count, 1);
+}
+
+TEST(NotificationHubTest, MultipleSubscribersSameTopic) {
+  NotificationHub hub;
+  int count = 0;
+  hub.Subscribe("t", [&](const AccessEvent&) { ++count; });
+  hub.Subscribe("t", [&](const AccessEvent&) { ++count; });
+  hub.Publish("t", AccessEvent{});
+  EXPECT_EQ(count, 2);
+}
+
+class NotifySentinelTest : public ::testing::Test {
+ protected:
+  NotifySentinelTest()
+      : api_(tmp_.path() + "/root"),
+        manager_(api_, sentinel::SentinelRegistry::Global()) {
+    sentinels::RegisterBuiltinSentinels();
+    manager_.Install();
+  }
+
+  TempDir tmp_;
+  vfs::FileApi api_;
+  ActiveFileManager manager_;
+};
+
+TEST_F(NotifySentinelTest, FileAccessTriggersEvents) {
+  SentinelSpec spec;
+  spec.name = "notify";
+  spec.config["topic"] = "watched-doc";
+  spec.config["strategy"] = "thread";  // sentinel publishes in-process
+  ASSERT_OK(manager_.CreateActiveFile("doc.af", spec, AsBytes("contents")));
+
+  std::vector<AccessEvent> events;
+  std::mutex mu;
+  const auto id = NotificationHub::Global().Subscribe(
+      "watched-doc", [&](const AccessEvent& e) {
+        std::lock_guard<std::mutex> lock(mu);
+        events.push_back(e);
+      });
+
+  auto handle = api_.OpenFile("doc.af", vfs::OpenMode::kReadWrite);
+  ASSERT_OK(handle.status());
+  Buffer out(4);
+  ASSERT_OK(api_.ReadFile(*handle, MutableByteSpan(out)).status());
+  ASSERT_OK(api_.WriteFile(*handle, AsBytes("mod")).status());
+  ASSERT_OK(api_.CloseHandle(*handle));
+  NotificationHub::Global().Unsubscribe(id);
+
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events[0].operation, "open");
+  EXPECT_EQ(events[1].operation, "read");
+  EXPECT_EQ(events[1].bytes, 4u);
+  EXPECT_EQ(events[2].operation, "write");
+  EXPECT_EQ(events[2].bytes, 3u);
+  EXPECT_EQ(events[3].operation, "close");
+  for (const auto& event : events) EXPECT_EQ(event.path, "doc.af");
+}
+
+TEST_F(NotifySentinelTest, EventFilterRestrictsPublishing) {
+  SentinelSpec spec;
+  spec.name = "notify";
+  spec.config["topic"] = "writes-only";
+  spec.config["events"] = "write";
+  spec.config["strategy"] = "direct";
+  ASSERT_OK(manager_.CreateActiveFile("w.af", spec));
+
+  int writes = 0;
+  int others = 0;
+  const auto id = NotificationHub::Global().Subscribe(
+      "writes-only", [&](const AccessEvent& e) {
+        (e.operation == "write" ? writes : others)++;
+      });
+
+  auto handle = api_.OpenFile("w.af", vfs::OpenMode::kReadWrite);
+  ASSERT_OK(handle.status());
+  ASSERT_OK(api_.WriteFile(*handle, AsBytes("a")).status());
+  ASSERT_OK(api_.WriteFile(*handle, AsBytes("b")).status());
+  Buffer out(1);
+  ASSERT_OK(api_.SetFilePointer(*handle, 0, vfs::SeekOrigin::kBegin).status());
+  ASSERT_OK(api_.ReadFile(*handle, MutableByteSpan(out)).status());
+  ASSERT_OK(api_.CloseHandle(*handle));
+  NotificationHub::Global().Unsubscribe(id);
+
+  EXPECT_EQ(writes, 2);
+  EXPECT_EQ(others, 0);
+}
+
+TEST_F(NotifySentinelTest, DataPartStillBehavesNormally) {
+  SentinelSpec spec;
+  spec.name = "notify";
+  spec.config["strategy"] = "direct";
+  ASSERT_OK(manager_.CreateActiveFile("n.af", spec, AsBytes("base")));
+  auto content = api_.ReadWholeFile("n.af");
+  ASSERT_OK(content.status());
+  EXPECT_EQ(ToString(ByteSpan(*content)), "base");
+}
+
+}  // namespace
+}  // namespace afs

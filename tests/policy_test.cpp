@@ -1,0 +1,160 @@
+// Policy sentinel: the file enforces its own access rules (paper §7's
+// resource-centric control), and they travel with the file through copies.
+#include <gtest/gtest.h>
+
+#include "afs.hpp"
+#include "test_util.hpp"
+
+namespace afs {
+namespace {
+
+using core::ActiveFileManager;
+using sentinel::SentinelSpec;
+using test::TempDir;
+
+class PolicyTest : public ::testing::Test {
+ protected:
+  PolicyTest()
+      : api_(tmp_.path() + "/root"),
+        manager_(api_, sentinel::SentinelRegistry::Global()) {
+    sentinels::RegisterBuiltinSentinels();
+    manager_.Install();
+  }
+
+  TempDir tmp_;
+  vfs::FileApi api_;
+  ActiveFileManager manager_;
+};
+
+TEST_F(PolicyTest, ReadOnlyFileRefusesWrites) {
+  SentinelSpec spec;
+  spec.name = "policy";
+  spec.config["write"] = "0";
+  ASSERT_OK(manager_.CreateActiveFile("ro.af", spec, AsBytes("locked")));
+  auto handle = api_.OpenFile("ro.af", vfs::OpenMode::kReadWrite);
+  ASSERT_OK(handle.status());
+  EXPECT_EQ(api_.WriteFile(*handle, AsBytes("x")).status().code(),
+            ErrorCode::kPermissionDenied);
+  EXPECT_EQ(api_.SetEndOfFile(*handle).code(), ErrorCode::kPermissionDenied);
+  Buffer out(6);
+  ASSERT_OK(api_.ReadFile(*handle, MutableByteSpan(out)).status());
+  EXPECT_EQ(ToString(ByteSpan(out)), "locked");
+  ASSERT_OK(api_.CloseHandle(*handle));
+  // The data part is untouched.
+  EXPECT_EQ(ToString(ByteSpan(*manager_.ReadDataPart("ro.af"))), "locked");
+}
+
+TEST_F(PolicyTest, WriteOnlyFileRefusesReads) {
+  SentinelSpec spec;
+  spec.name = "policy";
+  spec.config["read"] = "0";
+  ASSERT_OK(manager_.CreateActiveFile("wo.af", spec));
+  auto handle = api_.OpenFile("wo.af", vfs::OpenMode::kReadWrite);
+  ASSERT_OK(handle.status());
+  ASSERT_OK(api_.WriteFile(*handle, AsBytes("drop-box")).status());
+  Buffer out(1);
+  EXPECT_EQ(api_.ReadFile(*handle, MutableByteSpan(out)).status().code(),
+            ErrorCode::kPermissionDenied);
+  ASSERT_OK(api_.CloseHandle(*handle));
+  EXPECT_EQ(ToString(ByteSpan(*manager_.ReadDataPart("wo.af"))), "drop-box");
+}
+
+TEST_F(PolicyTest, AppendOnlySemantics) {
+  SentinelSpec spec;
+  spec.name = "policy";
+  spec.config["append_only"] = "1";
+  ASSERT_OK(manager_.CreateActiveFile("ao.af", spec, AsBytes("base-")));
+  auto handle = api_.OpenFile("ao.af", vfs::OpenMode::kReadWrite);
+  ASSERT_OK(handle.status());
+
+  // Position 0 (fresh open): overwrite attempt refused.
+  EXPECT_EQ(api_.WriteFile(*handle, AsBytes("XXX")).status().code(),
+            ErrorCode::kPermissionDenied);
+  // Seek to the end: append allowed.
+  ASSERT_OK(api_.SetFilePointer(*handle, 0, vfs::SeekOrigin::kEnd).status());
+  ASSERT_OK(api_.WriteFile(*handle, AsBytes("tail")).status());
+  // Truncation is an overwrite.
+  ASSERT_OK(api_.SetFilePointer(*handle, 2, vfs::SeekOrigin::kBegin).status());
+  EXPECT_EQ(api_.SetEndOfFile(*handle).code(), ErrorCode::kPermissionDenied);
+  ASSERT_OK(api_.CloseHandle(*handle));
+  EXPECT_EQ(ToString(ByteSpan(*manager_.ReadDataPart("ao.af"))), "base-tail");
+}
+
+TEST_F(PolicyTest, MaxSizeQuota) {
+  SentinelSpec spec;
+  spec.name = "policy";
+  spec.config["max_size"] = "10";
+  ASSERT_OK(manager_.CreateActiveFile("q.af", spec));
+  auto handle = api_.OpenFile("q.af", vfs::OpenMode::kWrite);
+  ASSERT_OK(handle.status());
+  ASSERT_OK(api_.WriteFile(*handle, AsBytes("0123456789")).status());
+  EXPECT_EQ(api_.WriteFile(*handle, AsBytes("!")).status().code(),
+            ErrorCode::kPermissionDenied);
+  // Rewriting inside the cap is fine.
+  ASSERT_OK(api_.SetFilePointer(*handle, 0, vfs::SeekOrigin::kBegin).status());
+  ASSERT_OK(api_.WriteFile(*handle, AsBytes("ABC")).status());
+  ASSERT_OK(api_.CloseHandle(*handle));
+  EXPECT_EQ(ToString(ByteSpan(*manager_.ReadDataPart("q.af"))),
+            "ABC3456789");
+}
+
+TEST_F(PolicyTest, ReadBudget) {
+  SentinelSpec spec;
+  spec.name = "policy";
+  spec.config["max_reads"] = "2";
+  ASSERT_OK(manager_.CreateActiveFile("budget.af", spec, AsBytes("secret")));
+  auto handle = api_.OpenFile("budget.af", vfs::OpenMode::kRead);
+  ASSERT_OK(handle.status());
+  Buffer out(3);
+  ASSERT_OK(api_.ReadFile(*handle, MutableByteSpan(out)).status());
+  ASSERT_OK(api_.ReadFile(*handle, MutableByteSpan(out)).status());
+  EXPECT_EQ(api_.ReadFile(*handle, MutableByteSpan(out)).status().code(),
+            ErrorCode::kPermissionDenied);
+  ASSERT_OK(api_.CloseHandle(*handle));
+
+  // The budget is per open: a new sentinel gets a fresh count — but note
+  // each opener gets it, so this models "N reads per session".
+  auto handle2 = api_.OpenFile("budget.af", vfs::OpenMode::kRead);
+  ASSERT_OK(handle2.status());
+  ASSERT_OK(api_.ReadFile(*handle2, MutableByteSpan(out)).status());
+  ASSERT_OK(api_.CloseHandle(*handle2));
+}
+
+TEST_F(PolicyTest, PolicyTravelsWithCopies) {
+  SentinelSpec spec;
+  spec.name = "policy";
+  spec.config["write"] = "0";
+  ASSERT_OK(manager_.CreateActiveFile("orig.af", spec, AsBytes("x")));
+  ASSERT_OK(api_.CopyFile("orig.af", "copy.af"));
+  auto handle = api_.OpenFile("copy.af", vfs::OpenMode::kReadWrite);
+  ASSERT_OK(handle.status());
+  // The copy enforces the same policy: it is in the active part.
+  EXPECT_EQ(api_.WriteFile(*handle, AsBytes("y")).status().code(),
+            ErrorCode::kPermissionDenied);
+  ASSERT_OK(api_.CloseHandle(*handle));
+}
+
+TEST_F(PolicyTest, ComposesUnderPipeline) {
+  // policy over compress: quota applies to the plaintext view.
+  SentinelSpec spec;
+  spec.name = "pipeline";
+  spec.config["chain"] = "policy,compress";
+  spec.config["0.max_size"] = "100";
+  spec.config["1.codec"] = "rle";
+  spec.config["strategy"] = "direct";
+  ASSERT_OK(manager_.CreateActiveFile("pc.af", spec));
+  auto handle = api_.OpenFile("pc.af", vfs::OpenMode::kWrite);
+  ASSERT_OK(handle.status());
+  const std::string small(100, 'a');
+  ASSERT_OK(api_.WriteFile(*handle, AsBytes(small)).status());
+  EXPECT_EQ(api_.WriteFile(*handle, AsBytes("!")).status().code(),
+            ErrorCode::kPermissionDenied);
+  ASSERT_OK(api_.CloseHandle(*handle));
+  // Stored image is compressed and within the quota's plaintext bound.
+  auto stored = manager_.ReadDataPart("pc.af");
+  ASSERT_OK(stored.status());
+  EXPECT_LT(stored->size(), 100u);
+}
+
+}  // namespace
+}  // namespace afs

@@ -1,0 +1,167 @@
+// Property test of the paper's central claim: "from the perspective of the
+// end-application, active files are indistinguishable from non-active
+// files" (Section 1).  We run randomized operation sequences against a
+// null-filter active file and a plain passive file side by side and demand
+// identical observable results — same return values, same data, same sizes,
+// same final contents — across every command strategy and cache mode.
+#include <gtest/gtest.h>
+
+#include "afs.hpp"
+#include "test_util.hpp"
+#include "util/prng.hpp"
+
+namespace afs {
+namespace {
+
+using core::ActiveFileManager;
+using core::Strategy;
+using sentinel::SentinelSpec;
+using test::TempDir;
+
+struct Scenario {
+  Strategy strategy;
+  std::string cache;
+  std::uint64_t seed;
+  bool pipelined = false;  // wrap the null filter in a pipeline stage
+};
+
+std::string ScenarioName(const ::testing::TestParamInfo<Scenario>& info) {
+  return std::string(StrategyName(info.param.strategy)) + "_" +
+         info.param.cache + "_s" + std::to_string(info.param.seed) +
+         (info.param.pipelined ? "_piped" : "");
+}
+
+class EquivalenceTest : public ::testing::TestWithParam<Scenario> {
+ protected:
+  EquivalenceTest()
+      : api_(tmp_.path() + "/root"),
+        manager_(api_, sentinel::SentinelRegistry::Global()) {
+    sentinels::RegisterBuiltinSentinels();
+    manager_.Install();
+  }
+
+  TempDir tmp_;
+  vfs::FileApi api_;
+  ActiveFileManager manager_;
+};
+
+TEST_P(EquivalenceTest, RandomOperationSequencesMatchPassiveFile) {
+  const Scenario& scenario = GetParam();
+  SentinelSpec spec;
+  if (scenario.pipelined) {
+    // Composition must not change semantics: pipeline(null, null) is
+    // still a passive file.
+    spec.name = "pipeline";
+    spec.config["chain"] = "null,null";
+  } else {
+    spec.name = "null";
+  }
+  spec.config["cache"] = scenario.cache;
+  spec.config["strategy"] = std::string(StrategyName(scenario.strategy));
+  ASSERT_OK(manager_.CreateActiveFile("active.af", spec));
+  ASSERT_OK(api_.WriteWholeFile("passive.bin", {}));
+
+  auto active = api_.OpenFile("active.af", vfs::OpenMode::kReadWrite);
+  ASSERT_OK(active.status());
+  auto passive = api_.OpenFile("passive.bin", vfs::OpenMode::kReadWrite);
+  ASSERT_OK(passive.status());
+
+  Prng prng(scenario.seed);
+  for (int step = 0; step < 200; ++step) {
+    const auto op = prng.NextBelow(6);
+    switch (op) {
+      case 0: {  // write a random chunk
+        Buffer chunk(1 + prng.NextBelow(64));
+        prng.Fill(MutableByteSpan(chunk));
+        auto wa = api_.WriteFile(*active, ByteSpan(chunk));
+        auto wp = api_.WriteFile(*passive, ByteSpan(chunk));
+        ASSERT_OK(wa.status());
+        ASSERT_OK(wp.status());
+        ASSERT_EQ(*wa, *wp) << "step " << step;
+        break;
+      }
+      case 1: {  // read a chunk
+        Buffer outa(1 + prng.NextBelow(64));
+        Buffer outp(outa.size());
+        auto ra = api_.ReadFile(*active, MutableByteSpan(outa));
+        auto rp = api_.ReadFile(*passive, MutableByteSpan(outp));
+        ASSERT_OK(ra.status());
+        ASSERT_OK(rp.status());
+        ASSERT_EQ(*ra, *rp) << "step " << step;
+        outa.resize(*ra);
+        outp.resize(*rp);
+        ASSERT_EQ(outa, outp) << "step " << step;
+        break;
+      }
+      case 2: {  // absolute seek within [0, 2*size]
+        auto size = api_.GetFileSize(*passive);
+        ASSERT_OK(size.status());
+        const auto target =
+            static_cast<std::int64_t>(prng.NextBelow(2 * *size + 1));
+        auto sa = api_.SetFilePointer(*active, target, vfs::SeekOrigin::kBegin);
+        auto sp =
+            api_.SetFilePointer(*passive, target, vfs::SeekOrigin::kBegin);
+        ASSERT_OK(sa.status());
+        ASSERT_OK(sp.status());
+        ASSERT_EQ(*sa, *sp) << "step " << step;
+        break;
+      }
+      case 3: {  // seek from end
+        auto sa = api_.SetFilePointer(*active, 0, vfs::SeekOrigin::kEnd);
+        auto sp = api_.SetFilePointer(*passive, 0, vfs::SeekOrigin::kEnd);
+        ASSERT_OK(sa.status());
+        ASSERT_OK(sp.status());
+        ASSERT_EQ(*sa, *sp) << "step " << step;
+        break;
+      }
+      case 4: {  // size query
+        auto za = api_.GetFileSize(*active);
+        auto zp = api_.GetFileSize(*passive);
+        ASSERT_OK(za.status());
+        ASSERT_OK(zp.status());
+        ASSERT_EQ(*za, *zp) << "step " << step;
+        break;
+      }
+      case 5: {  // occasionally truncate at the current pointer
+        if (prng.NextBelow(4) != 0) break;
+        ASSERT_OK(api_.SetEndOfFile(*active));
+        ASSERT_OK(api_.SetEndOfFile(*passive));
+        break;
+      }
+    }
+  }
+
+  ASSERT_OK(api_.CloseHandle(*active));
+  ASSERT_OK(api_.CloseHandle(*passive));
+
+  // Final persisted contents agree byte for byte.
+  auto active_data = manager_.ReadDataPart("active.af");
+  ASSERT_OK(active_data.status());
+  auto passive_data = api_.ReadWholeFile("passive.bin");
+  ASSERT_OK(passive_data.status());
+  EXPECT_EQ(*active_data, *passive_data);
+}
+
+std::vector<Scenario> AllScenarios() {
+  std::vector<Scenario> scenarios;
+  for (Strategy strategy : {Strategy::kProcessControl, Strategy::kThread,
+                            Strategy::kDirect}) {
+    for (const char* cache : {"disk", "memory"}) {
+      for (std::uint64_t seed : {1ull, 2ull, 3ull}) {
+        scenarios.push_back({strategy, cache, seed, false});
+      }
+    }
+  }
+  // Pipelined variants: one seed per strategy is plenty.
+  for (Strategy strategy : {Strategy::kProcessControl, Strategy::kThread,
+                            Strategy::kDirect}) {
+    scenarios.push_back({strategy, "disk", 4ull, true});
+  }
+  return scenarios;
+}
+
+INSTANTIATE_TEST_SUITE_P(Equivalence, EquivalenceTest,
+                         ::testing::ValuesIn(AllScenarios()), ScenarioName);
+
+}  // namespace
+}  // namespace afs

@@ -1,0 +1,201 @@
+// Registry substrate tests: CRUD, typed values, text render/parse round
+// trip, and atomicity of ApplyText.
+#include <gtest/gtest.h>
+
+#include "registry/registry.hpp"
+#include "test_util.hpp"
+
+namespace afs::reg {
+namespace {
+
+TEST(RegistryTest, CreateAndExists) {
+  Registry r;
+  EXPECT_TRUE(r.KeyExists(""));  // root always exists
+  EXPECT_FALSE(r.KeyExists("a/b"));
+  ASSERT_OK(r.CreateKey("a/b/c"));
+  EXPECT_TRUE(r.KeyExists("a"));
+  EXPECT_TRUE(r.KeyExists("a/b"));
+  EXPECT_TRUE(r.KeyExists("a/b/c"));
+}
+
+TEST(RegistryTest, SetGetValueOfEachType) {
+  Registry r;
+  ASSERT_OK(r.CreateKey("app"));
+  ASSERT_OK(r.SetValue("app", "name", Value(std::string("afs"))));
+  ASSERT_OK(r.SetValue("app", "limit", Value(std::uint32_t{4096})));
+  ASSERT_OK(r.SetValue("app", "blob", Value(Buffer{1, 2, 3})));
+
+  auto name = r.GetValue("app", "name");
+  ASSERT_OK(name.status());
+  EXPECT_EQ(std::get<std::string>(*name), "afs");
+  auto limit = r.GetValue("app", "limit");
+  ASSERT_OK(limit.status());
+  EXPECT_EQ(std::get<std::uint32_t>(*limit), 4096u);
+  auto blob = r.GetValue("app", "blob");
+  ASSERT_OK(blob.status());
+  EXPECT_EQ(std::get<Buffer>(*blob), (Buffer{1, 2, 3}));
+}
+
+TEST(RegistryTest, MissingLookupsFail) {
+  Registry r;
+  EXPECT_EQ(r.GetValue("nope", "x").status().code(), ErrorCode::kNotFound);
+  ASSERT_OK(r.CreateKey("k"));
+  EXPECT_EQ(r.GetValue("k", "x").status().code(), ErrorCode::kNotFound);
+  EXPECT_EQ(r.SetValue("nope", "x", Value(std::uint32_t{1})).code(),
+            ErrorCode::kNotFound);
+  EXPECT_EQ(r.DeleteValue("k", "x").code(), ErrorCode::kNotFound);
+  EXPECT_EQ(r.DeleteKey("nope").code(), ErrorCode::kNotFound);
+}
+
+TEST(RegistryTest, DeleteKeyRemovesSubtree) {
+  Registry r;
+  ASSERT_OK(r.CreateKey("a/b/c"));
+  ASSERT_OK(r.DeleteKey("a/b"));
+  EXPECT_TRUE(r.KeyExists("a"));
+  EXPECT_FALSE(r.KeyExists("a/b"));
+  EXPECT_FALSE(r.KeyExists("a/b/c"));
+}
+
+TEST(RegistryTest, CannotDeleteRoot) {
+  Registry r;
+  EXPECT_EQ(r.DeleteKey("").code(), ErrorCode::kInvalidArgument);
+}
+
+TEST(RegistryTest, ListKeysAndValuesSorted) {
+  Registry r;
+  ASSERT_OK(r.CreateKey("k/z"));
+  ASSERT_OK(r.CreateKey("k/a"));
+  ASSERT_OK(r.SetValue("k", "v2", Value(std::uint32_t{2})));
+  ASSERT_OK(r.SetValue("k", "v1", Value(std::uint32_t{1})));
+  auto keys = r.ListKeys("k");
+  ASSERT_OK(keys.status());
+  EXPECT_EQ(*keys, (std::vector<std::string>{"a", "z"}));
+  auto values = r.ListValues("k");
+  ASSERT_OK(values.status());
+  EXPECT_EQ(*values, (std::vector<std::string>{"v1", "v2"}));
+}
+
+TEST(RegistryTest, RevisionBumpsOnMutation) {
+  Registry r;
+  const auto r0 = r.revision();
+  ASSERT_OK(r.CreateKey("x"));
+  ASSERT_OK(r.SetValue("x", "v", Value(std::uint32_t{1})));
+  ASSERT_OK(r.DeleteValue("x", "v"));
+  ASSERT_OK(r.DeleteKey("x"));
+  EXPECT_EQ(r.revision(), r0 + 4);
+}
+
+TEST(ValueTextTest, RenderAndParse) {
+  EXPECT_EQ(RenderValue(Value(std::string("hi"))), "str:hi");
+  EXPECT_EQ(RenderValue(Value(std::uint32_t{42})), "dw:42");
+  EXPECT_EQ(RenderValue(Value(Buffer{0x0a, 0xff})), "bin:0aff");
+
+  auto s = ParseValue("str:hello world");
+  ASSERT_OK(s.status());
+  EXPECT_EQ(std::get<std::string>(*s), "hello world");
+  auto d = ParseValue("dw:7");
+  ASSERT_OK(d.status());
+  EXPECT_EQ(std::get<std::uint32_t>(*d), 7u);
+  auto b = ParseValue("bin:0aFF");
+  ASSERT_OK(b.status());
+  EXPECT_EQ(std::get<Buffer>(*b), (Buffer{0x0a, 0xff}));
+}
+
+TEST(ValueTextTest, ParseErrors) {
+  EXPECT_FALSE(ParseValue("dw:notanumber").ok());
+  EXPECT_FALSE(ParseValue("dw:4294967296").ok());  // > u32
+  EXPECT_FALSE(ParseValue("bin:0a0").ok());        // odd length
+  EXPECT_FALSE(ParseValue("bin:zz").ok());
+  EXPECT_FALSE(ParseValue("wat:1").ok());
+}
+
+TEST(RegistryTextTest, RenderParseRoundTrip) {
+  Registry r;
+  ASSERT_OK(r.CreateKey("sw/app"));
+  ASSERT_OK(r.SetValue("sw/app", "mode", Value(std::string("eager"))));
+  ASSERT_OK(r.SetValue("sw/app", "limit", Value(std::uint32_t{512})));
+  ASSERT_OK(r.SetValue("sw", "root", Value(Buffer{0xde, 0xad})));
+
+  auto text = r.RenderText("sw");
+  ASSERT_OK(text.status());
+
+  Registry copy;
+  ASSERT_OK(copy.ApplyText("sw", *text));
+  auto text2 = copy.RenderText("sw");
+  ASSERT_OK(text2.status());
+  EXPECT_EQ(*text, *text2);
+  EXPECT_EQ(std::get<std::uint32_t>(*copy.GetValue("sw/app", "limit")), 512u);
+}
+
+TEST(RegistryTextTest, ApplyReplacesSubtree) {
+  Registry r;
+  ASSERT_OK(r.CreateKey("k"));
+  ASSERT_OK(r.SetValue("k", "old", Value(std::uint32_t{1})));
+  ASSERT_OK(r.ApplyText("k", "[]\nnew = dw:2\n"));
+  EXPECT_EQ(r.GetValue("k", "old").status().code(), ErrorCode::kNotFound);
+  EXPECT_EQ(std::get<std::uint32_t>(*r.GetValue("k", "new")), 2u);
+}
+
+TEST(RegistryTextTest, ApplyIsAtomicOnParseError) {
+  Registry r;
+  ASSERT_OK(r.CreateKey("k"));
+  ASSERT_OK(r.SetValue("k", "keep", Value(std::uint32_t{1})));
+  const auto rev = r.revision();
+  const Status bad = r.ApplyText("k", "[]\nok = dw:1\nbroken line\n");
+  EXPECT_EQ(bad.code(), ErrorCode::kProtocolError);
+  EXPECT_EQ(r.revision(), rev);  // nothing happened
+  EXPECT_OK(r.GetValue("k", "keep").status());
+}
+
+TEST(RegistryTextTest, CommentsAndBlanksIgnored) {
+  Registry r;
+  ASSERT_OK(r.ApplyText("", "# comment\n\n; also comment\n[k]\nv = dw:3\n"));
+  EXPECT_EQ(std::get<std::uint32_t>(*r.GetValue("k", "v")), 3u);
+}
+
+TEST(RegistryTextTest, NestedKeysRender) {
+  Registry r;
+  ASSERT_OK(r.CreateKey("a/b"));
+  ASSERT_OK(r.SetValue("a/b", "v", Value(std::uint32_t{9})));
+  auto text = r.RenderText("");
+  ASSERT_OK(text.status());
+  EXPECT_NE(text->find("[a/b]"), std::string::npos);
+  EXPECT_NE(text->find("v = dw:9"), std::string::npos);
+}
+
+
+TEST(RegistryPersistenceTest, SaveLoadRoundTrip) {
+  test::TempDir tmp;
+  const std::string hive = tmp.path() + "/hive.reg";
+  Registry original;
+  ASSERT_OK(original.CreateKey("sw/app"));
+  ASSERT_OK(original.SetValue("sw/app", "mode", Value(std::string("x"))));
+  ASSERT_OK(original.SetValue("sw", "n", Value(std::uint32_t{7})));
+  ASSERT_OK(original.SetValue("sw", "blob", Value(Buffer{1, 2})));
+  ASSERT_OK(original.SaveToFile(hive));
+
+  Registry loaded;
+  ASSERT_OK(loaded.LoadFromFile(hive));
+  EXPECT_EQ(*loaded.RenderText(""), *original.RenderText(""));
+  EXPECT_EQ(std::get<std::uint32_t>(*loaded.GetValue("sw", "n")), 7u);
+}
+
+TEST(RegistryPersistenceTest, LoadMissingFileFails) {
+  Registry r;
+  EXPECT_EQ(r.LoadFromFile("/no/such/hive").code(), ErrorCode::kNotFound);
+}
+
+TEST(RegistryPersistenceTest, LoadIsAtomicOnCorruptHive) {
+  test::TempDir tmp;
+  const std::string hive = tmp.path() + "/bad.reg";
+  FILE* f = std::fopen(hive.c_str(), "w");
+  std::fputs("[k]\nbroken line without equals\n", f);
+  std::fclose(f);
+  Registry r;
+  ASSERT_OK(r.CreateKey("keep"));
+  EXPECT_FALSE(r.LoadFromFile(hive).ok());
+  EXPECT_TRUE(r.KeyExists("keep"));  // untouched
+}
+
+}  // namespace
+}  // namespace afs::reg

@@ -1,0 +1,143 @@
+// Remote-resolver tests, plus custom-control plumbing over each strategy.
+#include <gtest/gtest.h>
+
+#include "afs.hpp"
+#include "test_util.hpp"
+
+namespace afs {
+namespace {
+
+using core::EnvironmentResolver;
+using core::SimNetResolver;
+using core::SocketResolver;
+using test::TempDir;
+
+TEST(ResolverTest, SocketSchemeParses) {
+  SocketResolver resolver;
+  auto transport = resolver.Connect("sock:/tmp/nope.sock");
+  ASSERT_OK(transport.status());  // lazy connect: creation always works
+  EXPECT_FALSE(resolver.Connect("sim:a:b").ok());
+  EXPECT_FALSE(resolver.Connect("ftp://x").ok());
+}
+
+TEST(ResolverTest, SimSchemeValidation) {
+  ManualClock clock;
+  net::SimNet net(clock);
+  SimNetResolver resolver(net, "client");
+  EXPECT_OK(resolver.Connect("sim:server:files").status());
+  EXPECT_FALSE(resolver.Connect("sim:server").ok());     // missing service
+  EXPECT_FALSE(resolver.Connect("sim::files").ok());     // missing node
+  EXPECT_FALSE(resolver.Connect("sock:/x").ok());        // wrong scheme
+}
+
+TEST(ResolverTest, EnvironmentDispatchesByScheme) {
+  ManualClock clock;
+  net::SimNet net(clock);
+  EnvironmentResolver with_sim(&net, "client");
+  EXPECT_OK(with_sim.Connect("sim:a:b").status());
+  EXPECT_OK(with_sim.Connect("sock:/tmp/x.sock").status());
+  EXPECT_FALSE(with_sim.Connect("http://x").ok());
+
+  EnvironmentResolver without_sim;
+  EXPECT_EQ(without_sim.Connect("sim:a:b").status().code(),
+            ErrorCode::kUnsupported);
+}
+
+TEST(ResolverTest, SentinelWithoutResolverFailsCleanly) {
+  sentinel::SentinelContext ctx;  // resolver == nullptr
+  EXPECT_EQ(ctx.ConnectRemote("sock:/x").status().code(),
+            ErrorCode::kUnsupported);
+}
+
+// Custom controls must round-trip over every command strategy, including
+// the serialized kCustom path of process_control.
+class ControlStrategyTest
+    : public ::testing::TestWithParam<core::Strategy> {};
+
+TEST_P(ControlStrategyTest, OutboxDeliveredCounterOverEachStrategy) {
+  TempDir tmp;
+  vfs::FileApi api(tmp.path() + "/root");
+  sentinels::RegisterBuiltinSentinels();
+
+  net::MailServer mail;
+  net::SocketServer server(tmp.path() + "/mail.sock", mail);
+  ASSERT_OK(server.Start());
+
+  core::SocketResolver resolver;
+  core::ManagerOptions options;
+  options.resolver = &resolver;
+  core::ActiveFileManager manager(api, sentinel::SentinelRegistry::Global(),
+                                  options);
+  manager.Install();
+
+  sentinel::SentinelSpec spec;
+  spec.name = "outbox";
+  spec.config["cache"] = "none";
+  spec.config["url"] = "sock:" + tmp.path() + "/mail.sock";
+  spec.config["strategy"] = std::string(StrategyName(GetParam()));
+  ASSERT_OK(manager.CreateActiveFile("ob.af", spec));
+
+  auto handle = api.OpenFile("ob.af", vfs::OpenMode::kWrite);
+  ASSERT_OK(handle.status());
+  ASSERT_OK(
+      api.WriteFile(*handle, AsBytes("To: a@x, b@y\nSubject: s\n\nhi"))
+          .status());
+  ASSERT_OK(api.FlushFileBuffers(*handle));
+
+  auto delivered = manager.Control(*handle, AsBytes("delivered"));
+  ASSERT_OK(delivered.status());
+  EXPECT_EQ(ToString(ByteSpan(*delivered)), "2");
+
+  // Unknown controls surface the sentinel's error.
+  EXPECT_EQ(manager.Control(*handle, AsBytes("bogus")).status().code(),
+            ErrorCode::kUnsupported);
+
+  ASSERT_OK(api.CloseHandle(*handle));
+  EXPECT_EQ(mail.MailboxSize("a@x"), 1u);
+  EXPECT_EQ(mail.MailboxSize("b@y"), 1u);
+  server.Stop();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Strategies, ControlStrategyTest,
+    ::testing::Values(core::Strategy::kProcessControl,
+                      core::Strategy::kThread, core::Strategy::kDirect),
+    [](const ::testing::TestParamInfo<core::Strategy>& info) {
+      return std::string(StrategyName(info.param));
+    });
+
+TEST(ControlTestMisc, PlainProcessHandleHasNoControlChannel) {
+  TempDir tmp;
+  vfs::FileApi api(tmp.path() + "/root");
+  sentinels::RegisterBuiltinSentinels();
+  core::ActiveFileManager manager(api, sentinel::SentinelRegistry::Global());
+  manager.Install();
+  sentinel::SentinelSpec spec;
+  spec.name = "null";
+  spec.config["strategy"] = "process";
+  ASSERT_OK(manager.CreateActiveFile("p.af", spec, AsBytes("x")));
+  auto handle = api.OpenFile("p.af", vfs::OpenMode::kRead);
+  ASSERT_OK(handle.status());
+  EXPECT_EQ(manager.Control(*handle, AsBytes("anything")).status().code(),
+            ErrorCode::kUnsupported);
+  ASSERT_OK(api.CloseHandle(*handle));
+}
+
+TEST(ControlTestMisc, ControlOnPassiveHandleUnsupported) {
+  TempDir tmp;
+  vfs::FileApi api(tmp.path() + "/root");
+  sentinels::RegisterBuiltinSentinels();
+  core::ActiveFileManager manager(api, sentinel::SentinelRegistry::Global());
+  manager.Install();
+  ASSERT_OK(api.WriteWholeFile("plain.txt", AsBytes("x")));
+  auto handle = api.OpenFile("plain.txt", vfs::OpenMode::kRead);
+  ASSERT_OK(handle.status());
+  EXPECT_EQ(manager.Control(*handle, AsBytes("x")).status().code(),
+            ErrorCode::kUnsupported);
+  EXPECT_EQ(manager.Control(991234, AsBytes("x")).status().code(),
+            ErrorCode::kInvalidArgument);
+  ASSERT_OK(api.CloseHandle(*handle));
+}
+
+}  // namespace
+}  // namespace afs

@@ -1,0 +1,635 @@
+// Tests for the built-in sentinel library — each of the paper's Section 3
+// scenarios, driven through the legacy file API.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <set>
+
+#include "util/strings.hpp"
+
+#include "afs.hpp"
+#include "sentinels/regsent.hpp"
+#include "test_util.hpp"
+
+namespace afs {
+namespace {
+
+using core::ActiveFileManager;
+using core::ManagerOptions;
+using sentinel::SentinelSpec;
+using test::TempDir;
+
+// Shared fixture: sandboxed FileApi + manager + SimNet with file/quote/mail
+// servers mounted at node "server", client node "client".
+class SentinelsTest : public ::testing::Test {
+ protected:
+  SentinelsTest()
+      : api_(tmp_.path() + "/root"),
+        net_(clock_),
+        resolver_(&net_, "client"),
+        manager_(api_, sentinel::SentinelRegistry::Global(), MakeOptions()) {
+    sentinels::RegisterBuiltinSentinels();
+    EXPECT_TRUE(net_.AddLink("client", "server", {}).ok());
+    EXPECT_TRUE(net_.Mount("server", "files", files_).ok());
+    EXPECT_TRUE(net_.Mount("server", "quotes", quotes_).ok());
+    EXPECT_TRUE(net_.Mount("server", "mail", mail_).ok());
+    manager_.Install();
+  }
+
+  ManagerOptions MakeOptions() {
+    ManagerOptions options;
+    options.resolver = &resolver_;
+    return options;
+  }
+
+  std::string ReadAll(const std::string& path) {
+    auto content = api_.ReadWholeFile(path);
+    EXPECT_TRUE(content.ok()) << content.status().ToString();
+    return content.ok() ? ToString(ByteSpan(*content)) : std::string();
+  }
+
+  TempDir tmp_;
+  vfs::FileApi api_;
+  ManualClock clock_;
+  net::SimNet net_;
+  net::FileServer files_;
+  net::QuoteServer quotes_{42};
+  net::MailServer mail_;
+  core::EnvironmentResolver resolver_;
+  ActiveFileManager manager_;
+};
+
+// ---- random (data generation) ------------------------------------------
+
+TEST_F(SentinelsTest, RandomStreamIsDeterministicPerSeed) {
+  SentinelSpec spec;
+  spec.name = "random";
+  spec.config["cache"] = "none";
+  spec.config["seed"] = "77";
+  ASSERT_OK(manager_.CreateActiveFile("rnd.af", spec));
+
+  auto read_prefix = [&](std::size_t n) {
+    auto handle = api_.OpenFile("rnd.af", vfs::OpenMode::kRead);
+    EXPECT_TRUE(handle.ok());
+    Buffer out(n);
+    auto got = api_.ReadFile(*handle, MutableByteSpan(out));
+    EXPECT_TRUE(got.ok());
+    EXPECT_EQ(*got, n);  // never EOF
+    EXPECT_TRUE(api_.CloseHandle(*handle).ok());
+    return out;
+  };
+  EXPECT_EQ(read_prefix(256), read_prefix(256));
+}
+
+TEST_F(SentinelsTest, RandomStreamSeekConsistency) {
+  SentinelSpec spec;
+  spec.name = "random";
+  spec.config["cache"] = "none";
+  spec.config["seed"] = "5";
+  ASSERT_OK(manager_.CreateActiveFile("rnd2.af", spec));
+  auto handle = api_.OpenFile("rnd2.af", vfs::OpenMode::kRead);
+  ASSERT_OK(handle.status());
+
+  Buffer first(64);
+  ASSERT_OK(api_.ReadFile(*handle, MutableByteSpan(first)).status());
+  // Re-reading the same range after a seek yields identical bytes.
+  ASSERT_OK(api_.SetFilePointer(*handle, 0, vfs::SeekOrigin::kBegin).status());
+  Buffer again(64);
+  ASSERT_OK(api_.ReadFile(*handle, MutableByteSpan(again)).status());
+  EXPECT_EQ(first, again);
+
+  // Reading [32,64) directly matches the tail of the earlier read.
+  ASSERT_OK(api_.SetFilePointer(*handle, 32, vfs::SeekOrigin::kBegin).status());
+  Buffer tail(32);
+  ASSERT_OK(api_.ReadFile(*handle, MutableByteSpan(tail)).status());
+  EXPECT_TRUE(std::equal(tail.begin(), tail.end(), first.begin() + 32));
+
+  EXPECT_EQ(api_.GetFileSize(*handle).status().code(),
+            ErrorCode::kUnsupported);
+  EXPECT_EQ(api_.WriteFile(*handle, AsBytes("x")).status().code(),
+            ErrorCode::kPermissionDenied);
+  ASSERT_OK(api_.CloseHandle(*handle));
+}
+
+TEST_F(SentinelsTest, RandomTextModeEmitsDecimalLines) {
+  SentinelSpec spec;
+  spec.name = "random";
+  spec.config["cache"] = "none";
+  spec.config["format"] = "text";
+  ASSERT_OK(manager_.CreateActiveFile("rndtxt.af", spec));
+  auto handle = api_.OpenFile("rndtxt.af", vfs::OpenMode::kRead);
+  ASSERT_OK(handle.status());
+  Buffer out(210);  // ten 21-byte lines
+  ASSERT_OK(api_.ReadFile(*handle, MutableByteSpan(out)).status());
+  const auto lines = SplitLines(ToString(ByteSpan(out)));
+  ASSERT_EQ(lines.size(), 10u);
+  for (const auto& line : lines) {
+    EXPECT_EQ(line.size(), 20u);
+    std::uint64_t v = 0;
+    EXPECT_TRUE(ParseU64(line, v)) << line;
+  }
+  ASSERT_OK(api_.CloseHandle(*handle));
+}
+
+// ---- compress (filtering) -----------------------------------------------
+
+class CompressSentinelTest
+    : public SentinelsTest,
+      public ::testing::WithParamInterface<std::string> {};
+
+TEST_P(CompressSentinelTest, PlaintextViewCompressedStorage) {
+  SentinelSpec spec;
+  spec.name = "compress";
+  spec.config["codec"] = GetParam();
+  ASSERT_OK(manager_.CreateActiveFile("doc.af", spec));
+
+  // Run-heavy content so even the byte-oriented RLE codec wins.
+  std::string text;
+  for (int i = 0; i < 100; ++i) {
+    text += std::string(25, static_cast<char>('a' + i % 3)) + "\n";
+  }
+
+  auto handle = api_.OpenFile("doc.af", vfs::OpenMode::kReadWrite);
+  ASSERT_OK(handle.status());
+  ASSERT_OK(api_.WriteFile(*handle, AsBytes(text)).status());
+  auto size = api_.GetFileSize(*handle);
+  ASSERT_OK(size.status());
+  EXPECT_EQ(*size, text.size());  // application sees plaintext size
+  ASSERT_OK(api_.CloseHandle(*handle));
+
+  // Reopen: plaintext is faithfully restored.
+  EXPECT_EQ(ReadAll("doc.af"), text);
+
+  // The stored data part is the compressed image, not the plaintext.
+  auto stored = manager_.ReadDataPart("doc.af");
+  ASSERT_OK(stored.status());
+  EXPECT_EQ(ToString(ByteSpan(stored->data(), 4)), "AFC1");
+  if (GetParam() != "identity") {
+    EXPECT_LT(stored->size(), text.size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Codecs, CompressSentinelTest,
+                         ::testing::Values("identity", "rle", "lz77"),
+                         [](const auto& info) { return info.param; });
+
+TEST_F(SentinelsTest, CompressRandomAccessAndTruncate) {
+  SentinelSpec spec;
+  spec.name = "compress";
+  spec.config["codec"] = "rle";
+  ASSERT_OK(manager_.CreateActiveFile("ra.af", spec));
+  auto handle = api_.OpenFile("ra.af", vfs::OpenMode::kReadWrite);
+  ASSERT_OK(handle.status());
+  ASSERT_OK(api_.WriteFile(*handle, AsBytes("0123456789")).status());
+  ASSERT_OK(api_.SetFilePointer(*handle, 2, vfs::SeekOrigin::kBegin).status());
+  ASSERT_OK(api_.WriteFile(*handle, AsBytes("XX")).status());
+  ASSERT_OK(api_.SetFilePointer(*handle, 6, vfs::SeekOrigin::kBegin).status());
+  ASSERT_OK(api_.SetEndOfFile(*handle));
+  ASSERT_OK(api_.CloseHandle(*handle));
+  EXPECT_EQ(ReadAll("ra.af"), "01XX45");
+}
+
+TEST_F(SentinelsTest, CompressOpensImageWrittenWithDifferentCodec) {
+  // Write with rle...
+  SentinelSpec spec;
+  spec.name = "compress";
+  spec.config["codec"] = "rle";
+  ASSERT_OK(manager_.CreateActiveFile("x.af", spec, {}));
+  auto handle = api_.OpenFile("x.af", vfs::OpenMode::kWrite);
+  ASSERT_OK(handle.status());
+  ASSERT_OK(api_.WriteFile(*handle, AsBytes("stable text")).status());
+  ASSERT_OK(api_.CloseHandle(*handle));
+
+  // ...then flip the spec to lz77; the stored image still names rle and
+  // must decode correctly.
+  auto stored = manager_.ReadDataPart("x.af");
+  ASSERT_OK(stored.status());
+  SentinelSpec spec2;
+  spec2.name = "compress";
+  spec2.config["codec"] = "lz77";
+  ASSERT_OK(manager_.CreateActiveFile("y.af", spec2, ByteSpan(*stored)));
+  EXPECT_EQ(ReadAll("y.af"), "stable text");
+}
+
+TEST_F(SentinelsTest, CompressCorruptImageFailsOpen) {
+  SentinelSpec spec;
+  spec.name = "compress";
+  ASSERT_OK(manager_.CreateActiveFile("bad.af", spec, AsBytes("not AFC1")));
+  auto handle = api_.OpenFile("bad.af", vfs::OpenMode::kRead);
+  EXPECT_EQ(handle.status().code(), ErrorCode::kCorrupt);
+}
+
+// ---- audit (filtering side effects) -------------------------------------
+
+TEST_F(SentinelsTest, AuditRecordsEveryAccess) {
+  SentinelSpec spec;
+  spec.name = "audit";
+  spec.config["audit_file"] = "trail.log";
+  ASSERT_OK(manager_.CreateActiveFile("sensitive.af", spec,
+                                      AsBytes("secret-contents")));
+  auto handle = api_.OpenFile("sensitive.af", vfs::OpenMode::kReadWrite);
+  ASSERT_OK(handle.status());
+  Buffer out(6);
+  ASSERT_OK(api_.ReadFile(*handle, MutableByteSpan(out)).status());
+  ASSERT_OK(api_.WriteFile(*handle, AsBytes("mod")).status());
+  ASSERT_OK(api_.CloseHandle(*handle));
+
+  // The audit trail lives outside the sandbox view, in the lock dir.
+  std::ifstream log(tmp_.path() + "/root/.afs-locks/trail.log");
+  ASSERT_TRUE(log.good());
+  std::string text((std::istreambuf_iterator<char>(log)),
+                   std::istreambuf_iterator<char>());
+  EXPECT_NE(text.find("sensitive.af open"), std::string::npos);
+  EXPECT_NE(text.find("sensitive.af read"), std::string::npos);
+  EXPECT_NE(text.find("sensitive.af write"), std::string::npos);
+  EXPECT_NE(text.find("sensitive.af close"), std::string::npos);
+}
+
+// ---- log (concurrent locking log) ---------------------------------------
+
+TEST_F(SentinelsTest, LogAppendsRegardlessOfPosition) {
+  SentinelSpec spec;
+  spec.name = "log";
+  ASSERT_OK(manager_.CreateActiveFile("app.log.af", spec));
+  auto handle = api_.OpenFile("app.log.af", vfs::OpenMode::kWrite);
+  ASSERT_OK(handle.status());
+  ASSERT_OK(api_.WriteFile(*handle, AsBytes("first")).status());
+  ASSERT_OK(api_.WriteFile(*handle, AsBytes("second\n")).status());
+  ASSERT_OK(api_.CloseHandle(*handle));
+  auto data = manager_.ReadDataPart("app.log.af");
+  ASSERT_OK(data.status());
+  EXPECT_EQ(ToString(ByteSpan(*data)), "first\nsecond\n");
+}
+
+TEST_F(SentinelsTest, LogConcurrentWritersKeepRecordsWhole) {
+  SentinelSpec spec;
+  spec.name = "log";
+  spec.config["mutex"] = "shared-log";
+  ASSERT_OK(manager_.CreateActiveFile("shared.log.af", spec));
+
+  constexpr int kWriters = 4;
+  constexpr int kRecords = 25;
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w] {
+      auto handle = api_.OpenFile("shared.log.af", vfs::OpenMode::kWrite);
+      ASSERT_TRUE(handle.ok());
+      for (int i = 0; i < kRecords; ++i) {
+        const std::string record =
+            "writer" + std::to_string(w) + "-rec" + std::to_string(i);
+        auto n = api_.WriteFile(*handle, AsBytes(record));
+        ASSERT_TRUE(n.ok());
+      }
+      ASSERT_TRUE(api_.CloseHandle(*handle).ok());
+    });
+  }
+  for (auto& t : writers) t.join();
+
+  auto data = manager_.ReadDataPart("shared.log.af");
+  ASSERT_OK(data.status());
+  const auto lines = SplitLines(ToString(ByteSpan(*data)));
+  ASSERT_EQ(lines.size(), kWriters * kRecords);
+  // Every record appears exactly once, untorn.
+  std::multiset<std::string> seen(lines.begin(), lines.end());
+  for (int w = 0; w < kWriters; ++w) {
+    for (int i = 0; i < kRecords; ++i) {
+      EXPECT_EQ(seen.count("writer" + std::to_string(w) + "-rec" +
+                           std::to_string(i)),
+                1u);
+    }
+  }
+}
+
+// ---- registry (config as a file) ----------------------------------------
+
+TEST_F(SentinelsTest, RegistryReadEditApply) {
+  auto& registry = sentinels::DefaultRegistry();
+  ASSERT_OK(registry.CreateKey("test-sw/app"));
+  ASSERT_OK(registry.SetValue("test-sw/app", "mode",
+                              reg::Value(std::string("lazy"))));
+
+  SentinelSpec spec;
+  spec.name = "registry";
+  spec.config["key"] = "test-sw";
+  spec.config["cache"] = "none";
+  ASSERT_OK(manager_.CreateActiveFile("config.af", spec));
+
+  // Read the rendered view through the file API.
+  const std::string view = ReadAll("config.af");
+  EXPECT_NE(view.find("[app]"), std::string::npos);
+  EXPECT_NE(view.find("mode = str:lazy"), std::string::npos);
+
+  // Edit it like a text file; close applies to the registry.
+  const std::string edited = "[app]\nmode = str:eager\nlimit = dw:9\n";
+  auto handle = api_.OpenFile("config.af", vfs::OpenMode::kReadWrite);
+  ASSERT_OK(handle.status());
+  ASSERT_OK(api_.WriteFile(*handle, AsBytes(edited)).status());
+  ASSERT_OK(api_.SetEndOfFile(*handle));
+  ASSERT_OK(api_.CloseHandle(*handle));
+
+  auto mode = registry.GetValue("test-sw/app", "mode");
+  ASSERT_OK(mode.status());
+  EXPECT_EQ(std::get<std::string>(*mode), "eager");
+  auto limit = registry.GetValue("test-sw/app", "limit");
+  ASSERT_OK(limit.status());
+  EXPECT_EQ(std::get<std::uint32_t>(*limit), 9u);
+  ASSERT_OK(registry.DeleteKey("test-sw"));
+}
+
+// ---- remote (three caching paths + consistency) ---------------------------
+
+class RemoteCacheTest : public SentinelsTest,
+                        public ::testing::WithParamInterface<std::string> {};
+
+TEST_P(RemoteCacheTest, ReadAndWriteThroughEveryCachePath) {
+  ASSERT_OK(files_.Put("data/file1", AsBytes("remote contents")));
+  SentinelSpec spec;
+  spec.name = "remote";
+  spec.config["cache"] = GetParam();
+  spec.config["url"] = "sim:server:files";
+  spec.config["file"] = "data/file1";
+  ASSERT_OK(manager_.CreateActiveFile("r.af", spec));
+
+  EXPECT_EQ(ReadAll("r.af"), "remote contents");
+
+  // Writes propagate back to the server (write-back at close, or direct
+  // PUTRANGE for cache=none).
+  auto handle = api_.OpenFile("r.af", vfs::OpenMode::kReadWrite);
+  ASSERT_OK(handle.status());
+  ASSERT_OK(api_.WriteFile(*handle, AsBytes("REMOTE")).status());
+  ASSERT_OK(api_.CloseHandle(*handle));
+  auto server_side = files_.Get("data/file1");
+  ASSERT_OK(server_side.status());
+  EXPECT_EQ(ToString(ByteSpan(*server_side)), "REMOTE contents");
+}
+
+INSTANTIATE_TEST_SUITE_P(CachePaths, RemoteCacheTest,
+                         ::testing::Values("none", "disk", "memory"),
+                         [](const auto& info) { return info.param; });
+
+TEST_F(SentinelsTest, RemoteOpenConsistencySeesChangesAcrossOpens) {
+  ASSERT_OK(files_.Put("f", AsBytes("v1")));
+  SentinelSpec spec;
+  spec.name = "remote";
+  spec.config["url"] = "sim:server:files";
+  spec.config["file"] = "f";
+  spec.config["consistency"] = "open";
+  ASSERT_OK(manager_.CreateActiveFile("c.af", spec));
+
+  EXPECT_EQ(ReadAll("c.af"), "v1");
+  ASSERT_OK(files_.Put("f", AsBytes("v2-longer")));
+  EXPECT_EQ(ReadAll("c.af"), "v2-longer");
+}
+
+TEST_F(SentinelsTest, RemoteAlwaysConsistencySeesChangesWithinOpen) {
+  ASSERT_OK(files_.Put("f2", AsBytes("AAAA")));
+  SentinelSpec spec;
+  spec.name = "remote";
+  spec.config["url"] = "sim:server:files";
+  spec.config["file"] = "f2";
+  spec.config["consistency"] = "always";
+  ASSERT_OK(manager_.CreateActiveFile("live.af", spec));
+
+  auto handle = api_.OpenFile("live.af", vfs::OpenMode::kRead);
+  ASSERT_OK(handle.status());
+  Buffer out(4);
+  ASSERT_OK(api_.ReadFile(*handle, MutableByteSpan(out)).status());
+  EXPECT_EQ(ToString(ByteSpan(out)), "AAAA");
+
+  // Server changes mid-open; the same handle observes them.
+  ASSERT_OK(files_.Put("f2", AsBytes("BBBB")));
+  ASSERT_OK(api_.SetFilePointer(*handle, 0, vfs::SeekOrigin::kBegin).status());
+  ASSERT_OK(api_.ReadFile(*handle, MutableByteSpan(out)).status());
+  EXPECT_EQ(ToString(ByteSpan(out)), "BBBB");
+  ASSERT_OK(api_.CloseHandle(*handle));
+}
+
+TEST_F(SentinelsTest, RemoteWriteThroughPushesImmediately) {
+  ASSERT_OK(files_.Put("wt", AsBytes("....")));
+  SentinelSpec spec;
+  spec.name = "remote";
+  spec.config["url"] = "sim:server:files";
+  spec.config["file"] = "wt";
+  spec.config["write_through"] = "1";
+  ASSERT_OK(manager_.CreateActiveFile("wt.af", spec));
+  auto handle = api_.OpenFile("wt.af", vfs::OpenMode::kWrite);
+  ASSERT_OK(handle.status());
+  ASSERT_OK(api_.WriteFile(*handle, AsBytes("LIVE")).status());
+  // Visible at the server before close.
+  auto server_side = files_.Get("wt");
+  ASSERT_OK(server_side.status());
+  EXPECT_EQ(ToString(ByteSpan(*server_side)), "LIVE");
+  ASSERT_OK(api_.CloseHandle(*handle));
+}
+
+TEST_F(SentinelsTest, RemoteMissingFileFailsOpen) {
+  SentinelSpec spec;
+  spec.name = "remote";
+  spec.config["url"] = "sim:server:files";
+  spec.config["file"] = "does/not/exist";
+  ASSERT_OK(manager_.CreateActiveFile("gone.af", spec));
+  EXPECT_EQ(api_.OpenFile("gone.af", vfs::OpenMode::kRead).status().code(),
+            ErrorCode::kNotFound);
+}
+
+// ---- merge ---------------------------------------------------------------
+
+TEST_F(SentinelsTest, MergeConcatenatesRemoteSources) {
+  ASSERT_OK(files_.Put("parts/a", AsBytes("alpha")));
+  ASSERT_OK(files_.Put("parts/b", AsBytes("beta")));
+  ASSERT_OK(files_.Put("parts/c", AsBytes("gamma")));
+  SentinelSpec spec;
+  spec.name = "merge";
+  spec.config["cache"] = "none";
+  spec.config["url"] = "sim:server:files";
+  spec.config["files"] = "parts/a, parts/b, parts/c";
+  spec.config["sep"] = "|";
+  ASSERT_OK(manager_.CreateActiveFile("merged.af", spec));
+  EXPECT_EQ(ReadAll("merged.af"), "alpha|beta|gamma");
+
+  auto handle = api_.OpenFile("merged.af", vfs::OpenMode::kReadWrite);
+  ASSERT_OK(handle.status());
+  EXPECT_EQ(api_.WriteFile(*handle, AsBytes("x")).status().code(),
+            ErrorCode::kPermissionDenied);
+  EXPECT_EQ(*api_.GetFileSize(*handle), 16u);
+  ASSERT_OK(api_.CloseHandle(*handle));
+}
+
+// ---- tee (distribution by mirroring) --------------------------------------
+
+TEST_F(SentinelsTest, TeeMirrorsWritesImmediately) {
+  SentinelSpec spec;
+  spec.name = "tee";
+  spec.config["url"] = "sim:server:files";
+  spec.config["file"] = "mirror/doc";
+  ASSERT_OK(manager_.CreateActiveFile("tee.af", spec, AsBytes("seed-")));
+
+  auto handle = api_.OpenFile("tee.af", vfs::OpenMode::kReadWrite);
+  ASSERT_OK(handle.status());
+  // Opening seeded the mirror with the local content.
+  EXPECT_EQ(ToString(ByteSpan(*files_.Get("mirror/doc"))), "seed-");
+
+  ASSERT_OK(api_.SetFilePointer(*handle, 0, vfs::SeekOrigin::kEnd).status());
+  ASSERT_OK(api_.WriteFile(*handle, AsBytes("live")).status());
+  // Mirrored BEFORE close — the distribution is synchronous.
+  EXPECT_EQ(ToString(ByteSpan(*files_.Get("mirror/doc"))), "seed-live");
+
+  ASSERT_OK(api_.SetFilePointer(*handle, 4, vfs::SeekOrigin::kBegin).status());
+  ASSERT_OK(api_.SetEndOfFile(*handle));
+  EXPECT_EQ(ToString(ByteSpan(*files_.Get("mirror/doc"))), "seed");
+  ASSERT_OK(api_.CloseHandle(*handle));
+  EXPECT_EQ(ToString(ByteSpan(*manager_.ReadDataPart("tee.af"))), "seed");
+}
+
+TEST_F(SentinelsTest, TeeRequiresDataPart) {
+  SentinelSpec spec;
+  spec.name = "tee";
+  spec.config["cache"] = "none";
+  spec.config["url"] = "sim:server:files";
+  spec.config["file"] = "m";
+  ASSERT_OK(manager_.CreateActiveFile("t0.af", spec));
+  EXPECT_EQ(api_.OpenFile("t0.af", vfs::OpenMode::kRead).status().code(),
+            ErrorCode::kInvalidArgument);
+}
+
+// ---- quotes ----------------------------------------------------------------
+
+TEST_F(SentinelsTest, QuotesRefreshOnEveryOpen) {
+  quotes_.AddSymbol("ACME", 10000);
+  quotes_.AddSymbol("INIT", 555);
+  SentinelSpec spec;
+  spec.name = "quotes";
+  spec.config["cache"] = "none";
+  spec.config["url"] = "sim:server:quotes";
+  spec.config["symbols"] = "ACME,INIT";
+  ASSERT_OK(manager_.CreateActiveFile("ticker.af", spec));
+
+  const std::string snap1 = ReadAll("ticker.af");
+  EXPECT_NE(snap1.find("ACME\t100.00\t0"), std::string::npos);
+  EXPECT_NE(snap1.find("INIT\t5.55\t0"), std::string::npos);
+
+  quotes_.Tick(5);
+  const std::string snap2 = ReadAll("ticker.af");
+  EXPECT_NE(snap2.find("\t5\n"), std::string::npos);  // tick advanced
+  EXPECT_NE(snap1, snap2);
+}
+
+TEST_F(SentinelsTest, QuotesRefreshViaControl) {
+  quotes_.AddSymbol("CTL", 1000);
+  SentinelSpec spec;
+  spec.name = "quotes";
+  spec.config["cache"] = "none";
+  spec.config["url"] = "sim:server:quotes";
+  spec.config["symbols"] = "CTL";
+  spec.config["strategy"] = "thread";
+  ASSERT_OK(manager_.CreateActiveFile("ctl.af", spec));
+  auto handle = api_.OpenFile("ctl.af", vfs::OpenMode::kRead);
+  ASSERT_OK(handle.status());
+
+  Buffer before(64);
+  auto n1 = api_.ReadFile(*handle, MutableByteSpan(before));
+  ASSERT_OK(n1.status());
+
+  quotes_.Tick(3);
+  auto reply = manager_.Control(*handle, AsBytes("refresh"));
+  ASSERT_OK(reply.status());
+
+  ASSERT_OK(api_.SetFilePointer(*handle, 0, vfs::SeekOrigin::kBegin).status());
+  Buffer after(64);
+  auto n2 = api_.ReadFile(*handle, MutableByteSpan(after));
+  ASSERT_OK(n2.status());
+  EXPECT_NE(ToString(ByteSpan(before.data(), *n1)),
+            ToString(ByteSpan(after.data(), *n2)));
+  ASSERT_OK(api_.CloseHandle(*handle));
+}
+
+// ---- inbox / outbox ---------------------------------------------------------
+
+TEST_F(SentinelsTest, InboxRetrievesAndOptionallyPurges) {
+  ASSERT_OK(mail_
+                .Send(net::MailMessage{"amy@remote", "", "Hi", "hello body"},
+                      {"user@here"})
+                .status());
+  ASSERT_OK(mail_
+                .Send(net::MailMessage{"bob@remote", "", "Yo", "second"},
+                      {"user@here"})
+                .status());
+
+  SentinelSpec spec;
+  spec.name = "inbox";
+  spec.config["cache"] = "none";
+  spec.config["urls"] = "sim:server:mail";
+  spec.config["user"] = "user@here";
+  spec.config["delete"] = "1";
+  ASSERT_OK(manager_.CreateActiveFile("inbox.af", spec));
+
+  const std::string mailbox = ReadAll("inbox.af");
+  EXPECT_NE(mailbox.find("From: amy@remote"), std::string::npos);
+  EXPECT_NE(mailbox.find("Subject: Yo"), std::string::npos);
+  EXPECT_NE(mailbox.find("hello body"), std::string::npos);
+  EXPECT_EQ(mail_.MailboxSize("user@here"), 0u);  // purged
+
+  EXPECT_EQ(ReadAll("inbox.af"), "");  // nothing left on second open
+}
+
+TEST_F(SentinelsTest, OutboxSendsToEveryRecipientAtClose) {
+  SentinelSpec spec;
+  spec.name = "outbox";
+  spec.config["cache"] = "none";
+  spec.config["url"] = "sim:server:mail";
+  ASSERT_OK(manager_.CreateActiveFile("outbox.af", spec));
+
+  const std::string message =
+      "From: me@here\nTo: x@a, y@b, z@c\nSubject: fanout\n\nhello all";
+  auto handle = api_.OpenFile("outbox.af", vfs::OpenMode::kWrite);
+  ASSERT_OK(handle.status());
+  ASSERT_OK(api_.WriteFile(*handle, AsBytes(message)).status());
+  EXPECT_EQ(mail_.MailboxSize("x@a"), 0u);  // not yet sent
+  ASSERT_OK(api_.CloseHandle(*handle));     // close triggers distribution
+
+  EXPECT_EQ(mail_.MailboxSize("x@a"), 1u);
+  EXPECT_EQ(mail_.MailboxSize("y@b"), 1u);
+  EXPECT_EQ(mail_.MailboxSize("z@c"), 1u);
+  auto delivered = mail_.Mailbox("y@b");
+  ASSERT_OK(delivered.status());
+  EXPECT_EQ((*delivered)[0].subject, "fanout");
+  EXPECT_EQ((*delivered)[0].body, "hello all");
+  EXPECT_EQ((*delivered)[0].to, "y@b");
+}
+
+TEST_F(SentinelsTest, OutboxFlushSendsEarlyAndReportsDelivered) {
+  SentinelSpec spec;
+  spec.name = "outbox";
+  spec.config["cache"] = "none";
+  spec.config["url"] = "sim:server:mail";
+  spec.config["strategy"] = "direct";
+  ASSERT_OK(manager_.CreateActiveFile("ob2.af", spec));
+  auto handle = api_.OpenFile("ob2.af", vfs::OpenMode::kWrite);
+  ASSERT_OK(handle.status());
+  ASSERT_OK(api_.WriteFile(
+                    *handle,
+                    AsBytes("To: solo@x\nSubject: s\n\nbody"))
+                .status());
+  ASSERT_OK(api_.FlushFileBuffers(*handle));
+  EXPECT_EQ(mail_.MailboxSize("solo@x"), 1u);
+  auto delivered = manager_.Control(*handle, AsBytes("delivered"));
+  ASSERT_OK(delivered.status());
+  EXPECT_EQ(ToString(ByteSpan(*delivered)), "1");
+  ASSERT_OK(api_.CloseHandle(*handle));
+  EXPECT_EQ(mail_.MailboxSize("solo@x"), 1u);  // close didn't double-send
+}
+
+TEST_F(SentinelsTest, OutboxMalformedMessageFailsClose) {
+  SentinelSpec spec;
+  spec.name = "outbox";
+  spec.config["cache"] = "none";
+  spec.config["url"] = "sim:server:mail";
+  ASSERT_OK(manager_.CreateActiveFile("badmail.af", spec));
+  auto handle = api_.OpenFile("badmail.af", vfs::OpenMode::kWrite);
+  ASSERT_OK(handle.status());
+  ASSERT_OK(api_.WriteFile(*handle, AsBytes("no headers at all")).status());
+  EXPECT_FALSE(api_.CloseHandle(*handle).ok());
+}
+
+}  // namespace
+}  // namespace afs

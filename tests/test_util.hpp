@@ -1,0 +1,53 @@
+// Shared test scaffolding: a temporary sandbox directory per test, torn
+// down afterwards.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+
+namespace afs::test {
+
+// Creates a unique directory under the system temp dir; removes it (and
+// everything inside) on destruction.
+class TempDir {
+ public:
+  TempDir() {
+    std::string tmpl =
+        (std::filesystem::temp_directory_path() / "afs-test-XXXXXX").string();
+    char* made = ::mkdtemp(tmpl.data());
+    path_ = made == nullptr ? tmpl : made;
+  }
+
+  ~TempDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path_, ec);
+  }
+
+  TempDir(const TempDir&) = delete;
+  TempDir& operator=(const TempDir&) = delete;
+
+  const std::string& path() const noexcept { return path_; }
+
+ private:
+  std::string path_;
+};
+
+// gtest-friendly status assertions.
+// Note: taken by value — `expr` may be `temporary_result.status()`, a
+// reference into a temporary that dies at the end of the declaration.
+#define ASSERT_OK(expr)                                                \
+  do {                                                                 \
+    const ::afs::Status afs_test_status_ = (expr);                     \
+    ASSERT_TRUE(afs_test_status_.ok()) << afs_test_status_.ToString(); \
+  } while (0)
+
+#define EXPECT_OK(expr)                                                \
+  do {                                                                 \
+    const ::afs::Status afs_test_status_ = (expr);                     \
+    EXPECT_TRUE(afs_test_status_.ok()) << afs_test_status_.ToString(); \
+  } while (0)
+
+}  // namespace afs::test

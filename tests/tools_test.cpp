@@ -1,0 +1,146 @@
+// afsctl CLI tests (AFSCTL_PATH injected by CMake) and assorted edge-case
+// coverage for host files and the shm channel.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "afs.hpp"
+#include "ipc/shm_channel.hpp"
+#include "test_util.hpp"
+#include "util/prng.hpp"
+
+#ifndef AFSCTL_PATH
+#error "AFSCTL_PATH must be defined by the build"
+#endif
+
+namespace afs {
+namespace {
+
+using test::TempDir;
+
+// Runs a command line, returns {exit code, stdout}.
+std::pair<int, std::string> RunCommand(const std::string& command) {
+  FILE* pipe = ::popen((command + " 2>/dev/null").c_str(), "r");
+  EXPECT_NE(pipe, nullptr);
+  std::string output;
+  char buf[256];
+  while (std::fgets(buf, sizeof(buf), pipe) != nullptr) output += buf;
+  const int status = ::pclose(pipe);
+  return {WIFEXITED(status) ? WEXITSTATUS(status) : -1, output};
+}
+
+class AfsctlTest : public ::testing::Test {
+ protected:
+  std::string Ctl(const std::string& args) {
+    return std::string(AFSCTL_PATH) + " " + tmp_.path() + "/ws " + args;
+  }
+  TempDir tmp_;
+};
+
+TEST_F(AfsctlTest, CreateWriteCatDataSpec) {
+  auto [code, out] = RunCommand(Ctl("create notes.af compress codec=rle"));
+  EXPECT_EQ(code, 0);
+  EXPECT_NE(out.find("created notes.af"), std::string::npos);
+
+  std::tie(code, out) = RunCommand(Ctl("write notes.af aaaaaaaaaaaaaaaaaaaaaaaa"));
+  EXPECT_EQ(code, 0);
+
+  std::tie(code, out) = RunCommand(Ctl("cat notes.af"));
+  EXPECT_EQ(code, 0);
+  EXPECT_EQ(out, "aaaaaaaaaaaaaaaaaaaaaaaa");
+
+  std::tie(code, out) = RunCommand(Ctl("data notes.af"));
+  EXPECT_EQ(code, 0);
+  EXPECT_EQ(out.substr(0, 4), "AFC1");  // compressed image, not plaintext
+
+  std::tie(code, out) = RunCommand(Ctl("spec notes.af"));
+  EXPECT_EQ(code, 0);
+  EXPECT_NE(out.find("sentinel: compress"), std::string::npos);
+  EXPECT_NE(out.find("codec = rle"), std::string::npos);
+}
+
+TEST_F(AfsctlTest, LsAndSentinels) {
+  (void)RunCommand(Ctl("create a.af null"));
+  auto [code, out] = RunCommand(Ctl("ls"));
+  EXPECT_EQ(code, 0);
+  EXPECT_NE(out.find("a.af"), std::string::npos);
+
+  std::tie(code, out) = RunCommand(Ctl("sentinels"));
+  EXPECT_EQ(code, 0);
+  EXPECT_NE(out.find("compress"), std::string::npos);
+  EXPECT_NE(out.find("pipeline"), std::string::npos);
+}
+
+TEST_F(AfsctlTest, ErrorsExitNonzero) {
+  EXPECT_EQ(RunCommand(Ctl("cat missing.af")).first, 1);
+  EXPECT_EQ(RunCommand(Ctl("create bad.txt null")).first, 1);       // wrong ext
+  EXPECT_EQ(RunCommand(Ctl("create x.af nosuchsentinel")).first, 1);
+  EXPECT_EQ(RunCommand(Ctl("frobnicate x")).first, 2);               // usage
+}
+
+// ---- host-file / shm edge cases -----------------------------------------
+
+TEST(HostFileEdgeTest, WriteOnReadOnlyHandleFails) {
+  TempDir tmp;
+  vfs::FileApi api(tmp.path() + "/root");
+  ASSERT_OK(api.WriteWholeFile("f", AsBytes("x")));
+  auto handle = api.OpenFile("f", vfs::OpenMode::kRead);
+  ASSERT_OK(handle.status());
+  EXPECT_FALSE(api.WriteFile(*handle, AsBytes("y")).ok());
+  ASSERT_OK(api.CloseHandle(*handle));
+}
+
+TEST(HostFileEdgeTest, ReadOnWriteOnlyHandleFails) {
+  TempDir tmp;
+  vfs::FileApi api(tmp.path() + "/root");
+  ASSERT_OK(api.WriteWholeFile("f", AsBytes("x")));
+  auto handle = api.OpenFile("f", vfs::OpenMode::kWrite);
+  ASSERT_OK(handle.status());
+  Buffer out(1);
+  EXPECT_FALSE(api.ReadFile(*handle, MutableByteSpan(out)).ok());
+  ASSERT_OK(api.CloseHandle(*handle));
+}
+
+TEST(HostFileEdgeTest, TruncateExistingOnMissingFileFails) {
+  TempDir tmp;
+  vfs::FileApi api(tmp.path() + "/root");
+  vfs::OpenOptions options;
+  options.mode = vfs::OpenMode::kWrite;
+  options.disposition = vfs::Disposition::kTruncateExisting;
+  EXPECT_EQ(api.CreateFile("absent", options).status().code(),
+            ErrorCode::kNotFound);
+}
+
+TEST(HostFileEdgeTest, SeekBeforeStartFails) {
+  TempDir tmp;
+  vfs::FileApi api(tmp.path() + "/root");
+  ASSERT_OK(api.WriteWholeFile("f", AsBytes("abc")));
+  auto handle = api.OpenFile("f", vfs::OpenMode::kRead);
+  ASSERT_OK(handle.status());
+  EXPECT_FALSE(
+      api.SetFilePointer(*handle, -1, vfs::SeekOrigin::kBegin).ok());
+  ASSERT_OK(api.CloseHandle(*handle));
+}
+
+TEST(ShmChannelStressTest, MegabyteThroughTinyRing) {
+  ipc::ShmChannel channel(128);  // tiny ring: maximal wrap pressure
+  Prng prng(0x517E55);
+  Buffer payload(1 << 20);
+  prng.Fill(MutableByteSpan(payload));
+
+  std::thread writer([&] { ASSERT_OK(channel.Write(ByteSpan(payload))); });
+  Buffer received;
+  received.reserve(payload.size());
+  Buffer chunk(313);  // deliberately unaligned with the ring size
+  while (received.size() < payload.size()) {
+    auto n = channel.ReadSome(MutableByteSpan(chunk));
+    ASSERT_OK(n.status());
+    ASSERT_GT(*n, 0u);
+    received.insert(received.end(), chunk.begin(), chunk.begin() + *n);
+  }
+  writer.join();
+  EXPECT_EQ(received, payload);
+}
+
+}  // namespace
+}  // namespace afs
