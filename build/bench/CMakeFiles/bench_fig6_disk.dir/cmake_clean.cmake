@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_disk.dir/bench_fig6_disk.cpp.o"
+  "CMakeFiles/bench_fig6_disk.dir/bench_fig6_disk.cpp.o.d"
+  "bench_fig6_disk"
+  "bench_fig6_disk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_disk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

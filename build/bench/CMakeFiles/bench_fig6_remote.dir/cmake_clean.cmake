@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_remote.dir/bench_fig6_remote.cpp.o"
+  "CMakeFiles/bench_fig6_remote.dir/bench_fig6_remote.cpp.o.d"
+  "bench_fig6_remote"
+  "bench_fig6_remote.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_remote.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_open_close.dir/bench_open_close.cpp.o"
+  "CMakeFiles/bench_open_close.dir/bench_open_close.cpp.o.d"
+  "bench_open_close"
+  "bench_open_close.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_open_close.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/afs_sentineld.dir/afs_sentineld.cpp.o"
+  "CMakeFiles/afs_sentineld.dir/afs_sentineld.cpp.o.d"
+  "afs_sentineld"
+  "afs_sentineld.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/afs_sentineld.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

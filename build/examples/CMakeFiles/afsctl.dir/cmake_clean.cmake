@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/afsctl.dir/afsctl.cpp.o"
+  "CMakeFiles/afsctl.dir/afsctl.cpp.o.d"
+  "afsctl"
+  "afsctl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/afsctl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

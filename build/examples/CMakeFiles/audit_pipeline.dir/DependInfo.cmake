@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/audit_pipeline.cpp" "examples/CMakeFiles/audit_pipeline.dir/audit_pipeline.cpp.o" "gcc" "examples/CMakeFiles/audit_pipeline.dir/audit_pipeline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/afs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sentinels/CMakeFiles/afs_sentinels.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/afs_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/vfs/CMakeFiles/afs_vfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/sentinel/CMakeFiles/afs_sentinel.dir/DependInfo.cmake"
+  "/root/repo/build/src/ipc/CMakeFiles/afs_ipc.dir/DependInfo.cmake"
+  "/root/repo/build/src/codec/CMakeFiles/afs_codec.dir/DependInfo.cmake"
+  "/root/repo/build/src/registry/CMakeFiles/afs_registry.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/afs_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/afs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mail_room.dir/mail_room.cpp.o"
+  "CMakeFiles/mail_room.dir/mail_room.cpp.o.d"
+  "mail_room"
+  "mail_room.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mail_room.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/registry_editor.dir/registry_editor.cpp.o"
+  "CMakeFiles/registry_editor.dir/registry_editor.cpp.o.d"
+  "registry_editor"
+  "registry_editor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/registry_editor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/remote_viewer.dir/remote_viewer.cpp.o"
+  "CMakeFiles/remote_viewer.dir/remote_viewer.cpp.o.d"
+  "remote_viewer"
+  "remote_viewer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/remote_viewer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

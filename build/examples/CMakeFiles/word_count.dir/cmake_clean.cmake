@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/word_count.dir/word_count.cpp.o"
+  "CMakeFiles/word_count.dir/word_count.cpp.o.d"
+  "word_count"
+  "word_count.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/word_count.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

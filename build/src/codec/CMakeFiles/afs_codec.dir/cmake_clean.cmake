@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/afs_codec.dir/codec.cpp.o"
+  "CMakeFiles/afs_codec.dir/codec.cpp.o.d"
+  "libafs_codec.a"
+  "libafs_codec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/afs_codec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/afs_common.dir/clock.cpp.o"
+  "CMakeFiles/afs_common.dir/clock.cpp.o.d"
+  "CMakeFiles/afs_common.dir/log.cpp.o"
+  "CMakeFiles/afs_common.dir/log.cpp.o.d"
+  "CMakeFiles/afs_common.dir/status.cpp.o"
+  "CMakeFiles/afs_common.dir/status.cpp.o.d"
+  "libafs_common.a"
+  "libafs_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/afs_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/afs_core.dir/bundle.cpp.o"
+  "CMakeFiles/afs_core.dir/bundle.cpp.o.d"
+  "CMakeFiles/afs_core.dir/links.cpp.o"
+  "CMakeFiles/afs_core.dir/links.cpp.o.d"
+  "CMakeFiles/afs_core.dir/manager.cpp.o"
+  "CMakeFiles/afs_core.dir/manager.cpp.o.d"
+  "CMakeFiles/afs_core.dir/resolvers.cpp.o"
+  "CMakeFiles/afs_core.dir/resolvers.cpp.o.d"
+  "CMakeFiles/afs_core.dir/sentineld.cpp.o"
+  "CMakeFiles/afs_core.dir/sentineld.cpp.o.d"
+  "CMakeFiles/afs_core.dir/strategies.cpp.o"
+  "CMakeFiles/afs_core.dir/strategies.cpp.o.d"
+  "libafs_core.a"
+  "libafs_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/afs_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

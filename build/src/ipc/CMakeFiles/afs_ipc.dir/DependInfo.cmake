@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ipc/framing.cpp" "src/ipc/CMakeFiles/afs_ipc.dir/framing.cpp.o" "gcc" "src/ipc/CMakeFiles/afs_ipc.dir/framing.cpp.o.d"
+  "/root/repo/src/ipc/named_mutex.cpp" "src/ipc/CMakeFiles/afs_ipc.dir/named_mutex.cpp.o" "gcc" "src/ipc/CMakeFiles/afs_ipc.dir/named_mutex.cpp.o.d"
+  "/root/repo/src/ipc/pipe.cpp" "src/ipc/CMakeFiles/afs_ipc.dir/pipe.cpp.o" "gcc" "src/ipc/CMakeFiles/afs_ipc.dir/pipe.cpp.o.d"
+  "/root/repo/src/ipc/process.cpp" "src/ipc/CMakeFiles/afs_ipc.dir/process.cpp.o" "gcc" "src/ipc/CMakeFiles/afs_ipc.dir/process.cpp.o.d"
+  "/root/repo/src/ipc/shm_channel.cpp" "src/ipc/CMakeFiles/afs_ipc.dir/shm_channel.cpp.o" "gcc" "src/ipc/CMakeFiles/afs_ipc.dir/shm_channel.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/afs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/afs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

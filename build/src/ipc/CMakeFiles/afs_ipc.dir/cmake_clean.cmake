@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/afs_ipc.dir/framing.cpp.o"
+  "CMakeFiles/afs_ipc.dir/framing.cpp.o.d"
+  "CMakeFiles/afs_ipc.dir/named_mutex.cpp.o"
+  "CMakeFiles/afs_ipc.dir/named_mutex.cpp.o.d"
+  "CMakeFiles/afs_ipc.dir/pipe.cpp.o"
+  "CMakeFiles/afs_ipc.dir/pipe.cpp.o.d"
+  "CMakeFiles/afs_ipc.dir/process.cpp.o"
+  "CMakeFiles/afs_ipc.dir/process.cpp.o.d"
+  "CMakeFiles/afs_ipc.dir/shm_channel.cpp.o"
+  "CMakeFiles/afs_ipc.dir/shm_channel.cpp.o.d"
+  "libafs_ipc.a"
+  "libafs_ipc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/afs_ipc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/file_server.cpp" "src/net/CMakeFiles/afs_net.dir/file_server.cpp.o" "gcc" "src/net/CMakeFiles/afs_net.dir/file_server.cpp.o.d"
+  "/root/repo/src/net/ftp_server.cpp" "src/net/CMakeFiles/afs_net.dir/ftp_server.cpp.o" "gcc" "src/net/CMakeFiles/afs_net.dir/ftp_server.cpp.o.d"
+  "/root/repo/src/net/http_server.cpp" "src/net/CMakeFiles/afs_net.dir/http_server.cpp.o" "gcc" "src/net/CMakeFiles/afs_net.dir/http_server.cpp.o.d"
+  "/root/repo/src/net/mail_server.cpp" "src/net/CMakeFiles/afs_net.dir/mail_server.cpp.o" "gcc" "src/net/CMakeFiles/afs_net.dir/mail_server.cpp.o.d"
+  "/root/repo/src/net/quote_server.cpp" "src/net/CMakeFiles/afs_net.dir/quote_server.cpp.o" "gcc" "src/net/CMakeFiles/afs_net.dir/quote_server.cpp.o.d"
+  "/root/repo/src/net/rpc.cpp" "src/net/CMakeFiles/afs_net.dir/rpc.cpp.o" "gcc" "src/net/CMakeFiles/afs_net.dir/rpc.cpp.o.d"
+  "/root/repo/src/net/simnet.cpp" "src/net/CMakeFiles/afs_net.dir/simnet.cpp.o" "gcc" "src/net/CMakeFiles/afs_net.dir/simnet.cpp.o.d"
+  "/root/repo/src/net/socket_transport.cpp" "src/net/CMakeFiles/afs_net.dir/socket_transport.cpp.o" "gcc" "src/net/CMakeFiles/afs_net.dir/socket_transport.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/afs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/afs_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/ipc/CMakeFiles/afs_ipc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

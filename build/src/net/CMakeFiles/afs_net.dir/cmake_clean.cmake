@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/afs_net.dir/file_server.cpp.o"
+  "CMakeFiles/afs_net.dir/file_server.cpp.o.d"
+  "CMakeFiles/afs_net.dir/ftp_server.cpp.o"
+  "CMakeFiles/afs_net.dir/ftp_server.cpp.o.d"
+  "CMakeFiles/afs_net.dir/http_server.cpp.o"
+  "CMakeFiles/afs_net.dir/http_server.cpp.o.d"
+  "CMakeFiles/afs_net.dir/mail_server.cpp.o"
+  "CMakeFiles/afs_net.dir/mail_server.cpp.o.d"
+  "CMakeFiles/afs_net.dir/quote_server.cpp.o"
+  "CMakeFiles/afs_net.dir/quote_server.cpp.o.d"
+  "CMakeFiles/afs_net.dir/rpc.cpp.o"
+  "CMakeFiles/afs_net.dir/rpc.cpp.o.d"
+  "CMakeFiles/afs_net.dir/simnet.cpp.o"
+  "CMakeFiles/afs_net.dir/simnet.cpp.o.d"
+  "CMakeFiles/afs_net.dir/socket_transport.cpp.o"
+  "CMakeFiles/afs_net.dir/socket_transport.cpp.o.d"
+  "libafs_net.a"
+  "libafs_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/afs_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

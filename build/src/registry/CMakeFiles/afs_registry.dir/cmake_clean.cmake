@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/afs_registry.dir/registry.cpp.o"
+  "CMakeFiles/afs_registry.dir/registry.cpp.o.d"
+  "libafs_registry.a"
+  "libafs_registry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/afs_registry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sentinel/context.cpp" "src/sentinel/CMakeFiles/afs_sentinel.dir/context.cpp.o" "gcc" "src/sentinel/CMakeFiles/afs_sentinel.dir/context.cpp.o.d"
+  "/root/repo/src/sentinel/control.cpp" "src/sentinel/CMakeFiles/afs_sentinel.dir/control.cpp.o" "gcc" "src/sentinel/CMakeFiles/afs_sentinel.dir/control.cpp.o.d"
+  "/root/repo/src/sentinel/dispatch.cpp" "src/sentinel/CMakeFiles/afs_sentinel.dir/dispatch.cpp.o" "gcc" "src/sentinel/CMakeFiles/afs_sentinel.dir/dispatch.cpp.o.d"
+  "/root/repo/src/sentinel/registry.cpp" "src/sentinel/CMakeFiles/afs_sentinel.dir/registry.cpp.o" "gcc" "src/sentinel/CMakeFiles/afs_sentinel.dir/registry.cpp.o.d"
+  "/root/repo/src/sentinel/sentinel.cpp" "src/sentinel/CMakeFiles/afs_sentinel.dir/sentinel.cpp.o" "gcc" "src/sentinel/CMakeFiles/afs_sentinel.dir/sentinel.cpp.o.d"
+  "/root/repo/src/sentinel/stream.cpp" "src/sentinel/CMakeFiles/afs_sentinel.dir/stream.cpp.o" "gcc" "src/sentinel/CMakeFiles/afs_sentinel.dir/stream.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/afs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/afs_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/afs_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/vfs/CMakeFiles/afs_vfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/ipc/CMakeFiles/afs_ipc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

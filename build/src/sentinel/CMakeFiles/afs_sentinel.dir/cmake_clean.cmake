@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/afs_sentinel.dir/context.cpp.o"
+  "CMakeFiles/afs_sentinel.dir/context.cpp.o.d"
+  "CMakeFiles/afs_sentinel.dir/control.cpp.o"
+  "CMakeFiles/afs_sentinel.dir/control.cpp.o.d"
+  "CMakeFiles/afs_sentinel.dir/dispatch.cpp.o"
+  "CMakeFiles/afs_sentinel.dir/dispatch.cpp.o.d"
+  "CMakeFiles/afs_sentinel.dir/registry.cpp.o"
+  "CMakeFiles/afs_sentinel.dir/registry.cpp.o.d"
+  "CMakeFiles/afs_sentinel.dir/sentinel.cpp.o"
+  "CMakeFiles/afs_sentinel.dir/sentinel.cpp.o.d"
+  "CMakeFiles/afs_sentinel.dir/stream.cpp.o"
+  "CMakeFiles/afs_sentinel.dir/stream.cpp.o.d"
+  "libafs_sentinel.a"
+  "libafs_sentinel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/afs_sentinel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

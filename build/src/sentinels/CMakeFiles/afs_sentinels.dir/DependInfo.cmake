@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sentinels/builtin.cpp" "src/sentinels/CMakeFiles/afs_sentinels.dir/builtin.cpp.o" "gcc" "src/sentinels/CMakeFiles/afs_sentinels.dir/builtin.cpp.o.d"
+  "/root/repo/src/sentinels/feeds.cpp" "src/sentinels/CMakeFiles/afs_sentinels.dir/feeds.cpp.o" "gcc" "src/sentinels/CMakeFiles/afs_sentinels.dir/feeds.cpp.o.d"
+  "/root/repo/src/sentinels/filter.cpp" "src/sentinels/CMakeFiles/afs_sentinels.dir/filter.cpp.o" "gcc" "src/sentinels/CMakeFiles/afs_sentinels.dir/filter.cpp.o.d"
+  "/root/repo/src/sentinels/ftp.cpp" "src/sentinels/CMakeFiles/afs_sentinels.dir/ftp.cpp.o" "gcc" "src/sentinels/CMakeFiles/afs_sentinels.dir/ftp.cpp.o.d"
+  "/root/repo/src/sentinels/generate.cpp" "src/sentinels/CMakeFiles/afs_sentinels.dir/generate.cpp.o" "gcc" "src/sentinels/CMakeFiles/afs_sentinels.dir/generate.cpp.o.d"
+  "/root/repo/src/sentinels/logsent.cpp" "src/sentinels/CMakeFiles/afs_sentinels.dir/logsent.cpp.o" "gcc" "src/sentinels/CMakeFiles/afs_sentinels.dir/logsent.cpp.o.d"
+  "/root/repo/src/sentinels/notify.cpp" "src/sentinels/CMakeFiles/afs_sentinels.dir/notify.cpp.o" "gcc" "src/sentinels/CMakeFiles/afs_sentinels.dir/notify.cpp.o.d"
+  "/root/repo/src/sentinels/pipeline.cpp" "src/sentinels/CMakeFiles/afs_sentinels.dir/pipeline.cpp.o" "gcc" "src/sentinels/CMakeFiles/afs_sentinels.dir/pipeline.cpp.o.d"
+  "/root/repo/src/sentinels/policy.cpp" "src/sentinels/CMakeFiles/afs_sentinels.dir/policy.cpp.o" "gcc" "src/sentinels/CMakeFiles/afs_sentinels.dir/policy.cpp.o.d"
+  "/root/repo/src/sentinels/regsent.cpp" "src/sentinels/CMakeFiles/afs_sentinels.dir/regsent.cpp.o" "gcc" "src/sentinels/CMakeFiles/afs_sentinels.dir/regsent.cpp.o.d"
+  "/root/repo/src/sentinels/remote.cpp" "src/sentinels/CMakeFiles/afs_sentinels.dir/remote.cpp.o" "gcc" "src/sentinels/CMakeFiles/afs_sentinels.dir/remote.cpp.o.d"
+  "/root/repo/src/sentinels/tee.cpp" "src/sentinels/CMakeFiles/afs_sentinels.dir/tee.cpp.o" "gcc" "src/sentinels/CMakeFiles/afs_sentinels.dir/tee.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sentinel/CMakeFiles/afs_sentinel.dir/DependInfo.cmake"
+  "/root/repo/build/src/codec/CMakeFiles/afs_codec.dir/DependInfo.cmake"
+  "/root/repo/build/src/registry/CMakeFiles/afs_registry.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/afs_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/ipc/CMakeFiles/afs_ipc.dir/DependInfo.cmake"
+  "/root/repo/build/src/vfs/CMakeFiles/afs_vfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/afs_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/afs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/afs_sentinels.dir/builtin.cpp.o"
+  "CMakeFiles/afs_sentinels.dir/builtin.cpp.o.d"
+  "CMakeFiles/afs_sentinels.dir/feeds.cpp.o"
+  "CMakeFiles/afs_sentinels.dir/feeds.cpp.o.d"
+  "CMakeFiles/afs_sentinels.dir/filter.cpp.o"
+  "CMakeFiles/afs_sentinels.dir/filter.cpp.o.d"
+  "CMakeFiles/afs_sentinels.dir/ftp.cpp.o"
+  "CMakeFiles/afs_sentinels.dir/ftp.cpp.o.d"
+  "CMakeFiles/afs_sentinels.dir/generate.cpp.o"
+  "CMakeFiles/afs_sentinels.dir/generate.cpp.o.d"
+  "CMakeFiles/afs_sentinels.dir/logsent.cpp.o"
+  "CMakeFiles/afs_sentinels.dir/logsent.cpp.o.d"
+  "CMakeFiles/afs_sentinels.dir/notify.cpp.o"
+  "CMakeFiles/afs_sentinels.dir/notify.cpp.o.d"
+  "CMakeFiles/afs_sentinels.dir/pipeline.cpp.o"
+  "CMakeFiles/afs_sentinels.dir/pipeline.cpp.o.d"
+  "CMakeFiles/afs_sentinels.dir/policy.cpp.o"
+  "CMakeFiles/afs_sentinels.dir/policy.cpp.o.d"
+  "CMakeFiles/afs_sentinels.dir/regsent.cpp.o"
+  "CMakeFiles/afs_sentinels.dir/regsent.cpp.o.d"
+  "CMakeFiles/afs_sentinels.dir/remote.cpp.o"
+  "CMakeFiles/afs_sentinels.dir/remote.cpp.o.d"
+  "CMakeFiles/afs_sentinels.dir/tee.cpp.o"
+  "CMakeFiles/afs_sentinels.dir/tee.cpp.o.d"
+  "libafs_sentinels.a"
+  "libafs_sentinels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/afs_sentinels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/afs_util.dir/crc32.cpp.o"
+  "CMakeFiles/afs_util.dir/crc32.cpp.o.d"
+  "CMakeFiles/afs_util.dir/strings.cpp.o"
+  "CMakeFiles/afs_util.dir/strings.cpp.o.d"
+  "libafs_util.a"
+  "libafs_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/afs_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

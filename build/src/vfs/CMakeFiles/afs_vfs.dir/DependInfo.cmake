@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vfs/file_api.cpp" "src/vfs/CMakeFiles/afs_vfs.dir/file_api.cpp.o" "gcc" "src/vfs/CMakeFiles/afs_vfs.dir/file_api.cpp.o.d"
+  "/root/repo/src/vfs/host_file.cpp" "src/vfs/CMakeFiles/afs_vfs.dir/host_file.cpp.o" "gcc" "src/vfs/CMakeFiles/afs_vfs.dir/host_file.cpp.o.d"
+  "/root/repo/src/vfs/paths.cpp" "src/vfs/CMakeFiles/afs_vfs.dir/paths.cpp.o" "gcc" "src/vfs/CMakeFiles/afs_vfs.dir/paths.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/afs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/afs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/afs_vfs.dir/file_api.cpp.o"
+  "CMakeFiles/afs_vfs.dir/file_api.cpp.o.d"
+  "CMakeFiles/afs_vfs.dir/host_file.cpp.o"
+  "CMakeFiles/afs_vfs.dir/host_file.cpp.o.d"
+  "CMakeFiles/afs_vfs.dir/paths.cpp.o"
+  "CMakeFiles/afs_vfs.dir/paths.cpp.o.d"
+  "libafs_vfs.a"
+  "libafs_vfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/afs_vfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftp_test.dir/ftp_test.cpp.o"
+  "CMakeFiles/ftp_test.dir/ftp_test.cpp.o.d"
+  "ftp_test"
+  "ftp_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

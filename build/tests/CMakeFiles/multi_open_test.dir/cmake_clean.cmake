@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_open_test.dir/multi_open_test.cpp.o"
+  "CMakeFiles/multi_open_test.dir/multi_open_test.cpp.o.d"
+  "multi_open_test"
+  "multi_open_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_open_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/notify_test.dir/notify_test.cpp.o"
+  "CMakeFiles/notify_test.dir/notify_test.cpp.o.d"
+  "notify_test"
+  "notify_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/notify_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

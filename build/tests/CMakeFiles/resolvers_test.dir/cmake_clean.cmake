@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resolvers_test.dir/resolvers_test.cpp.o"
+  "CMakeFiles/resolvers_test.dir/resolvers_test.cpp.o.d"
+  "resolvers_test"
+  "resolvers_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resolvers_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

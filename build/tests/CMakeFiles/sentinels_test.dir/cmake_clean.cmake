@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sentinels_test.dir/sentinels_test.cpp.o"
+  "CMakeFiles/sentinels_test.dir/sentinels_test.cpp.o.d"
+  "sentinels_test"
+  "sentinels_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sentinels_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stream_strategy_test.dir/stream_strategy_test.cpp.o"
+  "CMakeFiles/stream_strategy_test.dir/stream_strategy_test.cpp.o.d"
+  "stream_strategy_test"
+  "stream_strategy_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stream_strategy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
