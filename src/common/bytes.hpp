@@ -22,11 +22,15 @@ inline Buffer ToBuffer(std::string_view s) {
 }
 
 inline std::string ToString(ByteSpan bytes) {
+  // uint8_t buffer viewed as chars; same object representation.
+  // NOLINTNEXTLINE(cppcoreguidelines-pro-type-reinterpret-cast)
   return std::string(reinterpret_cast<const char*>(bytes.data()),
                      bytes.size());
 }
 
 inline ByteSpan AsBytes(std::string_view s) {
+  // chars viewed as uint8_t; same object representation.
+  // NOLINTNEXTLINE(cppcoreguidelines-pro-type-reinterpret-cast)
   return ByteSpan(reinterpret_cast<const std::uint8_t*>(s.data()), s.size());
 }
 

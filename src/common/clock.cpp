@@ -17,18 +17,16 @@ void ManualClock::SleepFor(Micros duration) {
   if (duration.count() <= 0) return;
   const std::int64_t deadline =
       now_us_.load(std::memory_order_acquire) + duration.count();
-  std::unique_lock<std::mutex> lock(mu_);
-  cv_.wait(lock, [&] {
-    return now_us_.load(std::memory_order_acquire) >= deadline;
-  });
+  MutexLock lock(mu_);
+  while (now_us_.load(std::memory_order_acquire) < deadline) cv_.Wait(mu_);
 }
 
 void ManualClock::Advance(Micros delta) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     now_us_.fetch_add(delta.count(), std::memory_order_acq_rel);
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
 }
 
 }  // namespace afs

@@ -5,9 +5,9 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
-#include <mutex>
+
+#include "common/mutex.hpp"
 
 namespace afs {
 
@@ -53,9 +53,12 @@ class ManualClock final : public Clock {
   void Advance(Micros delta);
 
  private:
+  // now_us_ is atomic rather than mu_-guarded: Now() is the hot read path
+  // and must not contend with sleepers.  mu_ only serializes the
+  // Advance/SleepFor wakeup protocol.
   std::atomic<std::int64_t> now_us_{0};
-  std::mutex mu_;
-  std::condition_variable cv_;
+  Mutex mu_;
+  CondVar cv_;
 };
 
 }  // namespace afs

@@ -23,8 +23,8 @@ const char* LevelTag(LogLevel level) {
 
 void Logger::Write(LogLevel level, std::string_view component,
                    std::string_view message) {
-  if (static_cast<int>(level) < static_cast<int>(level_)) return;
-  std::lock_guard<std::mutex> lock(mu_);
+  if (static_cast<int>(level) < static_cast<int>(this->level())) return;
+  MutexLock lock(mu_);
   std::fprintf(stderr, "[%s %.*s] %.*s\n", LevelTag(level),
                static_cast<int>(component.size()), component.data(),
                static_cast<int>(message.size()), message.data());

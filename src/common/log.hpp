@@ -3,10 +3,12 @@
 // a single formatted write(2)-style emission per call under one mutex.
 #pragma once
 
-#include <mutex>
+#include <atomic>
 #include <sstream>
 #include <string>
 #include <string_view>
+
+#include "common/mutex.hpp"
 
 namespace afs {
 
@@ -16,16 +18,22 @@ class Logger {
  public:
   static Logger& Instance();
 
-  void SetLevel(LogLevel level) { level_ = level; }
-  LogLevel level() const { return level_; }
+  // level_ is atomic (not mu_-guarded): the AFS_LOG fast path reads it on
+  // every call site, concurrently with SetLevel from other threads.
+  // Relaxed suffices — a stale level only delays a verbosity change by one
+  // message, and the fast path stays a plain load + branch.
+  void SetLevel(LogLevel level) {
+    level_.store(level, std::memory_order_relaxed);
+  }
+  LogLevel level() const { return level_.load(std::memory_order_relaxed); }
 
   void Write(LogLevel level, std::string_view component,
              std::string_view message);
 
  private:
   Logger() = default;
-  LogLevel level_ = LogLevel::kWarn;
-  std::mutex mu_;
+  std::atomic<LogLevel> level_{LogLevel::kWarn};
+  Mutex mu_;  // serializes emission so lines never interleave
 };
 
 namespace log_internal {

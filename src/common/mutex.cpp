@@ -1,0 +1,216 @@
+#include "common/mutex.hpp"
+
+#include <execinfo.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace afs {
+namespace debug {
+namespace internal {
+
+std::atomic<bool> g_lock_order_checking{
+#ifdef AFS_DEADLOCK_DEBUG
+    true
+#else
+    false
+#endif
+};
+
+}  // namespace internal
+
+namespace {
+
+std::atomic<LockOrderHandler> g_handler{nullptr};
+
+// One recorded "held -> acquiring" observation, with the stack that first
+// established it.
+struct Edge {
+  std::string stack;
+};
+
+// Directed graph of observed acquisition orders, keyed by Mutex::id().
+// Guarded by GraphMu() — a raw std::mutex so the checker never instruments
+// itself.  Function-local statics dodge static-init-order hazards: a global
+// afs::Mutex may be constructed (and locked) before this TU's globals.
+std::mutex& GraphMu() {
+  static std::mutex mu;
+  return mu;
+}
+
+using EdgeMap = std::unordered_map<std::uint64_t, Edge>;
+
+std::unordered_map<std::uint64_t, EdgeMap>& GraphEdges() {
+  static auto* edges = new std::unordered_map<std::uint64_t, EdgeMap>();
+  return *edges;
+}
+
+// Per-thread stack of currently held afs::Mutexes, outermost first.
+thread_local std::vector<const Mutex*> t_held;
+
+std::string CaptureStack() {
+  void* frames[32];
+  const int depth = ::backtrace(frames, 32);
+  char** symbols = ::backtrace_symbols(frames, depth);
+  std::string out;
+  if (symbols != nullptr) {
+    // Frame 0..1 are the checker itself; the caller starts around frame 2.
+    for (int i = 2; i < depth; ++i) {
+      out += "    ";
+      out += symbols[i];
+      out += "\n";
+    }
+    std::free(symbols);
+  }
+  return out;
+}
+
+// DFS: fills `path` with ids from `from` to `to` (inclusive) when an
+// ordering path exists.  Caller holds GraphMu().
+bool FindPath(std::uint64_t from, std::uint64_t to,
+              std::unordered_set<std::uint64_t>& visited,
+              std::vector<std::uint64_t>& path) {
+  if (!visited.insert(from).second) return false;
+  path.push_back(from);
+  if (from == to) return true;
+  auto it = GraphEdges().find(from);
+  if (it != GraphEdges().end()) {
+    for (const auto& [next, edge] : it->second) {
+      if (FindPath(next, to, visited, path)) return true;
+    }
+  }
+  path.pop_back();
+  return false;
+}
+
+void Report(LockOrderViolation violation) {
+  char header[160];
+  std::snprintf(header, sizeof(header),
+                "afs::Mutex lock-order inversion (potential deadlock): "
+                "acquiring mutex #%llu while holding mutex #%llu, but the "
+                "opposite order was observed earlier.\n",
+                static_cast<unsigned long long>(violation.acquiring_id),
+                static_cast<unsigned long long>(violation.held_id));
+  violation.description = std::string(header) +
+                          "  this acquisition:\n" + violation.current_stack +
+                          "  earlier opposite-order acquisition:\n" +
+                          violation.prior_stack;
+  const LockOrderHandler handler = g_handler.load(std::memory_order_acquire);
+  if (handler != nullptr) {
+    handler(violation);
+    return;
+  }
+  std::fprintf(stderr, "%s", violation.description.c_str());
+  std::abort();
+}
+
+}  // namespace
+
+void EnableLockOrderChecking(bool enabled) {
+  internal::g_lock_order_checking.store(enabled, std::memory_order_relaxed);
+}
+
+bool LockOrderCheckingEnabled() { return internal::Tracking(); }
+
+LockOrderHandler SetLockOrderViolationHandler(LockOrderHandler handler) {
+  return g_handler.exchange(handler, std::memory_order_acq_rel);
+}
+
+void ResetLockOrderGraphForTesting() {
+  std::lock_guard<std::mutex> lock(GraphMu());
+  GraphEdges().clear();
+}
+
+namespace internal {
+
+void OnLockAttempt(const Mutex& mu) {
+  if (t_held.empty()) return;
+  const std::uint64_t acquiring = mu.id();
+  bool violated = false;
+  LockOrderViolation violation;
+  {
+    std::lock_guard<std::mutex> lock(GraphMu());
+    for (const Mutex* held : t_held) {
+      if (held == &mu) continue;  // recursive relock: not an ordering issue
+      const std::uint64_t held_id = held->id();
+      EdgeMap& out = GraphEdges()[held_id];
+      if (out.find(acquiring) != out.end()) continue;  // known-good order
+      // Adding held->acquiring closes a cycle iff acquiring already
+      // reaches held through recorded edges.
+      std::unordered_set<std::uint64_t> visited;
+      std::vector<std::uint64_t> path;
+      if (FindPath(acquiring, held_id, visited, path) && path.size() >= 2) {
+        violated = true;
+        violation.held_id = held_id;
+        violation.acquiring_id = acquiring;
+        violation.prior_stack = GraphEdges()[path[0]][path[1]].stack;
+        // The inverted edge is deliberately not recorded: the graph stays
+        // acyclic and every later occurrence reports again.
+        break;
+      }
+      out.emplace(acquiring, Edge{CaptureStack()});
+    }
+  }
+  if (violated) {
+    violation.current_stack = CaptureStack();
+    Report(std::move(violation));
+  }
+}
+
+void OnLockAcquired(const Mutex& mu) { t_held.push_back(&mu); }
+
+void OnUnlock(const Mutex& mu) {
+  // Locks normally release LIFO, but MutexLock::Unlock and CondVar::Wait
+  // may release out of order: erase the most recent matching entry.
+  for (auto it = t_held.rbegin(); it != t_held.rend(); ++it) {
+    if (*it == &mu) {
+      t_held.erase(std::next(it).base());
+      return;
+    }
+  }
+}
+
+}  // namespace internal
+}  // namespace debug
+
+namespace {
+
+std::uint64_t NextMutexId() {
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+Mutex::Mutex() : id_(NextMutexId()) {}
+
+void CondVar::Wait(Mutex& mu) {
+  const bool tracked = debug::internal::Tracking();
+  if (tracked) debug::internal::OnUnlock(mu);
+  // Adopt the already-held native mutex so the plain (and faster)
+  // std::condition_variable drives the wait; release it back unowned.
+  std::unique_lock<std::mutex> native(mu.mu_, std::adopt_lock);
+  cv_.wait(native);
+  native.release();
+  if (tracked) debug::internal::OnLockAcquired(mu);
+}
+
+bool CondVar::WaitUntil(Mutex& mu,
+                        std::chrono::steady_clock::time_point deadline) {
+  const bool tracked = debug::internal::Tracking();
+  if (tracked) debug::internal::OnUnlock(mu);
+  std::unique_lock<std::mutex> native(mu.mu_, std::adopt_lock);
+  const std::cv_status status = cv_.wait_until(native, deadline);
+  native.release();
+  if (tracked) debug::internal::OnLockAcquired(mu);
+  return status != std::cv_status::timeout;
+}
+
+void CondVar::NotifyOne() { cv_.notify_one(); }
+
+void CondVar::NotifyAll() { cv_.notify_all(); }
+
+}  // namespace afs

@@ -1,0 +1,181 @@
+// Annotated synchronization layer.
+//
+// afs::Mutex / afs::MutexLock / afs::CondVar wrap the std primitives with
+// two additions:
+//
+//   1. Clang thread-safety attributes (common/thread_annotations.hpp), so
+//      `-Wthread-safety` statically checks that AFS_GUARDED_BY members are
+//      only touched under their lock.
+//
+//   2. A debug lock-order checker: when enabled (compile afs_common with
+//      AFS_DEADLOCK_DEBUG, or call debug::EnableLockOrderChecking(true)),
+//      every thread maintains a held-lock stack and blocking acquisitions
+//      feed a global lock-order graph.  The first acquisition that would
+//      close a cycle (a lock inversion — potential deadlock) is reported
+//      with both acquisition stacks and the process aborts, unless a test
+//      installed a handler via debug::SetLockOrderViolationHandler.
+//
+// The checker costs one relaxed atomic load per lock operation when
+// disabled; release builds default to disabled.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "common/thread_annotations.hpp"
+
+namespace afs {
+
+class Mutex;
+
+namespace debug {
+
+// Delivered to the violation handler (or rendered to stderr before abort).
+struct LockOrderViolation {
+  std::uint64_t held_id = 0;       // lock already held by this thread
+  std::uint64_t acquiring_id = 0;  // lock whose acquisition closed the cycle
+  std::string current_stack;       // where the inverted acquisition happened
+  std::string prior_stack;         // where the opposite order was established
+  std::string description;         // full human-readable report
+};
+
+using LockOrderHandler = void (*)(const LockOrderViolation&);
+
+// Runtime switch for the lock-order checker (process-wide).  Compiling
+// afs_common with AFS_DEADLOCK_DEBUG makes it default-on.
+void EnableLockOrderChecking(bool enabled);
+bool LockOrderCheckingEnabled();
+
+// Installs a handler called instead of report-and-abort; returns the
+// previous handler.  Pass nullptr to restore the default.  Used by tests
+// to observe inversions without dying.
+LockOrderHandler SetLockOrderViolationHandler(LockOrderHandler handler);
+
+// Drops all recorded ordering edges (not the per-thread held stacks).
+void ResetLockOrderGraphForTesting();
+
+namespace internal {
+
+extern std::atomic<bool> g_lock_order_checking;
+
+inline bool Tracking() noexcept {
+  return g_lock_order_checking.load(std::memory_order_relaxed);
+}
+
+void OnLockAttempt(const Mutex& mu);   // before a blocking acquisition
+void OnLockAcquired(const Mutex& mu);  // after any successful acquisition
+void OnUnlock(const Mutex& mu);        // before release
+
+}  // namespace internal
+}  // namespace debug
+
+// Exclusive mutex, annotated as a thread-safety capability.  Same blocking
+// semantics as std::mutex; see file comment for the debug extras.
+class AFS_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex();
+  ~Mutex() = default;
+
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() AFS_ACQUIRE() {
+    if (debug::internal::Tracking()) debug::internal::OnLockAttempt(*this);
+    mu_.lock();
+    if (debug::internal::Tracking()) debug::internal::OnLockAcquired(*this);
+  }
+
+  // Never blocks, so it records the acquisition for the held-lock stack but
+  // adds no ordering edges (try-then-back-off is a legal avoidance pattern).
+  bool TryLock() AFS_TRY_ACQUIRE(true) {
+    if (!mu_.try_lock()) return false;
+    if (debug::internal::Tracking()) debug::internal::OnLockAcquired(*this);
+    return true;
+  }
+
+  void Unlock() AFS_RELEASE() {
+    if (debug::internal::Tracking()) debug::internal::OnUnlock(*this);
+    mu_.unlock();
+  }
+
+  // Lowercase aliases keep Mutex a C++ Lockable for generic code; prefer
+  // MutexLock, which the static analysis understands.
+  void lock() AFS_ACQUIRE() { Lock(); }
+  void unlock() AFS_RELEASE() { Unlock(); }
+  bool try_lock() AFS_TRY_ACQUIRE(true) { return TryLock(); }
+
+  // Stable identity used by the lock-order graph (ids are never reused,
+  // unlike addresses).
+  std::uint64_t id() const noexcept { return id_; }
+
+ private:
+  friend class CondVar;
+
+  std::mutex mu_;
+  const std::uint64_t id_;
+};
+
+// RAII lock.  Supports early release / re-acquire, which the analysis
+// tracks (relockable scoped capability).
+class AFS_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) AFS_ACQUIRE(mu) : mu_(mu), held_(true) {
+    mu_.Lock();
+  }
+
+  ~MutexLock() AFS_RELEASE() {
+    if (held_) mu_.Unlock();
+  }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  void Unlock() AFS_RELEASE() {
+    mu_.Unlock();
+    held_ = false;
+  }
+
+  void Lock() AFS_ACQUIRE() {
+    mu_.Lock();
+    held_ = true;
+  }
+
+ private:
+  Mutex& mu_;
+  bool held_;
+};
+
+// Condition variable bound to afs::Mutex.  Wait releases and reacquires the
+// mutex (updating the checker's held-lock stack), so the caller must hold
+// it.  No predicate overloads on purpose: write the standard
+//
+//   while (!condition) cv_.Wait(mu_);
+//
+// loop in the caller, where the thread-safety analysis can see the guarded
+// reads under the lock it tracks (predicates hidden in lambdas are analyzed
+// as separate functions and defeat the checker).
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void Wait(Mutex& mu) AFS_REQUIRES(mu);
+
+  // false iff the deadline passed without a notification (spurious wakeups
+  // still return true; callers loop on their condition as usual).
+  bool WaitUntil(Mutex& mu, std::chrono::steady_clock::time_point deadline)
+      AFS_REQUIRES(mu);
+
+  void NotifyOne();
+  void NotifyAll();
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace afs

@@ -1,0 +1,74 @@
+// Clang -Wthread-safety attribute macros.
+//
+// Sentinels run concurrently with the legacy application — forked processes,
+// injected threads sharing memory buffers, and server threads — so shared
+// state is annotated statically: a member is tagged with the mutex that
+// guards it (AFS_GUARDED_BY) and functions declare the locks they take or
+// require.  Under Clang the attributes make `-Wthread-safety` prove the
+// locking discipline at compile time; under other compilers they expand to
+// nothing.  Policy: every new shared member must carry AFS_GUARDED_BY (see
+// docs/STATIC_ANALYSIS.md).
+#pragma once
+
+#if defined(__clang__) && !defined(SWIG)
+#define AFS_THREAD_ANNOTATION__(x) __attribute__((x))
+#else
+#define AFS_THREAD_ANNOTATION__(x)  // no-op outside Clang
+#endif
+
+// On types: this class is a lock ("capability") the analysis can track.
+#define AFS_CAPABILITY(x) AFS_THREAD_ANNOTATION__(capability(x))
+
+// On types: RAII object that acquires a capability at construction and
+// releases it at destruction (afs::MutexLock).
+#define AFS_SCOPED_CAPABILITY AFS_THREAD_ANNOTATION__(scoped_lockable)
+
+// On data members: may only be read or written while holding `x`.
+#define AFS_GUARDED_BY(x) AFS_THREAD_ANNOTATION__(guarded_by(x))
+
+// On pointer members: the pointed-to data is guarded by `x` (the pointer
+// itself is not).
+#define AFS_PT_GUARDED_BY(x) AFS_THREAD_ANNOTATION__(pt_guarded_by(x))
+
+// On mutex members: document and enforce a global acquisition order.
+#define AFS_ACQUIRED_BEFORE(...) \
+  AFS_THREAD_ANNOTATION__(acquired_before(__VA_ARGS__))
+#define AFS_ACQUIRED_AFTER(...) \
+  AFS_THREAD_ANNOTATION__(acquired_after(__VA_ARGS__))
+
+// On functions: the caller must already hold the lock(s).
+#define AFS_REQUIRES(...) \
+  AFS_THREAD_ANNOTATION__(requires_capability(__VA_ARGS__))
+#define AFS_REQUIRES_SHARED(...) \
+  AFS_THREAD_ANNOTATION__(requires_shared_capability(__VA_ARGS__))
+
+// On functions: acquires / releases the lock(s); caller must not (resp.
+// must) hold them at the call.
+#define AFS_ACQUIRE(...) \
+  AFS_THREAD_ANNOTATION__(acquire_capability(__VA_ARGS__))
+#define AFS_ACQUIRE_SHARED(...) \
+  AFS_THREAD_ANNOTATION__(acquire_shared_capability(__VA_ARGS__))
+#define AFS_RELEASE(...) \
+  AFS_THREAD_ANNOTATION__(release_capability(__VA_ARGS__))
+#define AFS_RELEASE_SHARED(...) \
+  AFS_THREAD_ANNOTATION__(release_shared_capability(__VA_ARGS__))
+
+// On functions: acquires the lock only when returning `b`.
+#define AFS_TRY_ACQUIRE(...) \
+  AFS_THREAD_ANNOTATION__(try_acquire_capability(__VA_ARGS__))
+
+// On functions: must be called WITHOUT the lock(s) held (deadlock guard
+// for functions that take the lock themselves).
+#define AFS_EXCLUDES(...) AFS_THREAD_ANNOTATION__(locks_excluded(__VA_ARGS__))
+
+// On functions: runtime assertion that the capability is held.
+#define AFS_ASSERT_CAPABILITY(x) \
+  AFS_THREAD_ANNOTATION__(assert_capability(x))
+
+// On functions: returns a reference to the given capability.
+#define AFS_RETURN_CAPABILITY(x) AFS_THREAD_ANNOTATION__(lock_returned(x))
+
+// Escape hatch: disable analysis for one function.  Every use needs a
+// comment justifying why the discipline cannot be expressed.
+#define AFS_NO_THREAD_SAFETY_ANALYSIS \
+  AFS_THREAD_ANNOTATION__(no_thread_safety_analysis)

@@ -72,36 +72,36 @@ Status PipeEndpoint::AF_SendResponse(const ControlResponse& response) {
 }
 
 Status ThreadRendezvous::AF_SendControl(const ControlMessage& message) {
-  std::unique_lock<std::mutex> lock(mu_);
-  cv_.wait(lock, [&] {
-    return state_ == SlotState::kIdle || state_ == SlotState::kShutdown;
-  });
+  MutexLock lock(mu_);
+  while (state_ != SlotState::kIdle && state_ != SlotState::kShutdown) {
+    cv_.Wait(mu_);
+  }
   if (state_ == SlotState::kShutdown) return ClosedError("rendezvous closed");
   message_ = message;  // inline lanes pass by reference (spans)
   state_ = SlotState::kCommand;
-  lock.unlock();
-  cv_.notify_all();
+  lock.Unlock();
+  cv_.NotifyAll();
   return Status::Ok();
 }
 
 Result<ControlResponse> ThreadRendezvous::AF_GetResponse() {
-  std::unique_lock<std::mutex> lock(mu_);
-  cv_.wait(lock, [&] {
-    return state_ == SlotState::kResponse || state_ == SlotState::kShutdown;
-  });
+  MutexLock lock(mu_);
+  while (state_ != SlotState::kResponse && state_ != SlotState::kShutdown) {
+    cv_.Wait(mu_);
+  }
   if (state_ == SlotState::kShutdown) return ClosedError("rendezvous closed");
   ControlResponse response = std::move(response_);
   state_ = SlotState::kIdle;
-  lock.unlock();
-  cv_.notify_all();
+  lock.Unlock();
+  cv_.NotifyAll();
   return response;
 }
 
 Result<ControlMessage> ThreadRendezvous::AF_GetControl() {
-  std::unique_lock<std::mutex> lock(mu_);
-  cv_.wait(lock, [&] {
-    return state_ == SlotState::kCommand || state_ == SlotState::kShutdown;
-  });
+  MutexLock lock(mu_);
+  while (state_ != SlotState::kCommand && state_ != SlotState::kShutdown) {
+    cv_.Wait(mu_);
+  }
   if (state_ == SlotState::kShutdown) return ClosedError("rendezvous closed");
   // The slot stays occupied (kCommand) while the sentinel works; the
   // response transition frees it.
@@ -116,21 +116,21 @@ Result<Buffer> ThreadRendezvous::AF_GetDataFromAppl(std::size_t length) {
 }
 
 Status ThreadRendezvous::AF_SendResponse(const ControlResponse& response) {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (state_ == SlotState::kShutdown) return ClosedError("rendezvous closed");
   response_ = response;
   state_ = SlotState::kResponse;
-  lock.unlock();
-  cv_.notify_all();
+  lock.Unlock();
+  cv_.NotifyAll();
   return Status::Ok();
 }
 
 void ThreadRendezvous::Shutdown() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     state_ = SlotState::kShutdown;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
 }
 
 }  // namespace afs::core

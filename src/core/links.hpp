@@ -11,9 +11,7 @@
 //     ControlMessage, giving one user-level copy per transfer.
 #pragma once
 
-#include <condition_variable>
-#include <mutex>
-
+#include "common/mutex.hpp"
 #include "ipc/pipe.hpp"
 #include "sentinel/endpoint.hpp"
 
@@ -89,11 +87,11 @@ class ThreadRendezvous final : public sentinel::SentinelLink,
  private:
   enum class SlotState { kIdle, kCommand, kResponse, kShutdown };
 
-  std::mutex mu_;
-  std::condition_variable cv_;
-  SlotState state_ = SlotState::kIdle;
-  sentinel::ControlMessage message_;
-  sentinel::ControlResponse response_;
+  Mutex mu_;
+  CondVar cv_;
+  SlotState state_ AFS_GUARDED_BY(mu_) = SlotState::kIdle;
+  sentinel::ControlMessage message_ AFS_GUARDED_BY(mu_);
+  sentinel::ControlResponse response_ AFS_GUARDED_BY(mu_);
 };
 
 }  // namespace afs::core

@@ -2,10 +2,10 @@
 
 #include <cstring>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <utility>
 
+#include "common/mutex.hpp"
 #include "core/links.hpp"
 #include "ipc/process.hpp"
 #include "sentinel/dispatch.hpp"
@@ -111,11 +111,12 @@ class LinkHandle final : public vfs::FileHandle, public ActiveHandle {
         cleanup_(std::move(cleanup)) {}
 
   ~LinkHandle() override {
+    MutexLock lock(mu_);
     if (!closed_) RunCleanup();
   }
 
   Result<std::size_t> Read(MutableByteSpan out) override {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     ControlMessage msg;
     msg.op = ControlOp::kRead;
     msg.length = static_cast<std::uint32_t>(out.size());
@@ -131,7 +132,7 @@ class LinkHandle final : public vfs::FileHandle, public ActiveHandle {
   }
 
   Result<std::size_t> Write(ByteSpan data) override {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     ControlMessage msg;
     msg.op = ControlOp::kWrite;
     msg.length = static_cast<std::uint32_t>(data.size());
@@ -142,7 +143,7 @@ class LinkHandle final : public vfs::FileHandle, public ActiveHandle {
 
   Result<std::uint64_t> Seek(std::int64_t offset,
                              vfs::SeekOrigin origin) override {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     ControlMessage msg;
     msg.op = ControlOp::kSeek;
     msg.offset = offset;
@@ -152,7 +153,7 @@ class LinkHandle final : public vfs::FileHandle, public ActiveHandle {
   }
 
   Result<std::uint64_t> Size() override {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     ControlMessage msg;
     msg.op = ControlOp::kGetSize;
     AFS_ASSIGN_OR_RETURN(ControlResponse resp, RoundTrip(msg));
@@ -184,7 +185,7 @@ class LinkHandle final : public vfs::FileHandle, public ActiveHandle {
 
   // Application-specific command (exposed via ActiveFileManager::Control).
   Result<Buffer> Control(ByteSpan request) override {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     ControlMessage msg;
     msg.op = ControlOp::kCustom;
     msg.payload.assign(request.begin(), request.end());
@@ -195,12 +196,12 @@ class LinkHandle final : public vfs::FileHandle, public ActiveHandle {
   // Tears the connection down without the close protocol; used when the
   // open banner reports failure (the sentinel loop has already exited).
   void Abort() {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     RunCleanup();
   }
 
   Status Close() override {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (closed_) return Status::Ok();
     ControlMessage msg;
     msg.op = ControlOp::kClose;
@@ -216,7 +217,8 @@ class LinkHandle final : public vfs::FileHandle, public ActiveHandle {
   }
 
  private:
-  Result<ControlResponse> RoundTrip(const ControlMessage& msg) {
+  Result<ControlResponse> RoundTrip(const ControlMessage& msg)
+      AFS_REQUIRES(mu_) {
     if (closed_) return ClosedError("handle closed");
     AFS_RETURN_IF_ERROR(link_->AF_SendControl(msg));
     AFS_ASSIGN_OR_RETURN(ControlResponse resp, link_->AF_GetResponse());
@@ -227,7 +229,7 @@ class LinkHandle final : public vfs::FileHandle, public ActiveHandle {
   }
 
   Status SimpleOp(ControlOp op) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     ControlMessage msg;
     msg.op = op;
     AFS_ASSIGN_OR_RETURN(ControlResponse resp, RoundTrip(msg));
@@ -236,7 +238,7 @@ class LinkHandle final : public vfs::FileHandle, public ActiveHandle {
   }
 
   Status RangeOp(ControlOp op, std::uint64_t offset, std::uint64_t length) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     ControlMessage msg;
     msg.op = op;
     msg.offset = static_cast<std::int64_t>(offset);
@@ -246,7 +248,7 @@ class LinkHandle final : public vfs::FileHandle, public ActiveHandle {
     return Status::Ok();
   }
 
-  void RunCleanup() {
+  void RunCleanup() AFS_REQUIRES(mu_) {
     closed_ = true;
     if (cleanup_) {
       cleanup_();
@@ -254,11 +256,11 @@ class LinkHandle final : public vfs::FileHandle, public ActiveHandle {
     }
   }
 
-  std::mutex mu_;
+  Mutex mu_;
   sentinel::SentinelLink* link_;
   std::shared_ptr<void> keepalive_;
-  std::function<void()> cleanup_;
-  bool closed_ = false;
+  std::function<void()> cleanup_ AFS_GUARDED_BY(mu_);
+  bool closed_ AFS_GUARDED_BY(mu_) = false;
 };
 
 // ---------------------------------------------------------------------
@@ -274,11 +276,12 @@ class DirectHandle final : public vfs::FileHandle, public ActiveHandle {
   }
 
   ~DirectHandle() override {
+    MutexLock lock(mu_);
     if (!closed_) (void)DoClose();
   }
 
   Result<std::size_t> Read(MutableByteSpan out) override {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (closed_) return ClosedError("handle closed");
     AFS_ASSIGN_OR_RETURN(std::size_t n, sentinel_->OnRead(ctx_, out));
     ctx_.position += n;
@@ -286,7 +289,7 @@ class DirectHandle final : public vfs::FileHandle, public ActiveHandle {
   }
 
   Result<std::size_t> Write(ByteSpan data) override {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (closed_) return ClosedError("handle closed");
     AFS_ASSIGN_OR_RETURN(std::size_t n, sentinel_->OnWrite(ctx_, data));
     ctx_.position += n;
@@ -295,25 +298,25 @@ class DirectHandle final : public vfs::FileHandle, public ActiveHandle {
 
   Result<std::uint64_t> Seek(std::int64_t offset,
                              vfs::SeekOrigin origin) override {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (closed_) return ClosedError("handle closed");
     return sentinel_->OnSeek(ctx_, offset, origin);
   }
 
   Result<std::uint64_t> Size() override {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (closed_) return ClosedError("handle closed");
     return sentinel_->OnGetSize(ctx_);
   }
 
   Status SetEndOfFile() override {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (closed_) return ClosedError("handle closed");
     return sentinel_->OnSetEof(ctx_);
   }
 
   Status Flush() override {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (closed_) return ClosedError("handle closed");
     return sentinel_->OnFlush(ctx_);
   }
@@ -330,26 +333,27 @@ class DirectHandle final : public vfs::FileHandle, public ActiveHandle {
   }
 
   Status LockRange(std::uint64_t offset, std::uint64_t length) override {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return sentinel_->OnLock(ctx_, offset, length);
   }
   Status UnlockRange(std::uint64_t offset, std::uint64_t length) override {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return sentinel_->OnUnlock(ctx_, offset, length);
   }
 
   Result<Buffer> Control(ByteSpan request) override {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (closed_) return ClosedError("handle closed");
     return sentinel_->OnControl(ctx_, request);
   }
 
   Status Close() override {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return DoClose();
   }
 
   Status Open() {
+    MutexLock lock(mu_);
     const Status status = sentinel_->OnOpen(ctx_);
     // Mirror the dispatch loop's lifecycle: a failed OnOpen means no
     // session — OnClose must not run and nothing is written back.
@@ -359,7 +363,7 @@ class DirectHandle final : public vfs::FileHandle, public ActiveHandle {
   }
 
  private:
-  Status DoClose() {
+  Status DoClose() AFS_REQUIRES(mu_) {
     if (closed_) return Status::Ok();
     closed_ = true;
     const Status status = sentinel_->OnClose(ctx_);
@@ -367,12 +371,12 @@ class DirectHandle final : public vfs::FileHandle, public ActiveHandle {
     return status.ok() ? flushed : status;
   }
 
-  std::mutex mu_;
+  Mutex mu_;
   std::unique_ptr<sentinel::Sentinel> sentinel_;
-  SentinelContext ctx_;
-  CacheAssembly cache_;
-  bool opened_ = false;
-  bool closed_ = false;
+  SentinelContext ctx_ AFS_GUARDED_BY(mu_);
+  CacheAssembly cache_ AFS_GUARDED_BY(mu_);
+  bool opened_ AFS_GUARDED_BY(mu_) = false;
+  bool closed_ AFS_GUARDED_BY(mu_) = false;
 };
 
 // ---------------------------------------------------------------------
@@ -386,13 +390,13 @@ class ProcessHandle final : public vfs::FileHandle {
         child_(std::move(child)) {}
 
   Result<std::size_t> Read(MutableByteSpan out) override {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (closed_) return ClosedError("handle closed");
     return from_sentinel_.ReadSome(out);
   }
 
   Result<std::size_t> Write(ByteSpan data) override {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (closed_) return ClosedError("handle closed");
     AFS_RETURN_IF_ERROR(to_sentinel_.WriteAll(data));
     return data.size();
@@ -409,7 +413,7 @@ class ProcessHandle final : public vfs::FileHandle {
   }
 
   Status Close() override {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (closed_) return Status::Ok();
     closed_ = true;
     to_sentinel_.Close();    // sentinel's writer loop sees EOF
@@ -423,11 +427,11 @@ class ProcessHandle final : public vfs::FileHandle {
   }
 
  private:
-  std::mutex mu_;
-  ipc::PipeEnd to_sentinel_;
-  ipc::PipeEnd from_sentinel_;
-  ipc::ChildProcess child_;
-  bool closed_ = false;
+  Mutex mu_;
+  ipc::PipeEnd to_sentinel_ AFS_GUARDED_BY(mu_);
+  ipc::PipeEnd from_sentinel_ AFS_GUARDED_BY(mu_);
+  ipc::ChildProcess child_ AFS_GUARDED_BY(mu_);
+  bool closed_ AFS_GUARDED_BY(mu_) = false;
 };
 
 // ---------------------------------------------------------------------

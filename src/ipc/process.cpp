@@ -83,6 +83,9 @@ Result<ChildProcess> SpawnExec(const std::vector<std::string>& argv) {
   if (argv.empty()) return InvalidArgumentError("empty argv");
   std::vector<char*> cargv;
   cargv.reserve(argv.size() + 1);
+  // execv's argv is char* const[] for C compatibility; POSIX guarantees the
+  // strings are not modified, so shedding const here is safe.
+  // NOLINTNEXTLINE(cppcoreguidelines-pro-type-const-cast)
   for (const auto& a : argv) cargv.push_back(const_cast<char*>(a.c_str()));
   cargv.push_back(nullptr);
 

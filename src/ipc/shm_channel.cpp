@@ -4,23 +4,23 @@ namespace afs::ipc {
 
 Status ShmChannel::Write(ByteSpan bytes) {
   std::size_t done = 0;
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   while (done < bytes.size()) {
-    writable_.wait(lock, [&] { return closed_ || !ring_.full(); });
+    while (!closed_ && ring_.full()) writable_.Wait(mu_);
     if (closed_) return ClosedError("shm channel closed");
     done += ring_.Write(bytes.subspan(done));
-    readable_.notify_one();
+    readable_.NotifyOne();
   }
   return Status::Ok();
 }
 
 Result<std::size_t> ShmChannel::ReadSome(MutableByteSpan out) {
   if (out.empty()) return std::size_t{0};
-  std::unique_lock<std::mutex> lock(mu_);
-  readable_.wait(lock, [&] { return closed_ || !ring_.empty(); });
+  MutexLock lock(mu_);
+  while (!closed_ && ring_.empty()) readable_.Wait(mu_);
   if (ring_.empty()) return std::size_t{0};  // closed and drained
   const std::size_t n = ring_.Read(out);
-  writable_.notify_one();
+  writable_.NotifyOne();
   return n;
 }
 
@@ -37,24 +37,24 @@ Status ShmChannel::ReadExact(MutableByteSpan out) {
 
 void ShmChannel::Close() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     closed_ = true;
   }
-  readable_.notify_all();
-  writable_.notify_all();
+  readable_.NotifyAll();
+  writable_.NotifyAll();
 }
 
 void Event::Signal() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     ++pending_;
   }
-  cv_.notify_one();
+  cv_.NotifyOne();
 }
 
 bool Event::Wait() {
-  std::unique_lock<std::mutex> lock(mu_);
-  cv_.wait(lock, [&] { return pending_ > 0 || shutdown_; });
+  MutexLock lock(mu_);
+  while (pending_ == 0 && !shutdown_) cv_.Wait(mu_);
   if (pending_ == 0) return false;
   --pending_;
   return true;
@@ -62,10 +62,10 @@ bool Event::Wait() {
 
 void Event::Shutdown() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     shutdown_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
 }
 
 }  // namespace afs::ipc

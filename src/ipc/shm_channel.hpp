@@ -6,10 +6,8 @@
 // involvement beyond futex waits.
 #pragma once
 
-#include <condition_variable>
-#include <mutex>
-
 #include "common/bytes.hpp"
+#include "common/mutex.hpp"
 #include "common/status.hpp"
 #include "util/ring_buffer.hpp"
 
@@ -38,21 +36,21 @@ class ShmChannel {
   void Close();
 
   bool closed() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return closed_;
   }
 
   std::size_t buffered() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return ring_.size();
   }
 
  private:
-  mutable std::mutex mu_;
-  std::condition_variable readable_;
-  std::condition_variable writable_;
-  RingBuffer ring_;
-  bool closed_ = false;
+  mutable Mutex mu_;
+  CondVar readable_;
+  CondVar writable_;
+  RingBuffer ring_ AFS_GUARDED_BY(mu_);
+  bool closed_ AFS_GUARDED_BY(mu_) = false;
 };
 
 // Binary event ("manual-reset" false): Signal wakes exactly one waiter.
@@ -67,10 +65,10 @@ class Event {
   void Shutdown();
 
  private:
-  std::mutex mu_;
-  std::condition_variable cv_;
-  unsigned pending_ = 0;
-  bool shutdown_ = false;
+  Mutex mu_;
+  CondVar cv_;
+  unsigned pending_ AFS_GUARDED_BY(mu_) = 0;
+  bool shutdown_ AFS_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace afs::ipc

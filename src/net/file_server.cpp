@@ -10,7 +10,7 @@ Status FileServer::Put(const std::string& path, ByteSpan data) {
   if (path.empty()) return InvalidArgumentError("empty path");
   std::uint64_t rev;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     Entry& entry = files_[path];
     entry.data.assign(data.begin(), data.end());
     entry.revision = rev = next_revision_++;
@@ -23,7 +23,7 @@ Status FileServer::Append(const std::string& path, ByteSpan data) {
   if (path.empty()) return InvalidArgumentError("empty path");
   std::uint64_t rev;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     Entry& entry = files_[path];
     entry.data.insert(entry.data.end(), data.begin(), data.end());
     entry.revision = rev = next_revision_++;
@@ -37,7 +37,7 @@ Status FileServer::PutRange(const std::string& path, std::uint64_t offset,
   if (path.empty()) return InvalidArgumentError("empty path");
   std::uint64_t rev;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     Entry& entry = files_[path];
     const std::uint64_t end = offset + data.size();
     if (end > entry.data.size()) {
@@ -51,14 +51,14 @@ Status FileServer::PutRange(const std::string& path, std::uint64_t offset,
 }
 
 Result<Buffer> FileServer::Get(const std::string& path) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = files_.find(path);
   if (it == files_.end()) return NotFoundError("no remote file: " + path);
   return it->second.data;
 }
 
 FileStat FileServer::Stat(const std::string& path) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = files_.find(path);
   if (it == files_.end()) return FileStat{};
   return FileStat{true, it->second.data.size(), it->second.revision};
@@ -66,7 +66,7 @@ FileStat FileServer::Stat(const std::string& path) const {
 
 Status FileServer::Delete(const std::string& path) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (files_.erase(path) == 0) {
       return NotFoundError("no remote file: " + path);
     }
@@ -76,7 +76,7 @@ Status FileServer::Delete(const std::string& path) {
 }
 
 std::vector<std::string> FileServer::List(const std::string& prefix) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<std::string> names;
   for (const auto& [path, entry] : files_) {
     if (StartsWith(path, prefix)) names.push_back(path);
@@ -85,14 +85,14 @@ std::vector<std::string> FileServer::List(const std::string& prefix) const {
 }
 
 std::uint64_t FileServer::Subscribe(ChangeCallback callback) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const std::uint64_t id = next_subscriber_++;
   subscribers_[id] = std::move(callback);
   return id;
 }
 
 void FileServer::Unsubscribe(std::uint64_t id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   subscribers_.erase(id);
 }
 
@@ -100,7 +100,7 @@ void FileServer::NotifyChanged(const std::string& path,
                                std::uint64_t revision) {
   std::vector<ChangeCallback> callbacks;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     callbacks.reserve(subscribers_.size());
     for (const auto& [id, cb] : subscribers_) callbacks.push_back(cb);
   }
@@ -117,7 +117,7 @@ Result<Buffer> FileServer::Handle(ByteSpan request) {
   Buffer out;
   switch (static_cast<FileOp>(op)) {
     case FileOp::kGet: {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       auto it = files_.find(path);
       if (it == files_.end()) return NotFoundError("no remote file: " + path);
       AppendU64(out, it->second.revision);
@@ -130,7 +130,7 @@ Result<Buffer> FileServer::Handle(ByteSpan request) {
       if (!reader.ReadU64(offset) || !reader.ReadU32(length)) {
         return ProtocolError("malformed GETRANGE");
       }
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       auto it = files_.find(path);
       if (it == files_.end()) return NotFoundError("no remote file: " + path);
       const Buffer& data = it->second.data;
@@ -145,7 +145,7 @@ Result<Buffer> FileServer::Handle(ByteSpan request) {
     case FileOp::kGetIf: {
       std::uint64_t known = 0;
       if (!reader.ReadU64(known)) return ProtocolError("malformed GETIF");
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       auto it = files_.find(path);
       if (it == files_.end()) return NotFoundError("no remote file: " + path);
       if (it->second.revision == known) {

@@ -9,12 +9,12 @@
 #include <cstdint>
 #include <functional>
 #include <map>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "common/bytes.hpp"
+#include "common/mutex.hpp"
 #include "common/status.hpp"
 #include "net/rpc.hpp"
 
@@ -76,11 +76,11 @@ class FileServer final : public RpcHandler {
 
   void NotifyChanged(const std::string& path, std::uint64_t revision);
 
-  mutable std::mutex mu_;
-  std::map<std::string, Entry> files_;
-  std::uint64_t next_revision_ = 1;
-  std::map<std::uint64_t, ChangeCallback> subscribers_;
-  std::uint64_t next_subscriber_ = 1;
+  mutable Mutex mu_;
+  std::map<std::string, Entry> files_ AFS_GUARDED_BY(mu_);
+  std::uint64_t next_revision_ AFS_GUARDED_BY(mu_) = 1;
+  std::map<std::uint64_t, ChangeCallback> subscribers_ AFS_GUARDED_BY(mu_);
+  std::uint64_t next_subscriber_ AFS_GUARDED_BY(mu_) = 1;
 };
 
 // Typed client over any Transport.

@@ -88,6 +88,8 @@ Status FtpServer::Start() {
     return IoError(std::string("socket: ") + std::strerror(errno));
   }
   ::unlink(path_.c_str());
+  // sockaddr_un -> sockaddr is the POSIX-sanctioned sockets-API pun.
+  // NOLINTNEXTLINE(cppcoreguidelines-pro-type-reinterpret-cast)
   if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
           0 ||
       ::listen(listen_fd_, 16) != 0) {
@@ -112,7 +114,7 @@ void FtpServer::Stop() {
   if (accept_thread_.joinable()) accept_thread_.join();
   std::vector<std::thread> threads;
   {
-    std::lock_guard<std::mutex> lock(conn_mu_);
+    MutexLock lock(conn_mu_);
     threads.swap(conn_threads_);
     for (int fd : conn_fds_) ::shutdown(fd, SHUT_RDWR);
   }
@@ -120,7 +122,7 @@ void FtpServer::Stop() {
     if (t.joinable()) t.join();
   }
   {
-    std::lock_guard<std::mutex> lock(conn_mu_);
+    MutexLock lock(conn_mu_);
     conn_fds_.clear();
   }
   ::unlink(path_.c_str());
@@ -133,7 +135,7 @@ void FtpServer::AcceptLoop() {
       if (errno == EINTR) continue;
       return;
     }
-    std::lock_guard<std::mutex> lock(conn_mu_);
+    MutexLock lock(conn_mu_);
     conn_fds_.push_back(fd);
     conn_threads_.emplace_back([this, fd] { ServeConnection(fd); });
   }
@@ -222,6 +224,8 @@ Status FtpClient::EnsureConnected() {
   AFS_RETURN_IF_ERROR(FillSockaddr(path_, addr));
   fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
   if (fd_ < 0) return IoError(std::string("socket: ") + std::strerror(errno));
+  // sockaddr_un -> sockaddr is the POSIX-sanctioned sockets-API pun.
+  // NOLINTNEXTLINE(cppcoreguidelines-pro-type-reinterpret-cast)
   if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
     const int err = errno;
     Disconnect();
@@ -259,6 +263,8 @@ Result<std::string> FtpClient::ReadLine() {
     std::size_t i = 0;
     for (; i < pending_.size(); ++i) {
       if (pending_[i] == '\n') {
+        // uint8_t buffer viewed as chars; same object representation.
+        // NOLINTNEXTLINE(cppcoreguidelines-pro-type-reinterpret-cast)
         line.append(reinterpret_cast<const char*>(pending_.data()), i);
         pending_.erase(pending_.begin(),
                        pending_.begin() + static_cast<long>(i) + 1);

@@ -22,12 +22,12 @@
 
 #include <atomic>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "common/bytes.hpp"
+#include "common/mutex.hpp"
 #include "common/status.hpp"
 #include "net/file_server.hpp"
 
@@ -60,9 +60,9 @@ class FtpServer {
   std::atomic<bool> running_{false};
   std::atomic<std::uint64_t> commands_served_{0};
   std::thread accept_thread_;
-  std::mutex conn_mu_;
-  std::vector<std::thread> conn_threads_;
-  std::vector<int> conn_fds_;
+  Mutex conn_mu_;
+  std::vector<std::thread> conn_threads_ AFS_GUARDED_BY(conn_mu_);
+  std::vector<int> conn_fds_ AFS_GUARDED_BY(conn_mu_);
 };
 
 // Blocking single-connection client.

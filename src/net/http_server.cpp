@@ -128,6 +128,8 @@ Status HttpServer::Start() {
     return IoError(std::string("socket: ") + std::strerror(errno));
   }
   ::unlink(path_.c_str());
+  // sockaddr_un -> sockaddr is the POSIX-sanctioned sockets-API pun.
+  // NOLINTNEXTLINE(cppcoreguidelines-pro-type-reinterpret-cast)
   if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
           0 ||
       ::listen(listen_fd_, 16) != 0) {
@@ -152,7 +154,7 @@ void HttpServer::Stop() {
   if (accept_thread_.joinable()) accept_thread_.join();
   std::vector<std::thread> threads;
   {
-    std::lock_guard<std::mutex> lock(conn_mu_);
+    MutexLock lock(conn_mu_);
     threads.swap(conn_threads_);
     for (int fd : conn_fds_) ::shutdown(fd, SHUT_RDWR);
   }
@@ -160,7 +162,7 @@ void HttpServer::Stop() {
     if (t.joinable()) t.join();
   }
   {
-    std::lock_guard<std::mutex> lock(conn_mu_);
+    MutexLock lock(conn_mu_);
     conn_fds_.clear();
   }
   ::unlink(path_.c_str());
@@ -173,7 +175,7 @@ void HttpServer::AcceptLoop() {
       if (errno == EINTR) continue;
       return;
     }
-    std::lock_guard<std::mutex> lock(conn_mu_);
+    MutexLock lock(conn_mu_);
     conn_fds_.push_back(fd);
     conn_threads_.emplace_back([this, fd] { ServeConnection(fd); });
   }
@@ -272,6 +274,8 @@ Result<HttpResponse> HttpClient::Request(
   AFS_RETURN_IF_ERROR(FillSockaddr(path_, addr));
   const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
   if (fd < 0) return IoError(std::string("socket: ") + std::strerror(errno));
+  // sockaddr_un -> sockaddr is the POSIX-sanctioned sockets-API pun.
+  // NOLINTNEXTLINE(cppcoreguidelines-pro-type-reinterpret-cast)
   if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
     const int err = errno;
     ::close(fd);

@@ -14,12 +14,12 @@
 
 #include <atomic>
 #include <map>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "common/bytes.hpp"
+#include "common/mutex.hpp"
 #include "common/status.hpp"
 #include "net/file_server.hpp"
 
@@ -57,9 +57,9 @@ class HttpServer {
   std::atomic<bool> running_{false};
   std::atomic<std::uint64_t> requests_served_{0};
   std::thread accept_thread_;
-  std::mutex conn_mu_;
-  std::vector<std::thread> conn_threads_;
-  std::vector<int> conn_fds_;
+  Mutex conn_mu_;
+  std::vector<std::thread> conn_threads_ AFS_GUARDED_BY(conn_mu_);
+  std::vector<int> conn_fds_ AFS_GUARDED_BY(conn_mu_);
 };
 
 // One-request-per-connection client.

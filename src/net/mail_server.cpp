@@ -62,7 +62,7 @@ Result<MailMessage> ParseMessage(std::string_view text,
 Result<std::uint32_t> MailServer::Send(
     const MailMessage& message, const std::vector<std::string>& recipients) {
   if (recipients.empty()) return InvalidArgumentError("no recipients");
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (const auto& recipient : recipients) {
     MailMessage copy = message;
     copy.to = recipient;
@@ -73,7 +73,7 @@ Result<std::uint32_t> MailServer::Send(
 
 Result<std::vector<MailMessage>> MailServer::Mailbox(
     const std::string& user) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = mailboxes_.find(user);
   if (it == mailboxes_.end()) return std::vector<MailMessage>{};
   return it->second;
@@ -81,7 +81,7 @@ Result<std::vector<MailMessage>> MailServer::Mailbox(
 
 Status MailServer::DeleteMessage(const std::string& user,
                                  std::uint32_t index) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = mailboxes_.find(user);
   if (it == mailboxes_.end() || index >= it->second.size()) {
     return NotFoundError("no message " + std::to_string(index) + " for " +
@@ -92,7 +92,7 @@ Status MailServer::DeleteMessage(const std::string& user,
 }
 
 std::size_t MailServer::MailboxSize(const std::string& user) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = mailboxes_.find(user);
   return it == mailboxes_.end() ? 0 : it->second.size();
 }
@@ -107,7 +107,7 @@ Result<Buffer> MailServer::Handle(ByteSpan request) {
   Buffer out;
   switch (static_cast<MailOp>(op)) {
     case MailOp::kList: {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       auto it = mailboxes_.find(user);
       const std::size_t count =
           it == mailboxes_.end() ? 0 : it->second.size();
@@ -121,7 +121,7 @@ Result<Buffer> MailServer::Handle(ByteSpan request) {
     case MailOp::kRetrieve: {
       std::uint32_t index = 0;
       if (!reader.ReadU32(index)) return ProtocolError("malformed RETR");
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       auto it = mailboxes_.find(user);
       if (it == mailboxes_.end() || index >= it->second.size()) {
         return NotFoundError("no message " + std::to_string(index));

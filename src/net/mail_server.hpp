@@ -7,10 +7,10 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.hpp"
 #include "common/status.hpp"
 #include "net/rpc.hpp"
 
@@ -56,8 +56,9 @@ class MailServer final : public RpcHandler {
   Result<Buffer> Handle(ByteSpan request) override;
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::vector<MailMessage>> mailboxes_;
+  mutable Mutex mu_;
+  std::map<std::string, std::vector<MailMessage>> mailboxes_
+      AFS_GUARDED_BY(mu_);
 };
 
 class MailClient {

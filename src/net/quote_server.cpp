@@ -4,12 +4,12 @@ namespace afs::net {
 
 void QuoteServer::AddSymbol(const std::string& symbol,
                             std::int64_t price_cents) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   quotes_[symbol] = Quote{symbol, price_cents, now_tick_};
 }
 
 void QuoteServer::Tick(std::uint64_t ticks) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (std::uint64_t t = 0; t < ticks; ++t) {
     ++now_tick_;
     for (auto& [symbol, quote] : quotes_) {
@@ -27,14 +27,14 @@ void QuoteServer::Tick(std::uint64_t ticks) {
 }
 
 Result<Quote> QuoteServer::GetQuote(const std::string& symbol) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = quotes_.find(symbol);
   if (it == quotes_.end()) return NotFoundError("no symbol: " + symbol);
   return it->second;
 }
 
 std::vector<std::string> QuoteServer::Symbols() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<std::string> out;
   out.reserve(quotes_.size());
   for (const auto& [symbol, quote] : quotes_) out.push_back(symbol);
@@ -59,7 +59,7 @@ Result<Buffer> QuoteServer::Handle(ByteSpan request) {
         }
         symbols.push_back(std::move(symbol));
       }
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       AppendU32(out, static_cast<std::uint32_t>(symbols.size()));
       for (const auto& symbol : symbols) {
         auto it = quotes_.find(symbol);

@@ -6,10 +6,10 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.hpp"
 #include "common/status.hpp"
 #include "net/rpc.hpp"
 #include "util/prng.hpp"
@@ -47,10 +47,10 @@ class QuoteServer final : public RpcHandler {
   Result<Buffer> Handle(ByteSpan request) override;
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, Quote> quotes_;
-  std::uint64_t now_tick_ = 0;
-  Prng prng_;
+  mutable Mutex mu_;
+  std::map<std::string, Quote> quotes_ AFS_GUARDED_BY(mu_);
+  std::uint64_t now_tick_ AFS_GUARDED_BY(mu_) = 0;
+  Prng prng_ AFS_GUARDED_BY(mu_);
 };
 
 class QuoteClient {

@@ -9,7 +9,7 @@ std::string SimNet::LinkKey(const std::string& a, const std::string& b) {
 Status SimNet::AddLink(const std::string& a, const std::string& b,
                        LinkConfig config) {
   if (a == b) return InvalidArgumentError("self link: " + a);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   Link& link = links_[LinkKey(a, b)];
   link.config = config;
   if (config.bandwidth_bps > 0) {
@@ -25,7 +25,7 @@ Status SimNet::AddLink(const std::string& a, const std::string& b,
 
 Status SimNet::Mount(const std::string& node, const std::string& service,
                      RpcHandler& handler) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const std::string key = node + ":" + service;
   if (services_.count(key) != 0) {
     return AlreadyExistsError("service already mounted: " + key);
@@ -35,7 +35,7 @@ Status SimNet::Mount(const std::string& node, const std::string& service,
 }
 
 Status SimNet::Unmount(const std::string& node, const std::string& service) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (services_.erase(node + ":" + service) == 0) {
     return NotFoundError("no service: " + node + ":" + service);
   }
@@ -44,7 +44,7 @@ Status SimNet::Unmount(const std::string& node, const std::string& service) {
 
 Result<SimNet::Route> SimNet::ResolveRoute(const std::string& from,
                                            const std::string& to) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = links_.find(LinkKey(from, to));
   if (it == links_.end()) {
     return NotFoundError("no link between " + from + " and " + to);
@@ -59,7 +59,7 @@ Result<SimNet::Route> SimNet::ResolveRoute(const std::string& from,
 
 Result<RpcHandler*> SimNet::ResolveService(const std::string& node,
                                            const std::string& service) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = services_.find(node + ":" + service);
   if (it == services_.end()) {
     return NotFoundError("no service: " + node + ":" + service);
@@ -68,7 +68,7 @@ Result<RpcHandler*> SimNet::ResolveService(const std::string& node,
 }
 
 std::uint64_t SimNet::bytes_carried() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return bytes_carried_;
 }
 
@@ -95,7 +95,7 @@ class SimNet::SimTransport final : public Transport {
     Delay(back_route, envelope.size());
 
     {
-      std::lock_guard<std::mutex> lock(net_.mu_);
+      MutexLock lock(net_.mu_);
       net_.bytes_carried_ += request.size() + envelope.size();
     }
     return DecodeResponseEnvelope(envelope);

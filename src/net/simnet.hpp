@@ -14,10 +14,10 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 
 #include "common/clock.hpp"
+#include "common/mutex.hpp"
 #include "common/status.hpp"
 #include "net/rpc.hpp"
 #include "util/rate_limiter.hpp"
@@ -80,10 +80,11 @@ class SimNet {
                                      const std::string& service);
 
   Clock& clock_;
-  mutable std::mutex mu_;
-  std::map<std::string, Link> links_;
-  std::map<std::string, RpcHandler*> services_;  // "node:service"
-  std::uint64_t bytes_carried_ = 0;
+  mutable Mutex mu_;
+  std::map<std::string, Link> links_ AFS_GUARDED_BY(mu_);
+  // "node:service"
+  std::map<std::string, RpcHandler*> services_ AFS_GUARDED_BY(mu_);
+  std::uint64_t bytes_carried_ AFS_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace afs::net

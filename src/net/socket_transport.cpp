@@ -47,6 +47,8 @@ Status SocketServer::Start() {
     return IoError(std::string("socket: ") + std::strerror(errno));
   }
   ::unlink(path_.c_str());  // stale socket from a previous run
+  // sockaddr_un -> sockaddr is the POSIX-sanctioned sockets-API pun.
+  // NOLINTNEXTLINE(cppcoreguidelines-pro-type-reinterpret-cast)
   if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
       0) {
     const int err = errno;
@@ -77,7 +79,7 @@ void SocketServer::Stop() {
   if (accept_thread_.joinable()) accept_thread_.join();
   std::vector<std::thread> threads;
   {
-    std::lock_guard<std::mutex> lock(conn_mu_);
+    MutexLock lock(conn_mu_);
     threads.swap(conn_threads_);
     // Connection threads block in ReadFrame on idle-but-open connections;
     // shutdown makes those reads return so the joins below complete.
@@ -87,7 +89,7 @@ void SocketServer::Stop() {
     if (t.joinable()) t.join();
   }
   {
-    std::lock_guard<std::mutex> lock(conn_mu_);
+    MutexLock lock(conn_mu_);
     conn_fds_.clear();
   }
   ::unlink(path_.c_str());
@@ -100,7 +102,7 @@ void SocketServer::AcceptLoop() {
       if (errno == EINTR) continue;
       return;  // listening socket closed by Stop()
     }
-    std::lock_guard<std::mutex> lock(conn_mu_);
+    MutexLock lock(conn_mu_);
     conn_fds_.push_back(fd);
     conn_threads_.emplace_back([this, fd] { ServeConnection(fd); });
   }
@@ -137,6 +139,8 @@ Status SocketClient::EnsureConnected() {
   if (fd_ < 0) {
     return IoError(std::string("socket: ") + std::strerror(errno));
   }
+  // sockaddr_un -> sockaddr is the POSIX-sanctioned sockets-API pun.
+  // NOLINTNEXTLINE(cppcoreguidelines-pro-type-reinterpret-cast)
   if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
     const int err = errno;
     Disconnect();

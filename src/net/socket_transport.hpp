@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "common/clock.hpp"
+#include "common/mutex.hpp"
 #include "common/status.hpp"
 #include "net/rpc.hpp"
 
@@ -60,9 +61,10 @@ class SocketServer {
   std::atomic<bool> running_{false};
   std::atomic<std::uint64_t> requests_served_{0};
   std::thread accept_thread_;
-  std::mutex conn_mu_;
-  std::vector<std::thread> conn_threads_;
-  std::vector<int> conn_fds_;  // live connections, for Stop() to shut down
+  Mutex conn_mu_;
+  std::vector<std::thread> conn_threads_ AFS_GUARDED_BY(conn_mu_);
+  // Live connections, for Stop() to shut down.
+  std::vector<int> conn_fds_ AFS_GUARDED_BY(conn_mu_);
 };
 
 // Client transport: one connection, frames one request and blocks for one

@@ -107,6 +107,10 @@ Registry::Key* Registry::FindKey(std::string_view path) {
 }
 
 const Registry::Key* Registry::FindKey(std::string_view path) const {
+  // Standard const/non-const forwarding: the non-const overload never
+  // mutates, it only returns a pointer whose constness the caller's own
+  // constness restores here.
+  // NOLINTNEXTLINE(cppcoreguidelines-pro-type-const-cast)
   return const_cast<Registry*>(this)->FindKey(path);
 }
 
@@ -119,7 +123,7 @@ Registry::Key* Registry::EnsureKey(std::string_view path) {
 }
 
 Status Registry::CreateKey(std::string_view path) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   EnsureKey(path);
   ++revision_;
   return Status::Ok();
@@ -128,7 +132,7 @@ Status Registry::CreateKey(std::string_view path) {
 Status Registry::DeleteKey(std::string_view path) {
   const auto parts = PathComponents(path);
   if (parts.empty()) return InvalidArgumentError("cannot delete root key");
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   Key* node = &root_;
   for (std::size_t i = 0; i + 1 < parts.size(); ++i) {
     auto it = node->children.find(parts[i]);
@@ -145,14 +149,14 @@ Status Registry::DeleteKey(std::string_view path) {
 }
 
 bool Registry::KeyExists(std::string_view path) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return FindKey(path) != nullptr;
 }
 
 Status Registry::SetValue(std::string_view key_path, std::string_view name,
                           Value value) {
   if (name.empty()) return InvalidArgumentError("empty value name");
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   Key* key = FindKey(key_path);
   if (key == nullptr) return NotFoundError("no key: " + std::string(key_path));
   key->values[std::string(name)] = std::move(value);
@@ -162,7 +166,7 @@ Status Registry::SetValue(std::string_view key_path, std::string_view name,
 
 Result<Value> Registry::GetValue(std::string_view key_path,
                                  std::string_view name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const Key* key = FindKey(key_path);
   if (key == nullptr) return NotFoundError("no key: " + std::string(key_path));
   auto it = key->values.find(std::string(name));
@@ -175,7 +179,7 @@ Result<Value> Registry::GetValue(std::string_view key_path,
 
 Status Registry::DeleteValue(std::string_view key_path,
                              std::string_view name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   Key* key = FindKey(key_path);
   if (key == nullptr) return NotFoundError("no key: " + std::string(key_path));
   if (key->values.erase(std::string(name)) == 0) {
@@ -187,7 +191,7 @@ Status Registry::DeleteValue(std::string_view key_path,
 
 Result<std::vector<std::string>> Registry::ListKeys(
     std::string_view path) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const Key* key = FindKey(path);
   if (key == nullptr) return NotFoundError("no key: " + std::string(path));
   std::vector<std::string> names;
@@ -198,7 +202,7 @@ Result<std::vector<std::string>> Registry::ListKeys(
 
 Result<std::vector<std::string>> Registry::ListValues(
     std::string_view path) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const Key* key = FindKey(path);
   if (key == nullptr) return NotFoundError("no key: " + std::string(path));
   std::vector<std::string> names;
@@ -219,7 +223,7 @@ void Registry::RenderKey(const Key& key, const std::string& rel_path,
 }
 
 Result<std::string> Registry::RenderText(std::string_view path) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const Key* key = FindKey(path);
   if (key == nullptr) return NotFoundError("no key: " + std::string(path));
   std::string out;
@@ -254,14 +258,14 @@ Status Registry::ApplyText(std::string_view path, std::string_view text) {
     current->values[name] = std::move(value);
   }
 
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   *EnsureKey(path) = std::move(staged);
   ++revision_;
   return Status::Ok();
 }
 
 std::uint64_t Registry::revision() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return revision_;
 }
 

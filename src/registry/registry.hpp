@@ -6,13 +6,13 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <variant>
 #include <vector>
 
 #include "common/bytes.hpp"
+#include "common/mutex.hpp"
 #include "common/status.hpp"
 
 namespace afs::reg {
@@ -85,17 +85,17 @@ class Registry {
     std::map<std::string, Value> values;
   };
 
-  // Lock must be held.  nullptr when absent.
-  Key* FindKey(std::string_view path);
-  const Key* FindKey(std::string_view path) const;
-  Key* EnsureKey(std::string_view path);
+  // nullptr when absent.
+  Key* FindKey(std::string_view path) AFS_REQUIRES(mu_);
+  const Key* FindKey(std::string_view path) const AFS_REQUIRES(mu_);
+  Key* EnsureKey(std::string_view path) AFS_REQUIRES(mu_);
 
   static void RenderKey(const Key& key, const std::string& rel_path,
                         std::string& out);
 
-  mutable std::mutex mu_;
-  Key root_;
-  std::uint64_t revision_ = 0;
+  mutable Mutex mu_;
+  Key root_ AFS_GUARDED_BY(mu_);
+  std::uint64_t revision_ AFS_GUARDED_BY(mu_) = 0;
 };
 
 // Parses / renders a single value in the text encoding ("str:x", "dw:42",

@@ -5,7 +5,7 @@ namespace afs::sentinel {
 Status SentinelRegistry::Register(const std::string& name, Factory factory) {
   if (name.empty()) return InvalidArgumentError("empty sentinel name");
   if (factory == nullptr) return InvalidArgumentError("null factory");
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto [it, inserted] = factories_.emplace(name, std::move(factory));
   if (!inserted) {
     return AlreadyExistsError("sentinel already registered: " + name);
@@ -14,7 +14,7 @@ Status SentinelRegistry::Register(const std::string& name, Factory factory) {
 }
 
 bool SentinelRegistry::Has(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return factories_.count(name) != 0;
 }
 
@@ -22,7 +22,7 @@ Result<std::unique_ptr<Sentinel>> SentinelRegistry::Create(
     const SentinelSpec& spec) const {
   Factory factory;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = factories_.find(spec.name);
     if (it == factories_.end()) {
       return NotFoundError("no sentinel registered as '" + spec.name + "'");
@@ -37,7 +37,7 @@ Result<std::unique_ptr<Sentinel>> SentinelRegistry::Create(
 }
 
 std::vector<std::string> SentinelRegistry::Names() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<std::string> names;
   names.reserve(factories_.size());
   for (const auto& [name, factory] : factories_) names.push_back(name);

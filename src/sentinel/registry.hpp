@@ -10,10 +10,10 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.hpp"
 #include "common/status.hpp"
 #include "sentinel/sentinel.hpp"
 
@@ -50,8 +50,8 @@ class SentinelRegistry {
   static SentinelRegistry& Global();
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, Factory> factories_;
+  mutable Mutex mu_;
+  std::map<std::string, Factory> factories_ AFS_GUARDED_BY(mu_);
 };
 
 }  // namespace afs::sentinel

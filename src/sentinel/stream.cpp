@@ -1,15 +1,16 @@
 #include "sentinel/stream.hpp"
 
-#include <mutex>
 #include <thread>
+
+#include "common/mutex.hpp"
 
 namespace afs::sentinel {
 
 int RunStreamPump(Sentinel& sentinel, StreamIo& io, SentinelContext& ctx) {
-  std::mutex mu;  // serializes sentinel calls between the two pump threads
+  Mutex mu;  // serializes sentinel calls between the two pump threads
 
   {
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(mu);
     if (!sentinel.OnOpen(ctx).ok()) {
       io.finish_output();
       return 1;
@@ -23,7 +24,7 @@ int RunStreamPump(Sentinel& sentinel, StreamIo& io, SentinelContext& ctx) {
     while (true) {
       Result<std::size_t> got(std::size_t{0});
       {
-        std::lock_guard<std::mutex> lock(mu);
+        MutexLock lock(mu);
         ctx.position = read_pos;
         got = sentinel.OnRead(ctx, MutableByteSpan(chunk));
       }
@@ -42,7 +43,7 @@ int RunStreamPump(Sentinel& sentinel, StreamIo& io, SentinelContext& ctx) {
   while (true) {
     Result<std::size_t> got = io.read_from_app(MutableByteSpan(chunk));
     if (!got.ok() || *got == 0) break;  // EOF: application closed the file
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(mu);
     ctx.position = write_pos;
     Result<std::size_t> wrote =
         sentinel.OnWrite(ctx, ByteSpan(chunk.data(), *got));
@@ -51,7 +52,7 @@ int RunStreamPump(Sentinel& sentinel, StreamIo& io, SentinelContext& ctx) {
   }
 
   reader.join();
-  std::lock_guard<std::mutex> lock(mu);
+  MutexLock lock(mu);
   return sentinel.OnClose(ctx).ok() ? 0 : 1;
 }
 

@@ -8,14 +8,14 @@ namespace afs::sentinels {
 
 std::uint64_t NotificationHub::Subscribe(const std::string& topic,
                                          Callback callback) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const std::uint64_t id = next_id_++;
   subscriptions_[id] = Subscription{topic, std::move(callback)};
   return id;
 }
 
 void NotificationHub::Unsubscribe(std::uint64_t id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   subscriptions_.erase(id);
 }
 
@@ -23,7 +23,7 @@ void NotificationHub::Publish(const std::string& topic,
                               const AccessEvent& event) {
   std::vector<Callback> callbacks;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     ++published_[topic];
     for (const auto& [id, sub] : subscriptions_) {
       if (sub.topic == topic) callbacks.push_back(sub.callback);
@@ -33,7 +33,7 @@ void NotificationHub::Publish(const std::string& topic,
 }
 
 std::uint64_t NotificationHub::PublishedCount(const std::string& topic) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = published_.find(topic);
   return it == published_.end() ? 0 : it->second;
 }

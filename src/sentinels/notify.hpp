@@ -10,10 +10,10 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.hpp"
 #include "sentinel/registry.hpp"
 #include "sentinel/sentinel.hpp"
 
@@ -51,10 +51,10 @@ class NotificationHub {
     Callback callback;
   };
 
-  mutable std::mutex mu_;
-  std::map<std::uint64_t, Subscription> subscriptions_;
-  std::map<std::string, std::uint64_t> published_;
-  std::uint64_t next_id_ = 1;
+  mutable Mutex mu_;
+  std::map<std::uint64_t, Subscription> subscriptions_ AFS_GUARDED_BY(mu_);
+  std::map<std::string, std::uint64_t> published_ AFS_GUARDED_BY(mu_);
+  std::uint64_t next_id_ AFS_GUARDED_BY(mu_) = 1;
 };
 
 // "notify": pass-through to the data part, publishing an AccessEvent per

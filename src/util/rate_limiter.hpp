@@ -5,9 +5,9 @@
 
 #include <algorithm>
 #include <cstdint>
-#include <mutex>
 
 #include "common/clock.hpp"
+#include "common/mutex.hpp"
 
 namespace afs {
 
@@ -28,7 +28,7 @@ class RateLimiter {
   // sleeping on the limiter's own thread.
   Micros ReserveDelay(std::uint64_t bytes) {
     if (rate_ == 0) return Micros(0);
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     Refill();
     tokens_ -= static_cast<double>(bytes);
     if (tokens_ >= 0) return Micros(0);
@@ -40,7 +40,7 @@ class RateLimiter {
   std::uint64_t rate_bytes_per_second() const noexcept { return rate_; }
 
  private:
-  void Refill() {
+  void Refill() AFS_REQUIRES(mu_) {
     const Micros now = clock_.Now();
     const double elapsed_s =
         static_cast<double>((now - last_).count()) / 1e6;
@@ -52,9 +52,9 @@ class RateLimiter {
   Clock& clock_;
   const std::uint64_t rate_;
   const std::uint64_t burst_;
-  std::mutex mu_;
-  double tokens_;
-  Micros last_;
+  Mutex mu_;
+  double tokens_ AFS_GUARDED_BY(mu_);
+  Micros last_ AFS_GUARDED_BY(mu_);
 };
 
 }  // namespace afs

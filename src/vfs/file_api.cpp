@@ -31,7 +31,7 @@ Result<HandleId> FileApi::CreateFile(const std::string& path,
   AFS_ASSIGN_OR_RETURN(std::string normalized, NormalizePath(path));
   std::vector<OpenInterceptor*> interceptors;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     interceptors.assign(interceptors_.rbegin(), interceptors_.rend());
   }
   std::unique_ptr<FileHandle> handle;
@@ -44,7 +44,7 @@ Result<HandleId> FileApi::CreateFile(const std::string& path,
     AFS_ASSIGN_OR_RETURN(std::string host, HostPath(normalized));
     AFS_ASSIGN_OR_RETURN(handle, HostFileHandle::Open(host, options));
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const HandleId id = next_handle_++;
   handles_[id] = std::move(handle);
   return id;
@@ -58,7 +58,7 @@ Result<HandleId> FileApi::OpenFile(const std::string& path, OpenMode mode) {
 }
 
 Result<FileHandle*> FileApi::Lookup(HandleId handle) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = handles_.find(handle);
   if (it == handles_.end()) {
     return InvalidArgumentError("bad handle " + std::to_string(handle));
@@ -119,7 +119,7 @@ Status FileApi::UnlockFileRange(HandleId handle, std::uint64_t offset,
 Status FileApi::CloseHandle(HandleId handle) {
   std::unique_ptr<FileHandle> file;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = handles_.find(handle);
     if (it == handles_.end()) {
       return InvalidArgumentError("bad handle " + std::to_string(handle));
@@ -228,30 +228,30 @@ Status FileApi::WriteWholeFile(const std::string& path, ByteSpan data) {
 }
 
 void FileApi::InstallInterceptor(OpenInterceptor* interceptor) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   interceptors_.push_back(interceptor);
 }
 
 void FileApi::RemoveInterceptor(OpenInterceptor* interceptor) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   interceptors_.erase(
       std::remove(interceptors_.begin(), interceptors_.end(), interceptor),
       interceptors_.end());
 }
 
 std::size_t FileApi::interceptor_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return interceptors_.size();
 }
 
 FileHandle* FileApi::RawHandle(HandleId handle) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = handles_.find(handle);
   return it == handles_.end() ? nullptr : it->second.get();
 }
 
 std::size_t FileApi::open_handle_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return handles_.size();
 }
 

@@ -14,11 +14,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/bytes.hpp"
+#include "common/mutex.hpp"
 #include "common/status.hpp"
 #include "vfs/file_handle.hpp"
 #include "vfs/host_file.hpp"
@@ -108,10 +108,11 @@ class FileApi {
   Result<FileHandle*> Lookup(HandleId handle);
 
   std::string root_;
-  mutable std::mutex mu_;
-  std::map<HandleId, std::unique_ptr<FileHandle>> handles_;
-  HandleId next_handle_ = 1;
-  std::vector<OpenInterceptor*> interceptors_;
+  mutable Mutex mu_;
+  std::map<HandleId, std::unique_ptr<FileHandle>> handles_
+      AFS_GUARDED_BY(mu_);
+  HandleId next_handle_ AFS_GUARDED_BY(mu_) = 1;
+  std::vector<OpenInterceptor*> interceptors_ AFS_GUARDED_BY(mu_);
 };
 
 }  // namespace afs::vfs

@@ -86,6 +86,8 @@ TEST_F(FtpTest, ServerSurvivesMalformedCommands) {
                sizeof(addr.sun_path) - 1);
   const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
   ASSERT_GE(fd, 0);
+  // sockaddr_un -> sockaddr is the POSIX-sanctioned sockets-API pun.
+  // NOLINTNEXTLINE(cppcoreguidelines-pro-type-reinterpret-cast)
   ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
             0);
   const char junk[] = "FROB x\nSTOR\nSTOR a notanumber\nRETR\n";

@@ -92,6 +92,8 @@ TEST_F(HttpTest, UnknownMethodIs405AndBadRequestIs400) {
                sizeof(addr.sun_path) - 1);
   const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
   ASSERT_GE(fd, 0);
+  // sockaddr_un -> sockaddr is the POSIX-sanctioned sockets-API pun.
+  // NOLINTNEXTLINE(cppcoreguidelines-pro-type-reinterpret-cast)
   ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
             0);
   const char junk[] = "NONSENSE\r\n\r\n";
@@ -113,6 +115,8 @@ TEST_F(HttpTest, PutWithoutContentLengthIs400) {
                sizeof(addr.sun_path) - 1);
   const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
   ASSERT_GE(fd, 0);
+  // sockaddr_un -> sockaddr is the POSIX-sanctioned sockets-API pun.
+  // NOLINTNEXTLINE(cppcoreguidelines-pro-type-reinterpret-cast)
   ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
             0);
   const char req[] = "PUT /x HTTP/1.0\r\nHost: afs\r\n\r\n";

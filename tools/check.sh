@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# Concurrency-correctness driver: clang-tidy (when available) plus the
+# sanitizer build/test matrices.  See docs/STATIC_ANALYSIS.md.
+#
+#   tools/check.sh            # everything
+#   tools/check.sh tidy       # clang-tidy only
+#   tools/check.sh asan       # AddressSanitizer+UBSan build, full ctest
+#   tools/check.sh tsan       # ThreadSanitizer build, ctest -L tsan
+#
+# Clang-only stages (clang-tidy, -Wthread-safety) are skipped with a notice
+# when the tools are not installed; the sanitizer lanes work with GCC.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS=${JOBS:-$(nproc)}
+STAGE=${1:-all}
+
+run_tidy() {
+  if ! command -v clang-tidy >/dev/null 2>&1; then
+    echo "== tidy: clang-tidy not found; skipping (install LLVM to enable)"
+    return 0
+  fi
+  echo "== tidy: generating compile commands"
+  cmake -B build-tidy -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+  echo "== tidy: running clang-tidy over src/"
+  find src -name '*.cpp' -print0 |
+    xargs -0 -P "$JOBS" -n 8 clang-tidy -p build-tidy --quiet
+  echo "== tidy: clean"
+}
+
+run_sanitizer() {
+  local name=$1 sanitize=$2 ctest_args=$3
+  local dir="build-$name"
+  echo "== $name: configuring ($sanitize)"
+  cmake -B "$dir" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DAFS_SANITIZE="$sanitize" -DAFS_DEADLOCK_DEBUG=ON >/dev/null
+  echo "== $name: building"
+  cmake --build "$dir" -j "$JOBS" >/dev/null
+  echo "== $name: testing ($ctest_args)"
+  # shellcheck disable=SC2086  # ctest_args is intentionally word-split
+  (cd "$dir" && ctest --output-on-failure -j "$JOBS" $ctest_args)
+  echo "== $name: clean"
+}
+
+case "$STAGE" in
+  tidy) run_tidy ;;
+  asan) run_sanitizer asan "address;undefined" "" ;;
+  tsan) run_sanitizer tsan "thread" "-L tsan" ;;
+  all)
+    run_tidy
+    run_sanitizer asan "address;undefined" ""
+    run_sanitizer tsan "thread" "-L tsan"
+    ;;
+  *)
+    echo "usage: tools/check.sh [tidy|asan|tsan|all]" >&2
+    exit 2
+    ;;
+esac
