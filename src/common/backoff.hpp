@@ -1,0 +1,36 @@
+// Bounded exponential backoff for retrying transient failures (lost
+// connections, busy locks).  Every retry loop in the library goes through
+// this helper so retries are always bounded — an unbounded retry is just a
+// hang with extra steps, the failure mode the fault matrix exists to catch.
+#pragma once
+
+#include "common/clock.hpp"
+
+namespace afs {
+
+class Backoff {
+ public:
+  // `max_retries` bounds how many times Next() returns true; the delay
+  // starts at `initial` and doubles per retry, capped at `cap`.
+  Backoff(int max_retries, Micros initial, Micros cap) noexcept
+      : remaining_(max_retries), delay_(initial), cap_(cap) {}
+
+  // True if another retry is allowed — in which case the current delay has
+  // been slept on `clock` and doubled for next time.  False once exhausted.
+  bool Next(Clock& clock) {
+    if (remaining_ <= 0) return false;
+    --remaining_;
+    if (delay_.count() > 0) clock.SleepFor(delay_);
+    delay_ = delay_ * 2 > cap_ ? cap_ : delay_ * 2;
+    return true;
+  }
+
+  int remaining() const noexcept { return remaining_; }
+
+ private:
+  int remaining_;
+  Micros delay_;
+  const Micros cap_;
+};
+
+}  // namespace afs

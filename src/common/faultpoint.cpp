@@ -1,0 +1,407 @@
+#include "common/faultpoint.hpp"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <csignal>
+#include <cstdlib>
+
+#include "common/log.hpp"
+#include "common/mutex.hpp"
+
+namespace afs::fault {
+namespace {
+
+// Local string helpers: afs_common sits below afs_util, so the plan parser
+// cannot use util/strings.hpp.
+
+bool StartsWith(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+bool EndsWith(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.substr(s.size() - suffix.size()) == suffix;
+}
+
+std::pair<std::string_view, std::string_view> SplitOnce(std::string_view s,
+                                                        char sep) {
+  const std::size_t pos = s.find(sep);
+  if (pos == std::string_view::npos) return {s, {}};
+  return {s.substr(0, pos), s.substr(pos + 1)};
+}
+
+std::string_view Trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+bool ParseU64(std::string_view s, std::uint64_t& out) {
+  if (s.empty()) return false;
+  std::uint64_t value = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') return false;
+    const std::uint64_t digit = static_cast<std::uint64_t>(c - '0');
+    if (value > (UINT64_MAX - digit) / 10) return false;
+    value = value * 10 + digit;
+  }
+  out = value;
+  return true;
+}
+
+// SplitMix64: cheap seeded stream for probabilistic triggers.  Not Prng
+// (util/) to keep afs_common dependency-free; two rounds of the same
+// constants give ample quality for coin flips.
+class TriggerRng {
+ public:
+  void Seed(std::uint64_t seed) noexcept { state_ = seed; }
+
+  double NextDouble() noexcept {  // [0, 1)
+    state_ += 0x9E3779B97F4A7C15ull;
+    std::uint64_t z = state_;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    z ^= z >> 31;
+    return static_cast<double>(z >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  std::uint64_t state_ = 1;
+};
+
+struct PlanState {
+  Mutex mu;
+  FaultPlan plan AFS_GUARDED_BY(mu);
+  std::vector<std::uint64_t> hits AFS_GUARDED_BY(mu);  // per rule
+  TriggerRng rng AFS_GUARDED_BY(mu);
+  std::atomic<std::uint64_t> triggered{0};
+};
+
+PlanState& State() {
+  static PlanState* state = new PlanState();  // leaked: outlives all threads
+  return *state;
+}
+
+bool SiteMatches(const std::string& pattern, std::string_view site) {
+  if (!pattern.empty() && pattern.back() == '*') {
+    return StartsWith(site, std::string_view(pattern).substr(
+                                0, pattern.size() - 1));
+  }
+  return site == pattern;
+}
+
+// The plan-syntax spelling of an error code: the inverse of ParseErrorName,
+// so rendered plans (ToString, replay log lines) parse back.
+std::string_view ShortErrorName(ErrorCode code) noexcept {
+  switch (code) {
+    case ErrorCode::kIoError: return "io";
+    case ErrorCode::kTimeout: return "timeout";
+    case ErrorCode::kClosed: return "closed";
+    case ErrorCode::kRemoteError: return "remote";
+    case ErrorCode::kBusy: return "busy";
+    case ErrorCode::kNotFound: return "notfound";
+    case ErrorCode::kCorrupt: return "corrupt";
+    case ErrorCode::kInternal: return "internal";
+    default: return "io";  // ParsePlan never produces other codes
+  }
+}
+
+// One rule in plan syntax; shared by FaultPlan::ToString and the replay
+// line logged at every trigger.
+std::string RuleToString(const FaultRule& rule) {
+  std::string out = rule.site + "=" + std::string(FaultKindName(rule.kind));
+  switch (rule.kind) {
+    case FaultKind::kError:
+      out += ":" + std::string(ShortErrorName(rule.error));
+      break;
+    case FaultKind::kDelay:
+      out += ":" + std::to_string(rule.delay.count()) + "us";
+      break;
+    case FaultKind::kTruncate:
+      out += ":" + std::to_string(rule.truncate_to);
+      break;
+    case FaultKind::kKill:
+      break;
+  }
+  if (rule.nth != 0) {
+    out += "@n" + std::to_string(rule.nth);
+  } else if (rule.probability < 1.0) {
+    out += "@p" + std::to_string(rule.probability);
+  }
+  return out;
+}
+
+void LogTrigger(const FaultRule& rule, std::string_view site,
+                std::uint64_t seed, std::uint64_t hit) {
+  AFS_LOG(kWarn, "afs.fault")
+      << "injected " << FaultKindName(rule.kind) << " at " << site
+      << " (hit " << hit << ", seed " << seed
+      << "; replay: AFS_FAULT_PLAN=\"" << "seed=" << seed << ";"
+      << RuleToString(rule) << "\")";
+}
+
+// Decides whether `rule` fires on this hit; mu held for counter/rng state.
+bool ShouldFire(PlanState& state, std::size_t rule_index)
+    AFS_REQUIRES(state.mu) {
+  const FaultRule& rule = state.plan.rules[rule_index];
+  const std::uint64_t hit = ++state.hits[rule_index];
+  if (rule.nth != 0) return hit == rule.nth;
+  if (rule.probability >= 1.0) return true;
+  return state.rng.NextDouble() < rule.probability;
+}
+
+Result<Micros> ParseDuration(std::string_view text) {
+  std::string_view digits = text;
+  std::uint64_t scale = 1000;  // default ms
+  if (EndsWith(text, "us")) {
+    scale = 1;
+    digits = text.substr(0, text.size() - 2);
+  } else if (EndsWith(text, "ms")) {
+    scale = 1000;
+    digits = text.substr(0, text.size() - 2);
+  } else if (EndsWith(text, "s")) {
+    scale = 1000 * 1000;
+    digits = text.substr(0, text.size() - 1);
+  }
+  std::uint64_t value = 0;
+  if (!ParseU64(std::string(digits), value)) {
+    return InvalidArgumentError("fault plan: bad duration '" +
+                                std::string(text) + "'");
+  }
+  return Micros(static_cast<std::int64_t>(value * scale));
+}
+
+Result<ErrorCode> ParseErrorName(std::string_view name) {
+  if (name.empty() || name == "io") return ErrorCode::kIoError;
+  if (name == "timeout") return ErrorCode::kTimeout;
+  if (name == "closed") return ErrorCode::kClosed;
+  if (name == "remote") return ErrorCode::kRemoteError;
+  if (name == "busy") return ErrorCode::kBusy;
+  if (name == "notfound") return ErrorCode::kNotFound;
+  if (name == "corrupt") return ErrorCode::kCorrupt;
+  if (name == "internal") return ErrorCode::kInternal;
+  return InvalidArgumentError("fault plan: unknown error code '" +
+                              std::string(name) + "'");
+}
+
+Result<FaultRule> ParseRule(std::string_view site, std::string_view action) {
+  FaultRule rule;
+  rule.site = std::string(site);
+
+  auto [body, trigger] = SplitOnce(action, '@');
+  auto [kind, arg] = SplitOnce(body, ':');
+
+  if (kind == "error") {
+    rule.kind = FaultKind::kError;
+    AFS_ASSIGN_OR_RETURN(rule.error, ParseErrorName(arg));
+  } else if (kind == "delay") {
+    rule.kind = FaultKind::kDelay;
+    AFS_ASSIGN_OR_RETURN(
+        rule.delay, ParseDuration(arg.empty() ? std::string_view("1ms") : arg));
+  } else if (kind == "truncate") {
+    rule.kind = FaultKind::kTruncate;
+    std::uint64_t keep = 0;
+    if (!arg.empty() && !ParseU64(std::string(arg), keep)) {
+      return InvalidArgumentError("fault plan: bad truncate count '" +
+                                  std::string(arg) + "'");
+    }
+    rule.truncate_to = static_cast<std::size_t>(keep);
+  } else if (kind == "kill") {
+    rule.kind = FaultKind::kKill;
+  } else {
+    return InvalidArgumentError("fault plan: unknown kind '" +
+                                std::string(kind) + "'");
+  }
+
+  if (!trigger.empty()) {
+    if (trigger[0] == 'n') {
+      std::uint64_t nth = 0;
+      if (!ParseU64(std::string(trigger.substr(1)), nth) || nth == 0) {
+        return InvalidArgumentError("fault plan: bad trigger '" +
+                                    std::string(trigger) + "'");
+      }
+      rule.nth = nth;
+    } else if (trigger[0] == 'p') {
+      char* end = nullptr;
+      const std::string text(trigger.substr(1));
+      const double p = std::strtod(text.c_str(), &end);
+      if (end == text.c_str() || *end != '\0' || p < 0.0 || p > 1.0) {
+        return InvalidArgumentError("fault plan: bad probability '" +
+                                    std::string(trigger) + "'");
+      }
+      rule.probability = p;
+    } else {
+      return InvalidArgumentError("fault plan: bad trigger '" +
+                                  std::string(trigger) + "'");
+    }
+  }
+  return rule;
+}
+
+}  // namespace
+
+std::string_view FaultKindName(FaultKind kind) noexcept {
+  switch (kind) {
+    case FaultKind::kError: return "error";
+    case FaultKind::kDelay: return "delay";
+    case FaultKind::kTruncate: return "truncate";
+    case FaultKind::kKill: return "kill";
+  }
+  return "?";
+}
+
+std::string FaultPlan::ToString() const {
+  std::string out = "seed=" + std::to_string(seed);
+  for (const FaultRule& rule : rules) {
+    out += ";" + RuleToString(rule);
+  }
+  return out;
+}
+
+Result<FaultPlan> ParsePlan(std::string_view spec) {
+  FaultPlan plan;
+  while (!spec.empty()) {
+    auto [raw_entry, rest] = SplitOnce(spec, ';');
+    spec = rest;
+    const std::string_view entry = Trim(raw_entry);
+    if (entry.empty()) continue;
+    auto [key, value] = SplitOnce(entry, '=');
+    if (value.empty()) {
+      return InvalidArgumentError("fault plan: entry without '=': " +
+                                  std::string(entry));
+    }
+    if (key == "seed") {
+      if (!ParseU64(std::string(value), plan.seed)) {
+        return InvalidArgumentError("fault plan: bad seed '" +
+                                    std::string(value) + "'");
+      }
+      continue;
+    }
+    AFS_ASSIGN_OR_RETURN(FaultRule rule, ParseRule(key, value));
+    plan.rules.push_back(std::move(rule));
+  }
+  return plan;
+}
+
+void InstallPlan(FaultPlan plan) {
+  PlanState& state = State();
+  MutexLock lock(state.mu);
+  state.hits.assign(plan.rules.size(), 0);
+  state.rng.Seed(plan.seed);
+  state.triggered.store(0, std::memory_order_relaxed);
+  const bool armed = !plan.rules.empty();
+  state.plan = std::move(plan);
+  internal::g_armed.store(armed, std::memory_order_release);
+}
+
+void ClearPlan() {
+  PlanState& state = State();
+  MutexLock lock(state.mu);
+  internal::g_armed.store(false, std::memory_order_release);
+  state.plan = FaultPlan();
+  state.hits.clear();
+}
+
+bool InstallPlanFromEnv() {
+  const char* spec = std::getenv("AFS_FAULT_PLAN");
+  if (spec == nullptr || spec[0] == '\0') return false;
+  Result<FaultPlan> plan = ParsePlan(spec);
+  if (!plan.ok()) {
+    AFS_LOG(kError, "afs.fault")
+        << "ignoring AFS_FAULT_PLAN: " << plan.status().ToString();
+    return false;
+  }
+  InstallPlan(std::move(*plan));
+  return true;
+}
+
+std::uint64_t TriggeredCount() noexcept {
+  return State().triggered.load(std::memory_order_relaxed);
+}
+
+namespace internal {
+
+std::atomic<bool> g_armed{false};
+
+Status EvaluateStatus(std::string_view site) {
+  PlanState& state = State();
+  Micros delay{0};
+  Status injected;
+  {
+    MutexLock lock(state.mu);
+    for (std::size_t i = 0; i < state.plan.rules.size(); ++i) {
+      const FaultRule& rule = state.plan.rules[i];
+      if (rule.kind == FaultKind::kTruncate) continue;
+      if (!SiteMatches(rule.site, site)) continue;
+      if (!ShouldFire(state, i)) continue;
+      state.triggered.fetch_add(1, std::memory_order_relaxed);
+      LogTrigger(rule, site, state.plan.seed, state.hits[i]);
+      switch (rule.kind) {
+        case FaultKind::kError:
+          injected = Status::Error(
+              rule.error, "fault injected at " + std::string(site) +
+                              " (seed " + std::to_string(state.plan.seed) +
+                              ")");
+          break;
+        case FaultKind::kDelay:
+          delay += rule.delay;
+          break;
+        case FaultKind::kKill:
+          // SIGKILL semantics: no unwinding, no flush — the strongest crash
+          // the sentinel's peers must survive.  Raised outside the lock is
+          // unnecessary; the process is gone either way.
+          ::kill(::getpid(), SIGKILL);
+          ::_exit(137);  // unreachable; belt and suspenders
+        case FaultKind::kTruncate:
+          break;
+      }
+      if (!injected.ok()) break;  // first firing error rule wins
+    }
+  }
+  // Sleep outside the plan lock so delayed sites never serialize others.
+  if (delay.count() > 0) SteadyClock::Instance().SleepFor(delay);
+  return injected;
+}
+
+std::size_t EvaluateTruncate(std::string_view site, std::size_t length) {
+  PlanState& state = State();
+  std::size_t result = length;
+  Micros delay{0};
+  {
+    MutexLock lock(state.mu);
+    for (std::size_t i = 0; i < state.plan.rules.size(); ++i) {
+      const FaultRule& rule = state.plan.rules[i];
+      if (!SiteMatches(rule.site, site)) continue;
+      if (rule.kind != FaultKind::kTruncate &&
+          rule.kind != FaultKind::kDelay && rule.kind != FaultKind::kKill) {
+        continue;
+      }
+      if (!ShouldFire(state, i)) continue;
+      state.triggered.fetch_add(1, std::memory_order_relaxed);
+      LogTrigger(rule, site, state.plan.seed, state.hits[i]);
+      switch (rule.kind) {
+        case FaultKind::kTruncate:
+          result = std::min(result, rule.truncate_to);
+          break;
+        case FaultKind::kDelay:
+          delay += rule.delay;
+          break;
+        case FaultKind::kKill:
+          ::kill(::getpid(), SIGKILL);
+          ::_exit(137);
+        case FaultKind::kError:
+          break;
+      }
+    }
+  }
+  if (delay.count() > 0) SteadyClock::Instance().SleepFor(delay);
+  return result;
+}
+
+}  // namespace internal
+}  // namespace afs::fault

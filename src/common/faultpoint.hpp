@@ -1,0 +1,153 @@
+// afs::fault — deterministic failpoint framework.
+//
+// Every file operation of an unmodified application routes through pipes,
+// shared memory, or injected threads; a dead sentinel or a stalled pipe is
+// a silent wedge unless those seams are provably fault-tolerant.  Fault
+// points are named injection sites compiled into the hot seams:
+//
+//   AFS_FAULT_POINT("ipc.pipe.write");          // may return an error here
+//   n = AFS_FAULT_TRUNCATE("ipc.pipe.read", n); // may shorten a transfer
+//
+// With no plan installed, a site costs exactly one relaxed atomic load and
+// a predictable branch — cheap enough to leave in release builds, which is
+// the point: the binary that passes the fault matrix is the binary that
+// ships.
+//
+// A FaultPlan arms sites with actions (error / delay / truncate / kill),
+// each with a trigger (every hit, the Nth hit, or a seeded coin flip).
+// Plans come from code (tests) or from the AFS_FAULT_PLAN environment
+// variable (forked and exec'd sentinels), and every triggered fault is
+// logged with the plan's seed so any failure replays from one command
+// line.  Syntax:
+//
+//   AFS_FAULT_PLAN="seed=42;ipc.pipe.write=error:io@n3;net.socket.call=delay:5ms@p0.1"
+//
+//   rule    := site '=' kind [':' arg] ['@' trigger]
+//   kind    := error | delay | truncate | kill
+//   arg     := error code name (io, timeout, closed, remote, ...) for error;
+//              duration (5ms, 100us, 1s) for delay;
+//              byte count for truncate
+//   trigger := 'n' N   — fire on the Nth hit of the site only (1-based)
+//            | 'p' F   — fire with probability F per hit (seeded PRNG)
+//            | omitted — fire on every hit
+//
+// Sites match by exact name or by prefix when the rule ends in '*'
+// ("ipc.pipe.*" arms every pipe site).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "common/status.hpp"
+
+namespace afs::fault {
+
+enum class FaultKind : std::uint8_t {
+  kError = 1,     // the site returns a configured Status
+  kDelay = 2,     // the site stalls for a configured duration
+  kTruncate = 3,  // the site shortens a payload to N bytes
+  kKill = 4,      // the process hosting the site dies (SIGKILL semantics)
+};
+
+std::string_view FaultKindName(FaultKind kind) noexcept;
+
+struct FaultRule {
+  std::string site;          // exact name, or prefix when ends with '*'
+  FaultKind kind = FaultKind::kError;
+  ErrorCode error = ErrorCode::kIoError;  // kError payload
+  Micros delay{0};                        // kDelay duration
+  std::size_t truncate_to = 0;            // kTruncate surviving byte count
+  // Trigger: fire on hit `nth` only (1-based), or with `probability` per
+  // hit when nth == 0, or on every hit when both are unset.
+  std::uint64_t nth = 0;
+  double probability = 1.0;
+};
+
+// A parsed, armable set of rules plus the seed for probabilistic triggers.
+struct FaultPlan {
+  std::uint64_t seed = 1;
+  std::vector<FaultRule> rules;
+
+  // Renders the plan back into AFS_FAULT_PLAN syntax (replay lines).
+  std::string ToString() const;
+};
+
+// Parses the AFS_FAULT_PLAN syntax described above.
+Result<FaultPlan> ParsePlan(std::string_view spec);
+
+// Installs `plan` process-wide and arms the fast-path flag.  Hit counters
+// and the trigger PRNG reset, so identical plans replay identically.
+void InstallPlan(FaultPlan plan);
+
+// Disarms all sites and drops the installed plan.
+void ClearPlan();
+
+// Installs the plan from the AFS_FAULT_PLAN environment variable, if set
+// and parseable.  Returns true when a plan was installed.  Exec'd sentinel
+// processes call this so faults follow them across the exec boundary.
+bool InstallPlanFromEnv();
+
+// Total faults triggered (not merely evaluated) since the last install.
+std::uint64_t TriggeredCount() noexcept;
+
+namespace internal {
+
+extern std::atomic<bool> g_armed;
+
+// Slow path, called only while a plan is armed.  Applies delay/kill side
+// effects itself; returns the Status an error rule injects (Ok otherwise).
+Status EvaluateStatus(std::string_view site);
+
+// Slow path for payload sites: the surviving length under truncate rules
+// (delay/kill rules still apply; error rules are ignored — pair the site
+// with AFS_FAULT_POINT when it can also fail outright).
+std::size_t EvaluateTruncate(std::string_view site, std::size_t length);
+
+}  // namespace internal
+
+// True while a plan is armed; the one relaxed load on the hot path.
+inline bool Enabled() noexcept {
+  return internal::g_armed.load(std::memory_order_relaxed);
+}
+
+// Function-style site for code that cannot early-return a Status (loops,
+// int-returning pump functions): delay/kill rules take effect here and an
+// injected error comes back for the caller to route.
+inline Status Hit(std::string_view site) {
+  if (!Enabled()) return Status::Ok();
+  return internal::EvaluateStatus(site);
+}
+
+// RAII plan installation for tests.
+class ScopedFaultPlan {
+ public:
+  explicit ScopedFaultPlan(FaultPlan plan) { InstallPlan(std::move(plan)); }
+  ~ScopedFaultPlan() { ClearPlan(); }
+
+  ScopedFaultPlan(const ScopedFaultPlan&) = delete;
+  ScopedFaultPlan& operator=(const ScopedFaultPlan&) = delete;
+};
+
+}  // namespace afs::fault
+
+// Error-injection site inside a Status/Result-returning function: when an
+// armed rule fires, the enclosing function returns the injected Status.
+// Delay rules stall here; kill rules terminate the process here.
+#define AFS_FAULT_POINT(site)                                         \
+  do {                                                                \
+    if (::afs::fault::Enabled()) {                                    \
+      ::afs::Status afs_fault_status_ =                               \
+          ::afs::fault::internal::EvaluateStatus(site);               \
+      if (!afs_fault_status_.ok()) return afs_fault_status_;          \
+    }                                                                 \
+  } while (0)
+
+// Payload-injection site: yields the (possibly reduced) transfer length.
+#define AFS_FAULT_TRUNCATE(site, length)                              \
+  (::afs::fault::Enabled()                                            \
+       ? ::afs::fault::internal::EvaluateTruncate((site), (length))   \
+       : (length))

@@ -1,5 +1,8 @@
 #include "core/links.hpp"
 
+#include <chrono>
+
+#include "common/faultpoint.hpp"
 #include "ipc/framing.hpp"
 
 namespace afs::core {
@@ -28,6 +31,7 @@ Result<std::pair<PipeLinkFds, PipeEndpointFds>> CreatePipePair() {
 }
 
 Status PipeLink::AF_SendControl(const ControlMessage& message) {
+  AFS_FAULT_POINT("core.link.send");
   AFS_RETURN_IF_ERROR(ipc::WriteFrame(fds_.control_write,
                                       EncodeControlMessage(message)));
   if (message.op == ControlOp::kWrite && !message.inline_in.empty()) {
@@ -39,7 +43,9 @@ Status PipeLink::AF_SendControl(const ControlMessage& message) {
 }
 
 Result<ControlResponse> PipeLink::AF_GetResponse() {
-  AFS_ASSIGN_OR_RETURN(Buffer frame, ipc::ReadFrame(fds_.response_read));
+  AFS_FAULT_POINT("core.link.recv");
+  AFS_ASSIGN_OR_RETURN(Buffer frame,
+                       ipc::ReadFrame(fds_.response_read, response_timeout_));
   return DecodeControlResponse(ByteSpan(frame));
 }
 
@@ -56,27 +62,31 @@ Status PipeLink::SetCloexec() {
 }
 
 Result<ControlMessage> PipeEndpoint::AF_GetControl() {
+  AFS_FAULT_POINT("sentinel.endpoint.recv");
   AFS_ASSIGN_OR_RETURN(Buffer frame, ipc::ReadFrame(fds_.control_read));
   return DecodeControlMessage(ByteSpan(frame));
 }
 
 Result<Buffer> PipeEndpoint::AF_GetDataFromAppl(std::size_t length) {
+  AFS_FAULT_POINT("sentinel.endpoint.data");
   Buffer data(length);
   AFS_RETURN_IF_ERROR(fds_.data_read.ReadExact(MutableByteSpan(data)));
   return data;
 }
 
 Status PipeEndpoint::AF_SendResponse(const ControlResponse& response) {
+  AFS_FAULT_POINT("sentinel.endpoint.send");
   return ipc::WriteFrame(fds_.response_write,
                          EncodeControlResponse(response));
 }
 
 Status ThreadRendezvous::AF_SendControl(const ControlMessage& message) {
+  AFS_FAULT_POINT("core.link.send");
   MutexLock lock(mu_);
-  while (state_ != SlotState::kIdle && state_ != SlotState::kShutdown) {
+  while (state_ != SlotState::kIdle && !shutdown_) {
     cv_.Wait(mu_);
   }
-  if (state_ == SlotState::kShutdown) return ClosedError("rendezvous closed");
+  if (shutdown_) return ClosedError("rendezvous closed");
   message_ = message;  // inline lanes pass by reference (spans)
   state_ = SlotState::kCommand;
   lock.Unlock();
@@ -85,11 +95,25 @@ Status ThreadRendezvous::AF_SendControl(const ControlMessage& message) {
 }
 
 Result<ControlResponse> ThreadRendezvous::AF_GetResponse() {
+  AFS_FAULT_POINT("core.link.recv");
   MutexLock lock(mu_);
-  while (state_ != SlotState::kResponse && state_ != SlotState::kShutdown) {
-    cv_.Wait(mu_);
+  const bool bounded = response_timeout_.count() > 0;
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::microseconds(response_timeout_.count());
+  while (state_ != SlotState::kResponse && !shutdown_) {
+    if (!bounded) {
+      cv_.Wait(mu_);
+    } else if (!cv_.WaitUntil(mu_, deadline)) {
+      if (state_ == SlotState::kResponse || shutdown_) {
+        break;  // answered (or closed) right at the wire
+      }
+      return TimeoutError("sentinel thread did not respond");
+    }
   }
-  if (state_ == SlotState::kShutdown) return ClosedError("rendezvous closed");
+  // A posted response outranks shutdown: the sentinel loop answers and
+  // then exits (failed-open banner, injected fault), and that last answer
+  // must not be dropped.
+  if (state_ != SlotState::kResponse) return ClosedError("rendezvous closed");
   ControlResponse response = std::move(response_);
   state_ = SlotState::kIdle;
   lock.Unlock();
@@ -98,11 +122,12 @@ Result<ControlResponse> ThreadRendezvous::AF_GetResponse() {
 }
 
 Result<ControlMessage> ThreadRendezvous::AF_GetControl() {
+  AFS_FAULT_POINT("sentinel.endpoint.recv");
   MutexLock lock(mu_);
-  while (state_ != SlotState::kCommand && state_ != SlotState::kShutdown) {
+  while (state_ != SlotState::kCommand && !shutdown_) {
     cv_.Wait(mu_);
   }
-  if (state_ == SlotState::kShutdown) return ClosedError("rendezvous closed");
+  if (shutdown_) return ClosedError("rendezvous closed");
   // The slot stays occupied (kCommand) while the sentinel works; the
   // response transition frees it.
   return message_;
@@ -116,8 +141,9 @@ Result<Buffer> ThreadRendezvous::AF_GetDataFromAppl(std::size_t length) {
 }
 
 Status ThreadRendezvous::AF_SendResponse(const ControlResponse& response) {
+  AFS_FAULT_POINT("sentinel.endpoint.send");
   MutexLock lock(mu_);
-  if (state_ == SlotState::kShutdown) return ClosedError("rendezvous closed");
+  if (shutdown_) return ClosedError("rendezvous closed");
   response_ = response;
   state_ = SlotState::kResponse;
   lock.Unlock();
@@ -128,9 +154,14 @@ Status ThreadRendezvous::AF_SendResponse(const ControlResponse& response) {
 void ThreadRendezvous::Shutdown() {
   {
     MutexLock lock(mu_);
-    state_ = SlotState::kShutdown;
+    shutdown_ = true;
   }
   cv_.NotifyAll();
+}
+
+void ThreadRendezvous::set_response_timeout(Micros timeout) noexcept {
+  MutexLock lock(mu_);
+  response_timeout_ = timeout;
 }
 
 }  // namespace afs::core

@@ -41,6 +41,13 @@ class PipeLink final : public sentinel::SentinelLink {
   Status AF_SendControl(const sentinel::ControlMessage& message) override;
   Result<sentinel::ControlResponse> AF_GetResponse() override;
 
+  // Bounds every AF_GetResponse wait: a sentinel that never answers costs
+  // the application kTimeout instead of a hang.  Non-positive (the default)
+  // waits forever.
+  void set_response_timeout(Micros timeout) noexcept {
+    response_timeout_ = timeout;
+  }
+
   // Closes all application-side ends; the sentinel sees EOF.
   void Shutdown();
 
@@ -49,6 +56,7 @@ class PipeLink final : public sentinel::SentinelLink {
 
  private:
   PipeLinkFds fds_;
+  Micros response_timeout_{0};
 };
 
 class PipeEndpoint final : public sentinel::SentinelEndpoint {
@@ -84,12 +92,21 @@ class ThreadRendezvous final : public sentinel::SentinelLink,
   // Wakes both sides with kClosed; further traffic fails.
   void Shutdown();
 
+  // Bounds the application's AF_GetResponse wait; kTimeout when the
+  // sentinel thread does not answer in time.  Non-positive waits forever.
+  void set_response_timeout(Micros timeout) noexcept;
+
  private:
-  enum class SlotState { kIdle, kCommand, kResponse, kShutdown };
+  enum class SlotState { kIdle, kCommand, kResponse };
 
   Mutex mu_;
   CondVar cv_;
   SlotState state_ AFS_GUARDED_BY(mu_) = SlotState::kIdle;
+  // Shutdown is a flag, not a slot state: a response already posted when
+  // Shutdown() lands (the failed-open banner) must still reach the
+  // application before AF_GetResponse starts reporting kClosed.
+  bool shutdown_ AFS_GUARDED_BY(mu_) = false;
+  Micros response_timeout_ AFS_GUARDED_BY(mu_){0};
   sentinel::ControlMessage message_ AFS_GUARDED_BY(mu_);
   sentinel::ControlResponse response_ AFS_GUARDED_BY(mu_);
 };

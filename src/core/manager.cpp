@@ -2,6 +2,7 @@
 
 #include <filesystem>
 
+#include "common/faultpoint.hpp"
 #include "core/bundle.hpp"
 #include "vfs/paths.hpp"
 
@@ -104,6 +105,7 @@ Result<std::unique_ptr<vfs::FileHandle>> ActiveFileManager::TryOpen(
   if (!SniffBundle(host)) {
     return std::unique_ptr<vfs::FileHandle>();
   }
+  AFS_FAULT_POINT("core.manager.open");
 
   AFS_ASSIGN_OR_RETURN(std::unique_ptr<BundleFile> bundle,
                        BundleFile::Open(host));

@@ -6,6 +6,7 @@
 #include <map>
 #include <string>
 
+#include "common/faultpoint.hpp"
 #include "core/bundle.hpp"
 #include "core/links.hpp"
 #include "core/resolvers.hpp"
@@ -55,6 +56,9 @@ int Fail(const Status& status) {
 }  // namespace
 
 int SentineldMain(int argc, char** argv) {
+  // Faults must survive the exec boundary: a fault plan armed in the
+  // launching application reaches this fresh image only via environment.
+  (void)fault::InstallPlanFromEnv();
   const Args args = ParseArgs(argc, argv);
   const std::string mode = args.Get("mode");
   const std::string bundle_path = args.Get("bundle");

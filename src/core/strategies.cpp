@@ -1,10 +1,12 @@
 #include "core/strategies.hpp"
 
+#include <cstdlib>
 #include <cstring>
 #include <functional>
 #include <thread>
 #include <utility>
 
+#include "common/faultpoint.hpp"
 #include "common/mutex.hpp"
 #include "core/links.hpp"
 #include "ipc/process.hpp"
@@ -87,6 +89,17 @@ Result<CacheAssembly> AssembleCache(const std::string& host_path,
 }
 
 namespace {
+
+// Per-operation response deadline from the "op_timeout_ms" config key.
+// Zero (the default) preserves the historical block-forever behavior; any
+// positive value is the strategy-independent bound on how long one file
+// operation may wait for its sentinel.
+Micros OpTimeout(const OpenRequest& request) {
+  auto it = request.spec.config.find("op_timeout_ms");
+  if (it == request.spec.config.end()) return Micros{0};
+  const long long ms = std::strtoll(it->second.c_str(), nullptr, 10);
+  return ms > 0 ? Micros{ms * 1000} : Micros{0};
+}
 
 SentinelContext BuildContext(const OpenRequest& request,
                              const CacheAssembly& cache) {
@@ -220,12 +233,30 @@ class LinkHandle final : public vfs::FileHandle, public ActiveHandle {
   Result<ControlResponse> RoundTrip(const ControlMessage& msg)
       AFS_REQUIRES(mu_) {
     if (closed_) return ClosedError("handle closed");
-    AFS_RETURN_IF_ERROR(link_->AF_SendControl(msg));
-    AFS_ASSIGN_OR_RETURN(ControlResponse resp, link_->AF_GetResponse());
-    if (msg.op != ControlOp::kClose && !resp.status.ok()) {
-      return resp.status;  // sentinel-side failure becomes the op's status
+    if (poisoned_) return ClosedError("handle poisoned by transport failure");
+    AFS_FAULT_POINT("core.link.roundtrip");
+    Status sent = link_->AF_SendControl(msg);
+    if (!sent.ok()) return Poison(std::move(sent));
+    Result<ControlResponse> resp = link_->AF_GetResponse();
+    if (!resp.ok()) return Poison(resp.status());
+    if (msg.op != ControlOp::kClose && !resp->status.ok()) {
+      return resp->status;  // sentinel-side failure becomes the op's status
     }
-    return resp;
+    return std::move(*resp);
+  }
+
+  // A transport failure mid-round-trip desynchronizes the command/response
+  // stream (a late response would answer the wrong command), so the handle
+  // is dead from here on: this op reports what happened — kTimeout stays
+  // kTimeout, anything else collapses to kClosed — and every later op gets
+  // kClosed immediately instead of blocking on a broken link.
+  Status Poison(Status cause) AFS_REQUIRES(mu_) {
+    poisoned_ = true;
+    if (cause.code() == ErrorCode::kTimeout ||
+        cause.code() == ErrorCode::kClosed) {
+      return cause;
+    }
+    return ClosedError("sentinel link failed: " + cause.ToString());
   }
 
   Status SimpleOp(ControlOp op) {
@@ -261,6 +292,7 @@ class LinkHandle final : public vfs::FileHandle, public ActiveHandle {
   std::shared_ptr<void> keepalive_;
   std::function<void()> cleanup_ AFS_GUARDED_BY(mu_);
   bool closed_ AFS_GUARDED_BY(mu_) = false;
+  bool poisoned_ AFS_GUARDED_BY(mu_) = false;
 };
 
 // ---------------------------------------------------------------------
@@ -283,6 +315,7 @@ class DirectHandle final : public vfs::FileHandle, public ActiveHandle {
   Result<std::size_t> Read(MutableByteSpan out) override {
     MutexLock lock(mu_);
     if (closed_) return ClosedError("handle closed");
+    AFS_FAULT_POINT("core.direct.op");
     AFS_ASSIGN_OR_RETURN(std::size_t n, sentinel_->OnRead(ctx_, out));
     ctx_.position += n;
     return n;
@@ -291,6 +324,7 @@ class DirectHandle final : public vfs::FileHandle, public ActiveHandle {
   Result<std::size_t> Write(ByteSpan data) override {
     MutexLock lock(mu_);
     if (closed_) return ClosedError("handle closed");
+    AFS_FAULT_POINT("core.direct.op");
     AFS_ASSIGN_OR_RETURN(std::size_t n, sentinel_->OnWrite(ctx_, data));
     ctx_.position += n;
     return n;
@@ -384,14 +418,18 @@ class DirectHandle final : public vfs::FileHandle, public ActiveHandle {
 class ProcessHandle final : public vfs::FileHandle {
  public:
   ProcessHandle(ipc::PipeEnd to_sentinel, ipc::PipeEnd from_sentinel,
-                ipc::ChildProcess child)
+                ipc::ChildProcess child, Micros read_timeout)
       : to_sentinel_(std::move(to_sentinel)),
         from_sentinel_(std::move(from_sentinel)),
-        child_(std::move(child)) {}
+        child_(std::move(child)),
+        read_timeout_(read_timeout) {}
 
   Result<std::size_t> Read(MutableByteSpan out) override {
     MutexLock lock(mu_);
     if (closed_) return ClosedError("handle closed");
+    // A sentinel that stops producing must cost kTimeout, not a hang; a
+    // dead one closes its end and the read below reports EOF.
+    AFS_RETURN_IF_ERROR(from_sentinel_.WaitReadable(read_timeout_));
     return from_sentinel_.ReadSome(out);
   }
 
@@ -431,6 +469,7 @@ class ProcessHandle final : public vfs::FileHandle {
   ipc::PipeEnd to_sentinel_ AFS_GUARDED_BY(mu_);
   ipc::PipeEnd from_sentinel_ AFS_GUARDED_BY(mu_);
   ipc::ChildProcess child_ AFS_GUARDED_BY(mu_);
+  const Micros read_timeout_;
   bool closed_ AFS_GUARDED_BY(mu_) = false;
 };
 
@@ -465,11 +504,17 @@ Result<std::unique_ptr<vfs::FileHandle>> OpenThread(
   AFS_ASSIGN_OR_RETURN(res->sent, registry.Create(request.spec));
   res->ctx = BuildContext(request, res->cache);
 
+  res->rendezvous.set_response_timeout(OpTimeout(request));
+
   // "Inject" the sentinel: a thread inside the application's process.
   Resources* raw = res.get();
   res->worker = std::thread([raw] {
     (void)sentinel::RunSentinelLoop(*raw->sent, raw->rendezvous, raw->ctx);
     (void)raw->cache.Finalize();
+    // The loop can exit on its own (injected fault, dispatch failure)
+    // while the stub still waits for a response; close the slot so that
+    // wait ends in kClosed instead of hanging.
+    raw->rendezvous.Shutdown();
   });
 
   auto cleanup = [res]() {
@@ -506,6 +551,7 @@ Result<std::unique_ptr<vfs::FileHandle>> OpenProcessControl(
   AFS_ASSIGN_OR_RETURN(auto pipes, CreatePipePair());
   auto res = std::make_shared<Resources>();
   res->link = std::make_unique<PipeLink>(std::move(pipes.first));
+  res->link->set_response_timeout(OpTimeout(request));
 
   const std::string exec_path = ExecPath(request);
   if (!exec_path.empty()) {
@@ -584,7 +630,7 @@ Result<std::unique_ptr<vfs::FileHandle>> OpenProcess(
     outbound.write_end.Close();
     return std::unique_ptr<vfs::FileHandle>(std::make_unique<ProcessHandle>(
         std::move(inbound.write_end), std::move(outbound.read_end),
-        std::move(*spawned)));
+        std::move(*spawned), OpTimeout(request)));
   }
 
   AFS_ASSIGN_OR_RETURN(CacheAssembly cache,
@@ -617,7 +663,7 @@ Result<std::unique_ptr<vfs::FileHandle>> OpenProcess(
 
   return std::unique_ptr<vfs::FileHandle>(std::make_unique<ProcessHandle>(
       std::move(inbound.write_end), std::move(outbound.read_end),
-      std::move(*spawned)));
+      std::move(*spawned), OpTimeout(request)));
 }
 
 }  // namespace
@@ -625,6 +671,7 @@ Result<std::unique_ptr<vfs::FileHandle>> OpenProcess(
 Result<std::unique_ptr<vfs::FileHandle>> OpenWithStrategy(
     Strategy strategy, const sentinel::SentinelRegistry& registry,
     const OpenRequest& request) {
+  AFS_FAULT_POINT("core.strategy.open");
   switch (strategy) {
     case Strategy::kProcess:
       return OpenProcess(registry, request);

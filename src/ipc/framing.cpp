@@ -1,8 +1,11 @@
 #include "ipc/framing.hpp"
 
+#include "common/faultpoint.hpp"
+
 namespace afs::ipc {
 
 Status WriteFrame(PipeEnd& pipe, ByteSpan payload) {
+  AFS_FAULT_POINT("ipc.frame.write");
   Buffer header;
   header.reserve(4);
   AppendU32(header, static_cast<std::uint32_t>(payload.size()));
@@ -14,6 +17,7 @@ Status WriteFrame(PipeEnd& pipe, ByteSpan payload) {
 }
 
 Result<Buffer> ReadFrame(PipeEnd& pipe) {
+  AFS_FAULT_POINT("ipc.frame.read");
   std::uint8_t header[4];
   // Distinguish clean EOF (peer done) from truncation: read the first byte
   // separately.
@@ -35,6 +39,13 @@ Result<Buffer> ReadFrame(PipeEnd& pipe) {
     AFS_RETURN_IF_ERROR(pipe.ReadExact(MutableByteSpan(payload)));
   }
   return payload;
+}
+
+Result<Buffer> ReadFrame(PipeEnd& pipe, Micros timeout) {
+  // The deadline covers the wait for the frame to begin; once bytes flow
+  // the peer is alive and the bounded-size body read completes promptly.
+  AFS_RETURN_IF_ERROR(pipe.WaitReadable(timeout));
+  return ReadFrame(pipe);
 }
 
 }  // namespace afs::ipc

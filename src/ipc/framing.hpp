@@ -20,4 +20,9 @@ Status WriteFrame(PipeEnd& pipe, ByteSpan payload);
 // on oversized length, kClosed on truncation mid-frame.
 Result<Buffer> ReadFrame(PipeEnd& pipe);
 
+// Deadline-aware variant: waits up to `timeout` for the frame to *start*
+// arriving (kTimeout otherwise), then reads it to completion.  A
+// non-positive timeout blocks forever, same as the plain overload.
+Result<Buffer> ReadFrame(PipeEnd& pipe, Micros timeout);
+
 }  // namespace afs::ipc

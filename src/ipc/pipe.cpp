@@ -4,7 +4,10 @@
 #include <cstring>
 
 #include <fcntl.h>
+#include <poll.h>
 #include <unistd.h>
+
+#include "common/faultpoint.hpp"
 
 namespace afs::ipc {
 
@@ -26,11 +29,32 @@ Status PipeEnd::SetCloexec() {
 
 Result<std::size_t> PipeEnd::ReadSome(MutableByteSpan out) {
   if (!valid()) return ClosedError("read on closed pipe end");
+  AFS_FAULT_POINT("ipc.pipe.read");
+  // A truncate fault shortens the transfer; truncating to zero makes the
+  // caller observe a premature EOF, the classic dead-peer shape.
+  out = out.first(AFS_FAULT_TRUNCATE("ipc.pipe.read", out.size()));
   while (true) {
     const ssize_t n = ::read(fd_, out.data(), out.size());
     if (n >= 0) return static_cast<std::size_t>(n);
     if (errno == EINTR) continue;
     return IoError(std::string("pipe read: ") + std::strerror(errno));
+  }
+}
+
+Status PipeEnd::WaitReadable(Micros timeout) const {
+  if (!valid()) return ClosedError("wait on closed pipe end");
+  if (timeout.count() <= 0) return Status::Ok();  // unbounded read follows
+  pollfd pfd{};
+  pfd.fd = fd_;
+  pfd.events = POLLIN;
+  // Round up so sub-millisecond timeouts do not busy-spin at zero.
+  const int millis = static_cast<int>((timeout.count() + 999) / 1000);
+  while (true) {
+    const int rc = ::poll(&pfd, 1, millis);
+    if (rc > 0) return Status::Ok();  // readable, EOF, or error — read sees it
+    if (rc == 0) return TimeoutError("pipe read timed out");
+    if (errno == EINTR) continue;
+    return IoError(std::string("pipe poll: ") + std::strerror(errno));
   }
 }
 
@@ -47,6 +71,12 @@ Status PipeEnd::ReadExact(MutableByteSpan out) {
 
 Status PipeEnd::WriteAll(ByteSpan bytes) {
   if (!valid()) return ClosedError("write on closed pipe end");
+  AFS_FAULT_POINT("ipc.pipe.write");
+  // A truncate fault ships a partial payload and then fails as if the
+  // peer vanished mid-message — the receiver sees a torn frame.
+  const std::size_t keep = AFS_FAULT_TRUNCATE("ipc.pipe.write", bytes.size());
+  const bool torn = keep < bytes.size();
+  if (torn) bytes = bytes.first(keep);
   std::size_t done = 0;
   while (done < bytes.size()) {
     const ssize_t n = ::write(fd_, bytes.data() + done, bytes.size() - done);
@@ -57,6 +87,7 @@ Status PipeEnd::WriteAll(ByteSpan bytes) {
     }
     done += static_cast<std::size_t>(n);
   }
+  if (torn) return ClosedError("pipe peer closed mid-write (fault)");
   return Status::Ok();
 }
 

@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "common/bytes.hpp"
+#include "common/clock.hpp"
 #include "common/status.hpp"
 
 namespace afs::ipc {
@@ -44,6 +45,12 @@ class PipeEnd {
 
   // Single read(2); returns 0 at EOF (peer closed).
   Result<std::size_t> ReadSome(MutableByteSpan out);
+
+  // Blocks until the descriptor is readable (data or EOF pending).  A
+  // non-positive timeout waits forever; kTimeout when the deadline passes
+  // first.  This is the deadline primitive under every bounded read path —
+  // a wedged sentinel must cost the application a timeout, never a hang.
+  Status WaitReadable(Micros timeout) const;
 
   // Reads exactly out.size() bytes or fails (kClosed on premature EOF).
   Status ReadExact(MutableByteSpan out);

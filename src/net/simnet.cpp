@@ -1,5 +1,7 @@
 #include "net/simnet.hpp"
 
+#include "common/faultpoint.hpp"
+
 namespace afs::net {
 
 std::string SimNet::LinkKey(const std::string& a, const std::string& b) {
@@ -82,6 +84,7 @@ class SimNet::SimTransport final : public Transport {
         service_(std::move(service)) {}
 
   Result<Buffer> Call(ByteSpan request) override {
+    AFS_FAULT_POINT("net.simnet.call");
     AFS_ASSIGN_OR_RETURN(Route out_route,
                          net_.ResolveRoute(client_node_, server_node_));
     AFS_ASSIGN_OR_RETURN(RpcHandler * handler,

@@ -7,6 +7,8 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include "common/backoff.hpp"
+#include "common/faultpoint.hpp"
 #include "ipc/framing.hpp"
 #include "ipc/pipe.hpp"
 #include "ipc/process.hpp"
@@ -72,11 +74,13 @@ void SocketServer::Stop() {
     if (accept_thread_.joinable()) accept_thread_.join();
     return;
   }
-  // Breaking accept(): shutdown then close the listening socket.
+  // Breaking accept(): shutdown then close the listening socket.  The
+  // accept thread still reads listen_fd_ until it joins, so the field is
+  // only overwritten once that thread is gone.
   ::shutdown(listen_fd_, SHUT_RDWR);
   ::close(listen_fd_);
-  listen_fd_ = -1;
   if (accept_thread_.joinable()) accept_thread_.join();
+  listen_fd_ = -1;
   std::vector<std::thread> threads;
   {
     MutexLock lock(conn_mu_);
@@ -113,6 +117,9 @@ void SocketServer::ServeConnection(int fd) {
   while (true) {
     Result<Buffer> request = ipc::ReadFrame(stream);
     if (!request.ok()) return;  // client went away
+    // Injected server-side fault: drop the connection without replying —
+    // the client observes a mid-call disconnect and must recover.
+    if (!fault::Hit("net.socket.serve").ok()) return;
     if (options_.service_delay.count() > 0) {
       SteadyClock::Instance().SleepFor(options_.service_delay);
     }
@@ -125,7 +132,10 @@ void SocketServer::ServeConnection(int fd) {
 }
 
 SocketClient::SocketClient(std::string socket_path)
-    : path_(std::move(socket_path)) {
+    : SocketClient(std::move(socket_path), Options{}) {}
+
+SocketClient::SocketClient(std::string socket_path, Options options)
+    : path_(std::move(socket_path)), options_(options) {
   ipc::IgnoreSigpipe();
 }
 
@@ -133,6 +143,7 @@ SocketClient::~SocketClient() { Disconnect(); }
 
 Status SocketClient::EnsureConnected() {
   if (fd_ >= 0) return Status::Ok();
+  AFS_FAULT_POINT("net.socket.connect");
   sockaddr_un addr;
   AFS_RETURN_IF_ERROR(FillSockaddr(path_, addr));
   fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
@@ -156,8 +167,9 @@ void SocketClient::Disconnect() noexcept {
   }
 }
 
-Result<Buffer> SocketClient::Call(ByteSpan request) {
+Result<Buffer> SocketClient::CallOnce(ByteSpan request) {
   AFS_RETURN_IF_ERROR(EnsureConnected());
+  AFS_FAULT_POINT("net.socket.call");
   // Borrow the fd for framing without transferring ownership.
   ipc::PipeEnd stream(fd_);
   Status sent = ipc::WriteFrame(stream, request);
@@ -166,13 +178,30 @@ Result<Buffer> SocketClient::Call(ByteSpan request) {
     Disconnect();
     return sent;
   }
-  Result<Buffer> envelope = ipc::ReadFrame(stream);
+  Result<Buffer> envelope = ipc::ReadFrame(stream, options_.call_timeout);
   (void)stream.Release();
   if (!envelope.ok()) {
     Disconnect();
     return envelope.status();
   }
   return DecodeResponseEnvelope(*envelope);
+}
+
+Result<Buffer> SocketClient::Call(ByteSpan request) {
+  Result<Buffer> reply = CallOnce(request);
+  Backoff backoff(options_.max_retries, options_.retry_backoff,
+                  options_.retry_backoff_cap);
+  while (!reply.ok()) {
+    const ErrorCode code = reply.status().code();
+    // Only transport-level failures are retryable.  A timeout means the
+    // request may have executed — retrying would break at-most-once — and
+    // any other code is an answer from the server, not a transport fault.
+    const bool transient =
+        code == ErrorCode::kIoError || code == ErrorCode::kClosed;
+    if (!transient || !backoff.Next(SteadyClock::Instance())) break;
+    reply = CallOnce(request);
+  }
+  return reply;
 }
 
 }  // namespace afs::net

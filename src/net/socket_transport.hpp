@@ -70,9 +70,25 @@ class SocketServer {
 // Client transport: one connection, frames one request and blocks for one
 // response per Call.  Connects lazily on first Call and reconnects after
 // transport errors, so a handle is usable immediately after fork.
+//
+// Transient transport failures (kIoError, kClosed: server restarting, a
+// connection the server dropped between calls) are retried on a fresh
+// connection with bounded exponential backoff.  Timeouts are never retried:
+// the request may have executed, and at-most-once is the only safe default
+// for a write-capable transport.
 class SocketClient final : public Transport {
  public:
+  struct Options {
+    // Retries per Call after the initial attempt; 0 disables retry.
+    int max_retries = 2;
+    Micros retry_backoff{1000};      // initial delay, doubles per retry
+    Micros retry_backoff_cap{50000};
+    // Per-call response deadline; non-positive waits forever.
+    Micros call_timeout{0};
+  };
+
   explicit SocketClient(std::string socket_path);
+  SocketClient(std::string socket_path, Options options);
   ~SocketClient() override;
 
   SocketClient(const SocketClient&) = delete;
@@ -83,8 +99,11 @@ class SocketClient final : public Transport {
  private:
   Status EnsureConnected();
   void Disconnect() noexcept;
+  // One request/response exchange on the current (or a fresh) connection.
+  Result<Buffer> CallOnce(ByteSpan request);
 
   std::string path_;
+  Options options_;
   int fd_ = -1;
 };
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/faultpoint.hpp"
+
 namespace afs::sentinel {
 namespace {
 
@@ -33,96 +35,116 @@ int RunSentinelLoop(Sentinel& sentinel, SentinelEndpoint& endpoint,
       return next.status().code() == ErrorCode::kClosed ? 0 : 1;
     }
     ControlMessage& msg = *next;
+    ControlResponse response;
 
-    switch (msg.op) {
-      case ControlOp::kRead: {
-        Buffer tmp;
-        MutableByteSpan out = msg.inline_out;
-        if (out.size() > msg.length) out = out.first(msg.length);
-        if (out.empty() && msg.length > 0) {
-          tmp.resize(msg.length);
-          out = MutableByteSpan(tmp);
-        }
-        Result<std::size_t> got = sentinel.OnRead(ctx, out);
-        if (!got.ok()) {
-          (void)endpoint.AF_SendResponse(MakeResponse(got.status()));
-          break;
-        }
-        ctx.position += *got;
-        Buffer payload;
-        if (!tmp.empty()) {
-          tmp.resize(*got);
-          payload = std::move(tmp);
-        }
-        (void)endpoint.AF_SendResponse(
-            MakeResponse(Status::Ok(), *got, std::move(payload)));
-        break;
+    // Sentinel-side fault injection: an injected error answers this command
+    // with that error (the loop survives — the application decides); a
+    // delay stalls the sentinel mid-command; a kill dies right here with
+    // the command consumed but unanswered — the worst crash point.
+    if (Status injected = fault::Hit("sentinel.dispatch.op");
+        !injected.ok() && msg.op != ControlOp::kClose) {
+      if (msg.op == ControlOp::kWrite && msg.inline_in.empty() &&
+          msg.length > 0) {
+        // The payload is already in flight on the data pipe; drain it or
+        // the next write's control frame pairs with this write's bytes.
+        (void)endpoint.AF_GetDataFromAppl(msg.length);
       }
-      case ControlOp::kWrite: {
-        ByteSpan in = msg.inline_in;
-        Buffer tmp;
-        if (in.empty() && msg.length > 0) {
-          Result<Buffer> fetched = endpoint.AF_GetDataFromAppl(msg.length);
-          if (!fetched.ok()) {
-            (void)sentinel.OnClose(ctx);
-            return 1;  // data lane broken mid-write; channel unusable
+      response = MakeResponse(std::move(injected));
+    } else {
+      switch (msg.op) {
+        case ControlOp::kRead: {
+          Buffer tmp;
+          MutableByteSpan out = msg.inline_out;
+          if (out.size() > msg.length) out = out.first(msg.length);
+          if (out.empty() && msg.length > 0) {
+            tmp.resize(msg.length);
+            out = MutableByteSpan(tmp);
           }
-          tmp = std::move(*fetched);
-          in = ByteSpan(tmp);
-        }
-        Result<std::size_t> wrote = sentinel.OnWrite(ctx, in);
-        if (!wrote.ok()) {
-          (void)endpoint.AF_SendResponse(MakeResponse(wrote.status()));
+          Result<std::size_t> got = sentinel.OnRead(ctx, out);
+          if (!got.ok()) {
+            response = MakeResponse(got.status());
+            break;
+          }
+          ctx.position += *got;
+          Buffer payload;
+          if (!tmp.empty()) {
+            tmp.resize(*got);
+            payload = std::move(tmp);
+          }
+          response = MakeResponse(Status::Ok(), *got, std::move(payload));
           break;
         }
-        ctx.position += *wrote;
-        (void)endpoint.AF_SendResponse(MakeResponse(Status::Ok(), *wrote));
-        break;
-      }
-      case ControlOp::kSeek: {
-        Result<std::uint64_t> pos = sentinel.OnSeek(
-            ctx, msg.offset, static_cast<SeekOrigin>(msg.origin));
-        (void)endpoint.AF_SendResponse(
-            pos.ok() ? MakeResponse(Status::Ok(), *pos)
-                     : MakeResponse(pos.status()));
-        break;
-      }
-      case ControlOp::kGetSize: {
-        Result<std::uint64_t> size = sentinel.OnGetSize(ctx);
-        (void)endpoint.AF_SendResponse(
-            size.ok() ? MakeResponse(Status::Ok(), *size)
-                      : MakeResponse(size.status()));
-        break;
-      }
-      case ControlOp::kSetEof:
-        (void)endpoint.AF_SendResponse(MakeResponse(sentinel.OnSetEof(ctx)));
-        break;
-      case ControlOp::kFlush:
-        (void)endpoint.AF_SendResponse(MakeResponse(sentinel.OnFlush(ctx)));
-        break;
-      case ControlOp::kLock:
-        (void)endpoint.AF_SendResponse(MakeResponse(sentinel.OnLock(
-            ctx, static_cast<std::uint64_t>(msg.offset), msg.range_len)));
-        break;
-      case ControlOp::kUnlock:
-        (void)endpoint.AF_SendResponse(MakeResponse(sentinel.OnUnlock(
-            ctx, static_cast<std::uint64_t>(msg.offset), msg.range_len)));
-        break;
-      case ControlOp::kCustom: {
-        Result<Buffer> reply = sentinel.OnControl(ctx, ByteSpan(msg.payload));
-        if (!reply.ok()) {
-          (void)endpoint.AF_SendResponse(MakeResponse(reply.status()));
+        case ControlOp::kWrite: {
+          ByteSpan in = msg.inline_in;
+          Buffer tmp;
+          if (in.empty() && msg.length > 0) {
+            Result<Buffer> fetched = endpoint.AF_GetDataFromAppl(msg.length);
+            if (!fetched.ok()) {
+              (void)sentinel.OnClose(ctx);
+              return 1;  // data lane broken mid-write; channel unusable
+            }
+            tmp = std::move(*fetched);
+            in = ByteSpan(tmp);
+          }
+          Result<std::size_t> wrote = sentinel.OnWrite(ctx, in);
+          if (!wrote.ok()) {
+            response = MakeResponse(wrote.status());
+            break;
+          }
+          ctx.position += *wrote;
+          response = MakeResponse(Status::Ok(), *wrote);
           break;
         }
-        (void)endpoint.AF_SendResponse(
-            MakeResponse(Status::Ok(), reply->size(), std::move(*reply)));
-        break;
+        case ControlOp::kSeek: {
+          Result<std::uint64_t> pos = sentinel.OnSeek(
+              ctx, msg.offset, static_cast<SeekOrigin>(msg.origin));
+          response = pos.ok() ? MakeResponse(Status::Ok(), *pos)
+                              : MakeResponse(pos.status());
+          break;
+        }
+        case ControlOp::kGetSize: {
+          Result<std::uint64_t> size = sentinel.OnGetSize(ctx);
+          response = size.ok() ? MakeResponse(Status::Ok(), *size)
+                               : MakeResponse(size.status());
+          break;
+        }
+        case ControlOp::kSetEof:
+          response = MakeResponse(sentinel.OnSetEof(ctx));
+          break;
+        case ControlOp::kFlush:
+          response = MakeResponse(sentinel.OnFlush(ctx));
+          break;
+        case ControlOp::kLock:
+          response = MakeResponse(sentinel.OnLock(
+              ctx, static_cast<std::uint64_t>(msg.offset), msg.range_len));
+          break;
+        case ControlOp::kUnlock:
+          response = MakeResponse(sentinel.OnUnlock(
+              ctx, static_cast<std::uint64_t>(msg.offset), msg.range_len));
+          break;
+        case ControlOp::kCustom: {
+          Result<Buffer> reply =
+              sentinel.OnControl(ctx, ByteSpan(msg.payload));
+          response = reply.ok() ? MakeResponse(Status::Ok(), reply->size(),
+                                               std::move(*reply))
+                                : MakeResponse(reply.status());
+          break;
+        }
+        case ControlOp::kClose: {
+          const Status status = sentinel.OnClose(ctx);
+          (void)endpoint.AF_SendResponse(MakeResponse(status));
+          return 0;
+        }
       }
-      case ControlOp::kClose: {
-        const Status status = sentinel.OnClose(ctx);
-        (void)endpoint.AF_SendResponse(MakeResponse(status));
-        return 0;
-      }
+    }
+
+    // A response that cannot ship (torn frame, closed pipe) leaves the
+    // application facing a half-frame it would wait on forever; the channel
+    // is unusable from here, so wind down as an implicit close.  The
+    // application side observes EOF and reports kClosed.
+    if (!endpoint.AF_SendResponse(response).ok()) {
+      (void)sentinel.OnClose(ctx);
+      return 1;
     }
   }
 }

@@ -2,6 +2,7 @@
 
 #include <thread>
 
+#include "common/faultpoint.hpp"
 #include "common/mutex.hpp"
 
 namespace afs::sentinel {
@@ -22,6 +23,9 @@ int RunStreamPump(Sentinel& sentinel, StreamIo& io, SentinelContext& ctx) {
     Buffer chunk(4096);
     std::uint64_t read_pos = 0;
     while (true) {
+      // Injected fault: the pump stops producing and closes its side, the
+      // application's next read observes EOF (delay/kill stall or die here).
+      if (!fault::Hit("sentinel.stream.read").ok()) break;
       Result<std::size_t> got(std::size_t{0});
       {
         MutexLock lock(mu);
@@ -41,6 +45,9 @@ int RunStreamPump(Sentinel& sentinel, StreamIo& io, SentinelContext& ctx) {
   Buffer chunk(4096);
   std::uint64_t write_pos = 0;
   while (true) {
+    // Injected fault: stop consuming writes; the pump winds down as if the
+    // application had closed its side.
+    if (!fault::Hit("sentinel.stream.write").ok()) break;
     Result<std::size_t> got = io.read_from_app(MutableByteSpan(chunk));
     if (!got.ok() || *got == 0) break;  // EOF: application closed the file
     MutexLock lock(mu);

@@ -5,6 +5,7 @@
 #include <csignal>
 
 #include "afs.hpp"
+#include "common/faultpoint.hpp"
 #include "test_util.hpp"
 
 namespace afs {
@@ -187,9 +188,41 @@ TEST_F(FailureTest, KilledSentinelProcessSurfacesAsClosedNotHang) {
 
   Buffer out(1);
   auto got = api_.ReadFile(*handle, MutableByteSpan(out));
-  EXPECT_FALSE(got.ok());
+  // The dead sentinel's pipes report EOF, and the stub promises exactly
+  // kClosed for that — not a generic failure.
+  EXPECT_STATUS_CODE(got.status(), ErrorCode::kClosed);
+  // The failed round-trip poisoned the handle: later operations fail fast
+  // with kClosed instead of writing into the broken link.
+  EXPECT_STATUS_CODE(api_.ReadFile(*handle, MutableByteSpan(out)).status(),
+                     ErrorCode::kClosed);
   // Close still completes (reaps the corpse) even though the protocol
   // cannot round-trip.
+  (void)api_.CloseHandle(*handle);
+  EXPECT_EQ(api_.open_handle_count(), 0u);
+}
+
+TEST_F(FailureTest, StalledSentinelSurfacesAsTimeoutNotHang) {
+  // The sentinel child stalls 500ms on its first command; the handle's
+  // 50ms op deadline must fire first and report exactly kTimeout.
+  auto plan = fault::ParsePlan("seed=7;sentinel.dispatch.op=delay:500ms@n1");
+  ASSERT_OK(plan.status());
+  fault::ScopedFaultPlan scoped(std::move(*plan));
+
+  SentinelSpec spec;
+  spec.name = "null";
+  spec.config["strategy"] = "process_control";
+  spec.config["op_timeout_ms"] = "50";
+  ASSERT_OK(manager_.CreateActiveFile("slow.af", spec, AsBytes("x")));
+  auto handle = api_.OpenFile("slow.af", vfs::OpenMode::kReadWrite);
+  ASSERT_OK(handle.status());
+
+  Buffer out(1);
+  EXPECT_STATUS_CODE(api_.ReadFile(*handle, MutableByteSpan(out)).status(),
+                     ErrorCode::kTimeout);
+  // A timed-out round-trip desynchronizes the stream, so the handle is
+  // poisoned: the next operation is kClosed immediately, not a late reply.
+  EXPECT_STATUS_CODE(api_.ReadFile(*handle, MutableByteSpan(out)).status(),
+                     ErrorCode::kClosed);
   (void)api_.CloseHandle(*handle);
   EXPECT_EQ(api_.open_handle_count(), 0u);
 }

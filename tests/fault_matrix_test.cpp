@@ -1,0 +1,422 @@
+// The fault matrix: deterministic failpoint plans swept across
+// {strategy x fault site x fault kind}.  Every cell arms one plan, drives
+// a seeded schedule of file operations through an active file, and holds
+// the same contract: every operation RETURNS (no hangs), failures carry an
+// expected error code, and teardown leaks nothing.  Each cell's trace
+// carries the exact AFS_FAULT_PLAN line that replays it.
+//
+// Run the full sweep with AFS_FAULT_MATRIX=full (the default is a quick
+// subset, one seed per cell).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "afs.hpp"
+#include "common/faultpoint.hpp"
+#include "test_util.hpp"
+#include "util/prng.hpp"
+
+namespace afs {
+namespace {
+
+using sentinel::SentinelSpec;
+using test::TempDir;
+
+// ---- plan parsing and trigger semantics -----------------------------------
+
+TEST(FaultPlanTest, ParsesSitesKindsArgsAndTriggers) {
+  auto plan = fault::ParsePlan(
+      "seed=42;ipc.pipe.write=error:io@n3;net.socket.call=delay:5ms@p0.25;"
+      "core.link.recv=truncate:7;sentinel.dispatch.op=kill@n2");
+  ASSERT_OK(plan.status());
+  EXPECT_EQ(plan->seed, 42u);
+  ASSERT_EQ(plan->rules.size(), 4u);
+
+  EXPECT_EQ(plan->rules[0].site, "ipc.pipe.write");
+  EXPECT_EQ(plan->rules[0].kind, fault::FaultKind::kError);
+  EXPECT_EQ(plan->rules[0].error, ErrorCode::kIoError);
+  EXPECT_EQ(plan->rules[0].nth, 3u);
+
+  EXPECT_EQ(plan->rules[1].kind, fault::FaultKind::kDelay);
+  EXPECT_EQ(plan->rules[1].delay.count(), 5000);
+  EXPECT_EQ(plan->rules[1].nth, 0u);
+  EXPECT_DOUBLE_EQ(plan->rules[1].probability, 0.25);
+
+  EXPECT_EQ(plan->rules[2].kind, fault::FaultKind::kTruncate);
+  EXPECT_EQ(plan->rules[2].truncate_to, 7u);
+
+  EXPECT_EQ(plan->rules[3].kind, fault::FaultKind::kKill);
+  EXPECT_EQ(plan->rules[3].nth, 2u);
+}
+
+TEST(FaultPlanTest, ToStringRoundTrips) {
+  auto original = fault::ParsePlan(
+      "seed=9;a.site=error:timeout@n1;b.site=delay:250us;"
+      "c.site=truncate:16@p0.5;d.site=kill@n4");
+  ASSERT_OK(original.status());
+  auto reparsed = fault::ParsePlan(original->ToString());
+  SCOPED_TRACE(original->ToString());
+  ASSERT_OK(reparsed.status());
+  EXPECT_EQ(reparsed->seed, original->seed);
+  ASSERT_EQ(reparsed->rules.size(), original->rules.size());
+  for (std::size_t i = 0; i < original->rules.size(); ++i) {
+    const fault::FaultRule& a = original->rules[i];
+    const fault::FaultRule& b = reparsed->rules[i];
+    EXPECT_EQ(b.site, a.site) << i;
+    EXPECT_EQ(b.kind, a.kind) << i;
+    EXPECT_EQ(b.error, a.error) << i;
+    EXPECT_EQ(b.delay.count(), a.delay.count()) << i;
+    EXPECT_EQ(b.truncate_to, a.truncate_to) << i;
+    EXPECT_EQ(b.nth, a.nth) << i;
+    EXPECT_DOUBLE_EQ(b.probability, a.probability) << i;
+  }
+}
+
+TEST(FaultPlanTest, RejectsMalformedSpecs) {
+  EXPECT_FALSE(fault::ParsePlan("just-a-site-no-rule").ok());
+  EXPECT_FALSE(fault::ParsePlan("x=frobnicate").ok());
+  EXPECT_FALSE(fault::ParsePlan("x=error:notacode").ok());
+  EXPECT_FALSE(fault::ParsePlan("x=error:io@q7").ok());
+  EXPECT_FALSE(fault::ParsePlan("seed=notanumber;x=error:io").ok());
+}
+
+TEST(FaultPlanTest, NthTriggerFiresExactlyOnce) {
+  auto plan = fault::ParsePlan("seed=1;unit.site=error:timeout@n3");
+  ASSERT_OK(plan.status());
+  fault::ScopedFaultPlan scoped(std::move(*plan));
+  for (int hit = 1; hit <= 8; ++hit) {
+    const Status status = fault::Hit("unit.site");
+    if (hit == 3) {
+      EXPECT_STATUS_CODE(status, ErrorCode::kTimeout);
+    } else {
+      EXPECT_OK(status);
+    }
+  }
+  EXPECT_EQ(fault::TriggeredCount(), 1u);
+}
+
+TEST(FaultPlanTest, ProbabilityTriggerIsDeterministicPerSeed) {
+  auto pattern_for = [](std::uint64_t seed) {
+    auto plan = fault::ParsePlan("seed=" + std::to_string(seed) +
+                                 ";unit.coin=error:io@p0.5");
+    EXPECT_TRUE(plan.ok());
+    fault::ScopedFaultPlan scoped(std::move(*plan));
+    std::uint64_t bits = 0;
+    for (int i = 0; i < 64; ++i) {
+      bits = (bits << 1) | (fault::Hit("unit.coin").ok() ? 0u : 1u);
+    }
+    return bits;
+  };
+  const std::uint64_t first = pattern_for(123);
+  EXPECT_EQ(pattern_for(123), first);   // same seed: identical schedule
+  EXPECT_NE(pattern_for(124), first);   // new seed: a different coin
+}
+
+TEST(FaultPlanTest, PrefixRuleArmsTheWholeSubsystem) {
+  auto plan = fault::ParsePlan("seed=1;ipc.pipe.*=error:closed");
+  ASSERT_OK(plan.status());
+  fault::ScopedFaultPlan scoped(std::move(*plan));
+  EXPECT_STATUS_CODE(fault::Hit("ipc.pipe.read"), ErrorCode::kClosed);
+  EXPECT_STATUS_CODE(fault::Hit("ipc.pipe.write"), ErrorCode::kClosed);
+  EXPECT_OK(fault::Hit("ipc.frame.read"));  // different subsystem: unarmed
+}
+
+TEST(FaultPlanTest, TruncateSiteShortensButNeverGrowsPayloads) {
+  auto plan = fault::ParsePlan("seed=1;unit.cut=truncate:3");
+  ASSERT_OK(plan.status());
+  fault::ScopedFaultPlan scoped(std::move(*plan));
+  EXPECT_EQ(AFS_FAULT_TRUNCATE("unit.cut", std::size_t{10}), 3u);
+  EXPECT_EQ(AFS_FAULT_TRUNCATE("unit.cut", std::size_t{2}), 2u);  // clamped
+  EXPECT_EQ(AFS_FAULT_TRUNCATE("unit.other", std::size_t{10}), 10u);
+}
+
+TEST(FaultPlanTest, ClearDisarmsEverySite) {
+  {
+    auto plan = fault::ParsePlan("seed=1;unit.site=error:io");
+    ASSERT_OK(plan.status());
+    fault::ScopedFaultPlan scoped(std::move(*plan));
+    EXPECT_TRUE(fault::Enabled());
+    EXPECT_FALSE(fault::Hit("unit.site").ok());
+  }
+  EXPECT_FALSE(fault::Enabled());
+  EXPECT_OK(fault::Hit("unit.site"));
+}
+
+TEST(FaultPlanTest, EnvironmentVariableInstallsAPlan) {
+  ASSERT_EQ(::unsetenv("AFS_FAULT_PLAN"), 0);
+  EXPECT_FALSE(fault::InstallPlanFromEnv());
+
+  ASSERT_EQ(::setenv("AFS_FAULT_PLAN", "seed=5;unit.env=error:busy", 1), 0);
+  EXPECT_TRUE(fault::InstallPlanFromEnv());
+  EXPECT_STATUS_CODE(fault::Hit("unit.env"), ErrorCode::kBusy);
+  fault::ClearPlan();
+  ASSERT_EQ(::unsetenv("AFS_FAULT_PLAN"), 0);
+}
+
+// ---- the strategy matrix ---------------------------------------------------
+
+// One armed plan against one strategy.  `health` cells must keep serving
+// once the plan clears: the probe read after ClearPlan has to succeed.
+// That is only provable when the faults fire in the application's own
+// process — ClearPlan cannot reach a forked child's inherited copy of the
+// plan — or when the probe's success does not depend on the child (EOF on
+// a wound-down stream reads as 0 bytes, ok).  The rest are expected to
+// end with a dead or poisoned handle; for them the contract is just
+// "clean codes, no hangs, nothing leaked".
+struct Cell {
+  const char* name;
+  const char* strategy;
+  const char* plan;  // rule list; the runner prepends the seed
+  bool health;
+  bool quick;  // member of the default (quick) sweep
+};
+
+// Kill rules are armed ONLY at sites that execute inside forked sentinel
+// children (sentinel.dispatch.op under process_control, sentinel.stream.*
+// under process); arming them at in-process sites would kill the test
+// runner itself.
+constexpr Cell kCells[] = {
+    // thread strategy: the sentinel is an injected thread.
+    {"thread_roundtrip_error", "thread",
+     "core.link.roundtrip=error:io@p0.3", true, true},
+    {"thread_dispatch_error", "thread",
+     "sentinel.dispatch.op=error:remote@p0.3", true, true},
+    {"thread_recv_stall", "thread",
+     "sentinel.endpoint.recv=delay:400ms@n2", false, false},
+    {"thread_endpoint_closed", "thread",
+     "sentinel.endpoint.recv=error:closed@n2", false, true},
+    // process_control strategy: forked child + 3-pipe control channel.
+    {"pc_dispatch_error", "process_control",
+     "sentinel.dispatch.op=error:remote@p0.3", false, true},
+    {"pc_dispatch_kill", "process_control",
+     "sentinel.dispatch.op=kill@n2", false, true},
+    {"pc_dispatch_stall", "process_control",
+     "sentinel.dispatch.op=delay:400ms@n1", false, false},
+    {"pc_pipe_write_torn", "process_control",
+     "ipc.pipe.write=truncate:2@n3", false, false},
+    // process strategy: forked child + raw byte-stream pipes.
+    {"process_stream_read_error", "process",
+     "sentinel.stream.read=error:io@n1", true, true},
+    {"process_stream_kill", "process",
+     "sentinel.stream.write=kill@n1", false, false},
+    {"process_pipe_read_trunc", "process",
+     "ipc.pipe.read=truncate:1@p0.5", true, false},
+    // direct strategy: sentinel calls in the caller's frame.
+    {"direct_op_error", "direct",
+     "core.direct.op=error:io@p0.5", true, true},
+    {"direct_open_error", "direct",
+     "core.strategy.open=error:io@n1", false, true},
+};
+
+bool FullMatrix() {
+  const char* mode = std::getenv("AFS_FAULT_MATRIX");
+  return mode != nullptr && std::string_view(mode) == "full";
+}
+
+std::vector<std::uint64_t> MatrixSeeds() {
+  if (FullMatrix()) return {1, 2, 3, 4};
+  return {1};
+}
+
+// Any failure a faulted operation reports must be one of these: a code
+// that names what went wrong.  kInvalidArgument or a junk value here
+// would mean an injected transport fault was misdiagnosed.
+bool IsAllowedFailure(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kIoError:
+    case ErrorCode::kTimeout:
+    case ErrorCode::kClosed:
+    case ErrorCode::kRemoteError:
+    case ErrorCode::kProtocolError:
+    case ErrorCode::kInternal:
+    case ErrorCode::kUnsupported:  // seek/size under the process strategy
+    case ErrorCode::kCorrupt:
+      return true;
+    default:
+      return false;
+  }
+}
+
+void RunCell(const Cell& cell, std::uint64_t seed, std::size_t cell_index) {
+  const std::string plan_text =
+      "seed=" + std::to_string(seed) + ";" + cell.plan;
+  SCOPED_TRACE(std::string("cell=") + cell.name +
+               "  replay: AFS_FAULT_PLAN=\"" + plan_text + "\"");
+
+  TempDir tmp;
+  vfs::FileApi api(tmp.path() + "/root");
+  sentinels::RegisterBuiltinSentinels();
+  core::ActiveFileManager manager(api, sentinel::SentinelRegistry::Global());
+  manager.Install();
+
+  SentinelSpec spec;
+  spec.name = "null";
+  spec.config["strategy"] = cell.strategy;
+  spec.config["op_timeout_ms"] = "150";
+  ASSERT_OK(manager.CreateActiveFile("cell.af", spec,
+                                     AsBytes("0123456789abcdef")));
+
+  auto plan = fault::ParsePlan(plan_text);
+  ASSERT_OK(plan.status());
+  fault::InstallPlan(std::move(*plan));
+  struct Disarm {
+    ~Disarm() { fault::ClearPlan(); }
+  } disarm;
+
+  auto handle = api.OpenFile("cell.af", vfs::OpenMode::kReadWrite);
+  if (!handle.ok()) {
+    // A faulted open must fail with a diagnosable code and leak nothing;
+    // once the plan clears, the very same open has to work.
+    EXPECT_TRUE(IsAllowedFailure(handle.status().code()))
+        << handle.status().ToString();
+    EXPECT_EQ(api.open_handle_count(), 0u);
+    fault::ClearPlan();
+    auto retry = api.OpenFile("cell.af", vfs::OpenMode::kReadWrite);
+    ASSERT_OK(retry.status());
+    ASSERT_OK(api.CloseHandle(*retry));
+    EXPECT_EQ(api.open_handle_count(), 0u);
+    return;
+  }
+
+  // The seeded operation schedule.  Whatever the plan injects, every call
+  // must come back — the matrix's job is turning hangs into failures.
+  Prng prng(seed * 0x9E3779B97F4A7C15ull + cell_index);
+  const int ops = FullMatrix() ? 24 : 12;
+  for (int i = 0; i < ops; ++i) {
+    SCOPED_TRACE("op #" + std::to_string(i));
+    Status status = Status::Ok();
+    switch (prng.NextBelow(4)) {
+      case 0: {
+        Buffer out(4);
+        status = api.ReadFile(*handle, MutableByteSpan(out)).status();
+        break;
+      }
+      case 1:
+        status = api.WriteFile(*handle, AsBytes("wxyz")).status();
+        break;
+      case 2:
+        status = api.SetFilePointer(*handle,
+                                    static_cast<std::int64_t>(
+                                        prng.NextBelow(8)),
+                                    vfs::SeekOrigin::kBegin)
+                     .status();
+        break;
+      default:
+        status = api.GetFileSize(*handle).status();
+        break;
+    }
+    if (!status.ok()) {
+      EXPECT_TRUE(IsAllowedFailure(status.code())) << status.ToString();
+    }
+  }
+
+  fault::ClearPlan();
+  if (cell.health) {
+    // Transient faults only: with the plan gone the handle still serves.
+    Buffer probe(4);
+    EXPECT_OK(api.ReadFile(*handle, MutableByteSpan(probe)).status());
+  }
+  const Status closed = api.CloseHandle(*handle);
+  if (!closed.ok()) {
+    EXPECT_TRUE(IsAllowedFailure(closed.code())) << closed.ToString();
+  }
+  EXPECT_EQ(api.open_handle_count(), 0u);
+}
+
+TEST(FaultMatrixTest, EveryCellFailsCleanOrNotAtAll) {
+  const bool full = FullMatrix();
+  for (std::size_t i = 0; i < std::size(kCells); ++i) {
+    const Cell& cell = kCells[i];
+    if (!full && !cell.quick) continue;
+    for (std::uint64_t seed : MatrixSeeds()) {
+      RunCell(cell, seed, i);
+      if (::testing::Test::HasFatalFailure()) return;
+    }
+  }
+}
+
+// ---- socket transport: retry and bounded failure ---------------------------
+
+class SocketFaultTest : public ::testing::Test {
+ protected:
+  SocketFaultTest()
+      : path_(test::UniqueSocketPath(tmp_.path(), "fault")),
+        server_(path_, files_) {
+    EXPECT_TRUE(files_.Put("k", AsBytes("v")).ok());
+    EXPECT_TRUE(server_.Start().ok());
+  }
+  ~SocketFaultTest() override { server_.Stop(); }
+
+  TempDir tmp_;
+  net::FileServer files_;
+  std::string path_;
+  net::SocketServer server_;
+};
+
+TEST_F(SocketFaultTest, TransientCallFaultIsAbsorbedByRetry) {
+  net::SocketClient client(path_);  // default options allow 2 retries
+  net::FileClient fc(client);
+
+  auto plan = fault::ParsePlan("seed=3;net.socket.call=error:io@n1");
+  ASSERT_OK(plan.status());
+  fault::ScopedFaultPlan scoped(std::move(*plan));
+
+  // First attempt eats the injected kIoError; the bounded retry wins.
+  auto got = fc.Get("k");
+  ASSERT_OK(got.status());
+  EXPECT_EQ(ToString(ByteSpan(got->data)), "v");
+  EXPECT_EQ(fault::TriggeredCount(), 1u);
+}
+
+TEST_F(SocketFaultTest, PersistentConnectFaultEndsBoundedNotForever) {
+  net::SocketClient::Options options;
+  options.max_retries = 2;
+  options.retry_backoff = Micros{100};
+  net::SocketClient client(path_, options);
+  net::FileClient fc(client);
+
+  // Every connect attempt fails: the call must end after the initial try
+  // plus max_retries — not spin forever and not mask the code.
+  auto plan = fault::ParsePlan("seed=4;net.socket.connect=error:io");
+  ASSERT_OK(plan.status());
+  fault::ScopedFaultPlan scoped(std::move(*plan));
+  EXPECT_STATUS_CODE(fc.Get("k").status(), ErrorCode::kIoError);
+  EXPECT_EQ(fault::TriggeredCount(), 3u);  // 1 try + 2 retries
+}
+
+TEST_F(SocketFaultTest, ServerSideDropIsRecoveredByClientRetry) {
+  net::SocketClient client(path_);
+  net::FileClient fc(client);
+
+  // The server reads the request, then drops the connection without a
+  // reply; the client sees EOF mid-call, reconnects, and retries.
+  auto plan = fault::ParsePlan("seed=5;net.socket.serve=error:io@n1");
+  ASSERT_OK(plan.status());
+  fault::ScopedFaultPlan scoped(std::move(*plan));
+  auto got = fc.Get("k");
+  ASSERT_OK(got.status());
+  EXPECT_EQ(ToString(ByteSpan(got->data)), "v");
+}
+
+TEST(SimNetFaultTest, InjectedSimCallFaultSurfacesToCaller) {
+  ManualClock clock;
+  net::SimNet net(clock);
+  net::FileServer files;
+  ASSERT_OK(files.Put("f", AsBytes("x")));
+  ASSERT_OK(net.AddLink("c", "s", {}));
+  ASSERT_OK(net.Mount("s", "files", files));
+  auto transport = net.Connect("c", "s", "files");
+  net::FileClient fc(*transport);
+
+  auto plan = fault::ParsePlan("seed=6;net.simnet.call=error:busy@n1");
+  ASSERT_OK(plan.status());
+  fault::ScopedFaultPlan scoped(std::move(*plan));
+  EXPECT_STATUS_CODE(fc.Get("f").status(), ErrorCode::kBusy);
+  ASSERT_OK(fc.Get("f").status());  // the n1 trigger is spent
+}
+
+}  // namespace
+}  // namespace afs

@@ -19,7 +19,7 @@ using test::TempDir;
 
 class FtpTest : public ::testing::Test {
  protected:
-  FtpTest() : server_(tmp_.path() + "/ftp.sock", store_) {
+  FtpTest() : server_(test::UniqueSocketPath(tmp_.path(), "ftp"), store_) {
     EXPECT_TRUE(server_.Start().ok());
   }
   ~FtpTest() override { server_.Stop(); }
@@ -80,20 +80,10 @@ TEST_F(FtpTest, ErrorsAreRemoteErrors) {
 
 TEST_F(FtpTest, ServerSurvivesMalformedCommands) {
   // Speak raw garbage at the server, then verify it still works.
-  sockaddr_un addr{};
-  addr.sun_family = AF_UNIX;
-  std::strncpy(addr.sun_path, server_.socket_path().c_str(),
-               sizeof(addr.sun_path) - 1);
-  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  ASSERT_GE(fd, 0);
-  // sockaddr_un -> sockaddr is the POSIX-sanctioned sockets-API pun.
-  // NOLINTNEXTLINE(cppcoreguidelines-pro-type-reinterpret-cast)
-  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
-            0);
-  const char junk[] = "FROB x\nSTOR\nSTOR a notanumber\nRETR\n";
-  ASSERT_EQ(::write(fd, junk, sizeof(junk) - 1),
-            static_cast<ssize_t>(sizeof(junk) - 1));
-  ::close(fd);
+  test::RawUnixClient raw(server_.socket_path());
+  ASSERT_GE(raw.fd(), 0);
+  ASSERT_TRUE(raw.Send("FROB x\nSTOR\nSTOR a notanumber\nRETR\n"));
+  raw.Close();
 
   ASSERT_OK(store_.Put("still-alive", AsBytes("yes")));
   FtpClient client(server_.socket_path());

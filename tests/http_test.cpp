@@ -17,7 +17,8 @@ using test::TempDir;
 
 class HttpTest : public ::testing::Test {
  protected:
-  HttpTest() : server_(tmp_.path() + "/http.sock", store_) {
+  HttpTest()
+      : server_(test::UniqueSocketPath(tmp_.path(), "http"), store_) {
     EXPECT_TRUE(server_.Start().ok());
   }
   ~HttpTest() override { server_.Stop(); }
@@ -86,46 +87,21 @@ TEST_F(HttpTest, UnknownMethodIs405AndBadRequestIs400) {
   EXPECT_EQ(response->status_code, 405);
 
   // Raw garbage request line.
-  sockaddr_un addr{};
-  addr.sun_family = AF_UNIX;
-  std::strncpy(addr.sun_path, server_.socket_path().c_str(),
-               sizeof(addr.sun_path) - 1);
-  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  ASSERT_GE(fd, 0);
-  // sockaddr_un -> sockaddr is the POSIX-sanctioned sockets-API pun.
-  // NOLINTNEXTLINE(cppcoreguidelines-pro-type-reinterpret-cast)
-  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
-            0);
-  const char junk[] = "NONSENSE\r\n\r\n";
-  ASSERT_EQ(::write(fd, junk, sizeof(junk) - 1),
-            static_cast<ssize_t>(sizeof(junk) - 1));
-  char reply[64] = {};
-  ASSERT_GT(::read(fd, reply, sizeof(reply) - 1), 0);
-  EXPECT_NE(std::strstr(reply, "400"), nullptr);
-  ::close(fd);
+  test::RawUnixClient raw(server_.socket_path());
+  ASSERT_GE(raw.fd(), 0);
+  ASSERT_TRUE(raw.Send("NONSENSE\r\n\r\n"));
+  EXPECT_NE(raw.Receive().find("400"), std::string::npos);
+  raw.Close();
 
   // The server keeps serving afterwards.
   ASSERT_OK(client.Put("alive", AsBytes("yes")));
 }
 
 TEST_F(HttpTest, PutWithoutContentLengthIs400) {
-  sockaddr_un addr{};
-  addr.sun_family = AF_UNIX;
-  std::strncpy(addr.sun_path, server_.socket_path().c_str(),
-               sizeof(addr.sun_path) - 1);
-  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  ASSERT_GE(fd, 0);
-  // sockaddr_un -> sockaddr is the POSIX-sanctioned sockets-API pun.
-  // NOLINTNEXTLINE(cppcoreguidelines-pro-type-reinterpret-cast)
-  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
-            0);
-  const char req[] = "PUT /x HTTP/1.0\r\nHost: afs\r\n\r\n";
-  ASSERT_EQ(::write(fd, req, sizeof(req) - 1),
-            static_cast<ssize_t>(sizeof(req) - 1));
-  char reply[64] = {};
-  ASSERT_GT(::read(fd, reply, sizeof(reply) - 1), 0);
-  EXPECT_NE(std::strstr(reply, "400"), nullptr);
-  ::close(fd);
+  test::RawUnixClient raw(server_.socket_path());
+  ASSERT_GE(raw.fd(), 0);
+  ASSERT_TRUE(raw.Send("PUT /x HTTP/1.0\r\nHost: afs\r\n\r\n"));
+  EXPECT_NE(raw.Receive().find("400"), std::string::npos);
 }
 
 TEST_F(HttpTest, ConcurrentClients) {

@@ -350,7 +350,7 @@ TEST(MailServerTest, RpcListRetrieveDeleteSend) {
 TEST(SocketTransportTest, EndToEnd) {
   TempDir tmp;
   EchoHandler echo;
-  SocketServer server(tmp.path() + "/srv.sock", echo);
+  SocketServer server(test::UniqueSocketPath(tmp.path(), "srv"), echo);
   ASSERT_OK(server.Start());
   SocketClient client(server.socket_path());
   auto reply = client.Call(AsBytes("over-unix-socket"));
@@ -363,7 +363,7 @@ TEST(SocketTransportTest, EndToEnd) {
 TEST(SocketTransportTest, MultipleSequentialCallsReuseConnection) {
   TempDir tmp;
   EchoHandler echo;
-  SocketServer server(tmp.path() + "/srv.sock", echo);
+  SocketServer server(test::UniqueSocketPath(tmp.path(), "srv"), echo);
   ASSERT_OK(server.Start());
   SocketClient client(server.socket_path());
   for (int i = 0; i < 50; ++i) {
@@ -377,7 +377,7 @@ TEST(SocketTransportTest, MultipleSequentialCallsReuseConnection) {
 TEST(SocketTransportTest, ConcurrentClients) {
   TempDir tmp;
   EchoHandler echo;
-  SocketServer server(tmp.path() + "/srv.sock", echo);
+  SocketServer server(test::UniqueSocketPath(tmp.path(), "srv"), echo);
   ASSERT_OK(server.Start());
   std::vector<std::thread> threads;
   std::atomic<int> failures{0};
@@ -402,7 +402,7 @@ TEST(SocketTransportTest, WorksAcrossFork) {
   TempDir tmp;
   FileServer files;
   ASSERT_OK(files.Put("shared", AsBytes("for-the-child")));
-  SocketServer server(tmp.path() + "/srv.sock", files);
+  SocketServer server(test::UniqueSocketPath(tmp.path(), "srv"), files);
   ASSERT_OK(server.Start());
 
   // The child connects fresh after fork — the scenario the process-based
@@ -434,7 +434,7 @@ TEST(SocketTransportTest, ServiceDelayIsApplied) {
   EchoHandler echo;
   SocketServer::Options options;
   options.service_delay = Micros(5000);
-  SocketServer server(tmp.path() + "/srv.sock", echo, options);
+  SocketServer server(test::UniqueSocketPath(tmp.path(), "srv"), echo, options);
   ASSERT_OK(server.Start());
   SocketClient client(server.socket_path());
   const auto t0 = SteadyClock::Instance().Now();

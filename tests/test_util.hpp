@@ -1,12 +1,22 @@
-// Shared test scaffolding: a temporary sandbox directory per test, torn
-// down afterwards.
+// Shared test scaffolding: a temporary sandbox directory per test (torn
+// down afterwards), bounded condition polling, and a raw Unix-socket
+// client for protocol-abuse tests.
 #pragma once
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstdlib>
+#include <cstring>
 #include <filesystem>
 #include <string>
+#include <thread>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "common/bytes.hpp"
 
 namespace afs::test {
 
@@ -35,6 +45,83 @@ class TempDir {
   std::string path_;
 };
 
+// Polls `predicate` until it returns true or `timeout` elapses; returns
+// whether it became true.  The bounded replacement for bare sleep_for in
+// tests that wait on another thread/process: no fixed latency tax when the
+// condition is already met, no flake when the machine is slow, and a
+// guaranteed exit when the condition never arrives.
+template <typename Predicate>
+bool PollUntil(Predicate&& predicate,
+               std::chrono::milliseconds timeout = std::chrono::seconds(5)) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  while (!predicate()) {
+    if (std::chrono::steady_clock::now() >= deadline) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return true;
+}
+
+// A fresh socket path inside the sandbox (unix sockets are the tests' port
+// numbers; uniqueness comes from the TempDir).
+inline std::string UniqueSocketPath(const std::string& dir,
+                                    const std::string& name) {
+  return dir + "/" + name + ".sock";
+}
+
+// Raw AF_UNIX client for speaking deliberately malformed bytes at a server
+// (the framed clients refuse to).  Connects in the constructor; fd() < 0
+// means the connect failed.
+class RawUnixClient {
+ public:
+  explicit RawUnixClient(const std::string& socket_path) {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, socket_path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd_ < 0) return;
+    // sockaddr_un -> sockaddr is the POSIX-sanctioned sockets-API pun.
+    // NOLINTNEXTLINE(cppcoreguidelines-pro-type-reinterpret-cast)
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+        0) {
+      Close();
+    }
+  }
+
+  ~RawUnixClient() { Close(); }
+
+  RawUnixClient(const RawUnixClient&) = delete;
+  RawUnixClient& operator=(const RawUnixClient&) = delete;
+
+  int fd() const noexcept { return fd_; }
+
+  // Writes the whole string; true on success.
+  bool Send(const std::string& bytes) {
+    return fd_ >= 0 &&
+           ::write(fd_, bytes.data(), bytes.size()) ==
+               static_cast<ssize_t>(bytes.size());
+  }
+
+  // One read(2), returned as a string (empty on EOF or error).
+  std::string Receive() {
+    char buf[256] = {};
+    if (fd_ < 0) return {};
+    const ssize_t n = ::read(fd_, buf, sizeof(buf) - 1);
+    return n > 0 ? std::string(buf, static_cast<std::size_t>(n))
+                 : std::string();
+  }
+
+  void Close() {
+    if (fd_ >= 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+
+ private:
+  int fd_ = -1;
+};
+
 // gtest-friendly status assertions.
 // Note: taken by value — `expr` may be `temporary_result.status()`, a
 // reference into a temporary that dies at the end of the declaration.
@@ -48,6 +135,16 @@ class TempDir {
   do {                                                                 \
     const ::afs::Status afs_test_status_ = (expr);                     \
     EXPECT_TRUE(afs_test_status_.ok()) << afs_test_status_.ToString(); \
+  } while (0)
+
+// Failure tests must pin the *specific* code a seam promises (kTimeout vs
+// kClosed is the difference between "slow" and "dead"); a bare !ok() assert
+// passes even when the wrong path produced the error.
+#define EXPECT_STATUS_CODE(expr, want)                                  \
+  do {                                                                  \
+    const ::afs::Status afs_test_status_ = (expr);                      \
+    EXPECT_EQ(afs_test_status_.code(), (want))                          \
+        << afs_test_status_.ToString();                                 \
   } while (0)
 
 }  // namespace afs::test

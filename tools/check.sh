@@ -6,6 +6,13 @@
 #   tools/check.sh tidy       # clang-tidy only
 #   tools/check.sh asan       # AddressSanitizer+UBSan build, full ctest
 #   tools/check.sh tsan       # ThreadSanitizer build, ctest -L tsan
+#   tools/check.sh fault      # full fault matrix (-L fault) under both
+#                             # sanitizers; see docs/TESTING.md
+#
+# The fault lane reuses the asan/tsan build trees and is not part of the
+# default quick suite: the full {strategy x site x kind} sweep spends real
+# wall-clock on injected delays, so it runs when asked (or in CI's long
+# lane), while the quick sweep of the same matrix stays in plain ctest.
 #
 # Clang-only stages (clang-tidy, -Wthread-safety) are skipped with a notice
 # when the tools are not installed; the sanitizer lanes work with GCC.
@@ -42,17 +49,39 @@ run_sanitizer() {
   echo "== $name: clean"
 }
 
+run_fault() {
+  local lane sanitize dir
+  for lane in asan tsan; do
+    if [ "$lane" = asan ]; then
+      sanitize="address;undefined"
+    else
+      sanitize="thread"
+    fi
+    dir="build-$lane"
+    echo "== fault/$lane: configuring ($sanitize)"
+    cmake -B "$dir" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+      -DAFS_SANITIZE="$sanitize" -DAFS_DEADLOCK_DEBUG=ON >/dev/null
+    echo "== fault/$lane: building"
+    cmake --build "$dir" -j "$JOBS" >/dev/null
+    echo "== fault/$lane: full matrix (AFS_FAULT_MATRIX=full ctest -L fault)"
+    (cd "$dir" && AFS_FAULT_MATRIX=full ctest --output-on-failure -L fault)
+  done
+  echo "== fault: clean"
+}
+
 case "$STAGE" in
   tidy) run_tidy ;;
   asan) run_sanitizer asan "address;undefined" "" ;;
   tsan) run_sanitizer tsan "thread" "-L tsan" ;;
+  fault) run_fault ;;
   all)
     run_tidy
     run_sanitizer asan "address;undefined" ""
     run_sanitizer tsan "thread" "-L tsan"
+    run_fault
     ;;
   *)
-    echo "usage: tools/check.sh [tidy|asan|tsan|all]" >&2
+    echo "usage: tools/check.sh [tidy|asan|tsan|fault|all]" >&2
     exit 2
     ;;
 esac
