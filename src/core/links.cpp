@@ -3,6 +3,7 @@
 #include <chrono>
 
 #include "common/faultpoint.hpp"
+#include "core/supervisor.hpp"
 #include "ipc/framing.hpp"
 
 namespace afs::core {
@@ -44,12 +45,57 @@ Status PipeLink::AF_SendControl(const ControlMessage& message) {
 
 Result<ControlResponse> PipeLink::AF_GetResponse() {
   AFS_FAULT_POINT("core.link.recv");
-  AFS_ASSIGN_OR_RETURN(Buffer frame,
-                       ipc::ReadFrame(fds_.response_read, response_timeout_));
-  return DecodeControlResponse(ByteSpan(frame));
+  MutexLock lock(read_mu_);
+  if (pending_.has_value()) {
+    // The heartbeat drain raced a real response off the pipe; hand it over.
+    ControlResponse stashed = std::move(*pending_);
+    pending_.reset();
+    if (lease_) lease_->Renew();
+    return stashed;
+  }
+  const bool bounded = response_timeout_.count() > 0;
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::microseconds(response_timeout_.count());
+  while (true) {
+    Micros remaining = response_timeout_;
+    if (bounded) {
+      const auto left = std::chrono::duration_cast<std::chrono::microseconds>(
+          deadline - std::chrono::steady_clock::now());
+      if (left.count() <= 0) {
+        return TimeoutError("sentinel did not respond in time");
+      }
+      remaining = Micros{left.count()};
+    }
+    AFS_ASSIGN_OR_RETURN(Buffer frame,
+                         ipc::ReadFrame(fds_.response_read, remaining));
+    AFS_ASSIGN_OR_RETURN(ControlResponse response,
+                         DecodeControlResponse(ByteSpan(frame)));
+    if (lease_) lease_->Renew();
+    // Heartbeats only renew the lease; keep waiting (against the same
+    // overall deadline) for the real answer.
+    if (!response.heartbeat) return response;
+  }
+}
+
+void PipeLink::PollHeartbeats() {
+  if (!read_mu_.TryLock()) return;  // an op owns the pipe and sees liveness
+  while (!pending_.has_value()) {
+    Result<bool> ready = fds_.response_read.Poll();
+    if (!ready.ok() || !*ready) break;
+    Result<Buffer> frame = ipc::ReadFrame(fds_.response_read, Micros{50'000});
+    if (!frame.ok()) break;  // EOF/garbage: the lease expires on its own
+    Result<ControlResponse> response = DecodeControlResponse(ByteSpan(*frame));
+    if (!response.ok()) break;
+    if (lease_) lease_->Renew();
+    if (!response->heartbeat) pending_ = std::move(*response);
+  }
+  read_mu_.Unlock();
 }
 
 void PipeLink::Shutdown() {
+  // Taking the read lock fences out a concurrent heartbeat drain so the
+  // descriptors are never closed under an in-flight poll.
+  MutexLock lock(read_mu_);
   fds_.control_write.Close();
   fds_.response_read.Close();
   fds_.data_write.Close();
@@ -63,6 +109,16 @@ Status PipeLink::SetCloexec() {
 
 Result<ControlMessage> PipeEndpoint::AF_GetControl() {
   AFS_FAULT_POINT("sentinel.endpoint.recv");
+  while (heartbeat_interval_.count() > 0) {
+    const Status ready = fds_.control_read.WaitReadable(heartbeat_interval_);
+    if (ready.ok()) break;
+    if (ready.code() != ErrorCode::kTimeout) return ready;
+    // Idle past one interval: tell the application side we are alive.
+    ControlResponse beat;
+    beat.heartbeat = true;
+    AFS_RETURN_IF_ERROR(
+        ipc::WriteFrame(fds_.response_write, EncodeControlResponse(beat)));
+  }
   AFS_ASSIGN_OR_RETURN(Buffer frame, ipc::ReadFrame(fds_.control_read));
   return DecodeControlMessage(ByteSpan(frame));
 }
@@ -125,9 +181,19 @@ Result<ControlMessage> ThreadRendezvous::AF_GetControl() {
   AFS_FAULT_POINT("sentinel.endpoint.recv");
   MutexLock lock(mu_);
   while (state_ != SlotState::kCommand && !shutdown_) {
-    cv_.Wait(mu_);
+    if (lease_ != nullptr && lease_interval_.count() > 0) {
+      // Idle renewal: the timed wakeup itself is the heartbeat — the lease
+      // stamp is the shared memory both sides agree on.
+      lease_->Renew();
+      (void)cv_.WaitUntil(mu_, std::chrono::steady_clock::now() +
+                                   std::chrono::microseconds(
+                                       lease_interval_.count()));
+    } else {
+      cv_.Wait(mu_);
+    }
   }
   if (shutdown_) return ClosedError("rendezvous closed");
+  if (lease_) lease_->Renew();
   // The slot stays occupied (kCommand) while the sentinel works; the
   // response transition frees it.
   return message_;
@@ -144,6 +210,7 @@ Status ThreadRendezvous::AF_SendResponse(const ControlResponse& response) {
   AFS_FAULT_POINT("sentinel.endpoint.send");
   MutexLock lock(mu_);
   if (shutdown_) return ClosedError("rendezvous closed");
+  if (lease_) lease_->Renew();
   response_ = response;
   state_ = SlotState::kResponse;
   lock.Unlock();
@@ -162,6 +229,16 @@ void ThreadRendezvous::Shutdown() {
 void ThreadRendezvous::set_response_timeout(Micros timeout) noexcept {
   MutexLock lock(mu_);
   response_timeout_ = timeout;
+}
+
+void ThreadRendezvous::set_lease(std::shared_ptr<Lease> lease,
+                                 Micros interval) {
+  MutexLock lock(mu_);
+  lease_ = std::move(lease);
+  lease_interval_ = interval;
+  lock.Unlock();
+  // Wake an idle sentinel thread so it picks up the timed-wait cadence.
+  cv_.NotifyAll();
 }
 
 }  // namespace afs::core

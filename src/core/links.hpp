@@ -11,11 +11,16 @@
 //     ControlMessage, giving one user-level copy per transfer.
 #pragma once
 
+#include <memory>
+#include <optional>
+
 #include "common/mutex.hpp"
 #include "ipc/pipe.hpp"
 #include "sentinel/endpoint.hpp"
 
 namespace afs::core {
+
+class Lease;  // core/supervisor.hpp
 
 struct PipeLinkFds {
   // Application side.
@@ -48,6 +53,19 @@ class PipeLink final : public sentinel::SentinelLink {
     response_timeout_ = timeout;
   }
 
+  // Installs the liveness lease this link renews whenever any frame —
+  // heartbeat or real response — arrives from the sentinel.
+  void set_lease(std::shared_ptr<Lease> lease) noexcept {
+    lease_ = std::move(lease);
+  }
+
+  // Monitor-thread entry: drains frames that are already pending without
+  // blocking.  Heartbeats renew the lease and are discarded; a real
+  // response that races the poll is stashed for the next AF_GetResponse.
+  // A no-op while an application operation owns the read side (that
+  // operation observes liveness itself).
+  void PollHeartbeats();
+
   // Closes all application-side ends; the sentinel sees EOF.
   void Shutdown();
 
@@ -57,6 +75,12 @@ class PipeLink final : public sentinel::SentinelLink {
  private:
   PipeLinkFds fds_;
   Micros response_timeout_{0};
+  std::shared_ptr<Lease> lease_;
+
+  // Serializes readers of the response pipe: the application operation in
+  // flight vs. the supervisor's heartbeat drain.
+  Mutex read_mu_;
+  std::optional<sentinel::ControlResponse> pending_ AFS_GUARDED_BY(read_mu_);
 };
 
 class PipeEndpoint final : public sentinel::SentinelEndpoint {
@@ -67,8 +91,16 @@ class PipeEndpoint final : public sentinel::SentinelEndpoint {
   Result<Buffer> AF_GetDataFromAppl(std::size_t length) override;
   Status AF_SendResponse(const sentinel::ControlResponse& response) override;
 
+  // When positive, an idle AF_GetControl emits a heartbeat response every
+  // `interval` instead of blocking forever — the sentinel side of the
+  // lease protocol.  Set before the dispatch loop starts.
+  void set_heartbeat_interval(Micros interval) noexcept {
+    heartbeat_interval_ = interval;
+  }
+
  private:
   PipeEndpointFds fds_;
+  Micros heartbeat_interval_{0};
 };
 
 // Both halves of the thread strategy's connection in one object.  The
@@ -96,6 +128,11 @@ class ThreadRendezvous final : public sentinel::SentinelLink,
   // sentinel thread does not answer in time.  Non-positive waits forever.
   void set_response_timeout(Micros timeout) noexcept;
 
+  // Installs the shared-memory lease the sentinel thread renews from
+  // inside its waits (the in-process analogue of heartbeat frames).  The
+  // thread wakes every `interval` while idle just to stamp the lease.
+  void set_lease(std::shared_ptr<Lease> lease, Micros interval);
+
  private:
   enum class SlotState { kIdle, kCommand, kResponse };
 
@@ -107,6 +144,8 @@ class ThreadRendezvous final : public sentinel::SentinelLink,
   // application before AF_GetResponse starts reporting kClosed.
   bool shutdown_ AFS_GUARDED_BY(mu_) = false;
   Micros response_timeout_ AFS_GUARDED_BY(mu_){0};
+  std::shared_ptr<Lease> lease_ AFS_GUARDED_BY(mu_);
+  Micros lease_interval_ AFS_GUARDED_BY(mu_){0};
   sentinel::ControlMessage message_ AFS_GUARDED_BY(mu_);
   sentinel::ControlResponse response_ AFS_GUARDED_BY(mu_);
 };

@@ -4,6 +4,7 @@
 
 #include "common/faultpoint.hpp"
 #include "core/bundle.hpp"
+#include "core/session_journal.hpp"
 #include "vfs/paths.hpp"
 
 namespace afs::core {
@@ -17,6 +18,8 @@ ActiveFileManager::ActiveFileManager(vfs::FileApi& api,
   }
   std::error_code ec;
   std::filesystem::create_directories(options_.lock_dir, ec);
+  journal_ =
+      std::make_unique<SessionJournal>(options_.lock_dir + "/sessions.journal");
 }
 
 ActiveFileManager::~ActiveFileManager() { Uninstall(); }
@@ -121,6 +124,15 @@ Result<std::unique_ptr<vfs::FileHandle>> ActiveFileManager::TryOpen(
   auto it = request.spec.config.find("strategy");
   if (it != request.spec.config.end()) {
     AFS_ASSIGN_OR_RETURN(strategy, ParseStrategy(it->second));
+  }
+
+  // Bundles that opt in ("supervise=1") get the crash-recovering wrapper;
+  // everybody else keeps the classic handle and its fail-fast semantics.
+  AFS_ASSIGN_OR_RETURN(RestartPolicy policy,
+                       RestartPolicy::FromSpec(request.spec.config));
+  if (policy.supervised) {
+    return OpenSupervised(supervisor_, *journal_, registry_, strategy,
+                          request, policy);
   }
   return OpenWithStrategy(strategy, registry_, request);
 }

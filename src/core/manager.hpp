@@ -13,10 +13,13 @@
 
 #include "common/status.hpp"
 #include "core/strategies.hpp"
+#include "core/supervisor.hpp"
 #include "sentinel/registry.hpp"
 #include "vfs/file_api.hpp"
 
 namespace afs::core {
+
+class SessionJournal;
 
 struct ManagerOptions {
   // Used when a bundle's config carries no "strategy" key.
@@ -69,11 +72,20 @@ class ActiveFileManager final : public vfs::OpenInterceptor {
       vfs::FileApi& api, const std::string& path,
       const vfs::OpenOptions& options) override;
 
+  // The session journal backing supervised opens (lives in the lock dir).
+  SessionJournal& session_journal() noexcept { return *journal_; }
+
  private:
   vfs::FileApi& api_;
   sentinel::SentinelRegistry& registry_;
   ManagerOptions options_;
   bool installed_ = false;
+
+  // Supervision plumbing: bundles whose spec opts in ("supervise=1") are
+  // opened through OpenSupervised with these; everything else keeps the
+  // classic unsupervised path.
+  Supervisor supervisor_;
+  std::unique_ptr<SessionJournal> journal_;
 };
 
 }  // namespace afs::core

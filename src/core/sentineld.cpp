@@ -35,6 +35,13 @@ struct Args {
     }
     return static_cast<int>(fd);
   }
+
+  // Optional numeric flag; 0 when absent or malformed.
+  std::uint64_t GetU64(const std::string& key) const {
+    std::uint64_t value = 0;
+    if (!ParseU64(Get(key), value)) return 0;
+    return value;
+  }
 };
 
 Args ParseArgs(int argc, char** argv) {
@@ -102,6 +109,12 @@ int SentineldMain(int argc, char** argv) {
     fds.response_write = ipc::PipeEnd(*response_fd);
     fds.data_read = ipc::PipeEnd(*data_fd);
     PipeEndpoint endpoint(std::move(fds));
+    // Supervised opens ask for idle heartbeats so the launching side's
+    // lease protocol can tell "idle" from "dead".
+    const std::uint64_t heartbeat_ms = args.GetU64("heartbeat-ms");
+    if (heartbeat_ms > 0) {
+      endpoint.set_heartbeat_interval(Micros{heartbeat_ms * 1000});
+    }
     code = sentinel::RunSentinelLoop(**sent, endpoint, ctx);
   } else if (mode == "stream") {
     auto in_fd = args.GetFd("in-fd");
@@ -114,7 +127,12 @@ int SentineldMain(int argc, char** argv) {
     io.read_from_app = [&](MutableByteSpan span) { return in.ReadSome(span); };
     io.write_to_app = [&](ByteSpan data) { return out.WriteAll(data); };
     io.finish_output = [&]() { out.Close(); };
-    code = sentinel::RunStreamPump(**sent, io, ctx);
+    // Re-attach after a supervised restart: resume the pumps where the
+    // application already was instead of replaying from byte zero.
+    sentinel::StreamResume resume;
+    resume.read_pos = args.GetU64("resume-read");
+    resume.write_pos = args.GetU64("resume-write");
+    code = sentinel::RunStreamPump(**sent, io, ctx, resume);
   } else {
     return Fail(InvalidArgumentError("missing or bad --mode"));
   }

@@ -1,0 +1,197 @@
+#include "core/session_journal.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <sstream>
+
+#include "common/faultpoint.hpp"
+#include "common/log.hpp"
+
+namespace afs::core {
+
+namespace {
+
+// Applies one parsed event to a record; shared by the live mirror and the
+// offline replayer so the two can never disagree.
+Status ApplyEvent(SessionJournal::Record& record, const std::string& event,
+                  std::istringstream& rest) {
+  if (event == "OPEN") {
+    rest >> record.strategy;
+    std::string path;
+    std::getline(rest, path);
+    if (!path.empty() && path.front() == ' ') path.erase(0, 1);
+    record.vfs_path = path;
+    return Status::Ok();
+  }
+  if (event == "OP") {
+    rest >> record.inflight_op >> record.inflight_offset >>
+        record.inflight_length;
+    return Status::Ok();
+  }
+  if (event == "DONE") {
+    rest >> record.position;
+    record.inflight_op.clear();
+    record.inflight_offset = 0;
+    record.inflight_length = 0;
+    return Status::Ok();
+  }
+  if (event == "RESTART") {
+    rest >> record.restarts;
+    return Status::Ok();
+  }
+  if (event == "DEGRADE") {
+    record.degraded = true;
+    return Status::Ok();
+  }
+  if (event == "CLOSE") {
+    record.closed = true;
+    record.inflight_op.clear();
+    return Status::Ok();
+  }
+  return ProtocolError("unknown journal event: " + event);
+}
+
+}  // namespace
+
+SessionJournal::SessionJournal(std::string path) : path_(std::move(path)) {
+  MutexLock lock(mu_);
+  file_ = std::fopen(path_.c_str(), "a");
+  if (file_ == nullptr) {
+    AFS_LOG(kWarn, "afs.journal")
+        << "cannot open session journal " << path_ << ": "
+        << std::strerror(errno) << " (journaling disabled)";
+  }
+}
+
+SessionJournal::~SessionJournal() {
+  MutexLock lock(mu_);
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+std::uint64_t SessionJournal::NextId() {
+  MutexLock lock(mu_);
+  return next_id_++;
+}
+
+Status SessionJournal::Append(const std::string& line) {
+  if (file_ == nullptr) return Status::Ok();  // journaling disabled
+  AFS_FAULT_POINT("core.journal.append");
+  if (std::fputs(line.c_str(), file_) < 0 || std::fputc('\n', file_) < 0 ||
+      std::fflush(file_) != 0) {
+    return IoError("session journal append failed: " +
+                   std::string(std::strerror(errno)));
+  }
+  return Status::Ok();
+}
+
+Status SessionJournal::RecordOpen(std::uint64_t id, const std::string& strategy,
+                                  const std::string& vfs_path) {
+  MutexLock lock(mu_);
+  Record& record = sessions_[id];
+  record.id = id;
+  record.strategy = strategy;
+  record.vfs_path = vfs_path;
+  return Append("OPEN " + std::to_string(id) + " " + strategy + " " +
+                vfs_path);
+}
+
+Status SessionJournal::RecordOp(std::uint64_t id, const std::string& op,
+                                std::int64_t offset, std::uint64_t length) {
+  MutexLock lock(mu_);
+  auto it = sessions_.find(id);
+  if (it == sessions_.end()) return NotFoundError("unknown session id");
+  it->second.inflight_op = op;
+  it->second.inflight_offset = offset;
+  it->second.inflight_length = length;
+  return Append("OP " + std::to_string(id) + " " + op + " " +
+                std::to_string(offset) + " " + std::to_string(length));
+}
+
+Status SessionJournal::RecordDone(std::uint64_t id, std::int64_t position) {
+  MutexLock lock(mu_);
+  auto it = sessions_.find(id);
+  if (it == sessions_.end()) return NotFoundError("unknown session id");
+  it->second.position = position;
+  it->second.inflight_op.clear();
+  it->second.inflight_offset = 0;
+  it->second.inflight_length = 0;
+  return Append("DONE " + std::to_string(id) + " " + std::to_string(position));
+}
+
+Status SessionJournal::RecordRestart(std::uint64_t id, int restarts) {
+  MutexLock lock(mu_);
+  auto it = sessions_.find(id);
+  if (it == sessions_.end()) return NotFoundError("unknown session id");
+  it->second.restarts = restarts;
+  return Append("RESTART " + std::to_string(id) + " " +
+                std::to_string(restarts));
+}
+
+Status SessionJournal::RecordDegrade(std::uint64_t id,
+                                     const std::string& mode) {
+  MutexLock lock(mu_);
+  auto it = sessions_.find(id);
+  if (it == sessions_.end()) return NotFoundError("unknown session id");
+  it->second.degraded = true;
+  return Append("DEGRADE " + std::to_string(id) + " " + mode);
+}
+
+Status SessionJournal::RecordClose(std::uint64_t id) {
+  MutexLock lock(mu_);
+  auto it = sessions_.find(id);
+  if (it == sessions_.end()) return NotFoundError("unknown session id");
+  it->second.closed = true;
+  it->second.inflight_op.clear();
+  return Append("CLOSE " + std::to_string(id));
+}
+
+std::optional<SessionJournal::Record> SessionJournal::Lookup(
+    std::uint64_t id) const {
+  MutexLock lock(mu_);
+  auto it = sessions_.find(id);
+  if (it == sessions_.end()) return std::nullopt;
+  return it->second;
+}
+
+Result<std::vector<SessionJournal::Record>> ReplayJournalFile(
+    const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "r");
+  if (file == nullptr) {
+    return IoError("cannot open journal " + path + ": " +
+                   std::string(std::strerror(errno)));
+  }
+  std::map<std::uint64_t, SessionJournal::Record> sessions;
+  std::vector<std::uint64_t> order;
+  std::string line;
+  char buf[4096];
+  Status status = Status::Ok();
+  while (std::fgets(buf, sizeof(buf), file) != nullptr) {
+    line.assign(buf);
+    while (!line.empty() && (line.back() == '\n' || line.back() == '\r')) {
+      line.pop_back();
+    }
+    if (line.empty()) continue;
+    std::istringstream in(line);
+    std::string event;
+    std::uint64_t id = 0;
+    if (!(in >> event >> id)) {
+      status = ProtocolError("malformed journal line: " + line);
+      break;
+    }
+    auto [it, inserted] = sessions.try_emplace(id);
+    if (inserted) {
+      it->second.id = id;
+      order.push_back(id);
+    }
+    status = ApplyEvent(it->second, event, in);
+    if (!status.ok()) break;
+  }
+  std::fclose(file);
+  AFS_RETURN_IF_ERROR(status);
+  std::vector<SessionJournal::Record> records;
+  records.reserve(order.size());
+  for (std::uint64_t id : order) records.push_back(sessions[id]);
+  return records;
+}
+
+}  // namespace afs::core

@@ -1,0 +1,94 @@
+// Write-ahead session journal for supervised active-file handles.
+//
+// Every supervised handle owns one session record: enough replayable state
+// (bundle path, strategy, logical file position, the operation in flight)
+// to re-attach to a freshly restarted sentinel as if nothing happened.
+// Mutations are journaled write-ahead — the OP line lands before the
+// operation is attempted, the DONE line after it is acknowledged — so at
+// any crash instant the journal names exactly which operation may have
+// half-happened and must be retried (idempotent ops) or reported.
+//
+// The journal is a plain append-only text log (one event per line) plus an
+// in-memory mirror used for lookups at runtime; the on-disk form is an
+// audit trail a test (or a post-mortem) can replay.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/mutex.hpp"
+#include "common/status.hpp"
+
+namespace afs::core {
+
+class SessionJournal {
+ public:
+  // One supervised handle's replayable state.
+  struct Record {
+    std::uint64_t id = 0;
+    std::string strategy;
+    std::string vfs_path;
+
+    // The logical file pointer last acknowledged by a sentinel; replayed
+    // as a seek on re-attach.
+    std::int64_t position = 0;
+
+    // The operation journaled write-ahead and not yet marked DONE; empty
+    // when the session is quiescent.
+    std::string inflight_op;
+    std::int64_t inflight_offset = 0;
+    std::uint64_t inflight_length = 0;
+
+    int restarts = 0;
+    bool degraded = false;
+    bool closed = false;
+  };
+
+  // Opens (creating if needed) the journal at `path`.  Append-only; an
+  // existing file keeps its history.
+  explicit SessionJournal(std::string path);
+  ~SessionJournal();
+
+  SessionJournal(const SessionJournal&) = delete;
+  SessionJournal& operator=(const SessionJournal&) = delete;
+
+  // Allocates a session id unique within this journal's lifetime.
+  std::uint64_t NextId();
+
+  // Event writers.  Each appends one line and updates the mirror; the
+  // line is flushed before the call returns (write-ahead ordering).
+  Status RecordOpen(std::uint64_t id, const std::string& strategy,
+                    const std::string& vfs_path);
+  Status RecordOp(std::uint64_t id, const std::string& op,
+                  std::int64_t offset, std::uint64_t length);
+  Status RecordDone(std::uint64_t id, std::int64_t position);
+  Status RecordRestart(std::uint64_t id, int restarts);
+  Status RecordDegrade(std::uint64_t id, const std::string& mode);
+  Status RecordClose(std::uint64_t id);
+
+  // The mirror's current view of a session; nullopt for unknown ids.
+  std::optional<Record> Lookup(std::uint64_t id) const;
+
+  const std::string& path() const noexcept { return path_; }
+
+ private:
+  Status Append(const std::string& line) AFS_REQUIRES(mu_);
+
+  const std::string path_;
+  mutable Mutex mu_;
+  std::FILE* file_ AFS_GUARDED_BY(mu_) = nullptr;
+  std::uint64_t next_id_ AFS_GUARDED_BY(mu_) = 1;
+  std::map<std::uint64_t, Record> sessions_ AFS_GUARDED_BY(mu_);
+};
+
+// Replays a journal file into final per-session records, in first-OPEN
+// order.  Unknown or malformed lines fail (the journal is ours; anything
+// unparseable means a torn write or corruption worth surfacing).
+Result<std::vector<SessionJournal::Record>> ReplayJournalFile(
+    const std::string& path);
+
+}  // namespace afs::core

@@ -9,6 +9,7 @@
 #include "common/faultpoint.hpp"
 #include "common/mutex.hpp"
 #include "core/links.hpp"
+#include "core/supervisor.hpp"
 #include "ipc/process.hpp"
 #include "sentinel/dispatch.hpp"
 #include "sentinel/stream.hpp"
@@ -418,7 +419,7 @@ class DirectHandle final : public vfs::FileHandle, public ActiveHandle {
 class ProcessHandle final : public vfs::FileHandle {
  public:
   ProcessHandle(ipc::PipeEnd to_sentinel, ipc::PipeEnd from_sentinel,
-                ipc::ChildProcess child, Micros read_timeout)
+                std::shared_ptr<ipc::ProcessWatch> child, Micros read_timeout)
       : to_sentinel_(std::move(to_sentinel)),
         from_sentinel_(std::move(from_sentinel)),
         child_(std::move(child)),
@@ -456,10 +457,12 @@ class ProcessHandle final : public vfs::FileHandle {
     closed_ = true;
     to_sentinel_.Close();    // sentinel's writer loop sees EOF
     from_sentinel_.Close();  // unblocks an eagerly-pushing sentinel (EPIPE)
-    AFS_ASSIGN_OR_RETURN(int code, child_.Wait());
-    if (code != 0) {
+    // Bounded reap: a wedged sentinel is escalated TERM -> KILL rather
+    // than blocking Close forever.
+    const ipc::ExitStatus ended = child_->Shutdown();
+    if (!ended.clean()) {
       return InternalError("sentinel exited with code " +
-                           std::to_string(code));
+                           std::to_string(ended.code));
     }
     return Status::Ok();
   }
@@ -468,7 +471,7 @@ class ProcessHandle final : public vfs::FileHandle {
   Mutex mu_;
   ipc::PipeEnd to_sentinel_ AFS_GUARDED_BY(mu_);
   ipc::PipeEnd from_sentinel_ AFS_GUARDED_BY(mu_);
-  ipc::ChildProcess child_ AFS_GUARDED_BY(mu_);
+  std::shared_ptr<ipc::ProcessWatch> child_ AFS_GUARDED_BY(mu_);
   const Micros read_timeout_;
   bool closed_ AFS_GUARDED_BY(mu_) = false;
 };
@@ -490,7 +493,8 @@ Result<std::unique_ptr<vfs::FileHandle>> OpenDirect(
 }
 
 Result<std::unique_ptr<vfs::FileHandle>> OpenThread(
-    const sentinel::SentinelRegistry& registry, const OpenRequest& request) {
+    const sentinel::SentinelRegistry& registry, const OpenRequest& request,
+    SessionProbe* probe) {
   struct Resources {
     ThreadRendezvous rendezvous;
     std::unique_ptr<sentinel::Sentinel> sent;
@@ -505,6 +509,16 @@ Result<std::unique_ptr<vfs::FileHandle>> OpenThread(
   res->ctx = BuildContext(request, res->cache);
 
   res->rendezvous.set_response_timeout(OpTimeout(request));
+  if (probe != nullptr && request.heartbeat_interval.count() > 0) {
+    // In-process lease: the sentinel thread stamps shared memory from
+    // inside its waits — no frames involved.
+    auto lease = std::make_shared<Lease>();
+    res->rendezvous.set_lease(lease, request.heartbeat_interval);
+    probe->lease = std::move(lease);
+  }
+  if (probe != nullptr) {
+    probe->force_down = [res] { res->rendezvous.Shutdown(); };
+  }
 
   // "Inject" the sentinel: a thread inside the application's process.
   Resources* raw = res.get();
@@ -541,10 +555,11 @@ std::string ExecPath(const OpenRequest& request) {
 }
 
 Result<std::unique_ptr<vfs::FileHandle>> OpenProcessControl(
-    const sentinel::SentinelRegistry& registry, const OpenRequest& request) {
+    const sentinel::SentinelRegistry& registry, const OpenRequest& request,
+    SessionProbe* probe) {
   struct Resources {
     std::unique_ptr<PipeLink> link;
-    ipc::ChildProcess child;
+    std::shared_ptr<ipc::ProcessWatch> child;
   };
   ipc::IgnoreSigpipe();
 
@@ -553,6 +568,12 @@ Result<std::unique_ptr<vfs::FileHandle>> OpenProcessControl(
   res->link = std::make_unique<PipeLink>(std::move(pipes.first));
   res->link->set_response_timeout(OpTimeout(request));
 
+  std::shared_ptr<Lease> lease;
+  if (probe != nullptr && request.heartbeat_interval.count() > 0) {
+    lease = std::make_shared<Lease>();
+    res->link->set_lease(lease);
+  }
+
   const std::string exec_path = ExecPath(request);
   if (!exec_path.empty()) {
     // fork+exec of the sentinel executable; it reopens the bundle itself.
@@ -560,15 +581,20 @@ Result<std::unique_ptr<vfs::FileHandle>> OpenProcessControl(
     // sentinel never observes EOF when the application closes.
     AFS_RETURN_IF_ERROR(res->link->SetCloexec());
     PipeEndpointFds fds = std::move(pipes.second);
-    Result<ipc::ChildProcess> spawned = ipc::SpawnExec(
-        {exec_path, "--mode=control",
-         "--control-fd=" + std::to_string(fds.control_read.fd()),
-         "--response-fd=" + std::to_string(fds.response_write.fd()),
-         "--data-fd=" + std::to_string(fds.data_read.fd()),
-         "--bundle=" + request.host_path, "--path=" + request.vfs_path,
-         "--lockdir=" + request.lock_dir});
+    std::vector<std::string> argv = {
+        exec_path, "--mode=control",
+        "--control-fd=" + std::to_string(fds.control_read.fd()),
+        "--response-fd=" + std::to_string(fds.response_write.fd()),
+        "--data-fd=" + std::to_string(fds.data_read.fd()),
+        "--bundle=" + request.host_path, "--path=" + request.vfs_path,
+        "--lockdir=" + request.lock_dir};
+    if (request.heartbeat_interval.count() > 0) {
+      argv.push_back("--heartbeat-ms=" +
+                     std::to_string(request.heartbeat_interval.count() / 1000));
+    }
+    Result<ipc::ChildProcess> spawned = ipc::SpawnExec(argv);
     AFS_RETURN_IF_ERROR(spawned.status());
-    res->child = std::move(*spawned);
+    res->child = std::make_shared<ipc::ProcessWatch>(std::move(*spawned));
     // fds destruct here: the parent's copies close, the child's survive
     // the exec.
   } else {
@@ -579,6 +605,7 @@ Result<std::unique_ptr<vfs::FileHandle>> OpenProcessControl(
     SentinelContext ctx = BuildContext(request, cache);
 
     PipeEndpoint endpoint(std::move(pipes.second));
+    endpoint.set_heartbeat_interval(request.heartbeat_interval);
     // The child's copy of the stack keeps every referenced object alive:
     // it runs the loop inside this call frame and _exit()s.
     Result<ipc::ChildProcess> spawned = ipc::SpawnFunction([&]() -> int {
@@ -588,14 +615,21 @@ Result<std::unique_ptr<vfs::FileHandle>> OpenProcessControl(
       return code;
     });
     AFS_RETURN_IF_ERROR(spawned.status());
-    res->child = std::move(*spawned);
+    res->child = std::make_shared<ipc::ProcessWatch>(std::move(*spawned));
     // Parent's copies of the sentinel-side ends close here (scope exit),
     // so EOF propagates if either side dies.
   }
 
+  if (probe != nullptr) {
+    probe->lease = lease;
+    probe->child = res->child;
+    probe->force_down = [res] { res->child->Kill(); };
+    probe->poll_heartbeats = [res] { res->link->PollHeartbeats(); };
+  }
+
   auto cleanup = [res]() {
     res->link->Shutdown();
-    (void)res->child.Wait();
+    (void)res->child->Shutdown();
   };
   auto handle = std::make_unique<LinkHandle>(res->link.get(), res, cleanup);
 
@@ -607,8 +641,25 @@ Result<std::unique_ptr<vfs::FileHandle>> OpenProcessControl(
   return std::unique_ptr<vfs::FileHandle>(std::move(handle));
 }
 
+// Fills the probe for a freshly spawned stream/exec sentinel child.  No
+// lease: the raw byte streams carry no heartbeat frames, so liveness for
+// this strategy rests on waitpid alone.
+void FillChildProbe(SessionProbe* probe,
+                    const std::shared_ptr<ipc::ProcessWatch>& watch,
+                    int to_sentinel_fd) {
+  if (probe == nullptr) return;
+  probe->child = watch;
+  probe->force_down = [watch] { watch->Kill(); };
+  // The fd stays stable when the PipeEnd moves into the handle; the
+  // supervised handle clears this closure before that handle is destroyed.
+  probe->peer_alive = [to_sentinel_fd] {
+    return ipc::PipeWriterHasReader(to_sentinel_fd);
+  };
+}
+
 Result<std::unique_ptr<vfs::FileHandle>> OpenProcess(
-    const sentinel::SentinelRegistry& registry, const OpenRequest& request) {
+    const sentinel::SentinelRegistry& registry, const OpenRequest& request,
+    SessionProbe* probe) {
   ipc::IgnoreSigpipe();
   // app -> sentinel (the sentinel's standard input in the paper's model).
   AFS_ASSIGN_OR_RETURN(ipc::Pipe inbound, ipc::Pipe::Create());
@@ -619,18 +670,27 @@ Result<std::unique_ptr<vfs::FileHandle>> OpenProcess(
   if (!exec_path.empty()) {
     AFS_RETURN_IF_ERROR(inbound.write_end.SetCloexec());
     AFS_RETURN_IF_ERROR(outbound.read_end.SetCloexec());
-    Result<ipc::ChildProcess> spawned = ipc::SpawnExec(
-        {exec_path, "--mode=stream",
-         "--in-fd=" + std::to_string(inbound.read_end.fd()),
-         "--out-fd=" + std::to_string(outbound.write_end.fd()),
-         "--bundle=" + request.host_path, "--path=" + request.vfs_path,
-         "--lockdir=" + request.lock_dir});
+    std::vector<std::string> argv = {
+        exec_path, "--mode=stream",
+        "--in-fd=" + std::to_string(inbound.read_end.fd()),
+        "--out-fd=" + std::to_string(outbound.write_end.fd()),
+        "--bundle=" + request.host_path, "--path=" + request.vfs_path,
+        "--lockdir=" + request.lock_dir};
+    if (request.resume_read_pos > 0 || request.resume_write_pos > 0) {
+      argv.push_back("--resume-read=" +
+                     std::to_string(request.resume_read_pos));
+      argv.push_back("--resume-write=" +
+                     std::to_string(request.resume_write_pos));
+    }
+    Result<ipc::ChildProcess> spawned = ipc::SpawnExec(argv);
     AFS_RETURN_IF_ERROR(spawned.status());
     inbound.read_end.Close();
     outbound.write_end.Close();
+    auto watch = std::make_shared<ipc::ProcessWatch>(std::move(*spawned));
+    FillChildProbe(probe, watch, inbound.write_end.fd());
     return std::unique_ptr<vfs::FileHandle>(std::make_unique<ProcessHandle>(
         std::move(inbound.write_end), std::move(outbound.read_end),
-        std::move(*spawned), OpTimeout(request)));
+        std::move(watch), OpTimeout(request)));
   }
 
   AFS_ASSIGN_OR_RETURN(CacheAssembly cache,
@@ -638,6 +698,8 @@ Result<std::unique_ptr<vfs::FileHandle>> OpenProcess(
   AFS_ASSIGN_OR_RETURN(std::unique_ptr<sentinel::Sentinel> sent,
                        registry.Create(request.spec));
   SentinelContext ctx = BuildContext(request, cache);
+  const sentinel::StreamResume resume{request.resume_read_pos,
+                                      request.resume_write_pos};
 
   Result<ipc::ChildProcess> spawned = ipc::SpawnFunction([&]() -> int {
     // Child's copies of the application-side ends must close for EOF.
@@ -651,7 +713,7 @@ Result<std::unique_ptr<vfs::FileHandle>> OpenProcess(
       return outbound.write_end.WriteAll(data);
     };
     io.finish_output = [&]() { outbound.write_end.Close(); };
-    const int code = sentinel::RunStreamPump(*sent, io, ctx);
+    const int code = sentinel::RunStreamPump(*sent, io, ctx, resume);
     (void)cache.Finalize();
     return code;
   });
@@ -661,24 +723,26 @@ Result<std::unique_ptr<vfs::FileHandle>> OpenProcess(
   inbound.read_end.Close();
   outbound.write_end.Close();
 
+  auto watch = std::make_shared<ipc::ProcessWatch>(std::move(*spawned));
+  FillChildProbe(probe, watch, inbound.write_end.fd());
   return std::unique_ptr<vfs::FileHandle>(std::make_unique<ProcessHandle>(
       std::move(inbound.write_end), std::move(outbound.read_end),
-      std::move(*spawned), OpTimeout(request)));
+      std::move(watch), OpTimeout(request)));
 }
 
 }  // namespace
 
 Result<std::unique_ptr<vfs::FileHandle>> OpenWithStrategy(
     Strategy strategy, const sentinel::SentinelRegistry& registry,
-    const OpenRequest& request) {
+    const OpenRequest& request, SessionProbe* probe) {
   AFS_FAULT_POINT("core.strategy.open");
   switch (strategy) {
     case Strategy::kProcess:
-      return OpenProcess(registry, request);
+      return OpenProcess(registry, request, probe);
     case Strategy::kProcessControl:
-      return OpenProcessControl(registry, request);
+      return OpenProcessControl(registry, request, probe);
     case Strategy::kThread:
-      return OpenThread(registry, request);
+      return OpenThread(registry, request, probe);
     case Strategy::kDirect:
       return OpenDirect(registry, request);
   }

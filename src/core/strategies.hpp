@@ -15,6 +15,7 @@
 #include <memory>
 #include <string>
 
+#include "common/clock.hpp"
 #include "common/status.hpp"
 #include "core/bundle.hpp"
 #include "sentinel/context.hpp"
@@ -22,6 +23,8 @@
 #include "vfs/file_handle.hpp"
 
 namespace afs::core {
+
+struct SessionProbe;  // core/supervisor.hpp
 
 // Optional capability of active-file handles: application-specific
 // commands tunneled to the sentinel's OnControl (the control channel's
@@ -74,13 +77,26 @@ struct OpenRequest {
   sentinel::SentinelSpec spec;
   sentinel::RemoteResolver* resolver = nullptr;  // may be null
   std::string lock_dir;
+
+  // Supervision extras (set by core/supervisor.cpp, zero by default):
+  // positive → the sentinel side emits idle heartbeats / renews its lease
+  // at this cadence.
+  Micros heartbeat_interval{0};
+  // Stream-strategy re-attach: the reader pump starts streaming at
+  // resume_read_pos and the first inbound write applies at
+  // resume_write_pos, so a restarted sentinel resumes mid-file instead of
+  // replaying from byte zero.
+  std::uint64_t resume_read_pos = 0;
+  std::uint64_t resume_write_pos = 0;
 };
 
 // Builds the application-side FileHandle (the "stub") for the given
 // strategy, spawning/injecting the sentinel as a side effect.  On error
-// nothing is left running.
+// nothing is left running.  A non-null `probe` is filled with the
+// session's liveness hooks (lease, child watch, force-down) for the
+// supervisor; pass nullptr when the open is unsupervised.
 Result<std::unique_ptr<vfs::FileHandle>> OpenWithStrategy(
     Strategy strategy, const sentinel::SentinelRegistry& registry,
-    const OpenRequest& request);
+    const OpenRequest& request, SessionProbe* probe = nullptr);
 
 }  // namespace afs::core

@@ -58,6 +58,33 @@ Status PipeEnd::WaitReadable(Micros timeout) const {
   }
 }
 
+bool PipeWriterHasReader(int write_fd) noexcept {
+  if (write_fd < 0) return false;
+  pollfd pfd{};
+  pfd.fd = write_fd;
+  pfd.events = 0;  // POLLERR is reported regardless of the event mask
+  while (true) {
+    const int rc = ::poll(&pfd, 1, 0);
+    if (rc >= 0) return (pfd.revents & (POLLERR | POLLNVAL)) == 0;
+    if (errno == EINTR) continue;
+    return false;
+  }
+}
+
+Result<bool> PipeEnd::Poll() const {
+  if (!valid()) return ClosedError("poll on closed pipe end");
+  pollfd pfd{};
+  pfd.fd = fd_;
+  pfd.events = POLLIN;
+  while (true) {
+    const int rc = ::poll(&pfd, 1, 0);
+    if (rc > 0) return true;  // readable, EOF, or error — a read resolves it
+    if (rc == 0) return false;
+    if (errno == EINTR) continue;
+    return IoError(std::string("pipe poll: ") + std::strerror(errno));
+  }
+}
+
 Status PipeEnd::ReadExact(MutableByteSpan out) {
   std::size_t done = 0;
   while (done < out.size()) {

@@ -52,6 +52,11 @@ class PipeEnd {
   // a wedged sentinel must cost the application a timeout, never a hang.
   Status WaitReadable(Micros timeout) const;
 
+  // Non-blocking readability probe: true when data (or EOF) is already
+  // pending, false when a read would block.  Lets a monitor thread drain
+  // heartbeat frames without ever stalling on an idle pipe.
+  Result<bool> Poll() const;
+
   // Reads exactly out.size() bytes or fails (kClosed on premature EOF).
   Status ReadExact(MutableByteSpan out);
 
@@ -69,5 +74,12 @@ struct Pipe {
 
   static Result<Pipe> Create();
 };
+
+// True while at least one read end of the pipe whose write end is `write_fd`
+// remains open (POLLERR on a pipe write end means every reader is gone).
+// Instant, non-blocking; false on a bad descriptor.  This disambiguates the
+// stream strategy's EOF: a finished pump still holds the app->sentinel read
+// end, while a killed sentinel loses every descriptor at once.
+bool PipeWriterHasReader(int write_fd) noexcept;
 
 }  // namespace afs::ipc

@@ -1,12 +1,16 @@
 #include "ipc/process.hpp"
 
 #include <cerrno>
+#include <chrono>
 #include <csignal>
 #include <cstring>
+#include <thread>
 #include <utility>
 
 #include <sys/wait.h>
 #include <unistd.h>
+
+#include "common/log.hpp"
 
 namespace afs::ipc {
 
@@ -15,7 +19,8 @@ ChildProcess::~ChildProcess() { Kill(); }
 ChildProcess::ChildProcess(ChildProcess&& other) noexcept
     : pid_(std::exchange(other.pid_, -1)),
       reaped_(std::exchange(other.reaped_, false)),
-      exit_code_(other.exit_code_) {}
+      exit_code_(other.exit_code_),
+      exit_signal_(other.exit_signal_) {}
 
 ChildProcess& ChildProcess::operator=(ChildProcess&& other) noexcept {
   if (this != &other) {
@@ -23,8 +28,23 @@ ChildProcess& ChildProcess::operator=(ChildProcess&& other) noexcept {
     pid_ = std::exchange(other.pid_, -1);
     reaped_ = std::exchange(other.reaped_, false);
     exit_code_ = other.exit_code_;
+    exit_signal_ = other.exit_signal_;
   }
   return *this;
+}
+
+void ChildProcess::Absorb(int status) noexcept {
+  reaped_ = true;
+  if (WIFEXITED(status)) {
+    exit_code_ = WEXITSTATUS(status);
+    exit_signal_ = 0;
+  } else if (WIFSIGNALED(status)) {
+    exit_signal_ = WTERMSIG(status);
+    exit_code_ = 128 + exit_signal_;
+  } else {
+    exit_code_ = 128;
+    exit_signal_ = 0;
+  }
 }
 
 Result<int> ChildProcess::Wait() {
@@ -37,12 +57,75 @@ Result<int> ChildProcess::Wait() {
     if (r < 0 && errno == EINTR) continue;
     return IoError(std::string("waitpid: ") + std::strerror(errno));
   }
-  reaped_ = true;
-  exit_code_ = WIFEXITED(status) ? WEXITSTATUS(status)
-                                 : 128 + (WIFSIGNALED(status)
-                                              ? WTERMSIG(status)
-                                              : 0);
+  Absorb(status);
   return exit_code_;
+}
+
+Result<std::optional<ExitStatus>> ChildProcess::TryWait() {
+  if (!valid()) return InvalidArgumentError("trywait on invalid child");
+  if (reaped_) return std::optional<ExitStatus>({exit_code_, exit_signal_});
+  int status = 0;
+  while (true) {
+    const pid_t r = ::waitpid(pid_, &status, WNOHANG);
+    if (r == 0) return std::optional<ExitStatus>();  // still running
+    if (r == pid_) break;
+    if (r < 0 && errno == EINTR) continue;
+    return IoError(std::string("waitpid: ") + std::strerror(errno));
+  }
+  Absorb(status);
+  return std::optional<ExitStatus>({exit_code_, exit_signal_});
+}
+
+ExitStatus ChildProcess::Shutdown(Micros grace) noexcept {
+  if (!valid() || reaped_) return {exit_code_, exit_signal_};
+
+  // Phase 0: give it `grace` to finish on its own (the normal case — the
+  //          sentinel exits once its pipes report EOF).
+  // Phase 1: SIGTERM, poll up to `grace`.
+  // Phase 2: SIGKILL, poll up to `grace`, then a blocking reap — after a
+  // SIGKILL that wait is prompt, and skipping it would leak a zombie.
+  const auto poll_until = [&](Micros budget) noexcept {
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::microseconds(budget.count());
+    while (true) {
+      int status = 0;
+      const pid_t r = ::waitpid(pid_, &status, WNOHANG);
+      if (r == pid_) {
+        Absorb(status);
+        return true;
+      }
+      if (r < 0 && errno != EINTR) return false;  // ECHILD: nothing to reap
+      if (std::chrono::steady_clock::now() >= deadline) return false;
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  };
+
+  const char* how = "exited";
+  if (!poll_until(grace)) {
+    how = "terminated";
+    ::kill(pid_, SIGTERM);
+    if (!poll_until(grace)) {
+      how = "killed";
+      ::kill(pid_, SIGKILL);
+      if (!poll_until(grace)) {
+        int status = 0;
+        while (::waitpid(pid_, &status, 0) < 0 && errno == EINTR) {
+        }
+        Absorb(status);
+      }
+    }
+  }
+  if (!reaped_) {
+    // waitpid reported ECHILD (reaped elsewhere / PID gone): record an
+    // unknown-but-dead summary rather than looping.
+    reaped_ = true;
+    exit_code_ = 128;
+    exit_signal_ = 0;
+  }
+  AFS_LOG(kInfo, "afs.ipc") << "sentinel pid " << pid_ << " " << how
+                            << ": exit code " << exit_code_ << ", signal "
+                            << exit_signal_;
+  return {exit_code_, exit_signal_};
 }
 
 void ChildProcess::Kill() noexcept {
@@ -53,12 +136,55 @@ void ChildProcess::Kill() noexcept {
   // Offer a clean exit first (sentinels exit on pipe EOF), then force.
   int status = 0;
   pid_t r = ::waitpid(pid_, &status, WNOHANG);
-  if (r != pid_) {
-    ::kill(pid_, SIGKILL);
-    while (::waitpid(pid_, &status, 0) < 0 && errno == EINTR) {
-    }
+  if (r == pid_) {
+    Absorb(status);
+    return;
   }
-  reaped_ = true;
+  ::kill(pid_, SIGKILL);
+  while (::waitpid(pid_, &status, 0) < 0 && errno == EINTR) {
+  }
+  Absorb(status);
+}
+
+pid_t ProcessWatch::pid() const {
+  MutexLock lock(mu_);
+  return child_.pid();
+}
+
+std::optional<ExitStatus> ProcessWatch::Poll() {
+  MutexLock lock(mu_);
+  if (exit_.has_value()) return exit_;
+  if (!child_.valid()) return std::nullopt;
+  Result<std::optional<ExitStatus>> probe = child_.TryWait();
+  if (probe.ok() && probe->has_value()) exit_ = **probe;
+  return exit_;
+}
+
+ExitStatus ProcessWatch::Shutdown(Micros grace) {
+  MutexLock lock(mu_);
+  if (exit_.has_value()) return *exit_;
+  const ExitStatus ended = child_.Shutdown(grace);
+  exit_ = ended;
+  return ended;
+}
+
+void ProcessWatch::Kill() {
+  MutexLock lock(mu_);
+  if (exit_.has_value()) return;
+  child_.Kill();
+  Result<std::optional<ExitStatus>> probe = child_.TryWait();
+  if (probe.ok() && probe->has_value()) exit_ = **probe;
+}
+
+Result<int> ProcessWatch::Wait() {
+  MutexLock lock(mu_);
+  if (exit_.has_value()) return exit_->code;
+  Result<int> code = child_.Wait();
+  if (code.ok()) {
+    Result<std::optional<ExitStatus>> probe = child_.TryWait();
+    if (probe.ok() && probe->has_value()) exit_ = **probe;
+  }
+  return code;
 }
 
 Result<ChildProcess> SpawnFunction(std::function<int()> body) {

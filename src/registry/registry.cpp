@@ -1,7 +1,11 @@
 #include "registry/registry.hpp"
 
-#include <algorithm>
+#include <unistd.h>
 
+#include <algorithm>
+#include <cstdio>
+
+#include "common/faultpoint.hpp"
 #include "util/strings.hpp"
 
 namespace afs::reg {
@@ -271,12 +275,37 @@ std::uint64_t Registry::revision() const {
 
 Status Registry::SaveToFile(const std::string& host_path) const {
   AFS_ASSIGN_OR_RETURN(std::string text, RenderText(""));
-  FILE* f = std::fopen(host_path.c_str(), "w");
-  if (f == nullptr) return IoError("registry: cannot write " + host_path);
-  const std::size_t written = std::fwrite(text.data(), 1, text.size(), f);
-  const int closed = std::fclose(f);
-  if (written != text.size() || closed != 0) {
-    return IoError("registry: short write to " + host_path);
+  // Crash-safe save: stage into a sibling temp file (same directory, so the
+  // final rename(2) cannot cross filesystems), fsync the staged bytes, then
+  // atomically swap it in.  A crash at any instant leaves either the old
+  // hive or the new one — never a torn mix.
+  const std::string tmp_path =
+      host_path + ".tmp." + std::to_string(::getpid());
+  FILE* f = std::fopen(tmp_path.c_str(), "w");
+  if (f == nullptr) return IoError("registry: cannot write " + tmp_path);
+  auto fail = [&](const std::string& what) {
+    std::fclose(f);
+    ::unlink(tmp_path.c_str());
+    return IoError("registry: " + what + " " + tmp_path);
+  };
+  if (std::fwrite(text.data(), 1, text.size(), f) != text.size()) {
+    return fail("short write to");
+  }
+  // Crash window between the staged write and the publishing rename: a
+  // kill here must leave the previous hive untouched.
+  if (Status injected = fault::Hit("registry.save.partial"); !injected.ok()) {
+    return fail("fault-injected save abort for");
+  }
+  if (std::fflush(f) != 0 || ::fsync(::fileno(f)) != 0) {
+    return fail("cannot flush");
+  }
+  if (std::fclose(f) != 0) {
+    ::unlink(tmp_path.c_str());
+    return IoError("registry: close failed for " + tmp_path);
+  }
+  if (std::rename(tmp_path.c_str(), host_path.c_str()) != 0) {
+    ::unlink(tmp_path.c_str());
+    return IoError("registry: cannot publish " + host_path);
   }
   return Status::Ok();
 }

@@ -35,10 +35,16 @@ Result<ControlMessage> DecodeControlMessage(ByteSpan bytes) {
   return message;
 }
 
+namespace {
+// Response frame flag bits (wire byte after the status code).
+constexpr std::uint8_t kResponseFlagHeartbeat = 0x01;
+}  // namespace
+
 Buffer EncodeControlResponse(const ControlResponse& response) {
   Buffer out;
-  out.reserve(2 + 4 + response.status.message().size() + 8 + 4 +
+  out.reserve(1 + 2 + 4 + response.status.message().size() + 8 + 4 +
               response.payload.size());
+  out.push_back(response.heartbeat ? kResponseFlagHeartbeat : 0);
   AppendU16(out, static_cast<std::uint16_t>(response.status.code()));
   AppendLenPrefixed(out, response.status.message());
   AppendU64(out, response.number);
@@ -48,16 +54,19 @@ Buffer EncodeControlResponse(const ControlResponse& response) {
 
 Result<ControlResponse> DecodeControlResponse(ByteSpan bytes) {
   ByteReader reader(bytes);
+  std::uint8_t flags = 0;
   std::uint16_t code = 0;
   std::string message;
   ControlResponse response;
   ByteSpan payload;
-  if (!reader.ReadU16(code) || !reader.ReadLenPrefixedString(message) ||
+  if (!reader.ReadU8(flags) || !reader.ReadU16(code) ||
+      !reader.ReadLenPrefixedString(message) ||
       !reader.ReadU64(response.number) || !reader.ReadLenPrefixed(payload)) {
     return ProtocolError("malformed control response");
   }
   response.status = Status(static_cast<ErrorCode>(code), std::move(message));
   response.payload.assign(payload.begin(), payload.end());
+  response.heartbeat = (flags & kResponseFlagHeartbeat) != 0;
   return response;
 }
 

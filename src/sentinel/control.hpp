@@ -46,6 +46,13 @@ struct ControlResponse {
   Status status;            // the sentinel-side outcome of the operation
   std::uint64_t number = 0;  // count / position / size, op-dependent
   Buffer payload;            // read data (pipe lane) or kCustom reply
+
+  // Liveness beacon, not an answer to any command: an idle sentinel emits
+  // heartbeat frames on the response channel so the supervisor's lease
+  // protocol can distinguish "idle" from "dead/wedged".  Application stubs
+  // skip these frames (renewing the lease) while waiting for a real
+  // response.
+  bool heartbeat = false;
 };
 
 // Wire codecs (inline lanes are intentionally not carried).

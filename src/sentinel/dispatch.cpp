@@ -20,6 +20,11 @@ ControlResponse MakeResponse(Status status, std::uint64_t number = 0,
 
 int RunSentinelLoop(Sentinel& sentinel, SentinelEndpoint& endpoint,
                     SentinelContext& ctx) {
+  // Crash window before the open is even acknowledged: a kill here leaves
+  // the application blocked on the banner — the earliest recoverable
+  // point of the supervisor's crash matrix.
+  if (!fault::Hit("sentinel.dispatch.openack").ok()) return 1;
+
   // Open banner: the application's CreateFile blocks on this response, so
   // a failing OnOpen fails the open itself.
   const Status open_status = sentinel.OnOpen(ctx);
@@ -131,6 +136,9 @@ int RunSentinelLoop(Sentinel& sentinel, SentinelEndpoint& endpoint,
           break;
         }
         case ControlOp::kClose: {
+          // Crash window during close: the command is consumed but neither
+          // OnClose's side effects nor the acknowledgement happened.
+          if (!fault::Hit("sentinel.dispatch.close").ok()) return 1;
           const Status status = sentinel.OnClose(ctx);
           (void)endpoint.AF_SendResponse(MakeResponse(status));
           return 0;

@@ -7,7 +7,8 @@
 
 namespace afs::sentinel {
 
-int RunStreamPump(Sentinel& sentinel, StreamIo& io, SentinelContext& ctx) {
+int RunStreamPump(Sentinel& sentinel, StreamIo& io, SentinelContext& ctx,
+                  StreamResume resume) {
   Mutex mu;  // serializes sentinel calls between the two pump threads
 
   {
@@ -21,7 +22,7 @@ int RunStreamPump(Sentinel& sentinel, StreamIo& io, SentinelContext& ctx) {
   // Reader side of Figure 2: pull from the sentinel, push to the app.
   std::thread reader([&] {
     Buffer chunk(4096);
-    std::uint64_t read_pos = 0;
+    std::uint64_t read_pos = resume.read_pos;
     while (true) {
       // Injected fault: the pump stops producing and closes its side, the
       // application's next read observes EOF (delay/kill stall or die here).
@@ -43,7 +44,7 @@ int RunStreamPump(Sentinel& sentinel, StreamIo& io, SentinelContext& ctx) {
 
   // Writer side: drain application writes into the sentinel sequentially.
   Buffer chunk(4096);
-  std::uint64_t write_pos = 0;
+  std::uint64_t write_pos = resume.write_pos;
   while (true) {
     // Injected fault: stop consuming writes; the pump winds down as if the
     // application had closed its side.

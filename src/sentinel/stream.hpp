@@ -32,15 +32,26 @@ struct StreamIo {
   std::function<void()> finish_output;
 };
 
+// Where a (re)started pump begins.  Both zero for a fresh open; a
+// supervisor re-attaching after a crash passes the positions the
+// application had already consumed/produced, so the replacement sentinel
+// resumes mid-file instead of replaying from byte zero.
+struct StreamResume {
+  std::uint64_t read_pos = 0;
+  std::uint64_t write_pos = 0;
+};
+
 // Runs `sentinel` in stream mode until the application closes its side:
 //   1. OnOpen
-//   2. reader thread: OnRead from position 0 onward -> write_to_app,
+//   2. reader thread: OnRead from resume.read_pos onward -> write_to_app,
 //      then finish_output()
-//   3. writer loop:   read_from_app -> OnWrite appended sequentially
+//   3. writer loop:   read_from_app -> OnWrite appended sequentially from
+//      resume.write_pos
 //   4. OnClose
 // Sentinel calls are serialized with an internal mutex (the two pump
 // threads never run sentinel code concurrently).  Returns a process exit
 // code.
-int RunStreamPump(Sentinel& sentinel, StreamIo& io, SentinelContext& ctx);
+int RunStreamPump(Sentinel& sentinel, StreamIo& io, SentinelContext& ctx,
+                  StreamResume resume = {});
 
 }  // namespace afs::sentinel

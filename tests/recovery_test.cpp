@@ -1,0 +1,599 @@
+// Crash-recovery matrix for the supervisor layer (core/supervisor.hpp).
+//
+// The contract under test is the paper's Section 3 illusion extended across
+// sentinel death: a supervised active file must carry an unmodified
+// application sequence (open -> read -> write -> seek -> read -> close) to
+// a byte-identical result even when AFS_FAULT_PLAN kills the sentinel at
+// the nastiest instants — before the open is acknowledged, mid-read,
+// mid-write, and during close.  Where the restart budget cannot win (a
+// kill that re-fires in every restarted child), the handle must degrade to
+// the bundle's data part per the declared mode, still byte-exact.
+//
+// Restart counts are asserted through the session journal
+// (.afs-locks/sessions.journal), which doubles as the audit trail the
+// write-ahead protocol promises.
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <chrono>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "afs.hpp"
+#include "common/faultpoint.hpp"
+#include "core/session_journal.hpp"
+#include "core/supervisor.hpp"
+#include "ipc/process.hpp"
+#include "registry/registry.hpp"
+#include "test_util.hpp"
+
+// TSan cannot follow a forked child of a multi-threaded parent that starts
+// threads (die_after_fork) — and every parent here IS multi-threaded (the
+// supervisor's monitor thread), while a forked stream sentinel starts its
+// pump thread.  Under TSan the stream sandboxes therefore launch the
+// sentinel via exec (the paper's literal model, already supervision-aware
+// through --resume-read/--resume-write): a fresh image gets a fresh, sane
+// TSan runtime.  The fork path keeps its coverage in the plain and ASan
+// runs of the same tests.
+#if defined(__SANITIZE_THREAD__)
+#define AFS_UNDER_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define AFS_UNDER_TSAN 1
+#endif
+#endif
+
+namespace afs {
+namespace {
+
+using sentinel::SentinelSpec;
+using test::TempDir;
+
+// ---- harness ---------------------------------------------------------------
+
+// One sandboxed manager + one supervised bundle.
+struct Sandbox {
+  explicit Sandbox(const std::map<std::string, std::string>& config,
+                   const std::string& data = "0123456789abcdef")
+      : api(tmp.path() + "/root") {
+    sentinels::RegisterBuiltinSentinels();
+    manager = std::make_unique<core::ActiveFileManager>(
+        api, sentinel::SentinelRegistry::Global());
+    manager->Install();
+    SentinelSpec spec;
+    spec.name = "null";
+    for (const auto& [key, value] : config) spec.config[key] = value;
+    EXPECT_OK(manager->CreateActiveFile("file.af", spec, AsBytes(data)));
+  }
+
+  // Final per-session journal records, oldest first.
+  std::vector<core::SessionJournal::Record> Journal() {
+    auto replayed = core::ReplayJournalFile(tmp.path() +
+                                            "/root/.afs-locks/sessions.journal");
+    EXPECT_TRUE(replayed.ok()) << replayed.status().ToString();
+    return replayed.ok() ? *replayed
+                         : std::vector<core::SessionJournal::Record>{};
+  }
+
+  std::string DataPart() {
+    auto data = manager->ReadDataPart("file.af");
+    EXPECT_TRUE(data.ok()) << data.status().ToString();
+    return data.ok() ? ToString(ByteSpan(*data)) : std::string();
+  }
+
+  TempDir tmp;
+  vfs::FileApi api;
+  std::unique_ptr<core::ActiveFileManager> manager;
+};
+
+// Arms a fault plan for the enclosing scope.  Forked sentinels inherit the
+// installed plan across fork; exec'd sentinels re-install it from the
+// AFS_FAULT_PLAN environment variable at startup, so export it too.
+struct ArmedPlan {
+  explicit ArmedPlan(const std::string& text) {
+    auto plan = fault::ParsePlan(text);
+    EXPECT_TRUE(plan.ok()) << plan.status().ToString();
+    if (plan.ok()) fault::InstallPlan(std::move(*plan));
+    ::setenv("AFS_FAULT_PLAN", text.c_str(), 1);
+  }
+  ~ArmedPlan() {
+    ::unsetenv("AFS_FAULT_PLAN");
+    fault::ClearPlan();
+  }
+};
+
+// What one run of the canonical application sequence observed.  Two runs
+// are byte-identical iff these compare equal.
+struct SequenceOutcome {
+  std::string trace;      // per-op results, rendered
+  std::string final_data; // the bundle's data part after close
+};
+
+std::string Render(const Status& status) {
+  return status.ok() ? "ok" : std::string(ErrorCodeName(status.code()));
+}
+
+// The unmodified application sequence of the acceptance criterion:
+// open -> read(4) -> write(4) -> seek(0) -> read(4) -> close.  Seek is
+// kUnsupported under the plain process strategy; that too must match the
+// no-fault run.
+SequenceOutcome RunCanonicalSequence(Sandbox& box) {
+  SequenceOutcome out;
+  auto handle = box.api.OpenFile("file.af", vfs::OpenMode::kReadWrite);
+  out.trace += "open=" + Render(handle.status());
+  if (!handle.ok()) {
+    out.final_data = box.DataPart();
+    return out;
+  }
+
+  Buffer buf(4);
+  auto read1 = box.api.ReadFile(*handle, MutableByteSpan(buf));
+  out.trace += ";read1=" + Render(read1.status());
+  if (read1.ok()) out.trace += ":" + ToString(ByteSpan(buf.data(), *read1));
+
+  auto wrote = box.api.WriteFile(*handle, AsBytes("WXYZ"));
+  out.trace += ";write=" + Render(wrote.status());
+  if (wrote.ok()) out.trace += ":" + std::to_string(*wrote);
+
+  auto sought =
+      box.api.SetFilePointer(*handle, 0, vfs::SeekOrigin::kBegin);
+  out.trace += ";seek=" + Render(sought.status());
+
+  auto read2 = box.api.ReadFile(*handle, MutableByteSpan(buf));
+  out.trace += ";read2=" + Render(read2.status());
+  if (read2.ok()) out.trace += ":" + ToString(ByteSpan(buf.data(), *read2));
+
+  out.trace += ";close=" + Render(box.api.CloseHandle(*handle));
+  out.final_data = box.DataPart();
+  return out;
+}
+
+std::map<std::string, std::string> SupervisedConfig(
+    const std::string& strategy,
+    const std::map<std::string, std::string>& extra = {}) {
+  std::map<std::string, std::string> config = {
+      {"strategy", strategy},
+      {"supervise", "1"},
+  };
+#if defined(AFS_UNDER_TSAN)
+  // Stream sentinels must be exec'd under TSan; see the file header.
+  if (strategy == "process") config["exec"] = AFS_SENTINELD_PATH;
+#endif
+  for (const auto& [key, value] : extra) config[key] = value;
+  return config;
+}
+
+// ---- policy parsing --------------------------------------------------------
+
+TEST(RestartPolicyTest, ParsesSpecKeysAndDefaults) {
+  auto defaults = core::RestartPolicy::FromSpec({});
+  ASSERT_OK(defaults.status());
+  EXPECT_FALSE(defaults->supervised);
+  EXPECT_EQ(defaults->max_restarts, 3);
+  EXPECT_EQ(defaults->degrade, core::DegradeMode::kFail);
+  EXPECT_EQ(defaults->lease.count(), 0);
+
+  auto parsed = core::RestartPolicy::FromSpec({{"supervise", "1"},
+                                               {"restart_max", "5"},
+                                               {"restart_backoff_ms", "1"},
+                                               {"restart_backoff_cap_ms", "8"},
+                                               {"lease_ms", "250"},
+                                               {"degrade", "passthrough"}});
+  ASSERT_OK(parsed.status());
+  EXPECT_TRUE(parsed->supervised);
+  EXPECT_EQ(parsed->max_restarts, 5);
+  EXPECT_EQ(parsed->backoff_initial.count(), 1000);
+  EXPECT_EQ(parsed->backoff_cap.count(), 8000);
+  EXPECT_EQ(parsed->lease.count(), 250000);
+  EXPECT_EQ(parsed->degrade, core::DegradeMode::kPassthrough);
+
+  EXPECT_FALSE(
+      core::RestartPolicy::FromSpec({{"degrade", "frobnicate"}}).ok());
+}
+
+// ---- transparent recovery: control strategy --------------------------------
+
+// Kill the sentinel mid-read (4th command).  The supervisor must restart
+// it, replay the file pointer, retry the read, and deliver a run that is
+// byte-identical to the no-fault run — the application never learns.
+TEST(RecoveryTest, ControlKillMidReadIsByteIdentical) {
+  SequenceOutcome clean;
+  {
+    Sandbox box(SupervisedConfig("process_control"));
+    clean = RunCanonicalSequence(box);
+  }
+  EXPECT_EQ(clean.trace,
+            "open=ok;read1=ok:0123;write=ok:4;seek=ok;read2=ok:0123;close=ok");
+
+  Sandbox box(SupervisedConfig("process_control"));
+  ArmedPlan plan("seed=1;sentinel.dispatch.op=kill@n4");
+  const SequenceOutcome faulted = RunCanonicalSequence(box);
+  EXPECT_EQ(faulted.trace, clean.trace);
+  EXPECT_EQ(faulted.final_data, clean.final_data);
+
+  const auto sessions = box.Journal();
+  ASSERT_EQ(sessions.size(), 1u);
+  EXPECT_GE(sessions[0].restarts, 1);
+  EXPECT_LE(sessions[0].restarts, 3);  // bounded by restart_max
+  EXPECT_FALSE(sessions[0].degraded);  // recovered, did not fall back
+  EXPECT_TRUE(sessions[0].closed);
+}
+
+// Kill the sentinel mid-write.  Because restarted children inherit the
+// parent's (zero) trigger counters, the seek-replay + write-retry re-fires
+// the same kill in every incarnation: a restart storm.  The supervisor
+// must burn the bounded budget, then degrade to passthrough — and the
+// sequence must STILL end byte-identical, because the degraded handle
+// serves the bundle's data part at the replayed file pointer.
+TEST(RecoveryTest, ControlKillMidWriteDegradesPassthroughByteIdentical) {
+  SequenceOutcome clean;
+  {
+    Sandbox box(SupervisedConfig("process_control"));
+    clean = RunCanonicalSequence(box);
+  }
+
+  Sandbox box(SupervisedConfig("process_control",
+                               {{"degrade", "passthrough"},
+                                {"restart_backoff_ms", "1"},
+                                {"restart_backoff_cap_ms", "4"}}));
+  ArmedPlan plan("seed=1;sentinel.dispatch.op=kill@n2");
+  const SequenceOutcome faulted = RunCanonicalSequence(box);
+  EXPECT_EQ(faulted.trace, clean.trace);
+  EXPECT_EQ(faulted.final_data, clean.final_data);
+
+  const auto sessions = box.Journal();
+  ASSERT_EQ(sessions.size(), 1u);
+  EXPECT_EQ(sessions[0].restarts, 3);  // exactly the budget, then degrade
+  EXPECT_TRUE(sessions[0].degraded);
+  EXPECT_TRUE(sessions[0].closed);
+}
+
+// ---- transparent recovery: stream strategy ---------------------------------
+
+// Kill the streaming sentinel after every chunk it pumps (@n2 = one chunk
+// per incarnation, then die).  Each restart resumes at the application's
+// logical read offset, so the handle crosses the whole file in bounded
+// restarts and the delivered bytes are exact.
+TEST(RecoveryTest, StreamKillMidReadResumesAtOffsetByteIdentical) {
+  std::string data;
+  for (int i = 0; data.size() < 3 * 4096; ++i) {
+    data += "chunk" + std::to_string(i) + ":";
+  }
+  data.resize(3 * 4096);
+
+  auto read_all = [](Sandbox& box, std::string& out, std::string& tail) {
+    auto handle = box.api.OpenFile("file.af", vfs::OpenMode::kReadWrite);
+    ASSERT_OK(handle.status());
+    Buffer buf(4096);
+    while (true) {
+      auto got = box.api.ReadFile(*handle, MutableByteSpan(buf));
+      ASSERT_OK(got.status());
+      if (*got == 0) break;
+      out += ToString(ByteSpan(buf.data(), *got));
+    }
+    // Stream writes land at the independent write offset (byte 0 onward).
+    auto wrote = box.api.WriteFile(*handle, AsBytes("TAIL"));
+    ASSERT_OK(wrote.status());
+    EXPECT_OK(box.api.CloseHandle(*handle));
+    tail = box.DataPart();
+  };
+
+  std::string clean_bytes, clean_data;
+  {
+    Sandbox box(SupervisedConfig("process"), data);
+    read_all(box, clean_bytes, clean_data);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+  EXPECT_EQ(clean_bytes, data);
+
+  Sandbox box(SupervisedConfig("process", {{"restart_max", "8"},
+                                           {"restart_backoff_ms", "1"},
+                                           {"restart_backoff_cap_ms", "4"}}),
+              data);
+  ArmedPlan plan("seed=1;sentinel.stream.read=kill@n2");
+  std::string faulted_bytes, faulted_data;
+  read_all(box, faulted_bytes, faulted_data);
+  if (::testing::Test::HasFatalFailure()) return;
+
+  EXPECT_EQ(faulted_bytes, clean_bytes);
+  EXPECT_EQ(faulted_data, clean_data);
+
+  const auto sessions = box.Journal();
+  ASSERT_EQ(sessions.size(), 1u);
+  EXPECT_GE(sessions[0].restarts, 1);
+  EXPECT_LE(sessions[0].restarts, 8);
+  EXPECT_FALSE(sessions[0].degraded);
+  EXPECT_TRUE(sessions[0].closed);
+}
+
+// Kill the stream sentinel's write pump on its first iteration: no
+// incarnation can ever consume a write, so the restart budget cannot help.
+// The handle must degrade to passthrough and apply the write-ahead log to
+// the data part — the write the application was told "succeeded" (stream
+// writes are fire-and-forget) must not be lost.
+TEST(RecoveryTest, StreamWriteKillStormDegradesWithoutLosingWrites) {
+  Sandbox box(SupervisedConfig("process", {{"degrade", "passthrough"},
+                                           {"restart_max", "2"},
+                                           {"restart_backoff_ms", "1"},
+                                           {"restart_backoff_cap_ms", "4"}}));
+  ArmedPlan plan("seed=1;sentinel.stream.write=kill@n1");
+
+  auto handle = box.api.OpenFile("file.af", vfs::OpenMode::kReadWrite);
+  ASSERT_OK(handle.status());
+  auto wrote = box.api.WriteFile(*handle, AsBytes("WXYZ"));
+  ASSERT_OK(wrote.status());
+  EXPECT_EQ(*wrote, 4u);
+  EXPECT_OK(box.api.CloseHandle(*handle));
+
+  EXPECT_EQ(box.DataPart(), "WXYZ456789abcdef");
+
+  const auto sessions = box.Journal();
+  ASSERT_EQ(sessions.size(), 1u);
+  EXPECT_EQ(sessions[0].restarts, 2);
+  EXPECT_TRUE(sessions[0].degraded);
+}
+
+// ---- crash before the open acknowledgement ---------------------------------
+
+// A kill before the open banner re-fires in every restarted child (the
+// counters reset at fork), so open can never succeed live; the bundle
+// declares degrade=readonly and the open must complete against the data
+// part, rejecting writes.
+TEST(RecoveryTest, OpenAckKillDegradesReadonly) {
+  Sandbox box(SupervisedConfig("process_control",
+                               {{"degrade", "readonly"},
+                                {"restart_max", "2"},
+                                {"restart_backoff_ms", "1"},
+                                {"restart_backoff_cap_ms", "4"}}));
+  ArmedPlan plan("seed=1;sentinel.dispatch.openack=kill@n1");
+
+  auto handle = box.api.OpenFile("file.af", vfs::OpenMode::kReadWrite);
+  ASSERT_OK(handle.status());
+
+  Buffer buf(4);
+  auto got = box.api.ReadFile(*handle, MutableByteSpan(buf));
+  ASSERT_OK(got.status());
+  EXPECT_EQ(ToString(ByteSpan(buf.data(), *got)), "0123");
+
+  EXPECT_STATUS_CODE(box.api.WriteFile(*handle, AsBytes("no")).status(),
+                     ErrorCode::kPermissionDenied);
+  EXPECT_OK(box.api.CloseHandle(*handle));
+
+  const auto sessions = box.Journal();
+  ASSERT_EQ(sessions.size(), 1u);
+  EXPECT_EQ(sessions[0].restarts, 2);
+  EXPECT_TRUE(sessions[0].degraded);
+}
+
+// Same storm with degrade=fail (the default): the open itself must fail
+// with a clean code and leak nothing — the historical poisoned-handle
+// semantics, now by explicit policy.
+TEST(RecoveryTest, OpenAckKillWithDegradeFailFailsTheOpen) {
+  Sandbox box(SupervisedConfig("process_control",
+                               {{"restart_max", "1"},
+                                {"restart_backoff_ms", "1"},
+                                {"restart_backoff_cap_ms", "4"}}));
+  ArmedPlan plan("seed=1;sentinel.dispatch.openack=kill@n1");
+
+  auto handle = box.api.OpenFile("file.af", vfs::OpenMode::kReadWrite);
+  EXPECT_STATUS_CODE(handle.status(), ErrorCode::kClosed);
+  EXPECT_EQ(box.api.open_handle_count(), 0u);
+}
+
+// ---- crash during close ----------------------------------------------------
+
+// A kill during close consumes the close command unanswered in every
+// incarnation; after the budget the supervisor degrades and the degraded
+// close (flush the data part) completes, so the application's close
+// succeeds instead of reporting a dead sentinel.
+TEST(RecoveryTest, CloseKillEndsInSuccessfulDegradedClose) {
+  Sandbox box(SupervisedConfig("process_control",
+                               {{"degrade", "passthrough"},
+                                {"restart_max", "2"},
+                                {"restart_backoff_ms", "1"},
+                                {"restart_backoff_cap_ms", "4"}}));
+  ArmedPlan plan("seed=1;sentinel.dispatch.close=kill@n1");
+
+  auto handle = box.api.OpenFile("file.af", vfs::OpenMode::kReadWrite);
+  ASSERT_OK(handle.status());
+  Buffer buf(4);
+  ASSERT_OK(box.api.ReadFile(*handle, MutableByteSpan(buf)).status());
+  EXPECT_OK(box.api.CloseHandle(*handle));
+
+  const auto sessions = box.Journal();
+  ASSERT_EQ(sessions.size(), 1u);
+  EXPECT_EQ(sessions[0].restarts, 2);
+  EXPECT_TRUE(sessions[0].degraded);
+  EXPECT_TRUE(sessions[0].closed);
+}
+
+// ---- lease liveness --------------------------------------------------------
+
+// A wedged in-process sentinel renews no lease; the monitor must declare
+// it dead and force the rendezvous down long before the (deliberately
+// huge) op timeout, and the supervised retry must hide the whole episode.
+TEST(RecoveryTest, LeaseExpiryUnwedgesThreadStrategy) {
+  Sandbox box(SupervisedConfig("thread", {{"lease_ms", "100"},
+                                          {"op_timeout_ms", "10000"},
+                                          {"restart_backoff_ms", "1"},
+                                          {"restart_backoff_cap_ms", "4"}}));
+  auto handle = box.api.OpenFile("file.af", vfs::OpenMode::kReadWrite);
+  ASSERT_OK(handle.status());
+
+  Buffer buf(4);
+  auto probe = box.api.ReadFile(*handle, MutableByteSpan(buf));
+  ASSERT_OK(probe.status());
+
+  // Wedge the sentinel's next dispatch wait well past the lease.
+  ArmedPlan plan("seed=1;sentinel.endpoint.recv=delay:700ms@n1");
+  const auto before = std::chrono::steady_clock::now();
+  auto read1 = box.api.ReadFile(*handle, MutableByteSpan(buf));
+  auto read2 = box.api.ReadFile(*handle, MutableByteSpan(buf));
+  const auto elapsed = std::chrono::steady_clock::now() - before;
+
+  // Both reads must have been served (transparently recovered if they hit
+  // the wedge), and far faster than the 10s op timeout — the lease, not
+  // the timeout, broke the wedge.
+  ASSERT_OK(read1.status());
+  ASSERT_OK(read2.status());
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed)
+                .count(),
+            5000);
+  EXPECT_OK(box.api.CloseHandle(*handle));
+
+  const auto sessions = box.Journal();
+  ASSERT_EQ(sessions.size(), 1u);
+  EXPECT_GE(sessions[0].restarts, 1);
+}
+
+// The inverse guarantee: heartbeats must keep an IDLE supervised session
+// alive.  Lease 150ms, idle 4x that — zero restarts allowed.
+TEST(RecoveryTest, HeartbeatsKeepIdleControlSessionAlive) {
+  Sandbox box(SupervisedConfig("process_control", {{"lease_ms", "150"}}));
+  auto handle = box.api.OpenFile("file.af", vfs::OpenMode::kReadWrite);
+  ASSERT_OK(handle.status());
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(600));
+
+  Buffer buf(4);
+  auto got = box.api.ReadFile(*handle, MutableByteSpan(buf));
+  ASSERT_OK(got.status());
+  EXPECT_EQ(ToString(ByteSpan(buf.data(), *got)), "0123");
+  EXPECT_OK(box.api.CloseHandle(*handle));
+
+  const auto sessions = box.Journal();
+  ASSERT_EQ(sessions.size(), 1u);
+  EXPECT_EQ(sessions[0].restarts, 0);
+  EXPECT_FALSE(sessions[0].degraded);
+}
+
+// ---- unsupervised bundles keep the old semantics ---------------------------
+
+// Without supervise=1 the same kill plan must produce the historical
+// behavior: the operation fails with a transport code and the handle stays
+// dead — no hidden restarts, no journal sessions.
+TEST(RecoveryTest, UnsupervisedBundleIsNotRestarted) {
+  const std::map<std::string, std::string> config = {
+      {"strategy", "process_control"}};
+  Sandbox box(config);
+  ArmedPlan plan("seed=1;sentinel.dispatch.op=kill@n1");
+
+  auto handle = box.api.OpenFile("file.af", vfs::OpenMode::kReadWrite);
+  ASSERT_OK(handle.status());
+  Buffer buf(4);
+  EXPECT_FALSE(box.api.ReadFile(*handle, MutableByteSpan(buf)).ok());
+  (void)box.api.CloseHandle(*handle);
+
+  EXPECT_TRUE(box.Journal().empty());
+}
+
+// ---- crash-safe registry save ----------------------------------------------
+
+reg::Registry& BuildHive(reg::Registry& registry, const std::string& mode) {
+  EXPECT_OK(registry.CreateKey("app"));
+  EXPECT_OK(registry.SetValue("app", "mode", reg::Value(mode)));
+  return registry;
+}
+
+std::string HiveMode(const std::string& path) {
+  reg::Registry loaded;
+  const Status status = loaded.LoadFromFile(path);
+  if (!status.ok()) return "<unreadable:" + status.ToString() + ">";
+  auto mode = loaded.GetValue("app", "mode");
+  if (!mode.ok()) return "<missing>";
+  return std::get<std::string>(*mode);
+}
+
+// An injected error between the staged write and the publishing rename
+// must leave the previous hive byte-for-byte intact and no temp litter.
+TEST(RegistrySaveTest, PartialSaveFaultLeavesOldHiveIntact) {
+  TempDir tmp;
+  const std::string hive = tmp.path() + "/hive.reg";
+
+  reg::Registry v1;
+  ASSERT_OK(BuildHive(v1, "one").SaveToFile(hive));
+  ASSERT_EQ(HiveMode(hive), "one");
+
+  reg::Registry v2;
+  BuildHive(v2, "two");
+  {
+    ArmedPlan plan("seed=1;registry.save.partial=error:io@n1");
+    EXPECT_STATUS_CODE(v2.SaveToFile(hive), ErrorCode::kIoError);
+  }
+  EXPECT_EQ(HiveMode(hive), "one");
+  // The aborted save cleaned up its staging file.
+  std::size_t residue = 0;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(tmp.path())) {
+    if (entry.path().filename() != "hive.reg") ++residue;
+  }
+  EXPECT_EQ(residue, 0u);
+
+  // And with the fault gone, the very same save works.
+  ASSERT_OK(v2.SaveToFile(hive));
+  EXPECT_EQ(HiveMode(hive), "two");
+}
+
+// The real crash case: a process killed mid-save (after the staged bytes,
+// before the rename) must leave the old hive untouched — the atomic
+// rename(2) is the commit point.
+TEST(RegistrySaveTest, KilledSaverLeavesOldHiveIntact) {
+  TempDir tmp;
+  const std::string hive = tmp.path() + "/hive.reg";
+
+  reg::Registry v1;
+  ASSERT_OK(BuildHive(v1, "one").SaveToFile(hive));
+
+  {
+    ArmedPlan plan("seed=1;registry.save.partial=kill@n1");
+    auto child = ipc::SpawnFunction([&hive] {
+      reg::Registry v2;
+      BuildHive(v2, "two");
+      (void)v2.SaveToFile(hive);  // dies inside, staged but unpublished
+      return 0;
+    });
+    ASSERT_OK(child.status());
+    auto ended = child->Wait();
+    ASSERT_OK(ended.status());
+    EXPECT_NE(*ended, 0);  // the kill fault terminated it
+  }
+  EXPECT_EQ(HiveMode(hive), "one");
+}
+
+// ---- child teardown hardening ----------------------------------------------
+
+// A sentinel that ignores SIGTERM and never exits must still come down:
+// grace wait -> SIGTERM -> grace -> SIGKILL, reaped, bounded.
+TEST(TeardownTest, ShutdownEscalatesToSigkillForWedgedChild) {
+  auto child = ipc::SpawnFunction([] {
+    std::signal(SIGTERM, SIG_IGN);
+    for (;;) std::this_thread::sleep_for(std::chrono::seconds(10));
+    return 0;
+  });
+  ASSERT_OK(child.status());
+
+  const auto before = std::chrono::steady_clock::now();
+  const ipc::ExitStatus ended = child->Shutdown(Micros{50'000});
+  const auto elapsed = std::chrono::steady_clock::now() - before;
+
+  EXPECT_EQ(ended.signal, SIGKILL);
+  EXPECT_FALSE(ended.clean());
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed)
+                .count(),
+            5000);
+}
+
+// A child that exits on its own within the grace window must be reported
+// clean — no gratuitous TERM for well-behaved sentinels.
+TEST(TeardownTest, ShutdownReportsVoluntaryExitClean) {
+  auto child = ipc::SpawnFunction([] { return 0; });
+  ASSERT_OK(child.status());
+  const ipc::ExitStatus ended = child->Shutdown(Micros{500'000});
+  EXPECT_TRUE(ended.clean()) << "code=" << ended.code
+                             << " signal=" << ended.signal;
+}
+
+}  // namespace
+}  // namespace afs

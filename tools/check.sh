@@ -8,6 +8,9 @@
 #   tools/check.sh tsan       # ThreadSanitizer build, ctest -L tsan
 #   tools/check.sh fault      # full fault matrix (-L fault) under both
 #                             # sanitizers; see docs/TESTING.md
+#   tools/check.sh recovery   # supervisor crash-recovery suite plus the
+#                             # quick kill cells under both sanitizers;
+#                             # see docs/RECOVERY.md
 #
 # The fault lane reuses the asan/tsan build trees and is not part of the
 # default quick suite: the full {strategy x site x kind} sweep spends real
@@ -69,19 +72,47 @@ run_fault() {
   echo "== fault: clean"
 }
 
+run_recovery() {
+  # The supervisor's crash matrix: SIGKILL cells that must end byte-identical
+  # (recovery_test) plus the quick fault-matrix sweep's kill cells, under
+  # both sanitizers.  Process teardown and restart storms are exactly where
+  # ASan/TSan find lifetime and ordering bugs the plain build hides.
+  local lane sanitize dir
+  for lane in asan tsan; do
+    if [ "$lane" = asan ]; then
+      sanitize="address;undefined"
+    else
+      sanitize="thread"
+    fi
+    dir="build-$lane"
+    echo "== recovery/$lane: configuring ($sanitize)"
+    cmake -B "$dir" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+      -DAFS_SANITIZE="$sanitize" -DAFS_DEADLOCK_DEBUG=ON >/dev/null
+    echo "== recovery/$lane: building"
+    cmake --build "$dir" -j "$JOBS" >/dev/null
+    echo "== recovery/$lane: crash suite (AFS_FAULT_MATRIX=quick)"
+    (cd "$dir" &&
+      AFS_FAULT_MATRIX=quick ctest --output-on-failure \
+        -R 'recovery_test|fault_matrix_test')
+  done
+  echo "== recovery: clean"
+}
+
 case "$STAGE" in
   tidy) run_tidy ;;
   asan) run_sanitizer asan "address;undefined" "" ;;
   tsan) run_sanitizer tsan "thread" "-L tsan" ;;
   fault) run_fault ;;
+  recovery) run_recovery ;;
   all)
     run_tidy
     run_sanitizer asan "address;undefined" ""
     run_sanitizer tsan "thread" "-L tsan"
     run_fault
+    run_recovery
     ;;
   *)
-    echo "usage: tools/check.sh [tidy|asan|tsan|fault|all]" >&2
+    echo "usage: tools/check.sh [tidy|asan|tsan|fault|recovery|all]" >&2
     exit 2
     ;;
 esac
