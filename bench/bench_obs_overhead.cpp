@@ -1,0 +1,138 @@
+// Regression gate for the observability layer's hot-path cost.
+//
+// The obs design contract (src/obs/metrics.hpp): an instrumented counter
+// site on the read path costs a relaxed load + relaxed store on the
+// recording thread's own cell when enabled (no locked RMW) and one
+// relaxed load + branch when disabled, and a disarmed trace span is one
+// relaxed load + a thread-local read.  This gate measures the null-filter
+// direct-strategy read path — the fastest path in the system, where any
+// instrumentation overhead is proportionally largest — with recording
+// enabled vs disabled, and FAILS (exit 1) if enabled costs more than 5%
+// over disabled.  Best-of-N trials on both sides squeeze scheduler noise
+// out of the comparison.
+//
+// Run by the `obs` lane of tools/check.sh; not a ctest (wall-clock
+// sensitive checks don't belong in the default suite).
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <memory>
+#include <string>
+
+#include "afs.hpp"
+
+namespace afs::bench {
+namespace {
+
+constexpr std::uint64_t kFileSize = 64 * 1024;
+constexpr std::size_t kBlock = 64;
+constexpr int kCallsPerTrial = 200000;
+constexpr int kTrials = 5;
+constexpr double kMaxRatio = 1.05;
+
+double OneTrialNsPerOp(vfs::FileApi& api, vfs::HandleId handle) {
+  Buffer buf(kBlock);
+  (void)api.SetFilePointer(handle, 0, vfs::SeekOrigin::kBegin);
+  std::uint64_t pos = 0;
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < kCallsPerTrial; ++i) {
+    auto n = api.ReadFile(handle, MutableByteSpan(buf));
+    if (!n.ok()) {
+      std::fprintf(stderr, "bench_obs_overhead: read failed: %s\n",
+                   n.status().ToString().c_str());
+      std::exit(2);
+    }
+    pos += kBlock;
+    if (pos + kBlock > kFileSize) {
+      (void)api.SetFilePointer(handle, 0, vfs::SeekOrigin::kBegin);
+      pos = 0;
+    }
+  }
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  return static_cast<double>(
+             std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+                 .count()) /
+         kCallsPerTrial;
+}
+
+int Main() {
+  const std::string root = "/tmp/afs-bench-obs-overhead";
+  std::error_code ec;
+  std::filesystem::remove_all(root, ec);
+
+  vfs::FileApi api(root + "/root");
+  sentinels::RegisterBuiltinSentinels();
+  core::ActiveFileManager manager(api, sentinel::SentinelRegistry::Global());
+  manager.Install();
+
+  sentinel::SentinelSpec spec;
+  spec.name = "null";
+  spec.config["cache"] = "memory";
+  spec.config["strategy"] = "direct";
+  Buffer content(kFileSize, 0x5A);
+  if (!manager.CreateActiveFile("f.af", spec, ByteSpan(content)).ok()) {
+    std::fprintf(stderr, "bench_obs_overhead: create failed\n");
+    return 2;
+  }
+  auto handle = api.OpenFile("f.af", vfs::OpenMode::kRead);
+  if (!handle.ok()) {
+    std::fprintf(stderr, "bench_obs_overhead: open failed\n");
+    return 2;
+  }
+
+  // Warm up caches and first-use instrument registration.
+  obs::SetEnabled(true);
+  (void)OneTrialNsPerOp(api, *handle);
+
+  // Interleave the two sides trial by trial so frequency-scaling and
+  // cache drift hit both equally — alternating which side goes first, so
+  // a monotonic drift inside a trial pair cannot systematically favor
+  // either — then compare each side's minimum.
+  double disabled_ns = 0;
+  double enabled_ns = 0;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    double off = 0;
+    double on = 0;
+    if (trial % 2 == 0) {
+      obs::SetEnabled(false);
+      off = OneTrialNsPerOp(api, *handle);
+      obs::SetEnabled(true);
+      on = OneTrialNsPerOp(api, *handle);
+    } else {
+      obs::SetEnabled(true);
+      on = OneTrialNsPerOp(api, *handle);
+      obs::SetEnabled(false);
+      off = OneTrialNsPerOp(api, *handle);
+    }
+    if (trial == 0 || off < disabled_ns) disabled_ns = off;
+    if (trial == 0 || on < enabled_ns) enabled_ns = on;
+  }
+  obs::SetEnabled(true);
+
+  (void)api.CloseHandle(*handle);
+  std::filesystem::remove_all(root, ec);
+
+  const double ratio = enabled_ns / disabled_ns;
+  std::printf(
+      "{\"bench\":\"obs_overhead\",\"path\":\"null-filter direct read\","
+      "\"block\":%zu,\"calls\":%d,\"trials\":%d,"
+      "\"disabled_ns_per_op\":%.1f,\"enabled_ns_per_op\":%.1f,"
+      "\"ratio\":%.4f,\"max_ratio\":%.2f}\n",
+      kBlock, kCallsPerTrial, kTrials, disabled_ns, enabled_ns, ratio,
+      kMaxRatio);
+  if (ratio >= kMaxRatio) {
+    std::fprintf(stderr,
+                 "bench_obs_overhead: FAIL: enabled/disabled = %.4f "
+                 "(budget < %.2f)\n",
+                 ratio, kMaxRatio);
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace afs::bench
+
+int main() { return afs::bench::Main(); }

@@ -7,6 +7,8 @@
 //   afsctl <root> data <path>        dump the raw data part (no sentinel)
 //   afsctl <root> ls [dir]           list a directory in the sandbox
 //   afsctl <root> sentinels          list registered sentinels
+//   afsctl <root> stats [path] [--json]  dump metrics/spans; with a path,
+//                                    read it first so its trace shows up
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -19,7 +21,7 @@ namespace {
 int Usage() {
   std::fprintf(stderr,
                "usage: afsctl <root> <create|spec|cat|write|data|ls|"
-               "sentinels> [args...]\n");
+               "sentinels|stats> [args...]\n");
   return 2;
 }
 
@@ -58,6 +60,30 @@ int main(int argc, char** argv) {
       return 1;
     }
     for (const auto& name : *names) std::printf("%s\n", name.c_str());
+    return 0;
+  }
+  if (command == "stats") {
+    bool json = false;
+    std::string read_path;
+    for (const auto& arg : args) {
+      if (arg == "--json") {
+        json = true;
+      } else {
+        read_path = arg;
+      }
+    }
+    if (!read_path.empty()) {
+      // Read under an armed trace so the dump below carries the full span
+      // tree of this one operation: app -> link -> sentinel -> source.
+      obs::TraceScope trace("afsctl.stats.read");
+      auto content = api.ReadWholeFile(read_path);
+      if (!content.ok()) {
+        PrintStatus(content.status());
+        return 1;
+      }
+    }
+    const std::string body = json ? obs::StatsJson() : obs::StatsText();
+    std::fwrite(body.data(), 1, body.size(), stdout);
     return 0;
   }
   if (args.empty()) return Usage();

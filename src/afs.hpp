@@ -31,6 +31,9 @@
 #include "net/quote_server.hpp"  // IWYU pragma: export
 #include "net/simnet.hpp"        // IWYU pragma: export
 #include "net/socket_transport.hpp"  // IWYU pragma: export
+#include "obs/metrics.hpp"           // IWYU pragma: export
+#include "obs/stats.hpp"             // IWYU pragma: export
+#include "obs/trace.hpp"             // IWYU pragma: export
 #include "sentinel/registry.hpp"     // IWYU pragma: export
 #include "sentinel/sentinel.hpp"     // IWYU pragma: export
 #include "sentinels/builtin.hpp"     // IWYU pragma: export

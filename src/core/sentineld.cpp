@@ -1,6 +1,7 @@
 #include "core/sentineld.hpp"
 
 #include <climits>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <map>
@@ -12,6 +13,7 @@
 #include "core/resolvers.hpp"
 #include "core/strategies.hpp"
 #include "ipc/pipe.hpp"
+#include "obs/stats.hpp"
 #include "sentinel/dispatch.hpp"
 #include "sentinel/stream.hpp"
 #include "sentinels/builtin.hpp"
@@ -66,6 +68,9 @@ int SentineldMain(int argc, char** argv) {
   // Faults must survive the exec boundary: a fault plan armed in the
   // launching application reaches this fresh image only via environment.
   (void)fault::InstallPlanFromEnv();
+  // kill -USR1 <sentineld pid> dumps this process' metrics and spans to
+  // stderr — the only stats surface a long-lived exec-mode sentinel has.
+  obs::InstallStatsSignalDump(SIGUSR1);
   const Args args = ParseArgs(argc, argv);
   const std::string mode = args.Get("mode");
   const std::string bundle_path = args.Get("bundle");

@@ -6,6 +6,7 @@
 
 #include "common/faultpoint.hpp"
 #include "common/log.hpp"
+#include "obs/metrics.hpp"
 
 namespace afs::core {
 
@@ -155,6 +156,9 @@ std::optional<SessionJournal::Record> SessionJournal::Lookup(
 
 Result<std::vector<SessionJournal::Record>> ReplayJournalFile(
     const std::string& path) {
+  static obs::Counter& replays =
+      obs::Registry::Global().GetCounter("core.journal.replays");
+  replays.Add(1);
   std::FILE* file = std::fopen(path.c_str(), "r");
   if (file == nullptr) {
     return IoError("cannot open journal " + path + ": " +

@@ -9,6 +9,8 @@
 #include "common/faultpoint.hpp"
 #include "common/mutex.hpp"
 #include "core/links.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "core/supervisor.hpp"
 #include "ipc/process.hpp"
 #include "sentinel/dispatch.hpp"
@@ -231,15 +233,30 @@ class LinkHandle final : public vfs::FileHandle, public ActiveHandle {
   }
 
  private:
-  Result<ControlResponse> RoundTrip(const ControlMessage& msg)
-      AFS_REQUIRES(mu_) {
+  Result<ControlResponse> RoundTrip(ControlMessage& msg) AFS_REQUIRES(mu_) {
     if (closed_) return ClosedError("handle closed");
     if (poisoned_) return ClosedError("handle poisoned by transport failure");
+    // The link leg of the trace: the sentinel parents its own span on this
+    // one (the ids travel in the message's trailing extension), and the
+    // spans it ships back in the response are adopted below — after this
+    // hop the local TraceLog holds the full app→link→sentinel tree.
+    obs::Span span("link.roundtrip");
+    msg.trace_id = span.trace_id();
+    msg.parent_span = span.span_id();
+    static obs::Counter& roundtrips =
+        obs::Registry::Global().GetCounter("core.link.roundtrips");
+    static obs::Histogram& latency =
+        obs::Registry::Global().GetHistogram("core.link.roundtrip_us");
+    const std::uint64_t n = roundtrips.Increment();
+    obs::ScopedLatencyTimer timer((n & 63) == 0 ? &latency : nullptr);
     AFS_FAULT_POINT("core.link.roundtrip");
     Status sent = link_->AF_SendControl(msg);
     if (!sent.ok()) return Poison(std::move(sent));
     Result<ControlResponse> resp = link_->AF_GetResponse();
     if (!resp.ok()) return Poison(resp.status());
+    if (!resp->remote_spans.empty()) {
+      obs::TraceLog::Global().AppendAll(std::move(resp->remote_spans));
+    }
     if (msg.op != ControlOp::kClose && !resp->status.ok()) {
       return resp->status;  // sentinel-side failure becomes the op's status
     }
@@ -316,6 +333,9 @@ class DirectHandle final : public vfs::FileHandle, public ActiveHandle {
   Result<std::size_t> Read(MutableByteSpan out) override {
     MutexLock lock(mu_);
     if (closed_) return ClosedError("handle closed");
+    // Same span name the dispatch loop uses, so direct-strategy traces
+    // have the same shape as command-strategy ones minus the link leg.
+    obs::Span span("sentinel.read");
     AFS_FAULT_POINT("core.direct.op");
     AFS_ASSIGN_OR_RETURN(std::size_t n, sentinel_->OnRead(ctx_, out));
     ctx_.position += n;
@@ -325,6 +345,7 @@ class DirectHandle final : public vfs::FileHandle, public ActiveHandle {
   Result<std::size_t> Write(ByteSpan data) override {
     MutexLock lock(mu_);
     if (closed_) return ClosedError("handle closed");
+    obs::Span span("sentinel.write");
     AFS_FAULT_POINT("core.direct.op");
     AFS_ASSIGN_OR_RETURN(std::size_t n, sentinel_->OnWrite(ctx_, data));
     ctx_.position += n;
@@ -428,6 +449,9 @@ class ProcessHandle final : public vfs::FileHandle {
   Result<std::size_t> Read(MutableByteSpan out) override {
     MutexLock lock(mu_);
     if (closed_) return ClosedError("handle closed");
+    // Raw byte stream, no control frames: the trace cannot cross into the
+    // sentinel here, so this app-side span is the leaf of the trace.
+    obs::Span span("link.stream.read");
     // A sentinel that stops producing must cost kTimeout, not a hang; a
     // dead one closes its end and the read below reports EOF.
     AFS_RETURN_IF_ERROR(from_sentinel_.WaitReadable(read_timeout_));
@@ -437,6 +461,7 @@ class ProcessHandle final : public vfs::FileHandle {
   Result<std::size_t> Write(ByteSpan data) override {
     MutexLock lock(mu_);
     if (closed_) return ClosedError("handle closed");
+    obs::Span span("link.stream.write");
     AFS_RETURN_IF_ERROR(to_sentinel_.WriteAll(data));
     return data.size();
   }
@@ -736,6 +761,12 @@ Result<std::unique_ptr<vfs::FileHandle>> OpenWithStrategy(
     Strategy strategy, const sentinel::SentinelRegistry& registry,
     const OpenRequest& request, SessionProbe* probe) {
   AFS_FAULT_POINT("core.strategy.open");
+  // One open counter per strategy (core.open.process, core.open.thread,
+  // ...).  Opens fork/spawn anyway, so the registry lookup is noise here.
+  obs::Registry::Global()
+      .GetCounter(std::string("core.open.") +
+                  std::string(StrategyName(strategy)))
+      .Add(1);
   switch (strategy) {
     case Strategy::kProcess:
       return OpenProcess(registry, request, probe);

@@ -10,6 +10,7 @@
 #include "common/backoff.hpp"
 #include "common/log.hpp"
 #include "core/session_journal.hpp"
+#include "obs/metrics.hpp"
 
 namespace afs::core {
 
@@ -117,6 +118,13 @@ void CheckSession(Supervisor::Session& session) {
       session.probe.lease != nullptr &&
       session.probe.lease->Age() > session.lease_timeout) {
     cause = "sentinel lease expired";
+    static obs::Counter& expiries =
+        obs::Registry::Global().GetCounter("core.supervisor.lease_expiries");
+    expiries.Add(1);
+  } else if (cause != nullptr) {
+    static obs::Counter& exits =
+        obs::Registry::Global().GetCounter("core.supervisor.child_exits");
+    exits.Add(1);
   }
   if (cause == nullptr) return;
   session.dead = true;
@@ -715,6 +723,9 @@ class SupervisedHandle final : public vfs::FileHandle, public ActiveHandle {
   // Replays the session record onto a fresh sentinel: file pointer for
   // command strategies, the write log for the stream strategy.
   Status ReplayLocked() AFS_REQUIRES(mu_) {
+    static obs::Counter& replays =
+        obs::Registry::Global().GetCounter("core.supervisor.session_replays");
+    replays.Add(1);
     if (stream_) {
       for (const Buffer& logged : write_log_) {
         AFS_ASSIGN_OR_RETURN(std::size_t n, inner_->Write(ByteSpan(logged)));
@@ -744,6 +755,9 @@ class SupervisedHandle final : public vfs::FileHandle, public ActiveHandle {
       return DegradeLocked(why);
     }
     ++restarts_;
+    static obs::Counter& restarts =
+        obs::Registry::Global().GetCounter("core.supervisor.restarts");
+    restarts.Add(1);
     (void)journal_.RecordRestart(id_, restarts_);
     // Doubling delay, recomputed from the attempt number so the budget is
     // global to the handle rather than per-operation.
@@ -787,6 +801,9 @@ class SupervisedHandle final : public vfs::FileHandle, public ActiveHandle {
   Status DegradeLocked(const char* why) AFS_REQUIRES(mu_) {
     DetachSession();
     inner_.reset();
+    static obs::Counter& degrades =
+        obs::Registry::Global().GetCounter("core.supervisor.degrades");
+    degrades.Add(1);
     (void)journal_.RecordDegrade(
         id_, std::string(DegradeModeName(policy_.degrade)));
     if (policy_.degrade == DegradeMode::kFail) {

@@ -1,10 +1,29 @@
 #include "ipc/framing.hpp"
 
 #include "common/faultpoint.hpp"
+#include "obs/metrics.hpp"
 
 namespace afs::ipc {
 
+namespace {
+
+// Frame-layer instrumentation: every control/response frame in the system
+// funnels through these two functions, so two counters per direction give
+// the per-op IPC cost picture (frames ≈ pipe round-trips / 2).
+struct FrameMetrics {
+  obs::Counter& frames;
+  obs::Counter& bytes;
+
+  FrameMetrics(const char* count_name, const char* bytes_name)
+      : frames(obs::Registry::Global().GetCounter(count_name)),
+        bytes(obs::Registry::Global().GetCounter(bytes_name)) {}
+};
+
+}  // namespace
+
 Status WriteFrame(PipeEnd& pipe, ByteSpan payload) {
+  static FrameMetrics metrics("ipc.frame.write.count",
+                              "ipc.frame.write.bytes");
   AFS_FAULT_POINT("ipc.frame.write");
   Buffer header;
   header.reserve(4);
@@ -13,10 +32,13 @@ Status WriteFrame(PipeEnd& pipe, ByteSpan payload) {
   if (!payload.empty()) {
     AFS_RETURN_IF_ERROR(pipe.WriteAll(payload));
   }
+  metrics.frames.Add(1);
+  metrics.bytes.Add(4 + payload.size());
   return Status::Ok();
 }
 
 Result<Buffer> ReadFrame(PipeEnd& pipe) {
+  static FrameMetrics metrics("ipc.frame.read.count", "ipc.frame.read.bytes");
   AFS_FAULT_POINT("ipc.frame.read");
   std::uint8_t header[4];
   // Distinguish clean EOF (peer done) from truncation: read the first byte
@@ -38,13 +60,23 @@ Result<Buffer> ReadFrame(PipeEnd& pipe) {
   if (len > 0) {
     AFS_RETURN_IF_ERROR(pipe.ReadExact(MutableByteSpan(payload)));
   }
+  metrics.frames.Add(1);
+  metrics.bytes.Add(4 + payload.size());
   return payload;
 }
 
 Result<Buffer> ReadFrame(PipeEnd& pipe, Micros timeout) {
   // The deadline covers the wait for the frame to begin; once bytes flow
   // the peer is alive and the bounded-size body read completes promptly.
-  AFS_RETURN_IF_ERROR(pipe.WaitReadable(timeout));
+  const Status ready = pipe.WaitReadable(timeout);
+  if (!ready.ok()) {
+    if (ready.code() == ErrorCode::kTimeout) {
+      static obs::Counter& timeouts =
+          obs::Registry::Global().GetCounter("ipc.frame.read.timeouts");
+      timeouts.Add(1);
+    }
+    return ready;
+  }
   return ReadFrame(pipe);
 }
 

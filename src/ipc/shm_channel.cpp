@@ -1,8 +1,12 @@
 #include "ipc/shm_channel.hpp"
 
+#include "obs/metrics.hpp"
+
 namespace afs::ipc {
 
 Status ShmChannel::Write(ByteSpan bytes) {
+  static obs::Counter& written =
+      obs::Registry::Global().GetCounter("ipc.shm.write.bytes");
   std::size_t done = 0;
   MutexLock lock(mu_);
   while (done < bytes.size()) {
@@ -11,16 +15,20 @@ Status ShmChannel::Write(ByteSpan bytes) {
     done += ring_.Write(bytes.subspan(done));
     readable_.NotifyOne();
   }
+  written.Add(done);
   return Status::Ok();
 }
 
 Result<std::size_t> ShmChannel::ReadSome(MutableByteSpan out) {
+  static obs::Counter& read =
+      obs::Registry::Global().GetCounter("ipc.shm.read.bytes");
   if (out.empty()) return std::size_t{0};
   MutexLock lock(mu_);
   while (!closed_ && ring_.empty()) readable_.Wait(mu_);
   if (ring_.empty()) return std::size_t{0};  // closed and drained
   const std::size_t n = ring_.Read(out);
   writable_.NotifyOne();
+  read.Add(n);
   return n;
 }
 

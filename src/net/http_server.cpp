@@ -8,6 +8,8 @@
 #include <unistd.h>
 
 #include "ipc/process.hpp"
+#include "obs/metrics.hpp"
+#include "obs/stats.hpp"
 #include "util/strings.hpp"
 
 namespace afs::net {
@@ -198,7 +200,22 @@ void HttpServer::ServeConnection(int fd) {
       std::string target = request_parts[1];
       if (!target.empty() && target.front() == '/') target.erase(0, 1);
 
-      if (method == "get" || method == "head") {
+      if ((method == "get" || method == "head") &&
+          (target == "stats" || target == "stats.txt")) {
+        // Observability endpoint, reserved ahead of the store namespace:
+        // GET /stats is the same snapshot afsctl renders (both call into
+        // obs::StatsJson), /stats.txt the human form.
+        static obs::Counter& stats_requests =
+            obs::Registry::Global().GetCounter("net.http.stats_requests");
+        stats_requests.Add(1);
+        const std::string body =
+            target == "stats" ? obs::StatsJson() : obs::StatsText();
+        std::map<std::string, std::string> response_headers;
+        response_headers["content-type"] =
+            target == "stats" ? "application/json" : "text/plain";
+        SendResponse(fd, 200, response_headers, AsBytes(body),
+                     method == "get");
+      } else if (method == "get" || method == "head") {
         auto data = store_.Get(target);
         if (!data.ok()) {
           SendResponse(fd, 404, {}, AsBytes("no such file"), true);

@@ -12,6 +12,8 @@
 #include "ipc/framing.hpp"
 #include "ipc/pipe.hpp"
 #include "ipc/process.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace afs::net {
 namespace {
@@ -143,6 +145,9 @@ SocketClient::~SocketClient() { Disconnect(); }
 
 Status SocketClient::EnsureConnected() {
   if (fd_ >= 0) return Status::Ok();
+  static obs::Counter& connects =
+      obs::Registry::Global().GetCounter("net.socket.connects");
+  connects.Add(1);
   AFS_FAULT_POINT("net.socket.connect");
   sockaddr_un addr;
   AFS_RETURN_IF_ERROR(FillSockaddr(path_, addr));
@@ -188,6 +193,23 @@ Result<Buffer> SocketClient::CallOnce(ByteSpan request) {
 }
 
 Result<Buffer> SocketClient::Call(ByteSpan request) {
+  static obs::Counter& calls =
+      obs::Registry::Global().GetCounter("net.socket.calls");
+  static obs::Counter& retries =
+      obs::Registry::Global().GetCounter("net.socket.retries");
+  static obs::Counter& bytes_out =
+      obs::Registry::Global().GetCounter("net.socket.bytes_out");
+  static obs::Counter& bytes_in =
+      obs::Registry::Global().GetCounter("net.socket.bytes_in");
+  static obs::Histogram& latency =
+      obs::Registry::Global().GetHistogram("net.socket.call_us");
+  // The remote leg of the trace: when a sentinel serves a traced command
+  // by fetching from a remote source, this span nests under the dispatch
+  // span and rides home with it.
+  obs::Span span("net.socket.call");
+  const std::uint64_t n = calls.Increment();
+  obs::ScopedLatencyTimer timer((n & 15) == 0 ? &latency : nullptr);
+  bytes_out.Add(request.size());
   Result<Buffer> reply = CallOnce(request);
   Backoff backoff(options_.max_retries, options_.retry_backoff,
                   options_.retry_backoff_cap);
@@ -199,8 +221,10 @@ Result<Buffer> SocketClient::Call(ByteSpan request) {
     const bool transient =
         code == ErrorCode::kIoError || code == ErrorCode::kClosed;
     if (!transient || !backoff.Next(SteadyClock::Instance())) break;
+    retries.Add(1);
     reply = CallOnce(request);
   }
+  if (reply.ok()) bytes_in.Add(reply->size());
   return reply;
 }
 

@@ -1,0 +1,389 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <chrono>
+#include <utility>
+
+namespace afs::obs {
+
+namespace {
+std::atomic<bool> g_enabled{true};
+
+std::int64_t NowMicros() noexcept {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+}  // namespace
+
+bool Enabled() noexcept { return g_enabled.load(std::memory_order_relaxed); }
+
+void SetEnabled(bool enabled) noexcept {
+  g_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+// ---- per-thread counter cells ---------------------------------------------
+
+namespace internal {
+
+thread_local constinit std::atomic<std::uint64_t>* t_cell_base = nullptr;
+thread_local constinit OpPending t_op_pending[kMaxOpPairs] = {};
+
+namespace {
+// Set once this thread's cell table has been destroyed; late recorders
+// (TLS destructors that run after ours) take the overflow cell instead of
+// resurrecting the table.
+thread_local bool t_cells_dead = false;
+}  // namespace
+
+// Tracks every live thread's cell table and maps counter ids back to
+// their owners.  Leaked singleton for the same reason as
+// Registry::Global(): counters are recorded into during static teardown.
+class CellDirectory {
+ public:
+  static CellDirectory& Get() {
+    static CellDirectory* instance = new CellDirectory();
+    return *instance;
+  }
+
+  Mutex mu;
+  std::vector<ThreadCellTable*> tables AFS_GUARDED_BY(mu);
+  // Indexed by counter id; nulled when a counter is destroyed.  Ids are
+  // never reused, so a stale table entry can only be skipped, never
+  // credited to the wrong counter.
+  std::vector<Counter*> owner_by_id AFS_GUARDED_BY(mu);
+  // Indexed by op-pair id; same id discipline as counters.
+  std::vector<OpPair*> op_pairs AFS_GUARDED_BY(mu);
+};
+
+// One recording thread's cells.  Lives in that thread's TLS; registered
+// with the directory so snapshot readers can sum it, flushed into each
+// counter's `retired_` at thread exit (TLS storage dies with the thread).
+// An untouched cell is zero, so readers can sum every table blindly —
+// there is no per-cell registration state to check on the hot path.
+struct ThreadCellTable {
+  std::atomic<std::uint64_t> cells[kMaxFastCounters] = {};
+
+  ThreadCellTable() {
+    CellDirectory& dir = CellDirectory::Get();
+    MutexLock lock(dir.mu);
+    dir.tables.push_back(this);
+  }
+
+  ~ThreadCellTable() {
+    CellDirectory& dir = CellDirectory::Get();
+    MutexLock lock(dir.mu);
+    // Drain this thread's op-pair pending into the cells while the table
+    // is still wired up, then flush the cells themselves.
+    for (OpPair* pair : dir.op_pairs) {
+      if (pair != nullptr) pair->FlushThisThread();
+    }
+    t_cell_base = nullptr;
+    t_cells_dead = true;
+    const auto known = static_cast<std::uint32_t>(
+        std::min<std::size_t>(dir.owner_by_id.size(), kMaxFastCounters));
+    for (std::uint32_t id = 0; id < known; ++id) {
+      const std::uint64_t v = cells[id].load(std::memory_order_relaxed);
+      if (v != 0 && dir.owner_by_id[id] != nullptr) {
+        dir.owner_by_id[id]->retired_.fetch_add(v, std::memory_order_relaxed);
+      }
+    }
+    std::erase(dir.tables, this);
+  }
+};
+
+namespace {
+
+// Registers this thread's table on first use.  Returns null during
+// thread teardown (the table is already flushed and gone).
+std::atomic<std::uint64_t>* ThisThreadCells() {
+  if (t_cells_dead) return nullptr;
+  static thread_local ThreadCellTable t_table;
+  t_cell_base = t_table.cells;
+  return t_cell_base;
+}
+
+std::uint32_t RegisterCounter(Counter* counter) {
+  CellDirectory& dir = CellDirectory::Get();
+  MutexLock lock(dir.mu);
+  dir.owner_by_id.push_back(counter);
+  return static_cast<std::uint32_t>(dir.owner_by_id.size() - 1);
+}
+
+std::uint32_t RegisterOpPair(OpPair* pair) {
+  CellDirectory& dir = CellDirectory::Get();
+  MutexLock lock(dir.mu);
+  dir.op_pairs.push_back(pair);
+  return static_cast<std::uint32_t>(dir.op_pairs.size() - 1);
+}
+
+}  // namespace
+
+bool EnsureThreadRegistered() { return ThisThreadCells() != nullptr; }
+
+// Publishes the calling thread's op-pair pending into the backing
+// counters, so a snapshot taken on this thread sees its own operations
+// exactly (other live threads may still lag by up to one flush period).
+void DrainThisThreadPairs() {
+  if (t_cell_base == nullptr) return;  // pending is only written registered
+  CellDirectory& dir = CellDirectory::Get();
+  MutexLock lock(dir.mu);
+  for (OpPair* pair : dir.op_pairs) {
+    if (pair != nullptr) pair->FlushThisThread();
+  }
+}
+
+}  // namespace internal
+
+Counter::Counter() : id_(internal::RegisterCounter(this)) {}
+
+Counter::~Counter() {
+  internal::CellDirectory& dir = internal::CellDirectory::Get();
+  MutexLock lock(dir.mu);
+  // Live threads keep their (now orphaned) cells until exit; the null
+  // owner entry tells the exit flush to skip them.
+  dir.owner_by_id[id_] = nullptr;
+}
+
+void Counter::SlowAdd(std::uint64_t n) noexcept {
+  std::atomic<std::uint64_t>* base =
+      id_ < internal::kMaxFastCounters ? internal::ThisThreadCells() : nullptr;
+  if (base != nullptr) {
+    std::atomic<std::uint64_t>& cell = base[id_];
+    cell.store(cell.load(std::memory_order_relaxed) + n,
+               std::memory_order_relaxed);
+  } else {
+    overflow_.fetch_add(n, std::memory_order_relaxed);
+  }
+}
+
+std::uint64_t Counter::SlowIncrement() noexcept {
+  std::atomic<std::uint64_t>* base =
+      id_ < internal::kMaxFastCounters ? internal::ThisThreadCells() : nullptr;
+  if (base != nullptr) {
+    std::atomic<std::uint64_t>& cell = base[id_];
+    const std::uint64_t prev = cell.load(std::memory_order_relaxed);
+    cell.store(prev + 1, std::memory_order_relaxed);
+    return prev;
+  }
+  return overflow_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::uint64_t Counter::Value() const noexcept {
+  internal::CellDirectory& dir = internal::CellDirectory::Get();
+  MutexLock lock(dir.mu);
+  std::uint64_t total = retired_.load(std::memory_order_relaxed) +
+                        overflow_.load(std::memory_order_relaxed);
+  if (id_ < internal::kMaxFastCounters) {
+    for (const internal::ThreadCellTable* table : dir.tables) {
+      total += table->cells[id_].load(std::memory_order_relaxed);
+    }
+  }
+  return total;
+}
+
+OpPair::OpPair(Counter& count, Counter& bytes)
+    : count_(count), bytes_(bytes), id_(internal::RegisterOpPair(this)) {}
+
+OpPair::~OpPair() {
+  internal::CellDirectory& dir = internal::CellDirectory::Get();
+  MutexLock lock(dir.mu);
+  // Live threads' pending slots for this id go stale; drain loops skip
+  // the null entry, and ids are never reused.
+  dir.op_pairs[id_] = nullptr;
+}
+
+void OpPair::FlushThisThread() noexcept {
+  if (id_ >= internal::kMaxOpPairs || internal::t_cell_base == nullptr) {
+    return;
+  }
+  internal::OpPending& pending = internal::t_op_pending[id_];
+  if (pending.ops != pending.flushed_ops) {
+    count_.Add(pending.ops - pending.flushed_ops);
+    pending.flushed_ops = pending.ops;
+  }
+  if (pending.bytes != 0) {
+    bytes_.Add(pending.bytes);
+    pending.bytes = 0;
+  }
+}
+
+bool OpPair::SlowCountOp() noexcept {
+  if (id_ < internal::kMaxOpPairs && internal::EnsureThreadRegistered()) {
+    internal::OpPending& pending = internal::t_op_pending[id_];
+    const std::uint64_t ops = ++pending.ops;
+    if ((ops & (kFlushPeriod - 1)) == 0) {
+      FlushThisThread();
+      return (ops & (kSamplePeriod - 1)) == 0;
+    }
+    return false;
+  }
+  // No per-thread state (id overflow or thread teardown): fall back to
+  // the backing counter's own sampling hook.
+  return (count_.Increment() & (kSamplePeriod - 1)) == 0;
+}
+
+void Counter::ResetForTest() noexcept {
+  internal::CellDirectory& dir = internal::CellDirectory::Get();
+  MutexLock lock(dir.mu);
+  retired_.store(0, std::memory_order_relaxed);
+  overflow_.store(0, std::memory_order_relaxed);
+  if (id_ < internal::kMaxFastCounters) {
+    for (internal::ThreadCellTable* table : dir.tables) {
+      table->cells[id_].store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+int HistogramSnapshot::BucketIndex(std::uint64_t value) noexcept {
+  if (value == 0) return 0;
+  const int index = 64 - std::countl_zero(value);
+  return index < kBuckets ? index : kBuckets - 1;
+}
+
+std::uint64_t HistogramSnapshot::BucketLowerBound(int index) noexcept {
+  if (index <= 0) return 0;
+  return std::uint64_t{1} << (index - 1);
+}
+
+std::uint64_t HistogramSnapshot::BucketUpperBound(int index) noexcept {
+  if (index <= 0) return 0;
+  if (index >= kBuckets - 1) return ~std::uint64_t{0};
+  return (std::uint64_t{1} << index) - 1;
+}
+
+void HistogramSnapshot::Merge(const HistogramSnapshot& other) noexcept {
+  for (int i = 0; i < kBuckets; ++i) buckets[i] += other.buckets[i];
+  if (other.count > 0) {
+    min = (count == 0 || other.min < min) ? other.min : min;
+    max = (count == 0 || other.max > max) ? other.max : max;
+  }
+  count += other.count;
+  sum += other.sum;
+}
+
+std::uint64_t HistogramSnapshot::Quantile(double q) const noexcept {
+  if (count == 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank of the requested quantile, 1-based, nearest-rank convention.
+  auto rank = static_cast<std::uint64_t>(q * static_cast<double>(count));
+  if (rank < q * static_cast<double>(count)) ++rank;  // ceil
+  if (rank == 0) rank = 1;
+  std::uint64_t seen = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    seen += buckets[i];
+    if (seen >= rank) {
+      const std::uint64_t upper = BucketUpperBound(i);
+      return upper > max && max > 0 ? max : upper;
+    }
+  }
+  return max;
+}
+
+HistogramSnapshot Histogram::Snapshot() const noexcept {
+  HistogramSnapshot snap;
+  for (int i = 0; i < HistogramSnapshot::kBuckets; ++i) {
+    snap.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+    snap.count += snap.buckets[i];
+  }
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  snap.min = snap.count > 0 ? min_.load(std::memory_order_relaxed) : 0;
+  snap.max = max_.load(std::memory_order_relaxed);
+  return snap;
+}
+
+void Histogram::ResetForTest() noexcept {
+  for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(~std::uint64_t{0}, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+void Snapshot::Merge(const Snapshot& other) {
+  for (const auto& [name, value] : other.counters) counters[name] += value;
+  for (const auto& [name, value] : other.gauges) gauges[name] = value;
+  for (const auto& [name, hist] : other.histograms) {
+    histograms[name].Merge(hist);
+  }
+}
+
+Registry& Registry::Global() {
+  // Leaked singleton: instrument references handed to call sites must
+  // outlive every static destructor (sentinel threads record during
+  // teardown).
+  static Registry* instance = new Registry();
+  return *instance;
+}
+
+Counter& Registry::GetCounter(std::string_view name) {
+  MutexLock lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& Registry::GetGauge(std::string_view name) {
+  MutexLock lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& Registry::GetHistogram(std::string_view name) {
+  MutexLock lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return *it->second;
+}
+
+Snapshot Registry::TakeSnapshot() const {
+  // Publish this thread's batched op counts first (sequentially — the
+  // directory mutex is released again before the registry mutex is
+  // taken), so a single-threaded record-then-dump sequence is exact.
+  internal::DrainThisThreadPairs();
+  Snapshot snap;
+  MutexLock lock(mu_);
+  for (const auto& [name, counter] : counters_) {
+    snap.counters[name] = counter->Value();
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    snap.gauges[name] = gauge->Value();
+  }
+  for (const auto& [name, hist] : histograms_) {
+    snap.histograms[name] = hist->Snapshot();
+  }
+  return snap;
+}
+
+void Registry::ResetForTest() {
+  MutexLock lock(mu_);
+  for (auto& [name, counter] : counters_) counter->ResetForTest();
+  for (auto& [name, gauge] : gauges_) gauge->ResetForTest();
+  for (auto& [name, hist] : histograms_) hist->ResetForTest();
+}
+
+// The Enabled() check here is load-bearing: a disabled Counter::Increment
+// returns 0, which reads as "sampled" to every (n & mask) == 0 site — so
+// without it, DISABLING metrics would add two clock reads to every op.
+ScopedLatencyTimer::ScopedLatencyTimer(Histogram* hist) noexcept
+    : hist_(Enabled() ? hist : nullptr) {
+  if (hist_ != nullptr) start_us_ = NowMicros();
+}
+
+ScopedLatencyTimer::~ScopedLatencyTimer() {
+  if (hist_ == nullptr) return;
+  const std::int64_t elapsed = NowMicros() - start_us_;
+  hist_->Record(elapsed > 0 ? static_cast<std::uint64_t>(elapsed) : 0);
+}
+
+}  // namespace afs::obs

@@ -1,0 +1,378 @@
+// afs::obs — always-on observability primitives.
+//
+// The paper's evaluation (Section 6) is a cost accounting exercise: each
+// sentinel strategy buys programming convenience with per-operation
+// overhead, and the whole argument rests on being able to measure where a
+// ReadFile spends its time.  This layer provides that measurement without
+// perturbing it: monotonic counters, gauges, and fixed-bucket log-scale
+// latency histograms whose hot path is nothing but relaxed atomics.
+//
+// Registration (name -> instrument lookup) takes a mutex once; call sites
+// cache the returned reference in a function-local static so steady-state
+// recording never locks:
+//
+//   static obs::Counter& reads =
+//       obs::Registry::Global().GetCounter("vfs.read.count");
+//   reads.Add(1);     // owner-thread cell: relaxed load + relaxed store
+//
+// Counters are sharded per thread: each recording thread owns a padded
+// cell that only it writes, so the hot path is a plain (relaxed)
+// load+store on the thread's own cache line — no locked read-modify-write.
+// That distinction is worth ~7ns per site on current hardware, which is
+// the entire <5% budget bench_obs_overhead enforces on the direct-strategy
+// read path.  Value() sums the cells under a mutex; reading is the cold
+// path by design.
+//
+// Snapshots are plain structs, mergeable across instruments and across
+// processes (the same bucket layout everywhere), which is what lets
+// `afsctl stats`, `GET /stats`, and the sentineld SIGUSR1 dump all render
+// the identical view.  A process-wide kill switch (SetEnabled) exists so
+// the overhead benchmark can measure the instrumented-vs-not delta; a
+// disabled site costs one relaxed load and a predictable branch, the same
+// budget as a disarmed fault point.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
+
+namespace afs::obs {
+
+// Process-wide recording switch.  Default on; the overhead benchmark and
+// a handful of tests flip it.  Relaxed is deliberate: losing a count at
+// the flip boundary is fine, ordering recording against other memory is
+// not this layer's job.
+bool Enabled() noexcept;
+void SetEnabled(bool enabled) noexcept;
+
+class Counter;
+
+namespace internal {
+
+// Counters sharing a thread's table is the point: ids are assigned in
+// registration order, so the hot pair on an operation path (count at id
+// k, bytes at id k+1) usually lands on one cache line of the recording
+// thread's own table.  No padding between cells — false sharing cannot
+// happen between threads that each write only their own table, and
+// snapshot readers only disturb a line while a dump is being rendered.
+inline constexpr std::uint32_t kMaxFastCounters = 256;
+
+// Op pairs past this many fall back to their backing counters' atomic
+// cells — correct, just not batch-cheap.
+inline constexpr std::uint32_t kMaxOpPairs = 32;
+
+// Plain (non-atomic) per-thread pending state for one OpPair: only the
+// owning thread ever touches it, and it reaches other threads only after
+// a flush into the pair's backing counters.
+struct OpPending {
+  std::uint64_t ops = 0;          // monotonic per-thread op count
+  std::uint64_t flushed_ops = 0;  // ops already flushed into the counter
+  std::uint64_t bytes = 0;        // bytes accumulated since the last flush
+};
+
+extern thread_local constinit OpPending t_op_pending[kMaxOpPairs];
+
+// This thread's cell table, indexed by counter id.  Null until the first
+// slow-path record registers the table with the cell directory; null
+// again after thread teardown.  The constinit is load-bearing: it tells
+// every including TU the variable has no dynamic initializer, so access
+// compiles to a TLS-relative load instead of a call through the
+// thread-local init wrapper (_ZTH…) — the wrapper call costs more than
+// the entire cell update.
+extern thread_local constinit std::atomic<std::uint64_t>* t_cell_base;
+
+// Registers this thread's cell table if it does not exist yet.  Returns
+// false during thread teardown, when per-thread state is gone for good.
+bool EnsureThreadRegistered();
+
+class CellDirectory;
+struct ThreadCellTable;
+
+}  // namespace internal
+
+// Monotonic event counter, sharded per recording thread.  Each thread
+// writes its own cell with a relaxed load + relaxed store — never a
+// locked RMW, which costs several ns even uncontended and is the entire
+// bench_obs_overhead budget.  Reads sum the cells under a mutex.
+class Counter {
+ public:
+  Counter();
+  ~Counter();
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void Add(std::uint64_t n) noexcept {
+    if (!Enabled()) return;
+    if (std::atomic<std::uint64_t>* cell = FastCell()) {
+      cell->store(cell->load(std::memory_order_relaxed) + n,
+                  std::memory_order_relaxed);
+    } else {
+      SlowAdd(n);
+    }
+  }
+
+  // Adds one and returns this thread's pre-increment count — the sampling
+  // hook used by the vfs layer to time every Nth operation instead of
+  // every one.  The rhythm is per-thread, which is what a sampler wants:
+  // each thread times its own Nth operation instead of racing for slots.
+  std::uint64_t Increment() noexcept {
+    if (!Enabled()) return 0;
+    if (std::atomic<std::uint64_t>* cell = FastCell()) {
+      const std::uint64_t prev = cell->load(std::memory_order_relaxed);
+      cell->store(prev + 1, std::memory_order_relaxed);
+      return prev;
+    }
+    return SlowIncrement();
+  }
+
+  // Sum of every live thread's cell plus counts flushed by exited threads
+  // and overflow recordings.  Takes the directory mutex: snapshot-path
+  // cost, deliberately kept off the recording path.
+  std::uint64_t Value() const noexcept;
+
+  void ResetForTest() noexcept;
+
+ private:
+  friend class internal::CellDirectory;
+  friend struct internal::ThreadCellTable;
+
+  std::atomic<std::uint64_t>* FastCell() const noexcept {
+    return id_ < internal::kMaxFastCounters &&
+                   internal::t_cell_base != nullptr
+               ? internal::t_cell_base + id_
+               : nullptr;
+  }
+
+  // Registers this thread's cell table on first record, or falls back to
+  // the shared overflow cell (a locked RMW) for ids past the fast table
+  // and for records that arrive during thread teardown.
+  void SlowAdd(std::uint64_t n) noexcept;
+  std::uint64_t SlowIncrement() noexcept;
+
+  const std::uint32_t id_;
+  // Counts flushed from exited threads' tables.
+  std::atomic<std::uint64_t> retired_{0};
+  // Correct-but-slow shared cell for records with no thread table.
+  std::atomic<std::uint64_t> overflow_{0};
+};
+
+// Batched (count, bytes) counter pair for proven-hot operation paths —
+// the percpu-counter design: each thread accumulates into plain TLS
+// pending slots (no atomics at all on the common path) and flushes into
+// the backing Counters every kFlushPeriod-th operation, at thread exit,
+// and for the calling thread whenever a snapshot is taken.  The price is
+// bounded staleness: a reader may lag a live recording thread by up to
+// kFlushPeriod-1 operations.  That is the right trade for the vfs read
+// path, where bench_obs_overhead holds the instrumented-vs-not delta of
+// a ~40ns operation under 5%.
+class OpPair {
+ public:
+  // Sampling/flush rhythm, per recording thread.
+  static constexpr std::uint64_t kFlushPeriod = 64;
+  static constexpr std::uint64_t kSamplePeriod = 256;
+
+  // The backing counters must outlive the pair (registry-owned counters
+  // qualify; they live for the process).
+  OpPair(Counter& count, Counter& bytes);
+  ~OpPair();
+  OpPair(const OpPair&) = delete;
+  OpPair& operator=(const OpPair&) = delete;
+
+  // Counts one operation.  Returns true when this operation should be
+  // latency-sampled (every kSamplePeriod-th on this thread), which is
+  // also a flush boundary — so the sampled op pays the flush too and the
+  // unsampled path stays branch-predictable.
+  bool CountOp() noexcept {
+    if (!Enabled()) return false;
+    if (id_ >= internal::kMaxOpPairs ||
+        internal::t_cell_base == nullptr) {
+      return SlowCountOp();
+    }
+    internal::OpPending& pending = internal::t_op_pending[id_];
+    const std::uint64_t ops = pending.ops + 1;
+    pending.ops = ops;
+    if ((ops & (kFlushPeriod - 1)) == 0) {
+      FlushThisThread();
+      return (ops & (kSamplePeriod - 1)) == 0;
+    }
+    return false;
+  }
+
+  // Accumulates bytes for an operation already counted by CountOp on this
+  // thread (the call sites count first, then record the transfer size).
+  void AddBytes(std::uint64_t n) noexcept {
+    if (!Enabled()) return;
+    if (id_ >= internal::kMaxOpPairs ||
+        internal::t_cell_base == nullptr) {
+      bytes_.Add(n);
+      return;
+    }
+    internal::t_op_pending[id_].bytes += n;
+  }
+
+  // Publishes this thread's pending counts into the backing counters.
+  void FlushThisThread() noexcept;
+
+ private:
+  friend class internal::CellDirectory;
+  friend struct internal::ThreadCellTable;
+
+  bool SlowCountOp() noexcept;
+
+  Counter& count_;
+  Counter& bytes_;
+  const std::uint32_t id_;
+};
+
+// Instantaneous level (open handles, live sentinels).
+class Gauge {
+ public:
+  void Set(std::int64_t v) noexcept {
+    if (!Enabled()) return;
+    value_.store(v, std::memory_order_relaxed);
+  }
+  void Add(std::int64_t delta) noexcept {
+    if (!Enabled()) return;
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::int64_t Value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void ResetForTest() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+// Fixed-bucket log2 histogram.  Bucket 0 holds the value 0; bucket i>=1
+// holds [2^(i-1), 2^i).  kBuckets=40 covers latencies up to ~2^39 µs
+// (about six days) before clamping into the last bucket — far beyond any
+// timeout in the system.  The fixed layout is what makes snapshots
+// mergeable across threads and processes: merging is bucket-wise addition.
+struct HistogramSnapshot {
+  static constexpr int kBuckets = 40;
+
+  std::uint64_t buckets[kBuckets] = {};
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t min = 0;  // meaningful only when count > 0
+  std::uint64_t max = 0;
+
+  // Index of the bucket a value lands in.
+  static int BucketIndex(std::uint64_t value) noexcept;
+  // Inclusive value range covered by a bucket.
+  static std::uint64_t BucketLowerBound(int index) noexcept;
+  static std::uint64_t BucketUpperBound(int index) noexcept;
+
+  // Bucket-wise merge; associative and commutative by construction.
+  void Merge(const HistogramSnapshot& other) noexcept;
+
+  // Upper bound of the bucket containing the rank-ceil(q*count) value
+  // (q in [0,1]).  The estimate is exact up to bucket resolution: it lies
+  // in the same power-of-two bucket as the true quantile.
+  std::uint64_t Quantile(double q) const noexcept;
+};
+
+class Histogram {
+ public:
+  void Record(std::uint64_t value) noexcept {
+    if (!Enabled()) return;
+    const int idx = HistogramSnapshot::BucketIndex(value);
+    buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+    AtomicMin(min_, value);
+    AtomicMax(max_, value);
+  }
+
+  HistogramSnapshot Snapshot() const noexcept;
+  void ResetForTest() noexcept;
+
+ private:
+  static void AtomicMin(std::atomic<std::uint64_t>& slot,
+                        std::uint64_t value) noexcept {
+    std::uint64_t cur = slot.load(std::memory_order_relaxed);
+    while (value < cur &&
+           !slot.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+    }
+  }
+  static void AtomicMax(std::atomic<std::uint64_t>& slot,
+                        std::uint64_t value) noexcept {
+    std::uint64_t cur = slot.load(std::memory_order_relaxed);
+    while (value > cur &&
+           !slot.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+    }
+  }
+
+  // No separate count cell: a snapshot's count is the bucket sum, which
+  // keeps count == sum(buckets) an invariant even while recorders race.
+  std::atomic<std::uint64_t> buckets_[HistogramSnapshot::kBuckets] = {};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> min_{~std::uint64_t{0}};
+  std::atomic<std::uint64_t> max_{0};
+};
+
+// Point-in-time view of every registered instrument, ordered by name so
+// two renderings of the same state are byte-identical.
+struct Snapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, std::int64_t> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+
+  // Name-wise merge (counters/sums add, gauges take the other side's
+  // value when present, histograms merge bucket-wise).
+  void Merge(const Snapshot& other);
+};
+
+// Process-wide instrument registry.  Get* registers on first use and
+// returns a reference that stays valid for the process lifetime, so call
+// sites pay the registration mutex once.
+class Registry {
+ public:
+  static Registry& Global();
+
+  Counter& GetCounter(std::string_view name);
+  Gauge& GetGauge(std::string_view name);
+  Histogram& GetHistogram(std::string_view name);
+
+  Snapshot TakeSnapshot() const;
+
+  // Zeroes every registered instrument (references stay valid).  Tests
+  // only; racing recorders may land counts on either side of the reset.
+  void ResetForTest();
+
+ private:
+  Registry() = default;
+
+  mutable Mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_
+      AFS_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_
+      AFS_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_
+      AFS_GUARDED_BY(mu_);
+};
+
+// Records elapsed microseconds into a histogram at scope exit.  Pass
+// nullptr to skip (the sampling decision happens at construction, so the
+// steady-clock reads are only paid for sampled operations).
+class ScopedLatencyTimer {
+ public:
+  explicit ScopedLatencyTimer(Histogram* hist) noexcept;
+  ~ScopedLatencyTimer();
+
+  ScopedLatencyTimer(const ScopedLatencyTimer&) = delete;
+  ScopedLatencyTimer& operator=(const ScopedLatencyTimer&) = delete;
+
+ private:
+  Histogram* hist_;
+  std::int64_t start_us_ = 0;
+};
+
+}  // namespace afs::obs

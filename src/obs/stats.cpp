@@ -1,0 +1,224 @@
+#include "obs/stats.hpp"
+
+#include <signal.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <map>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace afs::obs {
+
+namespace {
+
+std::string Hex(std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%016" PRIx64, v);
+  return buf;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+// Span-tree walk shared by both renderers' tree section: spans grouped by
+// trace, children ordered by start time, orphans (parent span not in the
+// dump, e.g. evicted from the ring) promoted to roots so nothing is
+// silently dropped.
+struct SpanTree {
+  std::map<std::uint64_t, std::vector<const SpanRecord*>> roots_by_trace;
+  std::unordered_map<std::uint64_t, std::vector<const SpanRecord*>> children;
+
+  explicit SpanTree(const std::vector<SpanRecord>& spans) {
+    std::unordered_set<std::uint64_t> ids;
+    ids.reserve(spans.size());
+    for (const SpanRecord& span : spans) ids.insert(span.span_id);
+    for (const SpanRecord& span : spans) {
+      // A self-parenting span (corrupt or colliding peer data) would make
+      // the render walk below chase its own tail; demote it to a root.
+      if (span.parent_id != 0 && span.parent_id != span.span_id &&
+          ids.count(span.parent_id) > 0) {
+        children[span.parent_id].push_back(&span);
+      } else {
+        roots_by_trace[span.trace_id].push_back(&span);
+      }
+    }
+    auto by_start = [](const SpanRecord* a, const SpanRecord* b) {
+      return a->start_us < b->start_us;
+    };
+    for (auto& [trace, list] : roots_by_trace) {
+      std::sort(list.begin(), list.end(), by_start);
+    }
+    for (auto& [parent, list] : children) {
+      std::sort(list.begin(), list.end(), by_start);
+    }
+  }
+};
+
+void RenderSpanText(const SpanTree& tree, const SpanRecord& span, int depth,
+                    std::string& out) {
+  out.append(2 + 2 * static_cast<std::size_t>(depth), ' ');
+  out += span.name;
+  out += "  span=" + Hex(span.span_id);
+  out += "  pid=" + std::to_string(span.pid);
+  out += "  " + std::to_string(span.duration_us) + "us\n";
+  // Span ids come off the wire from other processes; a multi-span id
+  // cycle must degrade to a truncated tree, not a stack overflow.
+  if (depth >= 64) return;
+  auto it = tree.children.find(span.span_id);
+  if (it == tree.children.end()) return;
+  for (const SpanRecord* child : it->second) {
+    RenderSpanText(tree, *child, depth + 1, out);
+  }
+}
+
+}  // namespace
+
+std::string RenderText(const Snapshot& snapshot,
+                       const std::vector<SpanRecord>& spans) {
+  std::string out;
+  out += "== counters\n";
+  for (const auto& [name, value] : snapshot.counters) {
+    out += name + " " + std::to_string(value) + "\n";
+  }
+  out += "== gauges\n";
+  for (const auto& [name, value] : snapshot.gauges) {
+    out += name + " " + std::to_string(value) + "\n";
+  }
+  out += "== histograms (us)\n";
+  for (const auto& [name, hist] : snapshot.histograms) {
+    out += name + " count=" + std::to_string(hist.count) +
+           " sum=" + std::to_string(hist.sum) +
+           " min=" + std::to_string(hist.min) +
+           " max=" + std::to_string(hist.max) +
+           " p50=" + std::to_string(hist.Quantile(0.5)) +
+           " p90=" + std::to_string(hist.Quantile(0.9)) +
+           " p99=" + std::to_string(hist.Quantile(0.99)) + "\n";
+  }
+  out += "== traces\n";
+  const SpanTree tree(spans);
+  for (const auto& [trace, roots] : tree.roots_by_trace) {
+    out += "trace " + Hex(trace) + "\n";
+    for (const SpanRecord* root : roots) {
+      RenderSpanText(tree, *root, 0, out);
+    }
+  }
+  return out;
+}
+
+std::string RenderJson(const Snapshot& snapshot,
+                       const std::vector<SpanRecord>& spans) {
+  std::string out = "{";
+  out += "\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : snapshot.counters) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + JsonEscape(name) + "\":" + std::to_string(value);
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : snapshot.gauges) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + JsonEscape(name) + "\":" + std::to_string(value);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, hist] : snapshot.histograms) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + JsonEscape(name) + "\":{";
+    out += "\"count\":" + std::to_string(hist.count);
+    out += ",\"sum\":" + std::to_string(hist.sum);
+    out += ",\"min\":" + std::to_string(hist.min);
+    out += ",\"max\":" + std::to_string(hist.max);
+    out += ",\"p50\":" + std::to_string(hist.Quantile(0.5));
+    out += ",\"p90\":" + std::to_string(hist.Quantile(0.9));
+    out += ",\"p99\":" + std::to_string(hist.Quantile(0.99));
+    out += "}";
+  }
+  out += "},\"spans\":[";
+  first = true;
+  for (const SpanRecord& span : spans) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"trace\":\"" + Hex(span.trace_id) + "\"";
+    out += ",\"span\":\"" + Hex(span.span_id) + "\"";
+    out += ",\"parent\":\"" + Hex(span.parent_id) + "\"";
+    out += ",\"pid\":" + std::to_string(span.pid);
+    out += ",\"start_us\":" + std::to_string(span.start_us);
+    out += ",\"duration_us\":" + std::to_string(span.duration_us);
+    out += ",\"name\":\"" + JsonEscape(span.name) + "\"}";
+  }
+  out += "]}";
+  return out;
+}
+
+std::string StatsText() {
+  return RenderText(Registry::Global().TakeSnapshot(),
+                    TraceLog::Global().Snapshot());
+}
+
+std::string StatsJson() {
+  return RenderJson(Registry::Global().TakeSnapshot(),
+                    TraceLog::Global().Snapshot());
+}
+
+namespace {
+int g_dump_pipe_write = -1;
+
+void DumpSignalHandler(int /*signo*/) {
+  // Async-signal-safe: one write to the self-pipe, nothing else.
+  const char byte = 1;
+  if (g_dump_pipe_write >= 0) {
+    [[maybe_unused]] ssize_t n = ::write(g_dump_pipe_write, &byte, 1);
+  }
+}
+}  // namespace
+
+void InstallStatsSignalDump(int signo) {
+  int fds[2];
+  if (::pipe(fds) != 0) return;
+  g_dump_pipe_write = fds[1];
+  const int read_fd = fds[0];
+  std::thread([read_fd] {
+    char byte = 0;
+    while (::read(read_fd, &byte, 1) == 1) {
+      const std::string text = StatsText();
+      [[maybe_unused]] ssize_t n =
+          ::write(STDERR_FILENO, text.data(), text.size());
+    }
+  }).detach();
+  struct sigaction action = {};
+  action.sa_handler = DumpSignalHandler;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = SA_RESTART;
+  ::sigaction(signo, &action, nullptr);
+}
+
+}  // namespace afs::obs

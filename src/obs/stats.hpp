@@ -1,0 +1,38 @@
+// Rendering of the observability state — the single formatter behind all
+// three stats surfaces (`afsctl stats`, `GET /stats` on net::HttpServer,
+// and the sentineld SIGUSR1 dump), which is what makes "the CLI and the
+// HTTP endpoint return the same snapshot" a structural property instead
+// of a test assertion.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace afs::obs {
+
+// Human-oriented rendering: sectioned tables plus an indented span tree
+// per trace.
+std::string RenderText(const Snapshot& snapshot,
+                       const std::vector<SpanRecord>& spans);
+
+// Machine-oriented rendering: one JSON object with "counters", "gauges",
+// "histograms" (count/sum/min/max/p50/p90/p99 per entry), and a flat
+// "spans" array.  Keys are sorted (std::map iteration) so equal state
+// renders byte-identical.
+std::string RenderJson(const Snapshot& snapshot,
+                       const std::vector<SpanRecord>& spans);
+
+// Convenience: render the global registry + trace log.
+std::string StatsText();
+std::string StatsJson();
+
+// Installs a signal-triggered stats dump (sentineld wires SIGUSR1): the
+// handler only writes a byte to a self-pipe; a background thread renders
+// StatsText() to stderr, keeping the handler async-signal-safe.  Call at
+// most once per process.
+void InstallStatsSignalDump(int signo);
+
+}  // namespace afs::obs

@@ -1,0 +1,210 @@
+#include "obs/trace.hpp"
+
+#include <pthread.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <utility>
+
+namespace afs::obs {
+
+namespace {
+
+std::atomic<bool> g_trace_armed{false};
+
+thread_local TraceContext t_context;
+thread_local std::vector<SpanRecord>* t_collector = nullptr;
+
+std::int64_t NowMicros() noexcept {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// splitmix64 over a per-process base: ids are unique within a process and
+// collide across processes only with 2^-64-ish probability, which is all
+// the span tree needs.
+std::uint64_t Mix(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t IdBase() noexcept {
+  return Mix((static_cast<std::uint64_t>(::getpid()) << 32) ^
+             static_cast<std::uint64_t>(NowMicros()));
+}
+
+std::atomic<std::uint64_t> g_id_base{0};
+std::atomic<std::uint64_t> g_id_counter{0};
+
+// Forked sentinels inherit the parent's base and counter; without a
+// re-seed the child continues the parent's exact id stream and every
+// child span id collides with a parent-side one (which reads as a cycle
+// to the span-tree renderer).  atfork re-derives the base from the
+// child's own pid.
+void ReseedIdBase() noexcept {
+  g_id_base.store(IdBase(), std::memory_order_relaxed);
+}
+
+}  // namespace
+
+bool TraceArmed() noexcept {
+  return g_trace_armed.load(std::memory_order_relaxed);
+}
+
+void SetTraceArmed(bool armed) noexcept {
+  g_trace_armed.store(armed, std::memory_order_relaxed);
+}
+
+TraceContext CurrentContext() noexcept { return t_context; }
+
+std::uint64_t NewTraceId() noexcept {
+  static const bool seeded = [] {
+    ReseedIdBase();
+    (void)::pthread_atfork(nullptr, nullptr, &ReseedIdBase);
+    return true;
+  }();
+  (void)seeded;
+  const std::uint64_t base = g_id_base.load(std::memory_order_relaxed);
+  std::uint64_t id = 0;
+  while (id == 0) {
+    id = Mix(base + g_id_counter.fetch_add(1, std::memory_order_relaxed));
+  }
+  return id;
+}
+
+TraceLog& TraceLog::Global() {
+  static TraceLog* instance = new TraceLog();
+  return *instance;
+}
+
+void TraceLog::Append(SpanRecord record) {
+  MutexLock lock(mu_);
+  if (records_.size() >= kCapacity) {
+    records_.erase(records_.begin());
+  }
+  records_.push_back(std::move(record));
+}
+
+void TraceLog::AppendAll(std::vector<SpanRecord> records) {
+  MutexLock lock(mu_);
+  for (auto& record : records) {
+    if (records_.size() >= kCapacity) {
+      records_.erase(records_.begin());
+    }
+    records_.push_back(std::move(record));
+  }
+}
+
+std::vector<SpanRecord> TraceLog::Snapshot() const {
+  MutexLock lock(mu_);
+  return records_;
+}
+
+void TraceLog::Clear() {
+  MutexLock lock(mu_);
+  records_.clear();
+}
+
+SpanCollectorScope::SpanCollectorScope(std::vector<SpanRecord>* sink) noexcept
+    : saved_(t_collector) {
+  t_collector = sink;
+}
+
+SpanCollectorScope::~SpanCollectorScope() { t_collector = saved_; }
+
+Span::Span(const char* name) noexcept {
+  const TraceContext ctx = t_context;
+  if (!TraceArmed() && ctx.trace_id == 0) return;  // disarmed: no clock, no id
+  Arm(name, ctx.trace_id != 0 ? ctx.trace_id : NewTraceId(), ctx.span_id);
+}
+
+Span::Span(const char* name, std::uint64_t trace_id,
+           std::uint64_t parent_span) noexcept {
+  if (trace_id == 0) {
+    // No propagated context: behave like a local span.
+    const TraceContext ctx = t_context;
+    if (!TraceArmed() && ctx.trace_id == 0) return;
+    Arm(name, ctx.trace_id != 0 ? ctx.trace_id : NewTraceId(), ctx.span_id);
+    return;
+  }
+  Arm(name, trace_id, parent_span);
+}
+
+void Span::Arm(const char* name, std::uint64_t trace_id,
+               std::uint64_t parent_span) noexcept {
+  armed_ = true;
+  name_ = name;
+  trace_id_ = trace_id;
+  parent_id_ = parent_span;
+  span_id_ = NewTraceId();
+  start_us_ = NowMicros();
+  saved_ = t_context;
+  t_context = TraceContext{trace_id_, span_id_};
+}
+
+Span::~Span() {
+  if (!armed_) return;
+  t_context = saved_;
+  SpanRecord record;
+  record.trace_id = trace_id_;
+  record.span_id = span_id_;
+  record.parent_id = parent_id_;
+  record.pid = static_cast<std::uint32_t>(::getpid());
+  record.start_us = start_us_;
+  const std::int64_t elapsed = NowMicros() - start_us_;
+  record.duration_us = elapsed > 0 ? static_cast<std::uint64_t>(elapsed) : 0;
+  record.name = name_ != nullptr ? name_ : "";
+  if (t_collector != nullptr) {
+    t_collector->push_back(std::move(record));
+  } else {
+    TraceLog::Global().Append(std::move(record));
+  }
+}
+
+TraceScope::TraceScope(const char* name) noexcept
+    : was_armed_(TraceArmed()),
+      root_((SetTraceArmed(true), name)) {}
+
+TraceScope::~TraceScope() { SetTraceArmed(was_armed_); }
+
+void AppendSpans(Buffer& out, const std::vector<SpanRecord>& spans) {
+  const std::size_t n = spans.size() < kMaxWireSpans ? spans.size()
+                                                     : kMaxWireSpans;
+  AppendU32(out, static_cast<std::uint32_t>(n));
+  for (std::size_t i = 0; i < n; ++i) {
+    const SpanRecord& span = spans[i];
+    AppendU64(out, span.trace_id);
+    AppendU64(out, span.span_id);
+    AppendU64(out, span.parent_id);
+    AppendU32(out, span.pid);
+    AppendU64(out, static_cast<std::uint64_t>(span.start_us));
+    AppendU64(out, span.duration_us);
+    AppendLenPrefixed(out, span.name);
+  }
+}
+
+bool ReadSpans(ByteReader& reader, std::vector<SpanRecord>& out) {
+  std::uint32_t n = 0;
+  if (!reader.ReadU32(n)) return false;
+  if (n > kMaxWireSpans) return false;
+  out.reserve(out.size() + n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    SpanRecord span;
+    std::uint64_t start = 0;
+    if (!reader.ReadU64(span.trace_id) || !reader.ReadU64(span.span_id) ||
+        !reader.ReadU64(span.parent_id) || !reader.ReadU32(span.pid) ||
+        !reader.ReadU64(start) || !reader.ReadU64(span.duration_us) ||
+        !reader.ReadLenPrefixedString(span.name)) {
+      return false;
+    }
+    span.start_us = static_cast<std::int64_t>(start);
+    out.push_back(std::move(span));
+  }
+  return true;
+}
+
+}  // namespace afs::obs

@@ -4,13 +4,18 @@ namespace afs::sentinel {
 
 Buffer EncodeControlMessage(const ControlMessage& message) {
   Buffer out;
-  out.reserve(1 + 4 + 8 + 1 + 8 + 4 + message.payload.size());
+  out.reserve(1 + 4 + 8 + 1 + 8 + 4 + message.payload.size() + 1 + 16);
   out.push_back(static_cast<std::uint8_t>(message.op));
   AppendU32(out, message.length);
   AppendU64(out, static_cast<std::uint64_t>(message.offset));
   out.push_back(message.origin);
   AppendU64(out, message.range_len);
   AppendLenPrefixed(out, ByteSpan(message.payload));
+  // Versioned trailing extension (trace propagation).  Pre-extension
+  // decoders stop after the payload and never see these bytes.
+  out.push_back(kControlExtVersion);
+  AppendU64(out, message.trace_id);
+  AppendU64(out, message.parent_span);
   return out;
 }
 
@@ -32,6 +37,22 @@ Result<ControlMessage> DecodeControlMessage(ByteSpan bytes) {
   message.op = static_cast<ControlOp>(op);
   message.offset = static_cast<std::int64_t>(offset);
   message.payload.assign(payload.begin(), payload.end());
+  // Trailing trace extension: absent from old peers (trace stays zero);
+  // a declared-but-truncated extension is a framing bug, not old wire.
+  // Bytes past the version-1 fields belong to future versions and are
+  // ignored, the same contract old decoders apply to this extension.
+  if (!reader.empty()) {
+    std::uint8_t ext_version = 0;
+    if (!reader.ReadU8(ext_version)) {
+      return ProtocolError("malformed control message extension");
+    }
+    if (ext_version >= 1) {
+      if (!reader.ReadU64(message.trace_id) ||
+          !reader.ReadU64(message.parent_span)) {
+        return ProtocolError("truncated control message trace extension");
+      }
+    }
+  }
   return message;
 }
 
@@ -43,12 +64,15 @@ constexpr std::uint8_t kResponseFlagHeartbeat = 0x01;
 Buffer EncodeControlResponse(const ControlResponse& response) {
   Buffer out;
   out.reserve(1 + 2 + 4 + response.status.message().size() + 8 + 4 +
-              response.payload.size());
+              response.payload.size() + 1 + 4);
   out.push_back(response.heartbeat ? kResponseFlagHeartbeat : 0);
   AppendU16(out, static_cast<std::uint16_t>(response.status.code()));
   AppendLenPrefixed(out, response.status.message());
   AppendU64(out, response.number);
   AppendLenPrefixed(out, ByteSpan(response.payload));
+  // Versioned trailing extension (spans riding home to the application).
+  out.push_back(kControlExtVersion);
+  obs::AppendSpans(out, response.remote_spans);
   return out;
 }
 
@@ -67,6 +91,16 @@ Result<ControlResponse> DecodeControlResponse(ByteSpan bytes) {
   response.status = Status(static_cast<ErrorCode>(code), std::move(message));
   response.payload.assign(payload.begin(), payload.end());
   response.heartbeat = (flags & kResponseFlagHeartbeat) != 0;
+  if (!reader.empty()) {
+    std::uint8_t ext_version = 0;
+    if (!reader.ReadU8(ext_version)) {
+      return ProtocolError("malformed control response extension");
+    }
+    if (ext_version >= 1 &&
+        !obs::ReadSpans(reader, response.remote_spans)) {
+      return ProtocolError("truncated control response trace extension");
+    }
+  }
   return response;
 }
 

@@ -6,11 +6,21 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "common/bytes.hpp"
 #include "common/status.hpp"
+#include "obs/trace.hpp"
 
 namespace afs::sentinel {
+
+// Version byte of the trailing trace extension both frame types carry
+// after their length-prefixed payload.  Pre-extension decoders stop at the
+// payload and ignore the trailer; current decoders treat a missing trailer
+// as "no trace".  Bump only when the extension layout itself changes —
+// new fields go after the existing ones so version-1 readers keep working.
+// See docs/PROTOCOL.md §3.4.
+inline constexpr std::uint8_t kControlExtVersion = 1;
 
 enum class ControlOp : std::uint8_t {
   kRead = 1,     // length
@@ -33,6 +43,12 @@ struct ControlMessage {
   std::uint64_t range_len = 0;   // lock length
   Buffer payload;                // kCustom request body
 
+  // Trace propagation (rides the versioned trailing extension): the
+  // application-side trace id and the span the sentinel's work should
+  // parent under.  Zero means "untraced".
+  std::uint64_t trace_id = 0;
+  std::uint64_t parent_span = 0;
+
   // Zero-copy lanes used only by in-process endpoints (thread/direct):
   // the application's own buffers, never serialized.  When inline_out is
   // non-empty, read data is placed directly in it and the response payload
@@ -53,6 +69,12 @@ struct ControlResponse {
   // skip these frames (renewing the lease) while waiting for a real
   // response.
   bool heartbeat = false;
+
+  // Spans the sentinel completed while serving this command (rides the
+  // versioned trailing extension home); the application-side link adopts
+  // them into its TraceLog, which is how one trace crosses the process
+  // boundary.
+  std::vector<obs::SpanRecord> remote_spans;
 };
 
 // Wire codecs (inline lanes are intentionally not carried).

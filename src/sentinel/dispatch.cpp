@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/faultpoint.hpp"
+#include "obs/trace.hpp"
 
 namespace afs::sentinel {
 namespace {
@@ -14,6 +15,22 @@ ControlResponse MakeResponse(Status status, std::uint64_t number = 0,
   response.number = number;
   response.payload = std::move(payload);
   return response;
+}
+
+const char* OpSpanName(ControlOp op) {
+  switch (op) {
+    case ControlOp::kRead: return "sentinel.read";
+    case ControlOp::kWrite: return "sentinel.write";
+    case ControlOp::kSeek: return "sentinel.seek";
+    case ControlOp::kGetSize: return "sentinel.get_size";
+    case ControlOp::kSetEof: return "sentinel.set_eof";
+    case ControlOp::kFlush: return "sentinel.flush";
+    case ControlOp::kLock: return "sentinel.lock";
+    case ControlOp::kUnlock: return "sentinel.unlock";
+    case ControlOp::kCustom: return "sentinel.custom";
+    case ControlOp::kClose: return "sentinel.close";
+  }
+  return "sentinel.op";
 }
 
 }  // namespace
@@ -41,6 +58,17 @@ int RunSentinelLoop(Sentinel& sentinel, SentinelEndpoint& endpoint,
     }
     ControlMessage& msg = *next;
     ControlResponse response;
+    bool closing = false;
+
+    // Spans opened while this command runs (the command span itself plus
+    // anything nested, e.g. a remote fetch inside OnRead) are collected
+    // here and ride the response's trailing extension back to the
+    // application, where the link adopts them — that hop is what turns
+    // per-process span fragments into one cross-process trace.
+    std::vector<obs::SpanRecord> collected;
+    {
+    obs::SpanCollectorScope collect(&collected);
+    obs::Span op_span(OpSpanName(msg.op), msg.trace_id, msg.parent_span);
 
     // Sentinel-side fault injection: an injected error answers this command
     // with that error (the loop survives — the application decides); a
@@ -139,11 +167,18 @@ int RunSentinelLoop(Sentinel& sentinel, SentinelEndpoint& endpoint,
           // Crash window during close: the command is consumed but neither
           // OnClose's side effects nor the acknowledgement happened.
           if (!fault::Hit("sentinel.dispatch.close").ok()) return 1;
-          const Status status = sentinel.OnClose(ctx);
-          (void)endpoint.AF_SendResponse(MakeResponse(status));
-          return 0;
+          response = MakeResponse(sentinel.OnClose(ctx));
+          closing = true;
+          break;
         }
       }
+    }
+    }  // collector scope: op_span lands in `collected` here
+    response.remote_spans = std::move(collected);
+
+    if (closing) {
+      (void)endpoint.AF_SendResponse(response);
+      return 0;
     }
 
     // A response that cannot ship (torn frame, closed pipe) leaves the

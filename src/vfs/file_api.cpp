@@ -5,11 +5,44 @@
 #include <cstring>
 #include <filesystem>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "vfs/paths.hpp"
 
 namespace afs::vfs {
 
 namespace stdfs = std::filesystem;
+
+namespace {
+
+// Per-op instrumentation bundle for the hot file operations.  Count and
+// bytes go through a batched obs::OpPair — plain per-thread pending, no
+// atomics on the common path — and latency is sampled at the pair's flush
+// rhythm so the clock reads stay off it too.  That combination is what
+// holds the read path inside the <5% budget bench/bench_obs_overhead.cpp
+// enforces.
+struct OpMetrics {
+  obs::Counter& count;
+  obs::Counter& errors;
+  obs::Counter& bytes;
+  obs::Histogram& latency;
+  obs::OpPair pair;
+
+  explicit OpMetrics(const char* op)
+      : count(obs::Registry::Global().GetCounter(std::string("vfs.") + op +
+                                                 ".count")),
+        errors(obs::Registry::Global().GetCounter(std::string("vfs.") + op +
+                                                  ".errors")),
+        bytes(obs::Registry::Global().GetCounter(std::string("vfs.") + op +
+                                                 ".bytes")),
+        latency(obs::Registry::Global().GetHistogram(std::string("vfs.") + op +
+                                                     ".latency_us")),
+        pair(count, bytes) {}
+
+  bool SampleLatency() noexcept { return pair.CountOp(); }
+};
+
+}  // namespace
 
 FileApi::FileApi(std::string root_dir) : root_(std::move(root_dir)) {
   std::error_code ec;
@@ -26,6 +59,13 @@ Result<std::string> FileApi::HostPath(const std::string& path) const {
 
 Result<HandleId> FileApi::CreateFile(const std::string& path,
                                      const OpenOptions& options) {
+  static OpMetrics metrics("open");
+  static obs::Gauge& open_handles =
+      obs::Registry::Global().GetGauge("vfs.open_handles");
+  obs::Span span("vfs.open");
+  // Opens can fork a sentinel process; always worth timing.
+  (void)metrics.count.Increment();
+  obs::ScopedLatencyTimer timer(&metrics.latency);
   // Interceptors see the normalized VFS path, newest installation first —
   // exactly the stub-before-original ordering of IAT interception.
   AFS_ASSIGN_OR_RETURN(std::string normalized, NormalizePath(path));
@@ -36,17 +76,29 @@ Result<HandleId> FileApi::CreateFile(const std::string& path,
   }
   std::unique_ptr<FileHandle> handle;
   for (OpenInterceptor* interceptor : interceptors) {
-    AFS_ASSIGN_OR_RETURN(handle,
-                         interceptor->TryOpen(*this, normalized, options));
+    Result<std::unique_ptr<FileHandle>> opened =
+        interceptor->TryOpen(*this, normalized, options);
+    if (!opened.ok()) {
+      metrics.errors.Add(1);
+      return opened.status();
+    }
+    handle = std::move(*opened);
     if (handle != nullptr) break;
   }
   if (handle == nullptr) {
     AFS_ASSIGN_OR_RETURN(std::string host, HostPath(normalized));
-    AFS_ASSIGN_OR_RETURN(handle, HostFileHandle::Open(host, options));
+    Result<std::unique_ptr<FileHandle>> opened =
+        HostFileHandle::Open(host, options);
+    if (!opened.ok()) {
+      metrics.errors.Add(1);
+      return opened.status();
+    }
+    handle = std::move(*opened);
   }
   MutexLock lock(mu_);
   const HandleId id = next_handle_++;
   handles_[id] = std::move(handle);
+  open_handles.Add(1);
   return id;
 }
 
@@ -67,23 +119,51 @@ Result<FileHandle*> FileApi::Lookup(HandleId handle) {
 }
 
 Result<std::size_t> FileApi::ReadFile(HandleId handle, MutableByteSpan out) {
+  static OpMetrics metrics("read");
+  obs::Span span("vfs.read");
+  obs::ScopedLatencyTimer timer(metrics.SampleLatency() ? &metrics.latency
+                                                        : nullptr);
   AFS_ASSIGN_OR_RETURN(FileHandle * file, Lookup(handle));
-  return file->Read(out);
+  Result<std::size_t> n = file->Read(out);
+  if (n.ok()) {
+    metrics.pair.AddBytes(*n);
+  } else {
+    metrics.errors.Add(1);
+  }
+  return n;
 }
 
 Result<std::size_t> FileApi::WriteFile(HandleId handle, ByteSpan data) {
+  static OpMetrics metrics("write");
+  obs::Span span("vfs.write");
+  obs::ScopedLatencyTimer timer(metrics.SampleLatency() ? &metrics.latency
+                                                        : nullptr);
   AFS_ASSIGN_OR_RETURN(FileHandle * file, Lookup(handle));
-  return file->Write(data);
+  Result<std::size_t> n = file->Write(data);
+  if (n.ok()) {
+    metrics.pair.AddBytes(*n);
+  } else {
+    metrics.errors.Add(1);
+  }
+  return n;
 }
 
 Result<std::uint64_t> FileApi::SetFilePointer(HandleId handle,
                                               std::int64_t offset,
                                               SeekOrigin origin) {
+  static obs::Counter& seeks =
+      obs::Registry::Global().GetCounter("vfs.seek.count");
+  obs::Span span("vfs.seek");
+  seeks.Add(1);
   AFS_ASSIGN_OR_RETURN(FileHandle * file, Lookup(handle));
   return file->Seek(offset, origin);
 }
 
 Result<std::uint64_t> FileApi::GetFileSize(HandleId handle) {
+  static obs::Counter& sizes =
+      obs::Registry::Global().GetCounter("vfs.get_size.count");
+  obs::Span span("vfs.get_size");
+  sizes.Add(1);
   AFS_ASSIGN_OR_RETURN(FileHandle * file, Lookup(handle));
   return file->Size();
 }
@@ -117,6 +197,12 @@ Status FileApi::UnlockFileRange(HandleId handle, std::uint64_t offset,
 }
 
 Status FileApi::CloseHandle(HandleId handle) {
+  static obs::Counter& closes =
+      obs::Registry::Global().GetCounter("vfs.close.count");
+  static obs::Gauge& open_handles =
+      obs::Registry::Global().GetGauge("vfs.open_handles");
+  obs::Span span("vfs.close");
+  closes.Add(1);
   std::unique_ptr<FileHandle> file;
   {
     MutexLock lock(mu_);
@@ -127,6 +213,7 @@ Status FileApi::CloseHandle(HandleId handle) {
     file = std::move(it->second);
     handles_.erase(it);
   }
+  open_handles.Add(-1);
   return file->Close();
 }
 

@@ -179,5 +179,54 @@ TEST_F(HttpTest, SentinelDemandPagingWithoutCache) {
   ASSERT_OK(api.CloseHandle(*handle));
 }
 
+// ---- stats surface ---------------------------------------------------------
+
+// GET /stats is the same renderer over the same registry snapshot as the
+// in-process surfaces (afsctl stats, the SIGUSR1 dump): with nothing
+// recording in between, the served body and a local render are
+// byte-identical.  Batched op counters (obs::OpPair) publish on the
+// snapshotting thread, so this thread drains its own pending from earlier
+// tests first — otherwise the local render would see counts the server
+// thread's render cannot.
+TEST_F(HttpTest, StatsEndpointMatchesLocalRender) {
+  (void)obs::Registry::Global().TakeSnapshot();
+  HttpClient client(server_.socket_path());
+  auto json = client.Request("GET", "stats");
+  ASSERT_OK(json.status());
+  EXPECT_EQ(json->status_code, 200);
+  EXPECT_EQ(json->headers.at("content-type"), "application/json");
+  EXPECT_EQ(ToString(ByteSpan(json->body)), obs::StatsJson());
+  // The request itself is metered; the counter made it into its own dump.
+  EXPECT_NE(ToString(ByteSpan(json->body)).find("\"net.http.stats_requests\""),
+            std::string::npos);
+
+  auto text = client.Request("GET", "stats.txt");
+  ASSERT_OK(text.status());
+  EXPECT_EQ(text->headers.at("content-type"), "text/plain");
+  EXPECT_EQ(ToString(ByteSpan(text->body)), obs::StatsText());
+}
+
+TEST_F(HttpTest, StatsEndpointCountsRequestsAndHonorsHead) {
+  HttpClient client(server_.socket_path());
+  const std::uint64_t before = obs::Registry::Global()
+                                   .GetCounter("net.http.stats_requests")
+                                   .Value();
+  ASSERT_OK(client.Request("GET", "stats").status());
+  auto head = client.Request("HEAD", "stats");
+  ASSERT_OK(head.status());
+  EXPECT_EQ(head->status_code, 200);
+  EXPECT_TRUE(head->body.empty());
+  EXPECT_EQ(obs::Registry::Global()
+                .GetCounter("net.http.stats_requests")
+                .Value(),
+            before + 2);
+  // The stats namespace is reserved ahead of the store: a file named
+  // "stats" in the store is shadowed, not served.
+  ASSERT_OK(store_.Put("stats", AsBytes("shadowed")));
+  auto got = client.Request("GET", "stats");
+  ASSERT_OK(got.status());
+  EXPECT_NE(ToString(ByteSpan(got->body)), "shadowed");
+}
+
 }  // namespace
 }  // namespace afs::net

@@ -10,6 +10,7 @@
 #include "ipc/pipe.hpp"
 #include "ipc/process.hpp"
 #include "ipc/shm_channel.hpp"
+#include "sentinel/control.hpp"
 #include "test_util.hpp"
 
 namespace afs::ipc {
@@ -284,6 +285,99 @@ TEST(NamedMutexTest, MutualExclusionAcrossProcesses) {
   ASSERT_EQ(std::fscanf(f, "%ld", &value), 1);
   std::fclose(f);
   EXPECT_EQ(value, 100);
+}
+
+// ---- control-frame trace extension compatibility ---------------------------
+// The trace ids ride in a versioned TRAILING extension of the control
+// frames (docs/PROTOCOL.md §3.4).  The compatibility contract, both ways:
+// pre-extension frames (no trailing bytes) decode with zeroed trace
+// fields, and current decoders ignore bytes past the fields they know —
+// exactly what pre-extension decoders did to this extension.
+
+// A pre-extension control message frame, byte for byte: op, length,
+// offset, origin, range_len, length-prefixed payload — and nothing after.
+Buffer EncodeLegacyControlMessage(const sentinel::ControlMessage& message) {
+  Buffer out;
+  out.push_back(static_cast<std::uint8_t>(message.op));
+  AppendU32(out, message.length);
+  AppendU64(out, static_cast<std::uint64_t>(message.offset));
+  out.push_back(message.origin);
+  AppendU64(out, message.range_len);
+  AppendLenPrefixed(out, ByteSpan(message.payload));
+  return out;
+}
+
+TEST(ControlCompatTest, LegacyMessageWithoutExtensionDecodesWithZeroTrace) {
+  sentinel::ControlMessage message;
+  message.op = sentinel::ControlOp::kRead;
+  message.length = 512;
+  message.offset = -8;
+  message.origin = 2;
+
+  auto decoded =
+      sentinel::DecodeControlMessage(ByteSpan(EncodeLegacyControlMessage(message)));
+  ASSERT_OK(decoded.status());
+  EXPECT_EQ(decoded->op, sentinel::ControlOp::kRead);
+  EXPECT_EQ(decoded->length, 512u);
+  EXPECT_EQ(decoded->offset, -8);
+  EXPECT_EQ(decoded->trace_id, 0u);
+  EXPECT_EQ(decoded->parent_span, 0u);
+}
+
+TEST(ControlCompatTest, LegacyResponseWithoutExtensionDecodesWithNoSpans) {
+  // A pre-extension response frame: flags, status, message, number,
+  // payload — encode with the current encoder, then truncate the trailing
+  // extension (1 version byte + 4-byte empty span count).
+  sentinel::ControlResponse response;
+  response.status = Status::Ok();
+  response.number = 42;
+  Buffer wire = sentinel::EncodeControlResponse(response);
+  ASSERT_GE(wire.size(), 5u);
+  wire.resize(wire.size() - 5);
+
+  auto decoded = sentinel::DecodeControlResponse(ByteSpan(wire));
+  ASSERT_OK(decoded.status());
+  EXPECT_EQ(decoded->number, 42u);
+  EXPECT_TRUE(decoded->remote_spans.empty());
+}
+
+TEST(ControlCompatTest, ExtensionRoundTripsTraceIds) {
+  sentinel::ControlMessage message;
+  message.op = sentinel::ControlOp::kWrite;
+  message.trace_id = 0xdeadbeefcafef00dULL;
+  message.parent_span = 0x123456789abcdef0ULL;
+
+  auto decoded = sentinel::DecodeControlMessage(
+      ByteSpan(sentinel::EncodeControlMessage(message)));
+  ASSERT_OK(decoded.status());
+  EXPECT_EQ(decoded->trace_id, 0xdeadbeefcafef00dULL);
+  EXPECT_EQ(decoded->parent_span, 0x123456789abcdef0ULL);
+}
+
+TEST(ControlCompatTest, FutureExtensionBytesAreIgnored) {
+  // A hypothetical version-2 peer appends fields we don't know about;
+  // today's decoder must take the version-1 fields and skip the rest.
+  sentinel::ControlMessage message;
+  message.op = sentinel::ControlOp::kRead;
+  message.trace_id = 7;
+  message.parent_span = 9;
+  Buffer wire = sentinel::EncodeControlMessage(message);
+  for (int i = 0; i < 12; ++i) wire.push_back(0xEE);
+
+  auto decoded = sentinel::DecodeControlMessage(ByteSpan(wire));
+  ASSERT_OK(decoded.status());
+  EXPECT_EQ(decoded->trace_id, 7u);
+  EXPECT_EQ(decoded->parent_span, 9u);
+}
+
+TEST(ControlCompatTest, TruncatedExtensionIsRejected) {
+  sentinel::ControlMessage message;
+  message.op = sentinel::ControlOp::kRead;
+  message.trace_id = 7;
+  Buffer wire = sentinel::EncodeControlMessage(message);
+  wire.resize(wire.size() - 3);  // declared extension, missing id bytes
+
+  EXPECT_FALSE(sentinel::DecodeControlMessage(ByteSpan(wire)).ok());
 }
 
 }  // namespace

@@ -71,6 +71,41 @@ TEST_F(AfsctlTest, LsAndSentinels) {
   EXPECT_NE(out.find("pipeline"), std::string::npos);
 }
 
+TEST_F(AfsctlTest, StatsDumpsMetricsAndTracedSpanTree) {
+  (void)RunCommand(Ctl("create t.af null strategy=process_control"));
+  (void)RunCommand(Ctl("write t.af hello"));
+
+  // Bare stats: metric sections render even with no traced operation.
+  auto [code, out] = RunCommand(Ctl("stats"));
+  EXPECT_EQ(code, 0);
+  EXPECT_NE(out.find("== counters"), std::string::npos);
+  EXPECT_NE(out.find("== traces"), std::string::npos);
+
+  // With a path: the read runs under a TraceScope, so the dump carries
+  // the linked span tree of that one read — including the sentinel-side
+  // span that crossed the process boundary (process_control strategy).
+  std::tie(code, out) = RunCommand(Ctl("stats t.af"));
+  EXPECT_EQ(code, 0);
+  EXPECT_NE(out.find("afsctl.stats.read"), std::string::npos);
+  EXPECT_NE(out.find("vfs.read"), std::string::npos);
+  EXPECT_NE(out.find("link.roundtrip"), std::string::npos);
+  EXPECT_NE(out.find("sentinel.read"), std::string::npos);
+  // Nesting is indentation in the text renderer: the sentinel span sits
+  // deeper than the roundtrip span that carried it.
+  EXPECT_NE(out.find("\n      link.roundtrip"), std::string::npos);
+  EXPECT_NE(out.find("\n        sentinel.read"), std::string::npos);
+
+  // JSON mode renders the same snapshot as machine-readable JSON.
+  std::tie(code, out) = RunCommand(Ctl("stats t.af --json"));
+  EXPECT_EQ(code, 0);
+  EXPECT_EQ(out.front(), '{');
+  EXPECT_NE(out.find("\"vfs.read.count\""), std::string::npos);
+  EXPECT_NE(out.find("\"name\":\"sentinel.read\""), std::string::npos);
+
+  // Reading a missing path still exits nonzero.
+  EXPECT_EQ(RunCommand(Ctl("stats missing.af")).first, 1);
+}
+
 TEST_F(AfsctlTest, ErrorsExitNonzero) {
   EXPECT_EQ(RunCommand(Ctl("cat missing.af")).first, 1);
   EXPECT_EQ(RunCommand(Ctl("create bad.txt null")).first, 1);       // wrong ext

@@ -11,6 +11,12 @@
 #   tools/check.sh recovery   # supervisor crash-recovery suite plus the
 #                             # quick kill cells under both sanitizers;
 #                             # see docs/RECOVERY.md
+#   tools/check.sh obs        # observability suite (-L obs) under ASan,
+#                             # obs_test under TSan, plus the
+#                             # bench_obs_overhead <5% regression gate;
+#                             # see docs/OBSERVABILITY.md
+#   tools/check.sh bench-smoke  # short Figure-6 benchmark pass, results
+#                             # combined into BENCH_PR5.json
 #
 # The fault lane reuses the asan/tsan build trees and is not part of the
 # default quick suite: the full {strategy x site x kind} sweep spends real
@@ -98,21 +104,77 @@ run_recovery() {
   echo "== recovery: clean"
 }
 
+run_obs() {
+  # Observability lane: the obs-labelled suites (obs_test, trace_test)
+  # under ASan+UBSan, the lock-free hammer (obs_test) under TSan — the
+  # trace suite forks stream sentinels whose pump threads TSan cannot
+  # follow — and the hand-timed <5% overhead gate on an optimized build.
+  run_sanitizer asan "address;undefined" "-L obs"
+  run_sanitizer tsan "thread" "-R obs_test"
+  echo "== obs: building overhead gate (optimized)"
+  cmake -B build -S . >/dev/null
+  cmake --build build -j "$JOBS" --target bench_obs_overhead >/dev/null
+  echo "== obs: bench_obs_overhead (<5% budget)"
+  ./build/bench/bench_obs_overhead
+  echo "== obs: clean"
+}
+
+run_bench_smoke() {
+  # Short pass over the paper's Figure-6 benchmarks plus the obs overhead
+  # gate, combined into BENCH_PR5.json.  Smoke numbers, not publishable
+  # ones: --benchmark_min_time is deliberately tiny.
+  local out=BENCH_PR5.json bench
+  echo "== bench-smoke: building benchmarks"
+  cmake -B build -S . >/dev/null
+  cmake --build build -j "$JOBS" --target \
+    bench_fig6_disk bench_fig6_memory bench_fig6_remote \
+    bench_obs_overhead >/dev/null
+  echo "== bench-smoke: running Figure-6 benchmarks"
+  for bench in fig6_disk fig6_memory fig6_remote; do
+    ./build/bench/"bench_$bench" --benchmark_min_time=0.05s \
+      --benchmark_format=json >"/tmp/afs-bench-$bench.json"
+  done
+  echo "== bench-smoke: running obs overhead gate"
+  ./build/bench/bench_obs_overhead >/tmp/afs-bench-obs.json
+  python3 - "$out" <<'EOF'
+import json, sys
+combined = {"bench_min_time": "0.05s", "benchmarks": {}}
+for name in ("fig6_disk", "fig6_memory", "fig6_remote"):
+    with open(f"/tmp/afs-bench-{name}.json") as f:
+        report = json.load(f)
+    combined["benchmarks"][name] = [
+        {k: b[k] for k in ("name", "real_time", "cpu_time", "time_unit",
+                           "bytes_per_second", "items_per_second")
+         if k in b}
+        for b in report.get("benchmarks", [])
+    ]
+with open("/tmp/afs-bench-obs.json") as f:
+    combined["obs_overhead"] = json.load(f)
+with open(sys.argv[1], "w") as f:
+    json.dump(combined, f, indent=2)
+    f.write("\n")
+EOF
+  echo "== bench-smoke: wrote $out"
+}
+
 case "$STAGE" in
   tidy) run_tidy ;;
   asan) run_sanitizer asan "address;undefined" "" ;;
   tsan) run_sanitizer tsan "thread" "-L tsan" ;;
   fault) run_fault ;;
   recovery) run_recovery ;;
+  obs) run_obs ;;
+  bench-smoke) run_bench_smoke ;;
   all)
     run_tidy
     run_sanitizer asan "address;undefined" ""
     run_sanitizer tsan "thread" "-L tsan"
     run_fault
     run_recovery
+    run_obs
     ;;
   *)
-    echo "usage: tools/check.sh [tidy|asan|tsan|fault|recovery|all]" >&2
+    echo "usage: tools/check.sh [tidy|asan|tsan|fault|recovery|obs|bench-smoke|all]" >&2
     exit 2
     ;;
 esac
