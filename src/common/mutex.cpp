@@ -49,7 +49,20 @@ std::unordered_map<std::uint64_t, EdgeMap>& GraphEdges() {
 }
 
 // Per-thread stack of currently held afs::Mutexes, outermost first.
-thread_local std::vector<const Mutex*> t_held;
+//
+// The vector has a destructor, so libc destroys it with the other TLS
+// objects at thread exit — which on the main thread happens *before* the
+// static (cxa_atexit) destructors run.  Statics that lock a Mutex on
+// their way out (the obs registry, OpPair) would then push onto a dead
+// vector.  The holder flips a trivially-destructible flag from its own
+// destructor, and every checker entry point degrades to untracked once
+// it is set: ordering during teardown is not worth a use-after-free.
+thread_local bool t_held_destroyed = false;
+struct HeldStackHolder {
+  std::vector<const Mutex*> stack;
+  ~HeldStackHolder() { t_held_destroyed = true; }
+};
+thread_local HeldStackHolder t_held_holder;
 
 std::string CaptureStack() {
   void* frames[32];
@@ -127,6 +140,8 @@ void ResetLockOrderGraphForTesting() {
 namespace internal {
 
 void OnLockAttempt(const Mutex& mu) {
+  if (t_held_destroyed) return;
+  const std::vector<const Mutex*>& t_held = t_held_holder.stack;
   if (t_held.empty()) return;
   const std::uint64_t acquiring = mu.id();
   bool violated = false;
@@ -160,9 +175,14 @@ void OnLockAttempt(const Mutex& mu) {
   }
 }
 
-void OnLockAcquired(const Mutex& mu) { t_held.push_back(&mu); }
+void OnLockAcquired(const Mutex& mu) {
+  if (t_held_destroyed) return;
+  t_held_holder.stack.push_back(&mu);
+}
 
 void OnUnlock(const Mutex& mu) {
+  if (t_held_destroyed) return;
+  std::vector<const Mutex*>& t_held = t_held_holder.stack;
   // Locks normally release LIFO, but MutexLock::Unlock and CondVar::Wait
   // may release out of order: erase the most recent matching entry.
   for (auto it = t_held.rbegin(); it != t_held.rend(); ++it) {

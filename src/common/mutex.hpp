@@ -146,6 +146,7 @@ class AFS_SCOPED_CAPABILITY MutexLock {
 
  private:
   Mutex& mu_;
+  // afs-lint: allow(guarded-member: RAII guard lives on one thread's stack)
   bool held_;
 };
 

@@ -72,3 +72,13 @@
 // comment justifying why the discipline cannot be expressed.
 #define AFS_NO_THREAD_SAFETY_ANALYSIS \
   AFS_THREAD_ANNOTATION__(no_thread_safety_analysis)
+
+// On functions: this is a dispatcher/rendezvous path an event loop must be
+// able to multiplex — it may take short in-process locks and
+// timeout-bounded waits but must never reach a primitive that can park the
+// thread indefinitely on a peer (CondVar::Wait, ReadFrame without a
+// deadline, NamedMutex acquisition, raw blocking syscalls).  Enforced by
+// `tools/check.sh analyze` (the nonblocking check in tools/analyze/); the
+// attribute form below additionally lands in the Clang AST for future
+// AST-based checkers.  See docs/STATIC_ANALYSIS.md.
+#define AFS_NONBLOCKING AFS_THREAD_ANNOTATION__(annotate("afs_nonblocking"))

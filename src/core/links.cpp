@@ -140,6 +140,9 @@ Status ThreadRendezvous::AF_SendControl(const ControlMessage& message) {
   AFS_FAULT_POINT("core.link.send");
   MutexLock lock(mu_);
   while (state_ != SlotState::kIdle && !shutdown_) {
+    // The sentinel thread frees the slot per command, and Shutdown() wakes
+    // every waiter with kClosed when the supervisor declares it dead.
+    // afs-lint: allow(nonblocking: bounded by the slot protocol + Shutdown)
     cv_.Wait(mu_);
   }
   if (shutdown_) return ClosedError("rendezvous closed");
@@ -158,6 +161,9 @@ Result<ControlResponse> ThreadRendezvous::AF_GetResponse() {
                         std::chrono::microseconds(response_timeout_.count());
   while (state_ != SlotState::kResponse && !shutdown_) {
     if (!bounded) {
+      // Unbounded only when the operator set op_timeout_ms=0 to opt out of
+      // deadlines; Shutdown() still wakes it with kClosed.
+      // afs-lint: allow(nonblocking: operator opted out of the deadline)
       cv_.Wait(mu_);
     } else if (!cv_.WaitUntil(mu_, deadline)) {
       if (state_ == SlotState::kResponse || shutdown_) {
@@ -189,6 +195,9 @@ Result<ControlMessage> ThreadRendezvous::AF_GetControl() {
                                    std::chrono::microseconds(
                                        lease_interval_.count()));
     } else {
+      // Idle park point when no lease is installed (in-process tests);
+      // AF_SendControl and Shutdown() are the only writers and both notify.
+      // afs-lint: allow(nonblocking: idle park; both slot writers notify)
       cv_.Wait(mu_);
     }
   }

@@ -43,8 +43,10 @@ class PipeLink final : public sentinel::SentinelLink {
  public:
   explicit PipeLink(PipeLinkFds fds) : fds_(std::move(fds)) {}
 
-  Status AF_SendControl(const sentinel::ControlMessage& message) override;
-  Result<sentinel::ControlResponse> AF_GetResponse() override;
+  Status AF_SendControl(const sentinel::ControlMessage& message)
+      AFS_NONBLOCKING override;
+  Result<sentinel::ControlResponse> AF_GetResponse() AFS_NONBLOCKING
+      override;
 
   // Bounds every AF_GetResponse wait: a sentinel that never answers costs
   // the application kTimeout instead of a hang.  Non-positive (the default)
@@ -64,7 +66,7 @@ class PipeLink final : public sentinel::SentinelLink {
   // response that races the poll is stashed for the next AF_GetResponse.
   // A no-op while an application operation owns the read side (that
   // operation observes liveness itself).
-  void PollHeartbeats();
+  void PollHeartbeats() AFS_NONBLOCKING;
 
   // Closes all application-side ends; the sentinel sees EOF.
   void Shutdown();
@@ -73,8 +75,11 @@ class PipeLink final : public sentinel::SentinelLink {
   Status SetCloexec();
 
  private:
+  // afs-lint: allow(guarded-member: fd table fixed at construction; read_mu_ serializes response readers)
   PipeLinkFds fds_;
+  // afs-lint: allow(guarded-member: configured before the link is shared)
   Micros response_timeout_{0};
+  // afs-lint: allow(guarded-member: configured before the link is shared)
   std::shared_ptr<Lease> lease_;
 
   // Serializes readers of the response pipe: the application operation in
@@ -87,9 +92,11 @@ class PipeEndpoint final : public sentinel::SentinelEndpoint {
  public:
   explicit PipeEndpoint(PipeEndpointFds fds) : fds_(std::move(fds)) {}
 
-  Result<sentinel::ControlMessage> AF_GetControl() override;
-  Result<Buffer> AF_GetDataFromAppl(std::size_t length) override;
-  Status AF_SendResponse(const sentinel::ControlResponse& response) override;
+  Result<sentinel::ControlMessage> AF_GetControl() AFS_NONBLOCKING override;
+  Result<Buffer> AF_GetDataFromAppl(std::size_t length)
+      AFS_NONBLOCKING override;
+  Status AF_SendResponse(const sentinel::ControlResponse& response)
+      AFS_NONBLOCKING override;
 
   // When positive, an idle AF_GetControl emits a heartbeat response every
   // `interval` instead of blocking forever — the sentinel side of the
@@ -113,13 +120,17 @@ class ThreadRendezvous final : public sentinel::SentinelLink,
   ThreadRendezvous() = default;
 
   // SentinelLink (application side).
-  Status AF_SendControl(const sentinel::ControlMessage& message) override;
-  Result<sentinel::ControlResponse> AF_GetResponse() override;
+  Status AF_SendControl(const sentinel::ControlMessage& message)
+      AFS_NONBLOCKING override;
+  Result<sentinel::ControlResponse> AF_GetResponse() AFS_NONBLOCKING
+      override;
 
   // SentinelEndpoint (sentinel side).
-  Result<sentinel::ControlMessage> AF_GetControl() override;
-  Result<Buffer> AF_GetDataFromAppl(std::size_t length) override;
-  Status AF_SendResponse(const sentinel::ControlResponse& response) override;
+  Result<sentinel::ControlMessage> AF_GetControl() AFS_NONBLOCKING override;
+  Result<Buffer> AF_GetDataFromAppl(std::size_t length)
+      AFS_NONBLOCKING override;
+  Status AF_SendResponse(const sentinel::ControlResponse& response)
+      AFS_NONBLOCKING override;
 
   // Wakes both sides with kClosed; further traffic fails.
   void Shutdown();

@@ -233,7 +233,10 @@ class LinkHandle final : public vfs::FileHandle, public ActiveHandle {
   }
 
  private:
-  Result<ControlResponse> RoundTrip(ControlMessage& msg) AFS_REQUIRES(mu_) {
+  // One command/response exchange with the sentinel — the rendezvous
+  // path the event-loop refactor must multiplex.
+  Result<ControlResponse> RoundTrip(ControlMessage& msg)
+      AFS_NONBLOCKING AFS_REQUIRES(mu_) {
     if (closed_) return ClosedError("handle closed");
     if (poisoned_) return ClosedError("handle poisoned by transport failure");
     // The link leg of the trace: the sentinel parents its own span on this
@@ -306,7 +309,8 @@ class LinkHandle final : public vfs::FileHandle, public ActiveHandle {
   }
 
   Mutex mu_;
-  sentinel::SentinelLink* link_;
+  sentinel::SentinelLink* link_ AFS_GUARDED_BY(mu_);
+  // afs-lint: allow(guarded-member: set at construction; only extends the resource bundle's lifetime)
   std::shared_ptr<void> keepalive_;
   std::function<void()> cleanup_ AFS_GUARDED_BY(mu_);
   bool closed_ AFS_GUARDED_BY(mu_) = false;
@@ -428,7 +432,7 @@ class DirectHandle final : public vfs::FileHandle, public ActiveHandle {
   }
 
   Mutex mu_;
-  std::unique_ptr<sentinel::Sentinel> sentinel_;
+  std::unique_ptr<sentinel::Sentinel> sentinel_ AFS_GUARDED_BY(mu_);
   SentinelContext ctx_ AFS_GUARDED_BY(mu_);
   CacheAssembly cache_ AFS_GUARDED_BY(mu_);
   bool opened_ AFS_GUARDED_BY(mu_) = false;
@@ -549,6 +553,7 @@ Result<std::unique_ptr<vfs::FileHandle>> OpenThread(
   Resources* raw = res.get();
   res->worker = std::thread([raw] {
     (void)sentinel::RunSentinelLoop(*raw->sent, raw->rendezvous, raw->ctx);
+    // afs-lint: allow(status-discard: loop already exited; cache dir is temp-scoped)
     (void)raw->cache.Finalize();
     // The loop can exit on its own (injected fault, dispatch failure)
     // while the stub still waits for a response; close the slot so that
@@ -636,6 +641,7 @@ Result<std::unique_ptr<vfs::FileHandle>> OpenProcessControl(
     Result<ipc::ChildProcess> spawned = ipc::SpawnFunction([&]() -> int {
       res->link->Shutdown();  // child's copies of the app-side ends
       const int code = sentinel::RunSentinelLoop(*sent, endpoint, ctx);
+      // afs-lint: allow(status-discard: child is about to _exit; exit code is the loop's)
       (void)cache.Finalize();
       return code;
     });
@@ -739,6 +745,7 @@ Result<std::unique_ptr<vfs::FileHandle>> OpenProcess(
     };
     io.finish_output = [&]() { outbound.write_end.Close(); };
     const int code = sentinel::RunStreamPump(*sent, io, ctx, resume);
+    // afs-lint: allow(status-discard: child is about to _exit; exit code is the pump's)
     (void)cache.Finalize();
     return code;
   });

@@ -98,7 +98,7 @@ namespace {
 
 // One monitor pass over one session: drain heartbeats, then check the
 // waitpid and lease arms; declare death and force the link down on either.
-void CheckSession(Supervisor::Session& session) {
+void CheckSession(Supervisor::Session& session) AFS_NONBLOCKING {
   std::function<void()> poll;
   {
     MutexLock lock(session.mu);
@@ -314,6 +314,16 @@ class DegradedHandle final : public vfs::FileHandle {
   std::uint64_t write_pos_;
 };
 
+// Journal records are write-ahead best-effort: a lost record degrades crash
+// recovery (replay may resume from a stale cursor) but must never fail the
+// application's I/O.  The drop counter is how a sick journal disk surfaces.
+void JournalDrop(const Status& recorded) {
+  if (recorded.ok()) return;
+  static obs::Counter& drops =
+      obs::Registry::Global().GetCounter("core.supervisor.journal_drops");
+  drops.Add(1);
+}
+
 // ---------------------------------------------------------------------
 // SupervisedHandle: the tentpole.  Wraps a strategy-opened stub and keeps
 // the application's view of the file intact across sentinel crashes.
@@ -347,8 +357,8 @@ class SupervisedHandle final : public vfs::FileHandle, public ActiveHandle {
   // acknowledgement) consume restart budget like any later crash.
   Status Open() {
     MutexLock lock(mu_);
-    (void)journal_.RecordOpen(id_, std::string(StrategyName(strategy_)),
-                              request_.vfs_path);
+    JournalDrop(journal_.RecordOpen(id_, std::string(StrategyName(strategy_)),
+                              request_.vfs_path));
     while (true) {
       Status opened = OpenSessionLocked();
       if (opened.ok()) return Status::Ok();
@@ -362,7 +372,7 @@ class SupervisedHandle final : public vfs::FileHandle, public ActiveHandle {
     MutexLock lock(mu_);
     AFS_RETURN_IF_ERROR(Ready());
     if (mode_ == Mode::kDegraded) return degraded_->Read(out);
-    (void)journal_.RecordOp(id_, "read", LogicalPos(), out.size());
+    JournalDrop(journal_.RecordOp(id_, "read", LogicalPos(), out.size()));
     while (true) {
       Result<std::size_t> got = inner_->Read(out);
       if (got.ok() && !(stream_ && *got == 0 && StreamEofWasCrash())) {
@@ -371,7 +381,7 @@ class SupervisedHandle final : public vfs::FileHandle, public ActiveHandle {
         } else {
           position_ += static_cast<std::int64_t>(*got);
         }
-        (void)journal_.RecordDone(id_, LogicalPos());
+        JournalDrop(journal_.RecordDone(id_, LogicalPos()));
         return got;
       }
       const Status failure =
@@ -386,16 +396,16 @@ class SupervisedHandle final : public vfs::FileHandle, public ActiveHandle {
     MutexLock lock(mu_);
     AFS_RETURN_IF_ERROR(Ready());
     if (mode_ == Mode::kDegraded) return degraded_->Write(data);
-    (void)journal_.RecordOp(id_, "write",
+    JournalDrop(journal_.RecordOp(id_, "write",
                             stream_ ? static_cast<std::int64_t>(write_pos_)
                                     : position_,
-                            data.size());
+                            data.size()));
     if (stream_) return StreamWrite(data);
     while (true) {
       Result<std::size_t> wrote = inner_->Write(data);
       if (wrote.ok()) {
         position_ += static_cast<std::int64_t>(*wrote);
-        (void)journal_.RecordDone(id_, position_);
+        JournalDrop(journal_.RecordDone(id_, position_));
         return wrote;
       }
       if (!CrashClass(wrote.status())) return wrote;
@@ -410,12 +420,12 @@ class SupervisedHandle final : public vfs::FileHandle, public ActiveHandle {
     AFS_RETURN_IF_ERROR(Ready());
     if (mode_ == Mode::kDegraded) return degraded_->Seek(offset, origin);
     if (stream_) return inner_->Seek(offset, origin);  // kUnsupported
-    (void)journal_.RecordOp(id_, "seek", offset, 0);
+    JournalDrop(journal_.RecordOp(id_, "seek", offset, 0));
     while (true) {
       Result<std::uint64_t> pos = inner_->Seek(offset, origin);
       if (pos.ok()) {
         position_ = static_cast<std::int64_t>(*pos);
-        (void)journal_.RecordDone(id_, position_);
+        JournalDrop(journal_.RecordDone(id_, position_));
         return pos;
       }
       if (!CrashClass(pos.status())) return pos;
@@ -442,11 +452,11 @@ class SupervisedHandle final : public vfs::FileHandle, public ActiveHandle {
     AFS_RETURN_IF_ERROR(Ready());
     if (mode_ == Mode::kDegraded) return degraded_->SetEndOfFile();
     if (stream_) return inner_->SetEndOfFile();  // kUnsupported
-    (void)journal_.RecordOp(id_, "seteof", position_, 0);
+    JournalDrop(journal_.RecordOp(id_, "seteof", position_, 0));
     while (true) {
       Status status = inner_->SetEndOfFile();
       if (status.ok()) {
-        (void)journal_.RecordDone(id_, position_);
+        JournalDrop(journal_.RecordDone(id_, position_));
         return status;
       }
       if (!CrashClass(status)) return status;
@@ -505,13 +515,13 @@ class SupervisedHandle final : public vfs::FileHandle, public ActiveHandle {
     if (active == nullptr) {
       return UnsupportedError("strategy has no control channel");
     }
-    (void)journal_.RecordOp(id_, "custom", LogicalPos(), request.size());
+    JournalDrop(journal_.RecordOp(id_, "custom", LogicalPos(), request.size()));
     Result<Buffer> reply = active->Control(request);
     if (!reply.ok() && CrashClass(reply.status())) {
       (void)RecoverLocked("custom");  // heal the handle, report the failure
       return reply.status();
     }
-    if (reply.ok()) (void)journal_.RecordDone(id_, LogicalPos());
+    if (reply.ok()) JournalDrop(journal_.RecordDone(id_, LogicalPos()));
     return reply;
   }
 
@@ -522,7 +532,7 @@ class SupervisedHandle final : public vfs::FileHandle, public ActiveHandle {
     if (mode_ == Mode::kDegraded) {
       status = degraded_->Close();
     } else if (mode_ == Mode::kActive) {
-      (void)journal_.RecordOp(id_, "close", LogicalPos(), 0);
+      JournalDrop(journal_.RecordOp(id_, "close", LogicalPos(), 0));
       while (true) {
         status = inner_->Close();
         // The control strategies tolerate a sentinel that vanishes instead
@@ -533,7 +543,7 @@ class SupervisedHandle final : public vfs::FileHandle, public ActiveHandle {
           status = ClosedError("sentinel died during close");
         }
         if (status.ok()) {
-          (void)journal_.RecordDone(id_, LogicalPos());
+          JournalDrop(journal_.RecordDone(id_, LogicalPos()));
           break;
         }
         if (!CloseCrashClass(status)) break;
@@ -556,7 +566,7 @@ class SupervisedHandle final : public vfs::FileHandle, public ActiveHandle {
     inner_.reset();
     degraded_.reset();
     closed_ = true;
-    (void)journal_.RecordClose(id_);
+    JournalDrop(journal_.RecordClose(id_));
     return status;
   }
 
@@ -653,13 +663,13 @@ class SupervisedHandle final : public vfs::FileHandle, public ActiveHandle {
     MutexLock lock(mu_);
     AFS_RETURN_IF_ERROR(Ready());
     if (mode_ == Mode::kDegraded) return attempt(*degraded_);
-    (void)journal_.RecordOp(id_, op, LogicalPos(), 0);
+    JournalDrop(journal_.RecordOp(id_, op, LogicalPos(), 0));
     Status status = attempt(*inner_);
     if (!status.ok() && CrashClass(status)) {
       (void)RecoverLocked(op);
       return status;
     }
-    if (status.ok()) (void)journal_.RecordDone(id_, LogicalPos());
+    if (status.ok()) JournalDrop(journal_.RecordDone(id_, LogicalPos()));
     return status;
   }
 
@@ -672,7 +682,7 @@ class SupervisedHandle final : public vfs::FileHandle, public ActiveHandle {
     Result<std::size_t> wrote = inner_->Write(data);
     if (wrote.ok()) {
       write_pos_ += *wrote;
-      (void)journal_.RecordDone(id_, LogicalPos());
+      JournalDrop(journal_.RecordDone(id_, LogicalPos()));
       return wrote;
     }
     if (!CrashClass(wrote.status())) return wrote;
@@ -680,7 +690,7 @@ class SupervisedHandle final : public vfs::FileHandle, public ActiveHandle {
     if (mode_ == Mode::kDegraded) return degraded_->Write(data);
     // Recovery replayed the log (this write included).
     write_pos_ += data.size();
-    (void)journal_.RecordDone(id_, LogicalPos());
+    JournalDrop(journal_.RecordDone(id_, LogicalPos()));
     return data.size();
   }
 
@@ -758,7 +768,7 @@ class SupervisedHandle final : public vfs::FileHandle, public ActiveHandle {
     static obs::Counter& restarts =
         obs::Registry::Global().GetCounter("core.supervisor.restarts");
     restarts.Add(1);
-    (void)journal_.RecordRestart(id_, restarts_);
+    JournalDrop(journal_.RecordRestart(id_, restarts_));
     // Doubling delay, recomputed from the attempt number so the budget is
     // global to the handle rather than per-operation.
     Micros delay = policy_.backoff_initial;
@@ -804,8 +814,8 @@ class SupervisedHandle final : public vfs::FileHandle, public ActiveHandle {
     static obs::Counter& degrades =
         obs::Registry::Global().GetCounter("core.supervisor.degrades");
     degrades.Add(1);
-    (void)journal_.RecordDegrade(
-        id_, std::string(DegradeModeName(policy_.degrade)));
+    JournalDrop(journal_.RecordDegrade(
+        id_, std::string(DegradeModeName(policy_.degrade))));
     if (policy_.degrade == DegradeMode::kFail) {
       mode_ = Mode::kFailed;
       AFS_LOG(kError, "afs.supervisor")

@@ -168,6 +168,9 @@ class Supervisor {
   std::vector<std::shared_ptr<Session>> sessions_ AFS_GUARDED_BY(mu_);
   bool stop_ AFS_GUARDED_BY(mu_) = false;
   bool running_ AFS_GUARDED_BY(mu_) = false;
+  // Written once under mu_ (EnsureThreadLocked); the destructor joins after
+  // stop_ is set, when no other thread can touch the handle.
+  // afs-lint: allow(guarded-member: write-once thread handle; dtor-joined)
   std::thread monitor_;
 };
 

@@ -52,6 +52,7 @@ class NamedMutexGuard {
     status_ = mutex_.Lock();
   }
   ~NamedMutexGuard() {
+    // afs-lint: allow(status-discard: destructors cannot propagate; Lock succeeded)
     if (status_.ok()) (void)mutex_.Unlock();
   }
   NamedMutexGuard(const NamedMutexGuard&) = delete;

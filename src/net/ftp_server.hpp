@@ -54,11 +54,13 @@ class FtpServer {
   void AcceptLoop();
   void ServeConnection(int fd);
 
-  std::string path_;
+  const std::string path_;
   FileServer& store_;
+  // afs-lint: allow(guarded-member: written by Start/Stop on the owner thread)
   int listen_fd_ = -1;
   std::atomic<bool> running_{false};
   std::atomic<std::uint64_t> commands_served_{0};
+  // afs-lint: allow(guarded-member: Start() spawns, Stop() joins; owner thread only)
   std::thread accept_thread_;
   Mutex conn_mu_;
   std::vector<std::thread> conn_threads_ AFS_GUARDED_BY(conn_mu_);

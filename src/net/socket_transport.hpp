@@ -54,12 +54,14 @@ class SocketServer {
   void AcceptLoop();
   void ServeConnection(int fd);
 
-  std::string path_;
+  const std::string path_;
   RpcHandler& handler_;
-  Options options_;
+  const Options options_;
+  // afs-lint: allow(guarded-member: written by Start/Stop on the owner thread)
   int listen_fd_ = -1;
   std::atomic<bool> running_{false};
   std::atomic<std::uint64_t> requests_served_{0};
+  // afs-lint: allow(guarded-member: Start() spawns, Stop() joins; owner thread only)
   std::thread accept_thread_;
   Mutex conn_mu_;
   std::vector<std::thread> conn_threads_ AFS_GUARDED_BY(conn_mu_);
@@ -100,7 +102,9 @@ class SocketClient final : public Transport {
   Status EnsureConnected();
   void Disconnect() noexcept;
   // One request/response exchange on the current (or a fresh) connection.
-  Result<Buffer> CallOnce(ByteSpan request);
+  // One connect+send+bounded-receive attempt (Call adds retry/backoff
+  // around it); the wait is capped by options_.call_timeout.
+  Result<Buffer> CallOnce(ByteSpan request) AFS_NONBLOCKING;
 
   std::string path_;
   Options options_;

@@ -12,6 +12,7 @@
 #pragma once
 
 #include "common/bytes.hpp"
+#include "common/thread_annotations.hpp"
 #include "common/status.hpp"
 #include "sentinel/control.hpp"
 
@@ -23,10 +24,14 @@ class SentinelLink {
   virtual ~SentinelLink() = default;
 
   // Ships a command (and, for kWrite, its data) to the sentinel.
-  virtual Status AF_SendControl(const ControlMessage& message) = 0;
+  virtual Status AF_SendControl(const ControlMessage& message)
+      AFS_NONBLOCKING = 0;
 
-  // Blocks for the sentinel's response to the last command.
-  virtual Result<ControlResponse> AF_GetResponse() = 0;
+  // Waits for the sentinel's response to the last command.  The wait
+  // must be bounded by the link's response timeout (op_timeout_ms);
+  // implementations are AFS_NONBLOCKING so an event loop can multiplex
+  // them (see docs/STATIC_ANALYSIS.md).
+  virtual Result<ControlResponse> AF_GetResponse() AFS_NONBLOCKING = 0;
 };
 
 // Sentinel side.
@@ -36,14 +41,16 @@ class SentinelEndpoint {
 
   // Blocks until the application issues a command; kClosed when the
   // application side has gone away (treated as an implicit close).
-  virtual Result<ControlMessage> AF_GetControl() = 0;
+  virtual Result<ControlMessage> AF_GetControl() AFS_NONBLOCKING = 0;
 
   // Retrieves the data bytes accompanying a kWrite whose inline lane is
   // empty (pipe transport).  Must be called exactly once per such write.
-  virtual Result<Buffer> AF_GetDataFromAppl(std::size_t length) = 0;
+  virtual Result<Buffer> AF_GetDataFromAppl(std::size_t length)
+      AFS_NONBLOCKING = 0;
 
   // Completes the current command.
-  virtual Status AF_SendResponse(const ControlResponse& response) = 0;
+  virtual Status AF_SendResponse(const ControlResponse& response)
+      AFS_NONBLOCKING = 0;
 };
 
 }  // namespace afs::sentinel

@@ -62,6 +62,9 @@ Status FtpFileSentinel::OnFlush(sentinel::SentinelContext& ctx) {
 
 Status FtpFileSentinel::OnClose(sentinel::SentinelContext& ctx) {
   const Status written = WriteBack(ctx);
+  // QUIT is a courtesy; the write-back status is the close verdict, and the
+  // server reaps the control connection on EOF either way.
+  // afs-lint: allow(status-discard: best-effort session goodbye)
   if (client_ != nullptr) (void)client_->Quit();
   return written;
 }

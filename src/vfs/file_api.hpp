@@ -107,7 +107,7 @@ class FileApi {
  private:
   Result<FileHandle*> Lookup(HandleId handle);
 
-  std::string root_;
+  const std::string root_;
   mutable Mutex mu_;
   std::map<HandleId, std::unique_ptr<FileHandle>> handles_
       AFS_GUARDED_BY(mu_);

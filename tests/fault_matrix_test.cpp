@@ -188,9 +188,19 @@ constexpr Cell kCells[] = {
      "sentinel.endpoint.recv=delay:400ms@n2", false, false},
     {"thread_endpoint_closed", "thread",
      "sentinel.endpoint.recv=error:closed@n2", false, true},
+    // A failed send poisons the handle (RoundTrip cannot know whether the
+    // sentinel saw the command), so no health probe after the plan clears.
+    {"thread_link_send_error", "thread",
+     "core.link.send=error:io@p0.3", false, true},
     // process_control strategy: forked child + 3-pipe control channel.
     {"pc_dispatch_error", "process_control",
      "sentinel.dispatch.op=error:remote@p0.3", false, true},
+    {"pc_frame_write_error", "process_control",
+     "ipc.frame.write=error:io@p0.25", false, true},
+    {"pc_endpoint_data_error", "process_control",
+     "sentinel.endpoint.data=error:io@n1", false, true},
+    {"pc_endpoint_send_error", "process_control",
+     "sentinel.endpoint.send=error:closed@n2", false, true},
     {"pc_dispatch_kill", "process_control",
      "sentinel.dispatch.op=kill@n2", false, true},
     {"pc_dispatch_stall", "process_control",
@@ -209,6 +219,8 @@ constexpr Cell kCells[] = {
      "core.direct.op=error:io@p0.5", true, true},
     {"direct_open_error", "direct",
      "core.strategy.open=error:io@n1", false, true},
+    {"direct_manager_open_error", "direct",
+     "core.manager.open=error:io@n1", false, true},
 };
 
 bool FullMatrix() {

@@ -1,0 +1,16 @@
+// Seeded violation for check_guarded: a class owning an afs::Mutex with
+// a mutable member that is neither annotated nor justified.
+#include "common/mutex.hpp"
+
+namespace fixture {
+
+class Tracker {
+ public:
+  void Bump();
+
+ private:
+  Mutex mu_;
+  int count_ = 0;  // no AFS_GUARDED_BY, no allow() — must be flagged
+};
+
+}  // namespace fixture

@@ -1,0 +1,22 @@
+// Clean twin for check_guarded: one member of each exempt kind —
+// annotated, justified by allow(), const, and a reference.
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
+
+namespace fixture {
+
+class Tracker {
+ public:
+  explicit Tracker(int& sink) : sink_(sink) {}
+  void Bump();
+
+ private:
+  Mutex mu_;
+  int count_ AFS_GUARDED_BY(mu_) = 0;
+  // afs-lint: allow(guarded-member: written once before Bump is callable)
+  int high_water_ = 0;
+  const int limit_ = 16;
+  int& sink_;
+};
+
+}  // namespace fixture

@@ -1,0 +1,18 @@
+// Seeded violation for check_nonblocking: an AFS_NONBLOCKING function
+// reaching an unbounded primitive *transitively* — PumpOnce -> Drain ->
+// read(2) — so the test also pins the call-graph traversal, not just the
+// direct-call case.
+#include "common/thread_annotations.hpp"
+
+namespace fixture {
+
+void Drain(int fd) {
+  char byte;
+  ::read(fd, &byte, 1);  // parks forever on a silent peer
+}
+
+void PumpOnce(int fd) AFS_NONBLOCKING {
+  Drain(fd);
+}
+
+}  // namespace fixture

@@ -1,0 +1,23 @@
+// Clean twin for check_nonblocking: the same shape as nonblocking_bad.cpp
+// but every wait is bounded — WaitReadable carries a deadline (a traversal
+// cut) and waitpid uses WNOHANG — so the check must stay silent.
+#include "common/thread_annotations.hpp"
+
+namespace fixture {
+
+class PipeEnd {
+ public:
+  bool WaitReadable(int timeout_ms);
+};
+
+void Drain(PipeEnd& pipe, int child) {
+  pipe.WaitReadable(50);
+  int wstatus = 0;
+  ::waitpid(child, &wstatus, WNOHANG);
+}
+
+void PumpOnce(PipeEnd& pipe, int child) AFS_NONBLOCKING {
+  Drain(pipe, child);
+}
+
+}  // namespace fixture

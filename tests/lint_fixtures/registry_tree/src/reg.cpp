@@ -1,0 +1,18 @@
+// Seeded registry violations (analyzed with --root at this mini-tree):
+//   * fault site `demo.fault.site` — in no catalogue doc and armed by no
+//     test (the tree has no tests/ at all): undocumented + uncovered;
+//   * metric `demo.metric.count` — missing from docs/OBSERVABILITY.md:
+//     undocumented;
+//   * docs/OBSERVABILITY.md rows name `demo.orphan.count`, which no code
+//     here uses: orphaned.
+#include "obs/metrics.hpp"
+#include "util/fault.hpp"
+
+namespace fixture {
+
+void Touch() {
+  AFS_FAULT_POINT("demo.fault.site");
+  obs::Registry::Global().GetCounter("demo.metric.count").Add(1);
+}
+
+}  // namespace fixture

@@ -1,0 +1,16 @@
+// Clean twin of registry_tree: the same fault site and metric, but the
+// site is catalogued in docs/TESTING.md and armed by tests/cov.cpp, and
+// the metric row in docs/OBSERVABILITY.md matches the code (via the
+// brace-set idiom the doc parser must expand).
+#include "obs/metrics.hpp"
+#include "util/fault.hpp"
+
+namespace fixture {
+
+void Touch() {
+  AFS_FAULT_POINT("demo.fault.site");
+  obs::Registry::Global().GetCounter("demo.metric.count").Add(1);
+  obs::Registry::Global().GetCounter("demo.metric.bytes").Add(8);
+}
+
+}  // namespace fixture

@@ -1,0 +1,3 @@
+// Coverage text for the clean fixture tree: a fault plan arming the
+// site, the way fault_matrix_test embeds real plans.
+static const char* kPlan = "seed=1;demo.fault.site=error:io@n1";

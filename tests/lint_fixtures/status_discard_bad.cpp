@@ -1,0 +1,19 @@
+// Seeded violations for check_status_discard: both flagged shapes —
+// the (void)-cast and the assign-then-overwrite with no read between.
+#include "common/status.hpp"
+
+namespace fixture {
+
+Status Flush() { return Status(); }
+
+void Teardown() {
+  (void)Flush();  // shape 1: cast-away
+}
+
+void Sequence() {
+  Status st = Flush();
+  st = Flush();  // shape 2: overwritten before anyone called st.ok()
+  if (!st.ok()) return;
+}
+
+}  // namespace fixture

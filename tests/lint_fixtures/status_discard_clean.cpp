@@ -1,0 +1,22 @@
+// Clean twin for check_status_discard: the same call shapes, but the
+// cast-away carries an inline justification and every assignment is
+// inspected before the variable is reused.
+#include "common/status.hpp"
+
+namespace fixture {
+
+Status Flush() { return Status(); }
+
+void Teardown() {
+  // afs-lint: allow(status-discard: teardown flush is advisory)
+  (void)Flush();
+}
+
+void Sequence() {
+  Status st = Flush();
+  if (!st.ok()) return;
+  st = Flush();
+  if (!st.ok()) return;
+}
+
+}  // namespace fixture

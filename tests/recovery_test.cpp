@@ -25,6 +25,7 @@
 #include "common/faultpoint.hpp"
 #include "core/session_journal.hpp"
 #include "core/supervisor.hpp"
+#include "obs/metrics.hpp"
 #include "ipc/process.hpp"
 #include "registry/registry.hpp"
 #include "test_util.hpp"
@@ -487,6 +488,28 @@ TEST(RecoveryTest, UnsupervisedBundleIsNotRestarted) {
   (void)box.api.CloseHandle(*handle);
 
   EXPECT_TRUE(box.Journal().empty());
+}
+
+// A sick journal disk must never fail the application's I/O: session
+// records are write-ahead best-effort.  With every append failing, the
+// canonical sequence still runs clean; the only evidence is the
+// `core.supervisor.journal_drops` counter (docs/OBSERVABILITY.md).
+TEST(RecoveryTest, JournalAppendFaultDoesNotFailOperations) {
+  SequenceOutcome clean;
+  {
+    Sandbox box(SupervisedConfig("thread"));
+    clean = RunCanonicalSequence(box);
+  }
+
+  obs::Counter& drops =
+      obs::Registry::Global().GetCounter("core.supervisor.journal_drops");
+  const std::uint64_t drops_before = drops.Value();
+  Sandbox box(SupervisedConfig("thread"));
+  ArmedPlan plan("seed=1;core.journal.append=error:io");
+  const SequenceOutcome faulted = RunCanonicalSequence(box);
+  EXPECT_EQ(faulted.trace, clean.trace);
+  EXPECT_EQ(faulted.final_data, clean.final_data);
+  EXPECT_GT(drops.Value(), drops_before);
 }
 
 // ---- crash-safe registry save ----------------------------------------------

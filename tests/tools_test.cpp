@@ -113,6 +113,83 @@ TEST_F(AfsctlTest, ErrorsExitNonzero) {
   EXPECT_EQ(RunCommand(Ctl("frobnicate x")).first, 2);               // usage
 }
 
+// ---- afs_lint fixture coverage ------------------------------------------
+//
+// Each check in tools/analyze/ has a seeded-violation fixture and a clean
+// twin under tests/lint_fixtures/ (see its README.md).  These tests run
+// the real linter over each pair, so a check that stops detecting its
+// violation — or starts flagging the clean twin — fails ctest.
+
+#ifndef AFS_SOURCE_DIR
+#error "AFS_SOURCE_DIR must be defined by the build"
+#endif
+
+class LintFixtureTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (RunCommand("python3 --version").first != 0)
+      GTEST_SKIP() << "python3 not on PATH";
+  }
+
+  // Lints one fixture file with one check, baseline disabled.
+  std::pair<int, std::string> Lint(const std::string& check,
+                                   const std::string& fixture) {
+    const std::string root(AFS_SOURCE_DIR);
+    return RunCommand("python3 " + root + "/tools/analyze/afs_lint.py" +
+                      " --root " + root + " --no-baseline --checks " + check +
+                      " tests/lint_fixtures/" + fixture);
+  }
+};
+
+TEST_F(LintFixtureTest, NonblockingFlagsSeededViolationOnly) {
+  auto [code, out] = Lint("nonblocking", "nonblocking_bad.cpp");
+  EXPECT_EQ(code, 1);
+  EXPECT_NE(out.find("[nonblocking]"), std::string::npos);
+  EXPECT_NE(out.find("PumpOnce"), std::string::npos);
+  EXPECT_NE(out.find("`read`"), std::string::npos);
+  EXPECT_NE(out.find("Drain"), std::string::npos);  // the transitive chain
+
+  std::tie(code, out) = Lint("nonblocking", "nonblocking_clean.cpp");
+  EXPECT_EQ(code, 0) << out;
+}
+
+TEST_F(LintFixtureTest, StatusDiscardFlagsBothShapesOnly) {
+  auto [code, out] = Lint("status-discard", "status_discard_bad.cpp");
+  EXPECT_EQ(code, 1);
+  EXPECT_NE(out.find("(void)-cast"), std::string::npos);
+  EXPECT_NE(out.find("overwritten"), std::string::npos);
+
+  std::tie(code, out) = Lint("status-discard", "status_discard_clean.cpp");
+  EXPECT_EQ(code, 0) << out;
+}
+
+TEST_F(LintFixtureTest, GuardedMemberFlagsUnannotatedMemberOnly) {
+  auto [code, out] = Lint("guarded-member", "guarded_member_bad.cpp");
+  EXPECT_EQ(code, 1);
+  EXPECT_NE(out.find("Tracker::count_"), std::string::npos);
+
+  std::tie(code, out) = Lint("guarded-member", "guarded_member_clean.cpp");
+  EXPECT_EQ(code, 0) << out;
+}
+
+TEST_F(LintFixtureTest, RegistryFlagsAllThreeShapesOnly) {
+  // The registry check is textual over a tree, so the fixtures are
+  // miniature trees selected via --root.
+  const std::string root(AFS_SOURCE_DIR);
+  const std::string cmd = "python3 " + root + "/tools/analyze/afs_lint.py" +
+                          " --no-baseline --checks registry --root " + root +
+                          "/tests/lint_fixtures/registry_tree";
+  auto [code, out] = RunCommand(cmd);
+  EXPECT_EQ(code, 1);
+  EXPECT_NE(out.find("demo.fault.site"), std::string::npos);
+  EXPECT_NE(out.find("never armed"), std::string::npos);
+  EXPECT_NE(out.find("not documented"), std::string::npos);
+  EXPECT_NE(out.find("demo.orphan.count"), std::string::npos);
+
+  std::tie(code, out) = RunCommand(cmd + "_clean");
+  EXPECT_EQ(code, 0) << out;
+}
+
 // ---- host-file / shm edge cases -----------------------------------------
 
 TEST(HostFileEdgeTest, WriteOnReadOnlyHandleFails) {

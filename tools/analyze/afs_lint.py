@@ -1,0 +1,212 @@
+#!/usr/bin/env python3
+"""afs_lint — the repo-aware static-analysis suite (docs/STATIC_ANALYSIS.md).
+
+Four checks, each an "invariant as a build error" the compilers cannot
+express on their own:
+
+  nonblocking     AFS_NONBLOCKING functions must not reach an unbounded
+                  blocking primitive (check_nonblocking.py)
+  status-discard  Status/Result values must be inspected, not cast away
+                  or overwritten (check_status_discard.py)
+  registry        fault sites / metrics / spans / spec keys must match
+                  their catalogue docs and fault-matrix coverage
+                  (check_registry.py)
+  guarded-member  mutex-owning classes must annotate or justify every
+                  mutable member (check_guarded.py)
+
+Usage (from the repo root; `tools/check.sh analyze` wraps this):
+
+  tools/analyze/afs_lint.py --compdb build/compile_commands.json
+  tools/analyze/afs_lint.py --root . --checks nonblocking,registry
+  tools/analyze/afs_lint.py --update-baseline
+
+Findings are compared against tools/analyze/baseline.json: a finding in
+the baseline is reported as grandfathered (exit 0), a new finding fails
+the run (exit 1), and a baseline entry that no longer fires is reported
+as stale so the baseline only ever shrinks.  Baseline ids avoid line
+numbers on purpose — they survive unrelated edits.
+
+Frontends: with a Python libclang (`clang.cindex`) importable and a
+matching libclang.so present, `--engine clang` parses through the real
+AST; the default `--engine tokens` frontend (tools/analyze/engine.py)
+needs nothing beyond the standard library, so the suite runs on the
+GCC-only container CI uses.  compile_commands.json (exported by the
+top-level CMakeLists) supplies the TU list either way.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import engine  # noqa: E402
+import check_guarded  # noqa: E402
+import check_nonblocking  # noqa: E402
+import check_registry  # noqa: E402
+import check_status_discard  # noqa: E402
+
+CHECKS = {
+    "nonblocking": check_nonblocking,
+    "status-discard": check_status_discard,
+    "guarded-member": check_guarded,
+    # `registry` is textual and handled specially (needs docs/ + tests/).
+}
+ALL_CHECKS = ("nonblocking", "status-discard", "registry", "guarded-member")
+
+DEFAULT_BASELINE = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                                "baseline.json")
+
+
+def repo_root() -> str:
+    return os.path.abspath(
+        os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", ".."))
+
+
+def tu_list_from_compdb(compdb_path: str, root: str) -> list[str]:
+    with open(compdb_path, encoding="utf-8") as fh:
+        entries = json.load(fh)
+    out = []
+    for e in entries:
+        f = e.get("file", "")
+        full = f if os.path.isabs(f) else os.path.join(e.get("directory",
+                                                             root), f)
+        full = os.path.realpath(full)
+        rel = os.path.relpath(full, root)
+        if rel.startswith("src" + os.sep) and rel not in out:
+            out.append(rel)
+    return out
+
+
+def build_model(args, root: str):
+    if args.engine == "clang":
+        try:
+            import clang.cindex  # noqa: F401
+            print("afs_lint: note: clang frontend not wired yet; the tokens "
+                  "engine analyzes the same sources", file=sys.stderr)
+        except ImportError:
+            print("afs_lint: libclang python bindings not available; "
+                  "falling back to --engine tokens", file=sys.stderr)
+    if args.files:
+        return engine.load_files(root, args.files)
+    # The token engine does not preprocess, so headers are parsed directly
+    # alongside the compdb's TUs; the compdb still gates "is the build
+    # configured" and keeps the TU set in sync with CMake.
+    if args.compdb:
+        if not os.path.exists(args.compdb):
+            print(f"afs_lint: {args.compdb} not found — configure first "
+                  f"(cmake -B build -S .); falling back to walking src/",
+                  file=sys.stderr)
+        else:
+            tus = tu_list_from_compdb(args.compdb, root)
+            headers = []
+            for dirpath, _d, fnames in sorted(os.walk(
+                    os.path.join(root, "src"))):
+                for fname in sorted(fnames):
+                    if fname.endswith((".hpp", ".h")):
+                        headers.append(os.path.relpath(
+                            os.path.join(dirpath, fname), root))
+            return engine.load_files(root, headers + tus)
+    return engine.load_tree(root, subdirs=("src",))
+
+
+def load_baseline(path: str) -> dict[str, str]:
+    """id -> note for every grandfathered finding."""
+    if not os.path.exists(path):
+        return {}
+    with open(path, encoding="utf-8") as fh:
+        data = json.load(fh)
+    return {e["id"]: e.get("note", "") for e in data.get("findings", [])}
+
+
+def save_baseline(path: str, findings, old_notes) -> None:
+    entries = [{"id": f["id"],
+                "note": old_notes.get(f["id"], "grandfathered; burn down")}
+               for f in sorted(findings, key=lambda f: f["id"])]
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump({"version": 1, "findings": entries}, fh, indent=2)
+        fh.write("\n")
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--root", default=None,
+                    help="repo root (default: two levels above this script)")
+    ap.add_argument("--compdb", default=None,
+                    help="compile_commands.json path (TU list source)")
+    ap.add_argument("--checks", default=",".join(ALL_CHECKS),
+                    help="comma-separated subset of: " + ",".join(ALL_CHECKS))
+    ap.add_argument("--baseline", default=DEFAULT_BASELINE,
+                    help="baseline file (default: tools/analyze/baseline.json)")
+    ap.add_argument("--no-baseline", action="store_true",
+                    help="report every finding, grandfathered or not")
+    ap.add_argument("--update-baseline", action="store_true",
+                    help="rewrite the baseline to the current finding set")
+    ap.add_argument("--engine", choices=("tokens", "clang"), default="tokens")
+    ap.add_argument("--json", action="store_true", dest="as_json",
+                    help="machine-readable findings on stdout")
+    ap.add_argument("files", nargs="*",
+                    help="restrict analysis to these source files")
+    args = ap.parse_args(argv)
+
+    root = os.path.abspath(args.root) if args.root else repo_root()
+    checks = [c.strip() for c in args.checks.split(",") if c.strip()]
+    unknown = [c for c in checks if c not in ALL_CHECKS]
+    if unknown:
+        ap.error(f"unknown checks: {', '.join(unknown)}")
+
+    model = None
+    if any(c in CHECKS for c in checks):
+        model = build_model(args, root)
+
+    findings = []
+    for c in checks:
+        if c == "registry":
+            findings.extend(check_registry.run_tree(root))
+        else:
+            findings.extend(CHECKS[c].run(model))
+
+    baseline = {} if args.no_baseline else load_baseline(args.baseline)
+    if args.update_baseline:
+        save_baseline(args.baseline, findings, baseline)
+        print(f"afs_lint: baseline updated: {len(findings)} finding(s) -> "
+              f"{args.baseline}")
+        return 0
+
+    new = [f for f in findings if f["id"] not in baseline]
+    grandfathered = [f for f in findings if f["id"] in baseline]
+    current_ids = {f["id"] for f in findings}
+    stale = sorted(i for i in baseline if i not in current_ids)
+    # Per-file runs see a slice of the tree; only a full run can prove a
+    # baseline entry stale.
+    report_stale = not args.files
+
+    if args.as_json:
+        json.dump({"new": new, "grandfathered": grandfathered,
+                   "stale_baseline": stale if report_stale else []},
+                  sys.stdout, indent=2)
+        print()
+    else:
+        for f in new:
+            print(f"{f['file']}:{f['line']}: error: [{f['check']}] "
+                  f"{f['message']}")
+        if grandfathered:
+            print(f"afs_lint: {len(grandfathered)} grandfathered finding(s) "
+                  f"suppressed by {os.path.relpath(args.baseline, root)}")
+        if stale and report_stale:
+            for i in stale:
+                print(f"afs_lint: warning: stale baseline entry (no longer "
+                      f"fires — delete it): {i}")
+        summary = (f"afs_lint: {len(new)} new finding(s), "
+                   f"{len(grandfathered)} baselined, "
+                   f"{len(stale) if report_stale else 0} stale, "
+                   f"checks: {','.join(checks)}")
+        print(summary)
+    return 1 if new else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,76 @@
+"""Guarded-member completeness.
+
+PR 1's rule — every shared member carries `AFS_GUARDED_BY` — is enforced
+by Clang only for members that *have* the annotation; a member added
+without one is invisible to `-Wthread-safety`.  This check closes that
+gap heuristically: any class that owns an `afs::Mutex` is presumed to
+have concurrent callers, so every mutable member of such a class must
+either be annotated or carry an inline justification:
+
+    // afs-lint: allow(guarded-member: set once before the thread starts)
+    Micros heartbeat_interval_{0};
+
+Members exempt by construction (never flagged):
+  * the mutexes and condition variables themselves,
+  * `const` members and `std::atomic<…>` members (their safety story is
+    the type, not a lock),
+  * `static` members (class-wide; the instance mutex cannot guard them),
+  * reference members (the binding is immutable; the referent's guarding
+    lives with the referent's class),
+  * members already annotated `AFS_GUARDED_BY` / `AFS_PT_GUARDED_BY`.
+
+The deliberate bias is toward *documentation*: a member that is genuinely
+lock-free-by-protocol (configured before concurrency starts, owned by one
+thread, immutable after Open) gets a one-line allow() stating that
+protocol, which is exactly the invariant the event-loop refactor needs
+written down before it moves the member onto a shared loop.
+"""
+
+from __future__ import annotations
+
+CHECK = "guarded-member"
+
+_SYNC_TYPES = {"Mutex", "CondVar", "condition_variable", "NamedMutex",
+               "mutex", "Event"}
+_GUARD_ANNOTATIONS = {"AFS_GUARDED_BY", "AFS_PT_GUARDED_BY"}
+
+
+def _owns_afs_mutex(info) -> bool:
+    return any(m.type_name == "Mutex" and "std" not in m.type_text.split()
+               for m in info.members)
+
+
+def run(model, roots=None):
+    findings = []
+    for infos in model.classes.values():
+        for info in infos:
+            if not _owns_afs_mutex(info):
+                continue
+            src = model.sources.get(info.path)
+            for m in info.members:
+                if m.is_static or m.is_const:
+                    continue
+                if m.type_name in _SYNC_TYPES:
+                    continue
+                if "atomic" in m.type_text:
+                    continue
+                if "&" in m.type_text.split():
+                    # Reference member: the binding is immutable; the
+                    # referent's guarding lives with the referent's class.
+                    continue
+                if m.annotations & _GUARD_ANNOTATIONS:
+                    continue
+                if src is not None and src.allowed(CHECK, m.line):
+                    continue
+                findings.append({
+                    "check": CHECK,
+                    "id": f"{CHECK}:{info.path}:{info.name}:{m.name}",
+                    "file": info.path,
+                    "line": m.line,
+                    "message": (
+                        f"{info.name}::{m.name} ({info.path}:{m.line}) is a "
+                        f"mutable member of a mutex-owning class with no "
+                        f"AFS_GUARDED_BY and no afs-lint allow() stating "
+                        f"its protocol"),
+                })
+    return findings

@@ -1,0 +1,253 @@
+"""Registry cross-checks: code names vs. docs vs. test coverage.
+
+The tree carries four name registries that are easy to grow and easy to
+let rot: fault-injection sites (`AFS_FAULT_POINT` / `fault::Hit`), obs
+metric names (`GetCounter`/`GetGauge`/`GetHistogram`), trace span names
+(`obs::Span` / `obs::TraceScope`), and sentinel spec config keys
+(`config.find("…")`).  Each is a contract with an operator (dashboards,
+fault plans, bundle specs), so each must stay documented — and fault
+sites must stay exercised by the fault matrix.
+
+Three failure shapes:
+
+  * undocumented — a name used in src/ missing from its catalogue doc;
+  * uncovered    — a fault site no test ever arms;
+  * orphaned     — a catalogue entry whose name no longer exists in src/.
+
+Doc matching understands the catalogues' two compression idioms:
+`ipc.frame.{read,write}.{count,bytes}` brace sets are expanded, and a
+backticked `.suffix` on a line combines with every full name on the same
+line (`` `sentinel.endpoint.recv` / `.send` / `.data` ``).
+
+This check is purely textual (regex over src/, docs/, tests/); it does
+not need the token model.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import re
+
+CHECK = "registry"
+
+_SITE_RE = re.compile(
+    r'(?:AFS_FAULT_POINT|AFS_FAULT_TRUNCATE|fault::Hit|fault::HitTruncate)'
+    r'\(\s*"([a-z0-9_.]+)"')
+_METRIC_RE = re.compile(r'Get(?:Counter|Gauge|Histogram)\(\s*"([a-z0-9_.]+)"')
+_SPAN_RE = re.compile(
+    r'(?:obs::)?(?:Span|TraceScope)\s+\w+\(\s*"([a-z0-9_.]+)"')
+_SPEC_RE = re.compile(
+    r'(?:config\.find|config\.count|ParseIntKey\(\s*config,)\s*\(?\s*'
+    r'"([a-z0-9_]+)"')
+_BACKTICK_RE = re.compile(r"`([^`\s][^`]*)`")
+_BRACE_RE = re.compile(r"\{([^{}]*)\}")
+
+# Category -> (docs that may carry the catalogue, whether tests/ must
+# also arm the name).  Paths are repo-relative.
+CATEGORIES = {
+    "fault-site": (("docs/TESTING.md", "docs/RECOVERY.md"), True),
+    "metric": (("docs/OBSERVABILITY.md",), False),
+    "span": (("docs/OBSERVABILITY.md",), False),
+    "spec-key": (("docs/TESTING.md", "docs/RECOVERY.md",
+                  "docs/OBSERVABILITY.md", "docs/PROTOCOL.md",
+                  "docs/TUTORIAL.md", "README.md"), False),
+}
+
+
+def _expand_braces(name: str) -> list[str]:
+    m = _BRACE_RE.search(name)
+    if not m:
+        return [name]
+    alts = [a.strip() for a in m.group(1).split(",")]
+    out = []
+    for alt in alts:
+        out.extend(_expand_braces(name[:m.start()] + alt + name[m.end():]))
+    return out
+
+
+def _doc_names(text: str) -> tuple[set, set]:
+    """(all documented names, names from catalogue table rows)."""
+    documented: set[str] = set()
+    table_rows: set[str] = set()
+    for line in text.splitlines():
+        raw = _BACKTICK_RE.findall(line)
+        full = []
+        for token in raw:
+            for name in _expand_braces(token):
+                if re.fullmatch(r"[a-z0-9_.*]+", name) and not \
+                        name.startswith("."):
+                    full.append(name)
+        combos = list(full)
+        for token in raw:
+            if token.startswith(".") and re.fullmatch(r"[a-z0-9_.{}]+",
+                                                      token):
+                for suffix, base in itertools.product(
+                        _expand_braces(token), full):
+                    # Both idioms: `vfs.read` + `.count` appends a component;
+                    # `sentinel.endpoint.recv` / `.send` replaces the last.
+                    combos.append(base + suffix)
+                    if "." in base:
+                        combos.append(base.rsplit(".", 1)[0] + suffix)
+        documented.update(combos)
+        if line.lstrip().startswith("|"):
+            # Orphan candidates are only the *verbatim* names: the suffix
+            # combination above over-approximates (every suffix pairs with
+            # every base on the line) which is safe for "documented" but
+            # would fabricate orphans.
+            table_rows.update(c for c in full if "." in c)
+    return documented, table_rows
+
+
+_LITERAL_RE = re.compile(r'"([a-z0-9_.]+)"')
+
+
+def _collect(root: str, subdir: str, regexes) -> dict[str, tuple[str, int]]:
+    """name -> (file, line) of first use, over *.cpp/*.hpp under subdir."""
+    out: dict[str, tuple[str, int]] = {}
+    base = os.path.join(root, subdir)
+    for dirpath, _d, filenames in sorted(os.walk(base)):
+        for fname in sorted(filenames):
+            if not fname.endswith((".cpp", ".hpp", ".cc", ".h")):
+                continue
+            path = os.path.join(dirpath, fname)
+            rel = os.path.relpath(path, root)
+            with open(path, encoding="utf-8", errors="replace") as fh:
+                for lineno, line in enumerate(fh, 1):
+                    for rx in regexes:
+                        for m in rx.finditer(line):
+                            out.setdefault(m.group(1), (rel, lineno))
+    return out
+
+
+def _collect_literals(root: str, subdir: str) -> set[str]:
+    """Every name-shaped string literal under subdir (orphan evidence:
+    `GetCounter(std::string("vfs.") + op + ".count")` builds names the
+    use-site regexes cannot see)."""
+    out: set[str] = set()
+    base = os.path.join(root, subdir)
+    for dirpath, _d, filenames in sorted(os.walk(base)):
+        for fname in sorted(filenames):
+            if not fname.endswith((".cpp", ".hpp", ".cc", ".h")):
+                continue
+            with open(os.path.join(dirpath, fname),
+                      encoding="utf-8", errors="replace") as fh:
+                out.update(_LITERAL_RE.findall(fh.read()))
+    return out
+
+
+def run_tree(root: str, src_subdir: str = "src", docs=None,
+             tests_subdir: str = "tests"):
+    """Standalone entry (no Model needed): findings for one source tree."""
+    findings = []
+    used = {
+        "fault-site": _collect(root, src_subdir, [_SITE_RE]),
+        "metric": _collect(root, src_subdir, [_METRIC_RE]),
+        "span": _collect(root, src_subdir, [_SPAN_RE]),
+        "spec-key": _collect(root, src_subdir, [_SPEC_RE]),
+    }
+
+    doc_cache: dict[str, tuple[set, set]] = {}
+
+    def doc_sets(path):
+        if path not in doc_cache:
+            full = os.path.join(root, path)
+            if os.path.exists(full):
+                with open(full, encoding="utf-8", errors="replace") as fh:
+                    doc_cache[path] = _doc_names(fh.read())
+            else:
+                doc_cache[path] = (set(), set())
+        return doc_cache[path]
+
+    tests_text = ""
+    tests_base = os.path.join(root, tests_subdir)
+    if os.path.isdir(tests_base):
+        chunks = []
+        for dirpath, _d, filenames in sorted(os.walk(tests_base)):
+            # Relative, so a fixture mini-tree that *lives under*
+            # lint_fixtures/ still sees its own tests/ as coverage.
+            if "lint_fixtures" in os.path.relpath(dirpath, tests_base):
+                continue  # fixtures seed violations; they are not coverage
+            for fname in sorted(filenames):
+                if fname.endswith((".cpp", ".hpp", ".cc", ".h", ".sh")):
+                    with open(os.path.join(dirpath, fname),
+                              encoding="utf-8", errors="replace") as fh:
+                        chunks.append(fh.read())
+        tests_text = "\n".join(chunks)
+
+    orphans: dict[str, dict] = {}
+    literals = _collect_literals(root, src_subdir)
+    for category, (doc_paths, needs_test) in CATEGORIES.items():
+        documented: set[str] = set()
+        catalogued: set[str] = set()
+        for dp in doc_paths:
+            d, c = doc_sets(dp)
+            documented |= d
+            catalogued |= c
+        for name, (path, line) in sorted(used[category].items()):
+            if name not in documented:
+                findings.append({
+                    "check": CHECK,
+                    "id": f"{CHECK}:{category}:{name}:undocumented",
+                    "file": path,
+                    "line": line,
+                    "message": (
+                        f"{category} `{name}` ({path}:{line}) is not "
+                        f"documented in {' or '.join(doc_paths)}"),
+                })
+            # Coverage is substring: fault plans embed site names inside
+            # larger literals ("seed=9;ipc.pipe.write=error:io").
+            if needs_test and name not in tests_text and \
+                    not _prefix_armed(name, tests_text):
+                findings.append({
+                    "check": CHECK,
+                    "id": f"{CHECK}:{category}:{name}:uncovered",
+                    "file": path,
+                    "line": line,
+                    "message": (
+                        f"{category} `{name}` ({path}:{line}) is never "
+                        f"armed by anything under {tests_subdir}/ "
+                        f"(fault_matrix_test or a scenario test must "
+                        f"exercise it)"),
+                })
+        # Orphans: catalogue rows naming things the code no longer has.
+        # Only categories with dotted names participate (spec keys share
+        # tables with prose and single words collide too easily).
+        if category == "spec-key":
+            continue
+        known = set(used[category])
+        all_known = set().union(*[set(u) for u in used.values()])
+        for name in sorted(catalogued):
+            if "*" in name or name in all_known:
+                continue
+            if name in literals or any(
+                    lit.endswith(".") and name.startswith(lit)
+                    for lit in literals):
+                continue  # assembled at runtime from these literal pieces
+            prefix = name.split(".")[0]
+            if not any(k.startswith(prefix + ".") for k in known):
+                continue  # a different registry's table row
+            if name not in known:
+                orphans.setdefault(name, {
+                    "check": CHECK,
+                    "id": f"{CHECK}:{name}:orphaned",
+                    "file": doc_paths[0],
+                    "line": 0,
+                    "message": (
+                        f"documented name `{name}` ({' or '.join(doc_paths)})"
+                        f" no longer appears in {src_subdir}/ — remove or "
+                        f"rename the catalogue entry"),
+                })
+    findings.extend(orphans[k] for k in sorted(orphans))
+    return findings
+
+
+def _prefix_armed(name: str, tests_text: str) -> bool:
+    """A plan rule `ipc.pipe.*` in tests also covers `ipc.pipe.read`."""
+    parts = name.split(".")
+    return any(f'{".".join(parts[:k])}.*' in tests_text
+               for k in range(1, len(parts)))
+
+
+def run(model, roots=None, root_dir="."):
+    return run_tree(root_dir)

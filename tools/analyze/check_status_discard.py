@@ -1,0 +1,247 @@
+"""Status-discard lint.
+
+`afs::Status` / `afs::Result<T>` are `[[nodiscard]]`, which makes the
+compiler warn on a plainly ignored return — but three discard shapes slip
+past it and have each masked a poisoned handle at least once in systems
+like this:
+
+  1. `(void)DoThing();` — the cast-away.  Legal C++, invisible to
+     `[[nodiscard]]`, and exactly how a "can't fail here" assumption rots.
+  2. `st = A(); st = B();` — overwritten before anyone inspected it.
+  3. Discards inside destructors and other cleanup paths, where a failed
+     close/flush is the *only* evidence an operation was lost.
+
+The check flags all three.  A discard that is genuinely intended (e.g.
+best-effort cleanup where the error has nowhere to go) carries an inline
+justification:
+
+    // afs-lint: allow(status-discard: close on teardown is advisory)
+    (void)pipe.Close();
+
+Precision notes: functions are classified as Status-returning from their
+parsed return tokens; for an unresolved method receiver, the call is
+flagged only when *every* same-named method in the tree returns Status.
+The overwrite rule is linear within a body — any intervening control-flow
+token resets it, so branches never produce false positives.
+"""
+
+from __future__ import annotations
+
+CHECK = "status-discard"
+
+_CONTROL_RESET = {"if", "else", "while", "for", "switch", "case", "default",
+                  "return", "break", "continue", "goto", "do", "}", "{",
+                  "?", ":"}
+
+
+def _returns_status(ret_text: str) -> bool:
+    words = ret_text.replace("::", " ").split()
+    return "Status" in words or "Result" in words
+
+
+def _status_fn_maps(model):
+    """(free name -> bool, (class, method) -> bool) unanimity maps."""
+    free: dict[str, bool] = {}
+    methods: dict[tuple, bool] = {}
+    by_name: dict[str, set] = {}
+    for fns in model.functions.values():
+        for f in fns:
+            rs = _returns_status(f.ret_text)
+            if f.cls is None:
+                prior = free.get(f.name)
+                free[f.name] = rs if prior is None else (prior and rs)
+            else:
+                methods[(f.cls, f.name)] = rs
+                by_name.setdefault(f.name, set()).add(rs)
+    for infos in model.classes.values():
+        for info in infos:
+            for name, decl in info.method_decls.items():
+                rs = _returns_status(decl.ret_text)
+                methods.setdefault((info.name, name), rs)
+                by_name.setdefault(name, set()).add(rs)
+    unanimous = {name: vals == {True} for name, vals in by_name.items()}
+    return free, methods, unanimous
+
+
+def _call_returns_status(call, fn, model, free, methods, unanimous):
+    if call.kind in ("free", "qualified"):
+        return free.get(call.name, False)
+    recv = model.resolve_receiver(fn, call.recv)
+    if recv is not None:
+        got = methods.get((recv, call.name))
+        if got is None:
+            info = model.class_info(recv)
+            bases = list(info.bases) if info else []
+            while bases and got is None:
+                got = methods.get((bases.pop(), call.name))
+        return bool(got)
+    return unanimous.get(call.name, False)
+
+
+def _statement_discards(model, fn, src, free, methods, unanimous):
+    """Expression-statement and (void)-cast discards in one body."""
+    toks = src.tokens
+    findings = []
+    for call in fn.calls:
+        if not _call_returns_status(call, fn, model, free, methods,
+                                    unanimous):
+            continue
+        # Locate this call's tokens to classify its context.
+        idx = _find_call_token(toks, call)
+        if idx is None:
+            continue
+        start = idx
+        if call.kind == "method":
+            start -= 2 * len(call.recv)  # ident . ident . name
+        elif call.kind == "qualified":
+            start -= 2 * len([q for q in call.quals if q])
+            if call.quals and call.quals[0] == "":
+                start -= 1
+        prev = toks[start - 1].text if start > 0 else ";"
+        end = _match_paren(toks, idx + 1)
+        after = toks[end].text if end < len(toks) else ";"
+        void_cast = (start >= 3 and toks[start - 1].text == ")"
+                     and toks[start - 2].text == "void"
+                     and toks[start - 3].text == "(")
+        stmt_head = prev in (";", "{", "}")
+        if void_cast:
+            shape = "(void)-cast"
+        elif stmt_head and after == ";":
+            shape = "ignored return"
+        else:
+            continue
+        if src.allowed(CHECK, call.line):
+            continue
+        where = "destructor" if fn.name.startswith("~") else "function"
+        findings.append({
+            "check": CHECK,
+            "id": f"{CHECK}:{fn.path}:{fn.qualname}:{call.name}:{shape}",
+            "file": fn.path,
+            "line": call.line,
+            "message": (f"{shape} of Status-returning `{call.name}` in "
+                        f"{where} {fn.qualname} ({fn.path}:{call.line})"),
+        })
+    return findings
+
+
+def _find_call_token(toks, call):
+    for i, t in enumerate(toks):
+        if t.line == call.line and t.kind == "ident" and \
+                t.text == call.name and i + 1 < len(toks) and \
+                toks[i + 1].text == "(":
+            return i
+    return None
+
+
+def _match_paren(toks, i):
+    depth = 0
+    while i < len(toks):
+        depth += toks[i].text == "("
+        depth -= toks[i].text == ")"
+        i += 1
+        if depth == 0:
+            return i
+    return i
+
+
+def _overwrite_discards(model, fn, src, body_range):
+    """`st = A(); st = B();` with no read between, straight-line only."""
+    lo, hi = body_range
+    toks = src.tokens
+    findings = []
+    # last unread assignment per variable: var -> (line, assigned-from)
+    pending: dict[str, int] = {}
+    k = lo
+    while k < hi:
+        t = toks[k]
+        if t.text in _CONTROL_RESET:
+            pending.clear()
+            k += 1
+            continue
+        if t.kind == "ident":
+            nxt = toks[k + 1].text if k + 1 < hi else ";"
+            prev = toks[k - 1].text if k > lo else ";"
+            is_status_decl = t.text == "Status" and toks[k + 1].kind == "ident"
+            if is_status_decl:
+                var = toks[k + 1].text
+                if k + 2 < hi and toks[k + 2].text == "=":
+                    pending[var] = toks[k + 1].line
+                k += 2
+                continue
+            if nxt == "=" and prev in (";", "{", "}"):
+                if t.text in pending:
+                    line = t.line
+                    if not src.allowed(CHECK, line):
+                        findings.append({
+                            "check": CHECK,
+                            "id": (f"{CHECK}:{fn.path}:{fn.qualname}:"
+                                   f"{t.text}:overwritten"),
+                            "file": fn.path,
+                            "line": line,
+                            "message": (
+                                f"Status `{t.text}` assigned at "
+                                f"{fn.path}:{pending[t.text]} is overwritten "
+                                f"at line {line} before being inspected "
+                                f"(in {fn.qualname})"),
+                        })
+                if t.text in _status_vars_of(fn, src, lo, hi):
+                    pending[t.text] = t.line
+                k += 2
+                continue
+            if t.text in pending and nxt != "=":
+                del pending[t.text]  # read (ok()/code()/pass-by-ref/...)
+        k += 1
+    return findings
+
+
+def _status_vars_of(fn, src, lo, hi):
+    """Names declared as `Status x` inside the body (cached per call)."""
+    cache = getattr(fn, "_status_vars", None)
+    if cache is not None:
+        return cache
+    toks = src.tokens
+    out = set()
+    for k in range(lo, hi - 1):
+        if toks[k].text == "Status" and toks[k + 1].kind == "ident":
+            out.add(toks[k + 1].text)
+    fn._status_vars = out
+    return out
+
+
+def run(model, roots=None):
+    free, methods, unanimous = _status_fn_maps(model)
+    findings = []
+    for fm in model.files:
+        src = fm.src
+        for fn in fm.functions:
+            findings.extend(
+                _statement_discards(model, fn, src, free, methods, unanimous))
+            rng = _body_range(src, fn)
+            if rng is not None:
+                findings.extend(_overwrite_discards(model, fn, src, rng))
+    return findings
+
+
+def _body_range(src, fn):
+    """Token range of fn's body, rediscovered from its header line."""
+    toks = src.tokens
+    for i, t in enumerate(toks):
+        if t.line == fn.line and t.text == fn.name and t.kind == "ident":
+            j = i
+            while j < len(toks) and toks[j].text != "{":
+                if toks[j].text == ";":
+                    return None
+                j += 1
+            return (j + 1, _match_brace(toks, j))
+    return None
+
+
+def _match_brace(toks, i):
+    depth = 0
+    while i < len(toks):
+        depth += toks[i].text == "{"
+        depth -= toks[i].text == "}"
+        i += 1
+        if depth == 0:
+            return i - 1
+    return i

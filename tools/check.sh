@@ -15,8 +15,12 @@
 #                             # obs_test under TSan, plus the
 #                             # bench_obs_overhead <5% regression gate;
 #                             # see docs/OBSERVABILITY.md
+#   tools/check.sh analyze    # repo-aware lints (tools/analyze/afs_lint.py):
+#                             # nonblocking contexts, swallowed Status,
+#                             # registry/doc cross-checks, guarded members;
+#                             # fails on findings not in the baseline
 #   tools/check.sh bench-smoke  # short Figure-6 benchmark pass, results
-#                             # combined into BENCH_PR5.json
+#                             # combined into BENCH_PR6.json
 #
 # The fault lane reuses the asan/tsan build trees and is not part of the
 # default quick suite: the full {strategy x site x kind} sweep spends real
@@ -119,11 +123,22 @@ run_obs() {
   echo "== obs: clean"
 }
 
+run_analyze() {
+  # Repo-aware static analysis (docs/STATIC_ANALYSIS.md): afs_lint's four
+  # checks over the compile_commands.json TU list.  Exit is nonzero on any
+  # finding not recorded (with a justification) in tools/analyze/baseline.json.
+  echo "== analyze: generating compile commands"
+  cmake -B build -S . >/dev/null
+  echo "== analyze: running afs_lint"
+  python3 tools/analyze/afs_lint.py --compdb build/compile_commands.json
+  echo "== analyze: clean"
+}
+
 run_bench_smoke() {
   # Short pass over the paper's Figure-6 benchmarks plus the obs overhead
-  # gate, combined into BENCH_PR5.json.  Smoke numbers, not publishable
+  # gate, combined into BENCH_PR6.json.  Smoke numbers, not publishable
   # ones: --benchmark_min_time is deliberately tiny.
-  local out=BENCH_PR5.json bench
+  local out=BENCH_PR6.json bench
   echo "== bench-smoke: building benchmarks"
   cmake -B build -S . >/dev/null
   cmake --build build -j "$JOBS" --target \
@@ -164,9 +179,11 @@ case "$STAGE" in
   fault) run_fault ;;
   recovery) run_recovery ;;
   obs) run_obs ;;
+  analyze) run_analyze ;;
   bench-smoke) run_bench_smoke ;;
   all)
     run_tidy
+    run_analyze
     run_sanitizer asan "address;undefined" ""
     run_sanitizer tsan "thread" "-L tsan"
     run_fault
@@ -174,7 +191,7 @@ case "$STAGE" in
     run_obs
     ;;
   *)
-    echo "usage: tools/check.sh [tidy|asan|tsan|fault|recovery|obs|bench-smoke|all]" >&2
+    echo "usage: tools/check.sh [tidy|asan|tsan|fault|recovery|obs|analyze|bench-smoke|all]" >&2
     exit 2
     ;;
 esac
