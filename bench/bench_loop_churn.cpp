@@ -1,0 +1,73 @@
+// Open/close churn for the event-loop data plane: the thread strategy
+// pays a spawned rendezvous thread per open, the loop strategy pays a
+// mailbox slot on a shared shard.  Both series run the same null sentinel
+// over a memory cache so the difference is pure session-hosting cost —
+// the number the BENCH lane tracks across PRs.
+#include "bench_util.hpp"
+
+namespace afs::bench {
+namespace {
+
+BenchEnv& Env() {
+  static BenchEnv env("loop-churn");
+  return env;
+}
+
+void BM_Churn(benchmark::State& state, core::Strategy strategy) {
+  BenchEnv& env = Env();
+  sentinel::SentinelSpec spec;
+  spec.name = "null";
+  spec.config["cache"] = "memory";
+  spec.config["strategy"] = std::string(core::StrategyName(strategy));
+  const std::string path = std::string("churn-") +
+                           std::string(core::StrategyName(strategy)) + ".af";
+  auto exists = env.api().FileExists(path);
+  if (!exists.ok() || !*exists) {
+    if (!env.manager().CreateActiveFile(path, spec, AsBytes("x")).ok()) {
+      state.SkipWithError("create failed");
+      return;
+    }
+  }
+  for (auto _ : state) {
+    auto handle = env.api().OpenFile(path, vfs::OpenMode::kReadWrite);
+    if (!handle.ok()) {
+      state.SkipWithError(handle.status().ToString().c_str());
+      return;
+    }
+    if (!env.api().CloseHandle(*handle).ok()) {
+      state.SkipWithError("close failed");
+      return;
+    }
+  }
+}
+
+void RegisterAll() {
+  struct Series {
+    const char* label;
+    core::Strategy strategy;
+  };
+  const Series series[] = {
+      {"Thread", core::Strategy::kThread},
+      {"Loop", core::Strategy::kLoop},
+  };
+  for (const auto& s : series) {
+    benchmark::RegisterBenchmark(
+        (std::string("LoopChurn/") + s.label).c_str(),
+        [strategy = s.strategy](benchmark::State& st) {
+          BM_Churn(st, strategy);
+        })
+        ->Unit(benchmark::kMicrosecond)
+        ->Iterations(500);
+  }
+}
+
+}  // namespace
+}  // namespace afs::bench
+
+int main(int argc, char** argv) {
+  afs::bench::RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,166 @@
+// Saturation sweep for the event-loop data plane: ops/sec as the number
+// of concurrently open loop-hosted handles grows.  Loop sessions carry no
+// per-session descriptor or thread — the shard doorbells are the only fds
+// the data plane costs — so the handle count can run far past
+// RLIMIT_NOFILE and the sweep demonstrates the scaling claim directly.
+//
+// Quick mode (default) sweeps {1k, 4k, 10k} handles and FAILS (exit 1) if
+// the 10k point cannot be held open and served; AFS_BENCH_SATURATION=full
+// extends the sweep to 100k.  JSON goes to stdout for the bench-smoke
+// lane (BENCH_PR7.json); diagnostics go to stderr.  Not a ctest:
+// wall-clock-sensitive checks don't belong in the default suite.
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "afs.hpp"
+
+namespace afs::bench {
+namespace {
+
+// Handles spread across a few bundle files: the sweep measures session
+// hosting, not bundle-file count, and the same file opened many times is
+// exactly the paper's many-readers case.
+constexpr int kBundleFiles = 16;
+constexpr std::size_t kFileBytes = 64;  // per-session memory cache stays tiny
+constexpr std::size_t kBlock = 16;
+constexpr int kOpsPerPoint = 10000;
+constexpr int kRequiredHandles = 10000;
+
+struct Point {
+  int handles = 0;
+  double open_per_sec = 0;
+  double ops_per_sec = 0;
+};
+
+double PerSec(std::chrono::steady_clock::duration elapsed, int count) {
+  const double ns = static_cast<double>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count());
+  return ns > 0 ? count * 1e9 / ns : 0;
+}
+
+int Main() {
+  const bool full = [] {
+    const char* mode = std::getenv("AFS_BENCH_SATURATION");
+    return mode != nullptr && std::strcmp(mode, "full") == 0;
+  }();
+  std::vector<int> sweep{1000, 4000, 10000};
+  if (full) {
+    sweep.push_back(40000);
+    sweep.push_back(100000);
+  }
+  const int required = full ? 100000 : kRequiredHandles;
+
+  const std::string root = "/tmp/afs-bench-saturation";
+  std::error_code ec;
+  std::filesystem::remove_all(root, ec);
+  vfs::FileApi api(root + "/root");
+  sentinels::RegisterBuiltinSentinels();
+  core::ActiveFileManager manager(api, sentinel::SentinelRegistry::Global());
+  manager.Install();
+
+  sentinel::SentinelSpec spec;
+  spec.name = "null";
+  spec.config["cache"] = "memory";
+  // Read-only sweep: no writeback means the session drops its bundle
+  // descriptor at assembly, which is what lets the handle count run past
+  // RLIMIT_NOFILE.
+  spec.config["writeback"] = "0";
+  spec.config["strategy"] = "loop";
+  Buffer content(kFileBytes, 0x5A);
+  std::vector<std::string> paths;
+  for (int i = 0; i < kBundleFiles; ++i) {
+    paths.push_back("sat-" + std::to_string(i) + ".af");
+    if (!manager.CreateActiveFile(paths.back(), spec, ByteSpan(content))
+             .ok()) {
+      std::fprintf(stderr, "bench_saturation: create failed\n");
+      return 2;
+    }
+  }
+
+  std::vector<Point> points;
+  int max_handles = 0;
+  for (int target : sweep) {
+    std::vector<vfs::HandleId> handles;
+    handles.reserve(static_cast<std::size_t>(target));
+    const auto open_start = std::chrono::steady_clock::now();
+    bool failed = false;
+    for (int i = 0; i < target; ++i) {
+      auto handle = api.OpenFile(paths[static_cast<std::size_t>(i) %
+                                       paths.size()],
+                                 vfs::OpenMode::kReadWrite);
+      if (!handle.ok()) {
+        std::fprintf(stderr, "bench_saturation: open %d/%d failed: %s\n", i,
+                     target, handle.status().ToString().c_str());
+        failed = true;
+        break;
+      }
+      handles.push_back(*handle);
+    }
+    const auto open_elapsed = std::chrono::steady_clock::now() - open_start;
+
+    Point point;
+    point.handles = static_cast<int>(handles.size());
+    point.open_per_sec = PerSec(open_elapsed, point.handles);
+    if (!failed && !handles.empty()) {
+      // Serve a fixed op count round-robin across every open session: each
+      // op is a full command/response round trip through the shard.
+      Buffer buf(kBlock);
+      const auto ops_start = std::chrono::steady_clock::now();
+      for (int op = 0; op < kOpsPerPoint; ++op) {
+        const vfs::HandleId handle =
+            handles[static_cast<std::size_t>(op) % handles.size()];
+        auto n = api.ReadFile(handle, MutableByteSpan(buf));
+        if (!n.ok()) {
+          std::fprintf(stderr, "bench_saturation: read failed: %s\n",
+                       n.status().ToString().c_str());
+          failed = true;
+          break;
+        }
+        if (*n == 0) {  // wrapped past EOF on a reused handle
+          (void)api.SetFilePointer(handle, 0, vfs::SeekOrigin::kBegin);
+        }
+      }
+      point.ops_per_sec =
+          PerSec(std::chrono::steady_clock::now() - ops_start, kOpsPerPoint);
+    }
+    for (vfs::HandleId handle : handles) (void)api.CloseHandle(handle);
+    if (failed) break;
+    points.push_back(point);
+    if (point.handles > max_handles) max_handles = point.handles;
+    std::fprintf(stderr,
+                 "bench_saturation: %d handles, %.0f opens/s, %.0f ops/s\n",
+                 point.handles, point.open_per_sec, point.ops_per_sec);
+  }
+
+  std::printf("{\"bench\":\"saturation\",\"mode\":\"%s\",\"points\":[",
+              full ? "full" : "quick");
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    std::printf("%s{\"handles\":%d,\"open_per_sec\":%.0f,"
+                "\"ops_per_sec\":%.0f}",
+                i == 0 ? "" : ",", points[i].handles, points[i].open_per_sec,
+                points[i].ops_per_sec);
+  }
+  std::printf("],\"max_handles\":%d,\"required_handles\":%d}\n", max_handles,
+              required);
+
+  std::filesystem::remove_all(root, ec);
+  if (max_handles < required) {
+    std::fprintf(stderr,
+                 "bench_saturation: FAIL: held %d concurrent handles "
+                 "(require >= %d)\n",
+                 max_handles, required);
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace afs::bench
+
+int main() { return afs::bench::Main(); }

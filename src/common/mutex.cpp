@@ -193,6 +193,9 @@ void OnUnlock(const Mutex& mu) {
   }
 }
 
+void LockGraphForFork() { GraphMu().lock(); }
+void UnlockGraphForFork() { GraphMu().unlock(); }
+
 }  // namespace internal
 }  // namespace debug
 

@@ -70,6 +70,14 @@ void OnLockAttempt(const Mutex& mu);   // before a blocking acquisition
 void OnLockAcquired(const Mutex& mu);  // after any successful acquisition
 void OnUnlock(const Mutex& mu);        // before release
 
+// Fork-safety hooks for pthread_atfork handlers (installed by
+// obs/metrics.cpp): the checker's graph mutex is taken by every nested
+// lock acquisition, so a fork() racing one would hand the child a
+// permanently locked mutex.  Prepare holds it across the fork; both sides
+// release their copy.
+void LockGraphForFork();
+void UnlockGraphForFork();
+
 }  // namespace internal
 }  // namespace debug
 

@@ -16,6 +16,21 @@ using sentinel::DecodeControlResponse;
 using sentinel::EncodeControlMessage;
 using sentinel::EncodeControlResponse;
 
+namespace {
+
+// Default bound on any single pipe transfer leg that is not covered by an
+// operator-configured deadline.  Pipe legs complete in microseconds when
+// the peer is alive (the capacity is one kernel buffer); ten seconds of a
+// full pipe means the peer stopped draining — fail with kTimeout instead
+// of parking a thread forever.
+constexpr Micros kPipeIoTimeout{10'000'000};
+
+// Idle re-arm slice for the endpoint's command wait when no heartbeat
+// cadence is configured: the wait becomes a sequence of bounded polls.
+constexpr Micros kIdleWaitSlice{500'000};
+
+}  // namespace
+
 Result<std::pair<PipeLinkFds, PipeEndpointFds>> CreatePipePair() {
   AFS_ASSIGN_OR_RETURN(ipc::Pipe control, ipc::Pipe::Create());
   AFS_ASSIGN_OR_RETURN(ipc::Pipe response, ipc::Pipe::Create());
@@ -33,12 +48,17 @@ Result<std::pair<PipeLinkFds, PipeEndpointFds>> CreatePipePair() {
 
 Status PipeLink::AF_SendControl(const ControlMessage& message) {
   AFS_FAULT_POINT("core.link.send");
+  // Outbound legs are bounded by the op deadline when configured, by the
+  // generic pipe bound otherwise: a sentinel that stopped draining its
+  // control pipe costs this op kTimeout, never a parked application.
+  const Micros bound =
+      response_timeout_.count() > 0 ? response_timeout_ : kPipeIoTimeout;
   AFS_RETURN_IF_ERROR(ipc::WriteFrame(fds_.control_write,
-                                      EncodeControlMessage(message)));
+                                      EncodeControlMessage(message), bound));
   if (message.op == ControlOp::kWrite && !message.inline_in.empty()) {
     // The paper's write path: command on the control channel, then the
     // payload bytes on the write pipe.
-    AFS_RETURN_IF_ERROR(fds_.data_write.WriteAll(message.inline_in));
+    AFS_RETURN_IF_ERROR(fds_.data_write.WriteAll(message.inline_in, bound));
   }
   return Status::Ok();
 }
@@ -109,31 +129,44 @@ Status PipeLink::SetCloexec() {
 
 Result<ControlMessage> PipeEndpoint::AF_GetControl() {
   AFS_FAULT_POINT("sentinel.endpoint.recv");
-  while (heartbeat_interval_.count() > 0) {
-    const Status ready = fds_.control_read.WaitReadable(heartbeat_interval_);
+  // The idle wait is a chain of bounded slices, never one unbounded park:
+  // with a heartbeat cadence each elapsed slice emits a liveness frame;
+  // without one the slice silently re-arms until a command (or EOF) lands.
+  const Micros slice = heartbeat_interval_.count() > 0 ? heartbeat_interval_
+                                                       : kIdleWaitSlice;
+  while (true) {
+    const Status ready = fds_.control_read.WaitReadable(slice);
     if (ready.ok()) break;
     if (ready.code() != ErrorCode::kTimeout) return ready;
-    // Idle past one interval: tell the application side we are alive.
-    ControlResponse beat;
-    beat.heartbeat = true;
-    AFS_RETURN_IF_ERROR(
-        ipc::WriteFrame(fds_.response_write, EncodeControlResponse(beat)));
+    if (heartbeat_interval_.count() > 0) {
+      // Idle past one interval: tell the application side we are alive.
+      ControlResponse beat;
+      beat.heartbeat = true;
+      AFS_RETURN_IF_ERROR(ipc::WriteFrame(
+          fds_.response_write, EncodeControlResponse(beat), kPipeIoTimeout));
+    }
   }
-  AFS_ASSIGN_OR_RETURN(Buffer frame, ipc::ReadFrame(fds_.control_read));
+  // Readable now, so the frame-start wait is satisfied instantly; the
+  // bound covers only a peer dying mid-frame.
+  AFS_ASSIGN_OR_RETURN(Buffer frame,
+                       ipc::ReadFrame(fds_.control_read, kPipeIoTimeout));
   return DecodeControlMessage(ByteSpan(frame));
 }
 
 Result<Buffer> PipeEndpoint::AF_GetDataFromAppl(std::size_t length) {
   AFS_FAULT_POINT("sentinel.endpoint.data");
   Buffer data(length);
-  AFS_RETURN_IF_ERROR(fds_.data_read.ReadExact(MutableByteSpan(data)));
+  // The control frame announcing these bytes already arrived; the payload
+  // is right behind it, so a stall is a dead application, not idleness.
+  AFS_RETURN_IF_ERROR(
+      fds_.data_read.ReadExact(MutableByteSpan(data), kPipeIoTimeout));
   return data;
 }
 
 Status PipeEndpoint::AF_SendResponse(const ControlResponse& response) {
   AFS_FAULT_POINT("sentinel.endpoint.send");
-  return ipc::WriteFrame(fds_.response_write,
-                         EncodeControlResponse(response));
+  return ipc::WriteFrame(fds_.response_write, EncodeControlResponse(response),
+                         kPipeIoTimeout);
 }
 
 Status ThreadRendezvous::AF_SendControl(const ControlMessage& message) {

@@ -1,0 +1,328 @@
+#include "core/loop_host.hpp"
+
+#include <cstdlib>
+#include <utility>
+
+#include "common/faultpoint.hpp"
+#include "core/supervisor.hpp"
+#include "obs/metrics.hpp"
+#include "sentinel/dispatch.hpp"
+
+namespace afs::core {
+
+using sentinel::ControlMessage;
+using sentinel::ControlOp;
+using sentinel::ControlResponse;
+
+namespace {
+
+obs::Gauge& SessionsGauge() {
+  static obs::Gauge& gauge =
+      obs::Registry::Global().GetGauge("core.loop.sessions");
+  return gauge;
+}
+
+ControlResponse StatusResponse(Status status) {
+  ControlResponse response;
+  response.status = std::move(status);
+  return response;
+}
+
+int EnvInt(const char* name, int fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  const long parsed = std::strtol(raw, nullptr, 10);
+  return parsed > 0 ? static_cast<int>(parsed) : fallback;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------
+// LoopSession
+
+LoopSession::LoopSession(EventLoop& shard,
+                         std::unique_ptr<sentinel::Sentinel> sent,
+                         sentinel::SentinelContext ctx, CacheAssembly cache)
+    : shard_(shard),
+      sentinel_(std::move(sent)),
+      ctx_(std::move(ctx)),
+      cache_(std::move(cache)) {
+  ctx_.cache = cache_.store.get();
+  SessionsGauge().Add(1);
+}
+
+LoopSession::~LoopSession() {
+  // Backstop for sessions torn down without ever reaching the shard (open
+  // that failed before posting).  Normal paths released on the loop thread.
+  sentinel_.reset();
+  SessionsGauge().Add(-1);
+}
+
+void LoopSession::set_response_timeout(Micros timeout) {
+  MutexLock lock(mu_);
+  response_timeout_ = timeout;
+}
+
+void LoopSession::set_lease(std::shared_ptr<Lease> lease, Micros interval) {
+  lease_ = std::move(lease);
+  heartbeat_interval_ = interval;
+}
+
+Status LoopSession::AF_SendControl(const ControlMessage& message) {
+  AFS_FAULT_POINT("core.link.send");
+  MutexLock lock(mu_);
+  while (state_ != SlotState::kIdle && !closed_) {
+    // The shard frees the slot per command, and ForceDown/Shutdown wake
+    // every waiter with kClosed when the supervisor declares it dead.
+    // afs-lint: allow(nonblocking: bounded by the slot protocol + ForceDown)
+    cv_.Wait(mu_);
+  }
+  if (closed_) return ClosedError("loop session closed");
+  message_ = message;  // inline lanes pass by reference (spans)
+  state_ = SlotState::kCommand;
+  lock.Unlock();
+  // The doorbell, not a dedicated thread: the command is a task on the
+  // session's shard, batched with every other ready session's commands.
+  // Bound, not a lambda: Service() runs on the loop thread, and the member
+  // pointer keeps its body out of this caller's non-blocking call graph.
+  shard_.Post(std::bind(&LoopSession::Service, shared_from_this()));
+  return Status::Ok();
+}
+
+Result<ControlResponse> LoopSession::AF_GetResponse() {
+  AFS_FAULT_POINT("core.link.recv");
+  MutexLock lock(mu_);
+  const bool bounded = response_timeout_.count() > 0;
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::microseconds(response_timeout_.count());
+  while (state_ != SlotState::kResponse && !closed_) {
+    if (!bounded) {
+      // Unbounded only when the operator set op_timeout_ms=0 to opt out of
+      // deadlines; ForceDown still wakes it with kClosed.
+      // afs-lint: allow(nonblocking: operator opted out of the deadline)
+      cv_.Wait(mu_);
+    } else if (!cv_.WaitUntil(mu_, deadline)) {
+      if (state_ == SlotState::kResponse || closed_) {
+        break;  // answered (or closed) right at the wire
+      }
+      return TimeoutError("loop shard did not respond");
+    }
+  }
+  // A delivered response outranks the closed latch: the close
+  // acknowledgement and the failed-open banner both arrive with the latch
+  // already set and must not be dropped.
+  if (state_ != SlotState::kResponse) return ClosedError("loop session closed");
+  ControlResponse response = std::move(response_);
+  state_ = SlotState::kIdle;
+  lock.Unlock();
+  cv_.NotifyAll();
+  return response;
+}
+
+void LoopSession::ForceDown() {
+  bool post_release = false;
+  {
+    MutexLock lock(mu_);
+    closed_ = true;
+    if (!release_posted_) {
+      release_posted_ = true;
+      post_release = true;
+    }
+  }
+  cv_.NotifyAll();
+  if (post_release) {
+    // Crash semantics: the sentinel is dropped without OnClose and a memory
+    // cache's un-finalized state is lost — the loop analogue of SIGKILL,
+    // and exactly the shape the recovery layer knows how to replay.
+    shard_.Post([self = shared_from_this()] {
+      self->ReleaseLoopState(Release::kCrash);
+    });
+  }
+}
+
+void LoopSession::Shutdown() {
+  bool post_release = false;
+  {
+    MutexLock lock(mu_);
+    closed_ = true;
+    if (!release_posted_) {
+      release_posted_ = true;
+      post_release = true;
+    }
+  }
+  cv_.NotifyAll();
+  if (post_release) {
+    shard_.Post([self = shared_from_this()] {
+      self->ReleaseLoopState(Release::kImplicitClose);
+    });
+  }
+}
+
+void LoopSession::ServiceOpen() {
+  // Crash window before the open is acknowledged — same recoverable point
+  // the forked strategies expose (the application is parked on the banner).
+  if (!fault::Hit("sentinel.dispatch.openack").ok()) {
+    {
+      MutexLock lock(mu_);
+      closed_ = true;
+      release_posted_ = true;
+    }
+    cv_.NotifyAll();
+    ReleaseLoopState(Release::kCrash);
+    return;
+  }
+  const Status open_status = sentinel_->OnOpen(ctx_);
+  opened_ = open_status.ok();
+  if (!opened_) {
+    // Mirror the dispatch loop's lifecycle: a failed OnOpen means no
+    // session — OnClose must not run.  The banner still ships below.
+    {
+      MutexLock lock(mu_);
+      release_posted_ = true;
+    }
+    released_ = true;
+    sentinel_.reset();
+    cache_ = CacheAssembly{};
+  } else {
+    ArmHeartbeat();
+  }
+  Deliver(StatusResponse(open_status), /*closing=*/!opened_);
+}
+
+void LoopSession::Service() {
+  ControlMessage msg;
+  {
+    MutexLock lock(mu_);
+    if (closed_ || state_ != SlotState::kCommand) return;  // raced ForceDown
+    msg = message_;  // spans still reference the parked application's buffers
+  }
+  if (lease_) lease_->Renew();
+
+  // The loop-host crash site: tears this session down without a response —
+  // the application's waiter wakes with kClosed and supervision replays the
+  // session — while every co-hosted session on the shard keeps serving.
+  if (!fault::Hit("core.loop.crash").ok()) {
+    {
+      MutexLock lock(mu_);
+      closed_ = true;
+      release_posted_ = true;
+    }
+    cv_.NotifyAll();
+    ReleaseLoopState(Release::kCrash);
+    return;
+  }
+
+  sentinel::OpOutcome out =
+      sentinel::PerformControlOp(*sentinel_, ctx_, msg, nullptr);
+  if (lease_) lease_->Renew();
+  switch (out.verdict) {
+    case sentinel::OpVerdict::kCrashed:
+    case sentinel::OpVerdict::kChannelBroken: {
+      {
+        MutexLock lock(mu_);
+        closed_ = true;
+        release_posted_ = true;
+      }
+      cv_.NotifyAll();
+      ReleaseLoopState(Release::kCrash);
+      return;
+    }
+    case sentinel::OpVerdict::kClosed: {
+      // OnClose already ran inside PerformControlOp; finalize and drop the
+      // sentinel before acknowledging, like the worker-thread epilogue.
+      // afs-lint: allow(status-discard: close response carries OnClose's status)
+      (void)cache_.Finalize();
+      {
+        MutexLock lock(mu_);
+        release_posted_ = true;
+      }
+      released_ = true;
+      sentinel_.reset();
+      cache_ = CacheAssembly{};
+      Deliver(std::move(out.response), /*closing=*/true);
+      return;
+    }
+    case sentinel::OpVerdict::kRespond:
+      Deliver(std::move(out.response), /*closing=*/false);
+      return;
+  }
+}
+
+void LoopSession::ReleaseLoopState(Release how) {
+  if (released_) return;
+  released_ = true;
+  if (how == Release::kImplicitClose && opened_ && sentinel_ != nullptr) {
+    // Application vanished without the close protocol: implicit close so
+    // aggregation/distribution side effects still complete.
+    // afs-lint: allow(status-discard: nobody is left to receive the status)
+    (void)sentinel_->OnClose(ctx_);
+    // afs-lint: allow(status-discard: best-effort writeback on implicit close)
+    (void)cache_.Finalize();
+  }
+  // Release::kCrash: no OnClose, no writeback — un-finalized state is lost.
+  sentinel_.reset();
+  cache_ = CacheAssembly{};
+}
+
+void LoopSession::HeartbeatTick() {
+  {
+    MutexLock lock(mu_);
+    if (closed_) return;  // session over; let the timer chain end
+  }
+  // The timed firing itself is the heartbeat: a wedged shard (or a sentinel
+  // op squatting on it) starves this renewal and the lease expires.
+  if (lease_) lease_->Renew();
+  ArmHeartbeat();
+}
+
+void LoopSession::ArmHeartbeat() {
+  if (lease_ == nullptr || heartbeat_interval_.count() <= 0) return;
+  shard_.AddTimer(heartbeat_interval_,
+                  [self = shared_from_this()] { self->HeartbeatTick(); });
+}
+
+void LoopSession::Deliver(ControlResponse response, bool closing) {
+  {
+    MutexLock lock(mu_);
+    response_ = std::move(response);
+    state_ = SlotState::kResponse;
+    if (closing) closed_ = true;
+  }
+  cv_.NotifyAll();
+}
+
+// ---------------------------------------------------------------------
+// LoopHost
+
+LoopHost& LoopHost::Global() {
+  static LoopHost host(EnvInt("AFS_LOOP_SHARDS", 2),
+                       EventLoop::Options{EnvInt("AFS_LOOP_BATCH", 64)});
+  return host;
+}
+
+LoopHost::LoopHost(int shards, EventLoop::Options options)
+    : pool_(shards, options) {
+  // Touch the metric registries before any loop thread exists so their
+  // singletons outlive the pool's threads at static teardown.
+  SessionsGauge();
+}
+
+LoopHost::~LoopHost() { pool_.Stop(); }
+
+int LoopHost::shard_count() const noexcept { return pool_.shard_count(); }
+
+Result<std::shared_ptr<LoopSession>> LoopHost::Open(
+    std::unique_ptr<sentinel::Sentinel> sent, sentinel::SentinelContext ctx,
+    CacheAssembly cache, int shard_pin, Micros response_timeout,
+    Micros heartbeat_interval, std::shared_ptr<Lease> lease) {
+  AFS_RETURN_IF_ERROR(pool_.Start());
+  EventLoop& shard = pool_.Shard(shard_pin);
+  auto session = std::shared_ptr<LoopSession>(new LoopSession(
+      shard, std::move(sent), std::move(ctx), std::move(cache)));
+  session->set_response_timeout(response_timeout);
+  if (lease != nullptr) session->set_lease(std::move(lease), heartbeat_interval);
+  shard.Post([session] { session->ServiceOpen(); });
+  return session;
+}
+
+}  // namespace afs::core

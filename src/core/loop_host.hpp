@@ -1,0 +1,142 @@
+// Event-loop sentinel host: many sentinels per process, one shard thread
+// per event loop, no per-session descriptors.
+//
+// A LoopSession is the loop-strategy sibling of ThreadRendezvous: the
+// application side posts one in-flight command into a mailbox slot and
+// parks in AF_GetResponse; instead of a dedicated sentinel thread waking
+// on a condition variable, the command is posted onto the session's shard
+// (core/event_loop.hpp), whose loop thread services it through
+// sentinel::PerformControlOp and delivers the response back into the slot.
+// The shard's run queue is the data plane: one eventfd doorbell per shard,
+// batched drains, and the inline ControlMessage lanes carrying payloads by
+// reference — which is how ≥100k concurrent handles fit under an ordinary
+// RLIMIT_NOFILE (see docs/EVENT_LOOP.md).
+//
+// Supervision: the session's lease is renewed by a shard timer while the
+// shard is responsive and around every serviced command, so a wedged loop
+// or a wedged sentinel op starves the lease and the supervisor forces the
+// session down.  ForceDown is the loop analogue of SIGKILL: waiters wake
+// with kClosed, the sentinel is dropped without OnClose, and un-finalized
+// cache state is lost — exactly the crash shape the recovery layer replays.
+#pragma once
+
+#include <memory>
+
+#include "common/mutex.hpp"
+#include "core/event_loop.hpp"
+#include "core/strategies.hpp"
+#include "sentinel/endpoint.hpp"
+#include "sentinel/sentinel.hpp"
+
+namespace afs::core {
+
+class Lease;  // core/supervisor.hpp
+
+class LoopSession final : public sentinel::SentinelLink,
+                          public std::enable_shared_from_this<LoopSession> {
+ public:
+  ~LoopSession() override;
+
+  LoopSession(const LoopSession&) = delete;
+  LoopSession& operator=(const LoopSession&) = delete;
+
+  // SentinelLink (application side).
+  Status AF_SendControl(const sentinel::ControlMessage& message)
+      AFS_NONBLOCKING override;
+  Result<sentinel::ControlResponse> AF_GetResponse() AFS_NONBLOCKING
+      override;
+
+  // Supervisor's force-down: the loop analogue of SIGKILL.  Blocked
+  // application waiters wake with kClosed; the sentinel is dropped without
+  // OnClose (crash semantics — un-finalized cache state is lost).
+  void ForceDown();
+
+  // Application cleanup without the close protocol (handle destruction,
+  // failed banner): posts an implicit close so sentinel side effects still
+  // complete, mirroring the dispatch loop's application-vanished path.
+  void Shutdown();
+
+ private:
+  friend class LoopHost;
+
+  enum class SlotState : std::uint8_t { kIdle, kCommand, kResponse };
+  enum class Release : std::uint8_t { kImplicitClose, kCrash };
+
+  LoopSession(EventLoop& shard, std::unique_ptr<sentinel::Sentinel> sent,
+              sentinel::SentinelContext ctx, CacheAssembly cache);
+
+  void set_response_timeout(Micros timeout);
+  void set_lease(std::shared_ptr<Lease> lease, Micros interval);
+
+  // Loop-thread entries.
+  void ServiceOpen();
+  void Service();
+  void ReleaseLoopState(Release how);
+  void HeartbeatTick();
+  void ArmHeartbeat();
+
+  // Posts `response` into the mailbox slot; `closing` latches the session
+  // shut (a posted response still outranks the latch, so the close
+  // acknowledgement is never dropped).
+  void Deliver(sentinel::ControlResponse response, bool closing);
+
+  EventLoop& shard_;
+
+  // Loop-thread-confined sentinel state (only ServiceOpen/Service/
+  // ReleaseLoopState touch these, all on the shard thread).
+  // afs-lint: allow(guarded-member: shard-thread confined; see class comment)
+  std::unique_ptr<sentinel::Sentinel> sentinel_;
+  // afs-lint: allow(guarded-member: shard-thread confined; see class comment)
+  sentinel::SentinelContext ctx_;
+  // afs-lint: allow(guarded-member: shard-thread confined; see class comment)
+  CacheAssembly cache_;
+  // afs-lint: allow(guarded-member: shard-thread confined; see class comment)
+  bool opened_ = false;
+  // afs-lint: allow(guarded-member: shard-thread confined; see class comment)
+  bool released_ = false;
+
+  // Configured before the session is shared (LoopHost::Open).
+  // afs-lint: allow(guarded-member: configured before the session is shared)
+  std::shared_ptr<Lease> lease_;
+  // afs-lint: allow(guarded-member: configured before the session is shared)
+  Micros heartbeat_interval_{0};
+
+  Mutex mu_;
+  CondVar cv_;
+  SlotState state_ AFS_GUARDED_BY(mu_) = SlotState::kIdle;
+  bool closed_ AFS_GUARDED_BY(mu_) = false;
+  bool release_posted_ AFS_GUARDED_BY(mu_) = false;
+  Micros response_timeout_ AFS_GUARDED_BY(mu_){0};
+  sentinel::ControlMessage message_ AFS_GUARDED_BY(mu_);
+  sentinel::ControlResponse response_ AFS_GUARDED_BY(mu_);
+};
+
+// The process-wide shard pool hosting loop-strategy sessions.  Sized by
+// AFS_LOOP_SHARDS (default 2); per-wakeup batching by AFS_LOOP_BATCH.
+class LoopHost {
+ public:
+  // Lazily constructed, torn down (loops joined) at process exit.
+  static LoopHost& Global();
+
+  LoopHost(int shards, EventLoop::Options options);
+  ~LoopHost();
+
+  LoopHost(const LoopHost&) = delete;
+  LoopHost& operator=(const LoopHost&) = delete;
+
+  int shard_count() const noexcept;
+
+  // Stands up one session: places it on a shard (`shard_pin` >= 0 pins, see
+  // the "loop_shard" spec key; negative round-robins), posts the OnOpen
+  // banner task, and arms the lease heartbeat timer.  The caller must wait
+  // for the banner via AF_GetResponse.
+  Result<std::shared_ptr<LoopSession>> Open(
+      std::unique_ptr<sentinel::Sentinel> sent, sentinel::SentinelContext ctx,
+      CacheAssembly cache, int shard_pin, Micros response_timeout,
+      Micros heartbeat_interval, std::shared_ptr<Lease> lease);
+
+ private:
+  EventLoopPool pool_;
+};
+
+}  // namespace afs::core

@@ -9,6 +9,7 @@
 #include "common/faultpoint.hpp"
 #include "common/mutex.hpp"
 #include "core/links.hpp"
+#include "core/loop_host.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "core/supervisor.hpp"
@@ -29,6 +30,7 @@ std::string_view StrategyName(Strategy strategy) noexcept {
     case Strategy::kProcessControl: return "process_control";
     case Strategy::kThread: return "thread";
     case Strategy::kDirect: return "direct";
+    case Strategy::kLoop: return "loop";
   }
   return "?";
 }
@@ -38,6 +40,7 @@ Result<Strategy> ParseStrategy(std::string_view name) {
   if (name == "process_control") return Strategy::kProcessControl;
   if (name == "thread") return Strategy::kThread;
   if (name == "direct") return Strategy::kDirect;
+  if (name == "loop") return Strategy::kLoop;
   return InvalidArgumentError("unknown strategy: " + std::string(name));
 }
 
@@ -87,6 +90,13 @@ Result<CacheAssembly> AssembleCache(const std::string& host_path,
     AFS_ASSIGN_OR_RETURN(Buffer data, assembly.bundle->ReadAllData());
     assembly.store =
         std::make_unique<sentinel::MemoryDataStore>(std::move(data));
+    if (!assembly.writeback) {
+      // Nothing will be written back at close, so the bundle — and its
+      // descriptor — is dead weight for the rest of the session.  Dropping
+      // it here is what keeps a memory-cache open descriptor-free, which
+      // the loop strategy's 100k-handle saturation target depends on.
+      assembly.bundle.reset();
+    }
   }
   return assembly;
 }
@@ -576,6 +586,54 @@ Result<std::unique_ptr<vfs::FileHandle>> OpenThread(
   return std::unique_ptr<vfs::FileHandle>(std::move(handle));
 }
 
+// Event-loop strategy: the sentinel is neither a process nor a dedicated
+// thread — it is state serviced by a shard of the global LoopHost pool.
+Result<std::unique_ptr<vfs::FileHandle>> OpenLoop(
+    const sentinel::SentinelRegistry& registry, const OpenRequest& request,
+    SessionProbe* probe) {
+  AFS_ASSIGN_OR_RETURN(CacheAssembly cache,
+                       AssembleCache(request.host_path, request.spec));
+  AFS_ASSIGN_OR_RETURN(std::unique_ptr<sentinel::Sentinel> sent,
+                       registry.Create(request.spec));
+  SentinelContext ctx = BuildContext(request, cache);
+
+  // "loop_shard" pins co-tenant bundles onto one shard (shared-fate tests,
+  // cache locality); unset falls back to round-robin placement.
+  int shard_pin = -1;
+  if (auto it = request.spec.config.find("loop_shard");
+      it != request.spec.config.end()) {
+    shard_pin = static_cast<int>(std::strtol(it->second.c_str(), nullptr, 10));
+  }
+
+  std::shared_ptr<Lease> lease;
+  if (probe != nullptr && request.heartbeat_interval.count() > 0) {
+    // In-process lease, renewed by the shard's heartbeat timer and around
+    // every serviced command — a wedged shard starves it.
+    lease = std::make_shared<Lease>();
+  }
+
+  AFS_ASSIGN_OR_RETURN(
+      std::shared_ptr<LoopSession> session,
+      LoopHost::Global().Open(std::move(sent), std::move(ctx),
+                              std::move(cache), shard_pin, OpTimeout(request),
+                              request.heartbeat_interval, lease));
+  if (probe != nullptr) {
+    probe->lease = std::move(lease);
+    probe->force_down = [session] { session->ForceDown(); };
+  }
+
+  auto cleanup = [session]() { session->Shutdown(); };
+  auto handle = std::make_unique<LinkHandle>(session.get(), session, cleanup);
+
+  // Open banner: OnOpen's status decides whether the open succeeds.
+  Result<ControlResponse> banner = session->AF_GetResponse();
+  if (!banner.ok() || !banner->status.ok()) {
+    handle->Abort();
+    return banner.ok() ? banner->status : banner.status();
+  }
+  return std::unique_ptr<vfs::FileHandle>(std::move(handle));
+}
+
 // The "exec" config key switches the process strategies to the paper's
 // literal model: the active part is an external sentinel executable,
 // launched fresh rather than forked from the application.
@@ -783,6 +841,8 @@ Result<std::unique_ptr<vfs::FileHandle>> OpenWithStrategy(
       return OpenThread(registry, request, probe);
     case Strategy::kDirect:
       return OpenDirect(registry, request);
+    case Strategy::kLoop:
+      return OpenLoop(registry, request, probe);
   }
   return InvalidArgumentError("bad strategy");
 }

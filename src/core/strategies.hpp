@@ -10,6 +10,12 @@
 //   kDirect          — file operations call sentinel routines directly
 //                      ("DLL-only", Section 4.4); no extra thread, no
 //                      context switch.
+//
+// Plus one post-paper strategy:
+//
+//   kLoop            — sentinel sessions hosted on a shared pool of epoll
+//                      event loops (core/loop_host.hpp): many sentinels
+//                      per shard thread, no per-session descriptors.
 #pragma once
 
 #include <memory>
@@ -42,6 +48,10 @@ enum class Strategy : std::uint8_t {
   kProcessControl = 2,
   kThread = 3,
   kDirect = 4,
+  // Post-paper addition (the event-loop data plane): sentinel sessions
+  // multiplexed onto a small shard pool of epoll loops instead of one
+  // dedicated thread or process per open — see docs/EVENT_LOOP.md.
+  kLoop = 5,
 };
 
 std::string_view StrategyName(Strategy strategy) noexcept;

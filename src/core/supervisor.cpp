@@ -143,30 +143,39 @@ Supervisor::~Supervisor() {
     MutexLock lock(mu_);
     stop_ = true;
   }
-  cv_.NotifyAll();
-  if (monitor_.joinable()) monitor_.join();
+  // Joins the loop thread; an in-flight sweep finishes first, and the
+  // pending re-arm timer is discarded with the loop's timer list.
+  loop_.Stop();
 }
 
-void Supervisor::EnsureThreadLocked() {
+void Supervisor::EnsureLoopLocked() {
   if (running_) return;
+  const Status started = loop_.Start();
+  if (!started.ok()) {
+    // No loop, no proactive monitoring; transport errors still surface
+    // through the op path.  Left un-running so a later Attach retries.
+    AFS_LOG(kWarn, "afs.supervisor")
+        << "monitor loop failed to start: " << started.ToString();
+    return;
+  }
   running_ = true;
-  monitor_ = std::thread([this] { MonitorLoop(); });
+  loop_.AddTimer(kMonitorTick, [this] { MonitorTick(); });
 }
 
-void Supervisor::MonitorLoop() {
-  while (true) {
-    std::vector<std::shared_ptr<Session>> snapshot;
-    {
-      MutexLock lock(mu_);
-      if (stop_) return;
-      (void)cv_.WaitUntil(mu_, std::chrono::steady_clock::now() +
-                                   std::chrono::microseconds(
-                                       kMonitorTick.count()));
-      if (stop_) return;
-      snapshot = sessions_;
-    }
-    for (const auto& session : snapshot) CheckSession(*session);
+// One firing of the monitor's timer wheel: sweep every attached session,
+// then re-arm.  Re-arming from inside the callback (instead of a periodic
+// timer) keeps a slow sweep from stacking overlapping firings.
+void Supervisor::MonitorTick() {
+  std::vector<std::shared_ptr<Session>> snapshot;
+  {
+    MutexLock lock(mu_);
+    if (stop_) return;
+    snapshot = sessions_;
   }
+  for (const auto& session : snapshot) CheckSession(*session);
+  MutexLock lock(mu_);
+  if (stop_) return;
+  loop_.AddTimer(kMonitorTick, [this] { MonitorTick(); });
 }
 
 std::shared_ptr<Supervisor::Session> Supervisor::Attach(SessionProbe probe,
@@ -179,9 +188,7 @@ std::shared_ptr<Supervisor::Session> Supervisor::Attach(SessionProbe probe,
   }
   MutexLock lock(mu_);
   sessions_.push_back(session);
-  EnsureThreadLocked();
-  lock.Unlock();
-  cv_.NotifyAll();
+  EnsureLoopLocked();
   return session;
 }
 

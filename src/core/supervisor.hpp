@@ -37,6 +37,7 @@
 #include "common/clock.hpp"
 #include "common/mutex.hpp"
 #include "common/status.hpp"
+#include "core/event_loop.hpp"
 #include "core/strategies.hpp"
 #include "ipc/process.hpp"
 #include "vfs/file_handle.hpp"
@@ -128,8 +129,9 @@ struct SessionProbe {
   std::function<bool()> peer_alive;
 };
 
-// The monitor.  One instance per ActiveFileManager; the thread starts
-// lazily with the first attached session and stops with the supervisor.
+// The monitor.  One instance per ActiveFileManager; its sweep runs on a
+// private event loop's timer wheel (core/event_loop.hpp), started lazily
+// with the first attached session and stopped with the supervisor.
 class Supervisor {
  public:
   Supervisor() = default;
@@ -160,18 +162,17 @@ class Supervisor {
   static void MarkDead(const std::shared_ptr<Session>& session);
 
  private:
-  void EnsureThreadLocked() AFS_REQUIRES(mu_);
-  void MonitorLoop();
+  void EnsureLoopLocked() AFS_REQUIRES(mu_);
+  void MonitorTick();
 
   Mutex mu_;
-  CondVar cv_;
   std::vector<std::shared_ptr<Session>> sessions_ AFS_GUARDED_BY(mu_);
   bool stop_ AFS_GUARDED_BY(mu_) = false;
   bool running_ AFS_GUARDED_BY(mu_) = false;
-  // Written once under mu_ (EnsureThreadLocked); the destructor joins after
-  // stop_ is set, when no other thread can touch the handle.
-  // afs-lint: allow(guarded-member: write-once thread handle; dtor-joined)
-  std::thread monitor_;
+  // The monitor's timer wheel: a self-rearming kMonitorTick timer sweeps
+  // the sessions.  Start/Stop are internally synchronized.
+  // afs-lint: allow(guarded-member: EventLoop is internally synchronized)
+  EventLoop loop_;
 };
 
 // Opens `request` under supervision: the returned handle transparently

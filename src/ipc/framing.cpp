@@ -19,11 +19,39 @@ struct FrameMetrics {
         bytes(obs::Registry::Global().GetCounter(bytes_name)) {}
 };
 
+// Registered at static-init time, not lazily at first use: the first frame
+// a forked sentinel child writes is its open banner, and registering a
+// counter there would take the registry mutex inside a process whose other
+// threads no longer exist — a fork-inherited-lock deadlock.  Eagerly
+// initialized, the child's frame path is pure lock-free cell updates.
+FrameMetrics& WriteMetrics() {
+  static FrameMetrics metrics("ipc.frame.write.count",
+                              "ipc.frame.write.bytes");
+  return metrics;
+}
+
+FrameMetrics& ReadMetrics() {
+  static FrameMetrics metrics("ipc.frame.read.count", "ipc.frame.read.bytes");
+  return metrics;
+}
+
+obs::Counter& ReadTimeouts() {
+  static obs::Counter& timeouts =
+      obs::Registry::Global().GetCounter("ipc.frame.read.timeouts");
+  return timeouts;
+}
+
+const bool kMetricsRegisteredEarly = [] {
+  WriteMetrics();
+  ReadMetrics();
+  ReadTimeouts();
+  return true;
+}();
+
 }  // namespace
 
 Status WriteFrame(PipeEnd& pipe, ByteSpan payload) {
-  static FrameMetrics metrics("ipc.frame.write.count",
-                              "ipc.frame.write.bytes");
+  FrameMetrics& metrics = WriteMetrics();
   AFS_FAULT_POINT("ipc.frame.write");
   Buffer header;
   header.reserve(4);
@@ -37,8 +65,24 @@ Status WriteFrame(PipeEnd& pipe, ByteSpan payload) {
   return Status::Ok();
 }
 
+Status WriteFrame(PipeEnd& pipe, ByteSpan payload, Micros timeout) {
+  if (timeout.count() <= 0) return WriteFrame(pipe, payload);
+  FrameMetrics& metrics = WriteMetrics();
+  AFS_FAULT_POINT("ipc.frame.write");
+  Buffer header;
+  header.reserve(4);
+  AppendU32(header, static_cast<std::uint32_t>(payload.size()));
+  AFS_RETURN_IF_ERROR(pipe.WriteAll(header, timeout));
+  if (!payload.empty()) {
+    AFS_RETURN_IF_ERROR(pipe.WriteAll(payload, timeout));
+  }
+  metrics.frames.Add(1);
+  metrics.bytes.Add(4 + payload.size());
+  return Status::Ok();
+}
+
 Result<Buffer> ReadFrame(PipeEnd& pipe) {
-  static FrameMetrics metrics("ipc.frame.read.count", "ipc.frame.read.bytes");
+  FrameMetrics& metrics = ReadMetrics();
   AFS_FAULT_POINT("ipc.frame.read");
   std::uint8_t header[4];
   // Distinguish clean EOF (peer done) from truncation: read the first byte
@@ -71,13 +115,48 @@ Result<Buffer> ReadFrame(PipeEnd& pipe, Micros timeout) {
   const Status ready = pipe.WaitReadable(timeout);
   if (!ready.ok()) {
     if (ready.code() == ErrorCode::kTimeout) {
-      static obs::Counter& timeouts =
-          obs::Registry::Global().GetCounter("ipc.frame.read.timeouts");
-      timeouts.Add(1);
+      ReadTimeouts().Add(1);
     }
     return ready;
   }
   return ReadFrame(pipe);
+}
+
+Status FrameDecoder::Append(ByteSpan bytes) {
+  if (poisoned_) return ProtocolError("frame decoder poisoned");
+  buffer_.insert(buffer_.end(), bytes.begin(), bytes.end());
+  // Validate the length prefix as soon as it is complete so a corrupt peer
+  // is rejected before it makes us buffer an arbitrary amount.
+  if (buffer_.size() >= 4) {
+    std::uint32_t len = 0;
+    for (int i = 0; i < 4; ++i) {
+      len |= static_cast<std::uint32_t>(buffer_[static_cast<std::size_t>(i)])
+             << (8 * i);
+    }
+    if (len > kMaxFrameBytes) {
+      poisoned_ = true;
+      return ProtocolError("frame length " + std::to_string(len) +
+                           " exceeds limit");
+    }
+  }
+  return Status::Ok();
+}
+
+std::optional<Buffer> FrameDecoder::Next() {
+  if (poisoned_ || buffer_.size() < 4) return std::nullopt;
+  std::uint32_t len = 0;
+  for (int i = 0; i < 4; ++i) {
+    len |= static_cast<std::uint32_t>(buffer_[static_cast<std::size_t>(i)])
+           << (8 * i);
+  }
+  const std::size_t total = 4 + static_cast<std::size_t>(len);
+  if (buffer_.size() < total) return std::nullopt;
+  FrameMetrics& metrics = ReadMetrics();
+  Buffer payload(buffer_.begin() + 4, buffer_.begin() + total);
+  buffer_.erase(buffer_.begin(), buffer_.begin() + total);
+  metrics.frames.Add(1);
+  metrics.bytes.Add(total);
+  return payload;
 }
 
 }  // namespace afs::ipc

@@ -3,6 +3,8 @@
 // pipe; frames give those commands boundaries on a byte-stream transport.
 #pragma once
 
+#include <optional>
+
 #include "common/bytes.hpp"
 #include "common/status.hpp"
 #include "ipc/pipe.hpp"
@@ -16,6 +18,10 @@ inline constexpr std::size_t kMaxFrameBytes = 16 * 1024 * 1024;
 // Writes a u32 little-endian length followed by the payload.
 Status WriteFrame(PipeEnd& pipe, ByteSpan payload);
 
+// Bounded variant: every stall against a full pipe waits at most `timeout`
+// (kTimeout when the peer stops draining); non-positive = unbounded.
+Status WriteFrame(PipeEnd& pipe, ByteSpan payload, Micros timeout);
+
 // Reads one frame; kClosed at clean EOF (no partial frame read), kProtocol
 // on oversized length, kClosed on truncation mid-frame.
 Result<Buffer> ReadFrame(PipeEnd& pipe);
@@ -24,5 +30,29 @@ Result<Buffer> ReadFrame(PipeEnd& pipe);
 // arriving (kTimeout otherwise), then reads it to completion.  A
 // non-positive timeout blocks forever, same as the plain overload.
 Result<Buffer> ReadFrame(PipeEnd& pipe, Micros timeout);
+
+// Incremental frame reassembly for event-loop transports: feed whatever
+// bytes arrived (Append), pop complete frames (Next).  The push-mode twin
+// of ReadFrame — a readiness callback can never block waiting for the rest
+// of a frame, so partial frames accumulate here between wakeups.
+class FrameDecoder {
+ public:
+  // Buffers `bytes` (an arbitrary slice of the stream, frame-aligned or
+  // not).  kProtocol once an in-progress frame's length prefix exceeds
+  // kMaxFrameBytes; the decoder is then poisoned and must be discarded.
+  Status Append(ByteSpan bytes);
+
+  // Pops the next complete frame, or std::nullopt when more bytes are
+  // needed.  Call in a loop: one Append may complete several frames.
+  std::optional<Buffer> Next();
+
+  // Bytes buffered but not yet returned (partial frame).  A non-zero value
+  // at connection EOF means the peer died mid-frame.
+  std::size_t pending_bytes() const noexcept { return buffer_.size(); }
+
+ private:
+  Buffer buffer_;
+  bool poisoned_ = false;
+};
 
 }  // namespace afs::ipc

@@ -58,6 +58,35 @@ Status PipeEnd::WaitReadable(Micros timeout) const {
   }
 }
 
+Status PipeEnd::WaitWritable(Micros timeout) const {
+  if (!valid()) return ClosedError("wait on closed pipe end");
+  if (timeout.count() <= 0) return Status::Ok();  // unbounded write follows
+  pollfd pfd{};
+  pfd.fd = fd_;
+  pfd.events = POLLOUT;
+  const int millis = static_cast<int>((timeout.count() + 999) / 1000);
+  while (true) {
+    const int rc = ::poll(&pfd, 1, millis);
+    if (rc > 0) return Status::Ok();  // writable or error — the write sees it
+    if (rc == 0) return TimeoutError("pipe write timed out");
+    if (errno == EINTR) continue;
+    return IoError(std::string("pipe poll: ") + std::strerror(errno));
+  }
+}
+
+Status PipeEnd::SetNonblocking(bool enabled) {
+  if (!valid()) return ClosedError("fcntl on closed pipe end");
+  const int flags = ::fcntl(fd_, F_GETFL);
+  if (flags < 0) {
+    return IoError(std::string("fcntl F_GETFL: ") + std::strerror(errno));
+  }
+  const int next = enabled ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  if (next != flags && ::fcntl(fd_, F_SETFL, next) != 0) {
+    return IoError(std::string("fcntl O_NONBLOCK: ") + std::strerror(errno));
+  }
+  return Status::Ok();
+}
+
 bool PipeWriterHasReader(int write_fd) noexcept {
   if (write_fd < 0) return false;
   pollfd pfd{};
@@ -96,6 +125,19 @@ Status PipeEnd::ReadExact(MutableByteSpan out) {
   return Status::Ok();
 }
 
+Status PipeEnd::ReadExact(MutableByteSpan out, Micros timeout) {
+  if (timeout.count() <= 0) return ReadExact(out);
+  std::size_t done = 0;
+  while (done < out.size()) {
+    AFS_RETURN_IF_ERROR(WaitReadable(timeout));
+    AFS_ASSIGN_OR_RETURN(std::size_t n,
+                         ReadSome(out.subspan(done, out.size() - done)));
+    if (n == 0) return ClosedError("pipe peer closed mid-message");
+    done += n;
+  }
+  return Status::Ok();
+}
+
 Status PipeEnd::WriteAll(ByteSpan bytes) {
   if (!valid()) return ClosedError("write on closed pipe end");
   AFS_FAULT_POINT("ipc.pipe.write");
@@ -114,6 +156,46 @@ Status PipeEnd::WriteAll(ByteSpan bytes) {
     }
     done += static_cast<std::size_t>(n);
   }
+  if (torn) return ClosedError("pipe peer closed mid-write (fault)");
+  return Status::Ok();
+}
+
+Status PipeEnd::WriteAll(ByteSpan bytes, Micros timeout) {
+  if (timeout.count() <= 0) return WriteAll(bytes);
+  if (!valid()) return ClosedError("write on closed pipe end");
+  AFS_FAULT_POINT("ipc.pipe.write");
+  // Same torn-write fault semantics as the unbounded path: ship a partial
+  // payload, then fail as if the peer vanished mid-message.
+  const std::size_t keep = AFS_FAULT_TRUNCATE("ipc.pipe.write", bytes.size());
+  const bool torn = keep < bytes.size();
+  if (torn) bytes = bytes.first(keep);
+
+  // O_NONBLOCK for the transfer so a full pipe surfaces as EAGAIN (a
+  // blocking pipe write parks until the whole payload fits), restored on
+  // every exit so surrounding blocking users are unaffected.
+  AFS_RETURN_IF_ERROR(SetNonblocking(true));
+  Status result = Status::Ok();
+  std::size_t done = 0;
+  while (done < bytes.size()) {
+    const ssize_t n = ::write(fd_, bytes.data() + done, bytes.size() - done);
+    if (n >= 0) {
+      done += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      result = WaitWritable(timeout);
+      if (!result.ok()) break;
+      continue;
+    }
+    result = errno == EPIPE
+                 ? ClosedError("pipe peer closed")
+                 : IoError(std::string("pipe write: ") + std::strerror(errno));
+    break;
+  }
+  const Status restored = SetNonblocking(false);
+  if (result.ok()) result = restored;
+  if (!result.ok()) return result;
   if (torn) return ClosedError("pipe peer closed mid-write (fault)");
   return Status::Ok();
 }

@@ -57,11 +57,32 @@ class PipeEnd {
   // heartbeat frames without ever stalling on an idle pipe.
   Result<bool> Poll() const;
 
+  // Blocks until the descriptor accepts bytes without blocking (POLLOUT).
+  // A non-positive timeout waits forever; kTimeout when the deadline
+  // passes first — the writer-side twin of WaitReadable, and the deadline
+  // primitive under every bounded write path.
+  Status WaitWritable(Micros timeout) const;
+
+  // Toggles O_NONBLOCK.  Endpoints registered on an event loop (or using
+  // the bounded transfer helpers below) run in non-blocking mode so a full
+  // pipe surfaces as EAGAIN instead of a parked thread.
+  Status SetNonblocking(bool enabled);
+
   // Reads exactly out.size() bytes or fails (kClosed on premature EOF).
   Status ReadExact(MutableByteSpan out);
 
+  // Bounded variant: each wait for more bytes is capped by `timeout`
+  // (non-positive = unbounded, identical to ReadExact above).
+  Status ReadExact(MutableByteSpan out, Micros timeout);
+
   // Writes all bytes, retrying on short writes and EINTR.
   Status WriteAll(ByteSpan bytes);
+
+  // Bounded variant: flips the descriptor to non-blocking for the
+  // transfer; every EAGAIN waits at most `timeout` for POLLOUT
+  // (non-positive = unbounded).  kTimeout means the peer stopped draining
+  // — a wedged sentinel must cost the writer a timeout, never a hang.
+  Status WriteAll(ByteSpan bytes, Micros timeout);
 
  private:
   int fd_ = -1;

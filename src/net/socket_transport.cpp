@@ -16,6 +16,9 @@
 #include "obs/trace.hpp"
 
 namespace afs::net {
+
+using core::EventLoop;
+
 namespace {
 
 Status FillSockaddr(const std::string& path, sockaddr_un& addr) {
@@ -27,6 +30,12 @@ Status FillSockaddr(const std::string& path, sockaddr_un& addr) {
   std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
   return Status::Ok();
 }
+
+// Bound on any client-side transport leg not covered by an operator-
+// configured call timeout (non-blocking connect completion, request
+// send).  Mirrors the pipe layer's default: seconds of an unresponsive
+// peer means it is gone, and kTimeout beats a parked caller.
+constexpr Micros kSocketIoTimeout{10'000'000};
 
 }  // namespace
 
@@ -46,7 +55,7 @@ Status SocketServer::Start() {
   sockaddr_un addr;
   AFS_RETURN_IF_ERROR(FillSockaddr(path_, addr));
 
-  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
   if (listen_fd_ < 0) {
     return IoError(std::string("socket: ") + std::strerror(errno));
   }
@@ -66,71 +75,177 @@ Status SocketServer::Start() {
     listen_fd_ = -1;
     return IoError(std::string("listen: ") + std::strerror(err));
   }
+  Status started = loop_.Start();
+  if (started.ok()) {
+    started = loop_.RegisterFd(listen_fd_, EventLoop::kReadable,
+                               [this](std::uint32_t) { OnListenReady(); });
+  }
+  if (!started.ok()) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    ::unlink(path_.c_str());
+    return started;
+  }
   running_.store(true);
-  accept_thread_ = std::thread([this] { AcceptLoop(); });
   return Status::Ok();
 }
 
 void SocketServer::Stop() {
-  if (!running_.exchange(false)) {
-    if (accept_thread_.joinable()) accept_thread_.join();
-    return;
+  if (!running_.exchange(false)) return;
+  // Stop the loop first: once its thread joins, no callback can touch the
+  // connection table, so this thread owns the teardown below.
+  loop_.Stop();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
   }
-  // Breaking accept(): shutdown then close the listening socket.  The
-  // accept thread still reads listen_fd_ until it joins, so the field is
-  // only overwritten once that thread is gone.
-  ::shutdown(listen_fd_, SHUT_RDWR);
-  ::close(listen_fd_);
-  if (accept_thread_.joinable()) accept_thread_.join();
-  listen_fd_ = -1;
-  std::vector<std::thread> threads;
-  {
-    MutexLock lock(conn_mu_);
-    threads.swap(conn_threads_);
-    // Connection threads block in ReadFrame on idle-but-open connections;
-    // shutdown makes those reads return so the joins below complete.
-    for (int fd : conn_fds_) ::shutdown(fd, SHUT_RDWR);
-  }
-  for (auto& t : threads) {
-    if (t.joinable()) t.join();
-  }
-  {
-    MutexLock lock(conn_mu_);
-    conn_fds_.clear();
-  }
+  for (const auto& [fd, conn] : conns_) ::close(fd);
+  conns_.clear();
   ::unlink(path_.c_str());
 }
 
-void SocketServer::AcceptLoop() {
-  while (running_.load()) {
-    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+void SocketServer::OnListenReady() {
+  // Drain the accept backlog: edge-ish batching — one wakeup admits every
+  // connection that is already queued.
+  while (true) {
+    const int fd =
+        ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
     if (fd < 0) {
       if (errno == EINTR) continue;
-      return;  // listening socket closed by Stop()
+      return;  // EAGAIN: backlog drained; else wait for the next wakeup
     }
-    MutexLock lock(conn_mu_);
-    conn_fds_.push_back(fd);
-    conn_threads_.emplace_back([this, fd] { ServeConnection(fd); });
+    Connection conn;
+    conn.gen = next_gen_++;
+    conns_.emplace(fd, std::move(conn));
+    const Status reg =
+        loop_.RegisterFd(fd, EventLoop::kReadable, [this, fd](
+                                                       std::uint32_t ready) {
+          OnConnReady(fd, ready);
+        });
+    if (!reg.ok()) {
+      conns_.erase(fd);
+      ::close(fd);
+    }
   }
 }
 
-void SocketServer::ServeConnection(int fd) {
-  ipc::PipeEnd stream(fd);
-  while (true) {
-    Result<Buffer> request = ipc::ReadFrame(stream);
-    if (!request.ok()) return;  // client went away
-    // Injected server-side fault: drop the connection without replying —
-    // the client observes a mid-call disconnect and must recover.
-    if (!fault::Hit("net.socket.serve").ok()) return;
-    if (options_.service_delay.count() > 0) {
-      SteadyClock::Instance().SleepFor(options_.service_delay);
-    }
-    Buffer envelope = RunHandlerToEnvelope(handler_, *request);
-    // Count before the reply ships: a client that has its response must
-    // observe the incremented counter.
-    requests_served_.fetch_add(1, std::memory_order_relaxed);
-    if (!ipc::WriteFrame(stream, envelope).ok()) return;
+void SocketServer::OnConnReady(int fd, std::uint32_t ready) {
+  auto it = conns_.find(fd);
+  if (it == conns_.end()) return;
+  const std::uint64_t gen = it->second.gen;
+  if ((ready & EventLoop::kWritable) != 0 && it->second.want_write) {
+    if (!FlushConn(fd, it->second)) return;
   }
+  if ((ready & EventLoop::kReadable) == 0) return;
+  std::uint8_t chunk[16384];
+  while (true) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n == 0) {  // orderly shutdown from the client
+      CloseConn(fd);
+      return;
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;  // drained
+      CloseConn(fd);
+      return;
+    }
+    if (!it->second.decoder
+             .Append(ByteSpan(chunk, static_cast<std::size_t>(n)))
+             .ok()) {
+      CloseConn(fd);  // corrupt length prefix: the peer is not speaking AFS
+      return;
+    }
+  }
+  // Dispatch every complete frame the read produced.  HandleFrame can close
+  // the connection (injected fault), so re-validate the entry per frame.
+  while (true) {
+    auto live = conns_.find(fd);
+    if (live == conns_.end() || live->second.gen != gen) return;
+    std::optional<Buffer> frame = live->second.decoder.Next();
+    if (!frame.has_value()) return;
+    HandleFrame(fd, gen, std::move(*frame));
+  }
+}
+
+void SocketServer::HandleFrame(int fd, std::uint64_t gen, Buffer request) {
+  // Injected server-side fault: drop the connection without replying —
+  // the client observes a mid-call disconnect and must recover.
+  if (!fault::Hit("net.socket.serve").ok()) {
+    CloseConn(fd);
+    return;
+  }
+  if (options_.service_delay.count() > 0) {
+    // The modeled service time is a loop timer, not a sleep: a delayed
+    // request parks no thread and stalls no other connection.  The
+    // generation check drops the work if this descriptor number was
+    // recycled for a newer connection before the timer fired.
+    loop_.AddTimer(options_.service_delay,
+                   [this, fd, gen, request = std::move(request)] {
+                     auto it = conns_.find(fd);
+                     if (it == conns_.end() || it->second.gen != gen) return;
+                     RunRequest(fd, request);
+                   });
+    return;
+  }
+  RunRequest(fd, request);
+}
+
+void SocketServer::RunRequest(int fd, const Buffer& request) {
+  Buffer envelope = RunHandlerToEnvelope(handler_, request);
+  // Count before the reply ships: a client that has its response must
+  // observe the incremented counter.
+  requests_served_.fetch_add(1, std::memory_order_relaxed);
+  auto it = conns_.find(fd);
+  if (it == conns_.end()) return;
+  Connection& conn = it->second;
+  AppendU32(conn.outbuf, static_cast<std::uint32_t>(envelope.size()));
+  conn.outbuf.insert(conn.outbuf.end(), envelope.begin(), envelope.end());
+  (void)FlushConn(fd, conn);
+}
+
+bool SocketServer::FlushConn(int fd, Connection& conn) {
+  while (conn.out_off < conn.outbuf.size()) {
+    const ssize_t n = ::send(fd, conn.outbuf.data() + conn.out_off,
+                             conn.outbuf.size() - conn.out_off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        // Kernel buffer full: hand the rest to write-readiness and move on.
+        if (!conn.want_write) {
+          conn.want_write = true;
+          if (!loop_.ModifyFd(fd, EventLoop::kReadable | EventLoop::kWritable)
+                   .ok()) {
+            // No write-readiness means the reply can never drain.
+            CloseConn(fd);
+            return false;
+          }
+        }
+        return true;
+      }
+      CloseConn(fd);
+      return false;
+    }
+    conn.out_off += static_cast<std::size_t>(n);
+  }
+  conn.outbuf.clear();
+  conn.out_off = 0;
+  if (conn.want_write) {
+    conn.want_write = false;
+    if (!loop_.ModifyFd(fd, EventLoop::kReadable).ok()) {
+      // Unknown epoll interest state: drop the connection rather than risk
+      // a busy-loop of spurious write wakeups.
+      CloseConn(fd);
+      return false;
+    }
+  }
+  return true;
+}
+
+void SocketServer::CloseConn(int fd) {
+  loop_.UnregisterFd(fd);
+  ::close(fd);
+  conns_.erase(fd);
 }
 
 SocketClient::SocketClient(std::string socket_path)
@@ -151,16 +266,51 @@ Status SocketClient::EnsureConnected() {
   AFS_FAULT_POINT("net.socket.connect");
   sockaddr_un addr;
   AFS_RETURN_IF_ERROR(FillSockaddr(path_, addr));
-  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
   if (fd_ < 0) {
     return IoError(std::string("socket: ") + std::strerror(errno));
   }
+  const Micros bound = options_.call_timeout.count() > 0
+                           ? options_.call_timeout
+                           : kSocketIoTimeout;
   // sockaddr_un -> sockaddr is the POSIX-sanctioned sockets-API pun.
   // NOLINTNEXTLINE(cppcoreguidelines-pro-type-reinterpret-cast)
+  // afs-lint: allow(nonblocking: O_NONBLOCK connect; bounded by the WaitWritable deadline below)
   if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-    const int err = errno;
+    if (errno != EINPROGRESS && errno != EAGAIN) {
+      const int err = errno;
+      Disconnect();
+      return IoError("connect " + path_ + ": " + std::strerror(err));
+    }
+    // Connect in flight: wait (bounded) for writability, then read the
+    // kernel's verdict out of SO_ERROR.
+    ipc::PipeEnd probe(fd_);
+    const Status ready = probe.WaitWritable(bound);
+    int so_error = 0;
+    if (ready.ok()) {
+      socklen_t len = sizeof(so_error);
+      if (::getsockopt(fd_, SOL_SOCKET, SO_ERROR, &so_error, &len) != 0) {
+        so_error = errno;
+      }
+    }
+    (void)probe.Release();
+    if (!ready.ok()) {
+      Disconnect();
+      return ready;
+    }
+    if (so_error != 0) {
+      Disconnect();
+      return IoError("connect " + path_ + ": " + std::strerror(so_error));
+    }
+  }
+  // Only the connect leg runs in non-blocking mode; the call pattern is a
+  // blocking request/response with its own bounded waits.
+  ipc::PipeEnd stream(fd_);
+  const Status restored = stream.SetNonblocking(false);
+  (void)stream.Release();
+  if (!restored.ok()) {
     Disconnect();
-    return IoError("connect " + path_ + ": " + std::strerror(err));
+    return restored;
   }
   return Status::Ok();
 }
@@ -177,7 +327,10 @@ Result<Buffer> SocketClient::CallOnce(ByteSpan request) {
   AFS_FAULT_POINT("net.socket.call");
   // Borrow the fd for framing without transferring ownership.
   ipc::PipeEnd stream(fd_);
-  Status sent = ipc::WriteFrame(stream, request);
+  const Micros bound = options_.call_timeout.count() > 0
+                           ? options_.call_timeout
+                           : kSocketIoTimeout;
+  Status sent = ipc::WriteFrame(stream, request, bound);
   if (!sent.ok()) {
     (void)stream.Release();
     Disconnect();

@@ -10,23 +10,32 @@
 #pragma once
 
 #include <atomic>
+#include <cstdint>
+#include <map>
 #include <memory>
 #include <string>
-#include <thread>
-#include <vector>
 
 #include "common/clock.hpp"
 #include "common/mutex.hpp"
 #include "common/status.hpp"
+#include "core/event_loop.hpp"
+#include "ipc/framing.hpp"
 #include "net/rpc.hpp"
 
 namespace afs::net {
 
+// Event-loop-hosted server: one core::EventLoop multiplexes the listening
+// socket and every connection (non-blocking accept/recv/send, per-
+// connection FrameDecoder reassembly, readiness-driven response flushing).
+// Replaces the former thread-per-connection model — idle connections cost
+// an epoll registration, not a parked thread.
 class SocketServer {
  public:
   struct Options {
     // Artificial delay added to every request before the handler runs;
-    // models propagation + service time of a remote source.
+    // models propagation + service time of a remote source.  Implemented
+    // as a loop timer, so a delayed request never blocks the other
+    // connections sharing the loop.
     Micros service_delay{0};
   };
 
@@ -38,11 +47,11 @@ class SocketServer {
   SocketServer(const SocketServer&) = delete;
   SocketServer& operator=(const SocketServer&) = delete;
 
-  // Binds, listens, and starts the accept loop.
+  // Binds, listens, and registers the listening socket on the loop.
   Status Start();
 
-  // Stops accepting, closes active connections, joins threads, unlinks the
-  // socket path.  Idempotent.
+  // Stops the loop, closes active connections, unlinks the socket path.
+  // Idempotent.
   void Stop();
 
   const std::string& socket_path() const noexcept { return path_; }
@@ -51,8 +60,25 @@ class SocketServer {
   }
 
  private:
-  void AcceptLoop();
-  void ServeConnection(int fd);
+  // Per-connection state; loop-thread confined.  `gen` disambiguates a
+  // recycled descriptor number from the connection a delayed-service timer
+  // was armed for.
+  struct Connection {
+    std::uint64_t gen = 0;
+    ipc::FrameDecoder decoder;
+    Buffer outbuf;               // framed responses not yet flushed
+    std::size_t out_off = 0;     // flushed prefix of outbuf
+    bool want_write = false;     // write-readiness interest currently armed
+  };
+
+  // Loop-thread entries.
+  void OnListenReady();
+  void OnConnReady(int fd, std::uint32_t ready);
+  void HandleFrame(int fd, std::uint64_t gen, Buffer request);
+  void RunRequest(int fd, const Buffer& request);
+  // Returns false when the connection died and was closed.
+  bool FlushConn(int fd, Connection& conn);
+  void CloseConn(int fd);
 
   const std::string path_;
   RpcHandler& handler_;
@@ -61,12 +87,12 @@ class SocketServer {
   int listen_fd_ = -1;
   std::atomic<bool> running_{false};
   std::atomic<std::uint64_t> requests_served_{0};
-  // afs-lint: allow(guarded-member: Start() spawns, Stop() joins; owner thread only)
-  std::thread accept_thread_;
-  Mutex conn_mu_;
-  std::vector<std::thread> conn_threads_ AFS_GUARDED_BY(conn_mu_);
-  // Live connections, for Stop() to shut down.
-  std::vector<int> conn_fds_ AFS_GUARDED_BY(conn_mu_);
+  // afs-lint: allow(guarded-member: EventLoop is internally synchronized)
+  core::EventLoop loop_;
+  // afs-lint: allow(guarded-member: loop-thread confined; Stop() drains after join)
+  std::map<int, Connection> conns_;
+  // afs-lint: allow(guarded-member: loop-thread confined; Stop() drains after join)
+  std::uint64_t next_gen_ = 1;
 };
 
 // Client transport: one connection, frames one request and blocks for one

@@ -1,5 +1,7 @@
 #include "obs/metrics.hpp"
 
+#include <pthread.h>
+
 #include <algorithm>
 #include <bit>
 #include <chrono>
@@ -316,6 +318,37 @@ Registry& Registry::Global() {
   static Registry* instance = new Registry();
   return *instance;
 }
+
+void Registry::LockForFork() const { mu_.Lock(); }
+void Registry::UnlockForFork() const { mu_.Unlock(); }
+
+namespace {
+
+// fork() can land while another thread holds the registry mutex, the cell
+// directory mutex, or the lock-order checker's graph mutex; the sentinel
+// child then inherits a mutex nobody will ever unlock and deadlocks at
+// its first instrument registration, thread-cell birth, or nested lock.
+// The classic pthread_atfork discipline closes the window: prepare takes
+// all three in the forking thread (outermost first, matching the
+// registry -> directory order GetCounter already establishes; the graph
+// mutex last because locking the others consults it), and both sides of
+// the fork release their copy.
+void ObsForkPrepare() {
+  Registry::Global().LockForFork();
+  internal::CellDirectory::Get().mu.Lock();
+  debug::internal::LockGraphForFork();
+}
+
+void ObsForkRelease() {
+  debug::internal::UnlockGraphForFork();
+  internal::CellDirectory::Get().mu.Unlock();
+  Registry::Global().UnlockForFork();
+}
+
+const int kForkHandlersInstalled =
+    ::pthread_atfork(ObsForkPrepare, ObsForkRelease, ObsForkRelease);
+
+}  // namespace
 
 Counter& Registry::GetCounter(std::string_view name) {
   MutexLock lock(mu_);

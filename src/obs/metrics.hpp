@@ -347,6 +347,12 @@ class Registry {
   // only; racing recorders may land counts on either side of the reset.
   void ResetForTest();
 
+  // pthread_atfork hooks (metrics.cpp): hold the registry mutex across
+  // fork so a sentinel child registering its first instrument never
+  // inherits it locked from an unrelated parent thread.
+  void LockForFork() const AFS_ACQUIRE(mu_);
+  void UnlockForFork() const AFS_RELEASE(mu_);
+
  private:
   Registry() = default;
 

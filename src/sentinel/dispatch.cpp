@@ -35,6 +35,140 @@ const char* OpSpanName(ControlOp op) {
 
 }  // namespace
 
+OpOutcome PerformControlOp(
+    Sentinel& sentinel, SentinelContext& ctx, ControlMessage& msg,
+    const std::function<Result<Buffer>(std::size_t)>& fetch_data) {
+  OpOutcome out;
+
+  // Spans opened while this command runs (the command span itself plus
+  // anything nested, e.g. a remote fetch inside OnRead) are collected
+  // here and ride the response's trailing extension back to the
+  // application, where the link adopts them — that hop is what turns
+  // per-process span fragments into one cross-process trace.
+  std::vector<obs::SpanRecord> collected;
+  {
+    obs::SpanCollectorScope collect(&collected);
+    obs::Span op_span(OpSpanName(msg.op), msg.trace_id, msg.parent_span);
+
+    // Sentinel-side fault injection: an injected error answers this command
+    // with that error (the session survives — the application decides); a
+    // delay stalls the sentinel mid-command; a kill dies right here with
+    // the command consumed but unanswered — the worst crash point.
+    if (Status injected = fault::Hit("sentinel.dispatch.op");
+        !injected.ok() && msg.op != ControlOp::kClose) {
+      if (msg.op == ControlOp::kWrite && msg.inline_in.empty() &&
+          msg.length > 0 && fetch_data) {
+        // The payload is already in flight on the data pipe; drain it or
+        // the next write's control frame pairs with this write's bytes.
+        // afs-lint: allow(status-discard: drain-only; the injected fault is the response)
+        (void)fetch_data(msg.length);
+      }
+      out.response = MakeResponse(std::move(injected));
+    } else {
+      switch (msg.op) {
+        case ControlOp::kRead: {
+          Buffer tmp;
+          MutableByteSpan dst = msg.inline_out;
+          if (dst.size() > msg.length) dst = dst.first(msg.length);
+          if (dst.empty() && msg.length > 0) {
+            tmp.resize(msg.length);
+            dst = MutableByteSpan(tmp);
+          }
+          Result<std::size_t> got = sentinel.OnRead(ctx, dst);
+          if (!got.ok()) {
+            out.response = MakeResponse(got.status());
+            break;
+          }
+          ctx.position += *got;
+          Buffer payload;
+          if (!tmp.empty()) {
+            tmp.resize(*got);
+            payload = std::move(tmp);
+          }
+          out.response = MakeResponse(Status::Ok(), *got, std::move(payload));
+          break;
+        }
+        case ControlOp::kWrite: {
+          ByteSpan in = msg.inline_in;
+          Buffer tmp;
+          if (in.empty() && msg.length > 0) {
+            Result<Buffer> fetched =
+                fetch_data ? fetch_data(msg.length)
+                           : Result<Buffer>(InternalError(
+                                 "no out-of-line data lane on this host"));
+            if (!fetched.ok()) {
+              // Data lane broken mid-write; no response can pair with the
+              // consumed command, so the channel is unusable.
+              // afs-lint: allow(status-discard: channel already broken; winding down)
+              (void)sentinel.OnClose(ctx);
+              out.verdict = OpVerdict::kChannelBroken;
+              break;
+            }
+            tmp = std::move(*fetched);
+            in = ByteSpan(tmp);
+          }
+          Result<std::size_t> wrote = sentinel.OnWrite(ctx, in);
+          if (!wrote.ok()) {
+            out.response = MakeResponse(wrote.status());
+            break;
+          }
+          ctx.position += *wrote;
+          out.response = MakeResponse(Status::Ok(), *wrote);
+          break;
+        }
+        case ControlOp::kSeek: {
+          Result<std::uint64_t> pos = sentinel.OnSeek(
+              ctx, msg.offset, static_cast<SeekOrigin>(msg.origin));
+          out.response = pos.ok() ? MakeResponse(Status::Ok(), *pos)
+                                  : MakeResponse(pos.status());
+          break;
+        }
+        case ControlOp::kGetSize: {
+          Result<std::uint64_t> size = sentinel.OnGetSize(ctx);
+          out.response = size.ok() ? MakeResponse(Status::Ok(), *size)
+                                   : MakeResponse(size.status());
+          break;
+        }
+        case ControlOp::kSetEof:
+          out.response = MakeResponse(sentinel.OnSetEof(ctx));
+          break;
+        case ControlOp::kFlush:
+          out.response = MakeResponse(sentinel.OnFlush(ctx));
+          break;
+        case ControlOp::kLock:
+          out.response = MakeResponse(sentinel.OnLock(
+              ctx, static_cast<std::uint64_t>(msg.offset), msg.range_len));
+          break;
+        case ControlOp::kUnlock:
+          out.response = MakeResponse(sentinel.OnUnlock(
+              ctx, static_cast<std::uint64_t>(msg.offset), msg.range_len));
+          break;
+        case ControlOp::kCustom: {
+          Result<Buffer> reply = sentinel.OnControl(ctx, ByteSpan(msg.payload));
+          out.response = reply.ok()
+                             ? MakeResponse(Status::Ok(), reply->size(),
+                                            std::move(*reply))
+                             : MakeResponse(reply.status());
+          break;
+        }
+        case ControlOp::kClose: {
+          // Crash window during close: the command is consumed but neither
+          // OnClose's side effects nor the acknowledgement happened.
+          if (!fault::Hit("sentinel.dispatch.close").ok()) {
+            out.verdict = OpVerdict::kCrashed;
+            break;
+          }
+          out.response = MakeResponse(sentinel.OnClose(ctx));
+          out.verdict = OpVerdict::kClosed;
+          break;
+        }
+      }
+    }
+  }  // collector scope: op_span lands in `collected` here
+  out.response.remote_spans = std::move(collected);
+  return out;
+}
+
 int RunSentinelLoop(Sentinel& sentinel, SentinelEndpoint& endpoint,
                     SentinelContext& ctx) {
   // Crash window before the open is even acknowledged: a kill here leaves
@@ -48,6 +182,10 @@ int RunSentinelLoop(Sentinel& sentinel, SentinelEndpoint& endpoint,
   if (!endpoint.AF_SendResponse(MakeResponse(open_status)).ok()) return 1;
   if (!open_status.ok()) return 0;
 
+  const auto fetch = [&endpoint](std::size_t length) {
+    return endpoint.AF_GetDataFromAppl(length);
+  };
+
   while (true) {
     Result<ControlMessage> next = endpoint.AF_GetControl();
     if (!next.ok()) {
@@ -57,143 +195,28 @@ int RunSentinelLoop(Sentinel& sentinel, SentinelEndpoint& endpoint,
       (void)sentinel.OnClose(ctx);
       return next.status().code() == ErrorCode::kClosed ? 0 : 1;
     }
-    ControlMessage& msg = *next;
-    ControlResponse response;
-    bool closing = false;
-
-    // Spans opened while this command runs (the command span itself plus
-    // anything nested, e.g. a remote fetch inside OnRead) are collected
-    // here and ride the response's trailing extension back to the
-    // application, where the link adopts them — that hop is what turns
-    // per-process span fragments into one cross-process trace.
-    std::vector<obs::SpanRecord> collected;
-    {
-    obs::SpanCollectorScope collect(&collected);
-    obs::Span op_span(OpSpanName(msg.op), msg.trace_id, msg.parent_span);
-
-    // Sentinel-side fault injection: an injected error answers this command
-    // with that error (the loop survives — the application decides); a
-    // delay stalls the sentinel mid-command; a kill dies right here with
-    // the command consumed but unanswered — the worst crash point.
-    if (Status injected = fault::Hit("sentinel.dispatch.op");
-        !injected.ok() && msg.op != ControlOp::kClose) {
-      if (msg.op == ControlOp::kWrite && msg.inline_in.empty() &&
-          msg.length > 0) {
-        // The payload is already in flight on the data pipe; drain it or
-        // the next write's control frame pairs with this write's bytes.
-        // afs-lint: allow(status-discard: drain-only; the injected fault is the response)
-        (void)endpoint.AF_GetDataFromAppl(msg.length);
-      }
-      response = MakeResponse(std::move(injected));
-    } else {
-      switch (msg.op) {
-        case ControlOp::kRead: {
-          Buffer tmp;
-          MutableByteSpan out = msg.inline_out;
-          if (out.size() > msg.length) out = out.first(msg.length);
-          if (out.empty() && msg.length > 0) {
-            tmp.resize(msg.length);
-            out = MutableByteSpan(tmp);
-          }
-          Result<std::size_t> got = sentinel.OnRead(ctx, out);
-          if (!got.ok()) {
-            response = MakeResponse(got.status());
-            break;
-          }
-          ctx.position += *got;
-          Buffer payload;
-          if (!tmp.empty()) {
-            tmp.resize(*got);
-            payload = std::move(tmp);
-          }
-          response = MakeResponse(Status::Ok(), *got, std::move(payload));
-          break;
+    OpOutcome out = PerformControlOp(sentinel, ctx, *next, fetch);
+    switch (out.verdict) {
+      case OpVerdict::kCrashed:
+        return 1;
+      case OpVerdict::kChannelBroken:
+        return 1;
+      case OpVerdict::kClosed:
+        // Last frame of the session; the peer may already be gone.
+        // afs-lint: allow(status-discard: best-effort goodbye after close)
+        (void)endpoint.AF_SendResponse(out.response);
+        return 0;
+      case OpVerdict::kRespond:
+        // A response that cannot ship (torn frame, closed pipe) leaves the
+        // application facing a half-frame it would wait on forever; the
+        // channel is unusable from here, so wind down as an implicit close.
+        // The application side observes EOF and reports kClosed.
+        if (!endpoint.AF_SendResponse(out.response).ok()) {
+          // afs-lint: allow(status-discard: channel already broken; exiting)
+          (void)sentinel.OnClose(ctx);
+          return 1;
         }
-        case ControlOp::kWrite: {
-          ByteSpan in = msg.inline_in;
-          Buffer tmp;
-          if (in.empty() && msg.length > 0) {
-            Result<Buffer> fetched = endpoint.AF_GetDataFromAppl(msg.length);
-            if (!fetched.ok()) {
-              // afs-lint: allow(status-discard: channel already broken; exiting)
-              (void)sentinel.OnClose(ctx);
-              return 1;  // data lane broken mid-write; channel unusable
-            }
-            tmp = std::move(*fetched);
-            in = ByteSpan(tmp);
-          }
-          Result<std::size_t> wrote = sentinel.OnWrite(ctx, in);
-          if (!wrote.ok()) {
-            response = MakeResponse(wrote.status());
-            break;
-          }
-          ctx.position += *wrote;
-          response = MakeResponse(Status::Ok(), *wrote);
-          break;
-        }
-        case ControlOp::kSeek: {
-          Result<std::uint64_t> pos = sentinel.OnSeek(
-              ctx, msg.offset, static_cast<SeekOrigin>(msg.origin));
-          response = pos.ok() ? MakeResponse(Status::Ok(), *pos)
-                              : MakeResponse(pos.status());
-          break;
-        }
-        case ControlOp::kGetSize: {
-          Result<std::uint64_t> size = sentinel.OnGetSize(ctx);
-          response = size.ok() ? MakeResponse(Status::Ok(), *size)
-                               : MakeResponse(size.status());
-          break;
-        }
-        case ControlOp::kSetEof:
-          response = MakeResponse(sentinel.OnSetEof(ctx));
-          break;
-        case ControlOp::kFlush:
-          response = MakeResponse(sentinel.OnFlush(ctx));
-          break;
-        case ControlOp::kLock:
-          response = MakeResponse(sentinel.OnLock(
-              ctx, static_cast<std::uint64_t>(msg.offset), msg.range_len));
-          break;
-        case ControlOp::kUnlock:
-          response = MakeResponse(sentinel.OnUnlock(
-              ctx, static_cast<std::uint64_t>(msg.offset), msg.range_len));
-          break;
-        case ControlOp::kCustom: {
-          Result<Buffer> reply =
-              sentinel.OnControl(ctx, ByteSpan(msg.payload));
-          response = reply.ok() ? MakeResponse(Status::Ok(), reply->size(),
-                                               std::move(*reply))
-                                : MakeResponse(reply.status());
-          break;
-        }
-        case ControlOp::kClose: {
-          // Crash window during close: the command is consumed but neither
-          // OnClose's side effects nor the acknowledgement happened.
-          if (!fault::Hit("sentinel.dispatch.close").ok()) return 1;
-          response = MakeResponse(sentinel.OnClose(ctx));
-          closing = true;
-          break;
-        }
-      }
-    }
-    }  // collector scope: op_span lands in `collected` here
-    response.remote_spans = std::move(collected);
-
-    if (closing) {
-      // Last frame of the session; the peer may already be gone.
-      // afs-lint: allow(status-discard: best-effort goodbye after close)
-      (void)endpoint.AF_SendResponse(response);
-      return 0;
-    }
-
-    // A response that cannot ship (torn frame, closed pipe) leaves the
-    // application facing a half-frame it would wait on forever; the channel
-    // is unusable from here, so wind down as an implicit close.  The
-    // application side observes EOF and reports kClosed.
-    if (!endpoint.AF_SendResponse(response).ok()) {
-      // afs-lint: allow(status-discard: channel already broken; exiting)
-      (void)sentinel.OnClose(ctx);
-      return 1;
+        break;
     }
   }
 }

@@ -214,6 +214,21 @@ constexpr Cell kCells[] = {
      "sentinel.stream.write=kill@n1", false, false},
     {"process_pipe_read_trunc", "process",
      "ipc.pipe.read=truncate:1@p0.5", true, false},
+    // loop strategy: the sentinel is a session on a shared event-loop
+    // shard.  Every site here executes in the test runner's own process
+    // (the loop thread), so kill rules are forbidden — core.loop.crash is
+    // the in-process stand-in: it tears the session down mid-command and
+    // the handle reads kClosed.
+    {"loop_dispatch_error", "loop",
+     "sentinel.dispatch.op=error:remote@p0.3", true, true},
+    {"loop_crash_midcommand", "loop",
+     "core.loop.crash=error:io@n2", false, true},
+    {"loop_openack_error", "loop",
+     "sentinel.dispatch.openack=error:io@n1", false, true},
+    {"loop_link_send_error", "loop",
+     "core.link.send=error:io@p0.3", false, true},
+    {"loop_dispatch_stall", "loop",
+     "sentinel.dispatch.op=delay:400ms@n1", false, false},
     // direct strategy: sentinel calls in the caller's frame.
     {"direct_op_error", "direct",
      "core.direct.op=error:io@p0.5", true, true},

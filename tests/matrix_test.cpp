@@ -89,7 +89,8 @@ std::vector<Cell> AllCells() {
   for (const char* sentinel : {"null", "compress", "audit", "notify",
                                "policy"}) {
     for (Strategy strategy :
-         {Strategy::kProcessControl, Strategy::kThread, Strategy::kDirect}) {
+         {Strategy::kProcessControl, Strategy::kThread, Strategy::kDirect,
+          Strategy::kLoop}) {
       cells.push_back({sentinel, strategy});
     }
   }
@@ -108,7 +109,7 @@ TEST(MatrixCrossTest, BundlesArePortableAcrossStrategies) {
   ActiveFileManager manager(api, sentinel::SentinelRegistry::Global());
   manager.Install();
 
-  const char* strategies[] = {"process_control", "thread", "direct"};
+  const char* strategies[] = {"process_control", "thread", "direct", "loop"};
   for (const char* writer : strategies) {
     SentinelSpec spec;
     spec.name = "compress";

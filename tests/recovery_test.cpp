@@ -410,6 +410,90 @@ TEST(RecoveryTest, CloseKillEndsInSuccessfulDegradedClose) {
   EXPECT_TRUE(sessions[0].closed);
 }
 
+// ---- loop strategy: crashes on a shared shard ------------------------------
+
+// The loop analogue of the control kill cells.  core.loop.crash is the
+// in-process stand-in for sentinel death (kill rules are forbidden at loop
+// sites — the session lives in the test's own process): it tears the
+// session down mid-command without a response.  Supervision must replay
+// the session and deliver a byte-identical run.  Fault counters do not
+// reset across a loop restart (no fork), so the @n4 trigger fires exactly
+// once and the budget is never stressed.
+TEST(RecoveryTest, LoopCrashMidReadIsByteIdentical) {
+  SequenceOutcome clean;
+  {
+    Sandbox box(SupervisedConfig("loop"));
+    clean = RunCanonicalSequence(box);
+  }
+  EXPECT_EQ(clean.trace,
+            "open=ok;read1=ok:0123;write=ok:4;seek=ok;read2=ok:0123;close=ok");
+
+  Sandbox box(SupervisedConfig("loop"));
+  ArmedPlan plan("seed=1;core.loop.crash=error:io@n4");
+  const SequenceOutcome faulted = RunCanonicalSequence(box);
+  EXPECT_EQ(faulted.trace, clean.trace);
+  EXPECT_EQ(faulted.final_data, clean.final_data);
+
+  const auto sessions = box.Journal();
+  ASSERT_EQ(sessions.size(), 1u);
+  EXPECT_GE(sessions[0].restarts, 1);
+  EXPECT_FALSE(sessions[0].degraded);
+  EXPECT_TRUE(sessions[0].closed);
+}
+
+// The co-hosting guarantee of docs/EVENT_LOOP.md: a victim session's crash
+// must not wedge its neighbors on the same shard.  Both bundles pin
+// loop_shard=0, so victim and survivor share one loop thread; the victim
+// crashes mid-read and is replayed by supervision, while the survivor's
+// handle — deliberately unsupervised, so any damage would show — keeps
+// serving the same bytes throughout.
+TEST(RecoveryTest, LoopCrashOnSharedShardDoesNotWedgeCoHostedHandles) {
+  Sandbox box(SupervisedConfig("loop", {{"loop_shard", "0"}}));
+  SentinelSpec peer_spec;
+  peer_spec.name = "null";
+  peer_spec.config["strategy"] = "loop";
+  peer_spec.config["loop_shard"] = "0";
+  ASSERT_OK(box.manager->CreateActiveFile("peer.af", peer_spec,
+                                          AsBytes("peer-bytes-cdef")));
+
+  auto victim = box.api.OpenFile("file.af", vfs::OpenMode::kReadWrite);
+  ASSERT_OK(victim.status());
+  auto survivor = box.api.OpenFile("peer.af", vfs::OpenMode::kReadWrite);
+  ASSERT_OK(survivor.status());
+
+  Buffer buf(4);
+  auto warm = box.api.ReadFile(*survivor, MutableByteSpan(buf));
+  ASSERT_OK(warm.status());
+  EXPECT_EQ(ToString(ByteSpan(buf.data(), *warm)), "peer");
+
+  {
+    // Hit 1 is the victim's next command: the session tears down on the
+    // shared shard, supervision replays it, and the retried read succeeds.
+    ArmedPlan plan("seed=1;core.loop.crash=error:io@n1");
+    auto got = box.api.ReadFile(*victim, MutableByteSpan(buf));
+    ASSERT_OK(got.status());
+    EXPECT_EQ(ToString(ByteSpan(buf.data(), *got)), "0123");
+  }
+
+  // The survivor's co-hosted session never noticed: same shard, same
+  // bytes, no error — and both handles still close cleanly.
+  ASSERT_OK(box.api.SetFilePointer(*survivor, 0, vfs::SeekOrigin::kBegin)
+                .status());
+  auto after = box.api.ReadFile(*survivor, MutableByteSpan(buf));
+  ASSERT_OK(after.status());
+  EXPECT_EQ(ToString(ByteSpan(buf.data(), *after)), "peer");
+
+  EXPECT_OK(box.api.CloseHandle(*victim));
+  EXPECT_OK(box.api.CloseHandle(*survivor));
+  EXPECT_EQ(box.api.open_handle_count(), 0u);
+
+  const auto sessions = box.Journal();
+  ASSERT_EQ(sessions.size(), 1u);  // only the victim is supervised
+  EXPECT_GE(sessions[0].restarts, 1);
+  EXPECT_FALSE(sessions[0].degraded);
+  EXPECT_TRUE(sessions[0].closed);
+}
+
 // ---- lease liveness --------------------------------------------------------
 
 // A wedged in-process sentinel renews no lease; the monitor must declare

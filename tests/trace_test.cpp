@@ -132,7 +132,8 @@ TEST_P(TracePropagationTest, OneReadYieldsOneConnectedSpanTree) {
 
   switch (strategy) {
     case Strategy::kProcessControl:
-    case Strategy::kThread: {
+    case Strategy::kThread:
+    case Strategy::kLoop: {
       // Control strategies: the dispatch loop's span crossed back over
       // the link, parented under the app-side roundtrip span.
       const obs::SpanRecord* sentinel_read =
@@ -163,7 +164,8 @@ TEST_P(TracePropagationTest, OneReadYieldsOneConnectedSpanTree) {
 INSTANTIATE_TEST_SUITE_P(
     AllStrategies, TracePropagationTest,
     ::testing::Values(Strategy::kDirect, Strategy::kThread,
-                      Strategy::kProcess, Strategy::kProcessControl),
+                      Strategy::kProcess, Strategy::kProcessControl,
+                      Strategy::kLoop),
     [](const ::testing::TestParamInfo<Strategy>& info) {
       return std::string(core::StrategyName(info.param));
     });

@@ -17,9 +17,12 @@ Blocking policy (the lists below are the policy — edit them deliberately):
   the RAII `NamedMutexGuard`), and `ipc::ReadFrame(pipe)` — the one-argument
   overload with no deadline.
 * bounded (traversal cuts): `CondVar::WaitUntil`, `PipeEnd::WaitReadable`,
-  `PipeEnd::Poll`, `TryLock`, `waitpid(..., WNOHANG)`, and
-  `ipc::ReadFrame(pipe, timeout)` — anything that converts a wedged peer
-  into a `kTimeout`/`kBusy` the caller must handle.
+  `PipeEnd::WaitWritable`, `PipeEnd::Poll`, `TryLock`,
+  `waitpid(..., WNOHANG)`, the deadline-carrying transfer overloads —
+  `ipc::ReadFrame(pipe, timeout)`, `ipc::WriteFrame(pipe, payload,
+  timeout)`, `PipeEnd::WriteAll(bytes, timeout)`,
+  `PipeEnd::ReadExact(out, timeout)` — anything that converts a wedged
+  peer into a `kTimeout`/`kBusy` the caller must handle.
 * `afs::Mutex::Lock` / `MutexLock` are allowed: in-process critical
   sections are short by construction (the lock-order checker and TSan keep
   them honest); what kills an event loop is waiting on a *peer* while
@@ -73,6 +76,7 @@ BLOCKING_CTORS = {"NamedMutexGuard"}
 BOUNDED_CUTS = {
     ("CondVar", "WaitUntil"),
     ("PipeEnd", "WaitReadable"),
+    ("PipeEnd", "WaitWritable"),
     ("PipeEnd", "Poll"),
     ("Mutex", "Lock"),
     ("Mutex", "lock"),
@@ -80,7 +84,8 @@ BOUNDED_CUTS = {
     ("Mutex", "try_lock"),
     ("NamedMutex", "TryLock"),
 }
-BOUNDED_CUT_NAMES = {"TryLock", "try_lock", "WaitUntil", "WaitReadable"}
+BOUNDED_CUT_NAMES = {"TryLock", "try_lock", "WaitUntil", "WaitReadable",
+                     "WaitWritable"}
 
 
 def _is_blocking_call(call, fn, model):
@@ -135,6 +140,12 @@ def _is_cut(call, fn, model):
     if name in BOUNDED_CUT_NAMES:
         return True
     if name == "ReadFrame" and call.nargs >= 2:
+        return True
+    # The deadline-carrying transfer overloads; the shorter-arity forms of
+    # the same names block and stay subject to traversal.
+    if name in ("WriteAll", "ReadExact") and call.nargs >= 2:
+        return True
+    if name == "WriteFrame" and call.nargs >= 3:
         return True
     if call.kind == "method":
         recv_cls = model.resolve_receiver(fn, call.recv)

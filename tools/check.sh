@@ -19,8 +19,10 @@
 #                             # nonblocking contexts, swallowed Status,
 #                             # registry/doc cross-checks, guarded members;
 #                             # fails on findings not in the baseline
-#   tools/check.sh bench-smoke  # short Figure-6 benchmark pass, results
-#                             # combined into BENCH_PR6.json
+#   tools/check.sh bench-smoke  # short Figure-6 + event-loop benchmark
+#                             # pass, results combined into BENCH_PR7.json;
+#                             # fails if the obs <5% overhead gate or the
+#                             # 10k-handle saturation gate regresses
 #
 # The fault lane reuses the asan/tsan build trees and is not part of the
 # default quick suite: the full {strategy x site x kind} sweep spends real
@@ -135,26 +137,30 @@ run_analyze() {
 }
 
 run_bench_smoke() {
-  # Short pass over the paper's Figure-6 benchmarks plus the obs overhead
-  # gate, combined into BENCH_PR6.json.  Smoke numbers, not publishable
-  # ones: --benchmark_min_time is deliberately tiny.
-  local out=BENCH_PR6.json bench
+  # Short pass over the paper's Figure-6 benchmarks plus the event-loop
+  # lane (open/close churn, the 10k-handle saturation sweep) and the obs
+  # overhead gate, combined into BENCH_PR7.json.  Smoke numbers, not
+  # publishable ones: --benchmark_min_time is deliberately tiny.  The two
+  # gates (obs <5%, saturation >= 10k handles) exit nonzero on regression.
+  local out=BENCH_PR7.json bench
   echo "== bench-smoke: building benchmarks"
   cmake -B build -S . >/dev/null
   cmake --build build -j "$JOBS" --target \
     bench_fig6_disk bench_fig6_memory bench_fig6_remote \
-    bench_obs_overhead >/dev/null
-  echo "== bench-smoke: running Figure-6 benchmarks"
-  for bench in fig6_disk fig6_memory fig6_remote; do
+    bench_loop_churn bench_saturation bench_obs_overhead >/dev/null
+  echo "== bench-smoke: running Figure-6 + churn benchmarks"
+  for bench in fig6_disk fig6_memory fig6_remote loop_churn; do
     ./build/bench/"bench_$bench" --benchmark_min_time=0.05s \
       --benchmark_format=json >"/tmp/afs-bench-$bench.json"
   done
+  echo "== bench-smoke: running saturation sweep (quick gate: 10k handles)"
+  ./build/bench/bench_saturation >/tmp/afs-bench-saturation.json
   echo "== bench-smoke: running obs overhead gate"
   ./build/bench/bench_obs_overhead >/tmp/afs-bench-obs.json
   python3 - "$out" <<'EOF'
 import json, sys
 combined = {"bench_min_time": "0.05s", "benchmarks": {}}
-for name in ("fig6_disk", "fig6_memory", "fig6_remote"):
+for name in ("fig6_disk", "fig6_memory", "fig6_remote", "loop_churn"):
     with open(f"/tmp/afs-bench-{name}.json") as f:
         report = json.load(f)
     combined["benchmarks"][name] = [
@@ -163,6 +169,8 @@ for name in ("fig6_disk", "fig6_memory", "fig6_remote"):
          if k in b}
         for b in report.get("benchmarks", [])
     ]
+with open("/tmp/afs-bench-saturation.json") as f:
+    combined["saturation"] = json.load(f)
 with open("/tmp/afs-bench-obs.json") as f:
     combined["obs_overhead"] = json.load(f)
 with open(sys.argv[1], "w") as f:
@@ -170,6 +178,33 @@ with open(sys.argv[1], "w") as f:
     f.write("\n")
 EOF
   echo "== bench-smoke: wrote $out"
+}
+
+# `all` runs every lane to completion — one broken lane must not mask the
+# others — then prints a pass/fail table and exits nonzero if any failed.
+LANE_NAMES=()
+LANE_RESULTS=()
+ANY_FAILED=0
+
+run_lane() {
+  local name=$1 rc=0
+  shift
+  # The subshell re-arms `set -e` so a lane still stops at its first error,
+  # while the driver survives to run the remaining lanes.
+  set +e
+  (
+    set -e
+    "$@"
+  )
+  rc=$?
+  set -e
+  LANE_NAMES+=("$name")
+  if [ "$rc" -eq 0 ]; then
+    LANE_RESULTS+=(PASS)
+  else
+    LANE_RESULTS+=(FAIL)
+    ANY_FAILED=1
+  fi
 }
 
 case "$STAGE" in
@@ -182,13 +217,20 @@ case "$STAGE" in
   analyze) run_analyze ;;
   bench-smoke) run_bench_smoke ;;
   all)
-    run_tidy
-    run_analyze
-    run_sanitizer asan "address;undefined" ""
-    run_sanitizer tsan "thread" "-L tsan"
-    run_fault
-    run_recovery
-    run_obs
+    run_lane tidy run_tidy
+    run_lane analyze run_analyze
+    run_lane asan run_sanitizer asan "address;undefined" ""
+    run_lane tsan run_sanitizer tsan "thread" "-L tsan"
+    run_lane fault run_fault
+    run_lane recovery run_recovery
+    run_lane obs run_obs
+    echo
+    echo "== lane summary"
+    printf '   %-10s %s\n' LANE RESULT
+    for i in "${!LANE_NAMES[@]}"; do
+      printf '   %-10s %s\n' "${LANE_NAMES[$i]}" "${LANE_RESULTS[$i]}"
+    done
+    exit "$ANY_FAILED"
     ;;
   *)
     echo "usage: tools/check.sh [tidy|asan|tsan|fault|recovery|obs|analyze|bench-smoke|all]" >&2
