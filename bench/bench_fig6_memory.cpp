@@ -6,6 +6,8 @@
 // "normally a system call" into a user-mode memcpy and can beat the
 // passive-file baseline.
 #include <cstring>
+#include <span>
+#include <vector>
 
 #include "bench_util.hpp"
 
@@ -27,27 +29,108 @@ sentinel::SentinelSpec MemorySpec() {
   return spec;
 }
 
-void BM_Read(benchmark::State& state, core::Strategy strategy) {
+void BM_Read(benchmark::State& state, core::Strategy strategy,
+             const char* shm_threshold = nullptr, const char* tag = "") {
   BenchEnv& env = Env();
   const std::size_t block = static_cast<std::size_t>(state.range(0));
-  const std::string path =
-      std::string("r-") + std::string(core::StrategyName(strategy)) + ".af";
+  const std::string path = std::string("r-") + tag +
+      std::string(core::StrategyName(strategy)) + ".af";
   Buffer content(kFileSize, 0x5A);
+  sentinel::SentinelSpec spec = MemorySpec();
+  if (shm_threshold != nullptr) spec.config["shm_threshold"] = shm_threshold;
   const vfs::HandleId handle =
-      OpenActive(env, path, MemorySpec(), strategy, ByteSpan(content));
+      OpenActive(env, path, spec, strategy, ByteSpan(content));
   ReadLoop(state, env.api(), handle, block, kFileSize);
   (void)env.api().CloseHandle(handle);
 }
 
-void BM_Write(benchmark::State& state, core::Strategy strategy) {
+void BM_Write(benchmark::State& state, core::Strategy strategy,
+              const char* shm_threshold = nullptr, const char* tag = "") {
   BenchEnv& env = Env();
   const std::size_t block = static_cast<std::size_t>(state.range(0));
-  const std::string path =
-      std::string("w-") + std::string(core::StrategyName(strategy)) + ".af";
+  const std::string path = std::string("w-") + tag +
+      std::string(core::StrategyName(strategy)) + ".af";
   Buffer content(kFileSize, 0x5A);
+  sentinel::SentinelSpec spec = MemorySpec();
+  if (shm_threshold != nullptr) spec.config["shm_threshold"] = shm_threshold;
   const vfs::HandleId handle =
-      OpenActive(env, path, MemorySpec(), strategy, ByteSpan(content));
+      OpenActive(env, path, spec, strategy, ByteSpan(content));
   WriteLoop(state, env.api(), handle, block, kFileSize);
+  (void)env.api().CloseHandle(handle);
+}
+
+// Vectored batch: one ReadFileScatter/WriteFileGather round trip carrying
+// `segments` blocks of `block` bytes each — the kReadVec/kWriteVec slot ops
+// amortize the per-command control frame over the whole batch, and on the
+// shm plane the payload bytes never touch a pipe.
+void BM_ReadVec(benchmark::State& state, core::Strategy strategy,
+                const char* shm_threshold, const char* tag) {
+  BenchEnv& env = Env();
+  const std::size_t block = static_cast<std::size_t>(state.range(0));
+  constexpr std::size_t kSegments = 8;
+  const std::string path = std::string("rv-") + tag +
+      std::string(core::StrategyName(strategy)) + ".af";
+  Buffer content(kFileSize, 0x5A);
+  sentinel::SentinelSpec spec = MemorySpec();
+  if (shm_threshold != nullptr) spec.config["shm_threshold"] = shm_threshold;
+  const vfs::HandleId handle =
+      OpenActive(env, path, spec, strategy, ByteSpan(content));
+  std::vector<Buffer> buffers(kSegments, Buffer(block));
+  std::vector<MutableByteSpan> segments;
+  for (Buffer& b : buffers) segments.emplace_back(b);
+  std::uint64_t pos = 0;
+  for (auto _ : state) {
+    auto n = env.api().ReadFileScatter(handle, std::span(segments));
+    if (!n.ok()) {
+      state.SkipWithError(n.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(buffers.front().data());
+    pos += kSegments * block;
+    if (pos + kSegments * block > kFileSize) {
+      state.PauseTiming();
+      (void)env.api().SetFilePointer(handle, 0, vfs::SeekOrigin::kBegin);
+      pos = 0;
+      state.ResumeTiming();
+    }
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kSegments * block));
+  (void)env.api().CloseHandle(handle);
+}
+
+void BM_WriteVec(benchmark::State& state, core::Strategy strategy,
+                 const char* shm_threshold, const char* tag) {
+  BenchEnv& env = Env();
+  const std::size_t block = static_cast<std::size_t>(state.range(0));
+  constexpr std::size_t kSegments = 8;
+  const std::string path = std::string("wv-") + tag +
+      std::string(core::StrategyName(strategy)) + ".af";
+  Buffer content(kFileSize, 0x5A);
+  sentinel::SentinelSpec spec = MemorySpec();
+  if (shm_threshold != nullptr) spec.config["shm_threshold"] = shm_threshold;
+  const vfs::HandleId handle =
+      OpenActive(env, path, spec, strategy, ByteSpan(content));
+  std::vector<Buffer> buffers(kSegments, Buffer(block, 0xAB));
+  std::vector<ByteSpan> segments;
+  for (const Buffer& b : buffers) segments.emplace_back(b);
+  std::uint64_t pos = 0;
+  for (auto _ : state) {
+    auto n = env.api().WriteFileGather(handle, std::span(segments));
+    if (!n.ok()) {
+      state.SkipWithError(n.status().ToString().c_str());
+      return;
+    }
+    pos += kSegments * block;
+    if (pos + kSegments * block > kFileSize) {
+      state.PauseTiming();
+      (void)env.api().SetFilePointer(handle, 0, vfs::SeekOrigin::kBegin);
+      pos = 0;
+      state.ResumeTiming();
+    }
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kSegments * block));
   (void)env.api().CloseHandle(handle);
 }
 
@@ -130,6 +213,59 @@ void RegisterAll() {
         ->Unit(benchmark::kMicrosecond);
     benchmark::RegisterBenchmark("Fig6c/Read/Memcpy", BM_Memcpy)
         ->Arg(block)
+        ->Iterations(kCallsPerConfig)
+        ->Unit(benchmark::kMicrosecond);
+  }
+
+  // The shm-vs-pipe column (docs/SHM_DATA_PLANE.md): the process strategy
+  // at 64 KiB blocks with the ring on (threshold 1) vs forced off, next to
+  // the DLL floor.  The CI gate in tools/check.sh bench-smoke requires the
+  // shm series to carry at least 2x the pipe series' throughput here, and
+  // the acceptance bar is within 3x of DLL (pipes historically sit ~10x).
+  struct PlaneSeries {
+    const char* label;
+    core::Strategy strategy;
+    const char* shm_threshold;  // nullptr = strategy has no ring
+  };
+  const PlaneSeries planes[] = {
+      {"ProcessShm", core::Strategy::kProcessControl, "1"},
+      {"ProcessPipe", core::Strategy::kProcessControl, "off"},
+      {"DLL", core::Strategy::kDirect, nullptr},
+  };
+  constexpr int kBigBlock = 64 * 1024;
+  for (const auto& p : planes) {
+    benchmark::RegisterBenchmark(
+        (std::string("Fig6c/Read/") + p.label).c_str(),
+        [p](benchmark::State& st) {
+          BM_Read(st, p.strategy, p.shm_threshold, "plane-");
+        })
+        ->Arg(kBigBlock)
+        ->Iterations(kCallsPerConfig)
+        ->Unit(benchmark::kMicrosecond);
+    benchmark::RegisterBenchmark(
+        (std::string("Fig6c/Write/") + p.label).c_str(),
+        [p](benchmark::State& st) {
+          BM_Write(st, p.strategy, p.shm_threshold, "plane-");
+        })
+        ->Arg(kBigBlock)
+        ->Iterations(kCallsPerConfig)
+        ->Unit(benchmark::kMicrosecond);
+    // Vectored batch: 8 x 8 KiB segments per round trip through the
+    // kReadVec/kWriteVec slot ops.
+    benchmark::RegisterBenchmark(
+        (std::string("Fig6c/ReadVec8/") + p.label).c_str(),
+        [p](benchmark::State& st) {
+          BM_ReadVec(st, p.strategy, p.shm_threshold, "plane-");
+        })
+        ->Arg(8 * 1024)
+        ->Iterations(kCallsPerConfig)
+        ->Unit(benchmark::kMicrosecond);
+    benchmark::RegisterBenchmark(
+        (std::string("Fig6c/WriteVec8/") + p.label).c_str(),
+        [p](benchmark::State& st) {
+          BM_WriteVec(st, p.strategy, p.shm_threshold, "plane-");
+        })
+        ->Arg(8 * 1024)
         ->Iterations(kCallsPerConfig)
         ->Unit(benchmark::kMicrosecond);
   }

@@ -1,6 +1,8 @@
 #include "core/links.hpp"
 
+#include <algorithm>
 #include <chrono>
+#include <cstdlib>
 
 #include "common/faultpoint.hpp"
 #include "core/supervisor.hpp"
@@ -29,7 +31,35 @@ constexpr Micros kPipeIoTimeout{10'000'000};
 // cadence is configured: the wait becomes a sequence of bounded polls.
 constexpr Micros kIdleWaitSlice{500'000};
 
+// Total bulk bytes a message would push through the write lane.
+std::size_t OutboundPayloadSize(const ControlMessage& message) {
+  if (message.op == ControlOp::kWrite) return message.inline_in.size();
+  if (message.op == ControlOp::kWriteVec) {
+    std::size_t total = 0;
+    for (ByteSpan segment : message.vec_in) total += segment.size();
+    return total;
+  }
+  return 0;
+}
+
 }  // namespace
+
+ShmConfig ParseShmConfig(const std::map<std::string, std::string>& config) {
+  ShmConfig parsed;
+  if (auto it = config.find("shm_threshold"); it != config.end()) {
+    if (it->second == "off") {
+      parsed.enabled = false;
+    } else {
+      const long value = std::strtol(it->second.c_str(), nullptr, 10);
+      if (value > 0) parsed.threshold = static_cast<std::size_t>(value);
+    }
+  }
+  if (auto it = config.find("shm_ring_bytes"); it != config.end()) {
+    const long value = std::strtol(it->second.c_str(), nullptr, 10);
+    if (value > 0) parsed.ring_bytes = static_cast<std::size_t>(value);
+  }
+  return parsed;
+}
 
 Result<std::pair<PipeLinkFds, PipeEndpointFds>> CreatePipePair() {
   AFS_ASSIGN_OR_RETURN(ipc::Pipe control, ipc::Pipe::Create());
@@ -46,6 +76,12 @@ Result<std::pair<PipeLinkFds, PipeEndpointFds>> CreatePipePair() {
   return std::make_pair(std::move(link), std::move(endpoint));
 }
 
+void PipeLink::set_shm(std::shared_ptr<ipc::ShmRing> ring,
+                       std::size_t threshold) {
+  ring_ = std::move(ring);
+  shm_threshold_ = threshold;
+}
+
 Status PipeLink::AF_SendControl(const ControlMessage& message) {
   AFS_FAULT_POINT("core.link.send");
   // Outbound legs are bounded by the op deadline when configured, by the
@@ -53,12 +89,81 @@ Status PipeLink::AF_SendControl(const ControlMessage& message) {
   // control pipe costs this op kTimeout, never a parked application.
   const Micros bound =
       response_timeout_.count() > 0 ? response_timeout_ : kPipeIoTimeout;
-  AFS_RETURN_IF_ERROR(ipc::WriteFrame(fds_.control_write,
-                                      EncodeControlMessage(message), bound));
-  if (message.op == ControlOp::kWrite && !message.inline_in.empty()) {
+  // Bulk payloads at/above the threshold leave the pipes for the ring —
+  // but only once the peer has advertised the shm data plane, so a
+  // pre-rev-2 sentinel never faces frames whose bytes it cannot find.
+  const std::size_t out_len = OutboundPayloadSize(message);
+  const bool use_ring =
+      ring_ != nullptr && out_len >= shm_threshold_ && out_len > 0 &&
+      peer_rev_.load(std::memory_order_relaxed) >= sentinel::kDataPlaneRev;
+  {
+    // Stash the op's destination spans so a shm-lane response can scatter
+    // ring bytes straight into the caller's buffers.
+    MutexLock lock(read_mu_);
+    scatter_.clear();
+    if (!message.inline_out.empty()) scatter_.push_back(message.inline_out);
+    scatter_.insert(scatter_.end(), message.vec_out.begin(),
+                    message.vec_out.end());
+  }
+  AFS_RETURN_IF_ERROR(ipc::WriteFrame(
+      fds_.control_write,
+      EncodeControlMessage(message, use_ring ? sentinel::kLaneShm : 0),
+      bound));
+  if (out_len == 0) return Status::Ok();
+  if (use_ring) {
+    if (message.op == ControlOp::kWrite) {
+      return ring_->Write(ipc::ShmRing::kToSentinel, message.inline_in,
+                          bound);
+    }
+    for (ByteSpan segment : message.vec_in) {
+      AFS_RETURN_IF_ERROR(
+          ring_->Write(ipc::ShmRing::kToSentinel, segment, bound));
+    }
+    return Status::Ok();
+  }
+  if (message.op == ControlOp::kWrite) {
     // The paper's write path: command on the control channel, then the
     // payload bytes on the write pipe.
-    AFS_RETURN_IF_ERROR(fds_.data_write.WriteAll(message.inline_in, bound));
+    return fds_.data_write.WriteAll(message.inline_in, bound);
+  }
+  for (ByteSpan segment : message.vec_in) {
+    // Gather segments travel the write pipe concatenated; the sentinel
+    // slices them back apart from the message's segment table.
+    if (!segment.empty()) {
+      AFS_RETURN_IF_ERROR(fds_.data_write.WriteAll(segment, bound));
+    }
+  }
+  return Status::Ok();
+}
+
+Status PipeLink::AdoptResponse(ControlResponse& response) {
+  if (response.peer_rev > peer_rev_.load(std::memory_order_relaxed)) {
+    peer_rev_.store(response.peer_rev, std::memory_order_relaxed);
+  }
+  if ((response.lane & sentinel::kLaneShm) == 0 || response.lane_len == 0) {
+    return Status::Ok();
+  }
+  if (!ring_) {
+    return ProtocolError("shm-lane response without an attached ring");
+  }
+  const Micros bound =
+      response_timeout_.count() > 0 ? response_timeout_ : kPipeIoTimeout;
+  std::size_t remaining = response.lane_len;
+  for (MutableByteSpan dst : scatter_) {
+    if (remaining == 0) break;
+    MutableByteSpan take = dst.first(std::min(dst.size(), remaining));
+    AFS_RETURN_IF_ERROR(ring_->ReadExact(ipc::ShmRing::kToApp, take, bound));
+    remaining -= take.size();
+  }
+  if (remaining > 0) {
+    // No (or not enough) stashed spans — kCustom replies and any overflow
+    // land in the payload buffer, exactly as a pipe-lane frame would.
+    const std::size_t at = response.payload.size();
+    response.payload.resize(at + remaining);
+    AFS_RETURN_IF_ERROR(
+        ring_->ReadExact(ipc::ShmRing::kToApp,
+                         MutableByteSpan(response.payload).subspan(at),
+                         bound));
   }
   return Status::Ok();
 }
@@ -91,6 +196,9 @@ Result<ControlResponse> PipeLink::AF_GetResponse() {
     AFS_ASSIGN_OR_RETURN(ControlResponse response,
                          DecodeControlResponse(ByteSpan(frame)));
     if (lease_) lease_->Renew();
+    // Every frame — heartbeat or answer — latches the peer's data-plane
+    // revision; a shm-lane answer additionally drains its ring payload.
+    AFS_RETURN_IF_ERROR(AdoptResponse(response));
     // Heartbeats only renew the lease; keep waiting (against the same
     // overall deadline) for the real answer.
     if (!response.heartbeat) return response;
@@ -107,6 +215,11 @@ void PipeLink::PollHeartbeats() {
     Result<ControlResponse> response = DecodeControlResponse(ByteSpan(*frame));
     if (!response.ok()) break;
     if (lease_) lease_->Renew();
+    // A real response racing the drain still owns its ring payload; adopt
+    // it here (into the in-flight op's stashed spans) before stashing the
+    // frame.  On failure the channel is desynchronized — stop draining and
+    // let the waiting op time out / the lease expire.
+    if (!AdoptResponse(*response).ok()) break;
     if (!response->heartbeat) pending_ = std::move(*response);
   }
   read_mu_.Unlock();
@@ -119,6 +232,7 @@ void PipeLink::Shutdown() {
   fds_.control_write.Close();
   fds_.response_read.Close();
   fds_.data_write.Close();
+  if (ring_) ring_->CloseAll();
 }
 
 Status PipeLink::SetCloexec() {
@@ -140,22 +254,37 @@ Result<ControlMessage> PipeEndpoint::AF_GetControl() {
     if (ready.code() != ErrorCode::kTimeout) return ready;
     if (heartbeat_interval_.count() > 0) {
       // Idle past one interval: tell the application side we are alive.
+      // Heartbeats advertise the data-plane revision too, so the link
+      // learns about the ring even before the first real answer.
       ControlResponse beat;
       beat.heartbeat = true;
       AFS_RETURN_IF_ERROR(ipc::WriteFrame(
-          fds_.response_write, EncodeControlResponse(beat), kPipeIoTimeout));
+          fds_.response_write,
+          EncodeControlResponse(beat, ring_ ? sentinel::kDataPlaneRev : 0, 0),
+          kPipeIoTimeout));
     }
   }
   // Readable now, so the frame-start wait is satisfied instantly; the
   // bound covers only a peer dying mid-frame.
   AFS_ASSIGN_OR_RETURN(Buffer frame,
                        ipc::ReadFrame(fds_.control_read, kPipeIoTimeout));
-  return DecodeControlMessage(ByteSpan(frame));
+  AFS_ASSIGN_OR_RETURN(ControlMessage message,
+                       DecodeControlMessage(ByteSpan(frame)));
+  // Remember which lane this command's payload travels; the dispatch loop
+  // calls AF_GetDataFromAppl before the next AF_GetControl.
+  last_lane_ = message.lane;
+  return message;
 }
 
 Result<Buffer> PipeEndpoint::AF_GetDataFromAppl(std::size_t length) {
   AFS_FAULT_POINT("sentinel.endpoint.data");
   Buffer data(length);
+  if (ring_ && (last_lane_ & sentinel::kLaneShm) != 0) {
+    AFS_RETURN_IF_ERROR(ring_->ReadExact(ipc::ShmRing::kToSentinel,
+                                         MutableByteSpan(data),
+                                         kPipeIoTimeout));
+    return data;
+  }
   // The control frame announcing these bytes already arrived; the payload
   // is right behind it, so a stall is a dead application, not idleness.
   AFS_RETURN_IF_ERROR(
@@ -165,8 +294,21 @@ Result<Buffer> PipeEndpoint::AF_GetDataFromAppl(std::size_t length) {
 
 Status PipeEndpoint::AF_SendResponse(const ControlResponse& response) {
   AFS_FAULT_POINT("sentinel.endpoint.send");
-  return ipc::WriteFrame(fds_.response_write, EncodeControlResponse(response),
-                         kPipeIoTimeout);
+  // Bulk response payloads ride the ring (frame carries only their length);
+  // the application created the ring, so it can always drain the lane.
+  const bool use_ring = ring_ != nullptr && !response.heartbeat &&
+                        response.payload.size() >= shm_threshold_ &&
+                        !response.payload.empty();
+  AFS_RETURN_IF_ERROR(ipc::WriteFrame(
+      fds_.response_write,
+      EncodeControlResponse(response, ring_ ? sentinel::kDataPlaneRev : 0,
+                            use_ring ? sentinel::kLaneShm : 0),
+      kPipeIoTimeout));
+  if (use_ring) {
+    return ring_->Write(ipc::ShmRing::kToApp, ByteSpan(response.payload),
+                        kPipeIoTimeout);
+  }
+  return Status::Ok();
 }
 
 Status ThreadRendezvous::AF_SendControl(const ControlMessage& message) {

@@ -11,16 +11,33 @@
 //     ControlMessage, giving one user-level copy per transfer.
 #pragma once
 
+#include <atomic>
+#include <map>
 #include <memory>
 #include <optional>
+#include <string>
+#include <vector>
 
 #include "common/mutex.hpp"
 #include "ipc/pipe.hpp"
+#include "ipc/shm_ring.hpp"
 #include "sentinel/endpoint.hpp"
 
 namespace afs::core {
 
 class Lease;  // core/supervisor.hpp
+
+// Shared-memory data-plane knobs parsed from the active-file spec
+// (docs/SHM_DATA_PLANE.md): `shm_threshold` is the payload size at which
+// bulk bytes leave the pipes for the ring ("off" disables the ring
+// entirely), `shm_ring_bytes` the per-direction ring capacity.
+struct ShmConfig {
+  bool enabled = true;
+  std::size_t threshold = 4096;
+  std::size_t ring_bytes = std::size_t{1} << 20;
+};
+
+ShmConfig ParseShmConfig(const std::map<std::string, std::string>& config);
 
 struct PipeLinkFds {
   // Application side.
@@ -74,18 +91,47 @@ class PipeLink final : public sentinel::SentinelLink {
   // Marks all application-side ends close-on-exec (exec-mode sentinels).
   Status SetCloexec();
 
+  // Attaches the shared ring (docs/PROTOCOL.md §3.5).  Payloads of at
+  // least `threshold` bytes ride it — but only once the peer has
+  // advertised the shm data plane in a response extension; until then
+  // everything stays on the pipes.
+  void set_shm(std::shared_ptr<ipc::ShmRing> ring, std::size_t threshold);
+
+  // Latched from response extensions: 0 until the sentinel's first frame
+  // arrives, kDataPlaneRev once a ring-capable peer has answered.
+  std::uint8_t peer_rev() const noexcept override {
+    return peer_rev_.load(std::memory_order_relaxed);
+  }
+
  private:
+  // Latches the peer's advertised revision and, for a shm-lane response,
+  // pulls its payload off the ring — into the stashed destination spans of
+  // the op in flight when present, into response.payload otherwise.
+  Status AdoptResponse(sentinel::ControlResponse& response)
+      AFS_REQUIRES(read_mu_);
+
   // afs-lint: allow(guarded-member: fd table fixed at construction; read_mu_ serializes response readers)
   PipeLinkFds fds_;
   // afs-lint: allow(guarded-member: configured before the link is shared)
   Micros response_timeout_{0};
   // afs-lint: allow(guarded-member: configured before the link is shared)
   std::shared_ptr<Lease> lease_;
+  // afs-lint: allow(guarded-member: configured before the link is shared)
+  std::shared_ptr<ipc::ShmRing> ring_;
+  // afs-lint: allow(guarded-member: configured before the link is shared)
+  std::size_t shm_threshold_ = 4096;
+  // Monotonic latch; atomic so LinkHandle can gate vectored ops on it
+  // without taking the read lock.
+  std::atomic<std::uint8_t> peer_rev_{0};
 
   // Serializes readers of the response pipe: the application operation in
   // flight vs. the supervisor's heartbeat drain.
   Mutex read_mu_;
   std::optional<sentinel::ControlResponse> pending_ AFS_GUARDED_BY(read_mu_);
+  // Destination spans of the op in flight (inline_out / vec_out), stashed
+  // at send so a shm-lane response scatters ring bytes straight into the
+  // caller's buffers — the zero-extra-copy read path.
+  std::vector<MutableByteSpan> scatter_ AFS_GUARDED_BY(read_mu_);
 };
 
 class PipeEndpoint final : public sentinel::SentinelEndpoint {
@@ -105,9 +151,24 @@ class PipeEndpoint final : public sentinel::SentinelEndpoint {
     heartbeat_interval_ = interval;
   }
 
+  // Attaches the shared ring (set before the dispatch loop starts).  Once
+  // attached, every response advertises kDataPlaneRev and payloads of at
+  // least `threshold` bytes ride the ring; inbound shm-lane writes are
+  // drained from it instead of the data pipe.
+  void set_shm(std::shared_ptr<ipc::ShmRing> ring,
+               std::size_t threshold) noexcept {
+    ring_ = std::move(ring);
+    shm_threshold_ = threshold;
+  }
+
  private:
   PipeEndpointFds fds_;
   Micros heartbeat_interval_{0};
+  std::shared_ptr<ipc::ShmRing> ring_;
+  std::size_t shm_threshold_ = 4096;
+  // Lane byte of the command being served (single dispatch thread): tells
+  // AF_GetDataFromAppl which lane carries the write payload.
+  std::uint8_t last_lane_ = 0;
 };
 
 // Both halves of the thread strategy's connection in one object.  The

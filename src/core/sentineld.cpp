@@ -120,7 +120,30 @@ int SentineldMain(int argc, char** argv) {
     if (heartbeat_ms > 0) {
       endpoint.set_heartbeat_interval(Micros{heartbeat_ms * 1000});
     }
+    // Shared-memory data plane: the launching application created the ring
+    // and passed its descriptor through the exec.  A failed attach is not
+    // fatal — the endpoint simply never advertises kDataPlaneRev and every
+    // payload stays on the pipes (docs/SHM_DATA_PLANE.md).
+    std::shared_ptr<ipc::ShmRing> ring;
+    if (!args.Get("shm-fd").empty()) {
+      auto shm_fd = args.GetFd("shm-fd");
+      if (shm_fd.ok()) {
+        Result<std::shared_ptr<ipc::ShmRing>> attached =
+            ipc::ShmRing::Attach(*shm_fd);
+        if (attached.ok()) {
+          ring = std::move(*attached);
+          std::uint64_t threshold = args.GetU64("shm-threshold");
+          if (threshold == 0) threshold = 4096;
+          endpoint.set_shm(ring, static_cast<std::size_t>(threshold));
+        } else {
+          obs::Registry::Global().GetCounter("ipc.shm.fallbacks").Add(1);
+        }
+      }
+    }
     code = sentinel::RunSentinelLoop(**sent, endpoint, ctx);
+    // Mark the rings closed before exit so application-side waits end in
+    // EOF/kClosed now instead of a timeout later.
+    if (ring) ring->CloseAll();
   } else if (mode == "stream") {
     auto in_fd = args.GetFd("in-fd");
     auto out_fd = args.GetFd("out-fd");

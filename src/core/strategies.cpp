@@ -114,6 +114,42 @@ Micros OpTimeout(const OpenRequest& request) {
   return ms > 0 ? Micros{ms * 1000} : Micros{0};
 }
 
+// Bound on one shm-ring stream leg (mirrors the pipe bound in links.cpp):
+// ten seconds of a full/empty ring means the peer stopped participating.
+constexpr Micros kRingIoTimeout{10'000'000};
+
+// Poll cadence for ring-mode stream reads: each elapsed slice re-checks
+// peer liveness before re-arming the wait.
+constexpr Micros kRingPollSlice{200'000};
+
+// Wire segment table of a vectored op: u32 count then the u32 segment
+// lengths; `total` receives the summed payload size.
+template <typename Seg>
+Buffer EncodeVecTable(std::span<Seg> segments, std::size_t* total) {
+  Buffer table;
+  table.reserve(4 + 4 * segments.size());
+  AppendU32(table, static_cast<std::uint32_t>(segments.size()));
+  *total = 0;
+  for (const auto& segment : segments) {
+    AppendU32(table, static_cast<std::uint32_t>(segment.size()));
+    *total += segment.size();
+  }
+  return table;
+}
+
+// Creates the shared ring for a process-strategy open, or null when the
+// spec disabled it / setup failed (counted; pipes carry everything then).
+std::shared_ptr<ipc::ShmRing> CreateRingOrFallback(const ShmConfig& shm) {
+  if (!shm.enabled) return nullptr;
+  Result<std::shared_ptr<ipc::ShmRing>> created =
+      ipc::ShmRing::Create(shm.ring_bytes);
+  if (created.ok()) return std::move(*created);
+  static obs::Counter& fallbacks =
+      obs::Registry::Global().GetCounter("ipc.shm.fallbacks");
+  fallbacks.Add(1);
+  return nullptr;
+}
+
 SentinelContext BuildContext(const OpenRequest& request,
                              const CacheAssembly& cache) {
   SentinelContext ctx;
@@ -191,11 +227,67 @@ class LinkHandle final : public vfs::FileHandle, public ActiveHandle {
 
   Result<std::size_t> ReadScatter(
       std::span<MutableByteSpan> segments) override {
-    // The control channel makes vectored reads expressible (paper §4.2) —
-    // they decompose into sequential reads at the sentinel's position.
+    {
+      MutexLock lock(mu_);
+      if (!closed_ && !poisoned_ &&
+          link_->peer_rev() >= sentinel::kDataPlaneRev) {
+        // Rev-2 peers take the whole scatter list in one crossing: the
+        // segment table rides the control frame, the bytes come back on
+        // the response lane (ring or frame) and land in the segments.
+        ControlMessage msg;
+        msg.op = ControlOp::kReadVec;
+        std::size_t total = 0;
+        msg.payload = EncodeVecTable(segments, &total);
+        msg.length = static_cast<std::uint32_t>(total);
+        msg.vec_out.assign(segments.begin(), segments.end());
+        AFS_ASSIGN_OR_RETURN(ControlResponse resp, RoundTrip(msg));
+        if (!resp.payload.empty()) {
+          // Pipe lane: scatter the concatenated frame payload.
+          std::size_t at = 0;
+          for (auto& segment : segments) {
+            const std::size_t n =
+                std::min(segment.size(), resp.payload.size() - at);
+            std::memcpy(segment.data(), resp.payload.data() + at, n);
+            at += n;
+            if (at == resp.payload.size()) break;
+          }
+          return at;
+        }
+        return static_cast<std::size_t>(resp.number);
+      }
+    }
+    // Pre-rev-2 peer: the control channel still makes vectored reads
+    // expressible (paper §4.2) — they decompose into sequential reads at
+    // the sentinel's position, one crossing each.
     std::size_t total = 0;
     for (auto& segment : segments) {
       AFS_ASSIGN_OR_RETURN(std::size_t n, Read(segment));
+      total += n;
+      if (n < segment.size()) break;
+    }
+    return total;
+  }
+
+  Result<std::size_t> WriteGather(std::span<ByteSpan> segments) override {
+    {
+      MutexLock lock(mu_);
+      if (!closed_ && !poisoned_ &&
+          link_->peer_rev() >= sentinel::kDataPlaneRev) {
+        // One crossing for the whole gather list; the segments travel
+        // concatenated on the write lane (ring or pipe).
+        ControlMessage msg;
+        msg.op = ControlOp::kWriteVec;
+        std::size_t total = 0;
+        msg.payload = EncodeVecTable(segments, &total);
+        msg.length = static_cast<std::uint32_t>(total);
+        msg.vec_in.assign(segments.begin(), segments.end());
+        AFS_ASSIGN_OR_RETURN(ControlResponse resp, RoundTrip(msg));
+        return static_cast<std::size_t>(resp.number);
+      }
+    }
+    std::size_t total = 0;
+    for (ByteSpan segment : segments) {
+      AFS_ASSIGN_OR_RETURN(std::size_t n, Write(segment));
       total += n;
       if (n < segment.size()) break;
     }
@@ -454,11 +546,13 @@ class DirectHandle final : public vfs::FileHandle, public ActiveHandle {
 class ProcessHandle final : public vfs::FileHandle {
  public:
   ProcessHandle(ipc::PipeEnd to_sentinel, ipc::PipeEnd from_sentinel,
-                std::shared_ptr<ipc::ProcessWatch> child, Micros read_timeout)
+                std::shared_ptr<ipc::ProcessWatch> child, Micros read_timeout,
+                std::shared_ptr<ipc::ShmRing> ring = nullptr)
       : to_sentinel_(std::move(to_sentinel)),
         from_sentinel_(std::move(from_sentinel)),
         child_(std::move(child)),
-        read_timeout_(read_timeout) {}
+        read_timeout_(read_timeout),
+        ring_(std::move(ring)) {}
 
   Result<std::size_t> Read(MutableByteSpan out) override {
     MutexLock lock(mu_);
@@ -466,6 +560,32 @@ class ProcessHandle final : public vfs::FileHandle {
     // Raw byte stream, no control frames: the trace cannot cross into the
     // sentinel here, so this app-side span is the leaf of the trace.
     obs::Span span("link.stream.read");
+    if (ring_) {
+      // Ring mode: bytes only ever travel the ring; the pipes stay open
+      // purely as liveness probes.  Each elapsed slice re-checks the
+      // outbound pipe — it turns readable (EOF) exactly when a sentinel
+      // died without closing the ring.
+      const bool bounded = read_timeout_.count() > 0;
+      const auto deadline = std::chrono::steady_clock::now() +
+                            std::chrono::microseconds(read_timeout_.count());
+      while (true) {
+        Micros slice = kRingPollSlice;
+        if (bounded) {
+          const auto left =
+              std::chrono::duration_cast<std::chrono::microseconds>(
+                  deadline - std::chrono::steady_clock::now());
+          if (left.count() <= 0) {
+            return TimeoutError("stream sentinel stopped producing");
+          }
+          slice = std::min(slice, Micros{left.count()});
+        }
+        Result<std::size_t> n =
+            ring_->ReadSome(ipc::ShmRing::kToApp, out, slice);
+        if (n.ok() || n.status().code() != ErrorCode::kTimeout) return n;
+        Result<bool> eof = from_sentinel_.Poll();
+        if (!eof.ok() || *eof) return std::size_t{0};  // sentinel is gone
+      }
+    }
     // A sentinel that stops producing must cost kTimeout, not a hang; a
     // dead one closes its end and the read below reports EOF.
     AFS_RETURN_IF_ERROR(from_sentinel_.WaitReadable(read_timeout_));
@@ -476,6 +596,11 @@ class ProcessHandle final : public vfs::FileHandle {
     MutexLock lock(mu_);
     if (closed_) return ClosedError("handle closed");
     obs::Span span("link.stream.write");
+    if (ring_) {
+      AFS_RETURN_IF_ERROR(
+          ring_->Write(ipc::ShmRing::kToSentinel, data, kRingIoTimeout));
+      return data.size();
+    }
     AFS_RETURN_IF_ERROR(to_sentinel_.WriteAll(data));
     return data.size();
   }
@@ -494,6 +619,7 @@ class ProcessHandle final : public vfs::FileHandle {
     MutexLock lock(mu_);
     if (closed_) return Status::Ok();
     closed_ = true;
+    if (ring_) ring_->CloseAll();  // ring-mode EOF for the sentinel's pump
     to_sentinel_.Close();    // sentinel's writer loop sees EOF
     from_sentinel_.Close();  // unblocks an eagerly-pushing sentinel (EPIPE)
     // Bounded reap: a wedged sentinel is escalated TERM -> KILL rather
@@ -512,6 +638,9 @@ class ProcessHandle final : public vfs::FileHandle {
   ipc::PipeEnd from_sentinel_ AFS_GUARDED_BY(mu_);
   std::shared_ptr<ipc::ProcessWatch> child_ AFS_GUARDED_BY(mu_);
   const Micros read_timeout_;
+  // Bulk data plane when non-null (fork mode only; an exec'd stream binary
+  // has no handshake to learn about the ring).
+  std::shared_ptr<ipc::ShmRing> ring_ AFS_GUARDED_BY(mu_);
   bool closed_ AFS_GUARDED_BY(mu_) = false;
 };
 
@@ -662,11 +791,19 @@ Result<std::unique_ptr<vfs::FileHandle>> OpenProcessControl(
     res->link->set_lease(lease);
   }
 
+  // Shared-memory bulk data plane (docs/SHM_DATA_PLANE.md): the
+  // application creates the ring; the sentinel attaches via fork
+  // inheritance or the --shm-fd handle.  Any setup failure falls back to
+  // pipes — the classic data plane stays fully functional.
+  const ShmConfig shm = ParseShmConfig(request.spec.config);
+  std::shared_ptr<ipc::ShmRing> ring = CreateRingOrFallback(shm);
+
   const std::string exec_path = ExecPath(request);
   if (!exec_path.empty()) {
     // fork+exec of the sentinel executable; it reopens the bundle itself.
     // The app-side ends must not leak into the exec'd image, or the
-    // sentinel never observes EOF when the application closes.
+    // sentinel never observes EOF when the application closes.  (The ring
+    // descriptor, by contrast, is deliberately inheritable.)
     AFS_RETURN_IF_ERROR(res->link->SetCloexec());
     PipeEndpointFds fds = std::move(pipes.second);
     std::vector<std::string> argv = {
@@ -679,6 +816,12 @@ Result<std::unique_ptr<vfs::FileHandle>> OpenProcessControl(
     if (request.heartbeat_interval.count() > 0) {
       argv.push_back("--heartbeat-ms=" +
                      std::to_string(request.heartbeat_interval.count() / 1000));
+    }
+    if (ring) {
+      // An older binary ignores the flag and never stamps kDataPlaneRev in
+      // its responses, so the link keeps everything on pipes (§3.5).
+      argv.push_back("--shm-fd=" + std::to_string(ring->fd()));
+      argv.push_back("--shm-threshold=" + std::to_string(shm.threshold));
     }
     Result<ipc::ChildProcess> spawned = ipc::SpawnExec(argv);
     AFS_RETURN_IF_ERROR(spawned.status());
@@ -694,13 +837,21 @@ Result<std::unique_ptr<vfs::FileHandle>> OpenProcessControl(
 
     PipeEndpoint endpoint(std::move(pipes.second));
     endpoint.set_heartbeat_interval(request.heartbeat_interval);
+    if (ring) endpoint.set_shm(ring, shm.threshold);
     // The child's copy of the stack keeps every referenced object alive:
     // it runs the loop inside this call frame and _exit()s.
     Result<ipc::ChildProcess> spawned = ipc::SpawnFunction([&]() -> int {
-      res->link->Shutdown();  // child's copies of the app-side ends
+      // NOTE: the link has no ring attached yet (set_shm below runs only
+      // in the parent, after the fork), so this Shutdown touches only the
+      // child's copies of the app-side pipe ends — a ring CloseAll here
+      // would poison the shared mapping for the parent too.
+      res->link->Shutdown();
       const int code = sentinel::RunSentinelLoop(*sent, endpoint, ctx);
       // afs-lint: allow(status-discard: child is about to _exit; exit code is the loop's)
       (void)cache.Finalize();
+      // Mark the shared rings closed before _exit so application-side
+      // waits end in EOF/kClosed now instead of a timeout later.
+      if (ring) ring->CloseAll();
       return code;
     });
     AFS_RETURN_IF_ERROR(spawned.status());
@@ -708,6 +859,10 @@ Result<std::unique_ptr<vfs::FileHandle>> OpenProcessControl(
     // Parent's copies of the sentinel-side ends close here (scope exit),
     // so EOF propagates if either side dies.
   }
+  // Attach the ring to the application side only after the child exists:
+  // the fork-mode child's frame must not carry a ring-owning link (see the
+  // Shutdown note above).
+  if (ring) res->link->set_shm(ring, shm.threshold);
 
   if (probe != nullptr) {
     probe->lease = lease;
@@ -790,21 +945,53 @@ Result<std::unique_ptr<vfs::FileHandle>> OpenProcess(
   const sentinel::StreamResume resume{request.resume_read_pos,
                                       request.resume_write_pos};
 
+  // Fork-mode streams ride the shared ring (same image on both sides, no
+  // handshake needed); the pipes stay open as pure liveness probes.  An
+  // exec'd stream binary keeps the classic pipe plane — the raw byte
+  // protocol has no banner to advertise the ring through.
+  const ShmConfig shm = ParseShmConfig(request.spec.config);
+  std::shared_ptr<ipc::ShmRing> ring = CreateRingOrFallback(shm);
+
   Result<ipc::ChildProcess> spawned = ipc::SpawnFunction([&]() -> int {
     // Child's copies of the application-side ends must close for EOF.
     inbound.write_end.Close();
     outbound.read_end.Close();
     sentinel::StreamIo io;
-    io.read_from_app = [&](MutableByteSpan out) {
-      return inbound.read_end.ReadSome(out);
-    };
-    io.write_to_app = [&](ByteSpan data) {
-      return outbound.write_end.WriteAll(data);
-    };
-    io.finish_output = [&]() { outbound.write_end.Close(); };
+    if (ring) {
+      io.read_from_app = [&](MutableByteSpan out) -> Result<std::size_t> {
+        // Bounded slices with a liveness probe between them: an
+        // application that died without closing the ring leaves its pipe
+        // end — which carries no data in ring mode — at EOF (readable).
+        while (true) {
+          Result<std::size_t> n = ring->ReadSome(ipc::ShmRing::kToSentinel,
+                                                 out, kRingPollSlice);
+          if (n.ok() || n.status().code() != ErrorCode::kTimeout) return n;
+          Result<bool> eof = inbound.read_end.Poll();
+          if (!eof.ok() || *eof) return std::size_t{0};  // app is gone
+        }
+      };
+      io.write_to_app = [&](ByteSpan data) {
+        return ring->Write(ipc::ShmRing::kToApp, data, kRingIoTimeout);
+      };
+      io.finish_output = [&]() {
+        ring->CloseDir(ipc::ShmRing::kToApp);
+        outbound.write_end.Close();
+      };
+    } else {
+      io.read_from_app = [&](MutableByteSpan out) {
+        return inbound.read_end.ReadSome(out);
+      };
+      io.write_to_app = [&](ByteSpan data) {
+        return outbound.write_end.WriteAll(data);
+      };
+      io.finish_output = [&]() { outbound.write_end.Close(); };
+    }
     const int code = sentinel::RunStreamPump(*sent, io, ctx, resume);
     // afs-lint: allow(status-discard: child is about to _exit; exit code is the pump's)
     (void)cache.Finalize();
+    // Mark the rings closed before _exit so application-side waits end in
+    // EOF now instead of a liveness-probe round trip later.
+    if (ring) ring->CloseAll();
     return code;
   });
   AFS_RETURN_IF_ERROR(spawned.status());
@@ -817,7 +1004,7 @@ Result<std::unique_ptr<vfs::FileHandle>> OpenProcess(
   FillChildProbe(probe, watch, inbound.write_end.fd());
   return std::unique_ptr<vfs::FileHandle>(std::make_unique<ProcessHandle>(
       std::move(inbound.write_end), std::move(outbound.read_end),
-      std::move(watch), OpTimeout(request)));
+      std::move(watch), OpTimeout(request), std::move(ring)));
 }
 
 }  // namespace

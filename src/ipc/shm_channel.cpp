@@ -1,5 +1,8 @@
 #include "ipc/shm_channel.hpp"
 
+#include <algorithm>
+#include <cstring>
+
 #include "obs/metrics.hpp"
 
 namespace afs::ipc {
@@ -7,13 +10,37 @@ namespace afs::ipc {
 Status ShmChannel::Write(ByteSpan bytes) {
   static obs::Counter& written =
       obs::Registry::Global().GetCounter("ipc.shm.write.bytes");
+  const std::size_t cap = data_.size();
   std::size_t done = 0;
-  MutexLock lock(mu_);
   while (done < bytes.size()) {
-    while (!closed_ && ring_.full()) writable_.Wait(mu_);
-    if (closed_) return ClosedError("shm channel closed");
-    done += ring_.Write(bytes.subspan(done));
+    // Reserve: claim the free region after the committed data.  Reads move
+    // only head_ and leave the tail (head_ + size_) invariant, so the
+    // claimed region stays ours while unlocked.
+    std::size_t start = 0;
+    std::size_t n = 0;
+    {
+      MutexLock lock(mu_);
+      // afs-lint: allow(nonblocking: the paired reader drains, Close() wakes)
+      while (!closed_ && size_ == cap) writable_.Wait(mu_);
+      if (closed_) return ClosedError("shm channel closed");
+      start = (head_ + size_) % cap;
+      n = std::min(bytes.size() - done, cap - size_);
+    }
+    // The bulk copy happens outside the lock — the reader cannot observe
+    // the claimed region until the commit below publishes it.
+    const std::size_t first = std::min(n, cap - start);
+    std::memcpy(data_.data() + start, bytes.data() + done, first);
+    if (n > first) {
+      std::memcpy(data_.data(), bytes.data() + done + first, n - first);
+    }
+    {
+      // Commit: publish the claimed bytes.
+      MutexLock lock(mu_);
+      if (closed_) return ClosedError("shm channel closed");
+      size_ += n;
+    }
     readable_.NotifyOne();
+    done += n;
   }
   written.Add(done);
   return Status::Ok();
@@ -23,10 +50,30 @@ Result<std::size_t> ShmChannel::ReadSome(MutableByteSpan out) {
   static obs::Counter& read =
       obs::Registry::Global().GetCounter("ipc.shm.read.bytes");
   if (out.empty()) return std::size_t{0};
-  MutexLock lock(mu_);
-  while (!closed_ && ring_.empty()) readable_.Wait(mu_);
-  if (ring_.empty()) return std::size_t{0};  // closed and drained
-  const std::size_t n = ring_.Read(out);
+  const std::size_t cap = data_.size();
+  // Reserve: claim the front of the committed region.  The writer only
+  // appends past the tail, so these bytes are stable while unlocked.
+  std::size_t start = 0;
+  std::size_t n = 0;
+  {
+    MutexLock lock(mu_);
+    // afs-lint: allow(nonblocking: the paired writer produces, Close() wakes)
+    while (!closed_ && size_ == 0) readable_.Wait(mu_);
+    if (size_ == 0) return std::size_t{0};  // closed and drained
+    start = head_;
+    n = std::min(out.size(), size_);
+  }
+  const std::size_t first = std::min(n, cap - start);
+  std::memcpy(out.data(), data_.data() + start, first);
+  if (n > first) {
+    std::memcpy(out.data() + first, data_.data(), n - first);
+  }
+  {
+    // Commit: release the consumed region to the writer.
+    MutexLock lock(mu_);
+    head_ = (head_ + n) % cap;
+    size_ -= n;
+  }
   writable_.NotifyOne();
   read.Add(n);
   return n;

@@ -4,18 +4,23 @@
 // ring shared between the application thread and the injected sentinel
 // thread, with exactly one user-level copy per side and no kernel
 // involvement beyond futex waits.
+// Concurrency contract: one writer thread and one reader thread (the
+// rendezvous layers already serialize to that).  Bulk copies happen
+// OUTSIDE the mutex via a reserve/commit protocol: the lock only claims a
+// region (indices), the memcpy runs unlocked on a region the other side
+// cannot touch until the commit publishes it.
 #pragma once
 
 #include "common/bytes.hpp"
 #include "common/mutex.hpp"
 #include "common/status.hpp"
-#include "util/ring_buffer.hpp"
 
 namespace afs::ipc {
 
 class ShmChannel {
  public:
-  explicit ShmChannel(std::size_t capacity = 64 * 1024) : ring_(capacity) {}
+  explicit ShmChannel(std::size_t capacity = 64 * 1024)
+      : data_(capacity > 0 ? capacity : 1) {}
 
   ShmChannel(const ShmChannel&) = delete;
   ShmChannel& operator=(const ShmChannel&) = delete;
@@ -42,14 +47,21 @@ class ShmChannel {
 
   std::size_t buffered() const {
     MutexLock lock(mu_);
-    return ring_.size();
+    return size_;
   }
 
  private:
   mutable Mutex mu_;
   CondVar readable_;
   CondVar writable_;
-  RingBuffer ring_ AFS_GUARDED_BY(mu_);
+  // afs-lint: allow(guarded-member: byte storage deliberately copied outside the lock; mu_ guards the head_/size_ indices that partition it between the SPSC sides)
+  Buffer data_;
+  // Ring indices: [head_, head_+size_) mod capacity is committed data.
+  // The reader alone moves head_; the writer alone moves the tail
+  // (head_ + size_), which reads leave invariant — that is what makes the
+  // unlocked copies race-free.
+  std::size_t head_ AFS_GUARDED_BY(mu_) = 0;
+  std::size_t size_ AFS_GUARDED_BY(mu_) = 0;
   bool closed_ AFS_GUARDED_BY(mu_) = false;
 };
 

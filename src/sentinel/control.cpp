@@ -3,19 +3,25 @@
 namespace afs::sentinel {
 
 Buffer EncodeControlMessage(const ControlMessage& message) {
+  return EncodeControlMessage(message, message.lane);
+}
+
+Buffer EncodeControlMessage(const ControlMessage& message, std::uint8_t lane) {
   Buffer out;
-  out.reserve(1 + 4 + 8 + 1 + 8 + 4 + message.payload.size() + 1 + 16);
+  out.reserve(1 + 4 + 8 + 1 + 8 + 4 + message.payload.size() + 1 + 16 + 1);
   out.push_back(static_cast<std::uint8_t>(message.op));
   AppendU32(out, message.length);
   AppendU64(out, static_cast<std::uint64_t>(message.offset));
   out.push_back(message.origin);
   AppendU64(out, message.range_len);
   AppendLenPrefixed(out, ByteSpan(message.payload));
-  // Versioned trailing extension (trace propagation).  Pre-extension
-  // decoders stop after the payload and never see these bytes.
+  // Versioned trailing extension.  Pre-extension decoders stop after the
+  // payload and never see these bytes; v1 fields are the trace, v2 adds
+  // the data-plane lane byte.
   out.push_back(kControlExtVersion);
   AppendU64(out, message.trace_id);
   AppendU64(out, message.parent_span);
+  out.push_back(lane);
   return out;
 }
 
@@ -31,7 +37,7 @@ Result<ControlMessage> DecodeControlMessage(ByteSpan bytes) {
     return ProtocolError("malformed control message");
   }
   if (op < static_cast<std::uint8_t>(ControlOp::kRead) ||
-      op > static_cast<std::uint8_t>(ControlOp::kClose)) {
+      op > static_cast<std::uint8_t>(ControlOp::kWriteVec)) {
     return ProtocolError("unknown control op " + std::to_string(op));
   }
   message.op = static_cast<ControlOp>(op);
@@ -52,6 +58,9 @@ Result<ControlMessage> DecodeControlMessage(ByteSpan bytes) {
         return ProtocolError("truncated control message trace extension");
       }
     }
+    if (ext_version >= 2 && !reader.ReadU8(message.lane)) {
+      return ProtocolError("truncated control message lane extension");
+    }
   }
   return message;
 }
@@ -62,17 +71,31 @@ constexpr std::uint8_t kResponseFlagHeartbeat = 0x01;
 }  // namespace
 
 Buffer EncodeControlResponse(const ControlResponse& response) {
+  return EncodeControlResponse(response, response.peer_rev, response.lane);
+}
+
+Buffer EncodeControlResponse(const ControlResponse& response,
+                             std::uint8_t peer_rev, std::uint8_t lane) {
+  // When the payload rides the shm lane its bytes are omitted from the
+  // frame; lane_len tells the link how many to pull off the ring.
+  const bool shm_lane = (lane & kLaneShm) != 0;
+  const std::uint32_t lane_len =
+      shm_lane ? static_cast<std::uint32_t>(response.payload.size()) : 0;
   Buffer out;
   out.reserve(1 + 2 + 4 + response.status.message().size() + 8 + 4 +
-              response.payload.size() + 1 + 4);
+              (shm_lane ? 0 : response.payload.size()) + 1 + 4 + 6);
   out.push_back(response.heartbeat ? kResponseFlagHeartbeat : 0);
   AppendU16(out, static_cast<std::uint16_t>(response.status.code()));
   AppendLenPrefixed(out, response.status.message());
   AppendU64(out, response.number);
-  AppendLenPrefixed(out, ByteSpan(response.payload));
-  // Versioned trailing extension (spans riding home to the application).
+  AppendLenPrefixed(out, shm_lane ? ByteSpan() : ByteSpan(response.payload));
+  // Versioned trailing extension (spans riding home to the application,
+  // then the v2 data-plane handshake fields).
   out.push_back(kControlExtVersion);
   obs::AppendSpans(out, response.remote_spans);
+  out.push_back(peer_rev);
+  out.push_back(lane);
+  AppendU32(out, lane_len);
   return out;
 }
 
@@ -99,6 +122,11 @@ Result<ControlResponse> DecodeControlResponse(ByteSpan bytes) {
     if (ext_version >= 1 &&
         !obs::ReadSpans(reader, response.remote_spans)) {
       return ProtocolError("truncated control response trace extension");
+    }
+    if (ext_version >= 2 &&
+        (!reader.ReadU8(response.peer_rev) || !reader.ReadU8(response.lane) ||
+         !reader.ReadU32(response.lane_len))) {
+      return ProtocolError("truncated control response lane extension");
     }
   }
   return response;

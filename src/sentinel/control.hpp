@@ -14,13 +14,27 @@
 
 namespace afs::sentinel {
 
-// Version byte of the trailing trace extension both frame types carry
-// after their length-prefixed payload.  Pre-extension decoders stop at the
+// Version byte of the trailing extension both frame types carry after
+// their length-prefixed payload.  Pre-extension decoders stop at the
 // payload and ignore the trailer; current decoders treat a missing trailer
 // as "no trace".  Bump only when the extension layout itself changes —
-// new fields go after the existing ones so version-1 readers keep working.
-// See docs/PROTOCOL.md §3.4.
-inline constexpr std::uint8_t kControlExtVersion = 1;
+// new fields go after the existing ones so older readers keep working.
+// v1 added trace propagation (docs/PROTOCOL.md §3.4); v2 added the shm
+// data-plane handshake: the responder's data-plane revision and the lane
+// bits routing bulk payloads through the shared ring (§3.5).
+inline constexpr std::uint8_t kControlExtVersion = 2;
+
+// Data-plane revision a sentinel advertises in every response's v2
+// extension.  Revision 2 means the peer understands the shm ring lane and
+// the vectored kReadVec/kWriteVec ops; an application link only routes
+// either at a peer whose advertised revision is >= this.  Zero (the v1
+// default) means "pipes only".
+inline constexpr std::uint8_t kDataPlaneRev = 2;
+
+// Lane bit (message and response v2 extensions): the bulk payload of this
+// frame rides the shared-memory ring instead of the pipe/frame it would
+// classically use.
+inline constexpr std::uint8_t kLaneShm = 0x01;
 
 enum class ControlOp : std::uint8_t {
   kRead = 1,     // length
@@ -33,6 +47,12 @@ enum class ControlOp : std::uint8_t {
   kUnlock = 8,   // offset, range_len
   kCustom = 9,   // payload in/out
   kClose = 10,
+  // Vectored multi-block transfers (data-plane rev 2): one crossing for a
+  // whole scatter/gather list.  Wire payload is the segment table
+  // (u32 count, then count u32 lengths); the bytes travel concatenated on
+  // the write lane (kWriteVec) or in the response payload lane (kReadVec).
+  kReadVec = 11,
+  kWriteVec = 12,
 };
 
 struct ControlMessage {
@@ -49,6 +69,11 @@ struct ControlMessage {
   std::uint64_t trace_id = 0;
   std::uint64_t parent_span = 0;
 
+  // v2 extension: where this message's bulk payload travels.  kLaneShm
+  // set by pipe links that routed the kWrite/kWriteVec bytes through the
+  // shared ring; clear means the classic write pipe.
+  std::uint8_t lane = 0;
+
   // Zero-copy lanes used only by in-process endpoints (thread/direct):
   // the application's own buffers, never serialized.  When inline_out is
   // non-empty, read data is placed directly in it and the response payload
@@ -56,6 +81,13 @@ struct ControlMessage {
   // footnote 2.
   ByteSpan inline_in{};
   MutableByteSpan inline_out{};
+
+  // Vectored lanes (kReadVec/kWriteVec).  In-process endpoints consume
+  // them directly; pipe links consult vec_in to feed the write lane and
+  // vec_out to scatter the response.  Never serialized — the wire carries
+  // the segment table in `payload` instead.
+  std::vector<ByteSpan> vec_in;
+  std::vector<MutableByteSpan> vec_out;
 };
 
 struct ControlResponse {
@@ -75,13 +107,27 @@ struct ControlResponse {
   // them into its TraceLog, which is how one trace crosses the process
   // boundary.
   std::vector<obs::SpanRecord> remote_spans;
+
+  // v2 extension: the responder's data-plane revision (kDataPlaneRev when
+  // a shared ring is attached, 0 from v1 peers) and, when kLaneShm is set,
+  // the length of the payload waiting in the ring instead of the frame.
+  std::uint8_t peer_rev = 0;
+  std::uint8_t lane = 0;
+  std::uint32_t lane_len = 0;
 };
 
-// Wire codecs (inline lanes are intentionally not carried).
+// Wire codecs (inline and vectored lanes are intentionally not carried).
 Buffer EncodeControlMessage(const ControlMessage& message);
+// Link-side variant: stamps `lane` without copying the message.
+Buffer EncodeControlMessage(const ControlMessage& message, std::uint8_t lane);
 Result<ControlMessage> DecodeControlMessage(ByteSpan bytes);
 
 Buffer EncodeControlResponse(const ControlResponse& response);
+// Endpoint-side variant: stamps `peer_rev` and `lane` without copying the
+// response.  When `lane` has kLaneShm set the payload bytes are omitted
+// from the frame (they ride the ring) and `lane_len` carries their count.
+Buffer EncodeControlResponse(const ControlResponse& response,
+                             std::uint8_t peer_rev, std::uint8_t lane);
 Result<ControlResponse> DecodeControlResponse(ByteSpan bytes);
 
 }  // namespace afs::sentinel

@@ -184,6 +184,22 @@ Result<std::size_t> FileApi::ReadFileScatter(
   return file->ReadScatter(segments);
 }
 
+Result<std::size_t> FileApi::WriteFileGather(HandleId handle,
+                                             std::span<ByteSpan> segments) {
+  static OpMetrics metrics("write_gather");
+  obs::Span span("vfs.write_gather");
+  obs::ScopedLatencyTimer timer(metrics.SampleLatency() ? &metrics.latency
+                                                        : nullptr);
+  AFS_ASSIGN_OR_RETURN(FileHandle * file, Lookup(handle));
+  Result<std::size_t> n = file->WriteGather(segments);
+  if (n.ok()) {
+    metrics.pair.AddBytes(*n);
+  } else {
+    metrics.errors.Add(1);
+  }
+  return n;
+}
+
 Status FileApi::LockFileRange(HandleId handle, std::uint64_t offset,
                               std::uint64_t length) {
   AFS_ASSIGN_OR_RETURN(FileHandle * file, Lookup(handle));

@@ -63,6 +63,8 @@ class FileApi {
   Status FlushFileBuffers(HandleId handle);
   Result<std::size_t> ReadFileScatter(HandleId handle,
                                       std::span<MutableByteSpan> segments);
+  Result<std::size_t> WriteFileGather(HandleId handle,
+                                      std::span<ByteSpan> segments);
   Status LockFileRange(HandleId handle, std::uint64_t offset,
                        std::uint64_t length);
   Status UnlockFileRange(HandleId handle, std::uint64_t offset,

@@ -46,6 +46,19 @@ class FileHandle {
     return UnsupportedError("ReadFileScatter not supported on this handle");
   }
 
+  // Vectored write (Win32 WriteFileGather).  Defaults to sequential
+  // writes at the file pointer; command-strategy handles override it with
+  // a single-crossing gather (data-plane rev 2).
+  virtual Result<std::size_t> WriteGather(std::span<ByteSpan> segments) {
+    std::size_t total = 0;
+    for (ByteSpan segment : segments) {
+      AFS_ASSIGN_OR_RETURN(std::size_t n, Write(segment));
+      total += n;
+      if (n < segment.size()) break;
+    }
+    return total;
+  }
+
   // Advisory whole-handle byte-range locks.
   virtual Status LockRange(std::uint64_t offset, std::uint64_t length) {
     (void)offset;

@@ -172,6 +172,13 @@ struct Cell {
   const char* plan;  // rule list; the runner prepends the seed
   bool health;
   bool quick;  // member of the default (quick) sweep
+  // When set, forces the spec's shm_threshold so even the matrix's 4-byte
+  // payloads ride the shared-memory ring (docs/SHM_DATA_PLANE.md).  Cells
+  // without it run the default data plane.  Note ipc.shm.* sites execute
+  // in BOTH processes (the ring is shared), so kill rules never go there —
+  // the kill-mid-ring-write cells arm the child-only dispatch/stream sites
+  // instead, with the ring carrying the payload when the kill lands.
+  const char* shm_threshold = nullptr;
 };
 
 // Kill rules are armed ONLY at sites that execute inside forked sentinel
@@ -236,6 +243,34 @@ constexpr Cell kCells[] = {
      "core.strategy.open=error:io@n1", false, true},
     {"direct_manager_open_error", "direct",
      "core.manager.open=error:io@n1", false, true},
+    // shm data plane (threshold=1: every payload rides the ring).
+    // Ring setup fails at open -> the link comes up on pipes and keeps
+    // serving: fallback is invisible to the operations.
+    {"pc_shm_map_fail_falls_back", "process_control",
+     "ipc.shm.map_fail=error:io@n1", true, true, "1"},
+    // A write torn mid-ring leaves the announcing control frame without
+    // its bytes; both sides must diagnose, never resynchronize wrong.
+    {"pc_shm_torn_write", "process_control",
+     "ipc.shm.torn_write=truncate:2@n1", false, true, "1"},
+    // A stalled ring consumer costs the peer kTimeout, never a hang.
+    {"pc_shm_peer_stall", "process_control",
+     "ipc.shm.peer_stall=delay:400ms@n1", false, true, "1"},
+    {"pc_shm_kill_mid_ring_write", "process_control",
+     "sentinel.dispatch.op=kill@n2", false, true, "1"},
+    {"process_shm_map_fail_falls_back", "process",
+     "ipc.shm.map_fail=error:io@n1", true, true, "1"},
+    {"process_shm_torn_write", "process",
+     "ipc.shm.torn_write=truncate:2@n1", false, true, "1"},
+    {"process_shm_peer_stall", "process",
+     "ipc.shm.peer_stall=delay:400ms@n1", true, true, "1"},
+    {"process_shm_kill_mid_ring_write", "process",
+     "sentinel.stream.write=kill@n1", false, true, "1"},
+    // loop sessions are in-process: no ring exists, the shm sites must
+    // never fire and the armed rules stay untriggered no-ops.
+    {"loop_shm_sites_never_fire", "loop",
+     "ipc.shm.map_fail=error:io@n1;ipc.shm.torn_write=truncate:2@n1;"
+     "ipc.shm.peer_stall=delay:400ms@n1",
+     true, true, "1"},
 };
 
 bool FullMatrix() {
@@ -283,6 +318,9 @@ void RunCell(const Cell& cell, std::uint64_t seed, std::size_t cell_index) {
   spec.name = "null";
   spec.config["strategy"] = cell.strategy;
   spec.config["op_timeout_ms"] = "150";
+  if (cell.shm_threshold != nullptr) {
+    spec.config["shm_threshold"] = cell.shm_threshold;
+  }
   ASSERT_OK(manager.CreateActiveFile("cell.af", spec,
                                      AsBytes("0123456789abcdef")));
 

@@ -327,13 +327,14 @@ TEST(ControlCompatTest, LegacyMessageWithoutExtensionDecodesWithZeroTrace) {
 TEST(ControlCompatTest, LegacyResponseWithoutExtensionDecodesWithNoSpans) {
   // A pre-extension response frame: flags, status, message, number,
   // payload — encode with the current encoder, then truncate the trailing
-  // extension (1 version byte + 4-byte empty span count).
+  // extension (1 version byte + 4-byte empty span count + the v2 fields:
+  // peer_rev u8, lane u8, lane_len u32).
   sentinel::ControlResponse response;
   response.status = Status::Ok();
   response.number = 42;
   Buffer wire = sentinel::EncodeControlResponse(response);
-  ASSERT_GE(wire.size(), 5u);
-  wire.resize(wire.size() - 5);
+  ASSERT_GE(wire.size(), 11u);
+  wire.resize(wire.size() - 11);
 
   auto decoded = sentinel::DecodeControlResponse(ByteSpan(wire));
   ASSERT_OK(decoded.status());

@@ -336,6 +336,101 @@ TEST(RecoveryTest, StreamWriteKillStormDegradesWithoutLosingWrites) {
   EXPECT_TRUE(sessions[0].degraded);
 }
 
+// ---- transparent recovery: shm ring data plane ------------------------------
+
+// The shm cells rerun the kill matrix with shm_threshold=1, so every
+// payload byte rides the shared-memory ring (docs/SHM_DATA_PLANE.md)
+// instead of the data pipe.  The recovery argument is the same as for
+// pipes — the write-ahead journal, not the transport, is the source of
+// truth — plus one ring-specific property: every restarted incarnation
+// gets a FRESH ring, so bytes stranded in a dead sentinel's ring (the
+// kill lands mid-ring-write) are dropped with the old mapping and the
+// replay starts from clean state, never from a torn ring.
+
+// Kill the sentinel on the 4th command (mid-read) with the ring carrying
+// the payloads: the supervisor restarts it and the run is byte-identical.
+TEST(RecoveryTest, ControlKillMidReadOnShmRingIsByteIdentical) {
+  SequenceOutcome clean;
+  {
+    Sandbox box(SupervisedConfig("process_control",
+                                 {{"shm_threshold", "1"}}));
+    clean = RunCanonicalSequence(box);
+  }
+  EXPECT_EQ(clean.trace,
+            "open=ok;read1=ok:0123;write=ok:4;seek=ok;read2=ok:0123;close=ok");
+
+  Sandbox box(SupervisedConfig("process_control", {{"shm_threshold", "1"}}));
+  ArmedPlan plan("seed=1;sentinel.dispatch.op=kill@n4");
+  const SequenceOutcome faulted = RunCanonicalSequence(box);
+  EXPECT_EQ(faulted.trace, clean.trace);
+  EXPECT_EQ(faulted.final_data, clean.final_data);
+
+  const auto sessions = box.Journal();
+  ASSERT_EQ(sessions.size(), 1u);
+  EXPECT_GE(sessions[0].restarts, 1);
+  EXPECT_FALSE(sessions[0].degraded);
+  EXPECT_TRUE(sessions[0].closed);
+}
+
+// Kill the sentinel on the write command: the application's 4 bytes are
+// already buffered in the ring when the child dies, and the kill re-fires
+// in every incarnation (counters reset at fork).  After the restart budget
+// the handle degrades to passthrough — and the sequence must STILL be
+// byte-identical, because the journal replay, not the stranded ring bytes,
+// reconstructs the write.
+TEST(RecoveryTest, ControlKillMidRingWriteDegradesByteIdentical) {
+  SequenceOutcome clean;
+  {
+    Sandbox box(SupervisedConfig("process_control",
+                                 {{"shm_threshold", "1"}}));
+    clean = RunCanonicalSequence(box);
+  }
+
+  Sandbox box(SupervisedConfig("process_control",
+                               {{"shm_threshold", "1"},
+                                {"degrade", "passthrough"},
+                                {"restart_backoff_ms", "1"},
+                                {"restart_backoff_cap_ms", "4"}}));
+  ArmedPlan plan("seed=1;sentinel.dispatch.op=kill@n2");
+  const SequenceOutcome faulted = RunCanonicalSequence(box);
+  EXPECT_EQ(faulted.trace, clean.trace);
+  EXPECT_EQ(faulted.final_data, clean.final_data);
+
+  const auto sessions = box.Journal();
+  ASSERT_EQ(sessions.size(), 1u);
+  EXPECT_EQ(sessions[0].restarts, 3);  // exactly the budget, then degrade
+  EXPECT_TRUE(sessions[0].degraded);
+  EXPECT_TRUE(sessions[0].closed);
+}
+
+// Stream variant: the write pump dies on its first iteration with the
+// write bytes in the ring, in every incarnation.  The write-ahead log must
+// still deliver them to the data part after the degrade.  (Under TSan the
+// stream sentinel is exec'd and streams stay on pipes — the cell then
+// degenerates to the plain pipe case, which must hold anyway.)
+TEST(RecoveryTest, StreamKillMidRingWriteStormKeepsWritesViaJournal) {
+  Sandbox box(SupervisedConfig("process", {{"shm_threshold", "1"},
+                                           {"degrade", "passthrough"},
+                                           {"restart_max", "2"},
+                                           {"restart_backoff_ms", "1"},
+                                           {"restart_backoff_cap_ms", "4"}}));
+  ArmedPlan plan("seed=1;sentinel.stream.write=kill@n1");
+
+  auto handle = box.api.OpenFile("file.af", vfs::OpenMode::kReadWrite);
+  ASSERT_OK(handle.status());
+  auto wrote = box.api.WriteFile(*handle, AsBytes("WXYZ"));
+  ASSERT_OK(wrote.status());
+  EXPECT_EQ(*wrote, 4u);
+  EXPECT_OK(box.api.CloseHandle(*handle));
+
+  EXPECT_EQ(box.DataPart(), "WXYZ456789abcdef");
+
+  const auto sessions = box.Journal();
+  ASSERT_EQ(sessions.size(), 1u);
+  EXPECT_EQ(sessions[0].restarts, 2);
+  EXPECT_TRUE(sessions[0].degraded);
+}
+
 // ---- crash before the open acknowledgement ---------------------------------
 
 // A kill before the open banner re-fires in every restarted child (the

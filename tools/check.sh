@@ -20,9 +20,10 @@
 #                             # registry/doc cross-checks, guarded members;
 #                             # fails on findings not in the baseline
 #   tools/check.sh bench-smoke  # short Figure-6 + event-loop benchmark
-#                             # pass, results combined into BENCH_PR7.json;
-#                             # fails if the obs <5% overhead gate or the
-#                             # 10k-handle saturation gate regresses
+#                             # pass, results combined into BENCH_PR8.json;
+#                             # fails if the obs <5% overhead gate, the
+#                             # 10k-handle saturation gate, or the shm-vs-
+#                             # pipe >=2x throughput gate regresses
 #
 # The fault lane reuses the asan/tsan build trees and is not part of the
 # default quick suite: the full {strategy x site x kind} sweep spends real
@@ -86,9 +87,10 @@ run_fault() {
 
 run_recovery() {
   # The supervisor's crash matrix: SIGKILL cells that must end byte-identical
-  # (recovery_test) plus the quick fault-matrix sweep's kill cells, under
-  # both sanitizers.  Process teardown and restart storms are exactly where
-  # ASan/TSan find lifetime and ordering bugs the plain build hides.
+  # (recovery_test) plus the quick fault-matrix sweep's kill cells and the
+  # shm ring conformance/fault suite, under both sanitizers.  Process
+  # teardown, restart storms, and cross-process ring handoff are exactly
+  # where ASan/TSan find lifetime and ordering bugs the plain build hides.
   local lane sanitize dir
   for lane in asan tsan; do
     if [ "$lane" = asan ]; then
@@ -105,7 +107,7 @@ run_recovery() {
     echo "== recovery/$lane: crash suite (AFS_FAULT_MATRIX=quick)"
     (cd "$dir" &&
       AFS_FAULT_MATRIX=quick ctest --output-on-failure \
-        -R 'recovery_test|fault_matrix_test')
+        -R 'recovery_test|fault_matrix_test|shm_ring_test')
   done
   echo "== recovery: clean"
 }
@@ -139,10 +141,12 @@ run_analyze() {
 run_bench_smoke() {
   # Short pass over the paper's Figure-6 benchmarks plus the event-loop
   # lane (open/close churn, the 10k-handle saturation sweep) and the obs
-  # overhead gate, combined into BENCH_PR7.json.  Smoke numbers, not
-  # publishable ones: --benchmark_min_time is deliberately tiny.  The two
-  # gates (obs <5%, saturation >= 10k handles) exit nonzero on regression.
-  local out=BENCH_PR7.json bench
+  # overhead gate, combined into BENCH_PR8.json.  Smoke numbers, not
+  # publishable ones: --benchmark_min_time is deliberately tiny.  Three
+  # gates exit nonzero on regression: obs <5%, saturation >= 10k handles,
+  # and the shm data plane carrying >=2x the pipe lane's throughput on the
+  # vectored 64 KiB batches (docs/SHM_DATA_PLANE.md).
+  local out=BENCH_PR8.json bench
   echo "== bench-smoke: building benchmarks"
   cmake -B build -S . >/dev/null
   cmake --build build -j "$JOBS" --target \
@@ -173,6 +177,37 @@ with open("/tmp/afs-bench-saturation.json") as f:
     combined["saturation"] = json.load(f)
 with open("/tmp/afs-bench-obs.json") as f:
     combined["obs_overhead"] = json.load(f)
+
+# Shm-vs-pipe gate: the ring must carry at least 2x the pipe lane's
+# throughput on the vectored 64 KiB batches (8 x 8 KiB per round trip) —
+# the series where the per-command frame is amortized and the payload
+# bytes are what's measured.  The single-op 64 KiB column rides along as
+# data but is not gated: on small hosts (this container has one CPU) the
+# mandatory scheduler wakeup per round trip dominates a single op and
+# compresses the ratio to ~1.4x regardless of how the payload travels.
+def plane_time(series, label):
+    suffix = f"{series}/{label}/8192"
+    for b in combined["benchmarks"]["fig6_memory"]:
+        if suffix in b["name"]:
+            return b["real_time"]
+    raise SystemExit(f"bench-smoke: missing {suffix} in fig6_memory output")
+
+gate = {}
+for series in ("Fig6c/ReadVec8", "Fig6c/WriteVec8"):
+    shm = plane_time(series, "ProcessShm")
+    pipe = plane_time(series, "ProcessPipe")
+    gate[series] = {"shm_us": shm, "pipe_us": pipe,
+                    "speedup": round(pipe / shm, 2)}
+combined["shm_gate"] = gate
+bad = [s for s, g in gate.items() if g["speedup"] < 2.0]
+if bad:
+    for s in bad:
+        print(f"bench-smoke: FAIL shm>=2x pipe gate on {s}: "
+              f"{gate[s]['speedup']}x", file=sys.stderr)
+    raise SystemExit(1)
+for s, g in gate.items():
+    print(f"bench-smoke: shm gate {s}: {g['speedup']}x (>=2x required)")
+
 with open(sys.argv[1], "w") as f:
     json.dump(combined, f, indent=2)
     f.write("\n")
