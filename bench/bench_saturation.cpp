@@ -9,6 +9,16 @@
 // extends the sweep to 100k.  JSON goes to stdout for the bench-smoke
 // lane (BENCH_PR7.json); diagnostics go to stderr.  Not a ctest:
 // wall-clock-sensitive checks don't belong in the default suite.
+//
+// AFS_BENCH_SATURATION=overload (or --mode=overload) runs the overload
+// column instead (docs/OVERLOAD.md): drive a rate-budgeted loop-hosted
+// file well past its admission budget from several threads, once per
+// policy (shed, brownout), and gate on the overload contract — the host
+// sheds with kOverloaded + a retry-after hint, admitted ops stay fast
+// (p99 within the gate), the offered load really was >= 2x the budget,
+// and core.overload.queue_bytes drains back to zero (BENCH_PR9.json).
+#include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
@@ -16,9 +26,11 @@
 #include <cstring>
 #include <filesystem>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "afs.hpp"
+#include "obs/metrics.hpp"
 
 namespace afs::bench {
 namespace {
@@ -42,6 +54,210 @@ double PerSec(std::chrono::steady_clock::duration elapsed, int count) {
   const double ns = static_cast<double>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count());
   return ns > 0 ? count * 1e9 / ns : 0;
+}
+
+// ---- overload column (docs/OVERLOAD.md) --------------------------------
+
+constexpr int kOverloadThreads = 4;
+constexpr int kOverloadOpsPerThread = 4000;
+// The brownout column's grace waits throttle the offered load itself —
+// that is the policy working — so it runs fewer ops and is exempt from
+// the >=2x offered-load gate (the shed column proves saturation).
+constexpr int kBrownoutOpsPerThread = 600;
+// admit_bps 400k at ~80 charged bytes/op caps admission near 5k ops/s;
+// even a slow container offers well past 2x that unthrottled.
+constexpr std::uint64_t kAdmitBps = 400'000;
+constexpr std::uint64_t kAdmitBurst = 8'192;
+constexpr std::size_t kChargedBytesPerOp = 80;  // 64 framing + 16 read
+// Admitted ops are plain loop round trips (tens of microseconds); the
+// brownout policy adds up to its 5ms grace wait.  20ms catches a wedged
+// shard or a lost wakeup without being scheduler-noise-fragile.
+constexpr std::int64_t kP99GateUs = 20'000;
+
+struct OverloadColumn {
+  std::string policy;
+  std::int64_t admitted = 0;
+  std::int64_t shed = 0;
+  std::int64_t other = 0;
+  std::int64_t sheds_without_hint = 0;
+  std::int64_t brownouts = 0;
+  double offered_per_sec = 0;
+  double overload_factor = 0;
+  std::int64_t admitted_p99_us = 0;
+};
+
+int OverloadMain() {
+  const std::string root = "/tmp/afs-bench-overload";
+  std::error_code ec;
+  std::filesystem::remove_all(root, ec);
+  vfs::FileApi api(root + "/root");
+  sentinels::RegisterBuiltinSentinels();
+  core::ActiveFileManager manager(api, sentinel::SentinelRegistry::Global());
+  manager.Install();
+
+  obs::Gauge& queue_bytes =
+      obs::Registry::Global().GetGauge("core.overload.queue_bytes");
+  obs::Counter& brownout_count =
+      obs::Registry::Global().GetCounter("core.overload.brownouts");
+
+  std::vector<OverloadColumn> columns;
+  bool failed = false;
+  for (const char* policy : {"shed", "brownout"}) {
+    sentinel::SentinelSpec spec;
+    spec.name = "null";
+    spec.config["cache"] = "memory";
+    spec.config["writeback"] = "0";
+    spec.config["strategy"] = "loop";
+    spec.config["admit_bps"] = std::to_string(kAdmitBps);
+    spec.config["admit_burst"] = std::to_string(kAdmitBurst);
+    spec.config["overload"] = policy;
+    const std::string path = std::string("ovl-") + policy + ".af";
+    Buffer content(kFileBytes, 0x5A);
+    if (!manager.CreateActiveFile(path, spec, ByteSpan(content)).ok()) {
+      std::fprintf(stderr, "bench_saturation: overload create failed\n");
+      return 2;
+    }
+
+    std::vector<vfs::HandleId> handles;
+    for (int t = 0; t < kOverloadThreads; ++t) {
+      auto handle = api.OpenFile(path, vfs::OpenMode::kReadWrite);
+      if (!handle.ok()) {
+        std::fprintf(stderr, "bench_saturation: overload open failed: %s\n",
+                     handle.status().ToString().c_str());
+        return 2;
+      }
+      handles.push_back(*handle);
+    }
+
+    OverloadColumn col;
+    col.policy = policy;
+    const bool is_shed_column = std::strcmp(policy, "shed") == 0;
+    const int ops_per_thread =
+        is_shed_column ? kOverloadOpsPerThread : kBrownoutOpsPerThread;
+    const std::int64_t brownouts_before = brownout_count.Value();
+    std::atomic<std::int64_t> admitted{0}, shed{0}, other{0}, no_hint{0};
+    std::vector<std::vector<std::int64_t>> latencies(
+        static_cast<std::size_t>(kOverloadThreads));
+    const auto start = std::chrono::steady_clock::now();
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kOverloadThreads; ++t) {
+      threads.emplace_back([&, t] {
+        Buffer buf(kBlock);
+        auto& lat = latencies[static_cast<std::size_t>(t)];
+        lat.reserve(static_cast<std::size_t>(ops_per_thread));
+        for (int op = 0; op < ops_per_thread; ++op) {
+          const auto op_start = std::chrono::steady_clock::now();
+          auto n = api.ReadFile(handles[static_cast<std::size_t>(t)],
+                                MutableByteSpan(buf));
+          const auto op_us =
+              std::chrono::duration_cast<std::chrono::microseconds>(
+                  std::chrono::steady_clock::now() - op_start)
+                  .count();
+          if (n.ok()) {
+            admitted.fetch_add(1);
+            lat.push_back(op_us);
+            if (*n == 0) {
+              (void)api.SetFilePointer(handles[static_cast<std::size_t>(t)],
+                                       0, vfs::SeekOrigin::kBegin);
+            }
+          } else if (n.status().code() == ErrorCode::kOverloaded) {
+            shed.fetch_add(1);
+            if (RetryAfterHintMs(n.status()) <= 0) no_hint.fetch_add(1);
+          } else {
+            other.fetch_add(1);
+          }
+        }
+      });
+    }
+    for (auto& thread : threads) thread.join();
+    const double elapsed_s =
+        std::chrono::duration_cast<std::chrono::duration<double>>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+    for (vfs::HandleId handle : handles) (void)api.CloseHandle(handle);
+
+    col.admitted = admitted.load();
+    col.shed = shed.load();
+    col.other = other.load();
+    col.sheds_without_hint = no_hint.load();
+    col.brownouts = brownout_count.Value() - brownouts_before;
+    const double total_ops =
+        static_cast<double>(kOverloadThreads) * ops_per_thread;
+    col.offered_per_sec = elapsed_s > 0 ? total_ops / elapsed_s : 0;
+    const double budget_ops_per_sec =
+        static_cast<double>(kAdmitBps) / kChargedBytesPerOp;
+    col.overload_factor = col.offered_per_sec / budget_ops_per_sec;
+    std::vector<std::int64_t> all;
+    for (auto& lat : latencies) all.insert(all.end(), lat.begin(), lat.end());
+    if (!all.empty()) {
+      std::sort(all.begin(), all.end());
+      col.admitted_p99_us = all[all.size() * 99 / 100];
+    }
+    std::fprintf(stderr,
+                 "bench_saturation: overload policy=%s admitted=%lld "
+                 "shed=%lld other=%lld no_hint=%lld brownouts=%lld "
+                 "offered=%.0f/s factor=%.1fx p99=%lldus\n",
+                 policy, static_cast<long long>(col.admitted),
+                 static_cast<long long>(col.shed),
+                 static_cast<long long>(col.other),
+                 static_cast<long long>(col.sheds_without_hint),
+                 static_cast<long long>(col.brownouts), col.offered_per_sec,
+                 col.overload_factor,
+                 static_cast<long long>(col.admitted_p99_us));
+
+    // The shed column must actually shed at >=2x saturation; the brownout
+    // column's grace waits legitimately absorb the same pressure (sheds
+    // there only prove the grace ran out), so it is gated on the absence
+    // of any third outcome and on admitted-op latency only.
+    if (col.admitted == 0 || col.other != 0 || col.sheds_without_hint != 0 ||
+        (is_shed_column &&
+         (col.shed == 0 || col.overload_factor < 2.0)) ||
+        col.admitted_p99_us > kP99GateUs) {
+      failed = true;
+    }
+    columns.push_back(std::move(col));
+  }
+
+  const std::int64_t residue = queue_bytes.Value();
+  std::printf("{\"bench\":\"saturation\",\"mode\":\"overload\","
+              "\"p99_gate_us\":%lld,\"queue_bytes_after\":%lld,"
+              "\"policies\":[",
+              static_cast<long long>(kP99GateUs),
+              static_cast<long long>(residue));
+  for (std::size_t i = 0; i < columns.size(); ++i) {
+    const OverloadColumn& col = columns[i];
+    std::printf("%s{\"policy\":\"%s\",\"admitted\":%lld,\"shed\":%lld,"
+                "\"other\":%lld,\"sheds_without_hint\":%lld,"
+                "\"brownouts\":%lld,\"offered_per_sec\":%.0f,"
+                "\"overload_factor\":%.2f,\"admitted_p99_us\":%lld}",
+                i == 0 ? "" : ",", col.policy.c_str(),
+                static_cast<long long>(col.admitted),
+                static_cast<long long>(col.shed),
+                static_cast<long long>(col.other),
+                static_cast<long long>(col.sheds_without_hint),
+                static_cast<long long>(col.brownouts), col.offered_per_sec,
+                col.overload_factor,
+                static_cast<long long>(col.admitted_p99_us));
+  }
+  std::printf("]}\n");
+  std::filesystem::remove_all(root, ec);
+
+  if (residue != 0) {
+    std::fprintf(stderr,
+                 "bench_saturation: FAIL: core.overload.queue_bytes=%lld "
+                 "after drain (leaked Release)\n",
+                 static_cast<long long>(residue));
+    return 1;
+  }
+  if (failed) {
+    std::fprintf(stderr,
+                 "bench_saturation: FAIL: overload contract violated "
+                 "(need admitted>0, shed>0, other==0, hints on every shed, "
+                 "factor>=2x, p99<=%lldus)\n",
+                 static_cast<long long>(kP99GateUs));
+    return 1;
+  }
+  return 0;
 }
 
 int Main() {
@@ -163,4 +379,10 @@ int Main() {
 }  // namespace
 }  // namespace afs::bench
 
-int main() { return afs::bench::Main(); }
+int main(int argc, char** argv) {
+  const char* env = std::getenv("AFS_BENCH_SATURATION");
+  const bool overload =
+      (env != nullptr && std::strcmp(env, "overload") == 0) ||
+      (argc > 1 && std::strcmp(argv[1], "--mode=overload") == 0);
+  return overload ? afs::bench::OverloadMain() : afs::bench::Main();
+}

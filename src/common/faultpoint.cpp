@@ -107,6 +107,7 @@ std::string_view ShortErrorName(ErrorCode code) noexcept {
     case ErrorCode::kNotFound: return "notfound";
     case ErrorCode::kCorrupt: return "corrupt";
     case ErrorCode::kInternal: return "internal";
+    case ErrorCode::kOverloaded: return "overloaded";
     default: return "io";  // ParsePlan never produces other codes
   }
 }
@@ -184,6 +185,7 @@ Result<ErrorCode> ParseErrorName(std::string_view name) {
   if (name == "busy") return ErrorCode::kBusy;
   if (name == "notfound") return ErrorCode::kNotFound;
   if (name == "corrupt") return ErrorCode::kCorrupt;
+  if (name == "overloaded") return ErrorCode::kOverloaded;
   if (name == "internal") return ErrorCode::kInternal;
   return InvalidArgumentError("fault plan: unknown error code '" +
                               std::string(name) + "'");

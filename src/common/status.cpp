@@ -19,6 +19,7 @@ std::string_view ErrorCodeName(ErrorCode code) noexcept {
     case ErrorCode::kOutOfRange: return "OUT_OF_RANGE";
     case ErrorCode::kCorrupt: return "CORRUPT";
     case ErrorCode::kInternal: return "INTERNAL";
+    case ErrorCode::kOverloaded: return "OVERLOADED";
   }
   return "UNKNOWN";
 }
@@ -74,6 +75,38 @@ Status CorruptError(std::string message) {
 }
 Status InternalError(std::string message) {
   return Status(ErrorCode::kInternal, std::move(message));
+}
+Status OverloadedError(std::string message) {
+  return Status(ErrorCode::kOverloaded, std::move(message));
+}
+
+namespace {
+constexpr std::string_view kRetryAfterTag = " [retry-after-ms=";
+}  // namespace
+
+Status OverloadedError(std::string message, std::int64_t retry_after_ms) {
+  if (retry_after_ms > 0 &&
+      message.find(kRetryAfterTag) == std::string::npos) {
+    message += kRetryAfterTag;
+    message += std::to_string(retry_after_ms);
+    message += ']';
+  }
+  return Status(ErrorCode::kOverloaded, std::move(message));
+}
+
+std::int64_t RetryAfterHintMs(const Status& status) noexcept {
+  if (status.code() != ErrorCode::kOverloaded) return 0;
+  const std::string& message = status.message();
+  const std::size_t at = message.rfind(kRetryAfterTag);
+  if (at == std::string::npos) return 0;
+  std::int64_t value = 0;
+  for (std::size_t i = at + kRetryAfterTag.size(); i < message.size(); ++i) {
+    const char c = message[i];
+    if (c == ']') return value;
+    if (c < '0' || c > '9' || value > (1ll << 40)) return 0;
+    value = value * 10 + (c - '0');
+  }
+  return 0;
 }
 
 }  // namespace afs

@@ -33,6 +33,7 @@ enum class ErrorCode : std::uint16_t {
   kOutOfRange = 12,       // seek/read past logical limits
   kCorrupt = 13,          // bundle/codec integrity failure
   kInternal = 14,
+  kOverloaded = 15,       // admission shed; retry after the carried hint
 };
 
 // Human-readable name for an error code ("NOT_FOUND" etc.).
@@ -81,6 +82,15 @@ Status BusyError(std::string message);
 Status OutOfRangeError(std::string message);
 Status CorruptError(std::string message);
 Status InternalError(std::string message);
+Status OverloadedError(std::string message);
+// Shed with a retry-after hint.  The hint travels inside the message
+// (" [retry-after-ms=N]") so it survives every Status-only seam — the
+// control protocol additionally carries it as a typed field
+// (docs/PROTOCOL.md §3.6) and HTTP as a Retry-After header.
+Status OverloadedError(std::string message, std::int64_t retry_after_ms);
+// The hint carried by an OverloadedError, in milliseconds; 0 when the
+// status is not kOverloaded or carries no hint.
+std::int64_t RetryAfterHintMs(const Status& status) noexcept;
 
 // A value of type T or a Status explaining why there is none.
 template <typename T>

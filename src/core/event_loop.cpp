@@ -137,6 +137,25 @@ void EventLoop::Post(std::function<void()> task) {
   Ring();
 }
 
+bool EventLoop::TryPost(std::function<void()> task) {
+  {
+    MutexLock lock(mu_);
+    if (stop_ && !running_.load()) return false;
+    if (options_.queue_limit != 0 && queue_.size() >= options_.queue_limit) {
+      return false;
+    }
+    queue_.push_back(std::move(task));
+  }
+  LoopMetrics::Global().queue_depth.Add(1);
+  Ring();
+  return true;
+}
+
+std::size_t EventLoop::queue_depth() const {
+  MutexLock lock(mu_);
+  return queue_.size();
+}
+
 std::uint64_t EventLoop::AddTimer(Micros delay, std::function<void()> fn) {
   const auto due = std::chrono::steady_clock::now() +
                    std::chrono::microseconds(std::max<std::int64_t>(
@@ -311,15 +330,12 @@ void EventLoopPool::Stop() {
   for (auto& loop : loops_) loop->Stop();
 }
 
-EventLoop& EventLoopPool::Shard(int pin) {
+EventLoop& EventLoopPool::Shard(int pin) { return ShardAt(PickShard(pin)); }
+
+std::size_t EventLoopPool::PickShard(int pin) {
   const std::size_t count = loops_.size();
-  std::size_t index;
-  if (pin >= 0) {
-    index = static_cast<std::size_t>(pin) % count;
-  } else {
-    index = cursor_.fetch_add(1, std::memory_order_relaxed) % count;
-  }
-  return *loops_[index];
+  if (pin >= 0) return static_cast<std::size_t>(pin) % count;
+  return cursor_.fetch_add(1, std::memory_order_relaxed) % count;
 }
 
 }  // namespace afs::core

@@ -42,6 +42,21 @@ std::size_t OutboundPayloadSize(const ControlMessage& message) {
   return 0;
 }
 
+// Retry hint for an op shed off a congested shm ring: the reader has a
+// whole ring of buffered bytes to drain first, so the hint is coarser
+// than the admission default.
+constexpr std::int64_t kRingShedHintMs = 25;
+
+// A ring is congested when earlier bytes are still parked in it: the link
+// protocol runs one op at a time and the peer drains the lane fully per
+// op, so at send time a healthy ring is empty.  Payloads larger than the
+// whole ring stream through a draining reader and are exempt.
+bool RingCongested(const ipc::ShmRing& ring, int dir, std::size_t out_len) {
+  const std::size_t capacity = ring.ring_bytes();
+  const std::size_t free_bytes = capacity - ring.buffered(dir);
+  return free_bytes < std::min(out_len, capacity);
+}
+
 }  // namespace
 
 ShmConfig ParseShmConfig(const std::map<std::string, std::string>& config) {
@@ -82,6 +97,22 @@ void PipeLink::set_shm(std::shared_ptr<ipc::ShmRing> ring,
   shm_threshold_ = threshold;
 }
 
+void PipeLink::set_admission(AdmissionGate::Limits limits,
+                             OverloadPolicy policy) {
+  gate_ = std::make_unique<AdmissionGate>(limits);
+  overload_ = policy;
+}
+
+void PipeLink::ReleaseAdmission() {
+  std::size_t cost;
+  {
+    MutexLock lock(read_mu_);
+    cost = admitted_cost_;
+    admitted_cost_ = 0;
+  }
+  if (cost != 0 && gate_ != nullptr) gate_->Release(cost);
+}
+
 Status PipeLink::AF_SendControl(const ControlMessage& message) {
   AFS_FAULT_POINT("core.link.send");
   // Outbound legs are bounded by the op deadline when configured, by the
@@ -89,13 +120,38 @@ Status PipeLink::AF_SendControl(const ControlMessage& message) {
   // control pipe costs this op kTimeout, never a parked application.
   const Micros bound =
       response_timeout_.count() > 0 ? response_timeout_ : kPipeIoTimeout;
+  // Admission precedes every wire byte: a shed op fails with kOverloaded
+  // while the command/response stream is still synchronized, so the handle
+  // survives to retry it.  Teardown ops are exempt — a shed close leaks.
+  if (gate_ != nullptr && !AdmissionExempt(message.op)) {
+    const std::size_t cost = ControlMessageCost(message);
+    AFS_RETURN_IF_ERROR(
+        AdmitWithPolicy(*gate_, cost, overload_, response_timeout_));
+    MutexLock lock(read_mu_);
+    admitted_cost_ = cost;
+  }
   // Bulk payloads at/above the threshold leave the pipes for the ring —
   // but only once the peer has advertised the shm data plane, so a
   // pre-rev-2 sentinel never faces frames whose bytes it cannot find.
   const std::size_t out_len = OutboundPayloadSize(message);
-  const bool use_ring =
+  bool use_ring =
       ring_ != nullptr && out_len >= shm_threshold_ && out_len > 0 &&
       peer_rev_.load(std::memory_order_relaxed) >= sentinel::kDataPlaneRev;
+  if (use_ring && overload_ != OverloadPolicy::kBlock &&
+      RingCongested(*ring_, ipc::ShmRing::kToSentinel, out_len)) {
+    // Slow-consumer defense: the lane decision must precede the control
+    // frame, so a congested ring is handled here — brownout reroutes this
+    // op's bytes onto the pipes; shed refuses it before any byte moves.
+    // (kBlock keeps the classic deadline-bounded ring write below.)
+    if (overload_ == OverloadPolicy::kShed) {
+      ReleaseAdmission();
+      overload_metrics::RecordShed(Micros{kRingShedHintMs * 1000});
+      return OverloadedError("shm ring congested (slow consumer)",
+                             kRingShedHintMs);
+    }
+    overload_metrics::RecordBrownout();
+    use_ring = false;
+  }
   {
     // Stash the op's destination spans so a shm-lane response can scatter
     // ring bytes straight into the caller's buffers.
@@ -169,6 +225,14 @@ Status PipeLink::AdoptResponse(ControlResponse& response) {
 }
 
 Result<ControlResponse> PipeLink::AF_GetResponse() {
+  Result<ControlResponse> result = GetResponseInternal();
+  // The op leaves the admission domain with its response (or its failure);
+  // swap-to-zero makes this idempotent with the Shutdown backstop.
+  ReleaseAdmission();
+  return result;
+}
+
+Result<ControlResponse> PipeLink::GetResponseInternal() {
   AFS_FAULT_POINT("core.link.recv");
   MutexLock lock(read_mu_);
   if (pending_.has_value()) {
@@ -226,6 +290,7 @@ void PipeLink::PollHeartbeats() {
 }
 
 void PipeLink::Shutdown() {
+  ReleaseAdmission();  // an op abandoned mid-flight must not pin the gate
   // Taking the read lock fences out a concurrent heartbeat drain so the
   // descriptors are never closed under an in-flight poll.
   MutexLock lock(read_mu_);
@@ -296,9 +361,17 @@ Status PipeEndpoint::AF_SendResponse(const ControlResponse& response) {
   AFS_FAULT_POINT("sentinel.endpoint.send");
   // Bulk response payloads ride the ring (frame carries only their length);
   // the application created the ring, so it can always drain the lane.
-  const bool use_ring = ring_ != nullptr && !response.heartbeat &&
-                        response.payload.size() >= shm_threshold_ &&
-                        !response.payload.empty();
+  bool use_ring = ring_ != nullptr && !response.heartbeat &&
+                  response.payload.size() >= shm_threshold_ &&
+                  !response.payload.empty();
+  if (use_ring && overload_ != OverloadPolicy::kBlock &&
+      RingCongested(*ring_, ipc::ShmRing::kToApp, response.payload.size())) {
+    // Slow-consumer defense, response side: a response cannot be dropped,
+    // so shed degrades to brownout — the payload rides the frame instead
+    // of a ring whose reader stopped draining.
+    overload_metrics::RecordBrownout();
+    use_ring = false;
+  }
   AFS_RETURN_IF_ERROR(ipc::WriteFrame(
       fds_.response_write,
       EncodeControlResponse(response, ring_ ? sentinel::kDataPlaneRev : 0,
@@ -313,6 +386,20 @@ Status PipeEndpoint::AF_SendResponse(const ControlResponse& response) {
 
 Status ThreadRendezvous::AF_SendControl(const ControlMessage& message) {
   AFS_FAULT_POINT("core.link.send");
+  // Admission precedes the slot: a shed op fails with kOverloaded without
+  // ever occupying the rendezvous, so the handle survives to retry it.
+  // (AdmitFor can wait, so the session mutex must not be held here.)
+  // Teardown ops are exempt — a shed close leaks.
+  std::size_t cost = 0;
+  if (gate_ != nullptr && !AdmissionExempt(message.op)) {
+    Micros block_bound{0};
+    {
+      MutexLock lock(mu_);
+      block_bound = response_timeout_;
+    }
+    cost = ControlMessageCost(message);
+    AFS_RETURN_IF_ERROR(AdmitWithPolicy(*gate_, cost, overload_, block_bound));
+  }
   MutexLock lock(mu_);
   while (state_ != SlotState::kIdle && !shutdown_) {
     // The sentinel thread frees the slot per command, and Shutdown() wakes
@@ -320,7 +407,12 @@ Status ThreadRendezvous::AF_SendControl(const ControlMessage& message) {
     // afs-lint: allow(nonblocking: bounded by the slot protocol + Shutdown)
     cv_.Wait(mu_);
   }
-  if (shutdown_) return ClosedError("rendezvous closed");
+  if (shutdown_) {
+    lock.Unlock();
+    if (cost != 0) gate_->Release(cost);
+    return ClosedError("rendezvous closed");
+  }
+  admitted_cost_ = cost;
   message_ = message;  // inline lanes pass by reference (spans)
   state_ = SlotState::kCommand;
   lock.Unlock();
@@ -393,11 +485,18 @@ Result<Buffer> ThreadRendezvous::AF_GetDataFromAppl(std::size_t length) {
 Status ThreadRendezvous::AF_SendResponse(const ControlResponse& response) {
   AFS_FAULT_POINT("sentinel.endpoint.send");
   MutexLock lock(mu_);
-  if (shutdown_) return ClosedError("rendezvous closed");
+  if (shutdown_) {
+    lock.Unlock();
+    ReleaseAdmission();
+    return ClosedError("rendezvous closed");
+  }
   if (lease_) lease_->Renew();
   response_ = response;
   state_ = SlotState::kResponse;
   lock.Unlock();
+  // The answered op leaves the admission domain here, not at consumption:
+  // the sentinel is free again even if the application is slow to collect.
+  ReleaseAdmission();
   cv_.NotifyAll();
   return Status::Ok();
 }
@@ -407,7 +506,24 @@ void ThreadRendezvous::Shutdown() {
     MutexLock lock(mu_);
     shutdown_ = true;
   }
+  ReleaseAdmission();  // an op abandoned mid-flight must not pin the gate
   cv_.NotifyAll();
+}
+
+void ThreadRendezvous::ReleaseAdmission() {
+  std::size_t cost;
+  {
+    MutexLock lock(mu_);
+    cost = admitted_cost_;
+    admitted_cost_ = 0;
+  }
+  if (cost != 0 && gate_ != nullptr) gate_->Release(cost);
+}
+
+void ThreadRendezvous::set_admission(AdmissionGate::Limits limits,
+                                     OverloadPolicy policy) {
+  gate_ = std::make_unique<AdmissionGate>(limits);
+  overload_ = policy;
 }
 
 void ThreadRendezvous::set_response_timeout(Micros timeout) noexcept {

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "common/mutex.hpp"
+#include "core/overload.hpp"
 #include "ipc/pipe.hpp"
 #include "ipc/shm_ring.hpp"
 #include "sentinel/endpoint.hpp"
@@ -97,6 +98,18 @@ class PipeLink final : public sentinel::SentinelLink {
   // everything stays on the pipes.
   void set_shm(std::shared_ptr<ipc::ShmRing> ring, std::size_t threshold);
 
+  // Per-link admission budgets (docs/OVERLOAD.md): every op charges its
+  // cost before the control frame leaves; a shed op fails with kOverloaded
+  // before any byte hits the wire, so the stream stays usable.  Configure
+  // before the link is shared.
+  void set_admission(AdmissionGate::Limits limits, OverloadPolicy policy);
+
+  // What a congested shm ring does to a bulk payload (docs/OVERLOAD.md):
+  // kBrownout (the default) drops back to the pipe lane for this op,
+  // kShed fails it with kOverloaded, kBlock keeps the classic bounded
+  // ring write.  Configure before the link is shared.
+  void set_overload(OverloadPolicy policy) noexcept { overload_ = policy; }
+
   // Latched from response extensions: 0 until the sentinel's first frame
   // arrives, kDataPlaneRev once a ring-capable peer has answered.
   std::uint8_t peer_rev() const noexcept override {
@@ -110,6 +123,10 @@ class PipeLink final : public sentinel::SentinelLink {
   Status AdoptResponse(sentinel::ControlResponse& response)
       AFS_REQUIRES(read_mu_);
 
+  Result<sentinel::ControlResponse> GetResponseInternal() AFS_NONBLOCKING;
+
+  void ReleaseAdmission();
+
   // afs-lint: allow(guarded-member: fd table fixed at construction; read_mu_ serializes response readers)
   PipeLinkFds fds_;
   // afs-lint: allow(guarded-member: configured before the link is shared)
@@ -120,6 +137,10 @@ class PipeLink final : public sentinel::SentinelLink {
   std::shared_ptr<ipc::ShmRing> ring_;
   // afs-lint: allow(guarded-member: configured before the link is shared)
   std::size_t shm_threshold_ = 4096;
+  // afs-lint: allow(guarded-member: configured before the link is shared)
+  std::unique_ptr<AdmissionGate> gate_;
+  // afs-lint: allow(guarded-member: configured before the link is shared)
+  OverloadPolicy overload_ = OverloadPolicy::kBrownout;
   // Monotonic latch; atomic so LinkHandle can gate vectored ops on it
   // without taking the read lock.
   std::atomic<std::uint8_t> peer_rev_{0};
@@ -128,6 +149,9 @@ class PipeLink final : public sentinel::SentinelLink {
   // flight vs. the supervisor's heartbeat drain.
   Mutex read_mu_;
   std::optional<sentinel::ControlResponse> pending_ AFS_GUARDED_BY(read_mu_);
+  // Cost of the admitted op in flight; zero when none.  Swap-to-zero on
+  // release keeps the gate balanced when Shutdown races a response.
+  std::size_t admitted_cost_ AFS_GUARDED_BY(read_mu_) = 0;
   // Destination spans of the op in flight (inline_out / vec_out), stashed
   // at send so a shm-lane response scatters ring bytes straight into the
   // caller's buffers — the zero-extra-copy read path.
@@ -161,11 +185,18 @@ class PipeEndpoint final : public sentinel::SentinelEndpoint {
     shm_threshold_ = threshold;
   }
 
+  // Congested-ring behavior for response payloads (docs/OVERLOAD.md).  A
+  // response cannot be dropped, so kShed degrades to kBrownout here: the
+  // payload rides the response frame instead of the stalled ring.  kBlock
+  // keeps the classic bounded ring write.  Set before the loop starts.
+  void set_overload(OverloadPolicy policy) noexcept { overload_ = policy; }
+
  private:
   PipeEndpointFds fds_;
   Micros heartbeat_interval_{0};
   std::shared_ptr<ipc::ShmRing> ring_;
   std::size_t shm_threshold_ = 4096;
+  OverloadPolicy overload_ = OverloadPolicy::kBrownout;
   // Lane byte of the command being served (single dispatch thread): tells
   // AF_GetDataFromAppl which lane carries the write payload.
   std::uint8_t last_lane_ = 0;
@@ -205,8 +236,20 @@ class ThreadRendezvous final : public sentinel::SentinelLink,
   // thread wakes every `interval` while idle just to stamp the lease.
   void set_lease(std::shared_ptr<Lease> lease, Micros interval);
 
+  // Per-link admission budgets (docs/OVERLOAD.md); configure before the
+  // sentinel thread starts.  A shed op fails with kOverloaded without
+  // touching the rendezvous slot, so the command stream stays usable.
+  void set_admission(AdmissionGate::Limits limits, OverloadPolicy policy);
+
  private:
   enum class SlotState { kIdle, kCommand, kResponse };
+
+  void ReleaseAdmission();
+
+  // afs-lint: allow(guarded-member: configured before the link is shared)
+  std::unique_ptr<AdmissionGate> gate_;
+  // afs-lint: allow(guarded-member: configured before the link is shared)
+  OverloadPolicy overload_ = OverloadPolicy::kShed;
 
   Mutex mu_;
   CondVar cv_;
@@ -218,6 +261,9 @@ class ThreadRendezvous final : public sentinel::SentinelLink,
   Micros response_timeout_ AFS_GUARDED_BY(mu_){0};
   std::shared_ptr<Lease> lease_ AFS_GUARDED_BY(mu_);
   Micros lease_interval_ AFS_GUARDED_BY(mu_){0};
+  // Cost of the admitted op in flight; zero when none (swap-to-zero
+  // release keeps the gate balanced when Shutdown races a response).
+  std::size_t admitted_cost_ AFS_GUARDED_BY(mu_) = 0;
   sentinel::ControlMessage message_ AFS_GUARDED_BY(mu_);
   sentinel::ControlResponse response_ AFS_GUARDED_BY(mu_);
 };

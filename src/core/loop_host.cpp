@@ -35,6 +35,14 @@ int EnvInt(const char* name, int fallback) {
   return parsed > 0 ? static_cast<int>(parsed) : fallback;
 }
 
+// Unsigned env knob where an explicit 0 is meaningful ("unlimited"), so
+// only an unset/empty variable falls back.
+std::uint64_t EnvU64(const char* name, std::uint64_t fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  return std::strtoull(raw, nullptr, 10);
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------
@@ -68,8 +76,58 @@ void LoopSession::set_lease(std::shared_ptr<Lease> lease, Micros interval) {
   heartbeat_interval_ = interval;
 }
 
+void LoopSession::set_admission(AdmissionGate* shard_gate,
+                                const AdmissionGate::Limits& link_limits,
+                                OverloadPolicy policy) {
+  shard_gate_ = shard_gate;
+  overload_ = policy;
+  if (link_limits.max_queue_bytes != 0 || link_limits.max_inflight != 0 ||
+      link_limits.rate_bytes_per_second != 0) {
+    link_gate_ = std::make_unique<AdmissionGate>(link_limits);
+  }
+}
+
+Status LoopSession::AdmitOp(std::size_t cost) {
+  Micros block_bound{0};
+  {
+    MutexLock lock(mu_);
+    block_bound = response_timeout_;
+  }
+  if (link_gate_ != nullptr) {
+    AFS_RETURN_IF_ERROR(
+        AdmitWithPolicy(*link_gate_, cost, overload_, block_bound));
+  }
+  if (shard_gate_ != nullptr) {
+    Status shard = AdmitWithPolicy(*shard_gate_, cost, overload_, block_bound);
+    if (!shard.ok()) {
+      if (link_gate_ != nullptr) link_gate_->Release(cost);
+      return shard;
+    }
+  }
+  return Status::Ok();
+}
+
+void LoopSession::ReleaseAdmission() {
+  std::size_t cost;
+  {
+    MutexLock lock(mu_);
+    cost = admitted_cost_;
+    admitted_cost_ = 0;
+  }
+  if (cost == 0) return;
+  if (link_gate_ != nullptr) link_gate_->Release(cost);
+  if (shard_gate_ != nullptr) shard_gate_->Release(cost);
+}
+
 Status LoopSession::AF_SendControl(const ControlMessage& message) {
   AFS_FAULT_POINT("core.link.send");
+  // Admission precedes the mailbox: a shed op fails with kOverloaded
+  // without ever occupying the slot (no frame, no state change), so the
+  // handle survives to retry it after the carried hint.
+  const bool gated = (shard_gate_ != nullptr || link_gate_ != nullptr) &&
+                     !AdmissionExempt(message.op);
+  const std::size_t cost = gated ? ControlMessageCost(message) : 0;
+  if (gated) AFS_RETURN_IF_ERROR(AdmitOp(cost));
   MutexLock lock(mu_);
   while (state_ != SlotState::kIdle && !closed_) {
     // The shard frees the slot per command, and ForceDown/Shutdown wake
@@ -77,7 +135,13 @@ Status LoopSession::AF_SendControl(const ControlMessage& message) {
     // afs-lint: allow(nonblocking: bounded by the slot protocol + ForceDown)
     cv_.Wait(mu_);
   }
-  if (closed_) return ClosedError("loop session closed");
+  if (closed_) {
+    admitted_cost_ = cost;
+    lock.Unlock();
+    ReleaseAdmission();
+    return ClosedError("loop session closed");
+  }
+  admitted_cost_ = cost;
   message_ = message;  // inline lanes pass by reference (spans)
   state_ = SlotState::kCommand;
   lock.Unlock();
@@ -85,7 +149,25 @@ Status LoopSession::AF_SendControl(const ControlMessage& message) {
   // session's shard, batched with every other ready session's commands.
   // Bound, not a lambda: Service() runs on the loop thread, and the member
   // pointer keeps its body out of this caller's non-blocking call graph.
-  shard_.Post(std::bind(&LoopSession::Service, shared_from_this()));
+  if (!shard_.TryPost(std::bind(&LoopSession::Service, shared_from_this()))) {
+    if (!shard_.running()) {
+      // Loop already wound down: keep the legacy inline-teardown path.
+      shard_.Post(std::bind(&LoopSession::Service, shared_from_this()));
+      return Status::Ok();
+    }
+    // The shard's task-count backstop (AFS_LOOP_QUEUE_LIMIT) tripped:
+    // undo the slot claim and shed.  Nothing was posted, so the stream
+    // stays synchronized.
+    {
+      MutexLock relock(mu_);
+      if (state_ == SlotState::kCommand) state_ = SlotState::kIdle;
+    }
+    ReleaseAdmission();
+    cv_.NotifyAll();
+    constexpr std::int64_t kQueueFullHintMs = 5;
+    overload_metrics::RecordShed(Micros{kQueueFullHintMs * 1000});
+    return OverloadedError("loop shard run queue full", kQueueFullHintMs);
+  }
   return Status::Ok();
 }
 
@@ -193,7 +275,11 @@ void LoopSession::Service() {
   ControlMessage msg;
   {
     MutexLock lock(mu_);
-    if (closed_ || state_ != SlotState::kCommand) return;  // raced ForceDown
+    if (closed_ || state_ != SlotState::kCommand) {
+      lock.Unlock();
+      ReleaseAdmission();  // raced ForceDown: the op will never be served
+      return;
+    }
     msg = message_;  // spans still reference the parked application's buffers
   }
   if (lease_) lease_->Renew();
@@ -249,6 +335,7 @@ void LoopSession::Service() {
 }
 
 void LoopSession::ReleaseLoopState(Release how) {
+  ReleaseAdmission();  // a crash-torn op must not pin the shard's gate
   if (released_) return;
   released_ = true;
   if (how == Release::kImplicitClose && opened_ && sentinel_ != nullptr) {
@@ -282,6 +369,9 @@ void LoopSession::ArmHeartbeat() {
 }
 
 void LoopSession::Deliver(ControlResponse response, bool closing) {
+  // The answered op leaves the admission domain here, not at collection:
+  // the shard is free again even if the application is slow to wake.
+  ReleaseAdmission();
   {
     MutexLock lock(mu_);
     response_ = std::move(response);
@@ -295,13 +385,28 @@ void LoopSession::Deliver(ControlResponse response, bool closing) {
 // LoopHost
 
 LoopHost& LoopHost::Global() {
-  static LoopHost host(EnvInt("AFS_LOOP_SHARDS", 2),
-                       EventLoop::Options{EnvInt("AFS_LOOP_BATCH", 64)});
+  static LoopHost host(
+      EnvInt("AFS_LOOP_SHARDS", 2),
+      EventLoop::Options{
+          EnvInt("AFS_LOOP_BATCH", 64),
+          static_cast<std::size_t>(EnvU64("AFS_LOOP_QUEUE_LIMIT", 0))});
   return host;
 }
 
 LoopHost::LoopHost(int shards, EventLoop::Options options)
     : pool_(shards, options) {
+  // Per-shard admission budgets (docs/OVERLOAD.md).  The default queue-byte
+  // budget is a backstop against runaway buffering, far above any healthy
+  // working set; 0 disables a budget entirely.
+  AdmissionGate::Limits limits;
+  limits.max_queue_bytes = static_cast<std::size_t>(
+      EnvU64("AFS_LOOP_MAX_QUEUE_BYTES", std::uint64_t{256} << 20));
+  limits.max_inflight =
+      static_cast<int>(EnvU64("AFS_LOOP_MAX_INFLIGHT", 0));
+  gates_.reserve(static_cast<std::size_t>(pool_.shard_count()));
+  for (int i = 0; i < pool_.shard_count(); ++i) {
+    gates_.push_back(std::make_unique<AdmissionGate>(limits));
+  }
   // Touch the metric registries before any loop thread exists so their
   // singletons outlive the pool's threads at static teardown.
   SessionsGauge();
@@ -314,12 +419,15 @@ int LoopHost::shard_count() const noexcept { return pool_.shard_count(); }
 Result<std::shared_ptr<LoopSession>> LoopHost::Open(
     std::unique_ptr<sentinel::Sentinel> sent, sentinel::SentinelContext ctx,
     CacheAssembly cache, int shard_pin, Micros response_timeout,
-    Micros heartbeat_interval, std::shared_ptr<Lease> lease) {
+    Micros heartbeat_interval, std::shared_ptr<Lease> lease,
+    const AdmissionGate::Limits& link_limits, OverloadPolicy overload) {
   AFS_RETURN_IF_ERROR(pool_.Start());
-  EventLoop& shard = pool_.Shard(shard_pin);
+  const std::size_t index = pool_.PickShard(shard_pin);
+  EventLoop& shard = pool_.ShardAt(index);
   auto session = std::shared_ptr<LoopSession>(new LoopSession(
       shard, std::move(sent), std::move(ctx), std::move(cache)));
   session->set_response_timeout(response_timeout);
+  session->set_admission(gates_[index].get(), link_limits, overload);
   if (lease != nullptr) session->set_lease(std::move(lease), heartbeat_interval);
   shard.Post([session] { session->ServiceOpen(); });
   return session;

@@ -21,9 +21,11 @@
 #pragma once
 
 #include <memory>
+#include <vector>
 
 #include "common/mutex.hpp"
 #include "core/event_loop.hpp"
+#include "core/overload.hpp"
 #include "core/strategies.hpp"
 #include "sentinel/endpoint.hpp"
 #include "sentinel/sentinel.hpp"
@@ -68,12 +70,25 @@ class LoopSession final : public sentinel::SentinelLink,
   void set_response_timeout(Micros timeout);
   void set_lease(std::shared_ptr<Lease> lease, Micros interval);
 
+  // Admission wiring (docs/OVERLOAD.md): the shared per-shard gate plus
+  // optional per-link budgets from the spec (admit_bps/admit_burst/
+  // admit_inflight).  Configured before the session is shared.
+  void set_admission(AdmissionGate* shard_gate,
+                     const AdmissionGate::Limits& link_limits,
+                     OverloadPolicy policy);
+
   // Loop-thread entries.
   void ServiceOpen();
   void Service();
   void ReleaseLoopState(Release how);
   void HeartbeatTick();
   void ArmHeartbeat();
+
+  // Admission bracket around one serviced command.  Admit charges the
+  // link gate then the shard gate; Release undoes both exactly once
+  // (swap-to-zero under mu_), however the op ends.
+  Status AdmitOp(std::size_t cost) AFS_NONBLOCKING;
+  void ReleaseAdmission();
 
   // Posts `response` into the mailbox slot; `closing` latches the session
   // shut (a posted response still outranks the latch, so the close
@@ -100,6 +115,12 @@ class LoopSession final : public sentinel::SentinelLink,
   std::shared_ptr<Lease> lease_;
   // afs-lint: allow(guarded-member: configured before the session is shared)
   Micros heartbeat_interval_{0};
+  // afs-lint: allow(guarded-member: configured before the session is shared)
+  AdmissionGate* shard_gate_ = nullptr;  // owned by LoopHost; outlives us
+  // afs-lint: allow(guarded-member: configured before the session is shared)
+  std::unique_ptr<AdmissionGate> link_gate_;
+  // afs-lint: allow(guarded-member: configured before the session is shared)
+  OverloadPolicy overload_ = OverloadPolicy::kShed;
 
   Mutex mu_;
   CondVar cv_;
@@ -107,6 +128,8 @@ class LoopSession final : public sentinel::SentinelLink,
   bool closed_ AFS_GUARDED_BY(mu_) = false;
   bool release_posted_ AFS_GUARDED_BY(mu_) = false;
   Micros response_timeout_ AFS_GUARDED_BY(mu_){0};
+  // Cost of the admitted command in flight; zero when none.
+  std::size_t admitted_cost_ AFS_GUARDED_BY(mu_) = 0;
   sentinel::ControlMessage message_ AFS_GUARDED_BY(mu_);
   sentinel::ControlResponse response_ AFS_GUARDED_BY(mu_);
 };
@@ -133,10 +156,18 @@ class LoopHost {
   Result<std::shared_ptr<LoopSession>> Open(
       std::unique_ptr<sentinel::Sentinel> sent, sentinel::SentinelContext ctx,
       CacheAssembly cache, int shard_pin, Micros response_timeout,
-      Micros heartbeat_interval, std::shared_ptr<Lease> lease);
+      Micros heartbeat_interval, std::shared_ptr<Lease> lease,
+      const AdmissionGate::Limits& link_limits = {},
+      OverloadPolicy overload = OverloadPolicy::kShed);
+
+  // The admission gate guarding shard `index`'s run queue (budgets from
+  // AFS_LOOP_MAX_QUEUE_BYTES / AFS_LOOP_MAX_INFLIGHT; docs/OVERLOAD.md).
+  AdmissionGate& ShardGate(std::size_t index) { return *gates_[index]; }
 
  private:
   EventLoopPool pool_;
+  // One gate per shard, sized like the pool; immutable after construction.
+  std::vector<std::unique_ptr<AdmissionGate>> gates_;
 };
 
 }  // namespace afs::core

@@ -114,6 +114,14 @@ Micros OpTimeout(const OpenRequest& request) {
   return ms > 0 ? Micros{ms * 1000} : Micros{0};
 }
 
+// The spec's overload policy (docs/OVERLOAD.md): how this link behaves at
+// a saturated queueing point.  kShed is the admission default; the shm
+// ring lane separately defaults to kBrownout (pipes stay available).
+Result<OverloadPolicy> SpecOverloadPolicy(const OpenRequest& request,
+                                          OverloadPolicy fallback) {
+  return OverloadPolicyFromSpec(request.spec.config, fallback);
+}
+
 // Bound on one shm-ring stream leg (mirrors the pipe bound in links.cpp):
 // ten seconds of a full/empty ring means the peer stopped participating.
 constexpr Micros kRingIoTimeout{10'000'000};
@@ -356,6 +364,12 @@ class LinkHandle final : public vfs::FileHandle, public ActiveHandle {
     obs::ScopedLatencyTimer timer((n & 63) == 0 ? &latency : nullptr);
     AFS_FAULT_POINT("core.link.roundtrip");
     Status sent = link_->AF_SendControl(msg);
+    if (sent.code() == ErrorCode::kOverloaded) {
+      // Shed before any frame left the link: the command/response stream
+      // is still synchronized, so the handle stays usable — kOverloaded is
+      // retryable (after the carried hint), never poisonous.
+      return sent;
+    }
     if (!sent.ok()) return Poison(std::move(sent));
     Result<ControlResponse> resp = link_->AF_GetResponse();
     if (!resp.ok()) return Poison(resp.status());
@@ -363,6 +377,12 @@ class LinkHandle final : public vfs::FileHandle, public ActiveHandle {
       obs::TraceLog::Global().AppendAll(std::move(resp->remote_spans));
     }
     if (msg.op != ControlOp::kClose && !resp->status.ok()) {
+      if (resp->status.code() == ErrorCode::kOverloaded &&
+          resp->retry_after_ms > 0 && RetryAfterHintMs(resp->status) == 0) {
+        // Fold the wire's typed retry-after (protocol v3, §3.6) back into
+        // the status so Status-only seams above us keep the hint.
+        return OverloadedError(resp->status.message(), resp->retry_after_ms);
+      }
       return resp->status;  // sentinel-side failure becomes the op's status
     }
     return std::move(*resp);
@@ -677,6 +697,17 @@ Result<std::unique_ptr<vfs::FileHandle>> OpenThread(
   res->ctx = BuildContext(request, res->cache);
 
   res->rendezvous.set_response_timeout(OpTimeout(request));
+  {
+    // Per-link admission (docs/OVERLOAD.md): ops charge the gate before
+    // touching the rendezvous slot; saturation sheds with kOverloaded.
+    AFS_ASSIGN_OR_RETURN(OverloadPolicy policy,
+                         SpecOverloadPolicy(request, OverloadPolicy::kShed));
+    const AdmissionGate::Limits admit =
+        AdmissionLimitsFromSpec(request.spec.config);
+    if (AdmissionConfigured(admit)) {
+      res->rendezvous.set_admission(admit, policy);
+    }
+  }
   if (probe != nullptr && request.heartbeat_interval.count() > 0) {
     // In-process lease: the sentinel thread stamps shared memory from
     // inside its waits — no frames involved.
@@ -741,11 +772,19 @@ Result<std::unique_ptr<vfs::FileHandle>> OpenLoop(
     lease = std::make_shared<Lease>();
   }
 
+  // Admission (docs/OVERLOAD.md): every command charges the shard's gate
+  // (shared with its co-tenants) and, when the spec bounds this link, a
+  // per-link gate on top.
+  AFS_ASSIGN_OR_RETURN(OverloadPolicy overload,
+                       SpecOverloadPolicy(request, OverloadPolicy::kShed));
+
   AFS_ASSIGN_OR_RETURN(
       std::shared_ptr<LoopSession> session,
       LoopHost::Global().Open(std::move(sent), std::move(ctx),
                               std::move(cache), shard_pin, OpTimeout(request),
-                              request.heartbeat_interval, lease));
+                              request.heartbeat_interval, lease,
+                              AdmissionLimitsFromSpec(request.spec.config),
+                              overload));
   if (probe != nullptr) {
     probe->lease = std::move(lease);
     probe->force_down = [session] { session->ForceDown(); };
@@ -784,6 +823,17 @@ Result<std::unique_ptr<vfs::FileHandle>> OpenProcessControl(
   auto res = std::make_shared<Resources>();
   res->link = std::make_unique<PipeLink>(std::move(pipes.first));
   res->link->set_response_timeout(OpTimeout(request));
+
+  // Overload handling (docs/OVERLOAD.md): the ring lane defaults to
+  // brownout (a congested ring reroutes bulk bytes onto the pipes); the
+  // spec's `overload` key switches the whole link to shed or block, and
+  // admit_* keys add per-link admission budgets.
+  AFS_ASSIGN_OR_RETURN(OverloadPolicy overload,
+                       SpecOverloadPolicy(request, OverloadPolicy::kBrownout));
+  res->link->set_overload(overload);
+  const AdmissionGate::Limits admit =
+      AdmissionLimitsFromSpec(request.spec.config);
+  if (AdmissionConfigured(admit)) res->link->set_admission(admit, overload);
 
   std::shared_ptr<Lease> lease;
   if (probe != nullptr && request.heartbeat_interval.count() > 0) {
@@ -838,6 +888,7 @@ Result<std::unique_ptr<vfs::FileHandle>> OpenProcessControl(
     PipeEndpoint endpoint(std::move(pipes.second));
     endpoint.set_heartbeat_interval(request.heartbeat_interval);
     if (ring) endpoint.set_shm(ring, shm.threshold);
+    endpoint.set_overload(overload);
     // The child's copy of the stack keeps every referenced object alive:
     // it runs the loop inside this call frame and _exit()s.
     Result<ipc::ChildProcess> spawned = ipc::SpawnFunction([&]() -> int {

@@ -77,6 +77,8 @@ Result<RestartPolicy> RestartPolicy::FromSpec(
   if (degrade_it != config.end()) {
     AFS_ASSIGN_OR_RETURN(policy.degrade, ParseDegradeMode(degrade_it->second));
   }
+  AFS_ASSIGN_OR_RETURN(policy.overload,
+                       OverloadPolicyFromSpec(config, policy.overload));
   return policy;
 }
 

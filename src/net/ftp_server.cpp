@@ -1,13 +1,16 @@
 #include "net/ftp_server.hpp"
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
 
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
 
 #include "ipc/process.hpp"
+#include "obs/metrics.hpp"
 #include "util/strings.hpp"
 
 namespace afs::net {
@@ -26,7 +29,10 @@ Status FillSockaddr(const std::string& path, sockaddr_un& addr) {
 bool WriteAllFd(int fd, ByteSpan data) {
   std::size_t done = 0;
   while (done < data.size()) {
-    const ssize_t n = ::write(fd, data.data() + done, data.size() - done);
+    // MSG_NOSIGNAL: a peer that closed mid-transfer must surface as EPIPE,
+    // not a process-fatal SIGPIPE.
+    const ssize_t n = ::send(fd, data.data() + done, data.size() - done,
+                             MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
       return false;
@@ -129,12 +135,25 @@ void FtpServer::Stop() {
 }
 
 void FtpServer::AcceptLoop() {
+  std::int64_t backoff_us = 10'000;  // EMFILE recovery: 10ms doubling to 500ms
   while (running_.load()) {
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) {
       if (errno == EINTR) continue;
+      if (!running_.load()) return;
+      if (errno == EMFILE || errno == ENFILE) {
+        // Descriptor exhaustion is a load condition, not a dead listener:
+        // sleep (instead of hot-spinning accept) and retry.
+        static obs::Counter& emfile =
+            obs::Registry::Global().GetCounter("net.accept.emfile");
+        emfile.Add(1);
+        std::this_thread::sleep_for(std::chrono::microseconds(backoff_us));
+        if (backoff_us < 500'000) backoff_us *= 2;
+        continue;
+      }
       return;
     }
+    backoff_us = 10'000;
     MutexLock lock(conn_mu_);
     conn_fds_.push_back(fd);
     conn_threads_.emplace_back([this, fd] { ServeConnection(fd); });

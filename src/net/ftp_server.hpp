@@ -95,6 +95,7 @@ class FtpClient {
 
   std::string path_;
   int fd_ = -1;
+  // afs-lint: allow(bounded-queue: at most one reply line (4096-byte cap) plus a read chunk)
   Buffer pending_;  // bytes read past the last line boundary
 };
 

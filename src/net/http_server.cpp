@@ -1,12 +1,15 @@
 #include "net/http_server.hpp"
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
 
+#include "common/faultpoint.hpp"
 #include "ipc/process.hpp"
 #include "obs/metrics.hpp"
 #include "obs/stats.hpp"
@@ -28,7 +31,11 @@ Status FillSockaddr(const std::string& path, sockaddr_un& addr) {
 bool WriteAllFd(int fd, ByteSpan data) {
   std::size_t done = 0;
   while (done < data.size()) {
-    const ssize_t n = ::write(fd, data.data() + done, data.size() - done);
+    // MSG_NOSIGNAL: a peer that closed mid-response must surface as EPIPE,
+    // not a process-fatal SIGPIPE (belt to IgnoreSigpipe's suspenders —
+    // this path must be safe even in embedders with their own handlers).
+    const ssize_t n = ::send(fd, data.data() + done, data.size() - done,
+                             MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
       return false;
@@ -95,6 +102,7 @@ std::string ReasonPhrase(int code) {
     case 400: return "Bad Request";
     case 404: return "Not Found";
     case 405: return "Method Not Allowed";
+    case 503: return "Service Unavailable";
     default: return "Unknown";
   }
 }
@@ -116,7 +124,11 @@ void SendResponse(int fd, int code,
 }  // namespace
 
 HttpServer::HttpServer(std::string socket_path, FileServer& store)
-    : path_(std::move(socket_path)), store_(store) {}
+    : HttpServer(std::move(socket_path), store, Options{}) {}
+
+HttpServer::HttpServer(std::string socket_path, FileServer& store,
+                       Options options)
+    : path_(std::move(socket_path)), store_(store), options_(options) {}
 
 HttpServer::~HttpServer() { Stop(); }
 
@@ -158,6 +170,10 @@ void HttpServer::Stop() {
   {
     MutexLock lock(conn_mu_);
     threads.swap(conn_threads_);
+    for (auto& finished : finished_threads_) {
+      threads.push_back(std::move(finished));
+    }
+    finished_threads_.clear();
     for (int fd : conn_fds_) ::shutdown(fd, SHUT_RDWR);
   }
   for (auto& t : threads) {
@@ -171,16 +187,64 @@ void HttpServer::Stop() {
 }
 
 void HttpServer::AcceptLoop() {
+  std::int64_t backoff_us = 10'000;  // EMFILE recovery: 10ms doubling to 500ms
   while (running_.load()) {
-    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd >= 0 && !fault::Hit("net.accept.emfile").ok()) {
+      // Injected descriptor exhaustion: treat the accept as if it had
+      // failed with EMFILE so the backoff path is testable on demand.
+      ::close(fd);
+      fd = -1;
+      errno = EMFILE;
+    }
     if (fd < 0) {
       if (errno == EINTR) continue;
+      if (!running_.load()) return;
+      if (errno == EMFILE || errno == ENFILE) {
+        // Descriptor exhaustion is a load condition, not a dead listener:
+        // sleep (instead of hot-spinning accept) and retry.  Pending
+        // clients wait in the listen backlog meanwhile.
+        static obs::Counter& emfile =
+            obs::Registry::Global().GetCounter("net.accept.emfile");
+        emfile.Add(1);
+        std::this_thread::sleep_for(std::chrono::microseconds(backoff_us));
+        if (backoff_us < 500'000) backoff_us *= 2;
+        continue;
+      }
       return;
     }
+    backoff_us = 10'000;
+    if (options_.max_connections > 0 &&
+        active_conns_.load(std::memory_order_relaxed) >=
+            options_.max_connections) {
+      // Over the concurrency cap: shed with an explicit 503 + Retry-After
+      // instead of queueing an unbounded thread per connection.  The reply
+      // is tiny (fits the socket buffer), so the inline write cannot park
+      // the accept loop behind a slow client.
+      static obs::Counter& shed =
+          obs::Registry::Global().GetCounter("net.http.shed");
+      shed.Add(1);
+      std::map<std::string, std::string> headers;
+      headers["retry-after"] =
+          std::to_string((options_.retry_after_ms + 999) / 1000);
+      SendResponse(fd, 503, headers, AsBytes("server at connection capacity"),
+                   true);
+      ::close(fd);
+      continue;
+    }
+    active_conns_.fetch_add(1, std::memory_order_relaxed);
     MutexLock lock(conn_mu_);
+    ReapFinishedLocked();
     conn_fds_.push_back(fd);
     conn_threads_.emplace_back([this, fd] { ServeConnection(fd); });
   }
+}
+
+void HttpServer::ReapFinishedLocked() {
+  for (auto& thread : finished_threads_) {
+    if (thread.joinable()) thread.join();
+  }
+  finished_threads_.clear();
 }
 
 void HttpServer::ServeConnection(int fd) {
@@ -280,7 +344,24 @@ void HttpServer::ServeConnection(int fd) {
       }
     }
   }
+  // Retire this connection's bookkeeping: the fd entry goes away (before
+  // the close, so a recycled descriptor number can't alias a new entry)
+  // and the thread handle parks in finished_threads_ for the accept loop
+  // (or Stop) to join, keeping both tables bounded by the connection cap.
+  {
+    MutexLock lock(conn_mu_);
+    conn_fds_.erase(std::remove(conn_fds_.begin(), conn_fds_.end(), fd),
+                    conn_fds_.end());
+    for (auto it = conn_threads_.begin(); it != conn_threads_.end(); ++it) {
+      if (it->get_id() == std::this_thread::get_id()) {
+        finished_threads_.push_back(std::move(*it));
+        conn_threads_.erase(it);
+        break;
+      }
+    }
+  }
   ::close(fd);
+  active_conns_.fetch_sub(1, std::memory_order_relaxed);
 }
 
 Result<HttpResponse> HttpClient::Request(
@@ -305,17 +386,19 @@ Result<HttpResponse> HttpClient::Request(
     head += "Content-Length: " + std::to_string(body.size()) + "\r\n";
   }
   head += "\r\n";
-  if (!WriteAllFd(fd, AsBytes(head)) ||
-      (!body.empty() && !WriteAllFd(fd, body))) {
-    ::close(fd);
-    return IoError("http send failed");
-  }
+  // An early reply can race the request: a server shedding at accept
+  // (503 + close, before reading a byte) leaves the response buffered on
+  // the socket while our send hits EPIPE.  A send failure therefore falls
+  // through to the read — the failure only stands if no reply arrived.
+  const bool sent = WriteAllFd(fd, AsBytes(head)) &&
+                    (body.empty() || WriteAllFd(fd, body));
 
   std::string response_head;
   Buffer overflow;
   if (!ReadHead(fd, response_head, overflow)) {
     ::close(fd);
-    return ProtocolError("http response head unreadable");
+    return sent ? ProtocolError("http response head unreadable")
+                : IoError("http send failed");
   }
   const auto lines = SplitLines(response_head);
   const auto status_parts =
@@ -352,6 +435,16 @@ namespace {
 Status FromHttpCode(int code, const HttpResponse& response) {
   if (code == 404) return NotFoundError("http 404: " +
                                         ToString(ByteSpan(response.body)));
+  if (code == 503) {
+    // Server-side shed: surface as the typed overload code and carry the
+    // Retry-After header (delta-seconds per RFC 9110) back as the same
+    // retry-after-ms hint the control protocol uses.
+    std::uint64_t seconds = 0;
+    auto it = response.headers.find("retry-after");
+    if (it != response.headers.end()) (void)ParseU64(it->second, seconds);
+    return OverloadedError("http 503: " + ToString(ByteSpan(response.body)),
+                           static_cast<std::int64_t>(seconds) * 1000);
+  }
   return RemoteError("http " + std::to_string(code));
 }
 }  // namespace

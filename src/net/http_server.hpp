@@ -33,7 +33,19 @@ struct HttpResponse {
 
 class HttpServer {
  public:
+  struct Options {
+    // Concurrent connection cap; over the cap the server sheds the new
+    // connection with "503 Service Unavailable" + Retry-After instead of
+    // growing an unbounded thread pool.  0 disables the cap.
+    int max_connections = 64;
+    // Advertised shed hint, surfaced as a Retry-After header (rounded up
+    // to whole seconds per RFC 9110) and parsed back by HttpClient into
+    // an OverloadedError retry-after-ms tag.
+    int retry_after_ms = 1000;
+  };
+
   HttpServer(std::string socket_path, FileServer& store);
+  HttpServer(std::string socket_path, FileServer& store, Options options);
   ~HttpServer();
 
   HttpServer(const HttpServer&) = delete;
@@ -46,22 +58,37 @@ class HttpServer {
   std::uint64_t requests_served() const noexcept {
     return requests_served_.load(std::memory_order_relaxed);
   }
+  int active_connections() const noexcept {
+    return active_conns_.load(std::memory_order_relaxed);
+  }
 
  private:
   void AcceptLoop();
   void ServeConnection(int fd);
+  // Joins threads whose connections have finished (they parked themselves
+  // in finished_threads_) so a long-lived server's thread table stays
+  // bounded by the connection cap instead of growing per request.
+  void ReapFinishedLocked() AFS_REQUIRES(conn_mu_);
 
   const std::string path_;
   FileServer& store_;
+  const Options options_;
   // afs-lint: allow(guarded-member: written by Start/Stop on the owner thread)
   int listen_fd_ = -1;
   std::atomic<bool> running_{false};
   std::atomic<std::uint64_t> requests_served_{0};
+  std::atomic<int> active_conns_{0};
   // afs-lint: allow(guarded-member: Start() spawns, Stop() joins; owner thread only)
   std::thread accept_thread_;
   Mutex conn_mu_;
+  // Bounded by Options::max_connections (over-cap accepts are shed with
+  // 503 before a thread is spawned); reaped as connections finish.
+  // afs-lint: allow(bounded-queue: capped by Options::max_connections)
   std::vector<std::thread> conn_threads_ AFS_GUARDED_BY(conn_mu_);
+  // afs-lint: allow(bounded-queue: capped by Options::max_connections)
   std::vector<int> conn_fds_ AFS_GUARDED_BY(conn_mu_);
+  // afs-lint: allow(bounded-queue: drained by ReapFinishedLocked on every accept)
+  std::vector<std::thread> finished_threads_ AFS_GUARDED_BY(conn_mu_);
 };
 
 // One-request-per-connection client.
@@ -75,7 +102,8 @@ class HttpClient {
       const std::vector<std::string>& extra_headers = {});
 
   // Conveniences mapping HTTP status to Status codes (404 -> kNotFound,
-  // other non-2xx -> kRemoteError).
+  // 503 -> kOverloaded carrying the Retry-After hint, other non-2xx ->
+  // kRemoteError).
   Result<Buffer> Get(const std::string& target);
   Result<Buffer> GetRange(const std::string& target, std::uint64_t first,
                           std::uint64_t last);

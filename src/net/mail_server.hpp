@@ -57,6 +57,7 @@ class MailServer final : public RpcHandler {
 
  private:
   mutable Mutex mu_;
+  // afs-lint: allow(bounded-queue: in-memory demo spool; DeleteMessage drains it and the suite owns retention)
   std::map<std::string, std::vector<MailMessage>> mailboxes_
       AFS_GUARDED_BY(mu_);
 };

@@ -108,11 +108,23 @@ void SocketServer::OnListenReady() {
   // Drain the accept backlog: edge-ish batching — one wakeup admits every
   // connection that is already queued.
   while (true) {
-    const int fd =
+    int fd =
         ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd >= 0 && !fault::Hit("net.accept.emfile").ok()) {
+      // Injected descriptor exhaustion: treat the accept as if it had
+      // failed with EMFILE so the backoff path is testable on demand.
+      ::close(fd);
+      fd = -1;
+      errno = EMFILE;
+    }
     if (fd < 0) {
       if (errno == EINTR) continue;
-      return;  // EAGAIN: backlog drained; else wait for the next wakeup
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;  // drained
+      if (errno == EMFILE || errno == ENFILE) {
+        BackOffAccept();
+        return;
+      }
+      return;  // transient accept error: wait for the next wakeup
     }
     Connection conn;
     conn.gen = next_gen_++;
@@ -127,6 +139,26 @@ void SocketServer::OnListenReady() {
       ::close(fd);
     }
   }
+}
+
+void SocketServer::BackOffAccept() {
+  // Out of descriptors: the listener stays readable for as long as the
+  // backlog holds connections we cannot accept, so leaving it registered
+  // would spin the level-triggered loop at 100% CPU.  Park it and re-arm
+  // from a timer; pending clients wait in the listen backlog meanwhile.
+  static obs::Counter& emfile =
+      obs::Registry::Global().GetCounter("net.accept.emfile");
+  emfile.Add(1);
+  loop_.UnregisterFd(listen_fd_);
+  constexpr Micros kAcceptBackoff{50'000};
+  loop_.AddTimer(kAcceptBackoff, [this] {
+    if (!running_.load()) return;
+    const Status reg =
+        loop_.RegisterFd(listen_fd_, EventLoop::kReadable,
+                         [this](std::uint32_t) { OnListenReady(); });
+    // Still exhausted (epoll_ctl needs a descriptor too): go around again.
+    if (!reg.ok()) BackOffAccept();
+  });
 }
 
 void SocketServer::OnConnReady(int fd, std::uint32_t ready) {
@@ -199,6 +231,18 @@ void SocketServer::RunRequest(int fd, const Buffer& request) {
   auto it = conns_.find(fd);
   if (it == conns_.end()) return;
   Connection& conn = it->second;
+  if (options_.max_outbuf_bytes > 0 &&
+      (conn.outbuf.size() - conn.out_off) + envelope.size() + 4 >
+          options_.max_outbuf_bytes) {
+    // Slow consumer: the peer keeps sending requests but stopped draining
+    // responses.  Disconnect instead of buffering without bound — the
+    // client observes kClosed and recovers through its retry path.
+    static obs::Counter& slow =
+        obs::Registry::Global().GetCounter("net.socket.slow_reader_drops");
+    slow.Add(1);
+    CloseConn(fd);
+    return;
+  }
   AppendU32(conn.outbuf, static_cast<std::uint32_t>(envelope.size()));
   conn.outbuf.insert(conn.outbuf.end(), envelope.begin(), envelope.end());
   (void)FlushConn(fd, conn);

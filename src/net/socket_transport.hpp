@@ -37,6 +37,11 @@ class SocketServer {
     // as a loop timer, so a delayed request never blocks the other
     // connections sharing the loop.
     Micros service_delay{0};
+    // Per-connection cap on buffered unflushed response bytes.  A reader
+    // that stops draining while responses keep queueing is a slow
+    // consumer; at the cap the server disconnects it instead of letting
+    // one connection's outbuf grow without bound.  0 disables the cap.
+    std::size_t max_outbuf_bytes = 8 * 1024 * 1024;
   };
 
   // Does not take ownership of the handler; it must outlive the server.
@@ -66,13 +71,21 @@ class SocketServer {
   struct Connection {
     std::uint64_t gen = 0;
     ipc::FrameDecoder decoder;
-    Buffer outbuf;               // framed responses not yet flushed
+    // Framed responses not yet flushed; capped at max_outbuf_bytes by
+    // RunRequest (slow readers are disconnected at the cap).
+    // afs-lint: allow(bounded-queue: capped by Options::max_outbuf_bytes)
+    Buffer outbuf;
     std::size_t out_off = 0;     // flushed prefix of outbuf
     bool want_write = false;     // write-readiness interest currently armed
   };
 
   // Loop-thread entries.
   void OnListenReady();
+  // EMFILE/ENFILE recovery: parks the listening socket (unregisters it
+  // from the loop) and re-arms it from a timer, so a level-triggered
+  // always-readable listener cannot hot-spin the loop while the process
+  // is out of descriptors.
+  void BackOffAccept();
   void OnConnReady(int fd, std::uint32_t ready);
   void HandleFrame(int fd, std::uint64_t gen, Buffer request);
   void RunRequest(int fd, const Buffer& request);

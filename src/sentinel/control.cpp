@@ -96,6 +96,16 @@ Buffer EncodeControlResponse(const ControlResponse& response,
   out.push_back(peer_rev);
   out.push_back(lane);
   AppendU32(out, lane_len);
+  // v3: the shed hint (zero on non-overloaded responses).  When the
+  // responder only tagged the hint into the status message, lift it into
+  // the typed field here so every peer sees it the same way.
+  std::uint32_t retry_after_ms = response.retry_after_ms;
+  if (retry_after_ms == 0 &&
+      response.status.code() == ErrorCode::kOverloaded) {
+    retry_after_ms =
+        static_cast<std::uint32_t>(RetryAfterHintMs(response.status));
+  }
+  AppendU32(out, retry_after_ms);
   return out;
 }
 
@@ -127,6 +137,9 @@ Result<ControlResponse> DecodeControlResponse(ByteSpan bytes) {
         (!reader.ReadU8(response.peer_rev) || !reader.ReadU8(response.lane) ||
          !reader.ReadU32(response.lane_len))) {
       return ProtocolError("truncated control response lane extension");
+    }
+    if (ext_version >= 3 && !reader.ReadU32(response.retry_after_ms)) {
+      return ProtocolError("truncated control response overload extension");
     }
   }
   return response;

@@ -21,8 +21,10 @@ namespace afs::sentinel {
 // new fields go after the existing ones so older readers keep working.
 // v1 added trace propagation (docs/PROTOCOL.md §3.4); v2 added the shm
 // data-plane handshake: the responder's data-plane revision and the lane
-// bits routing bulk payloads through the shared ring (§3.5).
-inline constexpr std::uint8_t kControlExtVersion = 2;
+// bits routing bulk payloads through the shared ring (§3.5); v3 added the
+// overload shed hint: a u32 retry-after on responses whose status is
+// kOverloaded (§3.6).
+inline constexpr std::uint8_t kControlExtVersion = 3;
 
 // Data-plane revision a sentinel advertises in every response's v2
 // extension.  Revision 2 means the peer understands the shm ring lane and
@@ -114,6 +116,11 @@ struct ControlResponse {
   std::uint8_t peer_rev = 0;
   std::uint8_t lane = 0;
   std::uint32_t lane_len = 0;
+
+  // v3 extension: when `status` is kOverloaded, how long (milliseconds)
+  // the responder suggests the client wait before retrying.  Zero from
+  // v2-or-older peers and on non-shed responses.
+  std::uint32_t retry_after_ms = 0;
 };
 
 // Wire codecs (inline and vectored lanes are intentionally not carried).

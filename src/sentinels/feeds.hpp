@@ -78,6 +78,7 @@ class OutboxSentinel final : public sentinel::Sentinel {
   Status Send(sentinel::SentinelContext& ctx);
 
   std::unique_ptr<net::Transport> transport_;
+  // afs-lint: allow(bounded-queue: one composed message, cleared on every flush; writes ride the admission gate)
   Buffer pending_;
   std::uint32_t delivered_ = 0;
 };

@@ -28,6 +28,24 @@ class BlockingQueue {
     return true;
   }
 
+  // Deadline push: blocks while full up to `timeout`, then gives up.
+  // Returns false on timeout or when the queue was closed — including a
+  // Close() that lands while the pusher is parked on a full queue (the
+  // shutdown-while-full case: Close wakes not_full_ waiters too).
+  bool PushFor(T item, std::chrono::microseconds timeout) {
+    const auto deadline = std::chrono::steady_clock::now() + timeout;
+    {
+      MutexLock lock(mu_);
+      while (!closed_ && items_.size() >= capacity_) {
+        if (!not_full_.WaitUntil(mu_, deadline)) break;
+      }
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(item));
+    }
+    not_empty_.NotifyOne();
+    return true;
+  }
+
   // Non-blocking push; returns false when full or closed.
   bool TryPush(T item) {
     {
@@ -101,6 +119,7 @@ class BlockingQueue {
   mutable Mutex mu_;
   CondVar not_empty_;
   CondVar not_full_;
+  // afs-lint: allow(bounded-queue: size capped at capacity_ by Push/PushFor/TryPush)
   std::deque<T> items_ AFS_GUARDED_BY(mu_);
   bool closed_ AFS_GUARDED_BY(mu_) = false;
 };

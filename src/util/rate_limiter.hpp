@@ -37,6 +37,28 @@ class RateLimiter {
     return Micros(static_cast<std::int64_t>(seconds * 1e6) + 1);
   }
 
+  // Admission-gate variant: debits tokens ONLY when the transfer can
+  // proceed now.  Returns true (and charges `bytes`) when tokens cover the
+  // transfer; otherwise leaves the bucket untouched and reports via
+  // `retry_after` how long until they would — the shed path's retry hint.
+  // A shed op never happened, so it must not consume budget the way
+  // ReserveDelay's queue-and-wait contract does.
+  bool TryReserve(std::uint64_t bytes, Micros* retry_after) {
+    if (rate_ == 0) return true;
+    MutexLock lock(mu_);
+    Refill();
+    if (tokens_ >= static_cast<double>(bytes)) {
+      tokens_ -= static_cast<double>(bytes);
+      return true;
+    }
+    if (retry_after != nullptr) {
+      const double deficit = static_cast<double>(bytes) - tokens_;
+      const double seconds = deficit / static_cast<double>(rate_);
+      *retry_after = Micros(static_cast<std::int64_t>(seconds * 1e6) + 1);
+    }
+    return false;
+  }
+
   std::uint64_t rate_bytes_per_second() const noexcept { return rate_; }
 
  private:

@@ -42,6 +42,16 @@ struct OpMetrics {
   bool SampleLatency() noexcept { return pair.CountOp(); }
 };
 
+// API-boundary shed accounting (vfs.overload.shed in OBSERVABILITY.md):
+// how many operations the application saw fail with kOverloaded.  The
+// retry-after contract (docs/OVERLOAD.md) applies to exactly these.
+void NoteIfShed(const Status& status) {
+  if (status.code() != ErrorCode::kOverloaded) return;
+  static obs::Counter& shed =
+      obs::Registry::Global().GetCounter("vfs.overload.shed");
+  shed.Add(1);
+}
+
 }  // namespace
 
 FileApi::FileApi(std::string root_dir) : root_(std::move(root_dir)) {
@@ -128,6 +138,7 @@ Result<std::size_t> FileApi::ReadFile(HandleId handle, MutableByteSpan out) {
   if (n.ok()) {
     metrics.pair.AddBytes(*n);
   } else {
+    NoteIfShed(n.status());
     metrics.errors.Add(1);
   }
   return n;
@@ -143,6 +154,7 @@ Result<std::size_t> FileApi::WriteFile(HandleId handle, ByteSpan data) {
   if (n.ok()) {
     metrics.pair.AddBytes(*n);
   } else {
+    NoteIfShed(n.status());
     metrics.errors.Add(1);
   }
   return n;
@@ -181,7 +193,9 @@ Status FileApi::FlushFileBuffers(HandleId handle) {
 Result<std::size_t> FileApi::ReadFileScatter(
     HandleId handle, std::span<MutableByteSpan> segments) {
   AFS_ASSIGN_OR_RETURN(FileHandle * file, Lookup(handle));
-  return file->ReadScatter(segments);
+  Result<std::size_t> n = file->ReadScatter(segments);
+  if (!n.ok()) NoteIfShed(n.status());
+  return n;
 }
 
 Result<std::size_t> FileApi::WriteFileGather(HandleId handle,
@@ -195,6 +209,7 @@ Result<std::size_t> FileApi::WriteFileGather(HandleId handle,
   if (n.ok()) {
     metrics.pair.AddBytes(*n);
   } else {
+    NoteIfShed(n.status());
     metrics.errors.Add(1);
   }
   return n;

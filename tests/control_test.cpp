@@ -68,6 +68,49 @@ TEST(ControlCodecTest, ResponseRoundTrip) {
   EXPECT_EQ(ToString(ByteSpan(decoded->payload)), "tail");
 }
 
+TEST(ControlCodecTest, OverloadedResponseCarriesTypedRetryAfter) {
+  // The responder only tagged the hint into the status message; the v3
+  // encoder lifts it into the typed field so every peer sees it uniformly.
+  ControlResponse resp;
+  resp.status = OverloadedError("admission shed", 25);
+  auto decoded = DecodeControlResponse(ByteSpan(EncodeControlResponse(resp)));
+  ASSERT_OK(decoded.status());
+  EXPECT_EQ(decoded->status.code(), ErrorCode::kOverloaded);
+  EXPECT_EQ(decoded->retry_after_ms, 25u);
+  EXPECT_EQ(RetryAfterHintMs(decoded->status), 25);
+}
+
+TEST(ControlCodecTest, ExplicitRetryAfterFieldBeatsTheMessageTag) {
+  ControlResponse resp;
+  resp.status = OverloadedError("admission shed", 25);
+  resp.retry_after_ms = 40;  // the typed field is authoritative
+  auto decoded = DecodeControlResponse(ByteSpan(EncodeControlResponse(resp)));
+  ASSERT_OK(decoded.status());
+  EXPECT_EQ(decoded->retry_after_ms, 40u);
+}
+
+TEST(ControlCodecTest, V2ResponseWithoutOverloadExtensionDecodes) {
+  // A v2 peer's frame ends at lane_len; the decoder must leave the hint at
+  // its zero default instead of rejecting the shorter extension.
+  ControlResponse resp;  // empty message and payload: fixed layout below
+  Buffer wire = EncodeControlResponse(resp);
+  // flags(1) + code(2) + msg(4+0) + number(8) + payload(4+0) = offset 19.
+  ASSERT_EQ(wire[19], kControlExtVersion);
+  wire[19] = 2;
+  wire.resize(wire.size() - 4);  // drop the v3 retry_after_ms field
+  auto decoded = DecodeControlResponse(ByteSpan(wire));
+  ASSERT_OK(decoded.status());
+  EXPECT_EQ(decoded->retry_after_ms, 0u);
+}
+
+TEST(ControlCodecTest, TruncatedOverloadExtensionRejected) {
+  ControlResponse resp;
+  Buffer wire = EncodeControlResponse(resp);
+  wire.resize(wire.size() - 2);  // declared v3, but the field is torn
+  EXPECT_EQ(DecodeControlResponse(ByteSpan(wire)).status().code(),
+            ErrorCode::kProtocolError);
+}
+
 // ---- transports -------------------------------------------------------
 
 TEST(PipeLinkTest, CommandAndResponseCrossPipes) {

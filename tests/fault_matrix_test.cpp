@@ -189,6 +189,10 @@ constexpr Cell kCells[] = {
     // thread strategy: the sentinel is an injected thread.
     {"thread_roundtrip_error", "thread",
      "core.link.roundtrip=error:io@p0.3", true, true},
+    // An injected admission shed is transient by contract: the handle is
+    // never poisoned and keeps serving once the plan clears.
+    {"thread_roundtrip_overloaded", "thread",
+     "core.link.roundtrip=error:overloaded@p0.3", true, true},
     {"thread_dispatch_error", "thread",
      "sentinel.dispatch.op=error:remote@p0.3", true, true},
     {"thread_recv_stall", "thread",
@@ -296,6 +300,7 @@ bool IsAllowedFailure(ErrorCode code) {
     case ErrorCode::kInternal:
     case ErrorCode::kUnsupported:  // seek/size under the process strategy
     case ErrorCode::kCorrupt:
+    case ErrorCode::kOverloaded:   // admission shed: retryable by contract
       return true;
     default:
       return false;
@@ -464,6 +469,23 @@ TEST_F(SocketFaultTest, ServerSideDropIsRecoveredByClientRetry) {
   auto got = fc.Get("k");
   ASSERT_OK(got.status());
   EXPECT_EQ(ToString(ByteSpan(got->data)), "v");
+}
+
+TEST_F(SocketFaultTest, AcceptEmfileBacksOffAndRecovers) {
+  // Injected descriptor exhaustion on the first accept: the server must
+  // park the listening socket and re-arm it from a timer — never spin the
+  // loop — and the connection that was shed recovers through the client's
+  // ordinary reconnect path once the trigger is spent.
+  auto plan = fault::ParsePlan("seed=7;net.accept.emfile=error:overloaded@n1");
+  ASSERT_OK(plan.status());
+  fault::ScopedFaultPlan scoped(std::move(*plan));
+
+  net::SocketClient client(path_);  // default options allow 2 retries
+  net::FileClient fc(client);
+  auto got = fc.Get("k");
+  ASSERT_OK(got.status());
+  EXPECT_EQ(ToString(ByteSpan(got->data)), "v");
+  EXPECT_EQ(fault::TriggeredCount(), 1u);
 }
 
 TEST(SimNetFaultTest, InjectedSimCallFaultSurfacesToCaller) {

@@ -328,13 +328,13 @@ TEST(ControlCompatTest, LegacyResponseWithoutExtensionDecodesWithNoSpans) {
   // A pre-extension response frame: flags, status, message, number,
   // payload — encode with the current encoder, then truncate the trailing
   // extension (1 version byte + 4-byte empty span count + the v2 fields:
-  // peer_rev u8, lane u8, lane_len u32).
+  // peer_rev u8, lane u8, lane_len u32 + the v3 field: retry_after u32).
   sentinel::ControlResponse response;
   response.status = Status::Ok();
   response.number = 42;
   Buffer wire = sentinel::EncodeControlResponse(response);
-  ASSERT_GE(wire.size(), 11u);
-  wire.resize(wire.size() - 11);
+  ASSERT_GE(wire.size(), 15u);
+  wire.resize(wire.size() - 15);
 
   auto decoded = sentinel::DecodeControlResponse(ByteSpan(wire));
   ASSERT_OK(decoded.status());

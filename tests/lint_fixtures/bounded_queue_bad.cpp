@@ -1,0 +1,21 @@
+// Seeded violations for check_bounded_queue: an unbounded FIFO container
+// and a growable buffer with a consumer-queue name, neither stating a
+// bound.
+#include <deque>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace fixture {
+
+class Relay {
+ public:
+  void Enqueue(int v);
+
+ private:
+  std::deque<int> inflight_;   // unbounded container — must be flagged
+  Buffer outbuf_;              // queue-named growable store — must be flagged
+  std::vector<int> samples_;   // plain vector, neutral name — never flagged
+};
+
+}  // namespace fixture

@@ -1,0 +1,24 @@
+// Clean twin for check_bounded_queue: the same shapes with their bounds
+// stated inline via allow(), plus a neutral member that is exempt by
+// construction.
+#include <deque>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace fixture {
+
+class Relay {
+ public:
+  void Enqueue(int v);
+
+ private:
+  // afs-lint: allow(bounded-queue: capped at capacity_ by Enqueue)
+  std::deque<int> inflight_;
+  // afs-lint: allow(bounded-queue: flushed every tick; writer sheds past 4 KiB)
+  Buffer outbuf_;
+  std::vector<int> samples_;  // plain vector, neutral name: not a queue
+  const std::size_t capacity_ = 64;
+};
+
+}  // namespace fixture

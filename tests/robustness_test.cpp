@@ -8,6 +8,8 @@
 #include "afs.hpp"
 #include "core/links.hpp"
 #include "ipc/framing.hpp"
+#include "net/ftp_server.hpp"
+#include "net/http_server.hpp"
 #include "sentinel/dispatch.hpp"
 #include "test_util.hpp"
 #include "util/prng.hpp"
@@ -89,6 +91,56 @@ TEST(SocketRecoveryTest, ClientReconnectsAfterServerRestart) {
   ASSERT_OK(got.status());
   EXPECT_EQ(ToString(ByteSpan(got->data)), "v1");
   server->Stop();
+}
+
+// SIGPIPE regression (docs/OVERLOAD.md): every socket write path must use
+// MSG_NOSIGNAL (or sit behind the SIG_IGN guard), so a peer that vanishes
+// mid-response costs that connection an EPIPE — never the process.  The
+// bodies are sized past any socket buffer to force the dead-peer write.
+TEST(SigpipeRegressionTest, HttpServerSurvivesClientGoneMidResponse) {
+  TempDir tmp;
+  net::FileServer files;
+  ASSERT_OK(files.Put("big", Buffer(4 * 1024 * 1024, 0x5a)));
+  const std::string path = test::UniqueSocketPath(tmp.path(), "http");
+  net::HttpServer server(path, files);
+  ASSERT_OK(server.Start());
+
+  {
+    test::RawUnixClient early_closer(path);
+    ASSERT_GE(early_closer.fd(), 0);
+    ASSERT_TRUE(early_closer.Send("GET /big HTTP/1.0\r\n\r\n"));
+  }  // closed before the 4 MiB body could possibly drain
+
+  // The serving thread hit EPIPE, not SIGPIPE: the process is alive and
+  // the server keeps answering.
+  net::HttpClient client(path);
+  ASSERT_TRUE(test::PollUntil([&] { return server.requests_served() >= 1; }));
+  auto got = client.Get("big");
+  ASSERT_OK(got.status());
+  EXPECT_EQ(got->size(), 4u * 1024 * 1024);
+  server.Stop();
+}
+
+TEST(SigpipeRegressionTest, FtpServerSurvivesClientGoneMidResponse) {
+  TempDir tmp;
+  net::FileServer files;
+  ASSERT_OK(files.Put("big", Buffer(4 * 1024 * 1024, 0xa5)));
+  const std::string path = test::UniqueSocketPath(tmp.path(), "ftp");
+  net::FtpServer server(path, files);
+  ASSERT_OK(server.Start());
+
+  {
+    test::RawUnixClient early_closer(path);
+    ASSERT_GE(early_closer.fd(), 0);
+    ASSERT_TRUE(early_closer.Send("retr big\n"));
+  }
+
+  ASSERT_TRUE(test::PollUntil([&] { return server.commands_served() >= 1; }));
+  net::FtpClient client(path);
+  auto got = client.Retr("big");
+  ASSERT_OK(got.status());
+  EXPECT_EQ(got->size(), 4u * 1024 * 1024);
+  server.Stop();
 }
 
 TEST(SimNetConcurrencyTest, ParallelCallersShareTheLink) {

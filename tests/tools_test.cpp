@@ -172,6 +172,19 @@ TEST_F(LintFixtureTest, GuardedMemberFlagsUnannotatedMemberOnly) {
   EXPECT_EQ(code, 0) << out;
 }
 
+TEST_F(LintFixtureTest, BoundedQueueFlagsBothShapesOnly) {
+  auto [code, out] = Lint("bounded-queue", "bounded_queue_bad.cpp");
+  EXPECT_EQ(code, 1);
+  EXPECT_NE(out.find("Relay::inflight_"), std::string::npos);
+  EXPECT_NE(out.find("unbounded container"), std::string::npos);
+  EXPECT_NE(out.find("Relay::outbuf_"), std::string::npos);
+  EXPECT_NE(out.find("growable consumer buffer"), std::string::npos);
+  EXPECT_EQ(out.find("samples_"), std::string::npos);  // neutral name exempt
+
+  std::tie(code, out) = Lint("bounded-queue", "bounded_queue_clean.cpp");
+  EXPECT_EQ(code, 0) << out;
+}
+
 TEST_F(LintFixtureTest, RegistryFlagsAllThreeShapesOnly) {
   // The registry check is textual over a tree, so the fixtures are
   // miniature trees selected via --root.

@@ -113,6 +113,40 @@ TEST(BlockingQueueTest, PopForTimesOut) {
   EXPECT_FALSE(q.PopFor(std::chrono::microseconds(5000)).has_value());
 }
 
+TEST(BlockingQueueTest, PushForTimesOutWhenFull) {
+  BlockingQueue<int> q(1);
+  ASSERT_TRUE(q.PushFor(1, std::chrono::microseconds(1000)));
+  EXPECT_FALSE(q.PushFor(2, std::chrono::microseconds(5000)));  // stays full
+  (void)q.Pop();
+  EXPECT_TRUE(q.PushFor(3, std::chrono::microseconds(1000)));
+}
+
+TEST(BlockingQueueTest, PushForSucceedsWhenConsumerFreesASlot) {
+  BlockingQueue<int> q(1);
+  ASSERT_TRUE(q.TryPush(1));
+  std::thread consumer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    (void)q.Pop();
+  });
+  EXPECT_TRUE(q.PushFor(2, std::chrono::seconds(5)));  // woken by the pop
+  consumer.join();
+}
+
+TEST(BlockingQueueTest, CloseWakesPusherParkedOnFullQueue) {
+  // The shutdown-while-full case: a producer blocked on a full queue must
+  // observe Close() immediately — not ride out its deadline, and not
+  // deadlock a teardown that joins it.
+  BlockingQueue<int> q(1);
+  ASSERT_TRUE(q.TryPush(1));
+  std::thread producer([&] {
+    EXPECT_FALSE(q.PushFor(2, std::chrono::seconds(30)));
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  q.Close();
+  producer.join();  // bounded by the test timeout, not the 30s deadline
+  EXPECT_FALSE(q.Push(3));
+}
+
 TEST(Crc32Test, KnownVectors) {
   // Standard test vector: CRC32("123456789") = 0xCBF43926.
   EXPECT_EQ(Crc32(AsBytes("123456789")), 0xCBF43926u);
@@ -240,6 +274,19 @@ TEST(RateLimiterTest, DelaysOnceBurstExhausted) {
   const auto delay = limiter.ReserveDelay(1000);
   EXPECT_GE(delay.count(), 900);
   EXPECT_LE(delay.count(), 1100);
+}
+
+TEST(RateLimiterTest, TryReserveReportsDeficitWithoutDebiting) {
+  ManualClock clock;
+  RateLimiter limiter(clock, 1000 * 1000, /*burst=*/1000);  // 1 MB/s
+  Micros retry{0};
+  EXPECT_TRUE(limiter.TryReserve(1000, &retry));   // burst absorbs it
+  EXPECT_FALSE(limiter.TryReserve(1000, &retry));  // bucket empty
+  EXPECT_GT(retry.count(), 0);
+  // The refusal did not debit the bucket: after the advertised wait the
+  // same reservation is affordable again.
+  clock.Advance(retry);
+  EXPECT_TRUE(limiter.TryReserve(1000, &retry));
 }
 
 TEST(RateLimiterTest, RefillsWithTime) {

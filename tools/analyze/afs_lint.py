@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """afs_lint — the repo-aware static-analysis suite (docs/STATIC_ANALYSIS.md).
 
-Four checks, each an "invariant as a build error" the compilers cannot
+Five checks, each an "invariant as a build error" the compilers cannot
 express on their own:
 
   nonblocking     AFS_NONBLOCKING functions must not reach an unbounded
@@ -13,6 +13,9 @@ express on their own:
                   (check_registry.py)
   guarded-member  mutex-owning classes must annotate or justify every
                   mutable member (check_guarded.py)
+  bounded-queue   queue/buffer members must state their bound inline so
+                  saturation sheds instead of growing without limit
+                  (check_bounded_queue.py)
 
 Usage (from the repo root; `tools/check.sh analyze` wraps this):
 
@@ -44,6 +47,7 @@ import sys
 sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 
 import engine  # noqa: E402
+import check_bounded_queue  # noqa: E402
 import check_guarded  # noqa: E402
 import check_nonblocking  # noqa: E402
 import check_registry  # noqa: E402
@@ -53,9 +57,11 @@ CHECKS = {
     "nonblocking": check_nonblocking,
     "status-discard": check_status_discard,
     "guarded-member": check_guarded,
+    "bounded-queue": check_bounded_queue,
     # `registry` is textual and handled specially (needs docs/ + tests/).
 }
-ALL_CHECKS = ("nonblocking", "status-discard", "registry", "guarded-member")
+ALL_CHECKS = ("nonblocking", "status-discard", "registry", "guarded-member",
+              "bounded-queue")
 
 DEFAULT_BASELINE = os.path.join(os.path.dirname(os.path.abspath(__file__)),
                                 "baseline.json")

@@ -1,0 +1,76 @@
+"""Bounded-queue discipline.
+
+PR 9's overload work rests on one invariant: every queue or staging
+buffer between the application and a slower consumer has a stated bound,
+so saturation turns into a typed `kOverloaded` shed instead of unbounded
+memory growth.  The compilers cannot see "this vector is a queue"; this
+check closes the gap heuristically.  A class member is flagged when
+
+  * its type is an unbounded FIFO container (`std::deque`, `std::queue`,
+    `std::priority_queue`, or the repo's `BlockingQueue`), or
+  * its type is a growable byte/element store (`Buffer` or a
+    `std::vector`) **and** its name says it buffers for a consumer
+    (`queue`, `outbuf`, `backlog`, `pending`, `inbox`, `mailbox`),
+
+unless the declaration carries an inline statement of its bound:
+
+    // afs-lint: allow(bounded-queue: capped at capacity_ by PushFor)
+    std::deque<T> items_ AFS_GUARDED_BY(mu_);
+
+The allow() reason is the contract: it must name the cap (a capacity
+field, an Options knob, an admission gate upstream) so a reviewer can
+check the arithmetic without re-deriving the data flow.  A queue with no
+nameable bound is exactly the bug this check exists to surface.
+"""
+
+from __future__ import annotations
+
+import re
+
+CHECK = "bounded-queue"
+
+# Token spellings of containers that grow without limit by default.
+_UNBOUNDED_CONTAINERS = {"BlockingQueue", "deque", "queue", "priority_queue"}
+# Growable stores that are only queues when the name says so.
+_GROWABLE_STORES = {"Buffer", "vector"}
+_QUEUEISH_NAME = re.compile(r"queue|outbuf|backlog|pending|inbox|mailbox",
+                            re.IGNORECASE)
+
+
+def _in_scope(path: str) -> bool:
+    # The invariant applies to shipped code; fixtures under tests/ are
+    # linted explicitly by path, so accept anything that is not clearly
+    # outside a source tree.
+    return not path.startswith("third_party")
+
+
+def run(model, roots=None):
+    findings = []
+    for infos in model.classes.values():
+        for info in infos:
+            if not _in_scope(info.path):
+                continue
+            src = model.sources.get(info.path)
+            for m in info.members:
+                tokens = set(m.type_text.split())
+                unbounded = bool(tokens & _UNBOUNDED_CONTAINERS)
+                growable = bool(tokens & _GROWABLE_STORES) and bool(
+                    _QUEUEISH_NAME.search(m.name))
+                if not (unbounded or growable):
+                    continue
+                if src is not None and src.allowed(CHECK, m.line):
+                    continue
+                kind = ("an unbounded container"
+                        if unbounded else "a growable consumer buffer")
+                findings.append({
+                    "check": CHECK,
+                    "id": f"{CHECK}:{info.path}:{info.name}:{m.name}",
+                    "file": info.path,
+                    "line": m.line,
+                    "message": (
+                        f"{info.name}::{m.name} ({info.path}:{m.line}) is "
+                        f"{kind} with no afs-lint allow() stating its bound "
+                        f"— name the cap (capacity field, Options knob, or "
+                        f"upstream admission gate)"),
+                })
+    return findings

@@ -647,6 +647,19 @@ class _Parser:
                 nxt = toks[k + 2].text if k + 2 < hi else ";"
                 if nxt in (";", "=", "(", "{"):
                     fn.local_types.setdefault(toks[k + 1].text, t.text)
+            elif t.kind == "ident" and t.text not in _CONTROL_KEYWORDS and \
+                    toks[k + 1].text == "&" and k + 2 < hi and \
+                    toks[k + 2].kind == "ident":
+                # `Type& name = …` reference locals (including the cached
+                # `static obs::Counter& c = Registry…` idiom): the `&` hides
+                # these from the branch above, which leaves the receiver
+                # untyped and lets same-named methods alias each other.  The
+                # prev-token guard keeps `x = a & b` expressions out.
+                prev = toks[k - 1].text if k > lo else ";"
+                nxt = toks[k + 3].text if k + 3 < hi else ";"
+                if prev in (";", "{", "}", "::", "const", "static") and \
+                        nxt in (";", "=", "(", "{"):
+                    fn.local_types.setdefault(toks[k + 2].text, t.text)
             elif t.text == ">" and k + 1 < hi and toks[k + 1].kind == "ident":
                 # `std::unique_ptr<PipeLink> link = …` — walk back through
                 # the angle group for the template argument's class.

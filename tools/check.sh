@@ -20,10 +20,15 @@
 #                             # registry/doc cross-checks, guarded members;
 #                             # fails on findings not in the baseline
 #   tools/check.sh bench-smoke  # short Figure-6 + event-loop benchmark
-#                             # pass, results combined into BENCH_PR8.json;
+#                             # pass, results combined into BENCH_PR9.json;
 #                             # fails if the obs <5% overhead gate, the
-#                             # 10k-handle saturation gate, or the shm-vs-
-#                             # pipe >=2x throughput gate regresses
+#                             # 10k-handle saturation gate, the shm-vs-
+#                             # pipe >=2x throughput gate, or the overload
+#                             # column's gates regress
+#   tools/check.sh soak       # long-run overload lane (docs/OVERLOAD.md):
+#                             # the optimized overload bench with its
+#                             # gates, then the full fault matrix — which
+#                             # includes the saturation suite — under TSan
 #
 # The fault lane reuses the asan/tsan build trees and is not part of the
 # default quick suite: the full {strategy x site x kind} sweep spends real
@@ -138,15 +143,40 @@ run_analyze() {
   echo "== analyze: clean"
 }
 
+run_soak() {
+  # Long-run overload soak (docs/OVERLOAD.md): the overload column of
+  # bench_saturation on an optimized build — its own exit gates enforce
+  # the shed/hint/p99/drain contract — then the full fault matrix under
+  # TSan.  overload_test carries the fault label, so the TSan sweep runs
+  # the saturation churn with injected faults: exactly where admission
+  # release races and teardown leaks hide.
+  echo "== soak: building optimized bench"
+  cmake -B build -S . >/dev/null
+  cmake --build build -j "$JOBS" --target bench_saturation >/dev/null
+  echo "== soak: overload bench (shed + brownout columns, gated)"
+  AFS_BENCH_SATURATION=overload ./build/bench/bench_saturation \
+    >/tmp/afs-soak-overload.json
+  echo "== soak: configuring TSan build"
+  cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DAFS_SANITIZE="thread" -DAFS_DEADLOCK_DEBUG=ON >/dev/null
+  echo "== soak: building"
+  cmake --build build-tsan -j "$JOBS" >/dev/null
+  echo "== soak: full fault matrix under TSan (AFS_FAULT_MATRIX=full)"
+  (cd build-tsan && AFS_FAULT_MATRIX=full ctest --output-on-failure -L fault)
+  echo "== soak: clean"
+}
+
 run_bench_smoke() {
   # Short pass over the paper's Figure-6 benchmarks plus the event-loop
-  # lane (open/close churn, the 10k-handle saturation sweep) and the obs
-  # overhead gate, combined into BENCH_PR8.json.  Smoke numbers, not
-  # publishable ones: --benchmark_min_time is deliberately tiny.  Three
-  # gates exit nonzero on regression: obs <5%, saturation >= 10k handles,
-  # and the shm data plane carrying >=2x the pipe lane's throughput on the
-  # vectored 64 KiB batches (docs/SHM_DATA_PLANE.md).
-  local out=BENCH_PR8.json bench
+  # lane (open/close churn, the 10k-handle saturation sweep), the obs
+  # overhead gate, and the overload column, combined into BENCH_PR9.json.
+  # Smoke numbers, not publishable ones: --benchmark_min_time is
+  # deliberately tiny.  Four gates exit nonzero on regression: obs <5%,
+  # saturation >= 10k handles, the shm data plane carrying >=2x the pipe
+  # lane's throughput on the vectored 64 KiB batches
+  # (docs/SHM_DATA_PLANE.md), and the overload contract (sheds carry
+  # hints, admitted p99 within gate, queue bytes drain; docs/OVERLOAD.md).
+  local out=BENCH_PR9.json bench
   echo "== bench-smoke: building benchmarks"
   cmake -B build -S . >/dev/null
   cmake --build build -j "$JOBS" --target \
@@ -159,6 +189,9 @@ run_bench_smoke() {
   done
   echo "== bench-smoke: running saturation sweep (quick gate: 10k handles)"
   ./build/bench/bench_saturation >/tmp/afs-bench-saturation.json
+  echo "== bench-smoke: running overload column (gated; docs/OVERLOAD.md)"
+  AFS_BENCH_SATURATION=overload ./build/bench/bench_saturation \
+    >/tmp/afs-bench-overload.json
   echo "== bench-smoke: running obs overhead gate"
   ./build/bench/bench_obs_overhead >/tmp/afs-bench-obs.json
   python3 - "$out" <<'EOF'
@@ -175,6 +208,8 @@ for name in ("fig6_disk", "fig6_memory", "fig6_remote", "loop_churn"):
     ]
 with open("/tmp/afs-bench-saturation.json") as f:
     combined["saturation"] = json.load(f)
+with open("/tmp/afs-bench-overload.json") as f:
+    combined["overload"] = json.load(f)
 with open("/tmp/afs-bench-obs.json") as f:
     combined["obs_overhead"] = json.load(f)
 
@@ -250,6 +285,7 @@ case "$STAGE" in
   recovery) run_recovery ;;
   obs) run_obs ;;
   analyze) run_analyze ;;
+  soak) run_soak ;;
   bench-smoke) run_bench_smoke ;;
   all)
     run_lane tidy run_tidy
@@ -268,7 +304,7 @@ case "$STAGE" in
     exit "$ANY_FAILED"
     ;;
   *)
-    echo "usage: tools/check.sh [tidy|asan|tsan|fault|recovery|obs|analyze|bench-smoke|all]" >&2
+    echo "usage: tools/check.sh [tidy|asan|tsan|fault|recovery|obs|analyze|soak|bench-smoke|all]" >&2
     exit 2
     ;;
 esac
